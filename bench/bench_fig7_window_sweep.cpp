@@ -1,0 +1,47 @@
+// bench_fig7_window_sweep — reproduces Fig. 7: the number of
+// false-positive and false-negative experiments (out of 100) as a function
+// of the fixed detection-window size, on the aircraft pitch simulator under
+// a bias attack lasting 15 control steps (0.3 s), window sizes 0..100.
+//
+// Expected shape (paper): FP experiments decrease and FN experiments
+// increase with the window size; the paper picks w_m = 40 where FN ≈ 3.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace awd;
+
+  bench::heading(
+      "Fig. 7 — FP/FN experiments vs fixed window size\n"
+      "(aircraft pitch, bias attack of 15 steps, 100 runs per window)");
+
+  core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
+  scase.attack_duration = 15;  // §6.1.2: bias lasting 15 control steps
+
+  std::vector<std::size_t> windows;
+  for (std::size_t w = 0; w <= 100; ++w) windows.push_back(w);
+
+  core::MetricsOptions options;
+  options.fp_threshold = 0.1;  // FP experiment iff FP rate > 10 %
+  options.warmup = 100;  // exclude controller start-up transients from FP counting
+
+  const auto points =
+      core::fixed_window_sweep(scase, core::AttackKind::kBias, windows, 100, 2022, options);
+
+  std::printf("\n%8s %16s %16s\n", "window", "#FP experiments", "#FN experiments");
+  for (const auto& p : points) {
+    std::printf("%8zu %16zu %16zu\n", p.window, p.fp_experiments, p.fn_experiments);
+  }
+
+  // The paper's operating-point readout.
+  for (const auto& p : points) {
+    if (p.window == 40) {
+      std::printf("\nAt the paper's chosen maximum window w_m = 40: FP = %zu, FN = %zu\n",
+                  p.fp_experiments, p.fn_experiments);
+    }
+  }
+  return 0;
+}

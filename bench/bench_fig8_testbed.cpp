@@ -1,0 +1,64 @@
+// bench_fig8_testbed — reproduces the §6.2 testbed experiment (Fig. 8):
+// the RC car cruises at 4 m/s under PID control at 20 Hz; at the end of the
+// 79th step a +2.5 m/s bias is injected into the speed measurement.  The
+// adaptive detector (deadline-driven window) is compared against a fixed
+// window of size 30.
+//
+// Expected shape (paper): the adaptive detector alerts in the first step
+// after the attack (the estimator computes the tightest deadline and
+// shrinks the window so the onset residual alone crosses τ), while the
+// fixed-window detector alerts only after the car has already left the safe
+// speed range [2, 10] m/s.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/detection_system.hpp"
+#include "core/metrics.hpp"
+#include "models/model_bank.hpp"
+
+int main() {
+  using namespace awd;
+
+  bench::heading("Fig. 8 — RC-car testbed: +2.5 m/s speed bias at step 79");
+
+  const core::SimulatorCase scase = core::testbed_case();
+  core::DetectionSystem system(scase, core::AttackKind::kBias, 7);
+  const sim::Trace trace = system.run();
+
+  const core::RunMetrics ma = core::compute_metrics(
+      trace, scase.attack_start, scase.attack_duration, core::Strategy::kAdaptive);
+  const core::RunMetrics mf = core::compute_metrics(
+      trace, scase.attack_start, scase.attack_duration, core::Strategy::kFixed);
+
+  std::printf("\n  attack start:            step %zu\n", scase.attack_start);
+  std::printf("  deadline at onset (t_d): %zu steps\n", ma.deadline_at_onset);
+  std::printf("  first adaptive alert:    %s (delay %s steps, %s)\n",
+              bench::opt_step(ma.first_alarm_after_onset).c_str(),
+              ma.detection_delay ? std::to_string(*ma.detection_delay).c_str() : "-",
+              ma.deadline_miss ? "MISSED deadline" : "in time");
+  std::printf("  first fixed(30) alert:   %s (delay %s steps, %s)\n",
+              bench::opt_step(mf.first_alarm_after_onset).c_str(),
+              mf.detection_delay ? std::to_string(*mf.detection_delay).c_str() : "-",
+              mf.deadline_miss ? "MISSED deadline" : "in time");
+  std::printf("  first unsafe speed:      %s\n", bench::opt_step(ma.first_unsafe).c_str());
+  std::printf("  (adaptive alert %s the car leaves the safe range; fixed alert %s)\n",
+              (ma.first_alarm_after_onset && ma.first_unsafe &&
+               *ma.first_alarm_after_onset < *ma.first_unsafe)
+                  ? "BEFORE"
+                  : "after",
+              (mf.first_alarm_after_onset && ma.first_unsafe &&
+               *mf.first_alarm_after_onset > *ma.first_unsafe)
+                  ? "after it has already left"
+                  : "before");
+
+  std::printf("\n  %6s %12s %14s %9s %7s %6s %6s\n", "step", "speed m/s", "sensed m/s",
+              "deadline", "window", "adapt", "fixed");
+  for (std::size_t t = 60; t < trace.size(); t += 2) {
+    const auto& r = trace[t];
+    std::printf("  %6zu %12.3f %14.3f %9zu %7zu %6s %6s\n", r.t,
+                r.true_state[0] * models::kTestbedCarC,
+                r.estimate[0] * models::kTestbedCarC, r.deadline, r.window,
+                r.adaptive_alarm ? "ALERT" : "-", r.fixed_alarm ? "ALERT" : "-");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// bench_micro_overhead — google-benchmark microbenchmarks for the run-time
+// components, backing the paper's "low overhead" claim (§3): the deadline
+// search, a full detection-system step, the logger, and the reach-box
+// query, across the state dimensions of the five plants.
+#include <benchmark/benchmark.h>
+
+#include "core/detection_system.hpp"
+#include "reach/deadline.hpp"
+
+namespace {
+
+using namespace awd;
+
+const char* kCaseKeys[] = {"aircraft_pitch", "vehicle_turning", "series_rlc", "dc_motor",
+                           "quadrotor"};
+
+void BM_DeadlineEstimate(benchmark::State& state) {
+  const core::SimulatorCase scase =
+      core::simulator_case(kCaseKeys[state.range(0)]);
+  const reach::DeadlineEstimator estimator(scase.model, scase.u_range, scase.eps,
+                                           scase.safe_set,
+                                           reach::DeadlineConfig{scase.max_window});
+  const linalg::Vec x0 = scase.reference;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(x0));
+  }
+  state.SetLabel(scase.key);
+}
+BENCHMARK(BM_DeadlineEstimate)->DenseRange(0, 4);
+
+void BM_ReachBoxQuery(benchmark::State& state) {
+  const core::SimulatorCase scase =
+      core::simulator_case(kCaseKeys[state.range(0)]);
+  const reach::ReachSystem reach(scase.model, scase.u_range, scase.eps, scase.max_window);
+  const linalg::Vec x0 = scase.reference;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reach.reach_box(x0, scase.max_window));
+  }
+  state.SetLabel(scase.key);
+}
+BENCHMARK(BM_ReachBoxQuery)->DenseRange(0, 4);
+
+void BM_DetectionSystemStep(benchmark::State& state) {
+  const core::SimulatorCase scase =
+      core::simulator_case(kCaseKeys[state.range(0)]);
+  core::DetectionSystem system(scase, core::AttackKind::kNone, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.step());
+  }
+  state.SetLabel(scase.key);
+}
+BENCHMARK(BM_DetectionSystemStep)->DenseRange(0, 4);
+
+void BM_LoggerLog(benchmark::State& state) {
+  const core::SimulatorCase scase = core::simulator_case("quadrotor");
+  detect::DataLogger logger(scase.model, scase.max_window);
+  const linalg::Vec x(scase.model.state_dim(), 0.1);
+  const linalg::Vec u(scase.model.input_dim(), 0.1);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logger.log(t++, x, u));
+  }
+}
+BENCHMARK(BM_LoggerLog);
+
+void BM_AdaptiveDetectorStep(benchmark::State& state) {
+  // Worst case: the window shrinks from w_m to a small deadline, forcing a
+  // full complementary sweep every iteration.
+  const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
+  detect::DataLogger logger(scase.model, scase.max_window);
+  const linalg::Vec x(scase.model.state_dim(), 0.001);
+  const linalg::Vec u(scase.model.input_dim(), 0.0);
+  for (std::size_t t = 0; t < 200; ++t) (void)logger.log(t, x, u);
+  detect::AdaptiveDetector detector(scase.tau, scase.max_window);
+  std::size_t t = 200;
+  bool small = false;
+  for (auto _ : state) {
+    (void)logger.log(t, x, u);
+    benchmark::DoNotOptimize(detector.step(logger, t, small ? 5 : scase.max_window));
+    small = !small;
+    ++t;
+  }
+}
+BENCHMARK(BM_AdaptiveDetectorStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

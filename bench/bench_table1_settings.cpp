@@ -1,0 +1,61 @@
+// bench_table1_settings — prints the encoded simulation settings (Table 1)
+// and each plant's discretized dynamics, so the configuration that every
+// other bench consumes is visible in the logs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/config.hpp"
+
+namespace {
+
+using namespace awd;
+
+void print_case(const core::SimulatorCase& c) {
+  bench::subheading(c.display_name + " (" + c.key + ")");
+  std::printf("  state dim n = %zu, input dim m = %zu, control step = %.3f s\n",
+              c.model.state_dim(), c.model.input_dim(), c.model.dt);
+  std::printf("  PID (kp, ki, kd) = (%g, %g, %g) on dims {", c.pid.kp, c.pid.ki, c.pid.kd);
+  for (std::size_t i = 0; i < c.tracked_dims.size(); ++i) {
+    std::printf("%s%zu", i ? ", " : "", c.tracked_dims[i]);
+  }
+  std::printf("}\n");
+  std::printf("  U = [");
+  for (std::size_t i = 0; i < c.u_range.dim(); ++i) {
+    std::printf("%s[%g, %g]", i ? " x " : "", c.u_range[i].lo, c.u_range[i].hi);
+  }
+  std::printf("],  eps = %g\n", c.eps);
+  std::printf("  safe set S: ");
+  for (std::size_t i = 0; i < c.safe_set.dim(); ++i) {
+    std::printf("%sdim%zu in [%g, %g]", i ? ", " : "", i, c.safe_set[i].lo,
+                c.safe_set[i].hi);
+  }
+  std::printf("\n  tau = [");
+  for (std::size_t i = 0; i < c.tau.size(); ++i) std::printf("%s%g", i ? ", " : "", c.tau[i]);
+  std::printf("]\n");
+  std::printf("  w_m = %zu, fixed baseline window = %zu, run length = %zu steps\n",
+              c.max_window, c.fixed_window, c.steps);
+  std::printf("  attack: start = %zu, duration = %zu, bias dim magnitudes = [",
+              c.attack_start, c.attack_duration);
+  for (std::size_t i = 0; i < c.bias.size(); ++i) {
+    std::printf("%s%g", i ? ", " : "", c.bias[i]);
+  }
+  std::printf("], delay lag = %zu, replay record start = %zu\n", c.delay_lag,
+              c.replay_record_start);
+  std::printf("  discretized A (row-major):\n");
+  for (std::size_t r = 0; r < c.model.A.rows(); ++r) {
+    std::printf("    [");
+    for (std::size_t col = 0; col < c.model.A.cols(); ++col) {
+      std::printf("%s% .5f", col ? ", " : "", c.model.A(r, col));
+    }
+    std::printf("]\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Table 1 — Simulation settings (paper rows + testbed)");
+  for (const auto& c : core::table1_cases()) print_case(c);
+  print_case(core::testbed_case());
+  return 0;
+}

@@ -1,0 +1,26 @@
+// bench_util.hpp — shared formatting helpers for the table/figure
+// regeneration binaries.  Each bench prints a self-describing plain-text
+// report so `for b in build/bench/*; do $b; done` produces a readable log.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace awd::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline std::string opt_step(const std::optional<std::size_t>& s) {
+  return s ? std::to_string(*s) : std::string("never");
+}
+
+}  // namespace awd::bench

@@ -1,0 +1,53 @@
+// cruise_control_testbed — the paper's §6.2 scenario as an example program.
+//
+// A reduced-scale RC car cruises at 4 m/s under 20 Hz PID control (the
+// plant is the paper's system-identified scalar model).  At the end of
+// step 79 an attacker adds +2.5 m/s to the speed measurement; the fooled
+// controller cuts the throttle and the real car decelerates toward the
+// unsafe region (< 2 m/s).  The example shows the adaptive detector
+// catching the attack immediately while a fixed window of 30 reacts far
+// too late.
+#include <cstdio>
+
+#include "core/detection_system.hpp"
+#include "core/metrics.hpp"
+#include "models/model_bank.hpp"
+
+int main() {
+  using namespace awd;
+
+  const core::SimulatorCase scase = core::testbed_case();
+  core::DetectionSystem system(scase, core::AttackKind::kBias, /*seed=*/3);
+  const sim::Trace trace = system.run();
+
+  std::printf("RC-car cruise control: +2.5 m/s sensor bias at step %zu\n\n",
+              scase.attack_start);
+  std::printf("%6s %10s %10s %9s %7s  %s\n", "step", "speed", "sensed", "deadline",
+              "window", "events");
+  for (std::size_t t = 70; t < 120 && t < trace.size(); ++t) {
+    const auto& r = trace[t];
+    std::printf("%6zu %10.2f %10.2f %9zu %7zu  %s%s%s%s\n", r.t,
+                r.true_state[0] * models::kTestbedCarC,
+                r.estimate[0] * models::kTestbedCarC, r.deadline, r.window,
+                r.attack_active ? "[ATTACK]" : "", r.adaptive_alarm ? "[ADAPTIVE ALERT]" : "",
+                r.fixed_alarm ? "[FIXED ALERT]" : "", r.unsafe ? "[UNSAFE]" : "");
+  }
+
+  const core::RunMetrics ma = core::compute_metrics(
+      trace, scase.attack_start, scase.attack_duration, core::Strategy::kAdaptive);
+  const core::RunMetrics mf = core::compute_metrics(
+      trace, scase.attack_start, scase.attack_duration, core::Strategy::kFixed);
+  std::printf("\nadaptive: alert %s (delay %s steps)\n",
+              ma.first_alarm_after_onset
+                  ? std::to_string(*ma.first_alarm_after_onset).c_str()
+                  : "never",
+              ma.detection_delay ? std::to_string(*ma.detection_delay).c_str() : "-");
+  std::printf("fixed(30): alert %s (delay %s steps)\n",
+              mf.first_alarm_after_onset
+                  ? std::to_string(*mf.first_alarm_after_onset).c_str()
+                  : "never",
+              mf.detection_delay ? std::to_string(*mf.detection_delay).c_str() : "-");
+  std::printf("car first unsafe at %s\n",
+              ma.first_unsafe ? std::to_string(*ma.first_unsafe).c_str() : "never");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// quadrotor_mission — the library's largest plant (12 states, 4 inputs)
+// flying an altitude profile under a replay attack, with CSV export.
+//
+// Demonstrates: the multi-channel PID (thrust + attitude torques), a
+// sinusoidal reference trajectory, the replay attack re-serving an earlier
+// segment of the mission, threshold calibration (§4.3) instead of a
+// hand-picked τ, and exporting the full trace for plotting.
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "core/csv.hpp"
+#include "core/detection_system.hpp"
+#include "core/metrics.hpp"
+
+int main() {
+  using namespace awd;
+
+  core::SimulatorCase scase = core::simulator_case("quadrotor");
+
+  // Replace Table 1's τ with one calibrated from attack-free flights of
+  // this exact mission (99.5th percentile of clean residuals + 20% margin).
+  core::ThresholdCalibrationOptions cal;
+  cal.runs = 5;
+  cal.quantile = 0.995;
+  cal.margin = 1.2;
+  scase.tau = core::calibrate_threshold(scase, /*seed=*/21, cal);
+  std::printf("calibrated tau (altitude dim): %.4f  (Table 1 used 0.018)\n",
+              scase.tau[2]);
+
+  core::DetectionSystem system(scase, core::AttackKind::kReplay, /*seed=*/6);
+  const sim::Trace trace = system.run();
+
+  const core::RunMetrics ma = core::compute_metrics(
+      trace, scase.attack_start, scase.attack_duration, core::Strategy::kAdaptive);
+  const core::RunMetrics mf = core::compute_metrics(
+      trace, scase.attack_start, scase.attack_duration, core::Strategy::kFixed);
+
+  std::printf("\nreplay attack at step %zu (re-serving the mission's first period)\n",
+              scase.attack_start);
+  std::printf("  deadline at onset:    %zu steps\n", ma.deadline_at_onset);
+  std::printf("  adaptive first alert: %s (%s)\n",
+              ma.first_alarm_after_onset
+                  ? std::to_string(*ma.first_alarm_after_onset).c_str()
+                  : "never",
+              ma.deadline_miss ? "MISSED deadline" : "in time");
+  std::printf("  fixed first alert:    %s (%s)\n",
+              mf.first_alarm_after_onset
+                  ? std::to_string(*mf.first_alarm_after_onset).c_str()
+                  : "never",
+              mf.deadline_miss ? "MISSED deadline" : "in time");
+
+  std::printf("\n%6s %10s %12s %9s %7s %s\n", "step", "alt (m)", "sensed (m)",
+              "deadline", "window", "flags");
+  for (std::size_t t = 140; t < 190 && t < trace.size(); t += 2) {
+    const auto& r = trace[t];
+    std::printf("%6zu %10.3f %12.3f %9zu %7zu %s%s\n", r.t, r.true_state[2],
+                r.estimate[2], r.deadline, r.window, r.attack_active ? "[ATTACK]" : "",
+                r.adaptive_alarm ? "[ALERT]" : "");
+  }
+
+  const char* csv_path = "quadrotor_mission_trace.csv";
+  core::write_trace_csv(csv_path, trace);
+  std::printf("\nfull trace written to %s (plot altitude, deadline, window)\n", csv_path);
+  return 0;
+}

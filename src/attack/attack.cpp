@@ -1,0 +1,72 @@
+#include "attack/attack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace awd::attack {
+
+BiasAttack::BiasAttack(AttackWindow window, Vec bias)
+    : window_(window), bias_(std::move(bias)) {
+  if (window_.duration == 0) throw std::invalid_argument("BiasAttack: zero duration");
+}
+
+Vec BiasAttack::apply(std::size_t t, const Vec& clean, const std::vector<Vec>&) const {
+  if (!window_.active(t)) return clean;
+  return clean + bias_;
+}
+
+DelayAttack::DelayAttack(AttackWindow window, std::size_t lag)
+    : window_(window), lag_(lag) {
+  if (window_.duration == 0) throw std::invalid_argument("DelayAttack: zero duration");
+  if (lag_ == 0) throw std::invalid_argument("DelayAttack: zero lag");
+}
+
+Vec DelayAttack::apply(std::size_t t, const Vec& clean,
+                       const std::vector<Vec>& history) const {
+  if (!window_.active(t)) return clean;
+  const std::size_t src = t >= lag_ ? t - lag_ : 0;
+  if (src >= history.size()) return clean;  // no history yet; nothing to delay to
+  return history[src];
+}
+
+ReplayAttack::ReplayAttack(AttackWindow window, std::size_t record_start)
+    : window_(window), record_start_(record_start) {
+  if (window_.duration == 0) throw std::invalid_argument("ReplayAttack: zero duration");
+  if (record_start_ + window_.duration > window_.start) {
+    throw std::invalid_argument(
+        "ReplayAttack: recorded segment must end before the attack starts");
+  }
+}
+
+Vec ReplayAttack::apply(std::size_t t, const Vec& clean,
+                        const std::vector<Vec>& history) const {
+  if (!window_.active(t)) return clean;
+  const std::size_t src = record_start_ + (t - window_.start);
+  if (src >= history.size()) return clean;
+  return history[src];
+}
+
+FreezeAttack::FreezeAttack(AttackWindow window) : window_(window) {
+  if (window_.duration == 0) throw std::invalid_argument("FreezeAttack: zero duration");
+}
+
+Vec FreezeAttack::apply(std::size_t t, const Vec& clean,
+                        const std::vector<Vec>& history) const {
+  if (!window_.active(t)) return clean;
+  if (window_.start == 0 || history.empty()) return clean;  // nothing to freeze to
+  const std::size_t src = std::min(window_.start - 1, history.size() - 1);
+  return history[src];
+}
+
+RampAttack::RampAttack(AttackWindow window, Vec slope)
+    : window_(window), slope_(std::move(slope)) {
+  if (window_.duration == 0) throw std::invalid_argument("RampAttack: zero duration");
+}
+
+Vec RampAttack::apply(std::size_t t, const Vec& clean, const std::vector<Vec>&) const {
+  if (!window_.active(t)) return clean;
+  const double steps = static_cast<double>(t - window_.start + 1);
+  return clean + slope_ * steps;
+}
+
+}  // namespace awd::attack

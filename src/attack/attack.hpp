@@ -1,0 +1,165 @@
+// attack.hpp — sensor attack injectors (§2 threat model, §6.1.1 scenarios).
+//
+// An attack transforms the clean sensor measurement stream the controller
+// would otherwise see.  The paper evaluates three scenarios:
+//   * bias   — "replaces sensor data with arbitrary values"; modeled as an
+//              additive offset on selected dimensions,
+//   * delay  — "delays sensor measurements sent to the controller", modeled
+//              as a fixed lag into the clean history,
+//   * replay — "replaces sensor data with previously recorded ones",
+//              modeled as replaying a clean segment recorded earlier.
+// A stealthy ramp attack (slowly growing bias, the classic detector-aware
+// attacker) is provided as an extension.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace awd::attack {
+
+using linalg::Vec;
+
+/// Half-open activity window [start, start + duration).
+struct AttackWindow {
+  std::size_t start = 0;
+  std::size_t duration = 0;
+
+  [[nodiscard]] bool active(std::size_t t) const noexcept {
+    return t >= start && t < start + duration;
+  }
+  [[nodiscard]] std::size_t end() const noexcept { return start + duration; }
+};
+
+/// Sensor attack interface.  Implementations are immutable after
+/// construction and therefore shareable across Monte-Carlo runs.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// The measurement the controller sees at step t.
+  /// @param clean   uncorrupted measurement for step t
+  /// @param history clean measurements for steps 0..t-1 (time-indexed)
+  [[nodiscard]] virtual Vec apply(std::size_t t, const Vec& clean,
+                                  const std::vector<Vec>& history) const = 0;
+
+  /// True while the attack is manipulating measurements.
+  [[nodiscard]] virtual bool active(std::size_t t) const = 0;
+
+  /// First attacked step, or SIZE_MAX if the attack never fires.
+  [[nodiscard]] virtual std::size_t start() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Pass-through attack (clean baseline runs).
+class NoAttack final : public Attack {
+ public:
+  [[nodiscard]] Vec apply(std::size_t, const Vec& clean,
+                          const std::vector<Vec>&) const override {
+    return clean;
+  }
+  [[nodiscard]] bool active(std::size_t) const override { return false; }
+  [[nodiscard]] std::size_t start() const override { return static_cast<std::size_t>(-1); }
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+/// Additive bias on the measurement during the window.
+class BiasAttack final : public Attack {
+ public:
+  /// Throws std::invalid_argument on zero duration.
+  BiasAttack(AttackWindow window, Vec bias);
+
+  [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
+                          const std::vector<Vec>& history) const override;
+  [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
+  [[nodiscard]] std::size_t start() const override { return window_.start; }
+  [[nodiscard]] std::string name() const override { return "bias"; }
+
+  [[nodiscard]] const Vec& bias() const noexcept { return bias_; }
+
+ private:
+  AttackWindow window_;
+  Vec bias_;
+};
+
+/// Reports the measurement from `lag` steps ago during the window (frozen
+/// at measurement 0 when t < lag).
+class DelayAttack final : public Attack {
+ public:
+  /// Throws std::invalid_argument on zero duration or zero lag.
+  DelayAttack(AttackWindow window, std::size_t lag);
+
+  [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
+                          const std::vector<Vec>& history) const override;
+  [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
+  [[nodiscard]] std::size_t start() const override { return window_.start; }
+  [[nodiscard]] std::string name() const override { return "delay"; }
+
+  [[nodiscard]] std::size_t lag() const noexcept { return lag_; }
+
+ private:
+  AttackWindow window_;
+  std::size_t lag_;
+};
+
+/// Replays the clean segment recorded at [record_start, record_start + i)
+/// during the attack window (i = t - window.start).
+class ReplayAttack final : public Attack {
+ public:
+  /// Throws std::invalid_argument if the recorded segment would overlap the
+  /// attack window (record_start + duration must be <= window.start).
+  ReplayAttack(AttackWindow window, std::size_t record_start);
+
+  [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
+                          const std::vector<Vec>& history) const override;
+  [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
+  [[nodiscard]] std::size_t start() const override { return window_.start; }
+  [[nodiscard]] std::string name() const override { return "replay"; }
+
+ private:
+  AttackWindow window_;
+  std::size_t record_start_;
+};
+
+/// Stuck-at sensor: during the window the controller keeps receiving the
+/// last clean measurement taken before the attack started (extension; a
+/// common failure/attack mode distinct from delay — the value never
+/// advances at all).
+class FreezeAttack final : public Attack {
+ public:
+  /// Throws std::invalid_argument on zero duration.
+  explicit FreezeAttack(AttackWindow window);
+
+  [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
+                          const std::vector<Vec>& history) const override;
+  [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
+  [[nodiscard]] std::size_t start() const override { return window_.start; }
+  [[nodiscard]] std::string name() const override { return "freeze"; }
+
+ private:
+  AttackWindow window_;
+};
+
+/// Stealthy ramp: bias grows linearly from zero at `slope` per step
+/// (extension; the classic strategy for evading residual thresholds).
+class RampAttack final : public Attack {
+ public:
+  /// Throws std::invalid_argument on zero duration.
+  RampAttack(AttackWindow window, Vec slope);
+
+  [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
+                          const std::vector<Vec>& history) const override;
+  [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
+  [[nodiscard]] std::size_t start() const override { return window_.start; }
+  [[nodiscard]] std::string name() const override { return "ramp"; }
+
+ private:
+  AttackWindow window_;
+  Vec slope_;
+};
+
+}  // namespace awd::attack

@@ -1,0 +1,329 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "models/discretize.hpp"
+#include "models/model_bank.hpp"
+
+namespace awd::core {
+
+namespace {
+
+using reach::Box;
+using reach::Interval;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Box [-a, a]^1.
+Box sym_box1(double a) { return Box::from_bounds(Vec{-a}, Vec{a}); }
+
+/// Symmetric box with the same half-width in every dimension.
+Box sym_box(std::size_t n, double a) {
+  return Box::from_bounds(Vec(n, -a), Vec(n, a));
+}
+
+}  // namespace
+
+std::string_view to_string(AttackKind kind) noexcept {
+  switch (kind) {
+    case AttackKind::kNone: return "none";
+    case AttackKind::kBias: return "bias";
+    case AttackKind::kDelay: return "delay";
+    case AttackKind::kReplay: return "replay";
+    case AttackKind::kRamp: return "ramp";
+    case AttackKind::kFreeze: return "freeze";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<sim::Controller> SimulatorCase::make_controller() const {
+  return std::make_unique<sim::PidController>(pid, tracked_dims, output_map, model.dt);
+}
+
+std::shared_ptr<const attack::Attack> SimulatorCase::make_attack(AttackKind kind) const {
+  using namespace awd::attack;
+  const AttackWindow window{attack_start, attack_duration};
+  switch (kind) {
+    case AttackKind::kNone:
+      return std::make_shared<NoAttack>();
+    case AttackKind::kBias:
+      return std::make_shared<BiasAttack>(window, bias);
+    case AttackKind::kDelay:
+      return std::make_shared<DelayAttack>(window, delay_lag);
+    case AttackKind::kReplay: {
+      // The replayed segment must be fully recorded before the attack fires.
+      AttackWindow w = window;
+      w.duration = std::min(w.duration, attack_start - replay_record_start);
+      return std::make_shared<ReplayAttack>(w, replay_record_start);
+    }
+    case AttackKind::kRamp:
+      return std::make_shared<RampAttack>(window, ramp_slope);
+    case AttackKind::kFreeze:
+      return std::make_shared<FreezeAttack>(window);
+  }
+  throw std::invalid_argument("SimulatorCase::make_attack: unknown attack kind");
+}
+
+void SimulatorCase::validate() const {
+  model.validate();
+  const std::size_t n = model.state_dim();
+  const std::size_t m = model.input_dim();
+  if (u_range.dim() != m) throw std::invalid_argument(key + ": u_range dimension mismatch");
+  if (safe_set.dim() != n) throw std::invalid_argument(key + ": safe_set dimension mismatch");
+  if (tau.size() != n) throw std::invalid_argument(key + ": tau dimension mismatch");
+  if (x0.size() != n) throw std::invalid_argument(key + ": x0 dimension mismatch");
+  if (reference.size() != n) throw std::invalid_argument(key + ": reference dimension mismatch");
+  if (sensor_noise.size() != n) {
+    throw std::invalid_argument(key + ": sensor_noise dimension mismatch");
+  }
+  if (bias.size() != n) throw std::invalid_argument(key + ": bias dimension mismatch");
+  if (ramp_slope.size() != n) throw std::invalid_argument(key + ": ramp_slope dimension mismatch");
+  if (output_map.rows() != m || output_map.cols() != tracked_dims.size()) {
+    throw std::invalid_argument(key + ": output_map shape mismatch");
+  }
+  for (std::size_t d : tracked_dims) {
+    if (d >= n) throw std::invalid_argument(key + ": tracked dimension out of range");
+  }
+  if (eps < 0.0) throw std::invalid_argument(key + ": negative eps");
+  if (eps_reach != 0.0 && eps_reach < eps) {
+    throw std::invalid_argument(key + ": eps_reach must be conservative (>= eps)");
+  }
+  if (max_window == 0) throw std::invalid_argument(key + ": max_window must be >= 1");
+  if (attack_start + attack_duration > steps) {
+    throw std::invalid_argument(key + ": attack extends beyond the run");
+  }
+}
+
+namespace {
+
+SimulatorCase make_aircraft_pitch() {
+  SimulatorCase c;
+  c.key = "aircraft_pitch";
+  c.display_name = "Aircraft Pitch";
+  c.model = models::discretize_zoh(models::aircraft_pitch(), 0.02);
+  c.u_range = sym_box1(7.0);
+  c.eps = 7.8e-3;       // disturbance at the configured bound
+  c.eps_reach = 7.8e-3; // Table 1's conservative uncertainty bound
+  c.safe_set = Box({Interval{-kInf, kInf}, Interval{-kInf, kInf}, Interval{-2.5, 2.5}});
+  c.tau = Vec{0.012, 0.012, 0.012};
+  c.pid = {14.0, 0.8, 5.7, 0.95, 10.0};
+  c.tracked_dims = {2};  // pitch angle
+  c.output_map = Matrix{{1.0}};
+  c.x0 = Vec{0.0, 0.0, 0.2};  // start at trim
+  c.reference = Vec{0.0, 0.0, 0.2};
+  // Gentle periodic pitching maneuver: gives delay/replay attacks live
+  // content to corrupt without saturating the elevator.
+  c.reference_sinusoids = {{2, 1.2, 150.0}};
+  c.sensor_noise = Vec{0.0086, 0.0086, 0.0086};
+  c.max_window = 40;
+  c.fixed_window = 40;
+  c.steps = 400;
+  c.predict_with_commanded = false;
+  c.attack_start = 150;
+  c.attack_duration = 100;
+  c.bias = Vec{0.0, 0.0, -0.15};
+  c.delay_lag = 2;
+  c.replay_record_start = 0;  // exactly one maneuver period back: replay phase-aligned
+  c.ramp_slope = Vec{0.0, 0.0, -0.004};
+  return c;
+}
+
+SimulatorCase make_vehicle_turning() {
+  SimulatorCase c;
+  c.key = "vehicle_turning";
+  c.display_name = "Vehicle Turning";
+  c.model = models::discretize_zoh(models::vehicle_turning(), 0.02);
+  c.u_range = sym_box1(3.0);
+  c.eps = 7.5e-2;  // disturbance at the configured bound (rough road)
+  c.eps_reach = 7.5e-2;
+  c.safe_set = Box({Interval{-2.0, 2.0}});
+  c.tau = Vec{0.07};
+  c.pid = {0.5, 7.0, 0.0, 0.0, 4.5};
+  c.tracked_dims = {0};
+  c.output_map = Matrix{{1.0}};
+  c.x0 = Vec(1);
+  c.reference = Vec{1.0};
+  c.reference_sinusoids = {{0, 0.85, 60.0}};  // weaving maneuver brushing the lane bound
+  c.sensor_noise = Vec{0.02};
+  c.max_window = 40;
+  c.fixed_window = 40;
+  c.steps = 400;
+  c.predict_with_commanded = false;
+  c.attack_start = 150;
+  c.attack_duration = 100;
+  c.bias = Vec{0.8};
+  c.delay_lag = 2;
+  c.replay_record_start = 30;  // two full weave periods back: replay aligned, drift-level jump
+  c.ramp_slope = Vec{0.02};
+  return c;
+}
+
+SimulatorCase make_series_rlc() {
+  SimulatorCase c;
+  c.key = "series_rlc";
+  c.display_name = "Series RLC Circuit";
+  c.model = models::discretize_zoh(models::series_rlc(), 0.02);
+  c.u_range = sym_box1(5.0);
+  c.eps = 1.7e-2;
+  c.eps_reach = 1.7e-2;
+  c.safe_set = Box({Interval{-3.5, 3.5}, Interval{-5.0, 5.0}});
+  c.tau = Vec{0.04, 0.01};
+  c.pid = {5.0, 5.0, 0.0, 0.0, 7.5};
+  c.tracked_dims = {0};  // capacitor voltage
+  c.output_map = Matrix{{1.0}};
+  c.x0 = Vec(2);
+  c.reference = Vec{1.0, 0.0};
+  c.reference_sinusoids = {{0, 0.8, 100.0}};  // AC setpoint on the capacitor voltage
+  c.sensor_noise = Vec{0.005, 0.002};
+  c.max_window = 40;
+  c.fixed_window = 40;
+  c.steps = 400;
+  c.predict_with_commanded = false;
+  c.attack_start = 150;
+  c.attack_duration = 100;
+  c.bias = Vec{0.0, 0.1};  // bias on the current sensor (voltage bias couples too strongly)
+  c.delay_lag = 1;
+  c.replay_record_start = 49;  // near-period shift keeps the input mismatch marginal
+  c.ramp_slope = Vec{0.008, 0.0};
+  return c;
+}
+
+SimulatorCase make_dc_motor() {
+  SimulatorCase c;
+  c.key = "dc_motor";
+  c.display_name = "DC Motor Position";
+  c.model = models::discretize_zoh(models::dc_motor_position(), 0.1);
+  c.u_range = sym_box1(20.0);
+  c.eps = 1.5e-1;
+  c.eps_reach = 1.5e-1;
+  c.safe_set = Box({Interval{-4.0, 4.0}, Interval{-kInf, kInf}, Interval{-kInf, kInf}});
+  c.tau = Vec{0.118, 0.118, 0.118};
+  c.pid = {11.0, 0.0, 5.0, 0.95};
+  c.tracked_dims = {0};  // shaft position
+  c.output_map = Matrix{{1.0}};
+  c.x0 = Vec(3);
+  c.reference = Vec{1.0, 0.0, 0.0};
+  c.reference_sinusoids = {{0, 2.4, 150.0}};  // periodic positioning profile
+  c.sensor_noise = Vec{0.03, 0.03, 0.03};
+  c.max_window = 40;
+  c.fixed_window = 40;
+  c.steps = 400;
+  c.predict_with_commanded = false;
+  c.attack_start = 150;
+  c.attack_duration = 100;
+  c.bias = Vec{-1.3, 0.0, 0.0};
+  c.delay_lag = 2;
+  c.replay_record_start = 0;  // one full period back (includes the spin-up tail)
+  c.ramp_slope = Vec{-0.04, 0.0, 0.0};
+  return c;
+}
+
+SimulatorCase make_quadrotor() {
+  SimulatorCase c;
+  c.key = "quadrotor";
+  c.display_name = "Quadrotor";
+  c.model = models::discretize_zoh(models::quadrotor(), 0.1);
+  c.u_range = sym_box(4, 2.0);
+  c.eps = 1.56e-15;
+  {
+    // Only the altitude is safety-constrained (Table 1: z in [-5, 5]).
+    std::vector<Interval> dims(12);
+    dims[2] = Interval{-5.0, 5.0};
+    c.safe_set = Box(std::move(dims));
+  }
+  c.tau = Vec(12, 0.018);
+  c.pid = {0.8, 0.0, 1.0, 0.9};
+  c.tracked_dims = {2, 3, 4, 5};  // altitude + attitude stabilization
+  // Attitude channels are scaled down: the torque-to-rate gain 1/I is ~206,
+  // so unit PID gains would place the 10 Hz discrete attitude loop far
+  // outside the stable region and saturate the torque inputs on noise.
+  c.output_map = Matrix::diagonal(Vec{1.0, 0.02, 0.02, 0.02});
+  c.x0 = Vec(12);
+  c.x0[2] = 0.7;  // takeoff platform 0.3 m below the hover setpoint
+  c.reference = Vec(12);
+  c.reference[2] = 1.0;  // hover 1 m above the origin
+  c.reference_sinusoids = {{2, 3.4, 150.0}};  // altitude profile sweeping toward the ceiling
+  {
+    Vec noise(12, 0.011);
+    // Attitude and body-rate channels are measured by the IMU far more
+    // precisely than position; large noise there would destabilize the
+    // high-gain attitude loops.
+    for (std::size_t d : {3, 4, 5, 9, 10, 11}) noise[d] = 0.001;
+    c.sensor_noise = noise;
+  }
+  c.max_window = 40;
+  c.fixed_window = 40;
+  c.steps = 400;
+  c.predict_with_commanded = false;
+  c.attack_start = 150;
+  c.attack_duration = 100;
+  c.bias = Vec(12);
+  c.bias[2] = -0.2;
+  c.delay_lag = 2;
+  c.replay_record_start = 0;  // one full profile period back (includes the takeoff tail)
+  c.ramp_slope = Vec(12);
+  c.ramp_slope[2] = -0.008;
+  return c;
+}
+
+}  // namespace
+
+std::vector<SimulatorCase> table1_cases() {
+  std::vector<SimulatorCase> cases;
+  cases.push_back(make_aircraft_pitch());
+  cases.push_back(make_vehicle_turning());
+  cases.push_back(make_series_rlc());
+  cases.push_back(make_dc_motor());
+  cases.push_back(make_quadrotor());
+  return cases;
+}
+
+SimulatorCase simulator_case(std::string_view key) {
+  if (key == "aircraft_pitch") return make_aircraft_pitch();
+  if (key == "vehicle_turning") return make_vehicle_turning();
+  if (key == "series_rlc") return make_series_rlc();
+  if (key == "dc_motor") return make_dc_motor();
+  if (key == "quadrotor") return make_quadrotor();
+  if (key == "testbed_car") return testbed_case();
+  throw std::invalid_argument("simulator_case: unknown key '" + std::string(key) + "'");
+}
+
+SimulatorCase testbed_case() {
+  SimulatorCase c;
+  c.key = "testbed_car";
+  c.display_name = "RC-Car Testbed";
+  c.model = models::testbed_car();
+  c.u_range = Box::from_bounds(Vec{0.0}, Vec{7.7});
+  // The paper does not publish the testbed's disturbance characteristics.
+  // The plant draws from a 1e-3 ball (~0.38 m/s terrain/drivetrain
+  // variation); the deadline estimator assumes the conservative 5e-3 bound
+  // a careful operator would configure.  With that margin the reach box
+  // touches the safe boundary one step out at cruise, so the estimator
+  // reports the near-zero deadlines the paper describes ("the estimator
+  // computes the tightest deadline and shrinks the window").
+  c.eps = 1e-3;
+  c.eps_reach = 5e-3;
+  c.safe_set = Box({Interval{5.2e-3, 2.6e-2}});  // speed in [2, 10] m/s
+  c.tau = Vec{3.67e-3};
+  c.pid = {1000.0, 300.0, 0.0, 0.0, 10.0};
+  c.tracked_dims = {0};
+  c.output_map = Matrix{{1.0}};
+  const double ref_internal = 4.0 / models::kTestbedCarC;  // cruise at 4 m/s
+  c.x0 = Vec{ref_internal};
+  c.reference = Vec{ref_internal};
+  c.sensor_noise = Vec{1.3e-4};  // ±0.05 m/s magnetic-encoder jitter
+  c.max_window = 30;
+  c.fixed_window = 30;  // the Fig. 8 baseline uses size 30
+  c.steps = 160;
+  c.predict_with_commanded = false;
+  c.attack_start = 79;  // "at the end of the 79th step" (§6.2.1)
+  c.attack_duration = 81;
+  c.bias = Vec{2.5 / models::kTestbedCarC};  // +2.5 m/s speed bias
+  c.delay_lag = 10;
+  c.replay_record_start = 0;
+  c.ramp_slope = Vec{0.1 / models::kTestbedCarC};
+  return c;
+}
+
+}  // namespace awd::core

@@ -1,0 +1,40 @@
+#include "core/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace awd::core {
+
+void write_trace_csv(std::ostream& out, const sim::Trace& trace) {
+  if (trace.empty()) throw std::invalid_argument("write_trace_csv: empty trace");
+
+  const std::size_t n = trace[0].true_state.size();
+  const std::size_t m = trace[0].control.size();
+
+  out << "t";
+  for (std::size_t d = 0; d < n; ++d) out << ",x" << d;
+  for (std::size_t d = 0; d < n; ++d) out << ",est" << d;
+  for (std::size_t d = 0; d < n; ++d) out << ",residual" << d;
+  for (std::size_t j = 0; j < m; ++j) out << ",u" << j;
+  out << ",deadline,window,adaptive_alarm,fixed_alarm,attack_active,unsafe\n";
+
+  for (const sim::StepRecord& r : trace) {
+    out << r.t;
+    for (std::size_t d = 0; d < n; ++d) out << ',' << r.true_state[d];
+    for (std::size_t d = 0; d < n; ++d) out << ',' << r.estimate[d];
+    for (std::size_t d = 0; d < n; ++d) out << ',' << r.residual[d];
+    for (std::size_t j = 0; j < m; ++j) out << ',' << r.control[j];
+    out << ',' << r.deadline << ',' << r.window << ',' << (r.adaptive_alarm ? 1 : 0)
+        << ',' << (r.fixed_alarm ? 1 : 0) << ',' << (r.attack_active ? 1 : 0) << ','
+        << (r.unsafe ? 1 : 0) << '\n';
+  }
+}
+
+void write_trace_csv(const std::string& path, const sim::Trace& trace) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_trace_csv: cannot open " + path);
+  write_trace_csv(file, trace);
+}
+
+}  // namespace awd::core

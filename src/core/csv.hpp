@@ -1,0 +1,24 @@
+// csv.hpp — trace export for offline analysis/plotting.
+//
+// Writes a sim::Trace as one CSV row per control step: time, per-dimension
+// true state / estimate / residual, control inputs, deadline, window, and
+// the alarm / attack / unsafe flags.  Used by the examples and handy for
+// regenerating the paper's figures with any plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace awd::core {
+
+/// Stream a trace as CSV (header + one row per step).
+/// Throws std::invalid_argument on an empty trace.
+void write_trace_csv(std::ostream& out, const sim::Trace& trace);
+
+/// Convenience: write to a file path.  Throws std::runtime_error if the
+/// file cannot be opened.
+void write_trace_csv(const std::string& path, const sim::Trace& trace);
+
+}  // namespace awd::core

@@ -1,0 +1,78 @@
+#include "core/detection_system.hpp"
+
+namespace awd::core {
+
+namespace {
+
+sim::Simulator build_simulator(const SimulatorCase& scase, AttackKind attack,
+                               std::uint64_t seed,
+                               const DetectionSystemOptions& options) {
+  scase.validate();
+  sim::Plant plant(scase.model, scase.u_range, scase.eps, scase.x0);
+  sim::SimulatorOptions opts;
+  opts.x0 = scase.x0;
+  opts.reference = scase.reference;
+  opts.sensor_noise = scase.sensor_noise;
+  opts.seed = seed;
+  opts.predict_with_commanded = scase.predict_with_commanded;
+  opts.reference_schedule = scase.reference_schedule;
+  opts.reference_sinusoids = scase.reference_sinusoids;
+  return sim::Simulator(std::move(plant), scase.make_controller(),
+                        scase.make_attack(attack), std::move(opts),
+                        options.make_estimator ? options.make_estimator() : nullptr);
+}
+
+}  // namespace
+
+DetectionSystem::DetectionSystem(const SimulatorCase& scase, AttackKind attack,
+                                 std::uint64_t seed, DetectionSystemOptions options)
+    : case_(scase),
+      simulator_(build_simulator(scase, attack, seed, options)),
+      logger_(scase.model, scase.max_window),
+      estimator_(scase.model, scase.u_range,
+                 scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach, scase.safe_set,
+                 reach::DeadlineConfig{scase.max_window, options.init_radius}),
+      adaptive_(scase.tau, scase.max_window),
+      fixed_(scase.tau, options.fixed_window.value_or(scase.fixed_window)) {}
+
+sim::StepRecord DetectionSystem::step() {
+  sim::StepRecord rec = simulator_.step();
+
+  // Data Logger: buffer the estimate and the control input the predictor
+  // will use for step t+1 (commanded vs applied per the case's setting).
+  const Vec& u_for_prediction =
+      case_.predict_with_commanded ? rec.commanded : rec.control;
+  logger_.log(rec.t, rec.estimate, u_for_prediction);
+
+  // Deadline Estimator, seeded with the trusted estimate that sits just
+  // outside the *previous* detection window (§3.3.1).  Before enough
+  // history exists the system cannot be near-unsafe by assumption (the run
+  // starts from a trusted state), so the deadline defaults to w_m.
+  std::size_t deadline = case_.max_window;
+  const std::optional<Vec> seed_state =
+      logger_.trusted_state(rec.t, adaptive_.previous_window());
+  if (seed_state) deadline = estimator_.estimate(*seed_state);
+  rec.deadline = deadline;
+
+  // Adaptive Detector (§4.2) with complementary sweeps on shrink.
+  const detect::AdaptiveDecision ad = adaptive_.step(logger_, rec.t, deadline);
+  evaluations_ += ad.evaluations;
+  rec.window = ad.window;
+  rec.adaptive_alarm = ad.any_alarm();
+
+  // Fixed-window baseline on the same residual stream.
+  rec.fixed_alarm = fixed_.step(logger_, rec.t).alarm;
+
+  rec.unsafe = !case_.safe_set.contains(rec.true_state);
+  return rec;
+}
+
+sim::Trace DetectionSystem::run(std::size_t steps) {
+  const std::size_t total = steps == 0 ? case_.steps : steps;
+  sim::Trace trace;
+  trace.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) trace.push(step());
+  return trace;
+}
+
+}  // namespace awd::core

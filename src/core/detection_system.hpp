@@ -1,0 +1,79 @@
+// detection_system.hpp — the paper's full run-time architecture (Fig. 1).
+//
+// Composes the closed-loop Simulator with the three shaded components:
+// Data Logger (§5), Detection Deadline Estimator (§3), and Adaptive
+// Detector (§4), plus the fixed-window baseline evaluated on the same
+// residual stream for side-by-side comparison (the paper's Table 2 /
+// Fig. 6 methodology — detection is passive, so one simulation serves
+// both strategies).
+//
+// Per control step t:
+//   1. the Simulator advances the loop and yields (x̄_t, u_t, ...),
+//   2. the Data Logger buffers the estimate/residual,
+//   3. the trusted seed x̄_{t - w_p - 1} (just outside the previous
+//      detection window) feeds the Deadline Estimator → t_d,
+//   4. the Adaptive Detector sets w_c = min(t_d, w_m), runs complementary
+//      sweeps if the window shrank, and evaluates the window test,
+//   5. the fixed-window baseline evaluates at its constant size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "detect/adaptive.hpp"
+#include "detect/fixed.hpp"
+#include "detect/logger.hpp"
+#include "reach/deadline.hpp"
+#include "sim/simulator.hpp"
+
+namespace awd::core {
+
+/// Optional knobs beyond what the SimulatorCase prescribes.
+struct DetectionSystemOptions {
+  std::optional<std::size_t> fixed_window;  ///< override the baseline window
+  double init_radius = 0.0;                 ///< deadline seed ball radius (§3.3.1)
+  /// Factory for the measurement → estimate stage; empty means the paper's
+  /// passthrough (fully observable) assumption.
+  std::function<std::unique_ptr<sim::Estimator>()> make_estimator;
+};
+
+/// One fully wired detection run over one plant/attack/seed combination.
+class DetectionSystem {
+ public:
+  /// Assemble plant, controller, attack, logger, estimator and detectors
+  /// from a case description.  Throws std::invalid_argument on an invalid
+  /// case.
+  DetectionSystem(const SimulatorCase& scase, AttackKind attack, std::uint64_t seed,
+                  DetectionSystemOptions options = {});
+
+  /// Advance one control period through the full pipeline; the returned
+  /// record carries the detection outputs (deadline, window, alarms).
+  sim::StepRecord step();
+
+  /// Run the case's configured number of steps (or `steps` if nonzero).
+  [[nodiscard]] sim::Trace run(std::size_t steps = 0);
+
+  /// Total window evaluations performed by the adaptive detector so far
+  /// (current-step tests + complementary sweeps) — the overhead metric.
+  [[nodiscard]] std::size_t adaptive_evaluations() const noexcept { return evaluations_; }
+
+  [[nodiscard]] const detect::DataLogger& logger() const noexcept { return logger_; }
+  [[nodiscard]] const reach::DeadlineEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  [[nodiscard]] const SimulatorCase& scase() const noexcept { return case_; }
+
+ private:
+  SimulatorCase case_;
+  sim::Simulator simulator_;
+  detect::DataLogger logger_;
+  reach::DeadlineEstimator estimator_;
+  detect::AdaptiveDetector adaptive_;
+  detect::FixedWindowDetector fixed_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace awd::core

@@ -1,0 +1,143 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "core/detection_system.hpp"
+#include "sim/noise.hpp"
+
+namespace awd::core {
+
+namespace {
+
+/// Independent per-run seed stream (splitmix64 over the run index).
+std::uint64_t run_seed(std::uint64_t base_seed, std::size_t run) {
+  return sim::splitmix64(base_seed + 0x51a3c0de00000000ULL + run);
+}
+
+}  // namespace
+
+CellResult run_cell(const SimulatorCase& scase, AttackKind attack, std::size_t runs,
+                    std::uint64_t base_seed, const MetricsOptions& options) {
+  CellResult cell;
+  cell.simulator = scase.key;
+  cell.attack = attack;
+  cell.runs = runs;
+
+  double delay_sum_adaptive = 0.0;
+  std::size_t delay_n_adaptive = 0;
+  double delay_sum_fixed = 0.0;
+  std::size_t delay_n_fixed = 0;
+
+  // Alarms while a window still covers attacked samples are delayed true
+  // positives; by default guard one maximal window past the attack.
+  MetricsOptions opts = options;
+  if (opts.post_attack_guard == 0) opts.post_attack_guard = scase.max_window;
+
+  for (std::size_t r = 0; r < runs; ++r) {
+    DetectionSystem system(scase, attack, run_seed(base_seed, r));
+    const sim::Trace trace = system.run();
+
+    const RunMetrics ma = compute_metrics(trace, scase.attack_start, scase.attack_duration,
+                                          Strategy::kAdaptive, opts);
+    const RunMetrics mf = compute_metrics(trace, scase.attack_start, scase.attack_duration,
+                                          Strategy::kFixed, opts);
+
+    if (ma.fp_experiment) ++cell.fp_adaptive;
+    if (mf.fp_experiment) ++cell.fp_fixed;
+    if (ma.deadline_miss) ++cell.dm_adaptive;
+    if (mf.deadline_miss) ++cell.dm_fixed;
+    if (ma.false_negative) ++cell.fn_adaptive;
+    if (mf.false_negative) ++cell.fn_fixed;
+    if (ma.detection_delay) {
+      delay_sum_adaptive += static_cast<double>(*ma.detection_delay);
+      ++delay_n_adaptive;
+    }
+    if (mf.detection_delay) {
+      delay_sum_fixed += static_cast<double>(*mf.detection_delay);
+      ++delay_n_fixed;
+    }
+  }
+
+  cell.mean_delay_adaptive =
+      delay_n_adaptive == 0 ? 0.0 : delay_sum_adaptive / static_cast<double>(delay_n_adaptive);
+  cell.mean_delay_fixed =
+      delay_n_fixed == 0 ? 0.0 : delay_sum_fixed / static_cast<double>(delay_n_fixed);
+  return cell;
+}
+
+std::vector<WindowSweepPoint> fixed_window_sweep(const SimulatorCase& scase,
+                                                 AttackKind attack,
+                                                 const std::vector<std::size_t>& windows,
+                                                 std::size_t runs, std::uint64_t base_seed,
+                                                 const MetricsOptions& options) {
+  const std::size_t n = scase.model.state_dim();
+  const std::size_t steps = scase.steps;
+  const std::size_t attack_end = scase.attack_start + scase.attack_duration;
+
+  std::vector<WindowSweepPoint> points(windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) points[w].window = windows[w];
+
+  for (std::size_t r = 0; r < runs; ++r) {
+    // Simulate once; the residual stream is detector-independent.
+    sim::Plant plant(scase.model, scase.u_range, scase.eps, scase.x0);
+    sim::SimulatorOptions opts;
+    opts.x0 = scase.x0;
+    opts.reference = scase.reference;
+    opts.sensor_noise = scase.sensor_noise;
+    opts.seed = run_seed(base_seed, r);
+    opts.predict_with_commanded = scase.predict_with_commanded;
+    opts.reference_schedule = scase.reference_schedule;
+    opts.reference_sinusoids = scase.reference_sinusoids;
+    sim::Simulator simulator(std::move(plant), scase.make_controller(),
+                             scase.make_attack(attack), std::move(opts));
+
+    // Per-dimension prefix sums of the residuals: prefix[d][t+1] - wait-free
+    // window means for every size.
+    std::vector<std::vector<double>> prefix(n, std::vector<double>(steps + 1, 0.0));
+    for (std::size_t t = 0; t < steps; ++t) {
+      const sim::StepRecord rec = simulator.step();
+      for (std::size_t d = 0; d < n; ++d) {
+        prefix[d][t + 1] = prefix[d][t] + rec.residual[d];
+      }
+    }
+
+    for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+      const std::size_t w = windows[wi];
+      std::size_t clean_steps = 0;
+      std::size_t fp_alarms = 0;
+      bool detected = false;
+
+      for (std::size_t t = options.warmup; t < steps; ++t) {
+        const std::size_t lo = t >= w ? t - w : 0;
+        const std::size_t count = t - lo + 1;
+        bool alarm = false;
+        for (std::size_t d = 0; d < n; ++d) {
+          const double mean = (prefix[d][t + 1] - prefix[d][lo]) / static_cast<double>(count);
+          if (mean > scase.tau[d]) {
+            alarm = true;
+            break;
+          }
+        }
+        // An alarm whose window overlaps the attack interval is a true
+        // positive; everything else is a false positive.
+        const bool window_overlaps_attack = t >= scase.attack_start && lo < attack_end;
+        if (window_overlaps_attack) {
+          if (alarm) detected = true;
+        } else {
+          ++clean_steps;
+          if (alarm) ++fp_alarms;
+        }
+      }
+
+      const double fp_rate = clean_steps == 0
+                                 ? 0.0
+                                 : static_cast<double>(fp_alarms) /
+                                       static_cast<double>(clean_steps);
+      if (fp_rate > options.fp_threshold) ++points[wi].fp_experiments;
+      if (!detected) ++points[wi].fn_experiments;
+    }
+  }
+  return points;
+}
+
+}  // namespace awd::core

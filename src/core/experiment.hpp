@@ -1,0 +1,60 @@
+// experiment.hpp — Monte-Carlo experiment runners (§6.1's protocol).
+//
+// Two workloads drive the paper's quantitative results:
+//   * run_cell        — 100 seeded runs of one (simulator, attack) pair with
+//                       both strategies evaluated on the same traces; yields
+//                       the #FP / #DM counts of Table 2.
+//   * fixed_window_sweep — the Fig. 7 profiling sweep: for every candidate
+//                       window size, count FP experiments (FP rate > 10 %)
+//                       and FN experiments (attack never detected) over N
+//                       runs.  The trace does not depend on the detector, so
+//                       each run is simulated once and every window size is
+//                       evaluated on the same residual stream via prefix
+//                       sums.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+
+namespace awd::core {
+
+/// Aggregated result of one Table 2 cell (one simulator × one attack).
+struct CellResult {
+  std::string simulator;
+  AttackKind attack = AttackKind::kNone;
+  std::size_t runs = 0;
+
+  std::size_t fp_adaptive = 0;  ///< runs whose adaptive FP rate exceeded the threshold
+  std::size_t fp_fixed = 0;
+  std::size_t dm_adaptive = 0;  ///< runs where the adaptive detector missed the deadline
+  std::size_t dm_fixed = 0;
+  std::size_t fn_adaptive = 0;  ///< runs where the attack was never detected
+  std::size_t fn_fixed = 0;
+
+  double mean_delay_adaptive = 0.0;  ///< mean detection delay over detected runs
+  double mean_delay_fixed = 0.0;
+};
+
+/// Run one Table 2 cell: `runs` seeded simulations with both detectors.
+[[nodiscard]] CellResult run_cell(const SimulatorCase& scase, AttackKind attack,
+                                  std::size_t runs, std::uint64_t base_seed,
+                                  const MetricsOptions& options = {});
+
+/// One point of the Fig. 7 sweep.
+struct WindowSweepPoint {
+  std::size_t window = 0;
+  std::size_t fp_experiments = 0;  ///< runs with FP rate > threshold at this window
+  std::size_t fn_experiments = 0;  ///< runs where the attack went undetected
+};
+
+/// Fig. 7: profile the fixed-window detector across window sizes.
+/// @param windows window sizes to evaluate (e.g. 0..100)
+/// @param runs    experiments per window size (shared traces)
+[[nodiscard]] std::vector<WindowSweepPoint> fixed_window_sweep(
+    const SimulatorCase& scase, AttackKind attack, const std::vector<std::size_t>& windows,
+    std::size_t runs, std::uint64_t base_seed, const MetricsOptions& options = {});
+
+}  // namespace awd::core

@@ -1,0 +1,61 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace awd::core {
+
+namespace {
+
+bool alarm_of(const sim::StepRecord& rec, Strategy strategy) noexcept {
+  return strategy == Strategy::kAdaptive ? rec.adaptive_alarm : rec.fixed_alarm;
+}
+
+}  // namespace
+
+double false_positive_rate(const sim::Trace& trace, std::size_t attack_start,
+                           std::size_t attack_end, Strategy strategy, std::size_t warmup,
+                           std::size_t guard) {
+  std::size_t clean = 0;
+  std::size_t alarms = 0;
+  for (std::size_t i = warmup; i < trace.size(); ++i) {
+    // Attack-active steps are true-positive territory; the guard band after
+    // the attack still has attacked samples inside detection windows.
+    if (i >= attack_start && i < attack_end + guard) continue;
+    ++clean;
+    if (alarm_of(trace[i], strategy)) ++alarms;
+  }
+  return clean == 0 ? 0.0 : static_cast<double>(alarms) / static_cast<double>(clean);
+}
+
+RunMetrics compute_metrics(const sim::Trace& trace, std::size_t attack_start,
+                           std::size_t attack_duration, Strategy strategy,
+                           const MetricsOptions& options) {
+  if (attack_start >= trace.size()) {
+    throw std::invalid_argument("compute_metrics: attack_start outside trace");
+  }
+
+  RunMetrics m;
+  m.fp_rate = false_positive_rate(trace, attack_start, attack_start + attack_duration,
+                                  strategy, options.warmup, options.post_attack_guard);
+  m.fp_experiment = m.fp_rate > options.fp_threshold;
+  m.deadline_at_onset = trace[attack_start].deadline;
+  m.first_unsafe = trace.first_unsafe();
+
+  m.first_alarm_after_onset =
+      trace.first_alarm_at_or_after(attack_start, strategy == Strategy::kAdaptive);
+  if (m.first_alarm_after_onset) {
+    m.detection_delay = *m.first_alarm_after_onset - attack_start;
+  }
+  m.false_negative = !m.first_alarm_after_onset.has_value();
+
+  // Deadline miss: the first alarm after onset must land within
+  // [onset, onset + t_d] (Fig. 2: the system is conservatively safe up to
+  // and including step t_d after the seed).
+  m.deadline_miss =
+      !m.first_alarm_after_onset ||
+      *m.first_alarm_after_onset > attack_start + m.deadline_at_onset;
+  return m;
+}
+
+}  // namespace awd::core

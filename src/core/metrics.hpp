@@ -1,0 +1,64 @@
+// metrics.hpp — evaluation metrics for detection runs (§6).
+//
+// Definitions used by the paper's evaluation:
+//   * false positive (FP)   — an alarm on a step where no attack is active
+//                             (before the attack starts or after it ends);
+//   * FP experiment          — a run whose FP *rate* over non-attack steps
+//                             exceeds a threshold (10 % in §6.1.2);
+//   * detection delay        — steps from attack onset to the first alarm;
+//   * deadline miss (DM)     — no alarm within the detection deadline t_d
+//                             estimated at attack onset, i.e. no alarm in
+//                             [onset, onset + t_d];
+//   * false negative (FN)    — the attack is never detected during the run
+//                             (Fig. 7's FN experiments).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "sim/trace.hpp"
+
+namespace awd::core {
+
+/// Which detection strategy a metric refers to.
+enum class Strategy { kAdaptive, kFixed };
+
+/// Per-run detection metrics for one strategy.
+struct RunMetrics {
+  double fp_rate = 0.0;  ///< alarm rate over steps with no active attack
+  std::optional<std::size_t> first_alarm_after_onset;  ///< absolute step
+  std::optional<std::size_t> detection_delay;          ///< steps from onset
+  std::size_t deadline_at_onset = 0;                   ///< t_d estimated at onset
+  bool fp_experiment = false;   ///< fp_rate > fp threshold
+  bool deadline_miss = false;   ///< no alarm within [onset, onset + t_d]
+  bool false_negative = false;  ///< never detected during the run
+  std::optional<std::size_t> first_unsafe;  ///< first step the true state left S
+};
+
+/// Analysis parameters.
+struct MetricsOptions {
+  double fp_threshold = 0.1;   ///< §6.1.2: FP experiment iff rate > 10 %
+  std::size_t warmup = 0;      ///< steps at run start excluded from FP counting
+  /// Steps after the attack ends that are excluded from FP counting: a
+  /// window-based detector's window still covers attacked samples there, so
+  /// alarms in that band are delayed true positives, not false alarms.
+  std::size_t post_attack_guard = 0;
+};
+
+/// Compute metrics for one strategy from a finished trace.
+/// @param attack_start    first attacked step
+/// @param attack_duration attacked step count (alarms inside
+///                        [start, start+duration) are true positives)
+/// Throws std::invalid_argument if attack_start is outside the trace.
+[[nodiscard]] RunMetrics compute_metrics(const sim::Trace& trace, std::size_t attack_start,
+                                         std::size_t attack_duration, Strategy strategy,
+                                         const MetricsOptions& options = {});
+
+/// FP rate alone, over non-attack steps, for traces without any attack
+/// (pass the trace length as attack_start).  `guard` extends the excluded
+/// interval past attack_end (see MetricsOptions::post_attack_guard).
+[[nodiscard]] double false_positive_rate(const sim::Trace& trace, std::size_t attack_start,
+                                         std::size_t attack_end, Strategy strategy,
+                                         std::size_t warmup = 0, std::size_t guard = 0);
+
+}  // namespace awd::core

@@ -1,0 +1,53 @@
+#include "detect/adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace awd::detect {
+
+AdaptiveDetector::AdaptiveDetector(Vec tau, std::size_t max_window, bool complementary)
+    : tau_(std::move(tau)), max_window_(max_window), complementary_(complementary) {
+  if (tau_.empty()) throw std::invalid_argument("AdaptiveDetector: empty threshold");
+  if (max_window_ == 0) throw std::invalid_argument("AdaptiveDetector: max_window must be >= 1");
+}
+
+AdaptiveDecision AdaptiveDetector::step(const DataLogger& logger, std::size_t t,
+                                        std::size_t deadline) {
+  AdaptiveDecision d;
+  d.window = std::min(deadline, max_window_);
+
+  const std::size_t w_c = d.window;
+  const std::size_t w_p = prev_window_;
+
+  if (complementary_ && !first_step_ && w_c < w_p) {
+    // Complementary detection (§4.2.1): re-check the region that escaped
+    // the shorter window with size w_c at virtual times
+    // [t - w_p - 1 + w_c, t - 1].  At stream start some of these virtual
+    // times predate step 0 or the retained history; they carry no
+    // un-checked data, so they are skipped.
+    const std::size_t first_virtual =
+        (t >= w_p + 1) ? t - w_p - 1 + w_c : (w_c <= t ? w_c : t);
+    for (std::size_t s = first_virtual; s < t; ++s) {
+      if (!logger.has(s)) continue;
+      const WindowDecision wd = evaluate_window(logger, s, w_c, tau_);
+      ++d.evaluations;
+      if (wd.alarm) d.complementary_alarm = true;
+    }
+  }
+
+  const WindowDecision now = evaluate_window(logger, t, w_c, tau_);
+  ++d.evaluations;
+  d.alarm = now.alarm;
+  d.mean_residual = now.mean_residual;
+
+  prev_window_ = w_c;
+  first_step_ = false;
+  return d;
+}
+
+void AdaptiveDetector::reset() noexcept {
+  prev_window_ = 0;
+  first_step_ = true;
+}
+
+}  // namespace awd::detect

@@ -1,0 +1,66 @@
+// adaptive.hpp — the Adaptive Detector (§4.2, Figs. 3-4).
+//
+// At each step the detector sets its window to the current detection
+// deadline (clamped to [0, w_m]).  Two transition cases:
+//
+//   * Shrink (w_c < w_p, Fig. 3): the points between the old and new window
+//     tails would escape detection, so before evaluating step t the
+//     detector runs *complementary detection* — the window test with the
+//     new size w_c at every virtual time from t - w_p - 1 + w_c through
+//     t - 1.  Any hit there is an alarm.
+//   * Grow (w_c > w_p, Fig. 4): no point escapes a longer window, so the
+//     detector simply continues.
+//
+// The detector never touches raw data; it reads residuals from the shared
+// DataLogger, which retains exactly enough history (w_m + 2 entries) for
+// the deepest complementary sweep.
+#pragma once
+
+#include "detect/window_detector.hpp"
+
+namespace awd::detect {
+
+/// Outcome of one adaptive-detector step.
+struct AdaptiveDecision {
+  bool alarm = false;                ///< alarm from the current-step window test
+  bool complementary_alarm = false;  ///< alarm raised during a complementary sweep
+  std::size_t window = 0;            ///< window size w_c used at this step
+  std::size_t evaluations = 0;       ///< window tests run (1 + complementary sweeps)
+  Vec mean_residual;                 ///< mean residual of the current-step test
+
+  /// Any alarm at all this step.
+  [[nodiscard]] bool any_alarm() const noexcept { return alarm || complementary_alarm; }
+};
+
+/// Window-based detector whose window tracks the detection deadline.
+class AdaptiveDetector {
+ public:
+  /// @param tau           per-dimension residual threshold
+  /// @param max_window    maximum window size w_m (§4.3)
+  /// @param complementary run the §4.2.1 complementary sweeps on shrink;
+  ///                      disabling this is the ablation knob that shows
+  ///                      why the protocol needs them (bench_ablation)
+  /// Throws std::invalid_argument on empty τ or w_m == 0.
+  AdaptiveDetector(Vec tau, std::size_t max_window, bool complementary = true);
+
+  /// Evaluate step t with the deadline estimate for this step.  `deadline`
+  /// is clamped to [0, max_window] to become the new window size.
+  [[nodiscard]] AdaptiveDecision step(const DataLogger& logger, std::size_t t,
+                                      std::size_t deadline);
+
+  /// Forget the previous window size (new run).
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t max_window() const noexcept { return max_window_; }
+  [[nodiscard]] const Vec& threshold() const noexcept { return tau_; }
+  [[nodiscard]] std::size_t previous_window() const noexcept { return prev_window_; }
+
+ private:
+  Vec tau_;
+  std::size_t max_window_;
+  bool complementary_;
+  std::size_t prev_window_ = 0;
+  bool first_step_ = true;
+};
+
+}  // namespace awd::detect

@@ -1,0 +1,46 @@
+#include "detect/chi2.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace awd::detect {
+
+Chi2Detector::Chi2Detector(Vec sigma, double threshold, std::size_t window)
+    : inv_var_(sigma.size()), threshold_(threshold), window_(window) {
+  if (sigma.empty()) throw std::invalid_argument("Chi2Detector: empty sigma");
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    if (sigma[i] <= 0.0) {
+      throw std::invalid_argument("Chi2Detector: sigma entries must be positive");
+    }
+    inv_var_[i] = 1.0 / (sigma[i] * sigma[i]);
+  }
+}
+
+double Chi2Detector::normalized_square(const Vec& residual) const {
+  if (residual.size() != inv_var_.size()) {
+    throw std::invalid_argument("Chi2Detector: residual dimension mismatch");
+  }
+  double g = 0.0;
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    g += residual[i] * residual[i] * inv_var_[i];
+  }
+  return g;
+}
+
+Chi2Decision Chi2Detector::step(const DataLogger& logger, std::size_t t) const {
+  if (!logger.has(t)) throw std::out_of_range("Chi2Detector::step: step not retained");
+  const std::size_t lo_wanted = t >= window_ ? t - window_ : 0;
+  const std::size_t lo = std::max(lo_wanted, logger.earliest());
+
+  Chi2Decision d;
+  std::size_t count = 0;
+  for (std::size_t s = lo; s <= t; ++s) {
+    d.statistic += normalized_square(logger.entry(s).residual);
+    ++count;
+  }
+  d.statistic /= static_cast<double>(count);
+  d.alarm = d.statistic > threshold_;
+  return d;
+}
+
+}  // namespace awd::detect

@@ -1,0 +1,44 @@
+// chi2.hpp — chi-squared residual detector (extension baseline).
+//
+// The other standard comparator from the physics-based detection
+// literature: normalize each residual dimension by its nominal standard
+// deviation, sum the squares, and compare against a chi-squared-style
+// threshold.  An optional window averages the statistic over the last
+// w + 1 steps, making it directly comparable to the paper's window test.
+#pragma once
+
+#include "detect/logger.hpp"
+
+namespace awd::detect {
+
+/// Outcome of one chi-squared evaluation.
+struct Chi2Decision {
+  bool alarm = false;
+  double statistic = 0.0;  ///< windowed mean of zᵀ diag(σ²)⁻¹ z
+};
+
+/// Windowed chi-squared detector on the residual stream.
+class Chi2Detector {
+ public:
+  /// @param sigma     per-dimension nominal residual standard deviation (> 0)
+  /// @param threshold alarm level on the (windowed) statistic
+  /// @param window    averaging window size (0 = instantaneous)
+  /// Throws std::invalid_argument on empty sigma or non-positive entries.
+  Chi2Detector(Vec sigma, double threshold, std::size_t window = 0);
+
+  /// Evaluate at step t from the logger's residual history.
+  [[nodiscard]] Chi2Decision step(const DataLogger& logger, std::size_t t) const;
+
+  /// Statistic of a single residual (no windowing).
+  [[nodiscard]] double normalized_square(const Vec& residual) const;
+
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+ private:
+  Vec inv_var_;  ///< 1/σ² per dimension
+  double threshold_;
+  std::size_t window_;
+};
+
+}  // namespace awd::detect

@@ -1,0 +1,41 @@
+#include "detect/cusum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace awd::detect {
+
+CusumDetector::CusumDetector(Vec drift, Vec threshold, bool reset_on_alarm)
+    : drift_(std::move(drift)),
+      threshold_(std::move(threshold)),
+      reset_on_alarm_(reset_on_alarm) {
+  if (drift_.empty()) throw std::invalid_argument("CusumDetector: empty drift");
+  if (drift_.size() != threshold_.size()) {
+    throw std::invalid_argument("CusumDetector: drift/threshold dimension mismatch");
+  }
+  s_ = Vec(drift_.size());
+}
+
+CusumDecision CusumDetector::step(const DataLogger& logger, std::size_t t) {
+  return update(logger.entry(t).residual);
+}
+
+CusumDecision CusumDetector::update(const Vec& residual) {
+  if (residual.size() != s_.size()) {
+    throw std::invalid_argument("CusumDetector::update: residual dimension mismatch");
+  }
+  CusumDecision d;
+  for (std::size_t i = 0; i < s_.size(); ++i) {
+    s_[i] = std::max(0.0, s_[i] + residual[i] - drift_[i]);
+    if (s_[i] > threshold_[i]) d.alarm = true;
+  }
+  d.statistic = s_;
+  if (d.alarm && reset_on_alarm_) s_ = Vec(s_.size());
+  return d;
+}
+
+void CusumDetector::reset() noexcept {
+  for (std::size_t i = 0; i < s_.size(); ++i) s_[i] = 0.0;
+}
+
+}  // namespace awd::detect

@@ -1,0 +1,47 @@
+// cusum.hpp — CUSUM residual detector (extension baseline).
+//
+// The classic cumulative-sum detector the paper's related work ([2], [10])
+// analyses: per dimension, S_t = max(0, S_{t-1} + z_t - b) with drift b and
+// alarm threshold h.  Provided so the benchmark harness can compare the
+// adaptive window detector against a standard alternative on the same
+// traces.
+#pragma once
+
+#include "detect/logger.hpp"
+
+namespace awd::detect {
+
+/// Outcome of one CUSUM step.
+struct CusumDecision {
+  bool alarm = false;
+  Vec statistic;  ///< per-dimension S_t after the update
+};
+
+/// Per-dimension one-sided CUSUM on the residual stream.
+class CusumDetector {
+ public:
+  /// @param drift     per-dimension drift b (subtracted each step)
+  /// @param threshold per-dimension alarm level h
+  /// @param reset_on_alarm restart the statistic after an alarm fires
+  /// Throws std::invalid_argument on empty/mismatched parameters.
+  CusumDetector(Vec drift, Vec threshold, bool reset_on_alarm = true);
+
+  /// Consume the residual for step t from the logger and update.
+  [[nodiscard]] CusumDecision step(const DataLogger& logger, std::size_t t);
+
+  /// Consume a raw residual directly (for callers without a logger).
+  [[nodiscard]] CusumDecision update(const Vec& residual);
+
+  void reset() noexcept;
+
+  [[nodiscard]] const Vec& statistic() const noexcept { return s_; }
+
+ private:
+  Vec drift_;
+  Vec threshold_;
+  bool reset_on_alarm_;
+  Vec s_;
+  bool initialized_ = false;
+};
+
+}  // namespace awd::detect

@@ -1,0 +1,16 @@
+#include "detect/fixed.hpp"
+
+#include <stdexcept>
+
+namespace awd::detect {
+
+FixedWindowDetector::FixedWindowDetector(Vec tau, std::size_t window)
+    : tau_(std::move(tau)), window_(window) {
+  if (tau_.empty()) throw std::invalid_argument("FixedWindowDetector: empty threshold");
+}
+
+WindowDecision FixedWindowDetector::step(const DataLogger& logger, std::size_t t) const {
+  return evaluate_window(logger, t, window_, tau_);
+}
+
+}  // namespace awd::detect

@@ -1,0 +1,30 @@
+// fixed.hpp — fixed-window baseline detector.
+//
+// The comparison strategy in the paper's evaluation (Table 2, Fig. 6,
+// Fig. 8): the basic window test of §4.1 with a window size chosen offline
+// and never adapted.
+#pragma once
+
+#include "detect/window_detector.hpp"
+
+namespace awd::detect {
+
+/// Window-based detector with a constant window size.
+class FixedWindowDetector {
+ public:
+  /// @param tau    per-dimension residual threshold
+  /// @param window fixed window size (0 = instantaneous residual test)
+  FixedWindowDetector(Vec tau, std::size_t window);
+
+  /// Evaluate at step t using the shared data logger.
+  [[nodiscard]] WindowDecision step(const DataLogger& logger, std::size_t t) const;
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] const Vec& threshold() const noexcept { return tau_; }
+
+ private:
+  Vec tau_;
+  std::size_t window_;
+};
+
+}  // namespace awd::detect

@@ -1,0 +1,102 @@
+#include "detect/logger.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace awd::detect {
+
+DataLogger::DataLogger(models::DiscreteLti model, std::size_t max_window)
+    : model_(std::move(model)), max_window_(max_window) {
+  model_.validate();
+  if (max_window_ == 0) throw std::invalid_argument("DataLogger: max_window must be >= 1");
+  // w_m + 1 points inside a maximal window plus the trusted seed outside it.
+  buf_.resize(max_window_ + 2);
+}
+
+const LogEntry& DataLogger::log(std::size_t t, const Vec& estimate, const Vec& control) {
+  if (estimate.size() != model_.state_dim()) {
+    throw std::invalid_argument("DataLogger::log: estimate dimension mismatch");
+  }
+  if (control.size() != model_.input_dim()) {
+    throw std::invalid_argument("DataLogger::log: control dimension mismatch");
+  }
+  if (size_ > 0 && t != latest_ + 1) {
+    throw std::invalid_argument("DataLogger::log: steps must be contiguous (expected " +
+                                std::to_string(latest_ + 1) + ", got " + std::to_string(t) +
+                                ")");
+  }
+
+  LogEntry e;
+  e.t = t;
+  e.estimate = estimate;
+  e.control = control;
+  if (size_ == 0) {
+    // No previous step: define the prediction as the estimate itself so the
+    // first residual is zero.
+    e.predicted = estimate;
+    e.residual = Vec(estimate.size());
+  } else {
+    const LogEntry& prev = slot(latest_);
+    e.predicted = model_.step(prev.estimate, prev.control);
+    e.residual = (e.predicted - estimate).cwise_abs();
+  }
+
+  LogEntry& dst = buf_[t % buf_.size()];
+  dst = std::move(e);
+  latest_ = t;
+  if (size_ < buf_.size()) ++size_;  // Release happens implicitly: the ring overwrites
+  return dst;
+}
+
+bool DataLogger::has(std::size_t t) const noexcept {
+  if (size_ == 0 || t > latest_) return false;
+  return t + size_ > latest_;  // t >= latest - size + 1 without underflow
+}
+
+const LogEntry& DataLogger::entry(std::size_t t) const {
+  if (!has(t)) {
+    throw std::out_of_range("DataLogger::entry: step " + std::to_string(t) +
+                            " not retained");
+  }
+  return slot(t);
+}
+
+std::size_t DataLogger::earliest() const {
+  if (size_ == 0) throw std::logic_error("DataLogger::earliest: empty");
+  return latest_ - size_ + 1;
+}
+
+std::size_t DataLogger::latest() const {
+  if (size_ == 0) throw std::logic_error("DataLogger::latest: empty");
+  return latest_;
+}
+
+Vec DataLogger::window_mean(std::size_t t_end, std::size_t w) const {
+  if (!has(t_end)) {
+    throw std::out_of_range("DataLogger::window_mean: t_end not retained");
+  }
+  const std::size_t lo_wanted = t_end >= w ? t_end - w : 0;
+  const std::size_t lo = std::max(lo_wanted, earliest());
+
+  Vec sum(model_.state_dim());
+  std::size_t count = 0;
+  for (std::size_t s = lo; s <= t_end; ++s) {
+    sum += slot(s).residual;
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+std::optional<Vec> DataLogger::trusted_state(std::size_t t, std::size_t w) const {
+  if (t < w + 1) return std::nullopt;
+  const std::size_t seed = t - w - 1;
+  if (!has(seed)) return std::nullopt;
+  return slot(seed).estimate;
+}
+
+void DataLogger::reset() {
+  size_ = 0;
+  latest_ = 0;
+}
+
+}  // namespace awd::detect

@@ -1,0 +1,92 @@
+// logger.hpp — the Data Logger (§5, Fig. 5).
+//
+// A sliding-window log of state estimates and residuals sized to the
+// maximum detection window w_m.  At each control step the protocol:
+//   * Buffer  — compute x̃_t = A x̄_{t-1} + B u_{t-1} and the residual
+//               z_t = |x̃_t - x̄_t| and append them (blue dots in Fig. 5),
+//   * Hold    — keep points that have moved outside the current detection
+//               window; they are trusted and seed the deadline estimator,
+//   * Release — drop points older than t - w_m - 1 (grey dots); they can
+//               no longer be referenced by any window size in [0, w_m].
+//
+// Implemented as a fixed-capacity ring buffer (capacity w_m + 2: the w_m+1
+// points a maximal window can cover, plus the trusted seed just outside
+// it).  Entries are indexed by absolute control step.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "models/lti.hpp"
+
+namespace awd::detect {
+
+using linalg::Vec;
+
+/// One logged control step.
+struct LogEntry {
+  std::size_t t = 0;  ///< absolute control step
+  Vec estimate;       ///< x̄_t
+  Vec control;        ///< u_t (needed to predict step t+1)
+  Vec predicted;      ///< x̃_t
+  Vec residual;       ///< z_t = |x̃_t - x̄_t|
+};
+
+/// Sliding-window data logger.
+class DataLogger {
+ public:
+  /// @param model      plant model used for the one-step prediction
+  /// @param max_window maximum detection window size w_m (>= 1)
+  /// Throws std::invalid_argument on w_m == 0 or invalid model.
+  DataLogger(models::DiscreteLti model, std::size_t max_window);
+
+  /// Record step t.  Steps must be logged contiguously (t == latest + 1,
+  /// or any t for the first entry); throws std::invalid_argument otherwise.
+  /// Returns the stored entry (with prediction and residual filled in).
+  const LogEntry& log(std::size_t t, const Vec& estimate, const Vec& control);
+
+  /// True iff step t is still retained.
+  [[nodiscard]] bool has(std::size_t t) const noexcept;
+
+  /// Entry for step t.  Throws std::out_of_range if released or not yet
+  /// logged.
+  [[nodiscard]] const LogEntry& entry(std::size_t t) const;
+
+  /// Oldest / newest retained step.  Throws std::logic_error when empty.
+  [[nodiscard]] std::size_t earliest() const;
+  [[nodiscard]] std::size_t latest() const;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t max_window() const noexcept { return max_window_; }
+
+  /// Mean residual over the detection window [t_end - w, t_end] (§4.1).
+  /// Points older than the earliest retained entry are skipped (at stream
+  /// start the window is partially filled); the mean is over the points
+  /// actually present.  Throws std::out_of_range if t_end itself is not
+  /// retained.
+  [[nodiscard]] Vec window_mean(std::size_t t_end, std::size_t w) const;
+
+  /// The trusted seed for deadline estimation at time t with window w:
+  /// the estimate x̄_{t-w-1} that just left the detection window (§3.3.1),
+  /// or nullopt while the stream is younger than w + 1 steps.
+  [[nodiscard]] std::optional<Vec> trusted_state(std::size_t t, std::size_t w) const;
+
+  /// Forget everything (new run).
+  void reset();
+
+ private:
+  [[nodiscard]] const LogEntry& slot(std::size_t t) const noexcept {
+    return buf_[t % buf_.size()];
+  }
+
+  models::DiscreteLti model_;
+  std::size_t max_window_;
+  std::vector<LogEntry> buf_;  ///< ring, indexed by t mod capacity
+  std::size_t size_ = 0;       ///< retained entry count
+  std::size_t latest_ = 0;     ///< absolute step of newest entry (valid when size_ > 0)
+};
+
+}  // namespace awd::detect

@@ -1,0 +1,18 @@
+#include "detect/window_detector.hpp"
+
+#include <stdexcept>
+
+namespace awd::detect {
+
+WindowDecision evaluate_window(const DataLogger& logger, std::size_t t_end, std::size_t w,
+                               const Vec& tau) {
+  WindowDecision d;
+  d.mean_residual = logger.window_mean(t_end, w);
+  if (tau.size() != d.mean_residual.size()) {
+    throw std::invalid_argument("evaluate_window: threshold dimension mismatch");
+  }
+  d.alarm = d.mean_residual.any_exceeds(tau);
+  return d;
+}
+
+}  // namespace awd::detect

@@ -1,0 +1,24 @@
+// window_detector.hpp — the basic window-based detection test (§4.1).
+//
+// For window size w at time t, compute the average residual over
+// [t - w, t] (w + 1 points; a size-0 window tests the instantaneous
+// residual) and raise an alarm when any dimension exceeds its threshold τ.
+#pragma once
+
+#include "detect/logger.hpp"
+
+namespace awd::detect {
+
+/// Outcome of one window evaluation.
+struct WindowDecision {
+  bool alarm = false;  ///< any dimension of the mean residual exceeded τ
+  Vec mean_residual;   ///< z_t^avg over the (possibly partially filled) window
+};
+
+/// Evaluate the window test at t_end with window size w against the
+/// per-dimension threshold tau.  Throws std::invalid_argument on a τ size
+/// mismatch, std::out_of_range if t_end is not in the logger.
+[[nodiscard]] WindowDecision evaluate_window(const DataLogger& logger, std::size_t t_end,
+                                             std::size_t w, const Vec& tau);
+
+}  // namespace awd::detect

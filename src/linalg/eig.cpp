@@ -1,0 +1,207 @@
+#include "linalg/eig.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace awd::linalg {
+
+namespace {
+
+/// Eigenvalues of a real 2x2 block.
+void eig2x2(double a, double b, double c, double d,
+            std::vector<std::complex<double>>& out) {
+  const double tr = a + d;
+  const double det = a * d - b * c;
+  const double disc = tr * tr / 4.0 - det;
+  if (disc >= 0.0) {
+    const double s = std::sqrt(disc);
+    out.emplace_back(tr / 2.0 + s, 0.0);
+    out.emplace_back(tr / 2.0 - s, 0.0);
+  } else {
+    const double s = std::sqrt(-disc);
+    out.emplace_back(tr / 2.0, s);
+    out.emplace_back(tr / 2.0, -s);
+  }
+}
+
+}  // namespace
+
+Matrix hessenberg(const Matrix& a) {
+  if (!a.is_square()) throw std::invalid_argument("hessenberg: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix h = a;
+  if (n < 3) return h;
+
+  // Householder reflectors zeroing column k below the first subdiagonal.
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    double norm_sq = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) norm_sq += h(i, k) * h(i, k);
+    const double alpha = std::sqrt(norm_sq);
+    if (alpha < 1e-300) continue;
+
+    Vec v(n);  // reflector, nonzero only in rows k+1..n-1
+    const double pivot = h(k + 1, k);
+    const double sign = pivot >= 0.0 ? 1.0 : -1.0;
+    v[k + 1] = pivot + sign * alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = h(i, k);
+    double vtv = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vtv += v[i] * v[i];
+    if (vtv < 1e-300) continue;
+    const double beta = 2.0 / vtv;
+
+    // H <- (I - beta v vᵀ) H.
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * h(i, j);
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) h(i, j) -= s * v[i];
+    }
+    // H <- H (I - beta v vᵀ).
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) s += h(i, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) h(i, j) -= s * v[j];
+    }
+    // Clean the column explicitly (numerical zeros).
+    for (std::size_t i = k + 2; i < n; ++i) h(i, k) = 0.0;
+  }
+  return h;
+}
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  if (!a.is_square()) throw std::invalid_argument("eigenvalues: matrix must be square");
+  const std::size_t n = a.rows();
+  std::vector<std::complex<double>> out;
+  if (n == 0) return out;
+  if (n == 1) {
+    out.emplace_back(a(0, 0), 0.0);
+    return out;
+  }
+
+  Matrix h = hessenberg(a);
+  // Active block is rows/cols [lo, hi] (inclusive); deflate from the bottom.
+  std::size_t hi = n - 1;
+  const double eps = 1e-14;
+  std::size_t iterations_since_deflation = 0;
+  const std::size_t max_iter_per_eig = 60;
+
+  while (true) {
+    // Deflate 1x1 / 2x2 blocks at the bottom.
+    while (true) {
+      if (hi == 0) {
+        out.emplace_back(h(0, 0), 0.0);
+        return out;
+      }
+      const double sub = std::abs(h(hi, hi - 1));
+      const double scale = std::abs(h(hi, hi)) + std::abs(h(hi - 1, hi - 1));
+      if (sub <= eps * std::max(scale, 1e-300)) {
+        out.emplace_back(h(hi, hi), 0.0);
+        --hi;
+        iterations_since_deflation = 0;
+        continue;
+      }
+      if (hi >= 1) {
+        const double sub2 = hi >= 2 ? std::abs(h(hi - 1, hi - 2)) : 0.0;
+        const double scale2 =
+            std::abs(h(hi - 1, hi - 1)) + (hi >= 2 ? std::abs(h(hi - 2, hi - 2)) : 0.0);
+        if (hi == 1 || sub2 <= eps * std::max(scale2, 1e-300)) {
+          // Isolated trailing 2x2 block.
+          eig2x2(h(hi - 1, hi - 1), h(hi - 1, hi), h(hi, hi - 1), h(hi, hi), out);
+          if (hi == 1) return out;
+          hi -= 2;
+          iterations_since_deflation = 0;
+          continue;
+        }
+      }
+      break;
+    }
+
+    if (++iterations_since_deflation > max_iter_per_eig) {
+      throw std::runtime_error("eigenvalues: QR iteration failed to converge");
+    }
+
+    // Find the start of the active unreduced block.
+    std::size_t lo = hi;
+    while (lo > 0) {
+      const double sub = std::abs(h(lo, lo - 1));
+      const double scale = std::abs(h(lo, lo)) + std::abs(h(lo - 1, lo - 1));
+      if (sub <= eps * std::max(scale, 1e-300)) {
+        h(lo, lo - 1) = 0.0;
+        break;
+      }
+      --lo;
+    }
+
+    // Francis implicit double shift on the block [lo, hi].  Shift pair =
+    // eigenvalues of the trailing 2x2; exceptional shifts every 10 stalls.
+    double s, t;
+    if (iterations_since_deflation % 11 == 10) {
+      const double w = std::abs(h(hi, hi - 1)) + std::abs(h(hi - 1, hi - 2 >= lo ? hi - 2 : lo));
+      s = 1.5 * w;
+      t = w * w;
+    } else {
+      s = h(hi - 1, hi - 1) + h(hi, hi);                                        // trace
+      t = h(hi - 1, hi - 1) * h(hi, hi) - h(hi - 1, hi) * h(hi, hi - 1);        // det
+    }
+
+    // First column of (H - λ1 I)(H - λ2 I) = H² - s H + t I within the block.
+    double x = h(lo, lo) * h(lo, lo) + h(lo, lo + 1) * h(lo + 1, lo) - s * h(lo, lo) + t;
+    double y = h(lo + 1, lo) * (h(lo, lo) + h(lo + 1, lo + 1) - s);
+    double z = (lo + 2 <= hi) ? h(lo + 2, lo + 1) * h(lo + 1, lo) : 0.0;
+
+    for (std::size_t k = lo; k + 1 <= hi; ++k) {
+      // Householder reflector annihilating (y, z) against x.
+      const double norm = std::sqrt(x * x + y * y + z * z);
+      if (norm < 1e-300) break;
+      const double sign = x >= 0.0 ? 1.0 : -1.0;
+      double v0 = x + sign * norm;
+      double v1 = y;
+      double v2 = z;
+      const double vtv = v0 * v0 + v1 * v1 + v2 * v2;
+      if (vtv < 1e-300) continue;
+      const double beta = 2.0 / vtv;
+
+      const std::size_t r_end = std::min(k + 2, hi);  // rows touched: k..r_end
+      // Apply from the left: rows k..r_end, all columns max(lo, k-1)..n-1.
+      const std::size_t col0 = k == lo ? lo : k - 1;
+      for (std::size_t j = col0; j < n; ++j) {
+        double sum = v0 * h(k, j) + v1 * h(k + 1, j);
+        if (r_end == k + 2) sum += v2 * h(k + 2, j);
+        sum *= beta;
+        h(k, j) -= sum * v0;
+        h(k + 1, j) -= sum * v1;
+        if (r_end == k + 2) h(k + 2, j) -= sum * v2;
+      }
+      // Apply from the right: columns k..r_end, rows 0..min(hi, k+3).
+      const std::size_t row_end = std::min(hi, k + 3);
+      for (std::size_t i = 0; i <= row_end; ++i) {
+        double sum = v0 * h(i, k) + v1 * h(i, k + 1);
+        if (r_end == k + 2) sum += v2 * h(i, k + 2);
+        sum *= beta;
+        h(i, k) -= sum * v0;
+        h(i, k + 1) -= sum * v1;
+        if (r_end == k + 2) h(i, k + 2) -= sum * v2;
+      }
+
+      // Next bulge column.
+      if (k + 1 <= hi) {
+        x = h(k + 1, k);
+        y = (k + 2 <= hi) ? h(k + 2, k) : 0.0;
+        z = (k + 3 <= hi) ? h(k + 3, k) : 0.0;
+      }
+    }
+  }
+}
+
+double spectral_radius(const Matrix& a) {
+  double r = 0.0;
+  for (const auto& ev : eigenvalues(a)) r = std::max(r, std::abs(ev));
+  return r;
+}
+
+bool is_schur_stable(const Matrix& a, double margin) {
+  return spectral_radius(a) < 1.0 - margin;
+}
+
+}  // namespace awd::linalg

@@ -1,0 +1,34 @@
+// eig.hpp — eigenvalues of small dense real matrices.
+//
+// Used by the model layer to verify that discretized plants and closed
+// loops are Schur-stable (all |λ| < 1), and by the analysis tooling.
+// Implementation: Householder reduction to upper Hessenberg form followed
+// by the Francis implicit double-shift QR iteration with 1x1/2x2
+// deflation — the standard dense unsymmetric eigenvalue algorithm, sized
+// for the n <= 12 plants in this library.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace awd::linalg {
+
+/// All eigenvalues of a square matrix (with multiplicity, unordered).
+/// Throws std::invalid_argument for non-square input, std::runtime_error
+/// if the QR iteration fails to converge (pathological input).
+[[nodiscard]] std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+/// Spectral radius max |λ|.
+[[nodiscard]] double spectral_radius(const Matrix& a);
+
+/// True iff every eigenvalue lies strictly inside the unit circle
+/// (discrete-time asymptotic stability).
+[[nodiscard]] bool is_schur_stable(const Matrix& a, double margin = 0.0);
+
+/// Reduce to upper Hessenberg form by Householder similarity transforms
+/// (exposed for tests; same eigenvalues as the input).
+[[nodiscard]] Matrix hessenberg(const Matrix& a);
+
+}  // namespace awd::linalg

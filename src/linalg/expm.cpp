@@ -1,0 +1,64 @@
+#include "linalg/expm.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace awd::linalg {
+
+namespace {
+
+// Padé [13/13] coefficients (Higham 2005, Table 2.3 row m=13).
+constexpr std::array<double, 14> kPade13 = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+    1187353796428800.0,  129060195264000.0,   10559470521600.0,
+    670442572800.0,      33522128640.0,       1323241920.0,
+    40840800.0,          960960.0,            16380.0,
+    182.0,               1.0};
+
+// theta_13: ||A||_1 below this needs no scaling for the [13/13] approximant.
+constexpr double kTheta13 = 5.371920351148152;
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  if (!a.is_square()) throw std::invalid_argument("expm: matrix must be square");
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+
+  // Scaling: A / 2^s so that ||A/2^s||_1 <= theta_13.
+  const double norm = a.norm1();
+  int s = 0;
+  if (norm > kTheta13) {
+    s = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
+  }
+  Matrix as = a / std::exp2(s);
+
+  // Padé [13/13]: r(A) = q(A)^{-1} p(A) with
+  //   p(A) = U + V, q(A) = -U + V,
+  //   U = A (b13 A6^2 + b11 A6 A4? ...) — use the standard Higham grouping.
+  const Matrix i = Matrix::identity(n);
+  const Matrix a2 = as * as;
+  const Matrix a4 = a2 * a2;
+  const Matrix a6 = a4 * a2;
+
+  const auto& b = kPade13;
+  const Matrix w1 = a6 * (a6 * b[13] + a4 * b[11] + a2 * b[9]);
+  const Matrix w2 = a6 * b[7] + a4 * b[5] + a2 * b[3] + i * b[1];
+  const Matrix u = as * (w1 + w2);
+
+  const Matrix z1 = a6 * (a6 * b[12] + a4 * b[10] + a2 * b[8]);
+  const Matrix v = z1 + a6 * b[6] + a4 * b[4] + a2 * b[2] + i * b[0];
+
+  const Lu denom(v - u);
+  if (denom.singular()) throw std::domain_error("expm: Padé denominator singular");
+  Matrix r = denom.solve(v + u);
+
+  // Undo the scaling by repeated squaring.
+  for (int k = 0; k < s; ++k) r = r * r;
+  return r;
+}
+
+}  // namespace awd::linalg

@@ -1,0 +1,20 @@
+// expm.hpp — matrix exponential.
+//
+// Needed for exact zero-order-hold discretization of the paper's
+// continuous-time plant models: A_d = e^{A δ}.  Implements the classic
+// scaling-and-squaring algorithm with a [13/13] Padé approximant
+// (Higham, "The Scaling and Squaring Method for the Matrix Exponential
+// Revisited", SIAM J. Matrix Anal. Appl. 2005), which is accurate to near
+// machine precision for the small, well-conditioned matrices used here.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace awd::linalg {
+
+/// e^A for a square matrix A.  Throws std::invalid_argument if A is not
+/// square; throws std::domain_error if the Padé denominator is singular
+/// (cannot happen for finite input after scaling, but guarded anyway).
+[[nodiscard]] Matrix expm(const Matrix& a);
+
+}  // namespace awd::linalg

@@ -1,0 +1,92 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace awd::linalg {
+
+namespace {
+// Relative pivot tolerance: a pivot smaller than this times the largest
+// element of the matrix is treated as zero.
+constexpr double kPivotTol = 1e-13;
+}  // namespace
+
+Lu::Lu(const Matrix& a) : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  if (!a.is_square()) throw std::invalid_argument("Lu: matrix must be square");
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  const double scale = std::max(a.max_abs(), 1.0);
+  double det = 1.0;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: find the largest |entry| in column k at/below row k.
+    std::size_t pivot_row = k;
+    double pivot_val = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > pivot_val) {
+        pivot_val = v;
+        pivot_row = i;
+      }
+    }
+    if (pivot_val <= kPivotTol * scale) {
+      singular_ = true;
+      det_ = 0.0;
+      return;
+    }
+    if (pivot_row != k) {
+      for (std::size_t j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(pivot_row, j));
+      std::swap(perm_[k], perm_[pivot_row]);
+      det = -det;
+    }
+    det *= lu_(k, k);
+    // Eliminate below the pivot, storing multipliers in the L part.
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double m = lu_(i, k) / lu_(k, k);
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n_; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+  det_ = det;
+}
+
+Vec Lu::solve(const Vec& b) const {
+  if (singular_) throw std::domain_error("Lu::solve: matrix is singular");
+  if (b.size() != n_) throw std::invalid_argument("Lu::solve: dimension mismatch");
+
+  // Forward substitution on P b with unit-lower L.
+  Vec y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * y[j];
+    y[i] = s;
+  }
+  // Back substitution with U.
+  Vec x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  if (b.rows() != n_) throw std::invalid_argument("Lu::solve(Matrix): dimension mismatch");
+  Matrix x(n_, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vec xc = solve(b.col_vec(c));
+    for (std::size_t i = 0; i < n_; ++i) x(i, c) = xc[i];
+  }
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(n_)); }
+
+Vec solve(const Matrix& a, const Vec& b) { return Lu(a).solve(b); }
+
+Matrix inverse(const Matrix& a) { return Lu(a).inverse(); }
+
+}  // namespace awd::linalg

@@ -1,0 +1,203 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace awd::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at: index out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at: index out of range");
+  return (*this)(r, c);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vec& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::row(const Vec& v) {
+  Matrix m(1, v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) m(0, i) = v[i];
+  return m;
+}
+
+Matrix Matrix::col(const Vec& v) {
+  Matrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+void Matrix::check_same_shape(const Matrix& o, const char* who) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument(std::string(who) + ": shape mismatch (" +
+                                std::to_string(rows_) + "x" + std::to_string(cols_) +
+                                " vs " + std::to_string(o.rows_) + "x" +
+                                std::to_string(o.cols_) + ")");
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  check_same_shape(o, "Matrix::operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  check_same_shape(o, "Matrix::operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix& Matrix::operator/=(double s) {
+  if (s == 0.0) throw std::invalid_argument("Matrix::operator/=: division by zero");
+  for (double& x : data_) x /= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  if (cols_ != o.rows_) {
+    throw std::invalid_argument("Matrix::operator*: inner dimension mismatch (" +
+                                std::to_string(cols_) + " vs " + std::to_string(o.rows_) + ")");
+  }
+  Matrix r(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        r(i, j) += aik * o(k, j);
+      }
+    }
+  }
+  return r;
+}
+
+Vec Matrix::operator*(const Vec& v) const {
+  if (cols_ != v.size()) {
+    throw std::invalid_argument("Matrix::operator*(Vec): dimension mismatch (" +
+                                std::to_string(cols_) + " vs " + std::to_string(v.size()) + ")");
+  }
+  Vec r(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) r(j, i) = (*this)(i, j);
+  }
+  return r;
+}
+
+Vec Matrix::transpose_times(const Vec& v) const {
+  if (rows_ != v.size()) {
+    throw std::invalid_argument("Matrix::transpose_times: dimension mismatch (" +
+                                std::to_string(rows_) + " vs " + std::to_string(v.size()) + ")");
+  }
+  Vec r(cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    for (std::size_t j = 0; j < cols_; ++j) r[j] += (*this)(i, j) * vi;
+  }
+  return r;
+}
+
+Matrix Matrix::pow(unsigned k) const {
+  if (!is_square()) throw std::invalid_argument("Matrix::pow: matrix must be square");
+  Matrix result = identity(rows_);
+  Matrix base = *this;
+  // Exponentiation by squaring.
+  while (k > 0) {
+    if (k & 1u) result = result * base;
+    k >>= 1u;
+    if (k > 0) base = base * base;
+  }
+  return result;
+}
+
+Vec Matrix::row_vec(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row_vec: index out of range");
+  Vec v(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) v[j] = (*this)(r, j);
+  return v;
+}
+
+Vec Matrix::col_vec(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col_vec: index out of range");
+  Vec v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, c);
+  return v;
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double Matrix::norm1() const noexcept {
+  double best = 0.0;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) s += std::abs((*this)(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double Matrix::norm_frobenius() const noexcept {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::trace() const {
+  if (!is_square()) throw std::invalid_argument("Matrix::trace: matrix must be square");
+  double s = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, i);
+  return s;
+}
+
+}  // namespace awd::linalg

@@ -1,0 +1,118 @@
+// matrix.hpp — dense row-major real matrix.
+//
+// Sized for control-engineering workloads: every plant in the paper has
+// n <= 12 states, so the kernels are straightforward O(n^3) loops with no
+// blocking.  Dimension mismatches throw; arithmetic on valid shapes is
+// exception-free.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace awd::linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+
+  /// Construct from nested braces: Matrix{{1,2},{3,4}}.  All rows must have
+  /// equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool is_square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
+
+  /// n x n identity.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Square matrix with `d` on the diagonal (the paper's Q = diag(γ1..γm)).
+  [[nodiscard]] static Matrix diagonal(const Vec& d);
+
+  /// Row vector (1 x n) from a Vec.
+  [[nodiscard]] static Matrix row(const Vec& v);
+
+  /// Column vector (n x 1) from a Vec.
+  [[nodiscard]] static Matrix col(const Vec& v);
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s) noexcept;
+  Matrix& operator/=(double s);
+
+  [[nodiscard]] friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  [[nodiscard]] friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  [[nodiscard]] friend Matrix operator*(Matrix a, double s) noexcept { return a *= s; }
+  [[nodiscard]] friend Matrix operator*(double s, Matrix a) noexcept { return a *= s; }
+  [[nodiscard]] friend Matrix operator/(Matrix a, double s) { return a /= s; }
+  [[nodiscard]] friend Matrix operator-(Matrix a) noexcept { return a *= -1.0; }
+
+  [[nodiscard]] friend bool operator==(const Matrix& a, const Matrix& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  /// Matrix-matrix product.
+  [[nodiscard]] Matrix operator*(const Matrix& o) const;
+
+  /// Matrix-vector product.
+  [[nodiscard]] Vec operator*(const Vec& v) const;
+
+  /// Transpose.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// vᵀ·M as a Vec (equals Mᵀ v); used for support directions (A^i)ᵀ l.
+  [[nodiscard]] Vec transpose_times(const Vec& v) const;
+
+  /// Integer matrix power M^k, k >= 0 (square matrices only).
+  [[nodiscard]] Matrix pow(unsigned k) const;
+
+  /// Extract row r as a Vec.
+  [[nodiscard]] Vec row_vec(std::size_t r) const;
+
+  /// Extract column c as a Vec.
+  [[nodiscard]] Vec col_vec(std::size_t c) const;
+
+  /// Max absolute element.
+  [[nodiscard]] double max_abs() const noexcept;
+
+  /// Induced 1-norm (max column sum of absolute values); used by expm.
+  [[nodiscard]] double norm1() const noexcept;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm_frobenius() const noexcept;
+
+  /// Sum of diagonal entries (square matrices only).
+  [[nodiscard]] double trace() const;
+
+ private:
+  void check_same_shape(const Matrix& o, const char* who) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace awd::linalg

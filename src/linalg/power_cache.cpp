@@ -1,0 +1,23 @@
+#include "linalg/power_cache.hpp"
+
+#include <stdexcept>
+
+namespace awd::linalg {
+
+PowerCache::PowerCache(Matrix a) : base_(std::move(a)) {
+  if (!base_.is_square()) throw std::invalid_argument("PowerCache: matrix must be square");
+  powers_.push_back(Matrix::identity(base_.rows()));
+}
+
+const Matrix& PowerCache::power(std::size_t k) {
+  reserve(k);
+  return powers_[k];
+}
+
+void PowerCache::reserve(std::size_t k) {
+  while (powers_.size() <= k) {
+    powers_.push_back(powers_.back() * base_);
+  }
+}
+
+}  // namespace awd::linalg

@@ -1,0 +1,40 @@
+// power_cache.hpp — lazy cache of integer powers A^0, A^1, ..., A^k.
+//
+// The reachability bounds in Eq. (4)/(5) of the paper sum terms built from
+// A^i for i up to the maximum window size, at every control period.
+// Recomputing powers each step would dominate the estimator's cost; this
+// cache computes each power once (incrementally: A^{k+1} = A^k * A) and
+// hands out const references.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace awd::linalg {
+
+/// Incrementally-grown cache of powers of a fixed square matrix.
+class PowerCache {
+ public:
+  /// Throws std::invalid_argument if `a` is not square.
+  explicit PowerCache(Matrix a);
+
+  /// A^k, computing and memoizing powers up to k on first request.
+  /// The reference stays valid until the next call that grows the cache.
+  [[nodiscard]] const Matrix& power(std::size_t k);
+
+  /// Pre-populate powers 0..k (useful to pay the cost up front).
+  void reserve(std::size_t k);
+
+  /// Number of powers currently cached (highest exponent + 1).
+  [[nodiscard]] std::size_t cached_count() const noexcept { return powers_.size(); }
+
+  [[nodiscard]] const Matrix& base() const noexcept { return base_; }
+
+ private:
+  Matrix base_;
+  std::vector<Matrix> powers_;  // powers_[k] == base_^k
+};
+
+}  // namespace awd::linalg

@@ -1,0 +1,50 @@
+#include "models/discretize.hpp"
+
+#include <stdexcept>
+
+#include "linalg/expm.hpp"
+
+namespace awd::models {
+
+DiscreteLti discretize_zoh(const ContinuousLti& sys, double dt) {
+  sys.validate();
+  if (dt <= 0.0) throw std::invalid_argument("discretize_zoh: dt must be positive");
+
+  const std::size_t n = sys.state_dim();
+  const std::size_t m = sys.input_dim();
+
+  // Augmented matrix [[A, B], [0, 0]] scaled by dt.
+  Matrix aug(n + m, n + m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug(i, j) = sys.A(i, j) * dt;
+    for (std::size_t j = 0; j < m; ++j) aug(i, n + j) = sys.B(i, j) * dt;
+  }
+  const Matrix e = linalg::expm(aug);
+
+  DiscreteLti d;
+  d.A = Matrix(n, n);
+  d.B = Matrix(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) d.A(i, j) = e(i, j);
+    for (std::size_t j = 0; j < m; ++j) d.B(i, j) = e(i, n + j);
+  }
+  d.dt = dt;
+  d.name = sys.name;
+  d.state_names = sys.state_names;
+  return d;
+}
+
+DiscreteLti discretize_euler(const ContinuousLti& sys, double dt) {
+  sys.validate();
+  if (dt <= 0.0) throw std::invalid_argument("discretize_euler: dt must be positive");
+
+  DiscreteLti d;
+  d.A = Matrix::identity(sys.state_dim()) + sys.A * dt;
+  d.B = sys.B * dt;
+  d.dt = dt;
+  d.name = sys.name;
+  d.state_names = sys.state_names;
+  return d;
+}
+
+}  // namespace awd::models

@@ -1,0 +1,22 @@
+// discretize.hpp — continuous → discrete conversion at a control period.
+//
+// Zero-order hold (the control input is constant over each period, which is
+// exactly how the paper's controller applies u_t) via the augmented-matrix
+// exponential trick:
+//     exp([[A, B],[0, 0]] δ) = [[A_d, B_d],[0, I]].
+// A forward-Euler variant is provided for cross-checking and for callers
+// that want the cheaper approximation.
+#pragma once
+
+#include "models/lti.hpp"
+
+namespace awd::models {
+
+/// Exact zero-order-hold discretization at step dt.
+/// Throws std::invalid_argument on invalid model or dt <= 0.
+[[nodiscard]] DiscreteLti discretize_zoh(const ContinuousLti& sys, double dt);
+
+/// First-order (forward Euler) discretization: A_d = I + A dt, B_d = B dt.
+[[nodiscard]] DiscreteLti discretize_euler(const ContinuousLti& sys, double dt);
+
+}  // namespace awd::models

@@ -1,0 +1,32 @@
+#include "models/lti.hpp"
+
+#include <stdexcept>
+
+namespace awd::models {
+
+void ContinuousLti::validate() const {
+  if (!A.is_square()) throw std::invalid_argument(name + ": A must be square");
+  if (B.rows() != A.rows()) {
+    throw std::invalid_argument(name + ": B row count must match state dimension");
+  }
+  if (B.cols() == 0) throw std::invalid_argument(name + ": input dimension must be positive");
+  if (!state_names.empty() && state_names.size() != A.rows()) {
+    throw std::invalid_argument(name + ": state_names size must match state dimension");
+  }
+}
+
+void DiscreteLti::validate() const {
+  if (!A.is_square()) throw std::invalid_argument(name + ": A must be square");
+  if (B.rows() != A.rows()) {
+    throw std::invalid_argument(name + ": B row count must match state dimension");
+  }
+  if (B.cols() == 0) throw std::invalid_argument(name + ": input dimension must be positive");
+  if (dt <= 0.0) throw std::invalid_argument(name + ": dt must be positive");
+  if (!state_names.empty() && state_names.size() != A.rows()) {
+    throw std::invalid_argument(name + ": state_names size must match state dimension");
+  }
+}
+
+Vec DiscreteLti::step(const Vec& x, const Vec& u) const { return A * x + B * u; }
+
+}  // namespace awd::models

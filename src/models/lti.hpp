@@ -1,0 +1,54 @@
+// lti.hpp — linear time-invariant system models.
+//
+// The paper (§2, Eq. 1) works with a discrete LTI plant
+//     x_{t+1} = A x_t + B u_t + v_t,
+// obtained by discretizing a continuous-time physical model at the control
+// period δ (Table 1).  Both representations live here.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+
+namespace awd::models {
+
+using linalg::Matrix;
+using linalg::Vec;
+
+/// Continuous-time LTI model  ẋ = A x + B u.
+struct ContinuousLti {
+  Matrix A;                              ///< n x n state matrix
+  Matrix B;                              ///< n x m input matrix
+  std::string name;                      ///< human-readable identifier
+  std::vector<std::string> state_names;  ///< optional, size n when present
+
+  /// Validate shapes; throws std::invalid_argument on inconsistency.
+  void validate() const;
+
+  [[nodiscard]] std::size_t state_dim() const noexcept { return A.rows(); }
+  [[nodiscard]] std::size_t input_dim() const noexcept { return B.cols(); }
+};
+
+/// Discrete-time LTI model  x_{t+1} = A x_t + B u_t  with step size dt.
+struct DiscreteLti {
+  Matrix A;                              ///< n x n state matrix
+  Matrix B;                              ///< n x m input matrix
+  double dt = 0.0;                       ///< control period δ in seconds
+  std::string name;
+  std::vector<std::string> state_names;
+
+  /// Validate shapes and dt > 0; throws std::invalid_argument.
+  void validate() const;
+
+  [[nodiscard]] std::size_t state_dim() const noexcept { return A.rows(); }
+  [[nodiscard]] std::size_t input_dim() const noexcept { return B.cols(); }
+
+  /// One noise-free step: A x + B u.  This is also the predictor x̃ used by
+  /// the Data Logger (§5).
+  [[nodiscard]] Vec step(const Vec& x, const Vec& u) const;
+};
+
+}  // namespace awd::models

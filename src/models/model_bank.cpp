@@ -1,0 +1,110 @@
+#include "models/model_bank.hpp"
+
+namespace awd::models {
+
+ContinuousLti aircraft_pitch() {
+  // CTMS "Aircraft Pitch: System Modeling" — linearized longitudinal
+  // dynamics of a Boeing-class aircraft at cruise.
+  ContinuousLti sys;
+  sys.A = Matrix{{-0.313, 56.7, 0.0},
+                 {-0.0139, -0.426, 0.0},
+                 {0.0, 56.7, 0.0}};
+  sys.B = Matrix{{0.232}, {0.0203}, {0.0}};
+  sys.name = "aircraft_pitch";
+  sys.state_names = {"angle_of_attack", "pitch_rate", "pitch_angle"};
+  return sys;
+}
+
+ContinuousLti vehicle_turning() {
+  // Kinematic steering at v = 5 m/s with wheelbase L = 2.5 m: the heading
+  // deviation integrates (v/L) times the commanded steering angle.
+  ContinuousLti sys;
+  sys.A = Matrix{{0.0}};
+  sys.B = Matrix{{2.0}};
+  sys.name = "vehicle_turning";
+  sys.state_names = {"heading"};
+  return sys;
+}
+
+ContinuousLti series_rlc() {
+  // Series RLC with R = 1 Ω, L = 0.5 H, C = 0.1 F; source voltage input.
+  //   v̇_C = i / C
+  //   i̇  = (-v_C - R i + u) / L
+  constexpr double r = 1.0;
+  constexpr double l = 0.5;
+  constexpr double c = 0.1;
+  ContinuousLti sys;
+  sys.A = Matrix{{0.0, 1.0 / c},
+                 {-1.0 / l, -r / l}};
+  sys.B = Matrix{{0.0}, {1.0 / l}};
+  sys.name = "series_rlc";
+  sys.state_names = {"capacitor_voltage", "current"};
+  return sys;
+}
+
+ContinuousLti dc_motor_position() {
+  // CTMS "DC Motor Position: System Modeling".
+  constexpr double j = 0.01;   // rotor inertia (kg m^2)
+  constexpr double b = 0.1;    // viscous friction (N m s)
+  constexpr double k = 0.01;   // motor torque / back-emf constant
+  constexpr double r = 1.0;    // armature resistance (ohm)
+  constexpr double l = 0.5;    // armature inductance (H)
+  ContinuousLti sys;
+  sys.A = Matrix{{0.0, 1.0, 0.0},
+                 {0.0, -b / j, k / j},
+                 {0.0, -k / l, -r / l}};
+  sys.B = Matrix{{0.0}, {0.0}, {1.0 / l}};
+  sys.name = "dc_motor_position";
+  sys.state_names = {"position", "speed", "current"};
+  return sys;
+}
+
+ContinuousLti quadrotor() {
+  // Sabatino (2015) hover linearization.  State ordering:
+  //   [x, y, z, phi, theta, psi, u, v, w, p, q, r]
+  // position, attitude, linear velocity, angular velocity.  Inputs:
+  //   [Δf_t (thrust deviation), tau_phi, tau_theta, tau_psi].
+  constexpr double g = 9.81;
+  constexpr double mass = 0.468;
+  constexpr double ix = 4.856e-3;
+  constexpr double iy = 4.856e-3;
+  constexpr double iz = 8.801e-3;
+
+  Matrix a(12, 12);
+  // Kinematics: position rates = linear velocities, attitude rates = body rates.
+  a(0, 6) = 1.0;   // ẋ = u
+  a(1, 7) = 1.0;   // ẏ = v
+  a(2, 8) = 1.0;   // ż = w
+  a(3, 9) = 1.0;   // φ̇ = p
+  a(4, 10) = 1.0;  // θ̇ = q
+  a(5, 11) = 1.0;  // ψ̇ = r
+  // Translational dynamics linearized at hover.
+  a(6, 4) = -g;  // u̇ = -g θ
+  a(7, 3) = g;   // v̇ =  g φ
+
+  Matrix b(12, 4);
+  b(8, 0) = 1.0 / mass;  // ẇ = Δf_t / m
+  b(9, 1) = 1.0 / ix;    // ṗ = τ_φ / I_x
+  b(10, 2) = 1.0 / iy;   // q̇ = τ_θ / I_y
+  b(11, 3) = 1.0 / iz;   // ṙ = τ_ψ / I_z
+
+  ContinuousLti sys;
+  sys.A = std::move(a);
+  sys.B = std::move(b);
+  sys.name = "quadrotor";
+  sys.state_names = {"x", "y", "z", "phi", "theta", "psi",
+                     "u", "v", "w", "p", "q", "r"};
+  return sys;
+}
+
+DiscreteLti testbed_car() {
+  DiscreteLti sys;
+  sys.A = Matrix{{0.8435}};
+  sys.B = Matrix{{7.7919e-4}};
+  sys.dt = 0.05;  // 20 Hz control loop (§6.2.1)
+  sys.name = "testbed_car";
+  sys.state_names = {"speed_internal"};
+  return sys;
+}
+
+}  // namespace awd::models

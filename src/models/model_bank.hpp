@@ -1,0 +1,56 @@
+// model_bank.hpp — the physical systems evaluated in the paper (§6.1, Table 1).
+//
+// The paper cites [4, 8, 13, 14] for the five plant models without printing
+// their matrices, so we use the standard textbook state-space models for the
+// same physical systems (see DESIGN.md "Substitutions"):
+//
+//   1. Aircraft pitch     — CTMS aircraft pitch model, states [α, q, θ]
+//                           (angle of attack, pitch rate, pitch angle),
+//                           input: elevator deflection.
+//   2. Vehicle turning    — kinematic steering: heading deviation integrates
+//                           the commanded yaw rate (v/L scaling), state [ψ].
+//   3. Series RLC circuit — states [v_C, i] (capacitor voltage, inductor
+//                           current), input: source voltage.
+//   4. DC motor position  — CTMS DC motor position model, states [θ, ω, i],
+//                           input: armature voltage.
+//   5. Quadrotor          — 12-state hover-linearized model (Sabatino 2015),
+//                           states [x y z φ θ ψ u v w p q r], inputs
+//                           [thrust deviation, roll/pitch/yaw torques].
+//
+// The reduced-scale RC-car testbed model of §6.2 was system-identified by
+// the authors and is printed in the paper, so it is reproduced verbatim as
+// a discrete-time model (20 Hz).
+#pragma once
+
+#include "models/lti.hpp"
+
+namespace awd::models {
+
+/// CTMS aircraft pitch dynamics (δ = elevator angle, output: pitch angle θ).
+[[nodiscard]] ContinuousLti aircraft_pitch();
+
+/// Single-state kinematic vehicle-turning model (heading deviation).
+[[nodiscard]] ContinuousLti vehicle_turning();
+
+/// Series RLC circuit driven by a source voltage (R = 1 Ω, L = 0.5 H,
+/// C = 0.1 F), states [capacitor voltage, current].
+[[nodiscard]] ContinuousLti series_rlc();
+
+/// CTMS DC motor position model (J = 0.01, b = 0.1, K = 0.01, R = 1,
+/// L = 0.5), states [position, speed, current].
+[[nodiscard]] ContinuousLti dc_motor_position();
+
+/// 12-state quadrotor linearized at hover (mass 0.468 kg,
+/// I = diag(4.856e-3, 4.856e-3, 8.801e-3) kg m²), inputs
+/// [Δthrust, τ_φ, τ_θ, τ_ψ].
+[[nodiscard]] ContinuousLti quadrotor();
+
+/// §6.2 testbed: system-identified scalar cruise-control model of the RC
+/// car, x_{t+1} = 0.8435 x_t + 7.7919e-4 u_t, sampled at 20 Hz.  The state
+/// is internal; actual speed = C · x with C = 384.3402.
+[[nodiscard]] DiscreteLti testbed_car();
+
+/// Output scaling of the testbed car model (speed = C · x).
+inline constexpr double kTestbedCarC = 384.3402;
+
+}  // namespace awd::models

@@ -1,0 +1,31 @@
+#include "reach/deadline.hpp"
+
+#include <stdexcept>
+
+namespace awd::reach {
+
+DeadlineEstimator::DeadlineEstimator(const models::DiscreteLti& model, Box u_range,
+                                     double eps, Box safe_set, DeadlineConfig config)
+    : reach_(model, std::move(u_range), eps, config.max_window),
+      safe_(std::move(safe_set)),
+      config_(config) {
+  if (safe_.dim() != model.state_dim()) {
+    throw std::invalid_argument("DeadlineEstimator: safe set dimension mismatch");
+  }
+}
+
+std::size_t DeadlineEstimator::estimate(const Vec& x0) const {
+  // R̄ ∩ F = ∅  ⟺  R̄ ⊆ S when F is the complement of the safe box S, so
+  // the search tests box containment step by step (Fig. 2).
+  for (std::size_t t = 1; t <= config_.max_window; ++t) {
+    const Box r = reach_.reach_box(x0, t, config_.init_radius);
+    if (!safe_.contains(r)) return t - 1;
+  }
+  return config_.max_window;
+}
+
+bool DeadlineEstimator::conservatively_safe_at(const Vec& x0, std::size_t t) const {
+  return safe_.contains(reach_.reach_box(x0, t, config_.init_radius));
+}
+
+}  // namespace awd::reach

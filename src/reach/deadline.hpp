@@ -1,0 +1,56 @@
+// deadline.hpp — the Detection Deadline Estimator (§3).
+//
+// Starting from the latest trustworthy state estimate x0 (the point that
+// just left the detection window, §3.3.1), compute the box reach
+// over-approximation step by step.  The first step t_d + 1 at which the box
+// leaves the safe set marks the deadline t_d (Fig. 2): the system is
+// conservatively safe (Def. 3.1) up to and including step t_d, so an attack
+// must be flagged within t_d steps.  The search is capped at the maximum
+// detection window size w_m (§4.3), which doubles as the "no intersection
+// found" answer.
+#pragma once
+
+#include <cstddef>
+
+#include "reach/reach.hpp"
+
+namespace awd::reach {
+
+/// Tunables for the deadline search.
+struct DeadlineConfig {
+  std::size_t max_window = 40;  ///< w_m — search cap and sliding-window size
+  double init_radius = 0.0;     ///< radius of the initial-state ball (§3.3.1)
+};
+
+/// Reachability-based detection-deadline estimator.
+class DeadlineEstimator {
+ public:
+  /// @param model    discrete plant dynamics
+  /// @param u_range  admissible control box U (bounded)
+  /// @param eps      uncertainty ball radius ε
+  /// @param safe_set safe state box S (complement of the unsafe set F);
+  ///                 dimensions may be unbounded
+  /// Throws std::invalid_argument on dimension mismatches.
+  DeadlineEstimator(const models::DiscreteLti& model, Box u_range, double eps,
+                    Box safe_set, DeadlineConfig config);
+
+  /// Deadline t_d ∈ [0, max_window] for trusted seed state x0.
+  ///   * t_d = max_window  — no reachable intersection within the horizon,
+  ///   * t_d = 0           — the very next step may already be unsafe.
+  [[nodiscard]] std::size_t estimate(const Vec& x0) const;
+
+  /// True iff R̄(x0, t) stays inside the safe set (conservative safety,
+  /// Def. 3.1) — exposed for tests and analysis tooling.
+  [[nodiscard]] bool conservatively_safe_at(const Vec& x0, std::size_t t) const;
+
+  [[nodiscard]] const ReachSystem& reach() const noexcept { return reach_; }
+  [[nodiscard]] const Box& safe_set() const noexcept { return safe_; }
+  [[nodiscard]] const DeadlineConfig& config() const noexcept { return config_; }
+
+ private:
+  ReachSystem reach_;
+  Box safe_;
+  DeadlineConfig config_;
+};
+
+}  // namespace awd::reach

@@ -1,0 +1,109 @@
+#include "reach/sets.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace awd::reach {
+
+Box::Box(std::vector<Interval> dims) : dims_(std::move(dims)) {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].valid()) {
+      throw std::invalid_argument("Box: invalid interval in dimension " + std::to_string(i));
+    }
+  }
+}
+
+Box Box::unbounded(std::size_t n) { return Box(std::vector<Interval>(n)); }
+
+Box Box::from_bounds(const Vec& lo, const Vec& hi) {
+  if (lo.size() != hi.size()) {
+    throw std::invalid_argument("Box::from_bounds: dimension mismatch");
+  }
+  std::vector<Interval> dims(lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) dims[i] = Interval{lo[i], hi[i]};
+  return Box(std::move(dims));
+}
+
+Box Box::from_center_halfwidths(const Vec& c, const Vec& r) {
+  if (c.size() != r.size()) {
+    throw std::invalid_argument("Box::from_center_halfwidths: dimension mismatch");
+  }
+  std::vector<Interval> dims(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (r[i] < 0.0) {
+      throw std::invalid_argument("Box::from_center_halfwidths: negative half-width");
+    }
+    dims[i] = Interval{c[i] - r[i], c[i] + r[i]};
+  }
+  return Box(std::move(dims));
+}
+
+void Box::check_dim(const Vec& x, const char* who) const {
+  if (x.size() != dims_.size()) {
+    throw std::invalid_argument(std::string(who) + ": dimension mismatch (" +
+                                std::to_string(x.size()) + " vs " +
+                                std::to_string(dims_.size()) + ")");
+  }
+}
+
+bool Box::contains(const Vec& x) const {
+  check_dim(x, "Box::contains");
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].contains(x[i])) return false;
+  }
+  return true;
+}
+
+bool Box::contains(const Box& o) const {
+  if (o.dim() != dim()) throw std::invalid_argument("Box::contains(Box): dimension mismatch");
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].contains(o.dims_[i])) return false;
+  }
+  return true;
+}
+
+bool Box::intersects(const Box& o) const {
+  if (o.dim() != dim()) throw std::invalid_argument("Box::intersects: dimension mismatch");
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].intersects(o.dims_[i])) return false;
+  }
+  return true;
+}
+
+Vec Box::clamp(const Vec& x) const {
+  check_dim(x, "Box::clamp");
+  Vec r(x);
+  for (std::size_t i = 0; i < dims_.size(); ++i) r[i] = dims_[i].clamp(x[i]);
+  return r;
+}
+
+Vec Box::center() const {
+  Vec c(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].bounded()) {
+      throw std::domain_error("Box::center: unbounded dimension " + std::to_string(i));
+    }
+    c[i] = dims_[i].center();
+  }
+  return c;
+}
+
+Vec Box::half_widths() const {
+  Vec r(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (!dims_[i].bounded()) {
+      throw std::domain_error("Box::half_widths: unbounded dimension " + std::to_string(i));
+    }
+    r[i] = dims_[i].half_width();
+  }
+  return r;
+}
+
+bool Box::bounded() const noexcept {
+  for (const Interval& d : dims_) {
+    if (!d.bounded()) return false;
+  }
+  return true;
+}
+
+}  // namespace awd::reach

@@ -1,0 +1,109 @@
+// sets.hpp — geometric set primitives for reachability analysis (§3.2).
+//
+// The paper over-approximates everything with two shapes: Euclidean balls
+// (for the bounded uncertainty v_t, Def. 3.2) and boxes / ∞-norm balls (for
+// the control-input set and the reachable-set over-approximation, Def. 3.3).
+// Boxes here allow ±∞ bounds because Table 1's safe sets leave some
+// dimensions unconstrained (e.g. aircraft pitch constrains only the pitch
+// angle).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace awd::reach {
+
+using linalg::Vec;
+
+/// Closed real interval [lo, hi]; bounds may be ±infinity.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool valid() const noexcept { return lo <= hi; }
+  [[nodiscard]] bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+  [[nodiscard]] bool contains(const Interval& o) const noexcept {
+    return lo <= o.lo && o.hi <= hi;
+  }
+  [[nodiscard]] bool intersects(const Interval& o) const noexcept {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  [[nodiscard]] double clamp(double x) const noexcept {
+    return x < lo ? lo : (x > hi ? hi : x);
+  }
+  [[nodiscard]] bool bounded() const noexcept {
+    return lo > -std::numeric_limits<double>::infinity() &&
+           hi < std::numeric_limits<double>::infinity();
+  }
+  /// Midpoint; only meaningful for bounded intervals.
+  [[nodiscard]] double center() const noexcept { return 0.5 * (lo + hi); }
+  /// Half of the width; only meaningful for bounded intervals.
+  [[nodiscard]] double half_width() const noexcept { return 0.5 * (hi - lo); }
+};
+
+/// Axis-aligned box: a product of intervals (Def. 3.3).
+class Box {
+ public:
+  Box() = default;
+
+  /// Box from explicit intervals.
+  explicit Box(std::vector<Interval> dims);
+
+  /// Unconstrained box (every dimension = (-inf, inf)) of dimension n.
+  [[nodiscard]] static Box unbounded(std::size_t n);
+
+  /// Box from per-dimension lower/upper bound vectors.
+  /// Throws std::invalid_argument on size mismatch or lo > hi.
+  [[nodiscard]] static Box from_bounds(const Vec& lo, const Vec& hi);
+
+  /// Box centered at c with per-dimension half-widths r >= 0 (the paper's
+  /// c + Q B∞ with Q = diag(r)).
+  [[nodiscard]] static Box from_center_halfwidths(const Vec& c, const Vec& r);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dims_.size(); }
+
+  [[nodiscard]] const Interval& operator[](std::size_t i) const noexcept { return dims_[i]; }
+  [[nodiscard]] Interval& operator[](std::size_t i) noexcept { return dims_[i]; }
+
+  /// Membership test for a point.
+  [[nodiscard]] bool contains(const Vec& x) const;
+
+  /// True iff `o` is entirely inside this box.
+  [[nodiscard]] bool contains(const Box& o) const;
+
+  /// True iff this box and `o` overlap.
+  [[nodiscard]] bool intersects(const Box& o) const;
+
+  /// Project a point onto the box (per-dimension clamp) — used for actuator
+  /// saturation to the control range U.
+  [[nodiscard]] Vec clamp(const Vec& x) const;
+
+  /// Center point; requires every dimension bounded.
+  [[nodiscard]] Vec center() const;
+
+  /// Per-dimension half-widths; requires every dimension bounded.
+  [[nodiscard]] Vec half_widths() const;
+
+  /// True iff every dimension is bounded.
+  [[nodiscard]] bool bounded() const noexcept;
+
+ private:
+  void check_dim(const Vec& x, const char* who) const;
+
+  std::vector<Interval> dims_;
+};
+
+/// Euclidean (2-norm) ball (Def. 3.2), used for the uncertainty set B_ε.
+struct Ball {
+  Vec center;
+  double radius = 0.0;
+
+  [[nodiscard]] bool contains(const Vec& x) const {
+    return (x - center).norm2() <= radius + 1e-12;
+  }
+};
+
+}  // namespace awd::reach

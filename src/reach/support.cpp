@@ -1,0 +1,41 @@
+#include "reach/support.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace awd::reach {
+
+double support_box(const Box& box, const Vec& l) {
+  if (box.dim() != l.size()) throw std::invalid_argument("support_box: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (l[i] == 0.0) continue;
+    const Interval& d = box[i];
+    const double extreme = l[i] > 0.0 ? d.hi : d.lo;
+    if (!std::isfinite(extreme)) {
+      throw std::domain_error("support_box: unbounded in a direction with non-zero component");
+    }
+    s += l[i] * extreme;
+  }
+  return s;
+}
+
+double support_ball(const Vec& center, double radius, const Vec& l) {
+  if (center.size() != l.size()) {
+    throw std::invalid_argument("support_ball: dimension mismatch");
+  }
+  if (radius < 0.0) throw std::invalid_argument("support_ball: negative radius");
+  return center.dot(l) + radius * l.norm2();
+}
+
+double support_mapped_box(const Matrix& m, const Box& box, const Vec& l) {
+  if (m.rows() != l.size()) {
+    throw std::invalid_argument("support_mapped_box: direction dimension mismatch");
+  }
+  if (m.cols() != box.dim()) {
+    throw std::invalid_argument("support_mapped_box: box dimension mismatch");
+  }
+  return support_box(box, m.transpose_times(l));
+}
+
+}  // namespace awd::reach

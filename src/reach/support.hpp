@@ -1,0 +1,32 @@
+// support.hpp — support functions of the paper's primitive sets (§3.4).
+//
+// For a set S and direction l, ρ_S(l) = sup_{x ∈ S} lᵀx.  The reachable-set
+// bound Eq. (3) is a sum of support functions; closed forms for the two
+// shapes used:
+//   * box c + Q·B∞ :  ρ(l) = lᵀc + ‖Qᵀl‖₁   (Q diagonal here)
+//   * ball  r·B₂   :  ρ(l) = r ‖l‖₂
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+#include "reach/sets.hpp"
+
+namespace awd::reach {
+
+using linalg::Matrix;
+
+/// Support function of an axis-aligned box.  Every dimension touched by a
+/// non-zero component of l must be bounded; throws std::domain_error
+/// otherwise.
+[[nodiscard]] double support_box(const Box& box, const Vec& l);
+
+/// Support function of a Euclidean ball of radius r centered at c:
+/// lᵀc + r‖l‖₂.  Throws std::invalid_argument on r < 0 or size mismatch.
+[[nodiscard]] double support_ball(const Vec& center, double radius, const Vec& l);
+
+/// Support function of the linearly mapped set M·S for a set S given by its
+/// support function under the transposed direction: ρ_{M S}(l) = ρ_S(Mᵀ l).
+/// Provided for boxes, the case needed by Eq. (3)'s A^i B B_U terms.
+[[nodiscard]] double support_mapped_box(const Matrix& m, const Box& box, const Vec& l);
+
+}  // namespace awd::reach

@@ -1,0 +1,169 @@
+#include "reach/zonotope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace awd::reach {
+
+Zonotope::Zonotope(Vec center, Matrix generators)
+    : center_(std::move(center)), generators_(std::move(generators)) {
+  if (generators_.rows() != center_.size() && generators_.cols() != 0) {
+    throw std::invalid_argument("Zonotope: generator row count must match dimension");
+  }
+  if (generators_.cols() == 0) generators_ = Matrix(center_.size(), 0);
+}
+
+Zonotope Zonotope::point(Vec center) {
+  const std::size_t n = center.size();
+  return Zonotope(std::move(center), Matrix(n, 0));
+}
+
+Zonotope Zonotope::from_box(const Box& box) {
+  if (!box.bounded()) throw std::invalid_argument("Zonotope::from_box: unbounded box");
+  return Zonotope(box.center(), Matrix::diagonal(box.half_widths()));
+}
+
+Zonotope Zonotope::linear_map(const Matrix& m) const {
+  if (m.cols() != dim()) throw std::invalid_argument("Zonotope::linear_map: shape mismatch");
+  return Zonotope(m * center_, m * generators_);
+}
+
+Zonotope Zonotope::minkowski_sum(const Zonotope& other) const {
+  if (other.dim() != dim()) {
+    throw std::invalid_argument("Zonotope::minkowski_sum: dimension mismatch");
+  }
+  Matrix g(dim(), generators_.cols() + other.generators_.cols());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    for (std::size_t j = 0; j < generators_.cols(); ++j) g(i, j) = generators_(i, j);
+    for (std::size_t j = 0; j < other.generators_.cols(); ++j) {
+      g(i, generators_.cols() + j) = other.generators_(i, j);
+    }
+  }
+  return Zonotope(center_ + other.center_, std::move(g));
+}
+
+double Zonotope::support(const Vec& l) const {
+  if (l.size() != dim()) throw std::invalid_argument("Zonotope::support: dimension mismatch");
+  double s = center_.dot(l);
+  for (std::size_t j = 0; j < generators_.cols(); ++j) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) dot += generators_(i, j) * l[i];
+    s += std::abs(dot);
+  }
+  return s;
+}
+
+Box Zonotope::interval_hull() const {
+  std::vector<Interval> dims(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    double spread = 0.0;
+    for (std::size_t j = 0; j < generators_.cols(); ++j) {
+      spread += std::abs(generators_(i, j));
+    }
+    dims[i] = Interval{center_[i] - spread, center_[i] + spread};
+  }
+  return Box(std::move(dims));
+}
+
+Zonotope Zonotope::reduced(std::size_t max_generators) const {
+  const std::size_t k = generators_.cols();
+  if (k <= max_generators || max_generators < dim()) {
+    if (k <= max_generators) return *this;
+    throw std::invalid_argument(
+        "Zonotope::reduced: max_generators must be at least the dimension");
+  }
+
+  // Girard reduction: keep the largest generators, box the rest.
+  const std::size_t keep = max_generators - dim();
+  std::vector<std::size_t> idx(k);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::vector<double> weight(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    double norm1 = 0.0, norm_inf = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) {
+      norm1 += std::abs(generators_(i, j));
+      norm_inf = std::max(norm_inf, std::abs(generators_(i, j)));
+    }
+    weight[j] = norm1 - norm_inf;  // Girard's selection criterion
+  }
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return weight[a] > weight[b]; });
+
+  Matrix g(dim(), keep + dim());
+  for (std::size_t jj = 0; jj < keep; ++jj) {
+    for (std::size_t i = 0; i < dim(); ++i) g(i, jj) = generators_(i, idx[jj]);
+  }
+  // Box the remainder into dim() axis-aligned generators.
+  for (std::size_t jj = keep; jj < k; ++jj) {
+    for (std::size_t i = 0; i < dim(); ++i) {
+      g(i, keep + i) += std::abs(generators_(i, idx[jj]));
+    }
+  }
+  return Zonotope(center_, std::move(g));
+}
+
+bool Zonotope::hull_contains(const Vec& x) const { return interval_hull().contains(x); }
+
+ZonotopeReach::ZonotopeReach(models::DiscreteLti model, Box u_range, double eps,
+                             std::size_t max_generators)
+    : model_(std::move(model)), max_generators_(max_generators) {
+  model_.validate();
+  if (u_range.dim() != model_.input_dim()) {
+    throw std::invalid_argument("ZonotopeReach: input range dimension mismatch");
+  }
+  if (!u_range.bounded()) {
+    throw std::invalid_argument("ZonotopeReach: control input set must be bounded");
+  }
+  if (eps < 0.0) throw std::invalid_argument("ZonotopeReach: negative uncertainty bound");
+  if (max_generators_ < model_.state_dim()) {
+    throw std::invalid_argument("ZonotopeReach: max_generators below state dimension");
+  }
+  input_term_ = Zonotope::from_box(u_range).linear_map(model_.B);
+  const std::size_t n = model_.state_dim();
+  noise_term_ = Zonotope(Vec(n), Matrix::diagonal(Vec(n, eps)));
+}
+
+Zonotope ZonotopeReach::step(const Zonotope& z) const {
+  return z.linear_map(model_.A)
+      .minkowski_sum(input_term_)
+      .minkowski_sum(noise_term_)
+      .reduced(max_generators_);
+}
+
+Zonotope ZonotopeReach::reach(const Vec& x0, std::size_t t) const {
+  if (x0.size() != model_.state_dim()) {
+    throw std::invalid_argument("ZonotopeReach::reach: x0 dimension mismatch");
+  }
+  Zonotope z = Zonotope::point(x0);
+  for (std::size_t i = 0; i < t; ++i) z = step(z);
+  return z;
+}
+
+Box ZonotopeReach::reach_box(const Vec& x0, std::size_t t) const {
+  return reach(x0, t).interval_hull();
+}
+
+ZonotopeDeadlineEstimator::ZonotopeDeadlineEstimator(const models::DiscreteLti& model,
+                                                     Box u_range, double eps, Box safe_set,
+                                                     std::size_t max_window,
+                                                     std::size_t max_generators)
+    : reach_(model, std::move(u_range), eps, max_generators),
+      safe_(std::move(safe_set)),
+      max_window_(max_window) {
+  if (safe_.dim() != model.state_dim()) {
+    throw std::invalid_argument("ZonotopeDeadlineEstimator: safe set dimension mismatch");
+  }
+}
+
+std::size_t ZonotopeDeadlineEstimator::estimate(const Vec& x0) const {
+  Zonotope z = Zonotope::point(x0);
+  for (std::size_t t = 1; t <= max_window_; ++t) {
+    z = reach_.step(z);
+    if (!safe_.contains(z.interval_hull())) return t - 1;
+  }
+  return max_window_;
+}
+
+}  // namespace awd::reach

@@ -1,0 +1,35 @@
+// controller.hpp — control-law interface for the closed loop.
+//
+// §2's system model: at each control step the controller maps the state
+// estimate x̄_t (and the reference) to a control input u_t.  Concrete laws
+// live in pid.hpp and lqr.hpp; the simulator only sees this interface.
+#pragma once
+
+#include <memory>
+
+#include "linalg/vec.hpp"
+
+namespace awd::sim {
+
+using linalg::Vec;
+
+/// Stateful control law.  compute() is called exactly once per control
+/// period, in time order; implementations may keep integrator/derivative
+/// state between calls.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Control input for the current step given the (possibly attacked)
+  /// state estimate and the reference state.
+  [[nodiscard]] virtual Vec compute(const Vec& estimate, const Vec& reference) = 0;
+
+  /// Clear internal state (integrators, previous error) for a fresh run.
+  virtual void reset() = 0;
+
+  /// Deep copy, so a configured controller can serve as a prototype for
+  /// Monte-Carlo experiment runs.
+  [[nodiscard]] virtual std::unique_ptr<Controller> clone() const = 0;
+};
+
+}  // namespace awd::sim

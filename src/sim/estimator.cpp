@@ -1,0 +1,49 @@
+#include "sim/estimator.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace awd::sim {
+
+namespace {
+double checked_positive(double v, const char* what) {
+  if (v <= 0.0) {
+    throw std::invalid_argument(std::string("FilteringEstimator: ") + what +
+                                " must be positive");
+  }
+  return v;
+}
+}  // namespace
+
+FilteringEstimator::FilteringEstimator(const models::DiscreteLti& model, double q,
+                                       double r, Vec x0)
+    : filter_(model, linalg::Matrix::identity(model.state_dim()),
+              linalg::Matrix::identity(model.state_dim()) *
+                  checked_positive(q, "process covariance"),
+              linalg::Matrix::identity(model.state_dim()) *
+                  checked_positive(r, "measurement covariance"),
+              x0),
+      x0_(std::move(x0)) {}
+
+Vec FilteringEstimator::estimate(const Vec& measurement, const Vec& u_prev) {
+  if (first_) {
+    // No previous input yet; initialize the filter state directly from the
+    // first measurement.
+    first_ = false;
+    filter_.reset(measurement);
+    return measurement;
+  }
+  return filter_.update(measurement, u_prev);
+}
+
+void FilteringEstimator::reset() {
+  filter_.reset(x0_);
+  first_ = true;
+}
+
+std::unique_ptr<Estimator> FilteringEstimator::clone() const {
+  auto copy = std::make_unique<FilteringEstimator>(*this);
+  return copy;
+}
+
+}  // namespace awd::sim

@@ -1,0 +1,71 @@
+// estimator.hpp — pluggable state-estimation stage for the closed loop.
+//
+// The paper assumes the state estimate *is* the received measurement (§2,
+// full observability); PassthroughEstimator implements exactly that and is
+// the simulator's default.  FilteringEstimator routes the measurement
+// through a steady-state Kalman filter instead — the realistic setup when
+// sensors are noisy — so the detection pipeline can be exercised with a
+// proper estimator in the loop (DESIGN.md §6 extension).
+//
+// Note the threat-model subtlety this exposes: the attacker corrupts the
+// *measurement*; a filtering estimator partially absorbs the corruption
+// into its state, which lowers the residual spike the detector sees at
+// attack onset (quantified in sim_estimator_test.cpp).
+#pragma once
+
+#include <memory>
+
+#include "models/lti.hpp"
+#include "sim/observer.hpp"
+
+namespace awd::sim {
+
+/// Measurement → state-estimate stage of the loop.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Estimate for step t from the (possibly attacked) measurement and the
+  /// previously applied control input.
+  [[nodiscard]] virtual Vec estimate(const Vec& measurement, const Vec& u_prev) = 0;
+
+  /// Clear internal state for a fresh run.
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<Estimator> clone() const = 0;
+};
+
+/// §2's fully-observable assumption: the estimate is the measurement.
+class PassthroughEstimator final : public Estimator {
+ public:
+  [[nodiscard]] Vec estimate(const Vec& measurement, const Vec&) override {
+    return measurement;
+  }
+  void reset() override {}
+  [[nodiscard]] std::unique_ptr<Estimator> clone() const override {
+    return std::make_unique<PassthroughEstimator>();
+  }
+};
+
+/// Steady-state Kalman filtering of full-state measurements (C = I).
+class FilteringEstimator final : public Estimator {
+ public:
+  /// @param model plant dynamics
+  /// @param q     process noise covariance scale (q·I)
+  /// @param r     measurement noise covariance scale (r·I)
+  /// @param x0    initial estimate
+  FilteringEstimator(const models::DiscreteLti& model, double q, double r, Vec x0);
+
+  [[nodiscard]] Vec estimate(const Vec& measurement, const Vec& u_prev) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<Estimator> clone() const override;
+
+  [[nodiscard]] const linalg::Matrix& gain() const noexcept { return filter_.gain(); }
+
+ private:
+  SteadyStateKalmanFilter filter_;
+  Vec x0_;
+  bool first_ = true;
+};
+
+}  // namespace awd::sim

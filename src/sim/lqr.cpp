@@ -1,0 +1,67 @@
+#include "sim/lqr.hpp"
+
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace awd::sim {
+
+DareSolution solve_dare(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r,
+                        double tol, std::size_t max_iter) {
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  if (!a.is_square()) throw std::invalid_argument("solve_dare: A must be square");
+  if (b.rows() != n) throw std::invalid_argument("solve_dare: B rows must match A");
+  if (q.rows() != n || q.cols() != n) throw std::invalid_argument("solve_dare: Q must be n x n");
+  if (r.rows() != m || r.cols() != m) throw std::invalid_argument("solve_dare: R must be m x m");
+
+  DareSolution sol;
+  sol.P = q;
+  const Matrix at = a.transposed();
+  const Matrix bt = b.transposed();
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    const Matrix btp = bt * sol.P;        // m x n
+    const Matrix s = r + btp * b;         // m x m
+    const linalg::Lu lu(s);
+    if (lu.singular()) throw std::domain_error("solve_dare: R + BᵀPB singular");
+    const Matrix k = lu.solve(btp * a);   // m x n
+    const Matrix p_next = q + at * sol.P * a - at * sol.P * b * k;
+
+    const double delta = (p_next - sol.P).max_abs();
+    sol.P = p_next;
+    sol.iterations = it + 1;
+    if (delta < tol) {
+      sol.converged = true;
+      sol.K = k;
+      return sol;
+    }
+  }
+  // Not converged: still report the last gain so callers can inspect it.
+  const Matrix btp = bt * sol.P;
+  const linalg::Lu lu(r + btp * b);
+  if (lu.singular()) throw std::domain_error("solve_dare: R + BᵀPB singular");
+  sol.K = lu.solve(btp * a);
+  return sol;
+}
+
+LqrController::LqrController(const models::DiscreteLti& model, const Matrix& q,
+                             const Matrix& r) {
+  model.validate();
+  const DareSolution sol = solve_dare(model.A, model.B, q, r);
+  if (!sol.converged) {
+    throw std::runtime_error("LqrController: Riccati iteration did not converge for " +
+                             model.name);
+  }
+  k_ = sol.K;
+}
+
+Vec LqrController::compute(const Vec& estimate, const Vec& reference) {
+  return -(k_ * (estimate - reference));
+}
+
+std::unique_ptr<Controller> LqrController::clone() const {
+  return std::make_unique<LqrController>(*this);
+}
+
+}  // namespace awd::sim

@@ -1,0 +1,49 @@
+// lqr.hpp — discrete-time infinite-horizon LQR (extension beyond the paper).
+//
+// The paper's experiments use PID control throughout; this controller exists
+// to demonstrate that the detection system is independent of the control
+// law (DESIGN.md §6).  The gain is obtained by iterating the discrete
+// algebraic Riccati equation to a fixed point.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "models/lti.hpp"
+#include "sim/controller.hpp"
+
+namespace awd::sim {
+
+using linalg::Matrix;
+
+/// Result of solving the discrete algebraic Riccati equation.
+struct DareSolution {
+  Matrix P;  ///< cost-to-go matrix
+  Matrix K;  ///< optimal feedback gain, u = -K x
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Iterate P <- Q + AᵀPA - AᵀPB (R + BᵀPB)⁻¹ BᵀPA until the update falls
+/// below `tol` (max-abs) or `max_iter` is hit.  Throws std::invalid_argument
+/// on shape mismatch; a singular (R + BᵀPB) throws std::domain_error.
+[[nodiscard]] DareSolution solve_dare(const Matrix& a, const Matrix& b, const Matrix& q,
+                                      const Matrix& r, double tol = 1e-12,
+                                      std::size_t max_iter = 10000);
+
+/// Static state-feedback LQR tracking controller: u = -K (x̄ - reference).
+class LqrController final : public Controller {
+ public:
+  /// Design the gain for `model` with weights Q (n x n) and R (m x m).
+  /// Throws std::runtime_error if the Riccati iteration does not converge.
+  LqrController(const models::DiscreteLti& model, const Matrix& q, const Matrix& r);
+
+  [[nodiscard]] Vec compute(const Vec& estimate, const Vec& reference) override;
+  void reset() override {}
+  [[nodiscard]] std::unique_ptr<Controller> clone() const override;
+
+  [[nodiscard]] const Matrix& gain() const noexcept { return k_; }
+
+ private:
+  Matrix k_;
+};
+
+}  // namespace awd::sim

@@ -1,0 +1,57 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace awd::sim {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::gaussian() {
+  std::normal_distribution<double> d(0.0, 1.0);
+  return d(engine_);
+}
+
+Vec Rng::uniform_in_ball(std::size_t n, double radius) {
+  if (radius < 0.0) throw std::invalid_argument("Rng::uniform_in_ball: negative radius");
+  Vec v(n);
+  if (n == 0 || radius == 0.0) return v;
+
+  // Gaussian vector gives a uniform direction; scaling by U^{1/n} makes the
+  // radial distribution match the uniform ball measure.
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = gaussian();
+    norm_sq += v[i] * v[i];
+  }
+  if (norm_sq == 0.0) return v;  // astronomically unlikely; center is valid
+  const double scale =
+      radius * std::pow(uniform(0.0, 1.0), 1.0 / static_cast<double>(n)) / std::sqrt(norm_sq);
+  return v * scale;
+}
+
+Vec Rng::uniform_in_box(const Vec& bound) {
+  Vec v(bound.size());
+  for (std::size_t i = 0; i < bound.size(); ++i) {
+    if (bound[i] < 0.0) throw std::invalid_argument("Rng::uniform_in_box: negative bound");
+    v[i] = bound[i] == 0.0 ? 0.0 : uniform(-bound[i], bound[i]);
+  }
+  return v;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+  return d(engine_);
+}
+
+}  // namespace awd::sim

@@ -1,0 +1,51 @@
+// noise.hpp — deterministic random sources for simulation.
+//
+// The paper's plant model (Eq. 1) carries an uncertainty v_t bounded by a
+// Euclidean ball of radius ε (§3.2.1), and §6.1.3 notes that sensor noise
+// is present in the experiments.  Both are generated here from an explicit
+// 64-bit seed so every experiment is reproducible; Monte-Carlo cells derive
+// per-run seeds with splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "linalg/vec.hpp"
+
+namespace awd::sim {
+
+using linalg::Vec;
+
+/// splitmix64 step — used to derive statistically independent per-run seeds
+/// from (base seed, run index) without correlated streams.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// Seeded random source producing the bounded disturbances used by the
+/// simulator.  Not thread-safe; use one per simulation run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(splitmix64(seed)) {}
+
+  /// Uniform double in [lo, hi].
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Standard normal deviate.
+  [[nodiscard]] double gaussian();
+
+  /// Uniformly distributed point in the n-dimensional Euclidean ball of
+  /// the given radius centered at the origin (the paper's B_ε).  Uses the
+  /// Gaussian-direction + radius^(1/n) method, exact for any n.
+  [[nodiscard]] Vec uniform_in_ball(std::size_t n, double radius);
+
+  /// Per-dimension uniform in [-bound[i], bound[i]] — box-bounded sensor
+  /// noise.  Throws std::invalid_argument on a negative bound.
+  [[nodiscard]] Vec uniform_in_box(const Vec& bound);
+
+  /// Uniform integer in [lo, hi].
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace awd::sim

@@ -1,0 +1,104 @@
+#include "sim/observer.hpp"
+
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "sim/lqr.hpp"
+
+namespace awd::sim {
+
+LuenbergerObserver::LuenbergerObserver(models::DiscreteLti model, Matrix c, Matrix l,
+                                       Vec x0)
+    : model_(std::move(model)), c_(std::move(c)), l_(std::move(l)), x_(std::move(x0)) {
+  model_.validate();
+  const std::size_t n = model_.state_dim();
+  if (c_.cols() != n) throw std::invalid_argument("LuenbergerObserver: C column mismatch");
+  if (c_.rows() == 0) throw std::invalid_argument("LuenbergerObserver: C has no outputs");
+  if (l_.rows() != n || l_.cols() != c_.rows()) {
+    throw std::invalid_argument("LuenbergerObserver: L must be n x p");
+  }
+  if (x_.size() != n) throw std::invalid_argument("LuenbergerObserver: x0 dimension mismatch");
+}
+
+const Vec& LuenbergerObserver::update(const Vec& y, const Vec& u_prev) {
+  if (y.size() != c_.rows()) {
+    throw std::invalid_argument("LuenbergerObserver::update: measurement dimension mismatch");
+  }
+  if (u_prev.size() != model_.input_dim()) {
+    throw std::invalid_argument("LuenbergerObserver::update: input dimension mismatch");
+  }
+  const Vec predicted = model_.step(x_, u_prev);
+  x_ = predicted + l_ * (y - c_ * predicted);
+  return x_;
+}
+
+Matrix LuenbergerObserver::error_dynamics() const {
+  // Filter form: e⁺ = (I - L C) A e.
+  const Matrix lc = l_ * c_;
+  return (Matrix::identity(model_.state_dim()) - lc) * model_.A;
+}
+
+void LuenbergerObserver::reset(Vec x0) {
+  if (x0.size() != model_.state_dim()) {
+    throw std::invalid_argument("LuenbergerObserver::reset: dimension mismatch");
+  }
+  x_ = std::move(x0);
+}
+
+Matrix design_observer_gain(const models::DiscreteLti& model, const Matrix& c, double q,
+                            double r) {
+  model.validate();
+  const std::size_t n = model.state_dim();
+  const std::size_t p = c.rows();
+  if (c.cols() != n) throw std::invalid_argument("design_observer_gain: C column mismatch");
+  if (q <= 0.0 || r <= 0.0) {
+    throw std::invalid_argument("design_observer_gain: covariance scales must be positive");
+  }
+  const Matrix qm = Matrix::identity(n) * q;
+  const Matrix rm = Matrix::identity(p) * r;
+
+  // Duality: the observer's error covariance solves the DARE of (Aᵀ, Cᵀ).
+  const DareSolution sol = solve_dare(model.A.transposed(), c.transposed(), qm, rm);
+  if (!sol.converged) {
+    throw std::runtime_error("design_observer_gain: Riccati iteration did not converge");
+  }
+  // Filter gain L = P Cᵀ (C P Cᵀ + R)⁻¹.
+  const Matrix pct = sol.P * c.transposed();  // n x p
+  const Matrix s = c * pct + rm;              // p x p
+  const linalg::Lu lu(s);
+  if (lu.singular()) throw std::runtime_error("design_observer_gain: innovation singular");
+  return lu.solve(pct.transposed()).transposed();  // (S⁻¹ (PCᵀ)ᵀ)ᵀ = PCᵀ S⁻¹
+}
+
+SteadyStateKalmanFilter::SteadyStateKalmanFilter(models::DiscreteLti model, Matrix c,
+                                                 const Matrix& q, const Matrix& r, Vec x0)
+    : gain_(), observer_(model, c, Matrix(model.state_dim(), c.rows()), std::move(x0)) {
+  model.validate();
+  const std::size_t n = model.state_dim();
+  const std::size_t p = c.rows();
+  if (q.rows() != n || q.cols() != n) {
+    throw std::invalid_argument("SteadyStateKalmanFilter: Q must be n x n");
+  }
+  if (r.rows() != p || r.cols() != p) {
+    throw std::invalid_argument("SteadyStateKalmanFilter: R must be p x p");
+  }
+  const DareSolution sol = solve_dare(model.A.transposed(), c.transposed(), q, r);
+  if (!sol.converged) {
+    throw std::runtime_error("SteadyStateKalmanFilter: Riccati iteration did not converge");
+  }
+  const Matrix pct = sol.P * c.transposed();
+  const Matrix s = c * pct + r;
+  const linalg::Lu lu(s);
+  if (lu.singular()) {
+    throw std::runtime_error("SteadyStateKalmanFilter: innovation covariance singular");
+  }
+  gain_ = lu.solve(pct.transposed()).transposed();
+  observer_ = LuenbergerObserver(std::move(model), std::move(c), gain_,
+                                 observer_.estimate());
+}
+
+const Vec& SteadyStateKalmanFilter::update(const Vec& y, const Vec& u_prev) {
+  return observer_.update(y, u_prev);
+}
+
+}  // namespace awd::sim

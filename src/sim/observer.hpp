@@ -1,0 +1,87 @@
+// observer.hpp — state estimators for partially observed plants (extension).
+//
+// §2 of the paper assumes full observability ("the state estimate is the
+// received measurement"), which is what core::DetectionSystem implements.
+// Real deployments — including the paper's own testbed, whose identified
+// model is x_{t+1} = A x_t + B u_t, y_t = C x_t with C = 384.34 — observe
+// y = C x + noise and reconstruct x̄ with an observer.  This module
+// provides the two standard linear estimators so the detection pipeline's
+// "state estimate" input can come from a realistic estimator:
+//
+//   * LuenbergerObserver — fixed-gain observer x̄⁺ = A x̄ + B u + L (y - C x̄),
+//     with a design helper that computes a stabilizing L via the dual
+//     Riccati equation (reusing sim::solve_dare).
+//   * SteadyStateKalmanFilter — the same structure with L chosen as the
+//     steady-state Kalman gain for given process/measurement covariances.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "models/lti.hpp"
+
+namespace awd::sim {
+
+using linalg::Matrix;
+using linalg::Vec;
+
+/// Fixed-gain predictor-corrector observer.
+class LuenbergerObserver {
+ public:
+  /// @param model plant dynamics
+  /// @param c     p x n output matrix (y = C x)
+  /// @param l     n x p observer gain
+  /// @param x0    initial estimate
+  /// Throws std::invalid_argument on shape mismatches.
+  LuenbergerObserver(models::DiscreteLti model, Matrix c, Matrix l, Vec x0);
+
+  /// One step: predict with (x̄_{t-1}, u_{t-1}), correct with y_t; returns
+  /// the new estimate x̄_t.
+  const Vec& update(const Vec& y, const Vec& u_prev);
+
+  [[nodiscard]] const Vec& estimate() const noexcept { return x_; }
+
+  /// Error dynamics matrix A - L C A (predictor-corrector form); the
+  /// observer converges iff this is Schur stable.
+  [[nodiscard]] Matrix error_dynamics() const;
+
+  void reset(Vec x0);
+
+ private:
+  models::DiscreteLti model_;
+  Matrix c_;  // p x n
+  Matrix l_;  // n x p
+  Vec x_;
+};
+
+/// Design a stabilizing observer gain by solving the dual Riccati equation
+/// (the observer gain of the steady-state Kalman filter with covariances
+/// Q = q·I, R = r·I).  Throws std::runtime_error if the iteration fails.
+[[nodiscard]] Matrix design_observer_gain(const models::DiscreteLti& model,
+                                          const Matrix& c, double q = 1.0,
+                                          double r = 1.0);
+
+/// Steady-state Kalman filter: Luenberger structure with the optimal gain
+/// for given noise covariances.
+class SteadyStateKalmanFilter {
+ public:
+  /// @param model plant dynamics
+  /// @param c     p x n output matrix
+  /// @param q     n x n process noise covariance (PSD)
+  /// @param r     p x p measurement noise covariance (PD)
+  /// @param x0    initial estimate
+  SteadyStateKalmanFilter(models::DiscreteLti model, Matrix c, const Matrix& q,
+                          const Matrix& r, Vec x0);
+
+  /// One predict-correct step with measurement y_t and previous input.
+  const Vec& update(const Vec& y, const Vec& u_prev);
+
+  [[nodiscard]] const Vec& estimate() const noexcept { return observer_.estimate(); }
+  [[nodiscard]] const Matrix& gain() const noexcept { return gain_; }
+
+  void reset(Vec x0) { observer_.reset(std::move(x0)); }
+
+ private:
+  Matrix gain_;
+  LuenbergerObserver observer_;
+};
+
+}  // namespace awd::sim

@@ -1,0 +1,66 @@
+#include "sim/pid.hpp"
+
+#include <stdexcept>
+
+namespace awd::sim {
+
+PidController::PidController(PidGains gains, std::vector<std::size_t> tracked_dims,
+                             Matrix output_map, double dt)
+    : gains_(gains),
+      tracked_(std::move(tracked_dims)),
+      output_map_(std::move(output_map)),
+      dt_(dt),
+      integral_(tracked_.size()),
+      prev_error_(tracked_.size()),
+      filtered_deriv_(tracked_.size()) {
+  if (dt_ <= 0.0) throw std::invalid_argument("PidController: dt must be positive");
+  if (gains_.derivative_filter < 0.0 || gains_.derivative_filter >= 1.0) {
+    throw std::invalid_argument("PidController: derivative_filter must be in [0, 1)");
+  }
+  if (tracked_.empty()) throw std::invalid_argument("PidController: no tracked dimensions");
+  if (output_map_.cols() != tracked_.size()) {
+    throw std::invalid_argument(
+        "PidController: output_map columns must match tracked dimension count");
+  }
+}
+
+PidController PidController::simple(PidGains gains, std::size_t dim, double dt) {
+  return PidController(gains, {dim}, Matrix{{1.0}}, dt);
+}
+
+Vec PidController::compute(const Vec& estimate, const Vec& reference) {
+  Vec channel(tracked_.size());
+  for (std::size_t k = 0; k < tracked_.size(); ++k) {
+    const std::size_t d = tracked_[k];
+    if (d >= estimate.size() || d >= reference.size()) {
+      throw std::invalid_argument("PidController: tracked dimension out of range");
+    }
+    const double e = reference[d] - estimate[d];
+    integral_[k] += e * dt_;
+    if (gains_.ki > 0.0 && gains_.integral_limit > 0.0) {
+      const double cap = gains_.integral_limit / gains_.ki;
+      if (integral_[k] > cap) integral_[k] = cap;
+      if (integral_[k] < -cap) integral_[k] = -cap;
+    }
+    const double raw_deriv = first_step_ ? 0.0 : (e - prev_error_[k]) / dt_;
+    const double alpha = gains_.derivative_filter;
+    filtered_deriv_[k] = alpha * filtered_deriv_[k] + (1.0 - alpha) * raw_deriv;
+    prev_error_[k] = e;
+    channel[k] = gains_.kp * e + gains_.ki * integral_[k] + gains_.kd * filtered_deriv_[k];
+  }
+  first_step_ = false;
+  return output_map_ * channel;
+}
+
+void PidController::reset() {
+  integral_ = Vec(tracked_.size());
+  prev_error_ = Vec(tracked_.size());
+  filtered_deriv_ = Vec(tracked_.size());
+  first_step_ = true;
+}
+
+std::unique_ptr<Controller> PidController::clone() const {
+  return std::make_unique<PidController>(*this);
+}
+
+}  // namespace awd::sim

@@ -1,0 +1,73 @@
+// pid.hpp — multivariable PID controller.
+//
+// Table 1 gives one (kp, ki, kd) triple per simulator.  Each tracked state
+// dimension gets its own PID channel with those gains; a static output map
+// distributes the channel outputs over the plant's control inputs (identity
+// for single-input plants, thrust/torque routing for the quadrotor).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/controller.hpp"
+
+namespace awd::sim {
+
+using linalg::Matrix;
+
+/// Proportional / integral / derivative gains shared by all channels.
+struct PidGains {
+  double kp = 0.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  /// First-order low-pass on the derivative term:
+  /// d_k = alpha d_{k-1} + (1 - alpha) raw_k.  0 = unfiltered.  Real PID
+  /// implementations always filter D; without it, measurement noise times
+  /// kd / dt would saturate the actuators.
+  double derivative_filter = 0.0;
+  /// Anti-windup: absolute cap on the integral term's contribution
+  /// ki * integral (0 = unlimited).  Without it a sensor attack that holds
+  /// a persistent error winds the integrator up and the loop rings for
+  /// hundreds of steps after the attack ends.
+  double integral_limit = 0.0;
+};
+
+/// PID on selected state dimensions.
+///
+/// error_k = reference[d_k] - estimate[d_k] for each tracked dimension d_k;
+/// channel output  p_k = kp·e + ki·∫e dt + kd·de/dt  (backward-difference
+/// derivative, rectangular integration at the control period dt);
+/// control input  u = output_map · p.
+class PidController final : public Controller {
+ public:
+  /// @param gains        shared channel gains (Table 1 "PID" column)
+  /// @param tracked_dims state dimensions the controller regulates
+  /// @param output_map   m x k matrix routing channel outputs to inputs
+  /// @param dt           control period δ in seconds
+  /// Throws std::invalid_argument on shape mismatch or dt <= 0.
+  PidController(PidGains gains, std::vector<std::size_t> tracked_dims,
+                Matrix output_map, double dt);
+
+  /// Convenience for single-input single-tracked-dimension plants:
+  /// track `dim` and feed the channel straight into input 0.
+  [[nodiscard]] static PidController simple(PidGains gains, std::size_t dim, double dt);
+
+  [[nodiscard]] Vec compute(const Vec& estimate, const Vec& reference) override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<Controller> clone() const override;
+
+  [[nodiscard]] const PidGains& gains() const noexcept { return gains_; }
+
+ private:
+  PidGains gains_;
+  std::vector<std::size_t> tracked_;
+  Matrix output_map_;  // m x k
+  double dt_;
+  Vec integral_;        // per-channel accumulated error
+  Vec prev_error_;      // per-channel previous error
+  Vec filtered_deriv_;  // per-channel low-passed derivative
+  bool first_step_ = true;
+};
+
+}  // namespace awd::sim

@@ -1,0 +1,35 @@
+#include "sim/plant.hpp"
+
+#include <stdexcept>
+
+namespace awd::sim {
+
+Plant::Plant(models::DiscreteLti model, reach::Box u_range, double eps, Vec x0)
+    : model_(std::move(model)), u_range_(std::move(u_range)), eps_(eps), x_(std::move(x0)) {
+  model_.validate();
+  if (u_range_.dim() != model_.input_dim()) {
+    throw std::invalid_argument("Plant: input range dimension must match input_dim");
+  }
+  if (eps_ < 0.0) throw std::invalid_argument("Plant: negative uncertainty bound");
+  if (x_.size() != model_.state_dim()) {
+    throw std::invalid_argument("Plant: initial state dimension mismatch");
+  }
+}
+
+Vec Plant::step(const Vec& u, Rng& rng) {
+  if (u.size() != model_.input_dim()) {
+    throw std::invalid_argument("Plant::step: input dimension mismatch");
+  }
+  const Vec u_sat = u_range_.clamp(u);
+  x_ = model_.step(x_, u_sat) + rng.uniform_in_ball(model_.state_dim(), eps_);
+  return u_sat;
+}
+
+void Plant::reset(Vec x0) {
+  if (x0.size() != model_.state_dim()) {
+    throw std::invalid_argument("Plant::reset: state dimension mismatch");
+  }
+  x_ = std::move(x0);
+}
+
+}  // namespace awd::sim

@@ -1,0 +1,46 @@
+// plant.hpp — the physical process being controlled (Eq. 1).
+//
+// Advances  x_{t+1} = A x_t + B u_t + v_t  with the control input saturated
+// to the actuator range U (a box, Table 1) and the uncertainty v_t drawn
+// uniformly from the Euclidean ball of radius ε (§3.2.1).
+#pragma once
+
+#include "models/lti.hpp"
+#include "reach/sets.hpp"
+#include "sim/noise.hpp"
+
+namespace awd::sim {
+
+/// Ground-truth plant.  Owns the true state; the controller never sees it
+/// directly (only through the sensor path).
+class Plant {
+ public:
+  /// @param model   discrete LTI dynamics
+  /// @param u_range actuator saturation box (dimension m)
+  /// @param eps     uncertainty ball radius ε >= 0
+  /// @param x0      initial true state
+  /// Throws std::invalid_argument on dimension mismatches or eps < 0.
+  Plant(models::DiscreteLti model, reach::Box u_range, double eps, Vec x0);
+
+  /// Current true state x_t.
+  [[nodiscard]] const Vec& state() const noexcept { return x_; }
+
+  /// Saturate `u` to the actuator range, advance one step with fresh
+  /// process noise from `rng`, and return the applied (saturated) input.
+  Vec step(const Vec& u, Rng& rng);
+
+  /// Reset the true state for a new run.
+  void reset(Vec x0);
+
+  [[nodiscard]] const models::DiscreteLti& model() const noexcept { return model_; }
+  [[nodiscard]] const reach::Box& input_range() const noexcept { return u_range_; }
+  [[nodiscard]] double uncertainty_bound() const noexcept { return eps_; }
+
+ private:
+  models::DiscreteLti model_;
+  reach::Box u_range_;
+  double eps_;
+  Vec x_;
+};
+
+}  // namespace awd::sim

@@ -1,0 +1,106 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace awd::sim {
+
+Simulator::Simulator(Plant plant, std::unique_ptr<Controller> controller,
+                     std::shared_ptr<const attack::Attack> attack, SimulatorOptions opts,
+                     std::unique_ptr<Estimator> estimator)
+    : plant_(std::move(plant)),
+      controller_(std::move(controller)),
+      estimator_(estimator ? std::move(estimator)
+                           : std::make_unique<PassthroughEstimator>()),
+      attack_(std::move(attack)),
+      opts_(std::move(opts)),
+      rng_(opts_.seed) {
+  if (!controller_) throw std::invalid_argument("Simulator: null controller");
+  if (!attack_) throw std::invalid_argument("Simulator: null attack");
+  const std::size_t n = plant_.model().state_dim();
+  if (opts_.x0.size() != n) throw std::invalid_argument("Simulator: x0 dimension mismatch");
+  if (opts_.reference.size() != n) {
+    throw std::invalid_argument("Simulator: reference dimension mismatch");
+  }
+  if (opts_.sensor_noise.size() != n) {
+    throw std::invalid_argument("Simulator: sensor_noise dimension mismatch");
+  }
+  for (const ReferenceSine& sine : opts_.reference_sinusoids) {
+    if (sine.dim >= n) {
+      throw std::invalid_argument("Simulator: reference sinusoid dimension out of range");
+    }
+    if (sine.period_steps <= 0.0) {
+      throw std::invalid_argument("Simulator: reference sinusoid period must be positive");
+    }
+  }
+  for (std::size_t i = 0; i < opts_.reference_schedule.size(); ++i) {
+    if (opts_.reference_schedule[i].second.size() != n) {
+      throw std::invalid_argument("Simulator: reference_schedule dimension mismatch");
+    }
+    if (i > 0 &&
+        opts_.reference_schedule[i].first < opts_.reference_schedule[i - 1].first) {
+      throw std::invalid_argument("Simulator: reference_schedule must be sorted by step");
+    }
+  }
+  reference_ = opts_.reference;
+  plant_.reset(opts_.x0);
+}
+
+StepRecord Simulator::step() {
+  const std::size_t n = plant_.model().state_dim();
+
+  StepRecord rec;
+  rec.t = t_;
+  rec.true_state = plant_.state();
+
+  // 1. Sensor: true state plus bounded measurement noise.
+  const Vec clean = rec.true_state + rng_.uniform_in_box(opts_.sensor_noise);
+
+  // 2. Attack path — the attacker sees/needs only the clean stream.
+  rec.attack_active = attack_->active(t_);
+  rec.measurement = attack_->apply(t_, clean, clean_measurements_);
+  clean_measurements_.push_back(clean);
+
+  // 3. Estimation stage (the paper's default: estimate = measurement).
+  rec.estimate = estimator_->estimate(rec.measurement, prev_control_);
+
+  // 4. Prediction and residual (Data Logger, §5 "Buffer").
+  if (t_ == 0) {
+    rec.predicted = rec.estimate;  // no prior step; define residual as zero
+    rec.residual = Vec(n);
+  } else {
+    rec.predicted = plant_.model().step(prev_estimate_, prev_control_);
+    rec.residual = (rec.predicted - rec.estimate).cwise_abs();
+  }
+
+  // 5-6. Control and plant advance (applying any scheduled setpoint change
+  // and the sinusoidal trajectory components).
+  while (next_ref_ < opts_.reference_schedule.size() &&
+         opts_.reference_schedule[next_ref_].first <= t_) {
+    reference_ = opts_.reference_schedule[next_ref_].second;
+    ++next_ref_;
+  }
+  Vec ref = reference_;
+  for (const ReferenceSine& sine : opts_.reference_sinusoids) {
+    ref[sine.dim] += sine.amplitude *
+                     std::sin(2.0 * std::numbers::pi * static_cast<double>(t_) /
+                              sine.period_steps);
+  }
+  rec.commanded = controller_->compute(rec.estimate, ref);
+  rec.control = plant_.step(rec.commanded, rng_);
+
+  prev_estimate_ = rec.estimate;
+  prev_control_ = opts_.predict_with_commanded ? rec.commanded : rec.control;
+  ++t_;
+  return rec;
+}
+
+Trace Simulator::run(std::size_t steps) {
+  Trace trace;
+  trace.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) trace.push(step());
+  return trace;
+}
+
+}  // namespace awd::sim

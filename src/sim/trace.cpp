@@ -1,0 +1,38 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace awd::sim {
+
+std::optional<std::size_t> Trace::first_alarm_at_or_after(std::size_t t, bool adaptive) const {
+  for (std::size_t i = t; i < steps_.size(); ++i) {
+    const bool alarm = adaptive ? steps_[i].adaptive_alarm : steps_[i].fixed_alarm;
+    if (alarm) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Trace::alarm_count(std::size_t lo, std::size_t hi, bool adaptive) const {
+  std::size_t n = 0;
+  const std::size_t end = std::min(hi, steps_.size());
+  for (std::size_t i = lo; i < end; ++i) {
+    const bool alarm = adaptive ? steps_[i].adaptive_alarm : steps_[i].fixed_alarm;
+    if (alarm) ++n;
+  }
+  return n;
+}
+
+double Trace::alarm_rate(std::size_t lo, std::size_t hi, bool adaptive) const {
+  const std::size_t end = std::min(hi, steps_.size());
+  if (end <= lo) return 0.0;
+  return static_cast<double>(alarm_count(lo, end, adaptive)) / static_cast<double>(end - lo);
+}
+
+std::optional<std::size_t> Trace::first_unsafe() const {
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].unsafe) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace awd::sim

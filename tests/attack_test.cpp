@@ -1,0 +1,120 @@
+// Unit tests for the sensor attack injectors.
+#include "attack/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace awd::attack {
+namespace {
+
+std::vector<Vec> make_history(std::size_t n) {
+  std::vector<Vec> h;
+  for (std::size_t t = 0; t < n; ++t) h.push_back(Vec{static_cast<double>(t)});
+  return h;
+}
+
+TEST(AttackWindow, ActiveRange) {
+  const AttackWindow w{10, 5};
+  EXPECT_FALSE(w.active(9));
+  EXPECT_TRUE(w.active(10));
+  EXPECT_TRUE(w.active(14));
+  EXPECT_FALSE(w.active(15));
+  EXPECT_EQ(w.end(), 15u);
+}
+
+TEST(NoAttack, PassesThrough) {
+  const NoAttack a;
+  const Vec clean{1.0, 2.0};
+  EXPECT_EQ(a.apply(5, clean, {}), clean);
+  EXPECT_FALSE(a.active(0));
+  EXPECT_EQ(a.name(), "none");
+}
+
+TEST(BiasAttack, AddsOffsetOnlyWhileActive) {
+  const BiasAttack a({10, 5}, Vec{0.5});
+  const Vec clean{1.0};
+  EXPECT_EQ(a.apply(9, clean, {})[0], 1.0);
+  EXPECT_EQ(a.apply(10, clean, {})[0], 1.5);
+  EXPECT_EQ(a.apply(14, clean, {})[0], 1.5);
+  EXPECT_EQ(a.apply(15, clean, {})[0], 1.0);
+  EXPECT_EQ(a.start(), 10u);
+  EXPECT_EQ(a.name(), "bias");
+}
+
+TEST(BiasAttack, ZeroDurationThrows) {
+  EXPECT_THROW(BiasAttack({10, 0}, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(DelayAttack, ReportsLaggedMeasurement) {
+  const DelayAttack a({10, 5}, 3);
+  const auto history = make_history(20);
+  const Vec clean{99.0};
+  EXPECT_EQ(a.apply(12, clean, history)[0], 9.0);  // t - lag = 9
+  EXPECT_EQ(a.apply(9, clean, history)[0], 99.0);  // inactive
+}
+
+TEST(DelayAttack, ClampsBeforeStreamStart) {
+  const DelayAttack a({1, 5}, 10);
+  const auto history = make_history(3);
+  EXPECT_EQ(a.apply(2, Vec{99.0}, history)[0], 0.0);  // clamps to history[0]
+}
+
+TEST(DelayAttack, EmptyHistoryFallsBackToClean) {
+  const DelayAttack a({0, 5}, 2);
+  EXPECT_EQ(a.apply(0, Vec{42.0}, {})[0], 42.0);
+}
+
+TEST(DelayAttack, Validation) {
+  EXPECT_THROW(DelayAttack({0, 0}, 1), std::invalid_argument);
+  EXPECT_THROW(DelayAttack({0, 5}, 0), std::invalid_argument);
+}
+
+TEST(ReplayAttack, ReplaysRecordedSegment) {
+  const ReplayAttack a({10, 5}, 2);  // replays steps 2..6 during 10..14
+  const auto history = make_history(20);
+  EXPECT_EQ(a.apply(10, Vec{99.0}, history)[0], 2.0);
+  EXPECT_EQ(a.apply(13, Vec{99.0}, history)[0], 5.0);
+  EXPECT_EQ(a.apply(15, Vec{99.0}, history)[0], 99.0);  // over
+}
+
+TEST(ReplayAttack, RejectsOverlappingRecordSegment) {
+  // record [8, 13) overlaps attack start 10.
+  EXPECT_THROW(ReplayAttack({10, 5}, 8), std::invalid_argument);
+  EXPECT_NO_THROW(ReplayAttack({10, 5}, 5));
+}
+
+TEST(RampAttack, GrowsLinearly) {
+  const RampAttack a({10, 10}, Vec{0.1});
+  const Vec clean{0.0};
+  EXPECT_NEAR(a.apply(10, clean, {})[0], 0.1, 1e-12);
+  EXPECT_NEAR(a.apply(14, clean, {})[0], 0.5, 1e-12);
+  EXPECT_EQ(a.apply(9, clean, {})[0], 0.0);
+}
+
+TEST(RampAttack, ZeroDurationThrows) {
+  EXPECT_THROW(RampAttack({0, 0}, Vec{0.1}), std::invalid_argument);
+}
+
+TEST(FreezeAttack, RepeatsLastCleanMeasurement) {
+  const FreezeAttack a({10, 5});
+  const auto history = make_history(20);
+  EXPECT_EQ(a.apply(10, Vec{99.0}, history)[0], 9.0);  // frozen at t=9
+  EXPECT_EQ(a.apply(14, Vec{99.0}, history)[0], 9.0);  // still frozen
+  EXPECT_EQ(a.apply(15, Vec{99.0}, history)[0], 99.0);  // over
+  EXPECT_EQ(a.name(), "freeze");
+}
+
+TEST(FreezeAttack, NoHistoryFallsBackToClean) {
+  const FreezeAttack a({0, 5});
+  EXPECT_EQ(a.apply(0, Vec{42.0}, {})[0], 42.0);
+  const FreezeAttack b({3, 5});
+  EXPECT_EQ(b.apply(3, Vec{42.0}, {})[0], 42.0);
+}
+
+TEST(FreezeAttack, ZeroDurationThrows) {
+  EXPECT_THROW(FreezeAttack({0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awd::attack

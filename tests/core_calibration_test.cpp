@@ -1,0 +1,110 @@
+// Tests for the §4.3 offline profiling procedures.
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/detection_system.hpp"
+#include "core/metrics.hpp"
+
+namespace awd::core {
+namespace {
+
+TEST(Calibration, ThresholdDimensionsAndPositivity) {
+  const SimulatorCase scase = simulator_case("series_rlc");
+  ThresholdCalibrationOptions opts;
+  opts.runs = 3;
+  const Vec tau = calibrate_threshold(scase, 5, opts);
+  ASSERT_EQ(tau.size(), 2u);
+  EXPECT_GT(tau[0], 0.0);
+  EXPECT_GT(tau[1], 0.0);
+  // Coupled dimensions with different noise floors get different
+  // thresholds, as in Table 1's RLC row (0.04 vs 0.01).
+  EXPECT_NE(tau[0], tau[1]);
+}
+
+TEST(Calibration, HigherQuantileGivesHigherThreshold) {
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  ThresholdCalibrationOptions lo, hi;
+  lo.runs = hi.runs = 3;
+  lo.quantile = 0.9;
+  hi.quantile = 0.999;
+  EXPECT_LT(calibrate_threshold(scase, 5, lo)[0], calibrate_threshold(scase, 5, hi)[0]);
+}
+
+TEST(Calibration, MarginScalesLinearly) {
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  ThresholdCalibrationOptions a, b;
+  a.runs = b.runs = 2;
+  b.margin = 2.0;
+  EXPECT_NEAR(2.0 * calibrate_threshold(scase, 5, a)[0],
+              calibrate_threshold(scase, 5, b)[0], 1e-12);
+}
+
+TEST(Calibration, CalibratedThresholdKeepsCleanFpLow) {
+  // A 99.5 % quantile threshold with margin should make the instantaneous
+  // (window-0) detector quiet on clean data.
+  const SimulatorCase base = simulator_case("vehicle_turning");
+  ThresholdCalibrationOptions opts;
+  opts.runs = 5;
+  opts.quantile = 0.995;
+  opts.margin = 1.2;
+  SimulatorCase scase = base;
+  scase.tau = calibrate_threshold(base, 5, opts);
+
+  DetectionSystem system(scase, AttackKind::kNone, 99);
+  const sim::Trace trace = system.run();
+  const double fp =
+      false_positive_rate(trace, trace.size(), trace.size(), Strategy::kAdaptive, 50);
+  EXPECT_LT(fp, 0.02);
+}
+
+TEST(Calibration, ThresholdValidation) {
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  ThresholdCalibrationOptions opts;
+  opts.quantile = 0.0;
+  EXPECT_THROW((void)calibrate_threshold(scase, 1, opts), std::invalid_argument);
+  opts.quantile = 0.9;
+  opts.runs = 0;
+  EXPECT_THROW((void)calibrate_threshold(scase, 1, opts), std::invalid_argument);
+}
+
+TEST(Calibration, MaxWindowProfileRespectsTolerance) {
+  SimulatorCase scase = simulator_case("aircraft_pitch");
+  scase.attack_duration = 15;
+  MaxWindowOptions opts;
+  opts.runs = 20;
+  opts.window_limit = 100;
+  opts.window_stride = 10;
+  opts.fn_tolerance = 2;
+  opts.metrics.warmup = 100;
+  const MaxWindowProfile profile = profile_max_window(scase, AttackKind::kBias, 11, opts);
+
+  ASSERT_FALSE(profile.sweep.empty());
+  // The chosen w_m itself satisfies the tolerance.
+  for (const auto& p : profile.sweep) {
+    if (p.window == profile.max_window) EXPECT_LE(p.fn_experiments, opts.fn_tolerance);
+  }
+  // And it is the largest such window in the sweep.
+  for (const auto& p : profile.sweep) {
+    if (p.window > profile.max_window) EXPECT_GT(p.fn_experiments, opts.fn_tolerance);
+  }
+}
+
+TEST(Calibration, StricterToleranceGivesSmallerOrEqualWindow) {
+  SimulatorCase scase = simulator_case("aircraft_pitch");
+  scase.attack_duration = 15;
+  MaxWindowOptions loose, strict;
+  loose.runs = strict.runs = 15;
+  loose.window_stride = strict.window_stride = 10;
+  loose.metrics.warmup = strict.metrics.warmup = 100;
+  loose.fn_tolerance = 10;
+  strict.fn_tolerance = 0;
+  const auto wl = profile_max_window(scase, AttackKind::kBias, 11, loose).max_window;
+  const auto ws = profile_max_window(scase, AttackKind::kBias, 11, strict).max_window;
+  EXPECT_LE(ws, wl);
+}
+
+}  // namespace
+}  // namespace awd::core

@@ -1,0 +1,161 @@
+// Unit tests for the experiment configurations (Table 1 encodings).
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "models/model_bank.hpp"
+
+namespace awd::core {
+namespace {
+
+TEST(Config, AllTable1CasesValidate) {
+  const auto cases = table1_cases();
+  ASSERT_EQ(cases.size(), 5u);
+  for (const auto& c : cases) EXPECT_NO_THROW(c.validate()) << c.key;
+}
+
+TEST(Config, Table1Order) {
+  const auto cases = table1_cases();
+  EXPECT_EQ(cases[0].key, "aircraft_pitch");
+  EXPECT_EQ(cases[1].key, "vehicle_turning");
+  EXPECT_EQ(cases[2].key, "series_rlc");
+  EXPECT_EQ(cases[3].key, "dc_motor");
+  EXPECT_EQ(cases[4].key, "quadrotor");
+}
+
+TEST(Config, LookupByKey) {
+  EXPECT_EQ(simulator_case("series_rlc").display_name, "Series RLC Circuit");
+  EXPECT_EQ(simulator_case("testbed_car").key, "testbed_car");
+  EXPECT_THROW((void)simulator_case("nonexistent"), std::invalid_argument);
+}
+
+// Table 1 row checks: δ, PID, U, conservative ε bound, safe set S, τ.
+TEST(Config, AircraftPitchMatchesTable1) {
+  const SimulatorCase c = simulator_case("aircraft_pitch");
+  EXPECT_DOUBLE_EQ(c.model.dt, 0.02);
+  EXPECT_DOUBLE_EQ(c.pid.kp, 14.0);
+  EXPECT_DOUBLE_EQ(c.pid.ki, 0.8);
+  EXPECT_DOUBLE_EQ(c.pid.kd, 5.7);
+  EXPECT_DOUBLE_EQ(c.u_range[0].lo, -7.0);
+  EXPECT_DOUBLE_EQ(c.u_range[0].hi, 7.0);
+  EXPECT_DOUBLE_EQ(c.eps_reach, 7.8e-3);
+  EXPECT_DOUBLE_EQ(c.safe_set[2].lo, -2.5);
+  EXPECT_DOUBLE_EQ(c.safe_set[2].hi, 2.5);
+  EXPECT_FALSE(c.safe_set[0].bounded());
+  EXPECT_EQ(c.tau, (Vec{0.012, 0.012, 0.012}));
+  EXPECT_EQ(c.max_window, 40u);  // §6.1.2's chosen w_m
+}
+
+TEST(Config, VehicleTurningMatchesTable1) {
+  const SimulatorCase c = simulator_case("vehicle_turning");
+  EXPECT_DOUBLE_EQ(c.model.dt, 0.02);
+  EXPECT_DOUBLE_EQ(c.pid.kp, 0.5);
+  EXPECT_DOUBLE_EQ(c.pid.ki, 7.0);
+  EXPECT_DOUBLE_EQ(c.u_range[0].hi, 3.0);
+  EXPECT_DOUBLE_EQ(c.eps_reach, 7.5e-2);
+  EXPECT_DOUBLE_EQ(c.safe_set[0].hi, 2.0);
+  EXPECT_EQ(c.tau, (Vec{0.07}));
+}
+
+TEST(Config, SeriesRlcMatchesTable1) {
+  const SimulatorCase c = simulator_case("series_rlc");
+  EXPECT_DOUBLE_EQ(c.pid.kp, 5.0);
+  EXPECT_DOUBLE_EQ(c.pid.ki, 5.0);
+  EXPECT_DOUBLE_EQ(c.u_range[0].hi, 5.0);
+  EXPECT_DOUBLE_EQ(c.eps_reach, 1.7e-2);
+  EXPECT_DOUBLE_EQ(c.safe_set[0].hi, 3.5);
+  EXPECT_DOUBLE_EQ(c.safe_set[1].hi, 5.0);
+  EXPECT_EQ(c.tau, (Vec{0.04, 0.01}));
+}
+
+TEST(Config, DcMotorMatchesTable1) {
+  const SimulatorCase c = simulator_case("dc_motor");
+  EXPECT_DOUBLE_EQ(c.model.dt, 0.1);
+  EXPECT_DOUBLE_EQ(c.pid.kp, 11.0);
+  EXPECT_DOUBLE_EQ(c.pid.kd, 5.0);
+  EXPECT_DOUBLE_EQ(c.u_range[0].hi, 20.0);
+  EXPECT_DOUBLE_EQ(c.eps_reach, 1.5e-1);
+  EXPECT_DOUBLE_EQ(c.safe_set[0].hi, 4.0);
+  EXPECT_FALSE(c.safe_set[1].bounded());
+}
+
+TEST(Config, QuadrotorMatchesTable1) {
+  const SimulatorCase c = simulator_case("quadrotor");
+  EXPECT_DOUBLE_EQ(c.model.dt, 0.1);
+  EXPECT_EQ(c.model.state_dim(), 12u);
+  EXPECT_EQ(c.model.input_dim(), 4u);
+  EXPECT_DOUBLE_EQ(c.pid.kp, 0.8);
+  EXPECT_DOUBLE_EQ(c.pid.kd, 1.0);
+  EXPECT_DOUBLE_EQ(c.eps, 1.56e-15);
+  EXPECT_DOUBLE_EQ(c.safe_set[2].hi, 5.0);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_DOUBLE_EQ(c.tau[i], 0.018);
+}
+
+TEST(Config, TestbedMatchesSection62) {
+  const SimulatorCase c = testbed_case();
+  EXPECT_DOUBLE_EQ(c.model.A(0, 0), 0.8435);
+  EXPECT_DOUBLE_EQ(c.model.B(0, 0), 7.7919e-4);
+  EXPECT_DOUBLE_EQ(c.safe_set[0].lo, 5.2e-3);
+  EXPECT_DOUBLE_EQ(c.safe_set[0].hi, 2.6e-2);
+  EXPECT_DOUBLE_EQ(c.tau[0], 3.67e-3);
+  EXPECT_DOUBLE_EQ(c.u_range[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(c.u_range[0].hi, 7.7);
+  EXPECT_EQ(c.attack_start, 79u);
+  EXPECT_NEAR(c.bias[0], 2.5 / models::kTestbedCarC, 1e-12);
+  EXPECT_EQ(c.fixed_window, 30u);  // Fig. 8's fixed baseline
+}
+
+TEST(Config, EpsReachIsConservative) {
+  for (const auto& c : table1_cases()) {
+    if (c.eps_reach != 0.0) EXPECT_GE(c.eps_reach, c.eps) << c.key;
+  }
+}
+
+TEST(Config, MakeControllerProducesWorkingPid) {
+  const SimulatorCase c = simulator_case("vehicle_turning");
+  auto ctrl = c.make_controller();
+  ASSERT_NE(ctrl, nullptr);
+  EXPECT_NO_THROW((void)ctrl->compute(c.x0, c.reference));
+}
+
+TEST(Config, MakeAttackAllKinds) {
+  const SimulatorCase c = simulator_case("aircraft_pitch");
+  EXPECT_EQ(c.make_attack(AttackKind::kNone)->name(), "none");
+  EXPECT_EQ(c.make_attack(AttackKind::kBias)->name(), "bias");
+  EXPECT_EQ(c.make_attack(AttackKind::kDelay)->name(), "delay");
+  EXPECT_EQ(c.make_attack(AttackKind::kReplay)->name(), "replay");
+  EXPECT_EQ(c.make_attack(AttackKind::kRamp)->name(), "ramp");
+}
+
+TEST(Config, ReplayDurationClampedToRecordedPrefix) {
+  SimulatorCase c = simulator_case("aircraft_pitch");
+  c.replay_record_start = 100;  // only 50 steps available before the attack
+  const auto attack = c.make_attack(AttackKind::kReplay);
+  EXPECT_TRUE(attack->active(c.attack_start));
+  EXPECT_TRUE(attack->active(c.attack_start + 49));
+  EXPECT_FALSE(attack->active(c.attack_start + 50));
+}
+
+TEST(Config, AttackKindToString) {
+  EXPECT_EQ(to_string(AttackKind::kNone), "none");
+  EXPECT_EQ(to_string(AttackKind::kRamp), "ramp");
+}
+
+TEST(Config, ValidationCatchesBrokenCase) {
+  SimulatorCase c = simulator_case("vehicle_turning");
+  c.tau = Vec{0.1, 0.1};
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = simulator_case("vehicle_turning");
+  c.attack_start = c.steps;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = simulator_case("vehicle_turning");
+  c.eps_reach = c.eps / 2.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awd::core

@@ -1,0 +1,69 @@
+// Tests for CSV trace export.
+#include "core/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/detection_system.hpp"
+
+namespace awd::core {
+namespace {
+
+TEST(Csv, HeaderAndRowCount) {
+  const SimulatorCase scase = simulator_case("series_rlc");
+  DetectionSystem system(scase, AttackKind::kBias, 1);
+  const sim::Trace trace = system.run(20);
+
+  std::ostringstream out;
+  write_trace_csv(out, trace);
+  const std::string text = out.str();
+
+  std::size_t lines = 0;
+  for (char ch : text) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 21u);  // header + 20 rows
+  EXPECT_EQ(text.rfind("t,x0,x1,est0,est1,residual0,residual1,u0,", 0), 0u);
+  EXPECT_NE(text.find("adaptive_alarm"), std::string::npos);
+}
+
+TEST(Csv, FieldCountConsistentPerRow) {
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  DetectionSystem system(scase, AttackKind::kNone, 2);
+  std::ostringstream out;
+  write_trace_csv(out, system.run(5));
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t expected_commas = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    const std::size_t commas =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), ','));
+    if (first) {
+      expected_commas = commas;
+      first = false;
+    } else {
+      EXPECT_EQ(commas, expected_commas);
+    }
+  }
+  // 1 state dim: t + x + est + residual + u + 6 flags/meta = 11 fields.
+  EXPECT_EQ(expected_commas, 10u);
+}
+
+TEST(Csv, EmptyTraceThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(write_trace_csv(out, sim::Trace{}), std::invalid_argument);
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  DetectionSystem system(scase, AttackKind::kNone, 2);
+  EXPECT_THROW(write_trace_csv("/nonexistent_dir/trace.csv", system.run(3)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace awd::core

@@ -1,0 +1,77 @@
+// Tests for the Monte-Carlo experiment runners (Table 2 / Fig. 7 workloads,
+// scaled down for test time).
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace awd::core {
+namespace {
+
+TEST(Experiment, CellResultCountsAreConsistent) {
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  MetricsOptions opts;
+  opts.warmup = 100;
+  const CellResult cell = run_cell(scase, AttackKind::kBias, 10, 2022, opts);
+  EXPECT_EQ(cell.runs, 10u);
+  EXPECT_EQ(cell.simulator, "vehicle_turning");
+  EXPECT_LE(cell.fp_adaptive, 10u);
+  EXPECT_LE(cell.dm_fixed, 10u);
+  // FN implies DM by definition.
+  EXPECT_LE(cell.fn_adaptive, cell.dm_adaptive);
+  EXPECT_LE(cell.fn_fixed, cell.dm_fixed);
+}
+
+TEST(Experiment, DeterministicForFixedBaseSeed) {
+  const SimulatorCase scase = simulator_case("series_rlc");
+  MetricsOptions opts;
+  opts.warmup = 100;
+  const CellResult a = run_cell(scase, AttackKind::kBias, 5, 7, opts);
+  const CellResult b = run_cell(scase, AttackKind::kBias, 5, 7, opts);
+  EXPECT_EQ(a.fp_adaptive, b.fp_adaptive);
+  EXPECT_EQ(a.dm_fixed, b.dm_fixed);
+  EXPECT_EQ(a.mean_delay_adaptive, b.mean_delay_adaptive);
+}
+
+TEST(Experiment, HeadlineOrderingOnBiasCell) {
+  // The paper's Table 2 structure: adaptive has (weakly) more FP
+  // experiments and (strictly) fewer deadline misses than fixed.
+  const SimulatorCase scase = simulator_case("aircraft_pitch");
+  MetricsOptions opts;
+  opts.warmup = 100;
+  opts.fp_threshold = 0.01;
+  const CellResult cell = run_cell(scase, AttackKind::kBias, 20, 2022, opts);
+  EXPECT_GE(cell.fp_adaptive, cell.fp_fixed);
+  EXPECT_LT(cell.dm_adaptive, cell.dm_fixed);
+  EXPECT_EQ(cell.dm_adaptive, 0u);
+}
+
+TEST(Experiment, WindowSweepShapesMatchFig7) {
+  SimulatorCase scase = simulator_case("aircraft_pitch");
+  scase.attack_duration = 15;  // §6.1.2
+  MetricsOptions opts;
+  opts.warmup = 100;
+  const std::vector<std::size_t> windows = {0, 40, 100};
+  const auto points = fixed_window_sweep(scase, AttackKind::kBias, windows, 30, 2022, opts);
+  ASSERT_EQ(points.size(), 3u);
+  // FP experiments decrease with window size; FN experiments increase.
+  EXPECT_GT(points[0].fp_experiments, points[1].fp_experiments);
+  EXPECT_GE(points[1].fp_experiments, points[2].fp_experiments);
+  EXPECT_LE(points[0].fn_experiments, points[1].fn_experiments);
+  EXPECT_LT(points[1].fn_experiments, points[2].fn_experiments);
+  // At w=0 every run alarms constantly: all FP, no FN.
+  EXPECT_EQ(points[0].fp_experiments, 30u);
+  EXPECT_EQ(points[0].fn_experiments, 0u);
+}
+
+TEST(Experiment, SweepIsDeterministic) {
+  SimulatorCase scase = simulator_case("vehicle_turning");
+  scase.attack_duration = 15;
+  const std::vector<std::size_t> windows = {0, 10};
+  const auto a = fixed_window_sweep(scase, AttackKind::kBias, windows, 5, 3, {});
+  const auto b = fixed_window_sweep(scase, AttackKind::kBias, windows, 5, 3, {});
+  EXPECT_EQ(a[0].fp_experiments, b[0].fp_experiments);
+  EXPECT_EQ(a[1].fn_experiments, b[1].fn_experiments);
+}
+
+}  // namespace
+}  // namespace awd::core

@@ -1,0 +1,104 @@
+// Unit tests for the evaluation metrics (§6 definitions).
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace awd::core {
+namespace {
+
+sim::Trace trace_with(std::size_t len, std::initializer_list<std::size_t> adaptive,
+                      std::initializer_list<std::size_t> fixed,
+                      std::size_t deadline_at_each_step = 5) {
+  sim::Trace t;
+  for (std::size_t i = 0; i < len; ++i) {
+    sim::StepRecord r;
+    r.t = i;
+    r.deadline = deadline_at_each_step;
+    for (std::size_t a : adaptive) {
+      if (a == i) r.adaptive_alarm = true;
+    }
+    for (std::size_t f : fixed) {
+      if (f == i) r.fixed_alarm = true;
+    }
+    t.push(std::move(r));
+  }
+  return t;
+}
+
+TEST(Metrics, FpRateCountsOnlyCleanSteps) {
+  // 20 steps, attack [10, 15): clean = 15 steps; alarms at 2 (clean) and 11
+  // (attacked, excluded).
+  const sim::Trace t = trace_with(20, {2, 11}, {});
+  EXPECT_DOUBLE_EQ(false_positive_rate(t, 10, 15, Strategy::kAdaptive), 1.0 / 15.0);
+  EXPECT_DOUBLE_EQ(false_positive_rate(t, 10, 15, Strategy::kFixed), 0.0);
+}
+
+TEST(Metrics, WarmupExcluded) {
+  const sim::Trace t = trace_with(20, {2}, {});
+  EXPECT_DOUBLE_EQ(false_positive_rate(t, 10, 15, Strategy::kAdaptive, /*warmup=*/5),
+                   0.0);
+}
+
+TEST(Metrics, PostAttackGuardExcluded) {
+  // Alarm at 16, right after the attack ends at 15: guarded out.
+  const sim::Trace t = trace_with(25, {16}, {});
+  EXPECT_DOUBLE_EQ(false_positive_rate(t, 10, 15, Strategy::kAdaptive, 0, /*guard=*/3),
+                   0.0);
+  EXPECT_GT(false_positive_rate(t, 10, 15, Strategy::kAdaptive, 0, 0), 0.0);
+}
+
+TEST(Metrics, DetectionDelayAndDeadline) {
+  // Attack at 10, deadline 5 (from the trace), adaptive alarm at 13 (in
+  // time), fixed alarm at 17 (missed).
+  const sim::Trace t = trace_with(30, {13}, {17});
+  const RunMetrics ma = compute_metrics(t, 10, 10, Strategy::kAdaptive);
+  EXPECT_EQ(ma.first_alarm_after_onset.value(), 13u);
+  EXPECT_EQ(ma.detection_delay.value(), 3u);
+  EXPECT_EQ(ma.deadline_at_onset, 5u);
+  EXPECT_FALSE(ma.deadline_miss);
+  EXPECT_FALSE(ma.false_negative);
+
+  const RunMetrics mf = compute_metrics(t, 10, 10, Strategy::kFixed);
+  EXPECT_TRUE(mf.deadline_miss);
+  EXPECT_FALSE(mf.false_negative);
+}
+
+TEST(Metrics, AlarmExactlyAtDeadlineIsInTime) {
+  const sim::Trace t = trace_with(30, {15}, {16});
+  EXPECT_FALSE(compute_metrics(t, 10, 10, Strategy::kAdaptive).deadline_miss);
+  EXPECT_TRUE(compute_metrics(t, 10, 10, Strategy::kFixed).deadline_miss);
+}
+
+TEST(Metrics, NeverDetectedIsFalseNegativeAndMiss) {
+  const sim::Trace t = trace_with(30, {}, {});
+  const RunMetrics m = compute_metrics(t, 10, 10, Strategy::kAdaptive);
+  EXPECT_TRUE(m.false_negative);
+  EXPECT_TRUE(m.deadline_miss);
+  EXPECT_FALSE(m.detection_delay.has_value());
+}
+
+TEST(Metrics, FpExperimentThreshold) {
+  // 4 alarms in 20 clean steps = 20% > 10%.
+  const sim::Trace t = trace_with(30, {1, 2, 3, 4}, {});
+  MetricsOptions opts;
+  opts.fp_threshold = 0.1;
+  EXPECT_TRUE(compute_metrics(t, 25, 5, Strategy::kAdaptive, opts).fp_experiment);
+  opts.fp_threshold = 0.5;
+  EXPECT_FALSE(compute_metrics(t, 25, 5, Strategy::kAdaptive, opts).fp_experiment);
+}
+
+TEST(Metrics, AttackOutsideTraceThrows) {
+  const sim::Trace t = trace_with(10, {}, {});
+  EXPECT_THROW((void)compute_metrics(t, 10, 5, Strategy::kAdaptive),
+               std::invalid_argument);
+}
+
+TEST(Metrics, EmptyCleanRangeGivesZeroRate) {
+  const sim::Trace t = trace_with(10, {1}, {});
+  EXPECT_DOUBLE_EQ(false_positive_rate(t, 0, 10, Strategy::kAdaptive), 0.0);
+}
+
+}  // namespace
+}  // namespace awd::core

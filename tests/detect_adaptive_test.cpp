@@ -1,0 +1,193 @@
+// Unit and property tests for the Adaptive Detector (§4) and the window
+// adjustment protocol, including the complementary-detection no-escape
+// invariant of §4.2.1.
+#include "detect/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "detect/fixed.hpp"
+
+namespace awd::detect {
+namespace {
+
+models::DiscreteLti identity_model() {
+  // A = 1, B = 0: the residual of a logged estimate stream x̄ is
+  // |x̄_{t-1} - x̄_t|, handy for crafting exact residual sequences.
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{1.0}};
+  m.B = linalg::Matrix{{0.0}};
+  m.dt = 1.0;
+  m.name = "identity";
+  return m;
+}
+
+/// Log a stream whose residuals are exactly `z` (z[0] is forced to 0).
+DataLogger logger_with_residuals(const std::vector<double>& z, std::size_t w_m) {
+  DataLogger log(identity_model(), w_m);
+  double est = 0.0;
+  (void)log.log(0, Vec{est}, Vec{0.0});
+  for (std::size_t t = 1; t < z.size(); ++t) {
+    est += z[t];  // residual |est_{t-1} - est_t| = z[t]
+    (void)log.log(t, Vec{est}, Vec{0.0});
+  }
+  return log;
+}
+
+/// Drive logger and detector together (the real pipeline's interleaving:
+/// the logger is at step t when the detector evaluates step t) with a
+/// prescribed residual stream and per-step deadline schedule.
+struct StreamRun {
+  bool detected = false;
+  std::size_t evaluations = 0;
+};
+StreamRun run_stream(const std::vector<double>& z, std::size_t w_m, double tau,
+                     const std::vector<std::size_t>& deadline_schedule) {
+  DataLogger log(identity_model(), w_m);
+  AdaptiveDetector det(Vec{tau}, w_m);
+  StreamRun out;
+  double est = 0.0;
+  for (std::size_t t = 0; t < z.size(); ++t) {
+    if (t > 0) est += z[t];
+    (void)log.log(t, Vec{est}, Vec{0.0});
+    const std::size_t deadline = deadline_schedule[t % deadline_schedule.size()];
+    const AdaptiveDecision d = det.step(log, t, deadline);
+    out.evaluations += d.evaluations;
+    if (d.any_alarm()) out.detected = true;
+  }
+  return out;
+}
+
+TEST(Adaptive, WindowFollowsDeadlineClamped) {
+  AdaptiveDetector det(Vec{1e9}, 10);
+  const DataLogger log = logger_with_residuals(std::vector<double>(30, 0.0), 10);
+  EXPECT_EQ(det.step(log, 20, 3).window, 3u);
+  EXPECT_EQ(det.step(log, 21, 99).window, 10u);  // clamped to w_m
+  EXPECT_EQ(det.step(log, 22, 0).window, 0u);
+}
+
+TEST(Adaptive, AlarmsWhenMeanExceedsTau) {
+  std::vector<double> z(30, 0.0);
+  z[20] = 1.0;  // spike
+  const DataLogger log = logger_with_residuals(z, 10);
+  AdaptiveDetector det(Vec{0.2}, 10);
+  // Window 2 at t=20: mean = 1/3 > 0.2.
+  const AdaptiveDecision d = det.step(log, 20, 2);
+  EXPECT_TRUE(d.alarm);
+  EXPECT_TRUE(d.any_alarm());
+  EXPECT_NEAR(d.mean_residual[0], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Adaptive, GrowingWindowNeedsNoComplementarySweep) {
+  const DataLogger log = logger_with_residuals(std::vector<double>(30, 0.0), 10);
+  AdaptiveDetector det(Vec{1.0}, 10);
+  (void)det.step(log, 20, 2);
+  const AdaptiveDecision d = det.step(log, 21, 8);  // grow 2 -> 8
+  EXPECT_EQ(d.evaluations, 1u);  // only the current-step test
+  EXPECT_FALSE(d.complementary_alarm);
+}
+
+TEST(Adaptive, ShrinkTriggersComplementarySweeps) {
+  // Drive logger and detector together so the ring buffer is positioned as
+  // in the real pipeline, then shrink 10 -> 4 at t=31.
+  DataLogger log(identity_model(), 12);
+  AdaptiveDetector det(Vec{1.0}, 12);
+  for (std::size_t t = 0; t <= 30; ++t) {
+    (void)log.log(t, Vec{0.0}, Vec{0.0});
+    (void)det.step(log, t, 10);
+  }
+  (void)log.log(31, Vec{0.0}, Vec{0.0});
+  const AdaptiveDecision d = det.step(log, 31, 4);  // shrink to 4
+  // Virtual times: [31 - 10 - 1 + 4, 30] = [24, 30] -> 7 sweeps + current.
+  EXPECT_EQ(d.window, 4u);
+  EXPECT_EQ(d.evaluations, 8u);
+}
+
+TEST(Adaptive, ComplementaryDetectionCatchesEscapingSpike) {
+  // Residual spike at t=22 against tau=0.15: a size-10 window (11 points)
+  // hides it (mean 1/11 = 0.0909) but a size-4 window (5 points) reveals it
+  // (mean 1/5 = 0.2).  When the deadline collapses at t=30, the current
+  // size-4 window [26,30] misses the spike; only the complementary sweeps
+  // over the escaped region [23, 29] can catch it.
+  DataLogger log(identity_model(), 12);
+  AdaptiveDetector det(Vec{0.15}, 12);
+  double est = 0.0;
+  AdaptiveDecision d;
+  for (std::size_t t = 0; t <= 29; ++t) {
+    if (t == 22) est += 1.0;  // the spike
+    (void)log.log(t, Vec{est}, Vec{0.0});
+    d = det.step(log, t, 10);
+    EXPECT_FALSE(d.any_alarm()) << "size-10 window must hide the spike, t=" << t;
+  }
+  (void)log.log(30, Vec{est}, Vec{0.0});
+  d = det.step(log, 30, 4);
+  EXPECT_FALSE(d.alarm);  // current window itself is clean
+  EXPECT_TRUE(d.complementary_alarm) << "spike escaped the shrinking window";
+  EXPECT_TRUE(d.any_alarm());
+}
+
+// Property: for ANY deadline sequence, every residual spike is covered by at
+// least one evaluated window (no data point escapes detection, §4.2.1).
+TEST(Adaptive, NoEscapeProperty) {
+  const std::size_t w_m = 12;
+  const std::size_t len = 80;
+  // Every schedule below contains windows of size <= 2, and a unit spike
+  // against tau = 0.3 alarms in any window of size <= 2 (mean 1/3 > 0.3).
+  const double spike_tau = 0.3;
+
+  // Adversarial deadline schedules: oscillating, collapsing, random-ish.
+  const std::vector<std::vector<std::size_t>> schedules = {
+      {10, 10, 10, 2, 10, 2, 10, 2},
+      {12, 0, 12, 0, 12, 0},
+      {9, 7, 5, 3, 1, 0, 12, 9, 7, 5, 3, 1},
+      {4, 11, 2, 8, 0, 6, 1, 12, 3},
+  };
+
+  for (std::size_t which = 0; which < schedules.size(); ++which) {
+    for (std::size_t spike_at = 20; spike_at < 70; spike_at += 7) {
+      std::vector<double> z(len, 0.0);
+      z[spike_at] = 1.0;  // any window of size <= 1/0.45 - 1 sees mean > tau
+      const StreamRun run = run_stream(z, w_m, spike_tau, schedules[which]);
+      // The protocol guarantees the point is evaluated by *some* window of
+      // the (small) current size while it is still logged — either the
+      // current-step test or a complementary sweep.
+      EXPECT_TRUE(run.detected) << "schedule " << which << ", spike at " << spike_at;
+    }
+  }
+}
+
+TEST(Adaptive, ResetRestartsProtocol) {
+  const DataLogger log = logger_with_residuals(std::vector<double>(30, 0.0), 10);
+  AdaptiveDetector det(Vec{1.0}, 10);
+  (void)det.step(log, 20, 10);
+  det.reset();
+  EXPECT_EQ(det.previous_window(), 0u);
+  // After reset, a small deadline is not a "shrink": no sweeps.
+  const AdaptiveDecision d = det.step(log, 21, 2);
+  EXPECT_EQ(d.evaluations, 1u);
+}
+
+TEST(Adaptive, Validation) {
+  EXPECT_THROW(AdaptiveDetector(Vec{}, 10), std::invalid_argument);
+  EXPECT_THROW(AdaptiveDetector(Vec{0.1}, 0), std::invalid_argument);
+}
+
+TEST(FixedDetector, MatchesManualWindowTest) {
+  std::vector<double> z(30, 0.0);
+  z[20] = 0.9;
+  const DataLogger log = logger_with_residuals(z, 10);
+  const FixedWindowDetector det(Vec{0.2}, 3);
+  EXPECT_TRUE(det.step(log, 20).alarm);   // mean 0.9/4 = 0.225 > 0.2
+  EXPECT_FALSE(det.step(log, 24).alarm);  // spike left the window
+  EXPECT_EQ(det.window(), 3u);
+  EXPECT_THROW(FixedWindowDetector(Vec{}, 3), std::invalid_argument);
+}
+
+TEST(WindowDecision, ThresholdDimensionValidated) {
+  const DataLogger log = logger_with_residuals(std::vector<double>(10, 0.0), 5);
+  EXPECT_THROW((void)evaluate_window(log, 5, 2, Vec{0.1, 0.1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awd::detect

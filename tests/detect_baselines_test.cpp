@@ -1,0 +1,97 @@
+// Unit tests for the CUSUM and chi-squared baseline detectors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "detect/chi2.hpp"
+#include "detect/cusum.hpp"
+
+namespace awd::detect {
+namespace {
+
+models::DiscreteLti identity_model() {
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{1.0}};
+  m.B = linalg::Matrix{{0.0}};
+  m.dt = 1.0;
+  m.name = "identity";
+  return m;
+}
+
+TEST(Cusum, AccumulatesAboveDrift) {
+  CusumDetector det(Vec{0.1}, Vec{0.5});
+  // Residual 0.3 per step: statistic grows by 0.2 per step, alarms at step 3.
+  EXPECT_FALSE(det.update(Vec{0.3}).alarm);  // S = 0.2
+  EXPECT_FALSE(det.update(Vec{0.3}).alarm);  // S = 0.4
+  EXPECT_TRUE(det.update(Vec{0.3}).alarm);   // S = 0.6 > 0.5
+}
+
+TEST(Cusum, DecaysBelowDriftAndClampsAtZero) {
+  CusumDetector det(Vec{0.5}, Vec{10.0});
+  (void)det.update(Vec{1.0});  // S = 0.5
+  (void)det.update(Vec{0.0});  // S = 0 (clamped)
+  EXPECT_EQ(det.statistic()[0], 0.0);
+}
+
+TEST(Cusum, ResetOnAlarmRestartsStatistic) {
+  CusumDetector det(Vec{0.0}, Vec{0.5}, /*reset_on_alarm=*/true);
+  EXPECT_TRUE(det.update(Vec{1.0}).alarm);
+  EXPECT_EQ(det.statistic()[0], 0.0);
+  CusumDetector keep(Vec{0.0}, Vec{0.5}, /*reset_on_alarm=*/false);
+  EXPECT_TRUE(keep.update(Vec{1.0}).alarm);
+  EXPECT_EQ(keep.statistic()[0], 1.0);
+}
+
+TEST(Cusum, PerDimensionIndependent) {
+  CusumDetector det(Vec{0.1, 0.1}, Vec{0.5, 100.0}, false);
+  const CusumDecision d = det.update(Vec{1.0, 1.0});
+  EXPECT_TRUE(d.alarm);  // dim 0 crossed; dim 1 nowhere near
+  EXPECT_NEAR(d.statistic[1], 0.9, 1e-12);
+}
+
+TEST(Cusum, StepReadsLoggerResidual) {
+  DataLogger log(identity_model(), 5);
+  (void)log.log(0, Vec{0.0}, Vec{0.0});
+  (void)log.log(1, Vec{2.0}, Vec{0.0});  // residual 2.0
+  CusumDetector det(Vec{0.5}, Vec{1.0});
+  EXPECT_TRUE(det.step(log, 1).alarm);
+}
+
+TEST(Cusum, Validation) {
+  EXPECT_THROW(CusumDetector(Vec{}, Vec{}), std::invalid_argument);
+  EXPECT_THROW(CusumDetector(Vec{0.1}, Vec{0.1, 0.2}), std::invalid_argument);
+  CusumDetector det(Vec{0.1}, Vec{0.5});
+  EXPECT_THROW((void)det.update(Vec{0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(Chi2, InstantaneousStatistic) {
+  const Chi2Detector det(Vec{0.1, 0.2}, 3.0);
+  // g = (0.2/0.1)^2 + (0.2/0.2)^2 = 4 + 1 = 5.
+  EXPECT_DOUBLE_EQ(det.normalized_square(Vec{0.2, 0.2}), 5.0);
+}
+
+TEST(Chi2, WindowedMeanOverLogger) {
+  DataLogger log(identity_model(), 10);
+  double est = 0.0;
+  (void)log.log(0, Vec{est}, Vec{0.0});
+  for (std::size_t t = 1; t <= 5; ++t) {
+    est += 0.1;  // residual 0.1 each step
+    (void)log.log(t, Vec{est}, Vec{0.0});
+  }
+  const Chi2Detector det(Vec{0.1}, 0.9, /*window=*/2);
+  const Chi2Decision d = det.step(log, 5);
+  EXPECT_NEAR(d.statistic, 1.0, 1e-12);  // each normalized square = 1
+  EXPECT_TRUE(d.alarm);
+}
+
+TEST(Chi2, Validation) {
+  EXPECT_THROW(Chi2Detector(Vec{}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Chi2Detector(Vec{0.0}, 1.0), std::invalid_argument);
+  const Chi2Detector det(Vec{0.1}, 1.0);
+  EXPECT_THROW((void)det.normalized_square(Vec{0.1, 0.1}), std::invalid_argument);
+  DataLogger log(identity_model(), 5);
+  EXPECT_THROW((void)det.step(log, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace awd::detect

@@ -1,0 +1,136 @@
+// Unit tests for the Data Logger (§5): buffer / hold / release semantics.
+#include "detect/logger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace awd::detect {
+namespace {
+
+models::DiscreteLti scalar_model() {
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{2.0}};
+  m.B = linalg::Matrix{{1.0}};
+  m.dt = 0.1;
+  m.name = "scalar";
+  return m;
+}
+
+TEST(Logger, CapacityIsMaxWindowPlusSeed) {
+  DataLogger log(scalar_model(), 5);
+  // w_m + 1 points inside a maximal window plus the trusted seed.
+  EXPECT_EQ(log.capacity(), 7u);
+  EXPECT_EQ(log.max_window(), 5u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(Logger, FirstEntryHasZeroResidual) {
+  DataLogger log(scalar_model(), 5);
+  const LogEntry& e = log.log(0, Vec{3.0}, Vec{1.0});
+  EXPECT_EQ(e.residual[0], 0.0);
+  EXPECT_EQ(e.predicted[0], 3.0);
+}
+
+TEST(Logger, ResidualUsesPreviousEstimateAndControl) {
+  DataLogger log(scalar_model(), 5);
+  (void)log.log(0, Vec{3.0}, Vec{1.0});
+  const LogEntry& e = log.log(1, Vec{6.5}, Vec{0.0});
+  // x̃_1 = 2*3 + 1*1 = 7; z = |7 - 6.5| = 0.5.
+  EXPECT_DOUBLE_EQ(e.predicted[0], 7.0);
+  EXPECT_DOUBLE_EQ(e.residual[0], 0.5);
+}
+
+TEST(Logger, ReleaseDropsOldEntries) {
+  DataLogger log(scalar_model(), 3);  // capacity 5
+  for (std::size_t t = 0; t < 10; ++t) (void)log.log(t, Vec{0.0}, Vec{0.0});
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.earliest(), 5u);
+  EXPECT_EQ(log.latest(), 9u);
+  EXPECT_FALSE(log.has(4));
+  EXPECT_TRUE(log.has(5));
+  EXPECT_THROW((void)log.entry(4), std::out_of_range);
+}
+
+TEST(Logger, ContiguityEnforced) {
+  DataLogger log(scalar_model(), 3);
+  (void)log.log(0, Vec{0.0}, Vec{0.0});
+  EXPECT_THROW((void)log.log(2, Vec{0.0}, Vec{0.0}), std::invalid_argument);
+  EXPECT_THROW((void)log.log(0, Vec{0.0}, Vec{0.0}), std::invalid_argument);
+  EXPECT_NO_THROW((void)log.log(1, Vec{0.0}, Vec{0.0}));
+}
+
+TEST(Logger, FirstEntryMayStartAnywhere) {
+  DataLogger log(scalar_model(), 3);
+  EXPECT_NO_THROW((void)log.log(42, Vec{0.0}, Vec{0.0}));
+  EXPECT_EQ(log.earliest(), 42u);
+}
+
+TEST(Logger, WindowMeanInclusiveWindow) {
+  DataLogger log(scalar_model(), 10);
+  // Estimates chosen so residuals are 0, 1, 2, 3, ... :
+  // x̄_{t} = 2 x̄_{t-1} - t  gives z_t = t (control 0).
+  double est = 1.0;
+  (void)log.log(0, Vec{est}, Vec{0.0});
+  for (std::size_t t = 1; t <= 6; ++t) {
+    est = 2.0 * est - static_cast<double>(t);
+    (void)log.log(t, Vec{est}, Vec{0.0});
+  }
+  // Window [4, 6] -> residuals {4, 5, 6}, mean 5.
+  EXPECT_DOUBLE_EQ(log.window_mean(6, 2)[0], 5.0);
+  // Window size 0 -> just the residual at 6.
+  EXPECT_DOUBLE_EQ(log.window_mean(6, 0)[0], 6.0);
+}
+
+TEST(Logger, WindowMeanClampsAtStreamStart) {
+  DataLogger log(scalar_model(), 10);
+  (void)log.log(0, Vec{1.0}, Vec{0.0});
+  (void)log.log(1, Vec{2.0}, Vec{0.0});  // residual |2*1 - 2| = 0
+  // Window of size 5 at t=1 only has 2 points; mean over what exists.
+  EXPECT_NO_THROW((void)log.window_mean(1, 5));
+  EXPECT_THROW((void)log.window_mean(7, 2), std::out_of_range);
+}
+
+TEST(Logger, TrustedStateIsJustOutsideTheWindow) {
+  DataLogger log(scalar_model(), 5);
+  for (std::size_t t = 0; t < 7; ++t) {
+    (void)log.log(t, Vec{static_cast<double>(t)}, Vec{0.0});
+  }
+  // At t=6 with window 2, the seed is x̄_{6-2-1} = x̄_3.
+  const auto seed = log.trusted_state(6, 2);
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_DOUBLE_EQ((*seed)[0], 3.0);
+  // Too early in the stream: no trusted point yet.
+  EXPECT_FALSE(log.trusted_state(1, 2).has_value());
+}
+
+TEST(Logger, TrustedStateForMaxWindowIsOldestRetained) {
+  DataLogger log(scalar_model(), 5);
+  for (std::size_t t = 0; t < 20; ++t) {
+    (void)log.log(t, Vec{static_cast<double>(t)}, Vec{0.0});
+  }
+  // At t=19 with window w_m=5: seed is t-6 = 13, the oldest retained entry.
+  const auto seed = log.trusted_state(19, 5);
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_DOUBLE_EQ((*seed)[0], 13.0);
+  EXPECT_EQ(log.earliest(), 13u);
+}
+
+TEST(Logger, ResetForgets) {
+  DataLogger log(scalar_model(), 3);
+  (void)log.log(0, Vec{0.0}, Vec{0.0});
+  log.reset();
+  EXPECT_TRUE(log.empty());
+  EXPECT_THROW((void)log.earliest(), std::logic_error);
+  EXPECT_NO_THROW((void)log.log(5, Vec{0.0}, Vec{0.0}));
+}
+
+TEST(Logger, Validation) {
+  EXPECT_THROW(DataLogger(scalar_model(), 0), std::invalid_argument);
+  DataLogger log(scalar_model(), 3);
+  EXPECT_THROW((void)log.log(0, Vec{0.0, 1.0}, Vec{0.0}), std::invalid_argument);
+  EXPECT_THROW((void)log.log(0, Vec{0.0}, Vec{0.0, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awd::detect

@@ -1,0 +1,128 @@
+// Unit and property tests for the eigenvalue solver.
+#include "linalg/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/config.hpp"
+#include "sim/noise.hpp"
+
+namespace awd::linalg {
+namespace {
+
+std::vector<double> sorted_real(const std::vector<std::complex<double>>& evs) {
+  std::vector<double> r;
+  for (const auto& e : evs) r.push_back(e.real());
+  std::sort(r.begin(), r.end());
+  return r;
+}
+
+TEST(Eig, Scalar) {
+  const auto evs = eigenvalues(Matrix{{-3.5}});
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_DOUBLE_EQ(evs[0].real(), -3.5);
+}
+
+TEST(Eig, DiagonalMatrix) {
+  const auto evs = eigenvalues(Matrix::diagonal(Vec{3.0, -1.0, 0.5}));
+  const auto r = sorted_real(evs);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[0], -1.0, 1e-10);
+  EXPECT_NEAR(r[1], 0.5, 1e-10);
+  EXPECT_NEAR(r[2], 3.0, 1e-10);
+}
+
+TEST(Eig, UpperTriangularEigsAreDiagonal) {
+  const Matrix a{{2.0, 5.0, -1.0}, {0.0, -3.0, 4.0}, {0.0, 0.0, 7.0}};
+  const auto r = sorted_real(eigenvalues(a));
+  EXPECT_NEAR(r[0], -3.0, 1e-9);
+  EXPECT_NEAR(r[1], 2.0, 1e-9);
+  EXPECT_NEAR(r[2], 7.0, 1e-9);
+}
+
+TEST(Eig, ComplexPairFromRotation) {
+  // Rotation by θ scaled by ρ: eigenvalues ρ e^{±iθ}.
+  const double rho = 0.9, theta = 0.7;
+  const Matrix a{{rho * std::cos(theta), -rho * std::sin(theta)},
+                 {rho * std::sin(theta), rho * std::cos(theta)}};
+  const auto evs = eigenvalues(a);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_NEAR(std::abs(evs[0]), rho, 1e-10);
+  EXPECT_NEAR(std::abs(evs[1]), rho, 1e-10);
+  EXPECT_NEAR(std::abs(evs[0].imag()), rho * std::sin(theta), 1e-10);
+}
+
+TEST(Eig, KnownNonSymmetric3x3) {
+  // Companion matrix of (λ-1)(λ-2)(λ-3) = λ³ - 6λ² + 11λ - 6.
+  const Matrix a{{6.0, -11.0, 6.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  const auto r = sorted_real(eigenvalues(a));
+  EXPECT_NEAR(r[0], 1.0, 1e-8);
+  EXPECT_NEAR(r[1], 2.0, 1e-8);
+  EXPECT_NEAR(r[2], 3.0, 1e-8);
+}
+
+TEST(Eig, HessenbergPreservesEigenvalues) {
+  sim::Rng rng(31);
+  Matrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  const Matrix h = hessenberg(a);
+  // Hessenberg structure: zero below the first subdiagonal.
+  for (std::size_t i = 2; i < 5; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) EXPECT_NEAR(h(i, j), 0.0, 1e-12);
+  }
+  // Similarity transform: traces agree (sum of eigenvalues).
+  EXPECT_NEAR(h.trace(), a.trace(), 1e-10);
+}
+
+// Property: eigenvalue sum = trace and |product| = |det| on random matrices.
+TEST(Eig, TraceAndDeterminantIdentities) {
+  sim::Rng rng(37);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    const auto evs = eigenvalues(a);
+    ASSERT_EQ(evs.size(), n);
+    std::complex<double> sum = 0.0, prod = 1.0;
+    for (const auto& e : evs) {
+      sum += e;
+      prod *= e;
+    }
+    EXPECT_NEAR(sum.real(), a.trace(), 1e-7) << "trial " << trial;
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-7);  // complex eigenvalues pair up
+  }
+}
+
+TEST(Eig, SpectralRadiusAndStability) {
+  EXPECT_NEAR(spectral_radius(Matrix::diagonal(Vec{0.5, -0.99})), 0.99, 1e-10);
+  EXPECT_TRUE(is_schur_stable(Matrix::diagonal(Vec{0.5, -0.99})));
+  EXPECT_FALSE(is_schur_stable(Matrix::diagonal(Vec{0.5, -1.01})));
+  EXPECT_FALSE(is_schur_stable(Matrix::diagonal(Vec{0.95}), /*margin=*/0.1));
+}
+
+TEST(Eig, OpenLoopPlantSpectra) {
+  // Stable open-loop plants stay stable after ZOH discretization;
+  // integrator-type plants sit on the unit circle.
+  EXPECT_LE(spectral_radius(core::simulator_case("series_rlc").model.A), 1.0);
+  EXPECT_NEAR(spectral_radius(core::simulator_case("vehicle_turning").model.A), 1.0,
+              1e-9);  // pure integrator
+  EXPECT_NEAR(spectral_radius(core::simulator_case("quadrotor").model.A), 1.0,
+              1e-9);  // chains of integrators
+  EXPECT_LT(spectral_radius(core::simulator_case("testbed_car").model.A), 1.0);
+}
+
+TEST(Eig, NonSquareThrows) {
+  EXPECT_THROW((void)eigenvalues(Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW((void)hessenberg(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Eig, EmptyMatrix) { EXPECT_TRUE(eigenvalues(Matrix(0, 0)).empty()); }
+
+}  // namespace
+}  // namespace awd::linalg

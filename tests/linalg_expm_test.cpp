@@ -1,0 +1,98 @@
+// Unit tests for the matrix exponential.
+#include "linalg/expm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "sim/noise.hpp"
+
+namespace awd::linalg {
+namespace {
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  const Matrix e = expm(Matrix(3, 3));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-15);
+  }
+}
+
+TEST(Expm, DiagonalMatrix) {
+  const Matrix e = expm(Matrix::diagonal(Vec{1.0, -2.0, 0.5}));
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-13);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-13);
+  EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-13);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentMatrixExactSeries) {
+  // N = [[0,1],[0,0]] -> e^N = I + N exactly.
+  const Matrix e = expm(Matrix{{0.0, 1.0}, {0.0, 0.0}});
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-15);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-15);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-15);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-15);
+}
+
+TEST(Expm, RotationMatrix) {
+  // exp([[0,-t],[t,0]]) = [[cos t, -sin t],[sin t, cos t]].
+  const double t = 1.3;
+  const Matrix e = expm(Matrix{{0.0, -t}, {t, 0.0}});
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-13);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-13);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-13);
+}
+
+TEST(Expm, LargeNormTriggersScaling) {
+  // ||A|| far above theta_13 exercises the squaring phase.
+  const double t = 30.0;
+  const Matrix e = expm(Matrix{{0.0, -t}, {t, 0.0}});
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-10);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-10);
+}
+
+TEST(Expm, NonSquareThrows) {
+  EXPECT_THROW((void)expm(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Expm, EmptyMatrix) {
+  const Matrix e = expm(Matrix(0, 0));
+  EXPECT_EQ(e.rows(), 0u);
+}
+
+// Property: e^A e^{-A} = I for random matrices.
+TEST(Expm, InverseIdentityProperty) {
+  sim::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-2.0, 2.0);
+    }
+    const Matrix prod = expm(a) * expm(-a);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9) << "trial " << trial;
+      }
+    }
+  }
+}
+
+// Property: e^{A(s+t)} = e^{As} e^{At} (semigroup).
+TEST(Expm, SemigroupProperty) {
+  const Matrix a{{-0.3, 1.2, 0.0}, {0.0, -0.7, 0.5}, {0.2, 0.0, -1.1}};
+  const Matrix lhs = expm(a * 0.7);
+  const Matrix rhs = expm(a * 0.3) * expm(a * 0.4);
+  EXPECT_LT((lhs - rhs).max_abs(), 1e-12);
+}
+
+// Property: det(e^A) = e^{trace A}.
+TEST(Expm, DeterminantIsExpTrace) {
+  const Matrix a{{0.2, 1.0}, {-0.5, -0.9}};
+  EXPECT_NEAR(Lu(expm(a)).determinant(), std::exp(a.trace()), 1e-12);
+}
+
+}  // namespace
+}  // namespace awd::linalg

@@ -1,0 +1,104 @@
+// Unit tests for the LU decomposition.
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/noise.hpp"
+
+namespace awd::linalg {
+namespace {
+
+TEST(Lu, SolvesIdentity) {
+  const Lu lu(Matrix::identity(3));
+  const Vec b{1.0, 2.0, 3.0};
+  const Vec x = lu.solve(b);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vec b{3.0, 5.0};
+  const Vec x = Lu(a).solve(b);
+  // 2x + y = 3, x + 3y = 5 -> x = 4/5, y = 7/5
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Leading zero pivot; naive elimination would fail.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vec x = Lu(a).solve(Vec{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const Lu lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW((void)lu.solve(Vec{1.0, 1.0}), std::domain_error);
+  EXPECT_THROW((void)lu.inverse(), std::domain_error);
+}
+
+TEST(Lu, Determinant) {
+  const Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_NEAR(Lu(a).determinant(), 12.0, 1e-12);
+  // Row swap flips sign relative to the diagonal product.
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(Lu(b).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  const Matrix a{{4.0, 7.0, 2.0}, {3.0, 5.0, 1.0}, {8.0, 1.0, 6.0}};
+  const Matrix prod = a * Lu(a).inverse();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW((void)Lu(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, DimensionMismatchThrows) {
+  const Lu lu(Matrix::identity(2));
+  EXPECT_THROW((void)lu.solve(Vec{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Lu, ConvenienceFunctions) {
+  const Matrix a{{2.0, 0.0}, {0.0, 5.0}};
+  const Vec x = solve(a, Vec{4.0, 10.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  const Matrix ainv = inverse(a);
+  EXPECT_NEAR(ainv(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(ainv(1, 1), 0.2, 1e-12);
+}
+
+// Property: random well-conditioned systems solve to residual ~ machine eps.
+TEST(Lu, RandomSystemsSolveAccurately) {
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+      a(i, i) += 4.0;  // diagonal dominance keeps the system well-conditioned
+    }
+    Vec x_true(n);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-5.0, 5.0);
+    const Vec b = a * x_true;
+    const Vec x = Lu(a).solve(b);
+    EXPECT_LT((x - x_true).norm_inf(), 1e-10) << "trial " << trial << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace awd::linalg

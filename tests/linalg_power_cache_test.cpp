@@ -1,0 +1,53 @@
+// Unit tests for PowerCache.
+#include "linalg/power_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace awd::linalg {
+namespace {
+
+TEST(PowerCache, PowerZeroIsIdentity) {
+  PowerCache cache(Matrix{{2.0, 0.0}, {0.0, 3.0}});
+  const Matrix& p0 = cache.power(0);
+  EXPECT_EQ(p0(0, 0), 1.0);
+  EXPECT_EQ(p0(0, 1), 0.0);
+}
+
+TEST(PowerCache, MatchesDirectPow) {
+  const Matrix a{{1.0, 0.5}, {-0.2, 0.9}};
+  PowerCache cache(a);
+  for (unsigned k = 0; k <= 10; ++k) {
+    EXPECT_LT((cache.power(k) - a.pow(k)).max_abs(), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(PowerCache, GrowsIncrementally) {
+  PowerCache cache(Matrix::identity(2));
+  EXPECT_EQ(cache.cached_count(), 1u);
+  (void)cache.power(5);
+  EXPECT_EQ(cache.cached_count(), 6u);
+  (void)cache.power(3);  // no growth for already-cached powers
+  EXPECT_EQ(cache.cached_count(), 6u);
+}
+
+TEST(PowerCache, ReservePrecomputes) {
+  PowerCache cache(Matrix{{0.5}});
+  cache.reserve(8);
+  EXPECT_EQ(cache.cached_count(), 9u);
+  EXPECT_NEAR(cache.power(8)(0, 0), 0.00390625, 1e-15);
+}
+
+TEST(PowerCache, NonSquareThrows) {
+  EXPECT_THROW(PowerCache(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(PowerCache, BaseAccessor) {
+  const Matrix a{{7.0}};
+  PowerCache cache(a);
+  EXPECT_EQ(cache.base()(0, 0), 7.0);
+}
+
+}  // namespace
+}  // namespace awd::linalg

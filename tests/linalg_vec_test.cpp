@@ -1,0 +1,130 @@
+// Unit tests for linalg::Vec.
+#include "linalg/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace awd::linalg {
+namespace {
+
+TEST(Vec, DefaultConstructedIsEmpty) {
+  const Vec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vec, SizeConstructorZeroFills) {
+  const Vec v(4);
+  ASSERT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vec, FillConstructor) {
+  const Vec v(3, 2.5);
+  EXPECT_EQ(v[0], 2.5);
+  EXPECT_EQ(v[2], 2.5);
+}
+
+TEST(Vec, InitializerList) {
+  const Vec v{1.0, -2.0, 3.0};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], -2.0);
+}
+
+TEST(Vec, AdditionAndSubtraction) {
+  const Vec a{1.0, 2.0};
+  const Vec b{3.0, 5.0};
+  const Vec sum = a + b;
+  const Vec diff = b - a;
+  EXPECT_EQ(sum[0], 4.0);
+  EXPECT_EQ(sum[1], 7.0);
+  EXPECT_EQ(diff[0], 2.0);
+  EXPECT_EQ(diff[1], 3.0);
+}
+
+TEST(Vec, MismatchedAdditionThrows) {
+  Vec a{1.0, 2.0};
+  const Vec b{1.0};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW((void)a.dot(b), std::invalid_argument);
+}
+
+TEST(Vec, ScalarOperations) {
+  Vec v{2.0, -4.0};
+  v *= 0.5;
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], -2.0);
+  const Vec w = 3.0 * v;
+  EXPECT_EQ(w[1], -6.0);
+  EXPECT_THROW(v /= 0.0, std::invalid_argument);
+}
+
+TEST(Vec, DotProduct) {
+  const Vec a{1.0, 2.0, 3.0};
+  const Vec b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Vec, Norms) {
+  const Vec v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+}
+
+TEST(Vec, CwiseAbs) {
+  const Vec v{-1.5, 2.0, 0.0};
+  const Vec a = v.cwise_abs();
+  EXPECT_EQ(a[0], 1.5);
+  EXPECT_EQ(a[1], 2.0);
+  EXPECT_EQ(a[2], 0.0);
+}
+
+TEST(Vec, CwiseMulAndMax) {
+  const Vec a{2.0, -3.0};
+  const Vec b{4.0, 5.0};
+  EXPECT_EQ(a.cwise_mul(b)[0], 8.0);
+  EXPECT_EQ(a.cwise_mul(b)[1], -15.0);
+  EXPECT_EQ(a.cwise_max(b)[0], 4.0);
+  EXPECT_EQ(a.cwise_max(b)[1], 5.0);
+}
+
+TEST(Vec, AnyExceedsIsPerDimension) {
+  const Vec z{0.01, 0.5};
+  const Vec tau{0.02, 0.6};
+  EXPECT_FALSE(z.any_exceeds(tau));
+  const Vec z2{0.03, 0.5};
+  EXPECT_TRUE(z2.any_exceeds(tau));
+}
+
+TEST(Vec, AnyExceedsUsesAbsoluteValue) {
+  const Vec z{-0.5};
+  const Vec tau{0.3};
+  EXPECT_TRUE(z.any_exceeds(tau));
+}
+
+TEST(Vec, BasisVector) {
+  const Vec e = Vec::basis(3, 1);
+  EXPECT_EQ(e[0], 0.0);
+  EXPECT_EQ(e[1], 1.0);
+  EXPECT_EQ(e[2], 0.0);
+  EXPECT_THROW((void)Vec::basis(3, 3), std::invalid_argument);
+}
+
+TEST(Vec, EqualityAndNegation) {
+  const Vec a{1.0, 2.0};
+  EXPECT_TRUE(a == (Vec{1.0, 2.0}));
+  const Vec n = -a;
+  EXPECT_EQ(n[0], -1.0);
+  EXPECT_EQ(n[1], -2.0);
+}
+
+TEST(Vec, AtBoundsChecked) {
+  Vec v{1.0};
+  EXPECT_THROW((void)v.at(1), std::out_of_range);
+  EXPECT_EQ(v.at(0), 1.0);
+}
+
+}  // namespace
+}  // namespace awd::linalg

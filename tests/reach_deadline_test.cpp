@@ -1,0 +1,114 @@
+// Unit tests for the Detection Deadline Estimator (§3.3).
+#include "reach/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/config.hpp"
+
+namespace awd::reach {
+namespace {
+
+models::DiscreteLti pure_drift() {
+  // x_{k+1} = x_k + u_k, u in [-1, 1], no disturbance: the reach interval
+  // widens by exactly 1 per step.
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{1.0}};
+  m.B = linalg::Matrix{{1.0}};
+  m.dt = 1.0;
+  m.name = "drift";
+  return m;
+}
+
+TEST(Deadline, ExactStepCountOnDriftSystem) {
+  // From x0 = 0 with safe set [-5.5, 5.5], the box leaves S at step 6,
+  // so t_d = 5.
+  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+                        Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
+  EXPECT_EQ(est.estimate(Vec{0.0}), 5u);
+}
+
+TEST(Deadline, DeadlineShrinksNearTheBoundary) {
+  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+                        Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
+  std::size_t prev = est.estimate(Vec{0.0});
+  for (double x = 0.5; x <= 5.0; x += 0.5) {
+    const std::size_t d = est.estimate(Vec{x});
+    EXPECT_LE(d, prev) << "x=" << x;
+    prev = d;
+  }
+  EXPECT_EQ(est.estimate(Vec{5.0}), 0u);  // next step may already be unsafe
+}
+
+TEST(Deadline, CapsAtMaxWindow) {
+  // Strongly contracting system never reaches the far-away unsafe set.
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{0.1}};
+  m.B = linalg::Matrix{{0.01}};
+  m.dt = 1.0;
+  m.name = "contracting";
+  DeadlineEstimator est(m, Box::from_bounds(Vec{-1}, Vec{1}), 0.001,
+                        Box::from_bounds(Vec{-100}, Vec{100}), DeadlineConfig{17});
+  EXPECT_EQ(est.estimate(Vec{0.0}), 17u);
+}
+
+TEST(Deadline, UncertaintyTightensTheDeadline) {
+  const Box u = Box::from_bounds(Vec{-1}, Vec{1});
+  const Box safe = Box::from_bounds(Vec{-5.5}, Vec{5.5});
+  DeadlineEstimator noiseless(pure_drift(), u, 0.0, safe, DeadlineConfig{20});
+  DeadlineEstimator noisy(pure_drift(), u, 0.5, safe, DeadlineConfig{20});
+  EXPECT_LT(noisy.estimate(Vec{0.0}), noiseless.estimate(Vec{0.0}));
+}
+
+TEST(Deadline, InitialRadiusTightensTheDeadline) {
+  const Box u = Box::from_bounds(Vec{-1}, Vec{1});
+  const Box safe = Box::from_bounds(Vec{-5.5}, Vec{5.5});
+  DeadlineEstimator point(pure_drift(), u, 0.0, safe, DeadlineConfig{20, 0.0});
+  DeadlineEstimator ball(pure_drift(), u, 0.0, safe, DeadlineConfig{20, 1.0});
+  EXPECT_LT(ball.estimate(Vec{0.0}), point.estimate(Vec{0.0}));
+}
+
+TEST(Deadline, ConservativelySafePredicate) {
+  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+                        Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
+  const std::size_t td = est.estimate(Vec{0.0});
+  EXPECT_TRUE(est.conservatively_safe_at(Vec{0.0}, td));
+  EXPECT_FALSE(est.conservatively_safe_at(Vec{0.0}, td + 1));
+}
+
+TEST(Deadline, SafeSetDimensionValidated) {
+  EXPECT_THROW(DeadlineEstimator(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+                                 Box::unbounded(2), DeadlineConfig{10}),
+               std::invalid_argument);
+}
+
+TEST(Deadline, UnboundedSafeDimensionsNeverConstrain) {
+  // Safe set only constrains the pitch angle; the aircraft's other two
+  // dimensions can grow arbitrarily without triggering the deadline.
+  const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
+  DeadlineEstimator est(scase.model, scase.u_range, scase.eps_reach, scase.safe_set,
+                        DeadlineConfig{scase.max_window});
+  // At the reference state the system is not conservatively unsafe now.
+  EXPECT_GT(est.estimate(scase.reference), 0u);
+  // Near the pitch boundary the deadline must be nearly exhausted.
+  Vec near = scase.reference;
+  near[2] = 2.45;
+  EXPECT_LT(est.estimate(near), 4u);
+}
+
+// Property: the deadline is monotone in the safe-set size.
+TEST(Deadline, MonotoneInSafeSet) {
+  const Box u = Box::from_bounds(Vec{-1}, Vec{1});
+  std::size_t prev = 0;
+  for (double half : {2.0, 4.0, 8.0, 16.0}) {
+    DeadlineEstimator est(pure_drift(), u, 0.1,
+                          Box::from_bounds(Vec{-half}, Vec{half}), DeadlineConfig{50});
+    const std::size_t d = est.estimate(Vec{0.0});
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace awd::reach

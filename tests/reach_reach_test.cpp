@@ -1,0 +1,139 @@
+// Unit and property tests for the reachable-set over-approximation (§3.2-3.4).
+#include "reach/reach.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "models/discretize.hpp"
+#include "models/model_bank.hpp"
+#include "reach/support.hpp"
+#include "sim/noise.hpp"
+
+namespace awd::reach {
+namespace {
+
+models::DiscreteLti scalar_model(double a, double b) {
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{a}};
+  m.B = linalg::Matrix{{b}};
+  m.dt = 0.1;
+  m.name = "scalar";
+  return m;
+}
+
+TEST(Reach, StepZeroIsTheInitialState) {
+  ReachSystem rs(scalar_model(0.9, 1.0), Box::from_bounds(Vec{-1}, Vec{1}), 0.1, 10);
+  const Box r0 = rs.reach_box(Vec{2.0}, 0);
+  EXPECT_DOUBLE_EQ(r0[0].lo, 2.0);
+  EXPECT_DOUBLE_EQ(r0[0].hi, 2.0);
+}
+
+TEST(Reach, ScalarOneStepClosedForm) {
+  // x1 = a x0 + b u + v: u in [-1,1], |v| <= eps.
+  ReachSystem rs(scalar_model(0.5, 2.0), Box::from_bounds(Vec{-1}, Vec{1}), 0.1, 10);
+  const Box r1 = rs.reach_box(Vec{4.0}, 1);
+  EXPECT_NEAR(r1[0].lo, 0.5 * 4.0 - 2.0 - 0.1, 1e-12);
+  EXPECT_NEAR(r1[0].hi, 0.5 * 4.0 + 2.0 + 0.1, 1e-12);
+}
+
+TEST(Reach, AsymmetricInputBoxUsesCenter) {
+  // u in [0, 4]: center 2, half-width 2.
+  ReachSystem rs(scalar_model(1.0, 1.0), Box::from_bounds(Vec{0.0}, Vec{4.0}), 0.0, 5);
+  const Box r1 = rs.reach_box(Vec{0.0}, 1);
+  EXPECT_NEAR(r1[0].lo, 0.0, 1e-12);
+  EXPECT_NEAR(r1[0].hi, 4.0, 1e-12);
+}
+
+TEST(Reach, BoxGrowsMonotonicallyForStableSystems) {
+  ReachSystem rs(scalar_model(0.95, 1.0), Box::from_bounds(Vec{-1}, Vec{1}), 0.05, 20);
+  double prev_width = 0.0;
+  for (std::size_t t = 0; t <= 20; ++t) {
+    const Box r = rs.reach_box(Vec{0.0}, t);
+    const double width = r[0].hi - r[0].lo;
+    EXPECT_GE(width, prev_width - 1e-12) << "t=" << t;
+    prev_width = width;
+  }
+}
+
+TEST(Reach, InitialRadiusWidensTheBox) {
+  ReachSystem rs(scalar_model(0.9, 1.0), Box::from_bounds(Vec{-1}, Vec{1}), 0.0, 5);
+  const Box tight = rs.reach_box(Vec{1.0}, 3, 0.0);
+  const Box wide = rs.reach_box(Vec{1.0}, 3, 0.2);
+  EXPECT_LT(wide[0].lo, tight[0].lo);
+  EXPECT_GT(wide[0].hi, tight[0].hi);
+  // The widening at step t is r0 * |a|^t.
+  EXPECT_NEAR(tight[0].hi - wide[0].hi, -0.2 * 0.9 * 0.9 * 0.9, 1e-12);
+}
+
+TEST(Reach, Validation) {
+  const auto m = scalar_model(1.0, 1.0);
+  EXPECT_THROW(ReachSystem(m, Box::unbounded(1), 0.1, 5), std::invalid_argument);
+  EXPECT_THROW(ReachSystem(m, Box::from_bounds(Vec{-1}, Vec{1}), -0.1, 5),
+               std::invalid_argument);
+  EXPECT_THROW(ReachSystem(m, Box::from_bounds(Vec{-1, -1}, Vec{1, 1}), 0.1, 5),
+               std::invalid_argument);
+  ReachSystem rs(m, Box::from_bounds(Vec{-1}, Vec{1}), 0.1, 5);
+  EXPECT_THROW((void)rs.reach_box(Vec{0.0}, 6), std::out_of_range);
+  EXPECT_THROW((void)rs.reach_box(Vec{0.0, 0.0}, 3), std::invalid_argument);
+  EXPECT_THROW((void)rs.reach_box(Vec{0.0}, 3, -1.0), std::invalid_argument);
+}
+
+TEST(Reach, BoxBoundsEqualSupportAlongBasisDirections) {
+  // The per-dimension table must agree with the generic Eq. (3) support
+  // function evaluated at ±e_i.
+  const auto sys = models::discretize_zoh(models::aircraft_pitch(), 0.02);
+  ReachSystem rs(sys, Box::from_bounds(Vec{-7.0}, Vec{7.0}), 7.8e-3, 15);
+  const Vec x0{0.05, -0.01, 0.2};
+  for (std::size_t t : {1u, 5u, 15u}) {
+    const Box box = rs.reach_box(x0, t);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const Vec e = Vec::basis(3, i);
+      EXPECT_NEAR(box[i].hi, rs.support(x0, t, e), 1e-9);
+      EXPECT_NEAR(box[i].lo, -rs.support(x0, t, -e), 1e-9);
+    }
+  }
+}
+
+// THE soundness property (Def. 3.1): every trajectory simulated under
+// admissible inputs and bounded disturbances stays inside the reach box.
+class ReachContainment : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReachContainment, SampledTrajectoriesStayInsideBox) {
+  const core::SimulatorCase scase = core::simulator_case(GetParam());
+  const double eps = scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach;
+  const std::size_t horizon = 12;
+  ReachSystem rs(scase.model, scase.u_range, eps, horizon);
+
+  sim::Rng rng(23);
+  const Vec x0 = scase.reference;
+  const std::size_t n = scase.model.state_dim();
+  const std::size_t m = scase.model.input_dim();
+
+  for (int traj = 0; traj < 40; ++traj) {
+    Vec x = x0;
+    for (std::size_t t = 1; t <= horizon; ++t) {
+      // Random admissible input (biased to extremes to stress the corners)
+      // and disturbance drawn from the eps ball.
+      Vec u(m);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double r = rng.uniform(0.0, 1.0);
+        u[j] = r < 0.4   ? scase.u_range[j].lo
+               : r < 0.8 ? scase.u_range[j].hi
+                         : rng.uniform(scase.u_range[j].lo, scase.u_range[j].hi);
+      }
+      x = scase.model.step(x, u) + rng.uniform_in_ball(n, scase.eps);
+      EXPECT_TRUE(rs.reach_box(x0, t).contains(x))
+          << GetParam() << " traj " << traj << " escaped at step " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Plants, ReachContainment,
+                         ::testing::Values("aircraft_pitch", "vehicle_turning",
+                                           "series_rlc", "dc_motor", "quadrotor",
+                                           "testbed_car"));
+
+}  // namespace
+}  // namespace awd::reach

@@ -1,0 +1,110 @@
+// Unit tests for the geometric set primitives.
+#include "reach/sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace awd::reach {
+namespace {
+
+TEST(Interval, DefaultIsUnbounded) {
+  const Interval i;
+  EXPECT_TRUE(i.contains(1e300));
+  EXPECT_TRUE(i.contains(-1e300));
+  EXPECT_FALSE(i.bounded());
+  EXPECT_TRUE(i.valid());
+}
+
+TEST(Interval, ContainsAndClamp) {
+  const Interval i{-1.0, 2.0};
+  EXPECT_TRUE(i.contains(-1.0));
+  EXPECT_TRUE(i.contains(2.0));
+  EXPECT_FALSE(i.contains(2.1));
+  EXPECT_DOUBLE_EQ(i.clamp(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(i.clamp(-5.0), -1.0);
+  EXPECT_DOUBLE_EQ(i.clamp(0.3), 0.3);
+  EXPECT_DOUBLE_EQ(i.center(), 0.5);
+  EXPECT_DOUBLE_EQ(i.half_width(), 1.5);
+}
+
+TEST(Interval, IntervalContainment) {
+  const Interval outer{-2.0, 2.0};
+  EXPECT_TRUE(outer.contains(Interval{-1.0, 1.0}));
+  EXPECT_FALSE(outer.contains(Interval{-3.0, 1.0}));
+  const Interval inf;
+  EXPECT_TRUE(inf.contains(outer));
+}
+
+TEST(Interval, Intersection) {
+  EXPECT_TRUE((Interval{0.0, 2.0}).intersects(Interval{2.0, 3.0}));  // touching
+  EXPECT_FALSE((Interval{0.0, 1.0}).intersects(Interval{1.5, 3.0}));
+}
+
+TEST(Box, FromBoundsAndValidation) {
+  const Box b = Box::from_bounds(Vec{-1.0, 0.0}, Vec{1.0, 5.0});
+  EXPECT_EQ(b.dim(), 2u);
+  EXPECT_TRUE(b.contains(Vec{0.0, 2.0}));
+  EXPECT_FALSE(b.contains(Vec{0.0, 6.0}));
+  EXPECT_THROW((void)Box::from_bounds(Vec{1.0}, Vec{-1.0}), std::invalid_argument);
+  EXPECT_THROW((void)Box::from_bounds(Vec{1.0}, Vec{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Box, FromCenterHalfwidths) {
+  const Box b = Box::from_center_halfwidths(Vec{1.0, -1.0}, Vec{0.5, 2.0});
+  EXPECT_DOUBLE_EQ(b[0].lo, 0.5);
+  EXPECT_DOUBLE_EQ(b[0].hi, 1.5);
+  EXPECT_DOUBLE_EQ(b[1].lo, -3.0);
+  EXPECT_THROW((void)Box::from_center_halfwidths(Vec{0.0}, Vec{-0.5}),
+               std::invalid_argument);
+}
+
+TEST(Box, CenterAndHalfWidths) {
+  const Box b = Box::from_bounds(Vec{-1.0, 2.0}, Vec{3.0, 4.0});
+  EXPECT_EQ(b.center(), (Vec{1.0, 3.0}));
+  EXPECT_EQ(b.half_widths(), (Vec{2.0, 1.0}));
+  EXPECT_TRUE(b.bounded());
+  const Box ub = Box::unbounded(2);
+  EXPECT_FALSE(ub.bounded());
+  EXPECT_THROW((void)ub.center(), std::domain_error);
+  EXPECT_THROW((void)ub.half_widths(), std::domain_error);
+}
+
+TEST(Box, BoxContainsBox) {
+  const Box outer = Box::from_bounds(Vec{-2.0, -2.0}, Vec{2.0, 2.0});
+  EXPECT_TRUE(outer.contains(Box::from_bounds(Vec{-1.0, -1.0}, Vec{1.0, 1.0})));
+  EXPECT_FALSE(outer.contains(Box::from_bounds(Vec{-1.0, -1.0}, Vec{1.0, 3.0})));
+  // Unbounded safe set contains any bounded box in the free dimensions.
+  Box partial({Interval{}, Interval{-2.0, 2.0}});
+  EXPECT_TRUE(partial.contains(Box::from_bounds(Vec{-1e9, -1.0}, Vec{1e9, 1.0})));
+  EXPECT_THROW((void)outer.contains(Box::unbounded(3)), std::invalid_argument);
+}
+
+TEST(Box, Intersects) {
+  const Box a = Box::from_bounds(Vec{0.0, 0.0}, Vec{1.0, 1.0});
+  EXPECT_TRUE(a.intersects(Box::from_bounds(Vec{0.5, 0.5}, Vec{2.0, 2.0})));
+  // Disjoint in one dimension is enough to miss.
+  EXPECT_FALSE(a.intersects(Box::from_bounds(Vec{2.0, 0.0}, Vec{3.0, 1.0})));
+}
+
+TEST(Box, ClampProjectsPointwise) {
+  const Box b = Box::from_bounds(Vec{-1.0, -1.0}, Vec{1.0, 1.0});
+  const Vec p = b.clamp(Vec{5.0, -0.5});
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], -0.5);
+  EXPECT_THROW((void)b.clamp(Vec{1.0}), std::invalid_argument);
+}
+
+TEST(Box, InvalidIntervalRejected) {
+  EXPECT_THROW(Box({Interval{2.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Ball, Membership) {
+  const Ball b{Vec{1.0, 0.0}, 2.0};
+  EXPECT_TRUE(b.contains(Vec{1.0, 2.0}));
+  EXPECT_TRUE(b.contains(Vec{3.0, 0.0}));
+  EXPECT_FALSE(b.contains(Vec{3.1, 0.0}));
+}
+
+}  // namespace
+}  // namespace awd::reach

@@ -1,0 +1,81 @@
+// Unit tests for support functions (§3.4 identities).
+#include "reach/support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/noise.hpp"
+
+namespace awd::reach {
+namespace {
+
+TEST(Support, BoxAxisDirections) {
+  const Box b = Box::from_bounds(Vec{-1.0, 2.0}, Vec{3.0, 5.0});
+  EXPECT_DOUBLE_EQ(support_box(b, Vec{1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(support_box(b, Vec{-1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(support_box(b, Vec{0.0, 1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(support_box(b, Vec{0.0, -1.0}), -2.0);
+}
+
+TEST(Support, BoxGeneralDirectionIsCornerValue) {
+  const Box b = Box::from_bounds(Vec{-1.0, -2.0}, Vec{1.0, 2.0});
+  // ρ(l) = Σ |l_i| hw_i + l·c for symmetric boxes.
+  EXPECT_DOUBLE_EQ(support_box(b, Vec{2.0, -3.0}), 2.0 * 1.0 + 3.0 * 2.0);
+}
+
+TEST(Support, UnboundedDimensionOnlyMattersIfTouched) {
+  Box b({Interval{}, Interval{-1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(support_box(b, Vec{0.0, 1.0}), 1.0);
+  EXPECT_THROW((void)support_box(b, Vec{1.0, 0.0}), std::domain_error);
+}
+
+TEST(Support, BallFormula) {
+  EXPECT_DOUBLE_EQ(support_ball(Vec{0.0, 0.0}, 2.0, Vec{3.0, 4.0}), 2.0 * 5.0);
+  EXPECT_DOUBLE_EQ(support_ball(Vec{1.0, 1.0}, 1.0, Vec{1.0, 0.0}), 2.0);
+  EXPECT_THROW((void)support_ball(Vec{0.0}, -1.0, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(Support, MappedBoxMatchesTransposedDirection) {
+  const Box b = Box::from_bounds(Vec{-1.0, -1.0}, Vec{1.0, 1.0});
+  const linalg::Matrix m{{2.0, 0.0}, {0.0, 3.0}};
+  // ρ_{M B}(l) = ρ_B(Mᵀ l).
+  EXPECT_DOUBLE_EQ(support_mapped_box(m, b, Vec{1.0, 0.0}), 2.0);
+  EXPECT_DOUBLE_EQ(support_mapped_box(m, b, Vec{1.0, 1.0}), 5.0);
+}
+
+TEST(Support, DimensionValidation) {
+  const Box b = Box::from_bounds(Vec{-1.0}, Vec{1.0});
+  EXPECT_THROW((void)support_box(b, Vec{1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)support_mapped_box(linalg::Matrix(2, 2), b, Vec{1.0, 0.0}),
+               std::invalid_argument);
+}
+
+// Property: the support function dominates lᵀx for every x in the set.
+TEST(Support, DominatesAllMembersProperty) {
+  sim::Rng rng(13);
+  const Box b = Box::from_bounds(Vec{-1.0, 0.5, -3.0}, Vec{2.0, 1.5, 0.0});
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec x(3), l(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      x[i] = rng.uniform(b[i].lo, b[i].hi);
+      l[i] = rng.uniform(-1.0, 1.0);
+    }
+    EXPECT_LE(l.dot(x), support_box(b, l) + 1e-12);
+  }
+}
+
+// Property: support functions are sublinear: ρ(l1 + l2) <= ρ(l1) + ρ(l2).
+TEST(Support, SubadditivityProperty) {
+  sim::Rng rng(17);
+  const Box b = Box::from_bounds(Vec{-2.0, -1.0}, Vec{0.5, 4.0});
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec l1{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec l2{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    EXPECT_LE(support_box(b, l1 + l2), support_box(b, l1) + support_box(b, l2) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace awd::reach

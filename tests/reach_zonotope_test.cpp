@@ -1,0 +1,165 @@
+// Unit and property tests for zonotope reachability.
+#include "reach/zonotope.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "reach/deadline.hpp"
+#include "reach/reach.hpp"
+#include "sim/noise.hpp"
+
+namespace awd::reach {
+namespace {
+
+TEST(Zonotope, PointHasNoExtent) {
+  const Zonotope z = Zonotope::point(Vec{1.0, -2.0});
+  EXPECT_EQ(z.order(), 0u);
+  const Box hull = z.interval_hull();
+  EXPECT_DOUBLE_EQ(hull[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ(hull[0].hi, 1.0);
+}
+
+TEST(Zonotope, FromBoxRoundTrips) {
+  const Box b = Box::from_bounds(Vec{-1.0, 2.0}, Vec{3.0, 4.0});
+  const Box hull = Zonotope::from_box(b).interval_hull();
+  EXPECT_DOUBLE_EQ(hull[0].lo, -1.0);
+  EXPECT_DOUBLE_EQ(hull[0].hi, 3.0);
+  EXPECT_DOUBLE_EQ(hull[1].lo, 2.0);
+  EXPECT_DOUBLE_EQ(hull[1].hi, 4.0);
+  EXPECT_THROW((void)Zonotope::from_box(Box::unbounded(2)), std::invalid_argument);
+}
+
+TEST(Zonotope, LinearMapRotatesExtent) {
+  // Unit square rotated 45°: hull half-width becomes sqrt(2).
+  const Zonotope z = Zonotope::from_box(Box::from_bounds(Vec{-1, -1}, Vec{1, 1}));
+  const double s = std::sqrt(0.5);
+  const Zonotope r = z.linear_map(linalg::Matrix{{s, -s}, {s, s}});
+  const Box hull = r.interval_hull();
+  EXPECT_NEAR(hull[0].hi, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(hull[1].hi, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Zonotope, MinkowskiSumAddsExtents) {
+  const Zonotope a = Zonotope::from_box(Box::from_bounds(Vec{0.0}, Vec{2.0}));
+  const Zonotope b = Zonotope::from_box(Box::from_bounds(Vec{-1.0}, Vec{1.0}));
+  const Box hull = a.minkowski_sum(b).interval_hull();
+  EXPECT_DOUBLE_EQ(hull[0].lo, -1.0);
+  EXPECT_DOUBLE_EQ(hull[0].hi, 3.0);
+}
+
+TEST(Zonotope, SupportMatchesHullOnAxes) {
+  const Zonotope z(Vec{1.0, 0.0}, linalg::Matrix{{0.5, 0.2}, {0.0, 0.7}});
+  const Box hull = z.interval_hull();
+  EXPECT_NEAR(z.support(Vec{1.0, 0.0}), hull[0].hi, 1e-12);
+  EXPECT_NEAR(-z.support(Vec{-1.0, 0.0}), hull[0].lo, 1e-12);
+  EXPECT_NEAR(z.support(Vec{0.0, 1.0}), hull[1].hi, 1e-12);
+}
+
+TEST(Zonotope, ReductionIsSoundOverApproximation) {
+  sim::Rng rng(41);
+  linalg::Matrix g(2, 20);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) g(i, j) = rng.uniform(-0.3, 0.3);
+  }
+  const Zonotope z(Vec{0.5, -0.5}, g);
+  const Zonotope r = z.reduced(6);
+  EXPECT_LE(r.order(), 6u);
+  // The reduced zonotope must contain the original: support dominates in
+  // every direction.
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec l{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    EXPECT_GE(r.support(l), z.support(l) - 1e-12);
+  }
+  EXPECT_THROW((void)z.reduced(1), std::invalid_argument);  // below dimension
+}
+
+TEST(ZonotopeReach, MatchesBoxMethodOnDecoupledScalar) {
+  // For a 1-D system the zonotope and box methods coincide exactly.
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{0.9}};
+  m.B = linalg::Matrix{{1.0}};
+  m.dt = 1.0;
+  m.name = "scalar";
+  const Box u = Box::from_bounds(Vec{-1}, Vec{1});
+  const ZonotopeReach zr(m, u, 0.1);
+  const ReachSystem rs(m, u, 0.1, 10);
+  for (std::size_t t = 0; t <= 10; ++t) {
+    const Box zb = zr.reach_box(Vec{2.0}, t);
+    const Box bb = rs.reach_box(Vec{2.0}, t);
+    EXPECT_NEAR(zb[0].lo, bb[0].lo, 1e-12) << "t=" << t;
+    EXPECT_NEAR(zb[0].hi, bb[0].hi, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(ZonotopeReach, NeverLooserThanBoxMethodUpToBallRelaxation) {
+  // With eps = 0 (no ball term) the zonotope hull is contained in the box
+  // method's box for every plant: correlations only tighten.
+  for (const char* key : {"aircraft_pitch", "series_rlc", "dc_motor"}) {
+    const core::SimulatorCase scase = core::simulator_case(key);
+    const ZonotopeReach zr(scase.model, scase.u_range, 0.0, 128);
+    const ReachSystem rs(scase.model, scase.u_range, 0.0, 10);
+    for (std::size_t t = 1; t <= 10; ++t) {
+      const Box zb = zr.reach_box(scase.reference, t);
+      const Box bb = rs.reach_box(scase.reference, t);
+      for (std::size_t d = 0; d < zb.dim(); ++d) {
+        EXPECT_LE(zb[d].hi, bb[d].hi + 1e-9) << key << " t=" << t << " d=" << d;
+        EXPECT_GE(zb[d].lo, bb[d].lo - 1e-9) << key << " t=" << t << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(ZonotopeReach, ContainsSampledTrajectories) {
+  const core::SimulatorCase scase = core::simulator_case("series_rlc");
+  const ZonotopeReach zr(scase.model, scase.u_range, scase.eps_reach, 64);
+  sim::Rng rng(47);
+  const std::size_t horizon = 10;
+  for (int traj = 0; traj < 30; ++traj) {
+    Vec x = scase.reference;
+    for (std::size_t t = 1; t <= horizon; ++t) {
+      Vec u(1);
+      u[0] = rng.uniform(scase.u_range[0].lo, scase.u_range[0].hi);
+      x = scase.model.step(x, u) + rng.uniform_in_ball(2, scase.eps);
+      EXPECT_TRUE(zr.reach_box(scase.reference, t).contains(x))
+          << "traj " << traj << " step " << t;
+    }
+  }
+}
+
+TEST(ZonotopeDeadline, NeverShorterThanBoxDeadlineWithoutBallTerm) {
+  // Tighter reach sets can only delay the first safe-set violation.  The
+  // comparison is exact only at eps = 0: with eps > 0 the zonotope method
+  // relaxes the disturbance *ball* to its bounding box, which per dimension
+  // can exceed the box method's eps·‖rowᵢ(A^k)‖₂ term, so neither method
+  // dominates in general (bench_ablation quantifies the trade-off).
+  for (const char* key : {"aircraft_pitch", "series_rlc", "dc_motor"}) {
+    const core::SimulatorCase scase = core::simulator_case(key);
+    const DeadlineEstimator box_est(scase.model, scase.u_range, /*eps=*/0.0,
+                                    scase.safe_set,
+                                    DeadlineConfig{scase.max_window});
+    const ZonotopeDeadlineEstimator zono_est(scase.model, scase.u_range, /*eps=*/0.0,
+                                             scase.safe_set, scase.max_window, 128);
+    const std::size_t d_box = box_est.estimate(scase.reference);
+    const std::size_t d_zono = zono_est.estimate(scase.reference);
+    EXPECT_GE(d_zono, d_box) << key;
+  }
+}
+
+TEST(ZonotopeReach, Validation) {
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{1.0}};
+  m.B = linalg::Matrix{{1.0}};
+  m.dt = 1.0;
+  m.name = "s";
+  EXPECT_THROW(ZonotopeReach(m, Box::unbounded(1), 0.1), std::invalid_argument);
+  EXPECT_THROW(ZonotopeReach(m, Box::from_bounds(Vec{-1}, Vec{1}), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(ZonotopeReach(m, Box::from_bounds(Vec{-1}, Vec{1}), 0.1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awd::reach

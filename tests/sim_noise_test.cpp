@@ -1,0 +1,119 @@
+// Unit tests for the random sources.
+#include "sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace awd::sim {
+namespace {
+
+TEST(Splitmix, DeterministicAndSpread) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Adjacent seeds should differ in many bits.
+  const std::uint64_t diff = splitmix64(100) ^ splitmix64(101);
+  int bits = 0;
+  for (int i = 0; i < 64; ++i) bits += static_cast<int>((diff >> i) & 1u);
+  EXPECT_GT(bits, 16);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LE(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsRange) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = rng.uniform_int(3, 7);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 7u);
+  }
+}
+
+class BallDimTest : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: every sample stays inside the ball, for every dimension the
+// paper's plants use (1..12).
+TEST_P(BallDimTest, SamplesStayInBall) {
+  const std::size_t n = GetParam();
+  Rng rng(5 + n);
+  const double radius = 0.37;
+  for (int i = 0; i < 500; ++i) {
+    const Vec v = rng.uniform_in_ball(n, radius);
+    ASSERT_EQ(v.size(), n);
+    EXPECT_LE(v.norm2(), radius + 1e-12);
+  }
+}
+
+// Property: the radial CDF matches the uniform-ball law r^n — check the
+// median: P(|v| <= r_med) = 0.5 with r_med = R * 0.5^{1/n}.
+TEST_P(BallDimTest, RadialDistributionMedian) {
+  const std::size_t n = GetParam();
+  Rng rng(77 + n);
+  const double radius = 1.0;
+  const double r_med = std::pow(0.5, 1.0 / static_cast<double>(n));
+  int below = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.uniform_in_ball(n, radius).norm2() <= r_med) ++below;
+  }
+  // Binomial(4000, 0.5): 3 sigma ≈ 95.
+  EXPECT_NEAR(below, trials / 2, 120) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BallDimTest, ::testing::Values(1, 2, 3, 4, 12));
+
+TEST(Rng, BallZeroRadiusAndZeroDim) {
+  Rng rng(6);
+  EXPECT_EQ(rng.uniform_in_ball(3, 0.0).norm2(), 0.0);
+  EXPECT_EQ(rng.uniform_in_ball(0, 1.0).size(), 0u);
+  EXPECT_THROW((void)rng.uniform_in_ball(2, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BoxSamplesRespectPerDimensionBounds) {
+  Rng rng(8);
+  const Vec bound{0.5, 0.0, 2.0};
+  for (int i = 0; i < 300; ++i) {
+    const Vec v = rng.uniform_in_box(bound);
+    EXPECT_LE(std::abs(v[0]), 0.5);
+    EXPECT_EQ(v[1], 0.0);
+    EXPECT_LE(std::abs(v[2]), 2.0);
+  }
+  EXPECT_THROW((void)rng.uniform_in_box(Vec{-0.1}), std::invalid_argument);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(9);
+  double sum = 0.0, sumsq = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / trials, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace awd::sim

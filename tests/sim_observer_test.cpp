@@ -1,0 +1,121 @@
+// Unit tests for the state estimators.
+#include "sim/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/eig.hpp"
+#include "models/discretize.hpp"
+#include "models/model_bank.hpp"
+#include "sim/noise.hpp"
+
+namespace awd::sim {
+namespace {
+
+models::DiscreteLti testbed() { return models::testbed_car(); }
+
+Matrix testbed_c() { return Matrix{{models::kTestbedCarC}}; }
+
+TEST(Observer, DesignedGainStabilizesErrorDynamics) {
+  const Matrix l = design_observer_gain(testbed(), testbed_c(), 1.0, 1.0);
+  LuenbergerObserver obs(testbed(), testbed_c(), l, Vec{0.0});
+  EXPECT_TRUE(linalg::is_schur_stable(obs.error_dynamics()));
+}
+
+TEST(Observer, ConvergesToTrueStateWithoutNoise) {
+  const auto model = testbed();
+  const Matrix c = testbed_c();
+  const Matrix l = design_observer_gain(model, c, 1.0, 1e-4);
+  LuenbergerObserver obs(model, c, l, Vec{0.0});  // wrong initial estimate
+
+  double x = 0.0104;  // true internal state (4 m/s)
+  const Vec u{2.0};
+  for (int i = 0; i < 200; ++i) {
+    x = model.A(0, 0) * x + model.B(0, 0) * u[0];
+    (void)obs.update(Vec{models::kTestbedCarC * x}, u);
+  }
+  EXPECT_NEAR(obs.estimate()[0], x, 1e-8);
+}
+
+TEST(Observer, MultiStateConvergence) {
+  // DC motor observed only through its position: the observer must
+  // reconstruct speed and current.
+  const auto model = models::discretize_zoh(models::dc_motor_position(), 0.1);
+  Matrix c(1, 3);
+  c(0, 0) = 1.0;
+  const Matrix l = design_observer_gain(model, c, 1.0, 1e-3);
+  LuenbergerObserver obs(model, c, l, Vec(3));
+  EXPECT_TRUE(linalg::is_schur_stable(obs.error_dynamics()));
+
+  Vec x{0.5, -0.2, 0.1};
+  const Vec u{3.0};
+  for (int i = 0; i < 300; ++i) {
+    x = model.step(x, u);
+    (void)obs.update(Vec{x[0]}, u);
+  }
+  for (std::size_t d = 0; d < 3; ++d) EXPECT_NEAR(obs.estimate()[d], x[d], 1e-6);
+}
+
+TEST(Observer, Validation) {
+  const auto model = testbed();
+  EXPECT_THROW(LuenbergerObserver(model, Matrix(1, 2), Matrix(1, 1), Vec{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LuenbergerObserver(model, testbed_c(), Matrix(2, 1), Vec{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LuenbergerObserver(model, testbed_c(), Matrix(1, 1), Vec{0.0, 1.0}),
+               std::invalid_argument);
+  LuenbergerObserver obs(model, testbed_c(), Matrix(1, 1), Vec{0.0});
+  EXPECT_THROW((void)obs.update(Vec{0.0, 1.0}, Vec{0.0}), std::invalid_argument);
+  EXPECT_THROW((void)obs.update(Vec{0.0}, Vec{0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs.reset(Vec{0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)design_observer_gain(model, testbed_c(), 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Kalman, GainShapeAndStability) {
+  const auto model = models::discretize_zoh(models::series_rlc(), 0.02);
+  Matrix c(1, 2);
+  c(0, 0) = 1.0;  // measure only the capacitor voltage
+  SteadyStateKalmanFilter kf(model, c, Matrix::identity(2) * 1e-4,
+                             Matrix::identity(1) * 1e-4, Vec(2));
+  EXPECT_EQ(kf.gain().rows(), 2u);
+  EXPECT_EQ(kf.gain().cols(), 1u);
+}
+
+TEST(Kalman, TracksNoisyPlantBetterThanRawInversion) {
+  const auto model = testbed();
+  const Matrix c = testbed_c();
+  const double meas_sigma = 0.05;  // m/s-scale noise on y
+  SteadyStateKalmanFilter kf(model, c, Matrix::identity(1) * 1e-14,
+                             Matrix::identity(1) * (meas_sigma * meas_sigma), Vec{0.0104});
+
+  Rng rng(19);
+  double x = 0.0104;
+  const Vec u{2.0};
+  double err_kf = 0.0, err_raw = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    x = model.A(0, 0) * x + model.B(0, 0) * u[0];
+    const double y = models::kTestbedCarC * x + rng.gaussian() * meas_sigma;
+    (void)kf.update(Vec{y}, u);
+    if (i > 100) {  // after convergence
+      err_kf += std::abs(kf.estimate()[0] - x);
+      err_raw += std::abs(y / models::kTestbedCarC - x);
+    }
+  }
+  EXPECT_LT(err_kf, 0.3 * err_raw);  // filtering beats direct inversion
+}
+
+TEST(Kalman, Validation) {
+  const auto model = testbed();
+  EXPECT_THROW(SteadyStateKalmanFilter(model, testbed_c(), Matrix(2, 2), Matrix(1, 1),
+                                       Vec{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SteadyStateKalmanFilter(model, testbed_c(), Matrix::identity(1),
+                                       Matrix(2, 2), Vec{0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace awd::sim

@@ -1,0 +1,112 @@
+// Unit tests for the PID controller.
+#include "sim/pid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace awd::sim {
+namespace {
+
+TEST(Pid, ProportionalOnly) {
+  PidController pid = PidController::simple({2.0, 0.0, 0.0}, 0, 0.1);
+  const Vec u = pid.compute(Vec{0.3}, Vec{1.0});
+  EXPECT_NEAR(u[0], 2.0 * 0.7, 1e-12);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  PidController pid = PidController::simple({0.0, 1.0, 0.0}, 0, 0.5);
+  (void)pid.compute(Vec{0.0}, Vec{1.0});  // integral = 0.5
+  const Vec u = pid.compute(Vec{0.0}, Vec{1.0});  // integral = 1.0
+  EXPECT_NEAR(u[0], 1.0, 1e-12);
+}
+
+TEST(Pid, DerivativeOnErrorChange) {
+  PidController pid = PidController::simple({0.0, 0.0, 1.0}, 0, 0.1);
+  const Vec u0 = pid.compute(Vec{0.0}, Vec{1.0});  // first step: derivative 0
+  EXPECT_EQ(u0[0], 0.0);
+  const Vec u1 = pid.compute(Vec{0.5}, Vec{1.0});  // error 1.0 -> 0.5
+  EXPECT_NEAR(u1[0], -5.0, 1e-12);
+}
+
+TEST(Pid, DerivativeFilterSmooths) {
+  PidGains gains{0.0, 0.0, 1.0, 0.5};
+  PidController pid(gains, {0}, linalg::Matrix{{1.0}}, 0.1);
+  (void)pid.compute(Vec{0.0}, Vec{1.0});
+  const Vec u1 = pid.compute(Vec{0.5}, Vec{1.0});
+  // Raw derivative -5; filtered: 0.5*0 + 0.5*(-5) = -2.5.
+  EXPECT_NEAR(u1[0], -2.5, 1e-12);
+}
+
+TEST(Pid, AntiWindupCapsIntegralTerm) {
+  PidGains gains{0.0, 10.0, 0.0, 0.0, 2.0};  // ki=10, |ki * I| <= 2
+  PidController pid(gains, {0}, linalg::Matrix{{1.0}}, 1.0);
+  Vec u;
+  for (int i = 0; i < 100; ++i) u = pid.compute(Vec{0.0}, Vec{1.0});
+  EXPECT_NEAR(u[0], 2.0, 1e-12);
+  // Unwinds symmetrically.
+  for (int i = 0; i < 100; ++i) u = pid.compute(Vec{2.0}, Vec{1.0});
+  EXPECT_NEAR(u[0], -2.0 - 10.0 * 0.0 /* p term zero */, 1.0);
+}
+
+TEST(Pid, MultiChannelOutputMap) {
+  // Two tracked dims routed to three inputs.
+  linalg::Matrix map{{1.0, 0.0}, {0.0, 2.0}, {1.0, 1.0}};
+  PidController pid({1.0, 0.0, 0.0}, {0, 2}, map, 0.1);
+  const Vec u = pid.compute(Vec{0.0, 9.0, 0.0}, Vec{1.0, 0.0, 2.0});
+  // channel errors: e0 = 1, e1 = 2 -> p = [1, 2].
+  EXPECT_NEAR(u[0], 1.0, 1e-12);
+  EXPECT_NEAR(u[1], 4.0, 1e-12);
+  EXPECT_NEAR(u[2], 3.0, 1e-12);
+}
+
+TEST(Pid, ResetClearsState) {
+  PidController pid = PidController::simple({0.0, 1.0, 1.0}, 0, 1.0);
+  (void)pid.compute(Vec{0.0}, Vec{1.0});
+  (void)pid.compute(Vec{0.5}, Vec{1.0});
+  pid.reset();
+  const Vec u = pid.compute(Vec{0.0}, Vec{1.0});
+  // After reset: integral = 1.0 (one step), derivative = 0 (first step).
+  EXPECT_NEAR(u[0], 1.0, 1e-12);
+}
+
+TEST(Pid, CloneIsIndependent) {
+  PidController pid = PidController::simple({0.0, 1.0, 0.0}, 0, 1.0);
+  (void)pid.compute(Vec{0.0}, Vec{1.0});
+  auto copy = pid.clone();
+  (void)pid.compute(Vec{0.0}, Vec{1.0});  // original integral: 2
+  const Vec u_copy = copy->compute(Vec{0.0}, Vec{1.0});  // clone integral: 2
+  const Vec u_orig = pid.compute(Vec{0.0}, Vec{1.0});    // original: 3
+  EXPECT_NEAR(u_copy[0], 2.0, 1e-12);
+  EXPECT_NEAR(u_orig[0], 3.0, 1e-12);
+}
+
+TEST(Pid, ValidationErrors) {
+  EXPECT_THROW(PidController({1, 0, 0}, {0}, linalg::Matrix{{1.0}}, 0.0),
+               std::invalid_argument);  // dt
+  EXPECT_THROW(PidController({1, 0, 0}, {}, linalg::Matrix(1, 0), 0.1),
+               std::invalid_argument);  // no channels
+  EXPECT_THROW(PidController({1, 0, 0}, {0, 1}, linalg::Matrix{{1.0}}, 0.1),
+               std::invalid_argument);  // map columns mismatch
+  EXPECT_THROW(PidController({1, 0, 0, 1.5}, {0}, linalg::Matrix{{1.0}}, 0.1),
+               std::invalid_argument);  // filter out of range
+}
+
+TEST(Pid, TrackedDimOutOfRangeThrowsAtCompute) {
+  PidController pid = PidController::simple({1, 0, 0}, 5, 0.1);
+  EXPECT_THROW((void)pid.compute(Vec{0.0}, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(Pid, ClosedLoopRegulatesScalarPlant) {
+  // x_{k+1} = x_k + 0.1 u: PI control must drive x to the reference.
+  PidController pid = PidController::simple({2.0, 1.0, 0.0}, 0, 0.1);
+  double x = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const Vec u = pid.compute(Vec{x}, Vec{1.0});
+    x += 0.1 * u[0];
+  }
+  EXPECT_NEAR(x, 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace awd::sim

@@ -1,0 +1,90 @@
+// Unit tests for the ground-truth plant.
+#include "sim/plant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "models/model_bank.hpp"
+
+namespace awd::sim {
+namespace {
+
+models::DiscreteLti scalar_model(double a, double b) {
+  models::DiscreteLti m;
+  m.A = linalg::Matrix{{a}};
+  m.B = linalg::Matrix{{b}};
+  m.dt = 0.1;
+  m.name = "scalar";
+  return m;
+}
+
+TEST(Plant, NoiseFreeStepMatchesModel) {
+  Plant plant(scalar_model(0.5, 2.0), reach::Box::from_bounds(Vec{-10}, Vec{10}),
+              /*eps=*/0.0, Vec{1.0});
+  Rng rng(1);
+  (void)plant.step(Vec{3.0}, rng);
+  EXPECT_DOUBLE_EQ(plant.state()[0], 0.5 * 1.0 + 2.0 * 3.0);
+}
+
+TEST(Plant, SaturatesControlAndReportsApplied) {
+  Plant plant(scalar_model(1.0, 1.0), reach::Box::from_bounds(Vec{-2}, Vec{2}), 0.0,
+              Vec{0.0});
+  Rng rng(1);
+  const Vec applied = plant.step(Vec{100.0}, rng);
+  EXPECT_DOUBLE_EQ(applied[0], 2.0);
+  EXPECT_DOUBLE_EQ(plant.state()[0], 2.0);
+  const Vec applied_neg = plant.step(Vec{-100.0}, rng);
+  EXPECT_DOUBLE_EQ(applied_neg[0], -2.0);
+}
+
+TEST(Plant, ProcessNoiseBoundedByEps) {
+  const double eps = 0.05;
+  Plant plant(scalar_model(1.0, 0.0), reach::Box::from_bounds(Vec{-1}, Vec{1}), eps,
+              Vec{0.0});
+  Rng rng(7);
+  double prev = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    (void)plant.step(Vec{0.0}, rng);
+    // With A = 1, B weight 0: |x_{k+1} - x_k| = |v_k| <= eps.
+    EXPECT_LE(std::abs(plant.state()[0] - prev), eps + 1e-12);
+    prev = plant.state()[0];
+  }
+}
+
+TEST(Plant, ResetRestoresState) {
+  Plant plant(scalar_model(0.9, 1.0), reach::Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+              Vec{5.0});
+  Rng rng(1);
+  (void)plant.step(Vec{0.5}, rng);
+  plant.reset(Vec{5.0});
+  EXPECT_DOUBLE_EQ(plant.state()[0], 5.0);
+  EXPECT_THROW(plant.reset(Vec{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Plant, ConstructionValidation) {
+  const auto model = scalar_model(1.0, 1.0);
+  const auto box1 = reach::Box::from_bounds(Vec{-1}, Vec{1});
+  EXPECT_THROW(Plant(model, reach::Box::unbounded(2), 0.0, Vec{0.0}),
+               std::invalid_argument);  // u-range dim
+  EXPECT_THROW(Plant(model, box1, -0.1, Vec{0.0}), std::invalid_argument);  // eps
+  EXPECT_THROW(Plant(model, box1, 0.0, Vec{0.0, 0.0}), std::invalid_argument);  // x0 dim
+}
+
+TEST(Plant, StepInputDimChecked) {
+  Plant plant(scalar_model(1.0, 1.0), reach::Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+              Vec{0.0});
+  Rng rng(1);
+  EXPECT_THROW((void)plant.step(Vec{1.0, 2.0}, rng), std::invalid_argument);
+}
+
+TEST(Plant, AccessorsExposeConfiguration) {
+  Plant plant(models::testbed_car(), reach::Box::from_bounds(Vec{0.0}, Vec{7.7}), 1e-3,
+              Vec{0.01});
+  EXPECT_EQ(plant.model().name, "testbed_car");
+  EXPECT_DOUBLE_EQ(plant.uncertainty_bound(), 1e-3);
+  EXPECT_DOUBLE_EQ(plant.input_range()[0].hi, 7.7);
+}
+
+}  // namespace
+}  // namespace awd::sim

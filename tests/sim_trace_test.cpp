@@ -1,0 +1,77 @@
+// Unit tests for Trace queries.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace awd::sim {
+namespace {
+
+Trace make_trace(std::initializer_list<int> adaptive_alarms,
+                 std::initializer_list<int> fixed_alarms,
+                 std::initializer_list<int> unsafe_steps, std::size_t n = 10) {
+  Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    StepRecord r;
+    r.t = i;
+    t.push(std::move(r));
+  }
+  Trace out;
+  for (std::size_t i = 0; i < n; ++i) {
+    StepRecord r;
+    r.t = i;
+    for (int a : adaptive_alarms) {
+      if (static_cast<std::size_t>(a) == i) r.adaptive_alarm = true;
+    }
+    for (int f : fixed_alarms) {
+      if (static_cast<std::size_t>(f) == i) r.fixed_alarm = true;
+    }
+    for (int u : unsafe_steps) {
+      if (static_cast<std::size_t>(u) == i) r.unsafe = true;
+    }
+    out.push(std::move(r));
+  }
+  return out;
+}
+
+TEST(Trace, FirstAlarmAtOrAfter) {
+  const Trace t = make_trace({3, 7}, {5}, {});
+  EXPECT_EQ(t.first_alarm_at_or_after(0, true).value(), 3u);
+  EXPECT_EQ(t.first_alarm_at_or_after(4, true).value(), 7u);
+  EXPECT_EQ(t.first_alarm_at_or_after(0, false).value(), 5u);
+  EXPECT_FALSE(t.first_alarm_at_or_after(8, true).has_value());
+}
+
+TEST(Trace, AlarmCountAndRate) {
+  const Trace t = make_trace({2, 3, 4}, {}, {});
+  EXPECT_EQ(t.alarm_count(0, 10, true), 3u);
+  EXPECT_EQ(t.alarm_count(3, 10, true), 2u);
+  EXPECT_EQ(t.alarm_count(0, 10, false), 0u);
+  EXPECT_DOUBLE_EQ(t.alarm_rate(0, 10, true), 0.3);
+  EXPECT_DOUBLE_EQ(t.alarm_rate(5, 5, true), 0.0);  // empty range
+  // Out-of-range hi clamps to the trace length.
+  EXPECT_EQ(t.alarm_count(0, 100, true), 3u);
+}
+
+TEST(Trace, FirstUnsafe) {
+  EXPECT_EQ(make_trace({}, {}, {6}).first_unsafe().value(), 6u);
+  EXPECT_FALSE(make_trace({}, {}, {}).first_unsafe().has_value());
+}
+
+TEST(Trace, BasicAccessors) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  StepRecord r;
+  r.t = 0;
+  t.push(std::move(r));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.back().t, 0u);
+  std::size_t visited = 0;
+  for (const StepRecord& rec : t) {
+    (void)rec;
+    ++visited;
+  }
+  EXPECT_EQ(visited, 1u);
+}
+
+}  // namespace
+}  // namespace awd::sim

@@ -1,0 +1,129 @@
+// diagnose — calibration/diagnostic tool (not part of the benchmark set).
+//
+// Usage: awd_diagnose <case_key> <attack> [seed]
+//
+// Prints per-phase residual statistics, deadline distribution, alarm
+// locations for both strategies, and run metrics — everything needed to
+// calibrate the free parameters (sensor noise, attack magnitude) against
+// the paper's reported shapes.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/detection_system.hpp"
+#include "core/metrics.hpp"
+
+namespace {
+
+using namespace awd;
+
+core::AttackKind parse_attack(const std::string& s) {
+  if (s == "none") return core::AttackKind::kNone;
+  if (s == "bias") return core::AttackKind::kBias;
+  if (s == "delay") return core::AttackKind::kDelay;
+  if (s == "replay") return core::AttackKind::kReplay;
+  if (s == "ramp") return core::AttackKind::kRamp;
+  std::fprintf(stderr, "unknown attack '%s'\n", s.c_str());
+  std::exit(1);
+}
+
+void print_alarm_ranges(const sim::Trace& trace, bool adaptive, const char* label) {
+  std::printf("  %s alarms: ", label);
+  bool in_range = false;
+  std::size_t start = 0;
+  std::size_t total = 0;
+  for (std::size_t t = 0; t <= trace.size(); ++t) {
+    const bool alarm =
+        t < trace.size() && (adaptive ? trace[t].adaptive_alarm : trace[t].fixed_alarm);
+    if (alarm && !in_range) {
+      in_range = true;
+      start = t;
+    } else if (!alarm && in_range) {
+      in_range = false;
+      std::printf("[%zu..%zu] ", start, t - 1);
+    }
+    if (alarm) ++total;
+  }
+  std::printf(" (total %zu steps)\n", total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <case_key> <attack> [seed]\n", argv[0]);
+    return 1;
+  }
+  const core::SimulatorCase scase = core::simulator_case(argv[1]);
+  const core::AttackKind attack = parse_attack(argv[2]);
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  core::DetectionSystem system(scase, attack, seed);
+  const sim::Trace trace = system.run();
+  const std::size_t n = scase.model.state_dim();
+  const std::size_t a0 = scase.attack_start;
+  const std::size_t a1 = a0 + scase.attack_duration;
+
+  // Residual statistics per phase.
+  struct Phase {
+    const char* name;
+    std::size_t lo, hi;
+  };
+  const Phase phases[] = {{"startup   ", 0, 100},
+                          {"pre-attack", 100, a0},
+                          {"attack    ", a0, a1},
+                          {"recovery  ", a1, trace.size()}};
+
+  std::printf("%s / %s / seed %llu  (tau[0]=%g)\n", scase.key.c_str(), argv[2],
+              static_cast<unsigned long long>(seed), scase.tau[0]);
+  std::printf("\nresidual mean per dim (vs tau):\n");
+  for (const Phase& ph : phases) {
+    if (ph.hi <= ph.lo) continue;
+    std::printf("  %s:", ph.name);
+    for (std::size_t d = 0; d < n && d < 6; ++d) {
+      double s = 0.0;
+      for (std::size_t t = ph.lo; t < ph.hi && t < trace.size(); ++t) {
+        s += trace[t].residual[d];
+      }
+      s /= static_cast<double>(ph.hi - ph.lo);
+      std::printf(" %7.4f/%g", s, scase.tau[d]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ndeadline / window stats:\n");
+  for (const Phase& ph : phases) {
+    if (ph.hi <= ph.lo) continue;
+    double dl = 0.0, wn = 0.0;
+    std::size_t dl_min = SIZE_MAX;
+    for (std::size_t t = ph.lo; t < ph.hi && t < trace.size(); ++t) {
+      dl += static_cast<double>(trace[t].deadline);
+      wn += static_cast<double>(trace[t].window);
+      dl_min = std::min(dl_min, trace[t].deadline);
+    }
+    const double cnt = static_cast<double>(ph.hi - ph.lo);
+    std::printf("  %s: mean deadline %5.1f (min %zu), mean window %5.1f\n", ph.name,
+                dl / cnt, dl_min, wn / cnt);
+  }
+
+  print_alarm_ranges(trace, true, "adaptive");
+  print_alarm_ranges(trace, false, "fixed   ");
+
+  core::MetricsOptions opts;
+  opts.warmup = 100;
+  const auto ma = core::compute_metrics(trace, a0, scase.attack_duration,
+                                        core::Strategy::kAdaptive, opts);
+  const auto mf =
+      core::compute_metrics(trace, a0, scase.attack_duration, core::Strategy::kFixed, opts);
+  std::printf("\nadaptive: fp_rate %.3f fp_exp %d dm %d delay %s (deadline %zu)\n",
+              ma.fp_rate, ma.fp_experiment, ma.deadline_miss,
+              ma.detection_delay ? std::to_string(*ma.detection_delay).c_str() : "-",
+              ma.deadline_at_onset);
+  std::printf("fixed:    fp_rate %.3f fp_exp %d dm %d delay %s\n", mf.fp_rate,
+              mf.fp_experiment, mf.deadline_miss,
+              mf.detection_delay ? std::to_string(*mf.detection_delay).c_str() : "-");
+  std::printf("first unsafe: %s\n",
+              ma.first_unsafe ? std::to_string(*ma.first_unsafe).c_str() : "never");
+  return 0;
+}
