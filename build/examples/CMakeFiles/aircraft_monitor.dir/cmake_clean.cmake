@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aircraft_monitor.dir/aircraft_monitor.cpp.o"
+  "CMakeFiles/aircraft_monitor.dir/aircraft_monitor.cpp.o.d"
+  "aircraft_monitor"
+  "aircraft_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aircraft_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

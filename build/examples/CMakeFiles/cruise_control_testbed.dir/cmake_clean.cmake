@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruise_control_testbed.dir/cruise_control_testbed.cpp.o"
+  "CMakeFiles/cruise_control_testbed.dir/cruise_control_testbed.cpp.o.d"
+  "cruise_control_testbed"
+  "cruise_control_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruise_control_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrotor_mission.dir/quadrotor_mission.cpp.o"
+  "CMakeFiles/quadrotor_mission.dir/quadrotor_mission.cpp.o.d"
+  "quadrotor_mission"
+  "quadrotor_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrotor_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

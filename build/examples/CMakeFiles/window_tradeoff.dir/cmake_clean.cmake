@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_tradeoff.dir/window_tradeoff.cpp.o"
+  "CMakeFiles/window_tradeoff.dir/window_tradeoff.cpp.o.d"
+  "window_tradeoff"
+  "window_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack.cpp" "src/CMakeFiles/awd.dir/attack/attack.cpp.o" "gcc" "src/CMakeFiles/awd.dir/attack/attack.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/CMakeFiles/awd.dir/core/calibration.cpp.o" "gcc" "src/CMakeFiles/awd.dir/core/calibration.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/awd.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/awd.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/csv.cpp" "src/CMakeFiles/awd.dir/core/csv.cpp.o" "gcc" "src/CMakeFiles/awd.dir/core/csv.cpp.o.d"
+  "/root/repo/src/core/detection_system.cpp" "src/CMakeFiles/awd.dir/core/detection_system.cpp.o" "gcc" "src/CMakeFiles/awd.dir/core/detection_system.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/awd.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/awd.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/awd.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/awd.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/detect/adaptive.cpp" "src/CMakeFiles/awd.dir/detect/adaptive.cpp.o" "gcc" "src/CMakeFiles/awd.dir/detect/adaptive.cpp.o.d"
+  "/root/repo/src/detect/chi2.cpp" "src/CMakeFiles/awd.dir/detect/chi2.cpp.o" "gcc" "src/CMakeFiles/awd.dir/detect/chi2.cpp.o.d"
+  "/root/repo/src/detect/cusum.cpp" "src/CMakeFiles/awd.dir/detect/cusum.cpp.o" "gcc" "src/CMakeFiles/awd.dir/detect/cusum.cpp.o.d"
+  "/root/repo/src/detect/fixed.cpp" "src/CMakeFiles/awd.dir/detect/fixed.cpp.o" "gcc" "src/CMakeFiles/awd.dir/detect/fixed.cpp.o.d"
+  "/root/repo/src/detect/logger.cpp" "src/CMakeFiles/awd.dir/detect/logger.cpp.o" "gcc" "src/CMakeFiles/awd.dir/detect/logger.cpp.o.d"
+  "/root/repo/src/detect/window_detector.cpp" "src/CMakeFiles/awd.dir/detect/window_detector.cpp.o" "gcc" "src/CMakeFiles/awd.dir/detect/window_detector.cpp.o.d"
+  "/root/repo/src/linalg/eig.cpp" "src/CMakeFiles/awd.dir/linalg/eig.cpp.o" "gcc" "src/CMakeFiles/awd.dir/linalg/eig.cpp.o.d"
+  "/root/repo/src/linalg/expm.cpp" "src/CMakeFiles/awd.dir/linalg/expm.cpp.o" "gcc" "src/CMakeFiles/awd.dir/linalg/expm.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/awd.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/awd.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/awd.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/awd.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/power_cache.cpp" "src/CMakeFiles/awd.dir/linalg/power_cache.cpp.o" "gcc" "src/CMakeFiles/awd.dir/linalg/power_cache.cpp.o.d"
+  "/root/repo/src/models/discretize.cpp" "src/CMakeFiles/awd.dir/models/discretize.cpp.o" "gcc" "src/CMakeFiles/awd.dir/models/discretize.cpp.o.d"
+  "/root/repo/src/models/lti.cpp" "src/CMakeFiles/awd.dir/models/lti.cpp.o" "gcc" "src/CMakeFiles/awd.dir/models/lti.cpp.o.d"
+  "/root/repo/src/models/model_bank.cpp" "src/CMakeFiles/awd.dir/models/model_bank.cpp.o" "gcc" "src/CMakeFiles/awd.dir/models/model_bank.cpp.o.d"
+  "/root/repo/src/reach/deadline.cpp" "src/CMakeFiles/awd.dir/reach/deadline.cpp.o" "gcc" "src/CMakeFiles/awd.dir/reach/deadline.cpp.o.d"
+  "/root/repo/src/reach/reach.cpp" "src/CMakeFiles/awd.dir/reach/reach.cpp.o" "gcc" "src/CMakeFiles/awd.dir/reach/reach.cpp.o.d"
+  "/root/repo/src/reach/sets.cpp" "src/CMakeFiles/awd.dir/reach/sets.cpp.o" "gcc" "src/CMakeFiles/awd.dir/reach/sets.cpp.o.d"
+  "/root/repo/src/reach/support.cpp" "src/CMakeFiles/awd.dir/reach/support.cpp.o" "gcc" "src/CMakeFiles/awd.dir/reach/support.cpp.o.d"
+  "/root/repo/src/reach/zonotope.cpp" "src/CMakeFiles/awd.dir/reach/zonotope.cpp.o" "gcc" "src/CMakeFiles/awd.dir/reach/zonotope.cpp.o.d"
+  "/root/repo/src/sim/estimator.cpp" "src/CMakeFiles/awd.dir/sim/estimator.cpp.o" "gcc" "src/CMakeFiles/awd.dir/sim/estimator.cpp.o.d"
+  "/root/repo/src/sim/lqr.cpp" "src/CMakeFiles/awd.dir/sim/lqr.cpp.o" "gcc" "src/CMakeFiles/awd.dir/sim/lqr.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/awd.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/awd.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/sim/observer.cpp" "src/CMakeFiles/awd.dir/sim/observer.cpp.o" "gcc" "src/CMakeFiles/awd.dir/sim/observer.cpp.o.d"
+  "/root/repo/src/sim/pid.cpp" "src/CMakeFiles/awd.dir/sim/pid.cpp.o" "gcc" "src/CMakeFiles/awd.dir/sim/pid.cpp.o.d"
+  "/root/repo/src/sim/plant.cpp" "src/CMakeFiles/awd.dir/sim/plant.cpp.o" "gcc" "src/CMakeFiles/awd.dir/sim/plant.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/awd.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/awd.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/awd.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/awd.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack_test.cpp" "tests/CMakeFiles/awd_tests.dir/attack_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/attack_test.cpp.o.d"
+  "/root/repo/tests/core_calibration_test.cpp" "tests/CMakeFiles/awd_tests.dir/core_calibration_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/core_calibration_test.cpp.o.d"
+  "/root/repo/tests/core_config_test.cpp" "tests/CMakeFiles/awd_tests.dir/core_config_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/core_config_test.cpp.o.d"
+  "/root/repo/tests/core_csv_test.cpp" "tests/CMakeFiles/awd_tests.dir/core_csv_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/core_csv_test.cpp.o.d"
+  "/root/repo/tests/core_detection_system_test.cpp" "tests/CMakeFiles/awd_tests.dir/core_detection_system_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/core_detection_system_test.cpp.o.d"
+  "/root/repo/tests/core_experiment_test.cpp" "tests/CMakeFiles/awd_tests.dir/core_experiment_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/core_experiment_test.cpp.o.d"
+  "/root/repo/tests/core_metrics_test.cpp" "tests/CMakeFiles/awd_tests.dir/core_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/core_metrics_test.cpp.o.d"
+  "/root/repo/tests/detect_adaptive_test.cpp" "tests/CMakeFiles/awd_tests.dir/detect_adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/detect_adaptive_test.cpp.o.d"
+  "/root/repo/tests/detect_baselines_test.cpp" "tests/CMakeFiles/awd_tests.dir/detect_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/detect_baselines_test.cpp.o.d"
+  "/root/repo/tests/detect_logger_test.cpp" "tests/CMakeFiles/awd_tests.dir/detect_logger_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/detect_logger_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/awd_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/linalg_eig_test.cpp" "tests/CMakeFiles/awd_tests.dir/linalg_eig_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/linalg_eig_test.cpp.o.d"
+  "/root/repo/tests/linalg_expm_test.cpp" "tests/CMakeFiles/awd_tests.dir/linalg_expm_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/linalg_expm_test.cpp.o.d"
+  "/root/repo/tests/linalg_lu_test.cpp" "tests/CMakeFiles/awd_tests.dir/linalg_lu_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/linalg_lu_test.cpp.o.d"
+  "/root/repo/tests/linalg_matrix_test.cpp" "tests/CMakeFiles/awd_tests.dir/linalg_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/linalg_matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg_power_cache_test.cpp" "tests/CMakeFiles/awd_tests.dir/linalg_power_cache_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/linalg_power_cache_test.cpp.o.d"
+  "/root/repo/tests/linalg_vec_test.cpp" "tests/CMakeFiles/awd_tests.dir/linalg_vec_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/linalg_vec_test.cpp.o.d"
+  "/root/repo/tests/models_test.cpp" "tests/CMakeFiles/awd_tests.dir/models_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/models_test.cpp.o.d"
+  "/root/repo/tests/reach_deadline_test.cpp" "tests/CMakeFiles/awd_tests.dir/reach_deadline_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/reach_deadline_test.cpp.o.d"
+  "/root/repo/tests/reach_reach_test.cpp" "tests/CMakeFiles/awd_tests.dir/reach_reach_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/reach_reach_test.cpp.o.d"
+  "/root/repo/tests/reach_sets_test.cpp" "tests/CMakeFiles/awd_tests.dir/reach_sets_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/reach_sets_test.cpp.o.d"
+  "/root/repo/tests/reach_support_test.cpp" "tests/CMakeFiles/awd_tests.dir/reach_support_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/reach_support_test.cpp.o.d"
+  "/root/repo/tests/reach_zonotope_test.cpp" "tests/CMakeFiles/awd_tests.dir/reach_zonotope_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/reach_zonotope_test.cpp.o.d"
+  "/root/repo/tests/sim_estimator_test.cpp" "tests/CMakeFiles/awd_tests.dir/sim_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/sim_estimator_test.cpp.o.d"
+  "/root/repo/tests/sim_lqr_test.cpp" "tests/CMakeFiles/awd_tests.dir/sim_lqr_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/sim_lqr_test.cpp.o.d"
+  "/root/repo/tests/sim_noise_test.cpp" "tests/CMakeFiles/awd_tests.dir/sim_noise_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/sim_noise_test.cpp.o.d"
+  "/root/repo/tests/sim_observer_test.cpp" "tests/CMakeFiles/awd_tests.dir/sim_observer_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/sim_observer_test.cpp.o.d"
+  "/root/repo/tests/sim_pid_test.cpp" "tests/CMakeFiles/awd_tests.dir/sim_pid_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/sim_pid_test.cpp.o.d"
+  "/root/repo/tests/sim_plant_test.cpp" "tests/CMakeFiles/awd_tests.dir/sim_plant_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/sim_plant_test.cpp.o.d"
+  "/root/repo/tests/sim_simulator_test.cpp" "tests/CMakeFiles/awd_tests.dir/sim_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/sim_simulator_test.cpp.o.d"
+  "/root/repo/tests/sim_trace_test.cpp" "tests/CMakeFiles/awd_tests.dir/sim_trace_test.cpp.o" "gcc" "tests/CMakeFiles/awd_tests.dir/sim_trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/awd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awd_diagnose.dir/diagnose.cpp.o"
+  "CMakeFiles/awd_diagnose.dir/diagnose.cpp.o.d"
+  "awd_diagnose"
+  "awd_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awd_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
