@@ -4,6 +4,9 @@
 // query, across the state dimensions of the five plants.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+
 #include "core/detection_system.hpp"
 #include "reach/deadline.hpp"
 
@@ -83,6 +86,50 @@ void BM_AdaptiveDetectorStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdaptiveDetectorStep);
 
+// Mirrors every report to the console and to a JSON file.  (The stock
+// two-reporter overload insists on --benchmark_out, which would make the
+// JSON record opt-in; here it is unconditional.)
+class TeeReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit TeeReporter(std::ostream* json_stream) {
+    json_.SetOutputStream(json_stream);
+    json_.SetErrorStream(json_stream);
+  }
+  bool ReportContext(const Context& context) override {
+    const bool ok = console_.ReportContext(context);
+    return json_.ReportContext(context) && ok;
+  }
+  void ReportRuns(const std::vector<Run>& report) override {
+    console_.ReportRuns(report);
+    json_.ReportRuns(report);
+  }
+  void Finalize() override {
+    console_.Finalize();
+    json_.Finalize();
+  }
+
+ private:
+  benchmark::ConsoleReporter console_;
+  benchmark::JSONReporter json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Besides the console table, always drop a machine-readable record of the
+// run next to the binary so overhead numbers can be tracked across commits
+// (CI archives it as an artifact).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  std::ofstream json_out("BENCH_detector_step.json");
+  if (!json_out) {
+    std::cerr << "warning: cannot open BENCH_detector_step.json for writing\n";
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    TeeReporter tee(&json_out);
+    benchmark::RunSpecifiedBenchmarks(&tee);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

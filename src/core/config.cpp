@@ -1,6 +1,7 @@
 #include "core/config.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "models/discretize.hpp"
@@ -65,10 +66,24 @@ std::shared_ptr<const attack::Attack> SimulatorCase::make_attack(AttackKind kind
   throw std::invalid_argument("SimulatorCase::make_attack: unknown attack kind");
 }
 
+namespace {
+
+/// Every element finite, else a descriptive std::invalid_argument.
+void check_finite(const Vec& v, const std::string& key, const char* what) {
+  if (!v.is_finite()) {
+    throw std::invalid_argument(key + ": " + what +
+                                " contains a non-finite value (NaN or Inf)");
+  }
+}
+
+}  // namespace
+
 void SimulatorCase::validate() const {
   model.validate();
   const std::size_t n = model.state_dim();
   const std::size_t m = model.input_dim();
+  if (n == 0) throw std::invalid_argument(key + ": model has zero state dimensions");
+  if (m == 0) throw std::invalid_argument(key + ": model has zero input dimensions");
   if (u_range.dim() != m) throw std::invalid_argument(key + ": u_range dimension mismatch");
   if (safe_set.dim() != n) throw std::invalid_argument(key + ": safe_set dimension mismatch");
   if (tau.size() != n) throw std::invalid_argument(key + ": tau dimension mismatch");
@@ -85,7 +100,28 @@ void SimulatorCase::validate() const {
   for (std::size_t d : tracked_dims) {
     if (d >= n) throw std::invalid_argument(key + ": tracked dimension out of range");
   }
-  if (eps < 0.0) throw std::invalid_argument(key + ": negative eps");
+  check_finite(tau, key, "tau");
+  check_finite(x0, key, "x0");
+  check_finite(reference, key, "reference");
+  check_finite(sensor_noise, key, "sensor_noise");
+  check_finite(bias, key, "bias");
+  check_finite(ramp_slope, key, "ramp_slope");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tau[i] < 0.0) throw std::invalid_argument(key + ": tau must be >= 0");
+    if (sensor_noise[i] < 0.0) {
+      throw std::invalid_argument(key + ": sensor_noise must be >= 0");
+    }
+  }
+  for (const auto& [step, ref] : reference_schedule) {
+    (void)step;
+    check_finite(ref, key, "reference_schedule entry");
+  }
+  if (!std::isfinite(eps) || eps < 0.0) {
+    throw std::invalid_argument(key + ": eps must be finite and >= 0");
+  }
+  if (!std::isfinite(eps_reach)) {
+    throw std::invalid_argument(key + ": eps_reach must be finite");
+  }
   if (eps_reach != 0.0 && eps_reach < eps) {
     throw std::invalid_argument(key + ": eps_reach must be conservative (>= eps)");
   }
@@ -286,7 +322,10 @@ SimulatorCase simulator_case(std::string_view key) {
   if (key == "dc_motor") return make_dc_motor();
   if (key == "quadrotor") return make_quadrotor();
   if (key == "testbed_car") return testbed_case();
-  throw std::invalid_argument("simulator_case: unknown key '" + std::string(key) + "'");
+  throw std::invalid_argument(
+      "simulator_case: unknown key '" + std::string(key) +
+      "' (valid keys: aircraft_pitch, vehicle_turning, series_rlc, dc_motor, "
+      "quadrotor, testbed_car)");
 }
 
 SimulatorCase testbed_case() {

@@ -1,12 +1,14 @@
 #include "core/detection_system.hpp"
 
+#include <stdexcept>
+
 namespace awd::core {
 
 namespace {
 
 sim::Simulator build_simulator(const SimulatorCase& scase, AttackKind attack,
-                               std::uint64_t seed,
-                               const DetectionSystemOptions& options) {
+                               std::uint64_t seed, const DetectionSystemOptions& options,
+                               std::shared_ptr<fault::FaultInjector> faults) {
   scase.validate();
   sim::Plant plant(scase.model, scase.u_range, scase.eps, scase.x0);
   sim::SimulatorOptions opts;
@@ -17,6 +19,7 @@ sim::Simulator build_simulator(const SimulatorCase& scase, AttackKind attack,
   opts.predict_with_commanded = scase.predict_with_commanded;
   opts.reference_schedule = scase.reference_schedule;
   opts.reference_sinusoids = scase.reference_sinusoids;
+  opts.faults = std::move(faults);
   return sim::Simulator(std::move(plant), scase.make_controller(),
                         scase.make_attack(attack), std::move(opts),
                         options.make_estimator ? options.make_estimator() : nullptr);
@@ -27,31 +30,77 @@ sim::Simulator build_simulator(const SimulatorCase& scase, AttackKind attack,
 DetectionSystem::DetectionSystem(const SimulatorCase& scase, AttackKind attack,
                                  std::uint64_t seed, DetectionSystemOptions options)
     : case_(scase),
-      simulator_(build_simulator(scase, attack, seed, options)),
+      faults_(options.fault_plan.empty()
+                  ? nullptr
+                  : std::make_shared<fault::FaultInjector>(std::move(options.fault_plan))),
+      simulator_(build_simulator(scase, attack, seed, options, faults_)),
       logger_(scase.model, scase.max_window),
       estimator_(scase.model, scase.u_range,
                  scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach, scase.safe_set,
-                 reach::DeadlineConfig{scase.max_window, options.init_radius}),
+                 reach::DeadlineConfig{scase.max_window, options.init_radius,
+                                       options.deadline_budget}),
       adaptive_(scase.tau, scase.max_window),
-      fixed_(scase.tau, options.fixed_window.value_or(scase.fixed_window)) {}
+      fixed_(scase.tau, options.fixed_window.value_or(scase.fixed_window)),
+      health_(options.health),
+      last_valid_deadline_(scase.max_window) {}
 
 sim::StepRecord DetectionSystem::step() {
   sim::StepRecord rec = simulator_.step();
 
   // Data Logger: buffer the estimate and the control input the predictor
   // will use for step t+1 (commanded vs applied per the case's setting).
+  // The simulator guarantees finite estimates (hold-last fallback), but the
+  // logger quarantine is the second line of defense; a contract violation
+  // here is a wiring bug, not a runtime fault.
   const Vec& u_for_prediction =
       case_.predict_with_commanded ? rec.commanded : rec.control;
-  logger_.log(rec.t, rec.estimate, u_for_prediction);
+  const core::Status log_status = logger_.log_checked(rec.t, rec.estimate, u_for_prediction);
+  if (!log_status.is_ok()) {
+    throw std::logic_error("DetectionSystem::step: " + std::string(log_status.message()));
+  }
+  rec.residual_quarantined = logger_.entry(rec.t).quarantined;
 
   // Deadline Estimator, seeded with the trusted estimate that sits just
   // outside the *previous* detection window (§3.3.1).  Before enough
   // history exists the system cannot be near-unsafe by assumption (the run
   // starts from a trusted state), so the deadline defaults to w_m.
+  //
+  // Degradation: when the seed is unusable (quarantined), the search blows
+  // its real-time budget (injected or real), or the estimate fails, the
+  // deadline falls back to the last valid deadline decremented by the steps
+  // elapsed since — the safe direction: the true deadline can shrink by at
+  // most one per step — with floor 1, the most alert the window gets.
   std::size_t deadline = case_.max_window;
+  bool deadline_failed = false;
   const std::optional<Vec> seed_state =
       logger_.trusted_state(rec.t, adaptive_.previous_window());
-  if (seed_state) deadline = estimator_.estimate(*seed_state);
+  if (seed_state) {
+    if (faults_ && faults_->deadline_budget_exhausted(rec.t)) {
+      deadline_failed = true;  // simulated budget exhaustion from the plan
+      // Attribute the step unless a sensor fault already claimed it, so the
+      // health monitor's per-kind counters see deadline faults too.
+      if (rec.fault == fault::FaultKind::kNone) {
+        rec.fault = fault::FaultKind::kDeadlineBudget;
+      }
+    } else {
+      const core::Result<std::size_t> est = estimator_.estimate_checked(*seed_state);
+      if (est.is_ok()) {
+        deadline = est.value();
+      } else {
+        deadline_failed = true;
+      }
+    }
+  }
+  if (deadline_failed) {
+    ++fallback_steps_;
+    deadline = last_valid_deadline_ > fallback_steps_
+                   ? last_valid_deadline_ - fallback_steps_
+                   : 1;
+    rec.deadline_fallback = true;
+  } else {
+    last_valid_deadline_ = deadline;
+    fallback_steps_ = 0;
+  }
   rec.deadline = deadline;
 
   // Adaptive Detector (§4.2) with complementary sweeps on shrink.
@@ -64,6 +113,12 @@ sim::StepRecord DetectionSystem::step() {
   rec.fixed_alarm = fixed_.step(logger_, rec.t).alarm;
 
   rec.unsafe = !case_.safe_set.contains(rec.true_state);
+
+  // Health: fold this step's fault and fallback signals into the state
+  // machine so degradation is observable from the trace.
+  const bool degraded = rec.estimate_fallback || rec.residual_quarantined ||
+                        rec.deadline_fallback || rec.sample_missing;
+  rec.health = health_.step(rec.fault, degraded);
   return rec;
 }
 

@@ -26,6 +26,8 @@
 #include "detect/adaptive.hpp"
 #include "detect/fixed.hpp"
 #include "detect/logger.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "reach/deadline.hpp"
 #include "sim/simulator.hpp"
 
@@ -38,6 +40,16 @@ struct DetectionSystemOptions {
   /// Factory for the measurement → estimate stage; empty means the paper's
   /// passthrough (fully observable) assumption.
   std::function<std::unique_ptr<sim::Estimator>()> make_estimator;
+
+  /// Deterministic fault schedule for the run.  An empty plan constructs no
+  /// injector at all, so nominal runs are bit-identical to the unhardened
+  /// pipeline.
+  fault::FaultPlan fault_plan;
+  /// Degradation state-machine thresholds (NOMINAL→DEGRADED→FAILSAFE).
+  fault::HealthConfig health;
+  /// Real-time budget for each deadline search, in reach-box queries
+  /// (0 = unlimited).  Exhaustion triggers the deadline-decay fallback.
+  std::size_t deadline_budget = 0;
 };
 
 /// One fully wired detection run over one plant/attack/seed combination.
@@ -66,14 +78,25 @@ class DetectionSystem {
   }
   [[nodiscard]] const SimulatorCase& scase() const noexcept { return case_; }
 
+  /// Degradation state machine driven by this run (NOMINAL when no fault
+  /// plan is configured and nothing ever degraded).
+  [[nodiscard]] const fault::HealthMonitor& health() const noexcept { return health_; }
+
+  /// The run's fault injector, or nullptr for a nominal run.
+  [[nodiscard]] const fault::FaultInjector* faults() const noexcept { return faults_.get(); }
+
  private:
   SimulatorCase case_;
+  std::shared_ptr<fault::FaultInjector> faults_;  ///< before simulator_: init order
   sim::Simulator simulator_;
   detect::DataLogger logger_;
   reach::DeadlineEstimator estimator_;
   detect::AdaptiveDetector adaptive_;
   detect::FixedWindowDetector fixed_;
+  fault::HealthMonitor health_;
   std::size_t evaluations_ = 0;
+  std::size_t last_valid_deadline_ = 0;  ///< most recent non-fallback deadline
+  std::size_t fallback_steps_ = 0;       ///< consecutive deadline fallbacks so far
 };
 
 }  // namespace awd::core

@@ -1,0 +1,92 @@
+// status.hpp — lightweight expected-style error handling for the hot path.
+//
+// The detection pipeline runs once per control period; a fielded monitor
+// cannot afford to unwind an exception (or worse, crash) because a sensor
+// skipped a sample or a reachability query blew its budget.  Status and
+// Result<T> carry the outcome of fallible hot-path operations by value:
+// constructors still throw on programmer errors (mis-wired dimensions at
+// setup time), but per-step operations return a Status the caller inspects
+// to trigger its degradation policy.
+//
+// Messages are static string literals so that constructing an error Status
+// never allocates.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace awd::core {
+
+/// Canonical failure categories of the run-time pipeline.
+enum class StatusCode {
+  kOk = 0,
+  kUnavailable,     ///< no data this period (sensor dropout / burst loss)
+  kInvalidInput,    ///< non-finite or mis-shaped data reached a component
+  kBudgetExceeded,  ///< computation exceeded its real-time budget
+  kOutOfRange,      ///< index/step outside the retained history
+};
+
+/// Printable name of a status code ("ok", "unavailable", ...).
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInvalidInput: return "invalid_input";
+    case StatusCode::kBudgetExceeded: return "budget_exceeded";
+    case StatusCode::kOutOfRange: return "out_of_range";
+  }
+  return "unknown";
+}
+
+/// Value-semantic success/error outcome.  `message` must point at a string
+/// literal (or other static storage); Status never copies it.
+class Status {
+ public:
+  constexpr Status() noexcept = default;  // OK
+  constexpr Status(StatusCode code, const char* message) noexcept
+      : code_(code), message_(message) {}
+
+  [[nodiscard]] static constexpr Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] constexpr bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] constexpr StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] constexpr std::string_view message() const noexcept {
+    return message_ == nullptr ? std::string_view{} : std::string_view{message_};
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  const char* message_ = nullptr;
+};
+
+/// A Status plus a value when the Status is OK.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(status) {      // NOLINT(google-explicit-constructor)
+    if (status_.is_ok()) {
+      // An OK Result must carry a value; treat as a wiring bug.
+      status_ = Status{StatusCode::kInvalidInput, "Result: OK status without a value"};
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return status_.is_ok(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Value access; valid only when is_ok().
+  [[nodiscard]] const T& value() const& noexcept { return *value_; }
+  [[nodiscard]] T&& value() && noexcept { return std::move(*value_); }
+
+  /// The value, or `fallback` on error — the degradation idiom in one call.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace awd::core

@@ -13,32 +13,60 @@ DataLogger::DataLogger(models::DiscreteLti model, std::size_t max_window)
   buf_.resize(max_window_ + 2);
 }
 
-const LogEntry& DataLogger::log(std::size_t t, const Vec& estimate, const Vec& control) {
+core::Status DataLogger::check_log(std::size_t t, const Vec& estimate,
+                                   const Vec& control) const noexcept {
   if (estimate.size() != model_.state_dim()) {
-    throw std::invalid_argument("DataLogger::log: estimate dimension mismatch");
+    return {core::StatusCode::kInvalidInput, "DataLogger::log: estimate dimension mismatch"};
   }
   if (control.size() != model_.input_dim()) {
-    throw std::invalid_argument("DataLogger::log: control dimension mismatch");
+    return {core::StatusCode::kInvalidInput, "DataLogger::log: control dimension mismatch"};
   }
   if (size_ > 0 && t != latest_ + 1) {
-    throw std::invalid_argument("DataLogger::log: steps must be contiguous (expected " +
-                                std::to_string(latest_ + 1) + ", got " + std::to_string(t) +
-                                ")");
+    return {core::StatusCode::kOutOfRange, "DataLogger::log: steps must be contiguous"};
   }
+  return core::Status::ok();
+}
+
+const LogEntry& DataLogger::store(std::size_t t, const Vec& estimate, const Vec& control) {
+  const std::size_t n = model_.state_dim();
 
   LogEntry e;
   e.t = t;
   e.estimate = estimate;
   e.control = control;
+
+  // Quarantine line 1: non-finite inputs never enter the ring.  The stored
+  // estimate falls back to the previous (finite) estimate so the *next*
+  // step's prediction stays finite; a non-finite control becomes zero.
+  if (!e.estimate.is_finite()) {
+    e.quarantined = true;
+    e.estimate = size_ > 0 ? slot(latest_).estimate : Vec(n);
+  }
+  if (!e.control.is_finite()) {
+    e.quarantined = true;
+    e.control = Vec(control.size());
+  }
+
   if (size_ == 0) {
     // No previous step: define the prediction as the estimate itself so the
     // first residual is zero.
-    e.predicted = estimate;
-    e.residual = Vec(estimate.size());
+    e.predicted = e.estimate;
+    e.residual = Vec(n);
   } else {
     const LogEntry& prev = slot(latest_);
     e.predicted = model_.step(prev.estimate, prev.control);
-    e.residual = (e.predicted - estimate).cwise_abs();
+    e.residual = (e.predicted - e.estimate).cwise_abs();
+    // Quarantine line 2: even finite inputs can overflow through an
+    // unstable model's prediction.
+    if (!e.predicted.is_finite() || !e.residual.is_finite()) {
+      e.quarantined = true;
+      e.predicted = e.estimate;
+      e.residual = Vec(n);
+    }
+  }
+  if (e.quarantined) {
+    e.residual = Vec(n);  // quarantined residuals contribute nothing
+    ++quarantined_;
   }
 
   LogEntry& dst = buf_[t % buf_.size()];
@@ -46,6 +74,26 @@ const LogEntry& DataLogger::log(std::size_t t, const Vec& estimate, const Vec& c
   latest_ = t;
   if (size_ < buf_.size()) ++size_;  // Release happens implicitly: the ring overwrites
   return dst;
+}
+
+const LogEntry& DataLogger::log(std::size_t t, const Vec& estimate, const Vec& control) {
+  const core::Status status = check_log(t, estimate, control);
+  if (!status.is_ok()) {
+    if (status.code() == core::StatusCode::kOutOfRange) {
+      throw std::invalid_argument("DataLogger::log: steps must be contiguous (expected " +
+                                  std::to_string(latest_ + 1) + ", got " + std::to_string(t) +
+                                  ")");
+    }
+    throw std::invalid_argument(std::string(status.message()));
+  }
+  return store(t, estimate, control);
+}
+
+core::Status DataLogger::log_checked(std::size_t t, const Vec& estimate,
+                                     const Vec& control) noexcept {
+  const core::Status status = check_log(t, estimate, control);
+  if (status.is_ok()) (void)store(t, estimate, control);
+  return status;
 }
 
 bool DataLogger::has(std::size_t t) const noexcept {
@@ -75,28 +123,37 @@ Vec DataLogger::window_mean(std::size_t t_end, std::size_t w) const {
   if (!has(t_end)) {
     throw std::out_of_range("DataLogger::window_mean: t_end not retained");
   }
-  const std::size_t lo_wanted = t_end >= w ? t_end - w : 0;
+  const std::size_t lo_wanted = t_end >= w ? t_end - w : 0;  // startup underflow guard
   const std::size_t lo = std::max(lo_wanted, earliest());
 
   Vec sum(model_.state_dim());
   std::size_t count = 0;
   for (std::size_t s = lo; s <= t_end; ++s) {
-    sum += slot(s).residual;
+    const LogEntry& e = slot(s);
+    if (e.quarantined) continue;
+    sum += e.residual;
     ++count;
   }
+  // Every point quarantined: no usable evidence in the window.  Zero is the
+  // conservative answer — the detector stays silent rather than alarming on
+  // garbage (the corruption itself is surfaced through the health monitor).
+  if (count == 0) return Vec(model_.state_dim());
   return sum / static_cast<double>(count);
 }
 
 std::optional<Vec> DataLogger::trusted_state(std::size_t t, std::size_t w) const {
-  if (t < w + 1) return std::nullopt;
+  if (t < w + 1) return std::nullopt;  // startup: nothing outside the window yet
   const std::size_t seed = t - w - 1;
   if (!has(seed)) return std::nullopt;
-  return slot(seed).estimate;
+  const LogEntry& e = slot(seed);
+  if (e.quarantined) return std::nullopt;  // corrupted points never seed reachability
+  return e.estimate;
 }
 
 void DataLogger::reset() {
   size_ = 0;
   latest_ = 0;
+  quarantined_ = 0;
 }
 
 }  // namespace awd::detect

@@ -12,12 +12,19 @@
 // Implemented as a fixed-capacity ring buffer (capacity w_m + 2: the w_m+1
 // points a maximal window can cover, plus the trusted seed just outside
 // it).  Entries are indexed by absolute control step.
+//
+// Degradation: non-finite data is *quarantined* rather than stored.  A
+// quarantined entry keeps its slot in the ring (steps stay contiguous) but
+// carries a sanitized estimate/residual and is excluded from window means
+// and from trusted-seed selection — one NaN sample can therefore never
+// poison a whole window average or a reachability seed.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <vector>
 
+#include "core/status.hpp"
 #include "models/lti.hpp"
 
 namespace awd::detect {
@@ -27,10 +34,11 @@ using linalg::Vec;
 /// One logged control step.
 struct LogEntry {
   std::size_t t = 0;  ///< absolute control step
-  Vec estimate;       ///< x̄_t
+  Vec estimate;       ///< x̄_t (sanitized when quarantined)
   Vec control;        ///< u_t (needed to predict step t+1)
   Vec predicted;      ///< x̃_t
-  Vec residual;       ///< z_t = |x̃_t - x̄_t|
+  Vec residual;       ///< z_t = |x̃_t - x̄_t| (zero when quarantined)
+  bool quarantined = false;  ///< entry held non-finite data; excluded from stats
 };
 
 /// Sliding-window data logger.
@@ -43,8 +51,17 @@ class DataLogger {
 
   /// Record step t.  Steps must be logged contiguously (t == latest + 1,
   /// or any t for the first entry); throws std::invalid_argument otherwise.
-  /// Returns the stored entry (with prediction and residual filled in).
+  /// Non-finite estimates/controls/residuals are quarantined, never thrown
+  /// on.  Returns the stored entry (with prediction and residual filled in).
   const LogEntry& log(std::size_t t, const Vec& estimate, const Vec& control);
+
+  /// Non-throwing hot-path variant: contract violations (dimension
+  /// mismatch, non-contiguous step) come back as a Status instead of an
+  /// exception; the entry is not stored on error.  Quarantining is not an
+  /// error — the entry is stored and the returned Status is OK; inspect
+  /// entry(t).quarantined.
+  [[nodiscard]] core::Status log_checked(std::size_t t, const Vec& estimate,
+                                         const Vec& control) noexcept;
 
   /// True iff step t is still retained.
   [[nodiscard]] bool has(std::size_t t) const noexcept;
@@ -62,16 +79,23 @@ class DataLogger {
   [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
   [[nodiscard]] std::size_t max_window() const noexcept { return max_window_; }
 
+  /// Entries quarantined since construction or reset().
+  [[nodiscard]] std::size_t quarantined_count() const noexcept { return quarantined_; }
+
   /// Mean residual over the detection window [t_end - w, t_end] (§4.1).
   /// Points older than the earliest retained entry are skipped (at stream
-  /// start the window is partially filled); the mean is over the points
-  /// actually present.  Throws std::out_of_range if t_end itself is not
-  /// retained.
+  /// start the window is partially filled), as are quarantined points; the
+  /// mean is over the points actually present.  When every point in the
+  /// window is quarantined the mean is the zero vector (no evidence — the
+  /// conservative, alarm-free answer).  Throws std::out_of_range if t_end
+  /// itself is not retained.
   [[nodiscard]] Vec window_mean(std::size_t t_end, std::size_t w) const;
 
   /// The trusted seed for deadline estimation at time t with window w:
   /// the estimate x̄_{t-w-1} that just left the detection window (§3.3.1),
-  /// or nullopt while the stream is younger than w + 1 steps.
+  /// or nullopt while the stream is younger than w + 1 steps or when the
+  /// seed entry is quarantined (a corrupted point must never seed
+  /// reachability).
   [[nodiscard]] std::optional<Vec> trusted_state(std::size_t t, std::size_t w) const;
 
   /// Forget everything (new run).
@@ -82,11 +106,19 @@ class DataLogger {
     return buf_[t % buf_.size()];
   }
 
+  /// Contract validation shared by log / log_checked.
+  [[nodiscard]] core::Status check_log(std::size_t t, const Vec& estimate,
+                                       const Vec& control) const noexcept;
+
+  /// Store step t after validation (quarantines non-finite data).
+  const LogEntry& store(std::size_t t, const Vec& estimate, const Vec& control);
+
   models::DiscreteLti model_;
   std::size_t max_window_;
   std::vector<LogEntry> buf_;  ///< ring, indexed by t mod capacity
   std::size_t size_ = 0;       ///< retained entry count
   std::size_t latest_ = 0;     ///< absolute step of newest entry (valid when size_ > 0)
+  std::size_t quarantined_ = 0;  ///< lifetime quarantine count
 };
 
 }  // namespace awd::detect

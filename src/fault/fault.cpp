@@ -1,0 +1,153 @@
+#include "fault/fault.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "sim/noise.hpp"
+
+namespace awd::fault {
+
+namespace {
+
+/// Uniform double in [0, 1) from a splitmix64 output.
+double to_unit(std::uint64_t r) noexcept {
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+/// Per-(seed, step, salt) deterministic draw.  Using raw splitmix64 rather
+/// than a std:: distribution keeps generated plans bit-identical across
+/// standard libraries, not just across runs.
+std::uint64_t draw(std::uint64_t seed, std::size_t t, std::uint64_t salt) noexcept {
+  return sim::splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)) ^ salt);
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDropout: return "dropout";
+    case FaultKind::kCorruptNaN: return "corrupt_nan";
+    case FaultKind::kCorruptInf: return "corrupt_inf";
+    case FaultKind::kStuckAtLast: return "stuck_at_last";
+    case FaultKind::kDeadlineBudget: return "deadline_budget";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  if (event.kind == FaultKind::kNone) {
+    throw std::invalid_argument("FaultPlan::add: kNone is not an injectable fault");
+  }
+  if (event.duration == 0) {
+    throw std::invalid_argument("FaultPlan::add: event duration must be >= 1");
+  }
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t horizon,
+                            const FaultPlanOptions& options) {
+  if (options.fault_rate < 0.0 || options.fault_rate > 1.0) {
+    throw std::invalid_argument("FaultPlan::random: fault_rate must be in [0, 1]");
+  }
+  if (options.max_burst == 0) {
+    throw std::invalid_argument("FaultPlan::random: max_burst must be >= 1");
+  }
+
+  FaultPlan plan;
+  std::size_t t = 0;
+  while (t < horizon) {
+    if (to_unit(draw(seed, t, 0x5e4501)) >= options.fault_rate) {
+      ++t;
+      continue;
+    }
+    // A fault event starts at t; pick its kind and (for bursts) duration.
+    static constexpr FaultKind kSensorKinds[] = {
+        FaultKind::kDropout, FaultKind::kCorruptNaN, FaultKind::kCorruptInf,
+        FaultKind::kStuckAtLast};
+    const bool want_deadline =
+        options.deadline_faults &&
+        (!options.sensor_faults || to_unit(draw(seed, t, 0xdead11)) < 0.2);
+    FaultEvent e;
+    e.start = t;
+    if (want_deadline) {
+      e.kind = FaultKind::kDeadlineBudget;
+      e.duration = 1 + draw(seed, t, 0xb0d9e7) % options.max_burst;
+    } else {
+      e.kind = kSensorKinds[draw(seed, t, 0x5e7ec7) % 4];
+      e.duration =
+          e.kind == FaultKind::kDropout ? 1 + draw(seed, t, 0xb0a57) % options.max_burst : 1;
+    }
+    plan.add(e);
+    t += e.duration;
+  }
+  return plan;
+}
+
+FaultKind FaultPlan::sensor_fault_at(std::size_t t) const noexcept {
+  FaultKind kind = FaultKind::kNone;
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultKind::kDeadlineBudget && e.covers(t)) kind = e.kind;
+  }
+  return kind;  // latest-added covering event wins
+}
+
+bool FaultPlan::deadline_budget_exhausted_at(std::size_t t) const noexcept {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kDeadlineBudget && e.covers(t)) return true;
+  }
+  return false;
+}
+
+FaultKind FaultInjector::apply_sensor(std::size_t t, std::optional<Vec>& sample) {
+  FaultKind kind = plan_.sensor_fault_at(t);
+  switch (kind) {
+    case FaultKind::kNone:
+    case FaultKind::kDeadlineBudget:
+      kind = FaultKind::kNone;
+      break;
+    case FaultKind::kDropout:
+      sample.reset();
+      break;
+    case FaultKind::kCorruptNaN:
+      if (sample) {
+        for (double& x : *sample) x = std::numeric_limits<double>::quiet_NaN();
+      }
+      break;
+    case FaultKind::kCorruptInf:
+      if (sample) {
+        for (std::size_t i = 0; i < sample->size(); ++i) {
+          (*sample)[i] = (i % 2 == 0 ? 1.0 : -1.0) * std::numeric_limits<double>::infinity();
+        }
+      }
+      break;
+    case FaultKind::kStuckAtLast:
+      if (last_delivered_) {
+        sample = *last_delivered_;
+      } else {
+        sample.reset();  // stuck sensor that never delivered: a dropout
+      }
+      break;
+  }
+  if (kind != FaultKind::kNone) ++counters_.by_kind[static_cast<std::size_t>(kind)];
+  // Corrupted deliveries do not refresh the stuck-at memory: a transducer
+  // frozen behind a flaky bus keeps repeating its last *good* value.
+  if (sample && kind != FaultKind::kCorruptNaN && kind != FaultKind::kCorruptInf) {
+    last_delivered_ = *sample;
+  }
+  return kind;
+}
+
+bool FaultInjector::deadline_budget_exhausted(std::size_t t) {
+  if (!plan_.deadline_budget_exhausted_at(t)) return false;
+  ++counters_.by_kind[static_cast<std::size_t>(FaultKind::kDeadlineBudget)];
+  return true;
+}
+
+void FaultInjector::reset() noexcept {
+  counters_ = Counters{};
+  last_delivered_.reset();
+}
+
+}  // namespace awd::fault

@@ -1,0 +1,152 @@
+// fault.hpp — deterministic fault-injection for the closed loop.
+//
+// A fielded CPS monitor must survive more than sensor *attacks*: sensors
+// drop samples, buses deliver NaN/Inf garbage, transducers freeze at their
+// last value, links lose whole bursts, and the reachability-based deadline
+// estimator can blow its real-time budget.  The fault subsystem injects
+// exactly these conditions at configurable control steps so that the
+// degradation behaviour of every downstream layer can be tested — and,
+// crucially, reproduced: a FaultPlan is either scripted event by event or
+// generated from a 64-bit seed, and the same (seed, plan) always perturbs
+// the same steps in the same way.
+//
+// Fault taxonomy:
+//   * kDropout        — no sample is delivered this period (a single-step
+//                       event; an event with duration > 1 is a burst loss),
+//   * kCorruptNaN     — the delivered sample is all-NaN,
+//   * kCorruptInf     — the delivered sample is all-±Inf,
+//   * kStuckAtLast    — the sensor repeats the last value it delivered,
+//   * kDeadlineBudget — the deadline estimator's reachability computation
+//                       exceeds its per-step budget (simulated exhaustion;
+//                       the estimator must fall back, §3's low-overhead
+//                       requirement turned into a hard real-time contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace awd::fault {
+
+using linalg::Vec;
+
+/// One injectable fault condition.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDropout,
+  kCorruptNaN,
+  kCorruptInf,
+  kStuckAtLast,
+  kDeadlineBudget,
+};
+
+/// Number of distinct FaultKind values (including kNone) — sizes counter
+/// arrays.
+inline constexpr std::size_t kFaultKindCount = 6;
+
+/// Printable name of a fault kind ("dropout", "corrupt_nan", ...).
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// One scheduled fault: `kind` is active for steps [start, start + duration).
+/// A kDropout event with duration > 1 models a burst loss.
+struct FaultEvent {
+  std::size_t start = 0;
+  std::size_t duration = 1;
+  FaultKind kind = FaultKind::kNone;
+
+  [[nodiscard]] bool covers(std::size_t t) const noexcept {
+    return kind != FaultKind::kNone && t >= start && t - start < duration;
+  }
+};
+
+/// Knobs for the seeded random plan generator.
+struct FaultPlanOptions {
+  double fault_rate = 0.02;      ///< per-step probability a fault event starts
+  std::size_t max_burst = 5;     ///< longest generated burst (dropout duration)
+  bool sensor_faults = true;     ///< generate sensor-path faults
+  bool deadline_faults = true;   ///< generate deadline-budget exhaustions
+};
+
+/// An immutable schedule of fault events over a run.
+//
+// Sensor-path faults (dropout / corruption / stuck-at) are mutually
+// exclusive per step: when events overlap, the latest-added event wins —
+// scripted plans can therefore layer a targeted fault over a random
+// background plan.
+class FaultPlan {
+ public:
+  FaultPlan() = default;  ///< empty plan: no faults, pipeline runs nominal
+
+  /// Append one event.  Throws std::invalid_argument on kNone kind or zero
+  /// duration.
+  FaultPlan& add(FaultEvent event);
+
+  /// Deterministic pseudo-random plan over `horizon` steps: every draw
+  /// derives from `seed` alone, so the same (seed, horizon, options)
+  /// produces the same plan on every platform and run.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, std::size_t horizon,
+                                        const FaultPlanOptions& options = {});
+
+  /// Sensor-path fault active at step t (kNone when the sample is clean).
+  [[nodiscard]] FaultKind sensor_fault_at(std::size_t t) const noexcept;
+
+  /// True iff a kDeadlineBudget event covers step t.
+  [[nodiscard]] bool deadline_budget_exhausted_at(std::size_t t) const noexcept;
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Stateful applicator of a FaultPlan to the sensor path and the deadline
+/// estimator.  One injector per run (it tracks the last delivered sample
+/// for stuck-at faults and counts what it injected).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Per-kind injection counters (indexed by FaultKind).
+  struct Counters {
+    std::size_t by_kind[kFaultKindCount] = {};
+
+    [[nodiscard]] std::size_t count(FaultKind kind) const noexcept {
+      return by_kind[static_cast<std::size_t>(kind)];
+    }
+    [[nodiscard]] std::size_t total() const noexcept {
+      std::size_t s = 0;
+      for (std::size_t i = 1; i < kFaultKindCount; ++i) s += by_kind[i];
+      return s;
+    }
+  };
+
+  /// Apply the step-t sensor fault to the sample the sensor produced.
+  /// On entry `sample` holds the (possibly attacked) measurement; on return
+  /// it holds what the pipeline actually receives: nullopt on dropout, a
+  /// corrupted vector on NaN/Inf faults, the previous delivery on stuck-at
+  /// (a stuck sensor with no prior delivery degenerates to a dropout).
+  /// Returns the fault kind applied (kNone for a clean step).
+  FaultKind apply_sensor(std::size_t t, std::optional<Vec>& sample);
+
+  /// True iff the deadline estimator's budget is (simulated) exhausted at
+  /// step t; counts the exhaustion.
+  [[nodiscard]] bool deadline_budget_exhausted(std::size_t t);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+  /// Forget delivery history and counters (new run over the same plan).
+  void reset() noexcept;
+
+ private:
+  FaultPlan plan_;
+  Counters counters_;
+  std::optional<Vec> last_delivered_;
+};
+
+}  // namespace awd::fault

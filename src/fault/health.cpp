@@ -1,0 +1,62 @@
+#include "fault/health.hpp"
+
+#include <stdexcept>
+
+namespace awd::fault {
+
+std::string_view to_string(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kNominal: return "nominal";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kFailsafe: return "failsafe";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+  if (config_.failsafe_after == 0) {
+    throw std::invalid_argument("HealthMonitor: failsafe_after must be >= 1");
+  }
+  if (config_.recover_after == 0) {
+    throw std::invalid_argument("HealthMonitor: recover_after must be >= 1");
+  }
+}
+
+HealthState HealthMonitor::step(FaultKind kind, bool degraded) {
+  ++steps_;
+  if (kind != FaultKind::kNone) ++counts_[static_cast<std::size_t>(kind)];
+  if (degraded) ++degraded_steps_;
+
+  const bool faulted = kind != FaultKind::kNone || degraded;
+  if (faulted) {
+    clean_streak_ = 0;
+    ++fault_streak_;
+    if (state_ == HealthState::kNominal) state_ = HealthState::kDegraded;
+    if (fault_streak_ >= config_.failsafe_after) state_ = HealthState::kFailsafe;
+  } else {
+    fault_streak_ = 0;
+    if (state_ != HealthState::kNominal && ++clean_streak_ >= config_.recover_after) {
+      clean_streak_ = 0;
+      state_ = state_ == HealthState::kFailsafe ? HealthState::kDegraded
+                                                : HealthState::kNominal;
+    }
+  }
+  return state_;
+}
+
+std::size_t HealthMonitor::total_faults() const noexcept {
+  std::size_t s = 0;
+  for (std::size_t i = 1; i < kFaultKindCount; ++i) s += counts_[i];
+  return s;
+}
+
+void HealthMonitor::reset() noexcept {
+  state_ = HealthState::kNominal;
+  fault_streak_ = 0;
+  clean_streak_ = 0;
+  degraded_steps_ = 0;
+  steps_ = 0;
+  for (std::size_t& c : counts_) c = 0;
+}
+
+}  // namespace awd::fault

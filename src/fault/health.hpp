@@ -1,0 +1,79 @@
+// health.hpp — degradation state machine for the detection pipeline.
+//
+// Graceful degradation is only useful if it is *observable*: an operator
+// must be able to tell a nominal run from one limping along on fallbacks.
+// The HealthMonitor folds the per-step fault/fallback signals of every
+// pipeline layer into a three-state machine
+//
+//     NOMINAL  --fault-->  DEGRADED  --streak of faults-->  FAILSAFE
+//        ^                    |  ^                              |
+//        +---- clean streak --+  +-------- clean streak -------+
+//
+// plus per-fault-kind counters.  FAILSAFE means the pipeline has been
+// running blind (consecutive faulted periods >= failsafe_after) — the state
+// a supervisor would use to hand control to a safety fallback.  Recovery is
+// deliberately sticky: one clean sample does not clear DEGRADED; the
+// machine climbs back one level per `recover_after` consecutive clean
+// steps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fault/fault.hpp"
+
+namespace awd::fault {
+
+/// Pipeline health, ordered by severity.
+enum class HealthState : std::uint8_t { kNominal = 0, kDegraded, kFailsafe };
+
+/// Printable name of a health state ("nominal", "degraded", "failsafe").
+[[nodiscard]] std::string_view to_string(HealthState state) noexcept;
+
+/// Transition thresholds.
+struct HealthConfig {
+  std::size_t failsafe_after = 5;  ///< consecutive faulted steps → FAILSAFE
+  std::size_t recover_after = 10;  ///< consecutive clean steps → one level up
+};
+
+/// Fold per-step fault observations into a health state.
+class HealthMonitor {
+ public:
+  /// Throws std::invalid_argument on zero thresholds.
+  explicit HealthMonitor(HealthConfig config = {});
+
+  /// Record the outcome of one control period.  `kind` is the sensor-path
+  /// fault injected this step (kNone when clean); `degraded` is true when
+  /// *any* layer ran a fallback this step (estimator hold-last, logger
+  /// quarantine, deadline fallback).  Returns the state after the update.
+  HealthState step(FaultKind kind, bool degraded);
+
+  [[nodiscard]] HealthState state() const noexcept { return state_; }
+
+  /// Injected/observed faults of one kind since construction or reset().
+  [[nodiscard]] std::size_t fault_count(FaultKind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  /// Total faulted steps (any kind).
+  [[nodiscard]] std::size_t total_faults() const noexcept;
+  /// Steps where some layer ran a fallback (superset of sensor faults).
+  [[nodiscard]] std::size_t degraded_steps() const noexcept { return degraded_steps_; }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+  [[nodiscard]] const HealthConfig& config() const noexcept { return config_; }
+
+  /// Back to NOMINAL with zeroed counters (new run).
+  void reset() noexcept;
+
+ private:
+  HealthConfig config_;
+  HealthState state_ = HealthState::kNominal;
+  std::size_t fault_streak_ = 0;
+  std::size_t clean_streak_ = 0;
+  std::size_t counts_[kFaultKindCount] = {};
+  std::size_t degraded_steps_ = 0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace awd::fault

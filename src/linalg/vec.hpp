@@ -126,6 +126,16 @@ class Vec {
     return false;
   }
 
+  /// True iff every element is finite (no NaN, no ±Inf).  The degradation
+  /// layers use this to quarantine corrupted samples before they can poison
+  /// window averages or reachability seeds.
+  [[nodiscard]] bool is_finite() const noexcept {
+    for (double x : data_) {
+      if (!std::isfinite(x)) return false;
+    }
+    return true;
+  }
+
   /// L1 norm: sum of absolute values.
   [[nodiscard]] double norm1() const noexcept {
     double s = 0.0;

@@ -1,5 +1,6 @@
 #include "reach/deadline.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace awd::reach {
@@ -12,6 +13,10 @@ DeadlineEstimator::DeadlineEstimator(const models::DiscreteLti& model, Box u_ran
   if (safe_.dim() != model.state_dim()) {
     throw std::invalid_argument("DeadlineEstimator: safe set dimension mismatch");
   }
+  // Validate here so the noexcept hot path can trust reach_box not to throw.
+  if (config_.init_radius < 0.0) {
+    throw std::invalid_argument("DeadlineEstimator: init_radius must be >= 0");
+  }
 }
 
 std::size_t DeadlineEstimator::estimate(const Vec& x0) const {
@@ -20,6 +25,31 @@ std::size_t DeadlineEstimator::estimate(const Vec& x0) const {
   for (std::size_t t = 1; t <= config_.max_window; ++t) {
     const Box r = reach_.reach_box(x0, t, config_.init_radius);
     if (!safe_.contains(r)) return t - 1;
+  }
+  return config_.max_window;
+}
+
+core::Result<std::size_t> DeadlineEstimator::estimate_checked(const Vec& x0) const noexcept {
+  if (x0.size() != reach_.model().state_dim()) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "DeadlineEstimator: seed dimension mismatch"};
+  }
+  if (!x0.is_finite()) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "DeadlineEstimator: non-finite seed rejected"};
+  }
+  const std::size_t cap = config_.budget_steps == 0
+                              ? config_.max_window
+                              : std::min(config_.budget_steps, config_.max_window);
+  for (std::size_t t = 1; t <= cap; ++t) {
+    const Box r = reach_.reach_box(x0, t, config_.init_radius);
+    if (!safe_.contains(r)) return t - 1;
+  }
+  if (cap < config_.max_window) {
+    // The boundary was not resolved within the budget: answering max_window
+    // here would *over*-state how much time detection has.  Yield instead.
+    return core::Status{core::StatusCode::kBudgetExceeded,
+                        "DeadlineEstimator: search budget exhausted"};
   }
   return config_.max_window;
 }

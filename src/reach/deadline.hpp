@@ -12,6 +12,7 @@
 
 #include <cstddef>
 
+#include "core/status.hpp"
 #include "reach/reach.hpp"
 
 namespace awd::reach {
@@ -20,6 +21,11 @@ namespace awd::reach {
 struct DeadlineConfig {
   std::size_t max_window = 40;  ///< w_m — search cap and sliding-window size
   double init_radius = 0.0;     ///< radius of the initial-state ball (§3.3.1)
+  /// Real-time budget: reach-box queries the per-step search may spend
+  /// before it must yield (0 = unlimited).  A search that hits the budget
+  /// without finding the boundary returns kBudgetExceeded and the caller
+  /// falls back to its last valid deadline.
+  std::size_t budget_steps = 0;
 };
 
 /// Reachability-based detection-deadline estimator.
@@ -37,7 +43,19 @@ class DeadlineEstimator {
   /// Deadline t_d ∈ [0, max_window] for trusted seed state x0.
   ///   * t_d = max_window  — no reachable intersection within the horizon,
   ///   * t_d = 0           — the very next step may already be unsafe.
+  /// Ignores the search budget; throws std::invalid_argument on a
+  /// mis-shaped seed.
   [[nodiscard]] std::size_t estimate(const Vec& x0) const;
+
+  /// Hot-path entry point: never throws on bad runtime data.  Returns
+  ///   * kInvalidInput   — x0 mis-shaped or non-finite (a corrupted seed
+  ///                       must not drive reachability),
+  ///   * kBudgetExceeded — the search spent config().budget_steps reach-box
+  ///                       queries without resolving the deadline.
+  /// On either failure the caller applies its degradation policy (see
+  /// core::DetectionSystem: last valid deadline decremented per elapsed
+  /// step, floor 1).
+  [[nodiscard]] core::Result<std::size_t> estimate_checked(const Vec& x0) const noexcept;
 
   /// True iff R̄(x0, t) stays inside the safe set (conservative safety,
   /// Def. 3.1) — exposed for tests and analysis tooling.

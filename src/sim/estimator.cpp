@@ -15,6 +15,19 @@ double checked_positive(double v, const char* what) {
 }
 }  // namespace
 
+core::Result<Vec> Estimator::estimate_checked(const std::optional<Vec>& measurement,
+                                              const Vec& u_prev) {
+  if (!measurement) {
+    return core::Status{core::StatusCode::kUnavailable,
+                        "Estimator: no sample delivered this period"};
+  }
+  if (!measurement->is_finite()) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "Estimator: non-finite measurement rejected"};
+  }
+  return estimate(*measurement, u_prev);
+}
+
 FilteringEstimator::FilteringEstimator(const models::DiscreteLti& model, double q,
                                        double r, Vec x0)
     : filter_(model, linalg::Matrix::identity(model.state_dim()),

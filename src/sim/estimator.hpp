@@ -14,7 +14,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
+#include "core/status.hpp"
 #include "models/lti.hpp"
 #include "sim/observer.hpp"
 
@@ -28,6 +30,15 @@ class Estimator {
   /// Estimate for step t from the (possibly attacked) measurement and the
   /// previously applied control input.
   [[nodiscard]] virtual Vec estimate(const Vec& measurement, const Vec& u_prev) = 0;
+
+  /// Hot-path entry point: validates the sample before estimating, without
+  /// throwing.  Returns kUnavailable when no sample was delivered this
+  /// period (dropout / burst loss) and kInvalidInput when the sample holds
+  /// non-finite values — both signal the caller to run its hold-last-value
+  /// fallback; the estimator's internal state is left untouched so one bad
+  /// period cannot poison subsequent estimates.
+  [[nodiscard]] core::Result<Vec> estimate_checked(const std::optional<Vec>& measurement,
+                                                   const Vec& u_prev);
 
   /// Clear internal state for a fresh run.
   virtual void reset() = 0;

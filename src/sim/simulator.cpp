@@ -54,16 +54,36 @@ StepRecord Simulator::step() {
   rec.t = t_;
   rec.true_state = plant_.state();
 
-  // 1. Sensor: true state plus bounded measurement noise.
+  // 1. Sensor: true state plus bounded measurement noise.  The noise draw
+  // happens unconditionally so the RNG stream — and therefore the rest of
+  // the run — is identical with and without injected sensor faults.
   const Vec clean = rec.true_state + rng_.uniform_in_box(opts_.sensor_noise);
 
   // 2. Attack path — the attacker sees/needs only the clean stream.
   rec.attack_active = attack_->active(t_);
-  rec.measurement = attack_->apply(t_, clean, clean_measurements_);
+  std::optional<Vec> delivered = attack_->apply(t_, clean, clean_measurements_);
   clean_measurements_.push_back(clean);
 
-  // 3. Estimation stage (the paper's default: estimate = measurement).
-  rec.estimate = estimator_->estimate(rec.measurement, prev_control_);
+  // 2b. Fault injection on the delivered sample (dropout / corruption /
+  // stuck-at), after the attack: faults model the transport between sensor
+  // and monitor, the last hop of the chain.
+  if (opts_.faults) rec.fault = opts_.faults->apply_sensor(t_, delivered);
+
+  // 3. Estimation stage (the paper's default: estimate = measurement).  The
+  // checked call rejects missing or non-finite samples; the loop then holds
+  // its last value — the only state it can still trust — so the controller
+  // keeps acting and the logger keeps a finite stream.
+  const core::Result<Vec> est = estimator_->estimate_checked(delivered, prev_control_);
+  if (est.is_ok()) {
+    rec.estimate = est.value();
+  } else {
+    rec.estimate_fallback = true;
+    rec.sample_missing = !delivered.has_value();
+    rec.estimate = t_ == 0 ? opts_.x0 : prev_estimate_;
+  }
+  // Emit the sanitized view: what the pipeline actually used.  Raw NaN/Inf
+  // never leaves the injector boundary; `rec.fault` records why.
+  rec.measurement = delivered && delivered->is_finite() ? *delivered : rec.estimate;
 
   // 4. Prediction and residual (Data Logger, §5 "Buffer").
   if (t_ == 0) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "attack/attack.hpp"
+#include "fault/fault.hpp"
 #include "sim/controller.hpp"
 #include "sim/estimator.hpp"
 #include "sim/plant.hpp"
@@ -61,6 +62,13 @@ struct SimulatorOptions {
   /// so actuator saturation becomes model mismatch and shows up in the
   /// residual — the situation on the paper's RC-car testbed (§6.2).
   bool predict_with_commanded = false;
+
+  /// Deterministic fault injector perturbing the sensor path (dropout,
+  /// NaN/Inf corruption, stuck-at-last, burst loss).  Null means no faults.
+  /// Shared so the DetectionSystem can read the same injector's counters
+  /// and deadline-budget schedule.  Injection never consumes RNG draws, so
+  /// an empty plan is bit-identical to no injector at all.
+  std::shared_ptr<fault::FaultInjector> faults;
 };
 
 /// Step-at-a-time closed-loop simulator.

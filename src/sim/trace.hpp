@@ -9,6 +9,8 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "linalg/vec.hpp"
 
 namespace awd::sim {
@@ -35,6 +37,17 @@ struct StepRecord {
   bool adaptive_alarm = false;    ///< adaptive detector raised an alarm this step
   bool fixed_alarm = false;       ///< fixed-window baseline raised an alarm this step
   bool unsafe = false;            ///< true state outside the safe set this step
+
+  // Fault / degradation observability (benign defaults when no FaultInjector
+  // is wired in).  `measurement` and `estimate` always hold the *sanitized*
+  // values the pipeline actually used — on a dropped or corrupted sample
+  // they hold the fallback estimate, and `fault` says why.
+  fault::FaultKind fault = fault::FaultKind::kNone;  ///< sensor fault injected at t
+  bool sample_missing = false;      ///< no sample delivered this period (dropout/burst)
+  bool estimate_fallback = false;   ///< estimator held its last value
+  bool residual_quarantined = false;  ///< logger quarantined this step's residual
+  bool deadline_fallback = false;   ///< deadline came from the decay fallback
+  fault::HealthState health = fault::HealthState::kNominal;  ///< state after t
 };
 
 /// Immutable-by-convention sequence of step records with query helpers.

@@ -1,0 +1,359 @@
+// Chaos suite: the detection pipeline under deterministic fault injection.
+//
+// Runs Table-2-style cells under scripted and seeded-random fault plans and
+// asserts the graceful-degradation contract:
+//   * no crash — every scenario runs to completion,
+//   * no non-finite value in any emitted StepRecord field,
+//   * bit-identical traces for identical (seed, fault plan),
+//   * HealthMonitor reports the expected NOMINAL/DEGRADED/FAILSAFE
+//     transitions for each fault shape,
+//   * with an empty fault plan the trace — and therefore every Table-2
+//     metric derived from it — is bit-identical to the default (unhardened
+//     configuration) pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/detection_system.hpp"
+#include "core/metrics.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+
+namespace awd {
+namespace {
+
+using core::AttackKind;
+using core::DetectionSystem;
+using core::DetectionSystemOptions;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::HealthState;
+using sim::StepRecord;
+using sim::Trace;
+
+// ------------------------------------------------------------------ helpers
+
+void expect_all_finite(const StepRecord& rec, const std::string& context) {
+  const linalg::Vec* fields[] = {&rec.true_state, &rec.measurement, &rec.estimate,
+                                 &rec.predicted,  &rec.residual,    &rec.control,
+                                 &rec.commanded};
+  const char* names[] = {"true_state", "measurement", "estimate", "predicted",
+                         "residual",   "control",     "commanded"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_TRUE(fields[i]->is_finite())
+        << context << ": non-finite " << names[i] << " at t=" << rec.t;
+  }
+}
+
+bool records_identical(const StepRecord& a, const StepRecord& b) {
+  return a.t == b.t && a.true_state == b.true_state && a.measurement == b.measurement &&
+         a.estimate == b.estimate && a.predicted == b.predicted &&
+         a.residual == b.residual && a.control == b.control &&
+         a.commanded == b.commanded && a.attack_active == b.attack_active &&
+         a.deadline == b.deadline && a.window == b.window &&
+         a.adaptive_alarm == b.adaptive_alarm && a.fixed_alarm == b.fixed_alarm &&
+         a.unsafe == b.unsafe && a.fault == b.fault &&
+         a.sample_missing == b.sample_missing &&
+         a.estimate_fallback == b.estimate_fallback &&
+         a.residual_quarantined == b.residual_quarantined &&
+         a.deadline_fallback == b.deadline_fallback && a.health == b.health;
+}
+
+void expect_traces_identical(const Trace& a, const Trace& b, const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(records_identical(a[i], b[i])) << context << ": diverges at t=" << i;
+  }
+}
+
+/// One chaos scenario: a plant/attack cell plus a fault plan.
+struct Scenario {
+  std::string name;
+  std::string plant;
+  AttackKind attack = AttackKind::kNone;
+  FaultPlan plan;
+  /// Highest health state the run must reach.
+  HealthState expect_at_least = HealthState::kDegraded;
+  /// Expect full recovery (NOMINAL) by the end of the run.
+  bool expect_recovered = true;
+};
+
+std::vector<Scenario> chaos_scenarios() {
+  std::vector<Scenario> scenarios;
+
+  auto single = [](FaultKind kind, std::size_t t) {
+    return FaultPlan{}.add({t, 1, kind});
+  };
+  auto burst = [](FaultKind kind, std::size_t t, std::size_t len) {
+    return FaultPlan{}.add({t, len, kind});
+  };
+
+  // Scripted scenarios over three plants × the full fault taxonomy.
+  scenarios.push_back({"single_dropout", "aircraft_pitch", AttackKind::kNone,
+                       single(FaultKind::kDropout, 100)});
+  scenarios.push_back({"burst_loss_failsafe", "aircraft_pitch", AttackKind::kNone,
+                       burst(FaultKind::kDropout, 100, 8), HealthState::kFailsafe});
+  scenarios.push_back({"nan_corruption", "vehicle_turning", AttackKind::kNone,
+                       single(FaultKind::kCorruptNaN, 120)});
+  scenarios.push_back({"nan_burst_failsafe", "vehicle_turning", AttackKind::kNone,
+                       burst(FaultKind::kCorruptNaN, 120, 6), HealthState::kFailsafe});
+  scenarios.push_back({"inf_corruption", "series_rlc", AttackKind::kNone,
+                       single(FaultKind::kCorruptInf, 90)});
+  scenarios.push_back({"stuck_sensor", "series_rlc", AttackKind::kNone,
+                       burst(FaultKind::kStuckAtLast, 110, 4)});
+  scenarios.push_back({"deadline_budget", "aircraft_pitch", AttackKind::kNone,
+                       burst(FaultKind::kDeadlineBudget, 130, 3)});
+  scenarios.push_back({"dropout_at_startup", "vehicle_turning", AttackKind::kNone,
+                       single(FaultKind::kDropout, 0)});
+  scenarios.push_back({"stuck_at_startup", "dc_motor", AttackKind::kNone,
+                       burst(FaultKind::kStuckAtLast, 0, 3)});
+
+  // Faults layered over an active sensor attack (the severe regime).
+  scenarios.push_back({"nan_during_bias_attack", "aircraft_pitch", AttackKind::kBias,
+                       burst(FaultKind::kCorruptNaN, 170, 3), HealthState::kDegraded,
+                       false});
+  scenarios.push_back({"burst_during_ramp_attack", "dc_motor", AttackKind::kRamp,
+                       burst(FaultKind::kDropout, 180, 8), HealthState::kFailsafe, false});
+
+  // Mixed scripted plan: every fault kind in one run.
+  FaultPlan mixed;
+  mixed.add({60, 2, FaultKind::kDropout})
+      .add({80, 1, FaultKind::kCorruptNaN})
+      .add({100, 1, FaultKind::kCorruptInf})
+      .add({120, 3, FaultKind::kStuckAtLast})
+      .add({140, 2, FaultKind::kDeadlineBudget});
+  scenarios.push_back({"mixed_taxonomy", "series_rlc", AttackKind::kNone, mixed});
+
+  // Seeded-random background plans at increasing severity.
+  // Random plans may fault arbitrarily close to the end of the run, so
+  // none of them asserts recovery.
+  scenarios.push_back({"random_sparse", "aircraft_pitch", AttackKind::kNone,
+                       FaultPlan::random(42, 300, {.fault_rate = 0.01}),
+                       HealthState::kDegraded, false});
+  scenarios.push_back({"random_moderate", "vehicle_turning", AttackKind::kFreeze,
+                       FaultPlan::random(7, 300, {.fault_rate = 0.05}),
+                       HealthState::kDegraded, false});
+  scenarios.push_back({"random_severe", "dc_motor", AttackKind::kNone,
+                       FaultPlan::random(99, 300, {.fault_rate = 0.25, .max_burst = 8}),
+                       HealthState::kFailsafe, false});
+
+  return scenarios;
+}
+
+Trace run_scenario(const Scenario& s, std::uint64_t seed, std::size_t steps = 300) {
+  DetectionSystemOptions opts;
+  opts.fault_plan = s.plan;
+  DetectionSystem system(core::simulator_case(s.plant), s.attack, seed, opts);
+  return system.run(steps);
+}
+
+// ---------------------------------------------------------------- the suite
+
+TEST(Chaos, AtLeastTwelveScenariosAcrossThreePlants) {
+  const auto scenarios = chaos_scenarios();
+  EXPECT_GE(scenarios.size(), 12u);
+  std::vector<std::string> plants;
+  for (const auto& s : scenarios) {
+    if (std::find(plants.begin(), plants.end(), s.plant) == plants.end()) {
+      plants.push_back(s.plant);
+    }
+  }
+  EXPECT_GE(plants.size(), 3u);
+}
+
+TEST(Chaos, AllScenariosCompleteWithFiniteRecords) {
+  for (const auto& s : chaos_scenarios()) {
+    SCOPED_TRACE(s.name);
+    Trace trace;
+    ASSERT_NO_THROW(trace = run_scenario(s, 1)) << s.name;
+    ASSERT_EQ(trace.size(), 300u);
+    for (const StepRecord& rec : trace) expect_all_finite(rec, s.name);
+  }
+}
+
+TEST(Chaos, HealthReportsExpectedTransitions) {
+  for (const auto& s : chaos_scenarios()) {
+    SCOPED_TRACE(s.name);
+    const Trace trace = run_scenario(s, 1);
+    HealthState peak = HealthState::kNominal;
+    for (const StepRecord& rec : trace) {
+      if (rec.health > peak) peak = rec.health;
+    }
+    EXPECT_GE(peak, s.expect_at_least) << s.name;
+    if (s.expect_recovered) {
+      EXPECT_EQ(trace.back().health, HealthState::kNominal)
+          << s.name << ": did not recover by the end of the run";
+    }
+  }
+}
+
+TEST(Chaos, HealthNeverSkipsDegradedOnTheWayUp) {
+  // NOMINAL must never jump straight to FAILSAFE within one step, and every
+  // recovery must pass through DEGRADED.
+  for (const auto& s : chaos_scenarios()) {
+    SCOPED_TRACE(s.name);
+    const Trace trace = run_scenario(s, 3);
+    HealthState prev = HealthState::kNominal;
+    for (const StepRecord& rec : trace) {
+      if (prev == HealthState::kNominal) {
+        EXPECT_NE(rec.health, HealthState::kFailsafe) << s.name << " t=" << rec.t;
+      }
+      if (prev == HealthState::kFailsafe) {
+        EXPECT_NE(rec.health, HealthState::kNominal) << s.name << " t=" << rec.t;
+      }
+      prev = rec.health;
+    }
+  }
+}
+
+TEST(Chaos, FaultCountersMatchThePlan) {
+  // A scripted 8-step dropout burst must be counted exactly 8 times.
+  Scenario s{"burst_count", "aircraft_pitch", AttackKind::kNone,
+             FaultPlan{}.add({100, 8, FaultKind::kDropout})};
+  DetectionSystemOptions opts;
+  opts.fault_plan = s.plan;
+  DetectionSystem system(core::simulator_case(s.plant), s.attack, 1, opts);
+  (void)system.run(300);
+  ASSERT_NE(system.faults(), nullptr);
+  EXPECT_EQ(system.faults()->counters().count(FaultKind::kDropout), 8u);
+  EXPECT_EQ(system.health().fault_count(FaultKind::kDropout), 8u);
+  EXPECT_GE(system.health().degraded_steps(), 8u);
+
+  // Injected deadline-budget faults must be attributed too: both in the
+  // monitor's per-kind counter and on the step records themselves.
+  DetectionSystemOptions dopts;
+  dopts.fault_plan = FaultPlan{}.add({100, 3, FaultKind::kDeadlineBudget});
+  DetectionSystem dsystem(core::simulator_case(s.plant), s.attack, 1, dopts);
+  const Trace dtrace = dsystem.run(300);
+  EXPECT_EQ(dsystem.health().fault_count(FaultKind::kDeadlineBudget), 3u);
+  for (std::size_t t = 100; t < 103; ++t) {
+    EXPECT_EQ(dtrace[t].fault, FaultKind::kDeadlineBudget) << t;
+    EXPECT_TRUE(dtrace[t].deadline_fallback) << t;
+  }
+}
+
+TEST(Chaos, IdenticalSeedAndPlanGiveBitIdenticalTraces) {
+  for (const auto& s : chaos_scenarios()) {
+    SCOPED_TRACE(s.name);
+    const Trace a = run_scenario(s, 17);
+    const Trace b = run_scenario(s, 17);
+    expect_traces_identical(a, b, s.name);
+  }
+}
+
+TEST(Chaos, DeterminismAcrossAllFivePlants) {
+  // Same (seed, fault plan) ⇒ identical Trace across two independent
+  // DetectionSystem runs, for every Table-1 plant.
+  for (const char* plant : {"aircraft_pitch", "vehicle_turning", "series_rlc",
+                            "dc_motor", "quadrotor"}) {
+    SCOPED_TRACE(plant);
+    const FaultPlan plan = FaultPlan::random(5, 250, {.fault_rate = 0.08});
+    DetectionSystemOptions opts;
+    opts.fault_plan = plan;
+    DetectionSystem first(core::simulator_case(plant), AttackKind::kBias, 23, opts);
+    DetectionSystem second(core::simulator_case(plant), AttackKind::kBias, 23, opts);
+    expect_traces_identical(first.run(250), second.run(250), plant);
+  }
+}
+
+TEST(Chaos, EmptyPlanIsBitIdenticalToDefaultPipeline) {
+  // The hardening must be invisible when nothing is injected: an empty
+  // FaultPlan produces the exact trace — hence the exact Table-2 metrics —
+  // of a DetectionSystem constructed with default options.
+  for (const char* plant : {"aircraft_pitch", "vehicle_turning", "series_rlc"}) {
+    for (const AttackKind attack : {AttackKind::kNone, AttackKind::kBias}) {
+      SCOPED_TRACE(plant);
+      DetectionSystem baseline(core::simulator_case(plant), attack, 11);
+      DetectionSystemOptions opts;
+      opts.fault_plan = FaultPlan{};  // explicit empty plan
+      DetectionSystem hardened(core::simulator_case(plant), attack, 11, opts);
+      const Trace base_trace = baseline.run(300);
+      const Trace hard_trace = hardened.run(300);
+      expect_traces_identical(base_trace, hard_trace, plant);
+
+      // Spot-check the derived Table-2 metrics agree bit-for-bit too.
+      if (attack == AttackKind::kBias) {
+        const core::SimulatorCase scase = core::simulator_case(plant);
+        const core::RunMetrics a =
+            core::compute_metrics(base_trace, scase.attack_start, scase.attack_duration,
+                                  core::Strategy::kAdaptive);
+        const core::RunMetrics b =
+            core::compute_metrics(hard_trace, scase.attack_start, scase.attack_duration,
+                                  core::Strategy::kAdaptive);
+        EXPECT_EQ(a.fp_rate, b.fp_rate);
+        EXPECT_EQ(a.detection_delay, b.detection_delay);
+        EXPECT_EQ(a.deadline_miss, b.deadline_miss);
+        EXPECT_EQ(a.false_negative, b.false_negative);
+      }
+      // No fault plan: the injector is never constructed and health stays
+      // NOMINAL throughout.
+      EXPECT_EQ(hardened.faults(), nullptr);
+      for (const StepRecord& rec : hard_trace) {
+        EXPECT_EQ(rec.health, HealthState::kNominal);
+        EXPECT_EQ(rec.fault, FaultKind::kNone);
+      }
+    }
+  }
+}
+
+TEST(Chaos, RealDeadlineBudgetTriggersDecayFallback) {
+  // A budget too small to resolve the search forces the decay fallback on
+  // every step once seeds exist: the deadline must decay monotonically to
+  // the floor of 1 and never read 0 or above w_m.
+  DetectionSystemOptions opts;
+  opts.deadline_budget = 2;  // far below the w_m = 40 the search may need
+  DetectionSystem system(core::simulator_case("aircraft_pitch"), AttackKind::kNone, 1,
+                         opts);
+  const Trace trace = system.run(200);
+  bool saw_fallback = false;
+  for (const StepRecord& rec : trace) {
+    expect_all_finite(rec, "real_budget");
+    if (rec.deadline_fallback) {
+      saw_fallback = true;
+      EXPECT_GE(rec.deadline, 1u);
+      EXPECT_LE(rec.deadline, 40u);
+    }
+  }
+  EXPECT_TRUE(saw_fallback);
+  EXPECT_EQ(trace.back().deadline, 1u);  // decayed to the most-alert floor
+}
+
+TEST(Chaos, DropoutHoldsLastValueAndRecoversCleanly) {
+  // During a burst the estimate must freeze at the last good value; the
+  // loop keeps controlling and the stream stays contiguous afterwards.
+  FaultPlan plan;
+  plan.add({50, 5, FaultKind::kDropout});
+  DetectionSystemOptions opts;
+  opts.fault_plan = plan;
+  DetectionSystem system(core::simulator_case("vehicle_turning"), AttackKind::kNone, 9,
+                         opts);
+  const Trace trace = system.run(120);
+  const linalg::Vec held = trace[49].estimate;
+  for (std::size_t t = 50; t < 55; ++t) {
+    EXPECT_TRUE(trace[t].sample_missing) << t;
+    EXPECT_TRUE(trace[t].estimate_fallback) << t;
+    EXPECT_EQ(trace[t].estimate, held) << t;
+  }
+  EXPECT_FALSE(trace[55].sample_missing);
+  EXPECT_FALSE(trace[55].estimate_fallback);
+}
+
+TEST(Chaos, CorruptionNeverReachesEmittedMeasurement) {
+  FaultPlan plan;
+  plan.add({40, 3, FaultKind::kCorruptNaN});
+  plan.add({60, 3, FaultKind::kCorruptInf});
+  DetectionSystemOptions opts;
+  opts.fault_plan = plan;
+  DetectionSystem system(core::simulator_case("series_rlc"), AttackKind::kNone, 5, opts);
+  const Trace trace = system.run(100);
+  for (const StepRecord& rec : trace) {
+    expect_all_finite(rec, "corruption");
+    if (rec.t >= 40 && rec.t < 43) EXPECT_EQ(rec.fault, FaultKind::kCorruptNaN);
+    if (rec.t >= 60 && rec.t < 63) EXPECT_EQ(rec.fault, FaultKind::kCorruptInf);
+  }
+}
+
+}  // namespace
+}  // namespace awd

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "models/model_bank.hpp"
 
@@ -155,6 +157,64 @@ TEST(Config, ValidationCatchesBrokenCase) {
   c = simulator_case("vehicle_turning");
   c.eps_reach = c.eps / 2.0;
   EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidationRejectsNonFiniteValues) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  auto broken = [](auto mutate) {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    mutate(c);
+    return c;
+  };
+
+  // Each descriptive message names the offending field.
+  try {
+    broken([&](SimulatorCase& c) { c.tau[0] = nan; }).validate();
+    FAIL() << "non-finite tau accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("tau"), std::string::npos);
+  }
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.tau[0] = inf; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.tau[0] = -0.1; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.x0[0] = nan; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.reference[0] = inf; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.sensor_noise[0] = nan; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.sensor_noise[0] = -1.0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.bias[0] = nan; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.ramp_slope[0] = inf; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.eps = nan; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.eps = inf; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([&](SimulatorCase& c) { c.eps_reach = nan; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      broken([&](SimulatorCase& c) { c.reference_schedule = {{10, Vec{nan}}}; }).validate(),
+      std::invalid_argument);
+}
+
+TEST(Config, UnknownKeyErrorListsValidNames) {
+  try {
+    (void)simulator_case("warp_drive");
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp_drive"), std::string::npos);
+    for (const char* key : {"aircraft_pitch", "vehicle_turning", "series_rlc",
+                            "dc_motor", "quadrotor", "testbed_car"}) {
+      EXPECT_NE(what.find(key), std::string::npos) << key;
+    }
+  }
 }
 
 }  // namespace

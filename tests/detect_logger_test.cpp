@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace awd::detect {
@@ -123,6 +124,113 @@ TEST(Logger, ResetForgets) {
   EXPECT_TRUE(log.empty());
   EXPECT_THROW((void)log.earliest(), std::logic_error);
   EXPECT_NO_THROW((void)log.log(5, Vec{0.0}, Vec{0.0}));
+}
+
+TEST(Logger, WindowMeanStartupUnderflowIsGuarded) {
+  // w > t_end must clamp to the stream start, never wrap around.
+  DataLogger log(scalar_model(), 10);
+  (void)log.log(0, Vec{1.0}, Vec{0.0});
+  EXPECT_NO_THROW((void)log.window_mean(0, 10));
+  (void)log.log(1, Vec{2.0}, Vec{0.0});
+  EXPECT_NO_THROW((void)log.window_mean(1, 10));
+  // Maximal window at every early step.
+  for (std::size_t t = 2; t < 8; ++t) {
+    (void)log.log(t, Vec{0.0}, Vec{0.0});
+    EXPECT_NO_THROW((void)log.window_mean(t, 10)) << t;
+  }
+}
+
+TEST(Logger, TrustedStateStartupUnderflowIsGuarded) {
+  // t < w + 1 has no point outside the window yet — must be nullopt for
+  // every (t, w) combination near the stream start, not an underflow.
+  DataLogger log(scalar_model(), 5);
+  (void)log.log(0, Vec{1.0}, Vec{0.0});
+  for (std::size_t w = 0; w <= 5; ++w) {
+    EXPECT_FALSE(log.trusted_state(0, w).has_value()) << w;
+  }
+  EXPECT_FALSE(log.trusted_state(1, 5).has_value());
+}
+
+TEST(Logger, QuarantinesNonFiniteEstimate) {
+  DataLogger log(scalar_model(), 5);
+  (void)log.log(0, Vec{1.0}, Vec{0.0});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const LogEntry& e = log.log(1, Vec{nan}, Vec{0.0});
+  EXPECT_TRUE(e.quarantined);
+  EXPECT_TRUE(e.estimate.is_finite());   // sanitized to the previous estimate
+  EXPECT_DOUBLE_EQ(e.estimate[0], 1.0);
+  EXPECT_DOUBLE_EQ(e.residual[0], 0.0);  // contributes nothing
+  EXPECT_EQ(log.quarantined_count(), 1u);
+  // The following entry predicts from the sanitized value and stays finite.
+  const LogEntry& next = log.log(2, Vec{2.0}, Vec{0.0});
+  EXPECT_FALSE(next.quarantined);
+  EXPECT_TRUE(next.residual.is_finite());
+}
+
+TEST(Logger, QuarantinesNonFiniteControl) {
+  DataLogger log(scalar_model(), 5);
+  (void)log.log(0, Vec{1.0}, Vec{0.0});
+  const LogEntry& e =
+      log.log(1, Vec{2.0}, Vec{std::numeric_limits<double>::infinity()});
+  EXPECT_TRUE(e.quarantined);
+  EXPECT_TRUE(e.control.is_finite());
+  // Next prediction uses the zeroed control, not Inf.
+  const LogEntry& next = log.log(2, Vec{4.0}, Vec{0.0});
+  EXPECT_TRUE(next.predicted.is_finite());
+}
+
+TEST(Logger, WindowMeanSkipsQuarantinedEntries) {
+  DataLogger log(scalar_model(), 10);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Residuals: t1..t3 = {2, poisoned, 4}; the NaN step must not zero-bias
+  // nor poison the mean.
+  (void)log.log(0, Vec{1.0}, Vec{0.0});
+  (void)log.log(1, Vec{0.0}, Vec{0.0});   // z = |2*1 - 0| = 2
+  (void)log.log(2, Vec{nan}, Vec{0.0});   // quarantined
+  (void)log.log(3, Vec{-4.0}, Vec{0.0});  // prev sanitized estimate 0 → z = 4
+  const Vec mean = log.window_mean(3, 2);  // window {1, 2, 3}, valid {1, 3}
+  EXPECT_DOUBLE_EQ(mean[0], 3.0);
+}
+
+TEST(Logger, AllQuarantinedWindowMeanIsZero) {
+  DataLogger log(scalar_model(), 3);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  (void)log.log(0, Vec{nan}, Vec{0.0});
+  (void)log.log(1, Vec{nan}, Vec{0.0});
+  const Vec mean = log.window_mean(1, 1);
+  EXPECT_DOUBLE_EQ(mean[0], 0.0);
+  EXPECT_TRUE(mean.is_finite());
+}
+
+TEST(Logger, TrustedStateSkipsQuarantinedSeed) {
+  DataLogger log(scalar_model(), 5);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t t = 0; t < 3; ++t) (void)log.log(t, Vec{1.0}, Vec{0.0});
+  (void)log.log(3, Vec{nan}, Vec{0.0});  // quarantined
+  for (std::size_t t = 4; t < 7; ++t) (void)log.log(t, Vec{1.0}, Vec{0.0});
+  // Seed for (t=6, w=2) is step 3 — quarantined, so no seed.
+  EXPECT_FALSE(log.trusted_state(6, 2).has_value());
+  // Seed for (t=6, w=1) is step 4 — clean.
+  EXPECT_TRUE(log.trusted_state(6, 1).has_value());
+}
+
+TEST(Logger, LogCheckedReportsContractViolationsWithoutThrowing) {
+  DataLogger log(scalar_model(), 3);
+  EXPECT_TRUE(log.log_checked(0, Vec{1.0}, Vec{0.0}).is_ok());
+  // Non-contiguous step.
+  const core::Status gap = log.log_checked(5, Vec{1.0}, Vec{0.0});
+  EXPECT_EQ(gap.code(), core::StatusCode::kOutOfRange);
+  EXPECT_EQ(log.latest(), 0u);  // nothing stored on error
+  // Dimension mismatches.
+  EXPECT_EQ(log.log_checked(1, Vec{1.0, 2.0}, Vec{0.0}).code(),
+            core::StatusCode::kInvalidInput);
+  EXPECT_EQ(log.log_checked(1, Vec{1.0}, Vec{0.0, 1.0}).code(),
+            core::StatusCode::kInvalidInput);
+  // Quarantine is not an error.
+  const core::Status q =
+      log.log_checked(1, Vec{std::numeric_limits<double>::quiet_NaN()}, Vec{0.0});
+  EXPECT_TRUE(q.is_ok());
+  EXPECT_TRUE(log.entry(1).quarantined);
 }
 
 TEST(Logger, Validation) {

@@ -1,0 +1,304 @@
+// Unit tests for the fault-injection subsystem: Status/Result plumbing,
+// FaultPlan scheduling and seeded generation, FaultInjector semantics, and
+// the HealthMonitor degradation state machine.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/status.hpp"
+#include "fault/health.hpp"
+
+namespace awd::fault {
+namespace {
+
+using core::Status;
+using core::StatusCode;
+
+// ---------------------------------------------------------------- Status --
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s{StatusCode::kUnavailable, "no sample"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "no sample");
+  EXPECT_EQ(core::to_string(StatusCode::kBudgetExceeded), "budget_exceeded");
+}
+
+TEST(Status, ResultValueAndFallback) {
+  const core::Result<int> ok = 42;
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  const core::Result<int> err = Status{StatusCode::kInvalidInput, "bad"};
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+// -------------------------------------------------------------- FaultPlan --
+
+TEST(FaultPlan, EmptyPlanHasNoFaults) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.sensor_fault_at(0), FaultKind::kNone);
+  EXPECT_FALSE(plan.deadline_budget_exhausted_at(0));
+}
+
+TEST(FaultPlan, EventCoversItsWindow) {
+  FaultPlan plan;
+  plan.add({10, 3, FaultKind::kDropout});  // burst loss over [10, 13)
+  EXPECT_EQ(plan.sensor_fault_at(9), FaultKind::kNone);
+  EXPECT_EQ(plan.sensor_fault_at(10), FaultKind::kDropout);
+  EXPECT_EQ(plan.sensor_fault_at(12), FaultKind::kDropout);
+  EXPECT_EQ(plan.sensor_fault_at(13), FaultKind::kNone);
+}
+
+TEST(FaultPlan, LatestAddedEventWins) {
+  FaultPlan plan;
+  plan.add({10, 10, FaultKind::kDropout});
+  plan.add({12, 1, FaultKind::kCorruptNaN});  // layered over the burst
+  EXPECT_EQ(plan.sensor_fault_at(11), FaultKind::kDropout);
+  EXPECT_EQ(plan.sensor_fault_at(12), FaultKind::kCorruptNaN);
+  EXPECT_EQ(plan.sensor_fault_at(13), FaultKind::kDropout);
+}
+
+TEST(FaultPlan, DeadlineBudgetIsSeparateFromSensorPath) {
+  FaultPlan plan;
+  plan.add({5, 2, FaultKind::kDeadlineBudget});
+  EXPECT_EQ(plan.sensor_fault_at(5), FaultKind::kNone);
+  EXPECT_TRUE(plan.deadline_budget_exhausted_at(5));
+  EXPECT_TRUE(plan.deadline_budget_exhausted_at(6));
+  EXPECT_FALSE(plan.deadline_budget_exhausted_at(7));
+}
+
+TEST(FaultPlan, AddRejectsInvalidEvents) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.add({0, 1, FaultKind::kNone}), std::invalid_argument);
+  EXPECT_THROW(plan.add({0, 0, FaultKind::kDropout}), std::invalid_argument);
+}
+
+TEST(FaultPlan, RandomPlanIsDeterministicInSeed) {
+  const FaultPlan a = FaultPlan::random(1234, 500);
+  const FaultPlan b = FaultPlan::random(1234, 500);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].start, b.events()[i].start);
+    EXPECT_EQ(a.events()[i].duration, b.events()[i].duration);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+  }
+  // A different seed produces a different plan (overwhelmingly likely for
+  // 500 steps at the default rate).
+  const FaultPlan c = FaultPlan::random(1235, 500);
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = a.events()[i].start != c.events()[i].start ||
+              a.events()[i].kind != c.events()[i].kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, RandomPlanRespectsOptions) {
+  FaultPlanOptions opts;
+  opts.fault_rate = 1.0;  // every step faulted
+  opts.max_burst = 1;
+  opts.deadline_faults = false;
+  const FaultPlan plan = FaultPlan::random(7, 50, opts);
+  EXPECT_FALSE(plan.empty());
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_NE(e.kind, FaultKind::kDeadlineBudget);
+    EXPECT_EQ(e.duration, 1u);
+  }
+  EXPECT_TRUE(FaultPlan::random(7, 50, {.fault_rate = 0.0}).empty());
+  EXPECT_THROW((void)FaultPlan::random(7, 50, {.fault_rate = 1.5}), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::random(7, 50, {.max_burst = 0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- FaultInjector --
+
+TEST(Injector, DropoutRemovesTheSample) {
+  FaultPlan plan;
+  plan.add({1, 1, FaultKind::kDropout});
+  FaultInjector inj(std::move(plan));
+  std::optional<Vec> s = Vec{1.0};
+  EXPECT_EQ(inj.apply_sensor(0, s), FaultKind::kNone);
+  EXPECT_TRUE(s.has_value());
+  s = Vec{2.0};
+  EXPECT_EQ(inj.apply_sensor(1, s), FaultKind::kDropout);
+  EXPECT_FALSE(s.has_value());
+  EXPECT_EQ(inj.counters().count(FaultKind::kDropout), 1u);
+  EXPECT_EQ(inj.counters().total(), 1u);
+}
+
+TEST(Injector, CorruptionPoisonsEveryElement) {
+  FaultPlan plan;
+  plan.add({0, 1, FaultKind::kCorruptNaN});
+  plan.add({1, 1, FaultKind::kCorruptInf});
+  FaultInjector inj(std::move(plan));
+  std::optional<Vec> s = Vec{1.0, 2.0};
+  EXPECT_EQ(inj.apply_sensor(0, s), FaultKind::kCorruptNaN);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(std::isnan((*s)[0]));
+  EXPECT_TRUE(std::isnan((*s)[1]));
+  s = Vec{1.0, 2.0};
+  EXPECT_EQ(inj.apply_sensor(1, s), FaultKind::kCorruptInf);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(std::isinf((*s)[0]));
+  EXPECT_TRUE(std::isinf((*s)[1]));
+}
+
+TEST(Injector, StuckAtLastRepeatsTheLastDelivery) {
+  FaultPlan plan;
+  plan.add({2, 2, FaultKind::kStuckAtLast});
+  FaultInjector inj(std::move(plan));
+  std::optional<Vec> s = Vec{1.0};
+  (void)inj.apply_sensor(0, s);
+  s = Vec{2.0};
+  (void)inj.apply_sensor(1, s);
+  s = Vec{3.0};
+  EXPECT_EQ(inj.apply_sensor(2, s), FaultKind::kStuckAtLast);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ((*s)[0], 2.0);  // last delivered value, not the fresh one
+  s = Vec{4.0};
+  (void)inj.apply_sensor(3, s);
+  EXPECT_DOUBLE_EQ((*s)[0], 2.0);  // still stuck
+}
+
+TEST(Injector, StuckWithNoPriorDeliveryIsADropout) {
+  FaultPlan plan;
+  plan.add({0, 1, FaultKind::kStuckAtLast});
+  FaultInjector inj(std::move(plan));
+  std::optional<Vec> s = Vec{1.0};
+  EXPECT_EQ(inj.apply_sensor(0, s), FaultKind::kStuckAtLast);
+  EXPECT_FALSE(s.has_value());
+}
+
+TEST(Injector, CorruptionDoesNotRefreshStuckMemory) {
+  FaultPlan plan;
+  plan.add({1, 1, FaultKind::kCorruptNaN});
+  plan.add({2, 1, FaultKind::kStuckAtLast});
+  FaultInjector inj(std::move(plan));
+  std::optional<Vec> s = Vec{5.0};
+  (void)inj.apply_sensor(0, s);  // good delivery: 5.0
+  s = Vec{6.0};
+  (void)inj.apply_sensor(1, s);  // corrupted: must not become the memory
+  s = Vec{7.0};
+  (void)inj.apply_sensor(2, s);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ((*s)[0], 5.0);  // last *good* value
+}
+
+TEST(Injector, ResetClearsCountersAndMemory) {
+  FaultPlan plan;
+  plan.add({0, 1, FaultKind::kDropout});
+  FaultInjector inj(std::move(plan));
+  std::optional<Vec> s = Vec{1.0};
+  (void)inj.apply_sensor(0, s);
+  EXPECT_EQ(inj.counters().total(), 1u);
+  inj.reset();
+  EXPECT_EQ(inj.counters().total(), 0u);
+}
+
+TEST(Injector, DeadlineBudgetCountsOnlyWhenExhausted) {
+  FaultPlan plan;
+  plan.add({3, 1, FaultKind::kDeadlineBudget});
+  FaultInjector inj(std::move(plan));
+  EXPECT_FALSE(inj.deadline_budget_exhausted(2));
+  EXPECT_TRUE(inj.deadline_budget_exhausted(3));
+  EXPECT_EQ(inj.counters().count(FaultKind::kDeadlineBudget), 1u);
+}
+
+TEST(Fault, KindNames) {
+  EXPECT_EQ(to_string(FaultKind::kNone), "none");
+  EXPECT_EQ(to_string(FaultKind::kDropout), "dropout");
+  EXPECT_EQ(to_string(FaultKind::kCorruptNaN), "corrupt_nan");
+  EXPECT_EQ(to_string(FaultKind::kCorruptInf), "corrupt_inf");
+  EXPECT_EQ(to_string(FaultKind::kStuckAtLast), "stuck_at_last");
+  EXPECT_EQ(to_string(FaultKind::kDeadlineBudget), "deadline_budget");
+}
+
+// ---------------------------------------------------------- HealthMonitor --
+
+TEST(Health, StartsNominalAndDegradesOnFirstFault) {
+  HealthMonitor hm;
+  EXPECT_EQ(hm.state(), HealthState::kNominal);
+  EXPECT_EQ(hm.step(FaultKind::kNone, false), HealthState::kNominal);
+  EXPECT_EQ(hm.step(FaultKind::kDropout, true), HealthState::kDegraded);
+}
+
+TEST(Health, FaultStreakReachesFailsafe) {
+  HealthMonitor hm({.failsafe_after = 3, .recover_after = 2});
+  EXPECT_EQ(hm.step(FaultKind::kDropout, true), HealthState::kDegraded);
+  EXPECT_EQ(hm.step(FaultKind::kDropout, true), HealthState::kDegraded);
+  EXPECT_EQ(hm.step(FaultKind::kDropout, true), HealthState::kFailsafe);
+}
+
+TEST(Health, RecoveryClimbsOneLevelPerCleanStreak) {
+  HealthMonitor hm({.failsafe_after = 2, .recover_after = 3});
+  (void)hm.step(FaultKind::kDropout, true);
+  (void)hm.step(FaultKind::kDropout, true);
+  ASSERT_EQ(hm.state(), HealthState::kFailsafe);
+  // Two clean steps are not enough.
+  (void)hm.step(FaultKind::kNone, false);
+  EXPECT_EQ(hm.step(FaultKind::kNone, false), HealthState::kFailsafe);
+  // Third clean step: one level up, to DEGRADED only.
+  EXPECT_EQ(hm.step(FaultKind::kNone, false), HealthState::kDegraded);
+  // Another full clean streak: back to NOMINAL.
+  (void)hm.step(FaultKind::kNone, false);
+  (void)hm.step(FaultKind::kNone, false);
+  EXPECT_EQ(hm.step(FaultKind::kNone, false), HealthState::kNominal);
+}
+
+TEST(Health, FaultDuringRecoveryResetsTheCleanStreak) {
+  HealthMonitor hm({.failsafe_after = 10, .recover_after = 3});
+  (void)hm.step(FaultKind::kDropout, true);
+  (void)hm.step(FaultKind::kNone, false);
+  (void)hm.step(FaultKind::kNone, false);
+  (void)hm.step(FaultKind::kCorruptNaN, true);  // streak broken
+  (void)hm.step(FaultKind::kNone, false);
+  (void)hm.step(FaultKind::kNone, false);
+  EXPECT_EQ(hm.state(), HealthState::kDegraded);
+  EXPECT_EQ(hm.step(FaultKind::kNone, false), HealthState::kNominal);
+}
+
+TEST(Health, DegradedFlagAloneCountsAsFault) {
+  // A deadline fallback without any sensor fault must still degrade.
+  HealthMonitor hm;
+  EXPECT_EQ(hm.step(FaultKind::kNone, true), HealthState::kDegraded);
+  EXPECT_EQ(hm.degraded_steps(), 1u);
+  EXPECT_EQ(hm.total_faults(), 0u);
+}
+
+TEST(Health, CountersPerKind) {
+  HealthMonitor hm;
+  (void)hm.step(FaultKind::kDropout, true);
+  (void)hm.step(FaultKind::kDropout, true);
+  (void)hm.step(FaultKind::kCorruptInf, true);
+  EXPECT_EQ(hm.fault_count(FaultKind::kDropout), 2u);
+  EXPECT_EQ(hm.fault_count(FaultKind::kCorruptInf), 1u);
+  EXPECT_EQ(hm.total_faults(), 3u);
+  EXPECT_EQ(hm.steps(), 3u);
+  hm.reset();
+  EXPECT_EQ(hm.state(), HealthState::kNominal);
+  EXPECT_EQ(hm.total_faults(), 0u);
+}
+
+TEST(Health, ValidatesConfig) {
+  EXPECT_THROW(HealthMonitor({.failsafe_after = 0}), std::invalid_argument);
+  EXPECT_THROW(HealthMonitor({.failsafe_after = 1, .recover_after = 0}),
+               std::invalid_argument);
+  EXPECT_EQ(to_string(HealthState::kFailsafe), "failsafe");
+}
+
+}  // namespace
+}  // namespace awd::fault

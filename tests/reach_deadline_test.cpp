@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "core/config.hpp"
@@ -95,6 +96,53 @@ TEST(Deadline, UnboundedSafeDimensionsNeverConstrain) {
   Vec near = scase.reference;
   near[2] = 2.45;
   EXPECT_LT(est.estimate(near), 4u);
+}
+
+TEST(Deadline, CheckedMatchesThrowingPathOnGoodInput) {
+  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+                        Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
+  for (double x : {0.0, 1.0, 3.0, 5.0}) {
+    const auto checked = est.estimate_checked(Vec{x});
+    ASSERT_TRUE(checked.is_ok()) << x;
+    EXPECT_EQ(checked.value(), est.estimate(Vec{x})) << x;
+  }
+}
+
+TEST(Deadline, CheckedRejectsBadSeeds) {
+  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+                        Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
+  const auto wrong_dim = est.estimate_checked(Vec{0.0, 1.0});
+  EXPECT_FALSE(wrong_dim.is_ok());
+  EXPECT_EQ(wrong_dim.status().code(), core::StatusCode::kInvalidInput);
+  const auto nan_seed =
+      est.estimate_checked(Vec{std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_FALSE(nan_seed.is_ok());
+  EXPECT_EQ(nan_seed.status().code(), core::StatusCode::kInvalidInput);
+}
+
+TEST(Deadline, BudgetExhaustionYieldsInsteadOfOverstating) {
+  // From x0 = 0 the drift system's deadline is 5.  A budget of 3 reach-box
+  // queries cannot resolve it, so the checked search must yield rather than
+  // answer max_window.
+  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+                        Box::from_bounds(Vec{-5.5}, Vec{5.5}),
+                        DeadlineConfig{20, 0.0, 3});
+  const auto starved = est.estimate_checked(Vec{0.0});
+  EXPECT_FALSE(starved.is_ok());
+  EXPECT_EQ(starved.status().code(), core::StatusCode::kBudgetExceeded);
+  // A boundary the budget *can* resolve still answers normally.
+  const auto resolved = est.estimate_checked(Vec{4.0});  // t_d = 1 < budget
+  ASSERT_TRUE(resolved.is_ok());
+  EXPECT_EQ(resolved.value(), 1u);
+  // The throwing path is budget-free by contract.
+  EXPECT_EQ(est.estimate(Vec{0.0}), 5u);
+}
+
+TEST(Deadline, NegativeInitRadiusRejectedAtConstruction) {
+  EXPECT_THROW(DeadlineEstimator(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+                                 Box::from_bounds(Vec{-5.5}, Vec{5.5}),
+                                 DeadlineConfig{20, -1.0}),
+               std::invalid_argument);
 }
 
 // Property: the deadline is monotone in the safe-set size.

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "core/detection_system.hpp"
@@ -22,6 +24,47 @@ TEST(Estimator, PassthroughReturnsMeasurement) {
   EXPECT_EQ(est.estimate(y, Vec{}), y);
   auto copy = est.clone();
   EXPECT_EQ(copy->estimate(y, Vec{}), y);
+}
+
+TEST(Estimator, CheckedAcceptsFiniteSamples) {
+  PassthroughEstimator est;
+  const auto ok = est.estimate_checked(Vec{1.0, 2.0}, Vec{});
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), (Vec{1.0, 2.0}));
+}
+
+TEST(Estimator, CheckedRejectsMissingSample) {
+  PassthroughEstimator est;
+  const auto missing = est.estimate_checked(std::nullopt, Vec{});
+  EXPECT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.status().code(), core::StatusCode::kUnavailable);
+}
+
+TEST(Estimator, CheckedRejectsNonFiniteSample) {
+  PassthroughEstimator est;
+  const auto nan =
+      est.estimate_checked(Vec{std::numeric_limits<double>::quiet_NaN()}, Vec{});
+  EXPECT_FALSE(nan.is_ok());
+  EXPECT_EQ(nan.status().code(), core::StatusCode::kInvalidInput);
+  const auto inf =
+      est.estimate_checked(Vec{std::numeric_limits<double>::infinity()}, Vec{});
+  EXPECT_EQ(inf.status().code(), core::StatusCode::kInvalidInput);
+}
+
+TEST(Estimator, CheckedRejectionLeavesFilterStateUntouched) {
+  const auto model = models::testbed_car();
+  FilteringEstimator est(model, 1e-6, 1e-6, Vec{0.0});
+  (void)est.estimate(Vec{0.01}, Vec{});
+  const Vec before = est.estimate(Vec{0.011}, Vec{2.0});
+  // A rejected sample must not advance the filter: feeding the same good
+  // sample afterwards gives the same answer as feeding it immediately.
+  FilteringEstimator twin(model, 1e-6, 1e-6, Vec{0.0});
+  (void)twin.estimate(Vec{0.01}, Vec{});
+  (void)twin.estimate(Vec{0.011}, Vec{2.0});
+  (void)est.estimate_checked(std::nullopt, Vec{2.0});
+  (void)est.estimate_checked(Vec{std::numeric_limits<double>::quiet_NaN()}, Vec{2.0});
+  EXPECT_EQ(est.estimate(Vec{0.012}, Vec{2.0}), twin.estimate(Vec{0.012}, Vec{2.0}));
+  (void)before;
 }
 
 TEST(Estimator, FilteringSmoothsMeasurementNoise) {
