@@ -13,8 +13,10 @@
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace awd;
+
+  const std::size_t threads = bench::threads_arg(argc, argv);
 
   bench::heading(
       "Extension — ramp (stealthy) and freeze (stuck-at) attack scenarios\n"
@@ -30,7 +32,8 @@ int main() {
               "#FP", "#DM", "#FN", "mean delay");
   for (const auto& scase : core::table1_cases()) {
     for (core::AttackKind attack : attacks) {
-      const core::CellResult cell = core::run_cell(scase, attack, 50, 2022, options);
+      const core::CellResult cell =
+          core::run_cell(scase, attack, 50, 2022, options, threads);
       std::printf("%-20s %-8s %-10s %5zu %5zu %6zu %12.1f\n", scase.display_name.c_str(),
                   std::string(core::to_string(attack)).c_str(), "Adaptive",
                   cell.fp_adaptive, cell.dm_adaptive, cell.fn_adaptive,

@@ -11,8 +11,10 @@
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace awd;
+
+  const std::size_t threads = bench::threads_arg(argc, argv);
 
   bench::heading(
       "Fig. 7 — FP/FN experiments vs fixed window size\n"
@@ -29,7 +31,8 @@ int main() {
   options.warmup = 100;  // exclude controller start-up transients from FP counting
 
   const auto points =
-      core::fixed_window_sweep(scase, core::AttackKind::kBias, windows, 100, 2022, options);
+      core::fixed_window_sweep(scase, core::AttackKind::kBias, windows, 100, 2022, options,
+                               threads);
 
   std::printf("\n%8s %16s %16s\n", "window", "#FP experiments", "#FN experiments");
   for (const auto& p : points) {

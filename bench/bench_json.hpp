@@ -1,0 +1,56 @@
+// bench_json.hpp — shared google-benchmark plumbing for the microbenchmark
+// binaries: a reporter that mirrors every run to the console and to a JSON
+// file, and a runner that makes the JSON record unconditional (the stock
+// two-reporter overload insists on --benchmark_out, which would make the
+// machine-readable record opt-in; CI's regression gate needs it always).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace awd::bench {
+
+/// Mirrors every report to the console and to a JSON stream.
+class TeeReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit TeeReporter(std::ostream* json_stream) {
+    json_.SetOutputStream(json_stream);
+    json_.SetErrorStream(json_stream);
+  }
+  bool ReportContext(const Context& context) override {
+    const bool ok = console_.ReportContext(context);
+    return json_.ReportContext(context) && ok;
+  }
+  void ReportRuns(const std::vector<Run>& report) override {
+    console_.ReportRuns(report);
+    json_.ReportRuns(report);
+  }
+  void Finalize() override {
+    console_.Finalize();
+    json_.Finalize();
+  }
+
+ private:
+  benchmark::ConsoleReporter console_;
+  benchmark::JSONReporter json_;
+};
+
+/// Run all registered benchmarks, mirroring the report to `json_path`
+/// (next to the binary, so CI can archive and diff it).  Falls back to
+/// console-only if the file cannot be opened.
+inline void run_benchmarks_with_json(const std::string& json_path) {
+  std::ofstream json_out(json_path);
+  if (!json_out) {
+    std::cerr << "warning: cannot open " << json_path << " for writing\n";
+    benchmark::RunSpecifiedBenchmarks();
+    return;
+  }
+  TeeReporter tee(&json_out);
+  benchmark::RunSpecifiedBenchmarks(&tee);
+}
+
+}  // namespace awd::bench

@@ -1,12 +1,13 @@
 // bench_micro_overhead — google-benchmark microbenchmarks for the run-time
 // components, backing the paper's "low overhead" claim (§3): the deadline
-// search, a full detection-system step, the logger, and the reach-box
+// search (cached walk vs the uncached reach-box recursion, with a speedup
+// column), a full detection-system step, the logger, and the reach-box
 // query, across the state dimensions of the five plants.
 #include <benchmark/benchmark.h>
 
-#include <fstream>
-#include <iostream>
+#include <chrono>
 
+#include "bench_json.hpp"
 #include "core/detection_system.hpp"
 #include "reach/deadline.hpp"
 
@@ -16,6 +17,17 @@ using namespace awd;
 
 const char* kCaseKeys[] = {"aircraft_pitch", "vehicle_turning", "series_rlc", "dc_motor",
                            "quadrotor"};
+
+/// Mean ns per call of `fn`, measured with a fixed repetition budget
+/// (enough for the speedup column; the benchmark loop itself provides the
+/// statistically careful number for the primary path).
+template <typename Fn>
+double mean_ns(Fn&& fn, int reps) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) benchmark::DoNotOptimize(fn());
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() / reps;
+}
 
 void BM_DeadlineEstimate(benchmark::State& state) {
   const core::SimulatorCase scase =
@@ -27,9 +39,33 @@ void BM_DeadlineEstimate(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(estimator.estimate(x0));
   }
+  // Speedup column: cached walk vs the uncached reach-box recursion on the
+  // same estimator and seed.
+  constexpr int kReps = 2000;
+  const double cached_ns = mean_ns([&] { return estimator.estimate(x0); }, kReps);
+  const double uncached_ns =
+      mean_ns([&] { return estimator.estimate_uncached(x0); }, kReps);
+  state.counters["uncached_ns"] = uncached_ns;
+  state.counters["speedup"] = cached_ns > 0.0 ? uncached_ns / cached_ns : 0.0;
   state.SetLabel(scase.key);
 }
 BENCHMARK(BM_DeadlineEstimate)->DenseRange(0, 4);
+
+void BM_DeadlineEstimateUncached(benchmark::State& state) {
+  // The seed implementation's cost (full reach recursion per step), kept as
+  // a tracked benchmark so the regression gate pins both paths.
+  const core::SimulatorCase scase =
+      core::simulator_case(kCaseKeys[state.range(0)]);
+  const reach::DeadlineEstimator estimator(scase.model, scase.u_range, scase.eps,
+                                           scase.safe_set,
+                                           reach::DeadlineConfig{scase.max_window});
+  const linalg::Vec x0 = scase.reference;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate_uncached(x0));
+  }
+  state.SetLabel(scase.key);
+}
+BENCHMARK(BM_DeadlineEstimateUncached)->DenseRange(0, 4);
 
 void BM_ReachBoxQuery(benchmark::State& state) {
   const core::SimulatorCase scase =
@@ -86,50 +122,15 @@ void BM_AdaptiveDetectorStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdaptiveDetectorStep);
 
-// Mirrors every report to the console and to a JSON file.  (The stock
-// two-reporter overload insists on --benchmark_out, which would make the
-// JSON record opt-in; here it is unconditional.)
-class TeeReporter : public benchmark::BenchmarkReporter {
- public:
-  explicit TeeReporter(std::ostream* json_stream) {
-    json_.SetOutputStream(json_stream);
-    json_.SetErrorStream(json_stream);
-  }
-  bool ReportContext(const Context& context) override {
-    const bool ok = console_.ReportContext(context);
-    return json_.ReportContext(context) && ok;
-  }
-  void ReportRuns(const std::vector<Run>& report) override {
-    console_.ReportRuns(report);
-    json_.ReportRuns(report);
-  }
-  void Finalize() override {
-    console_.Finalize();
-    json_.Finalize();
-  }
-
- private:
-  benchmark::ConsoleReporter console_;
-  benchmark::JSONReporter json_;
-};
-
 }  // namespace
 
 // Besides the console table, always drop a machine-readable record of the
 // run next to the binary so overhead numbers can be tracked across commits
-// (CI archives it as an artifact).
+// (CI archives it and diffs it against bench/baselines/ via awd_bench_compare).
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-
-  std::ofstream json_out("BENCH_detector_step.json");
-  if (!json_out) {
-    std::cerr << "warning: cannot open BENCH_detector_step.json for writing\n";
-    benchmark::RunSpecifiedBenchmarks();
-  } else {
-    TeeReporter tee(&json_out);
-    benchmark::RunSpecifiedBenchmarks(&tee);
-  }
+  awd::bench::run_benchmarks_with_json("BENCH_detector_step.json");
   benchmark::Shutdown();
   return 0;
 }

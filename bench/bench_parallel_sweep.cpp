@@ -1,0 +1,130 @@
+// bench_parallel_sweep — wall-clock benchmarks of the parallel experiment
+// engine: run_cell (Table 2 workload) and fixed_window_sweep (Fig. 7
+// workload) at threads=1 vs threads=nproc, emitting
+// BENCH_experiment_sweep.json for the CI regression gate.
+//
+// Before benchmarking, main() verifies the engine's core contract once:
+// serial and threaded execution must produce bit-identical results (counts
+// and floating-point delay means) — the binary fails if they diverge, so a
+// broken determinism guarantee cannot produce a green benchmark run.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_json.hpp"
+#include "core/experiment.hpp"
+#include "core/parallel.hpp"
+
+namespace {
+
+using namespace awd;
+
+constexpr std::size_t kCellRuns = 24;
+constexpr std::size_t kSweepRuns = 12;
+constexpr std::uint64_t kSeed = 2022;
+
+core::MetricsOptions table2_options() {
+  core::MetricsOptions options;
+  options.fp_threshold = 0.01;
+  options.warmup = 100;
+  return options;
+}
+
+std::vector<std::size_t> sweep_windows() {
+  std::vector<std::size_t> windows;
+  for (std::size_t w = 0; w <= 100; w += 5) windows.push_back(w);
+  return windows;
+}
+
+// Arg 0 = thread count (0 resolves to nproc / AWD_THREADS).
+void BM_RunCell(benchmark::State& state) {
+  const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
+  const core::MetricsOptions options = table2_options();
+  const std::size_t threads = core::resolve_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_cell(scase, core::AttackKind::kBias, kCellRuns, kSeed, options, threads));
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel(scase.key);
+}
+BENCHMARK(BM_RunCell)->Arg(1)->Arg(0)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_WindowSweep(benchmark::State& state) {
+  core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
+  scase.attack_duration = 15;  // §6.1.2's Fig. 7 setting
+  core::MetricsOptions options;
+  options.warmup = 100;
+  const std::vector<std::size_t> windows = sweep_windows();
+  const std::size_t threads = core::resolve_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fixed_window_sweep(scase, core::AttackKind::kBias,
+                                                      windows, kSweepRuns, kSeed, options,
+                                                      threads));
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel(scase.key);
+}
+BENCHMARK(BM_WindowSweep)->Arg(1)->Arg(0)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Bit-identical serial-vs-threaded verification; returns false on any
+/// divergence.  Also prints a one-shot wall-clock speedup summary.
+bool verify_determinism_and_report() {
+  const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
+  const core::MetricsOptions options = table2_options();
+  const std::size_t threads = core::resolve_threads(0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::CellResult serial =
+      core::run_cell(scase, core::AttackKind::kBias, kCellRuns, kSeed, options, 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  const core::CellResult threaded =
+      core::run_cell(scase, core::AttackKind::kBias, kCellRuns, kSeed, options, threads);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  if (!(serial == threaded)) {
+    std::fprintf(stderr,
+                 "FATAL: run_cell results differ between threads=1 and threads=%zu\n",
+                 threads);
+    return false;
+  }
+
+  core::SimulatorCase sweep_case = scase;
+  sweep_case.attack_duration = 15;
+  core::MetricsOptions sweep_options;
+  sweep_options.warmup = 100;
+  const auto windows = sweep_windows();
+  const auto sweep_serial = core::fixed_window_sweep(
+      sweep_case, core::AttackKind::kBias, windows, kSweepRuns, kSeed, sweep_options, 1);
+  const auto sweep_threaded =
+      core::fixed_window_sweep(sweep_case, core::AttackKind::kBias, windows, kSweepRuns,
+                               kSeed, sweep_options, threads);
+  if (!(sweep_serial == sweep_threaded)) {
+    std::fprintf(
+        stderr,
+        "FATAL: fixed_window_sweep results differ between threads=1 and threads=%zu\n",
+        threads);
+    return false;
+  }
+
+  const double serial_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double threaded_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  std::printf(
+      "run_cell(%zu runs): threads=1 %.1f ms, threads=%zu %.1f ms — speedup %.2fx, "
+      "results bit-identical\n\n",
+      kCellRuns, serial_ms, threads, threaded_ms,
+      threaded_ms > 0.0 ? serial_ms / threaded_ms : 0.0);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!verify_determinism_and_report()) return 1;
+  awd::bench::run_benchmarks_with_json("BENCH_experiment_sweep.json");
+  benchmark::Shutdown();
+  return 0;
+}

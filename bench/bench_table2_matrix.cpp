@@ -11,8 +11,12 @@
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace awd;
+
+  // Worker threads for the 100-run cells: --threads=N / AWD_THREADS, 0 = all
+  // cores.  The ordered reduction keeps every cell bit-identical to serial.
+  const std::size_t threads = bench::threads_arg(argc, argv);
 
   bench::heading(
       "Table 2 — #FP and #DM out of 100 runs, adaptive vs fixed window\n"
@@ -31,7 +35,8 @@ int main() {
               "#DM", "mean delay");
   for (const auto& scase : core::table1_cases()) {
     for (core::AttackKind attack : attacks) {
-      const core::CellResult cell = core::run_cell(scase, attack, 100, 2022, options);
+      const core::CellResult cell =
+          core::run_cell(scase, attack, 100, 2022, options, threads);
       std::printf("%-20s %-8s %-10s %5zu %5zu %12.1f\n", scase.display_name.c_str(),
                   std::string(core::to_string(attack)).c_str(), "Adaptive",
                   cell.fp_adaptive, cell.dm_adaptive, cell.mean_delay_adaptive);

@@ -4,10 +4,28 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <string>
 
 namespace awd::bench {
+
+/// Parse the experiment-engine thread knob from argv: `--threads=N` or
+/// `--threads N`.  Returns 0 (auto: AWD_THREADS env var, else hardware
+/// concurrency) when absent — see core::resolve_threads.
+inline std::size_t threads_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      return static_cast<std::size_t>(std::strtoul(arg + 10, nullptr, 10));
+    }
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      return static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 0;
+}
 
 inline void heading(const std::string& title) {
   std::printf("\n==============================================================\n");

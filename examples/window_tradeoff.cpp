@@ -6,22 +6,28 @@
 // directions — the trade-off that motivates adapting the window at run
 // time.
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace awd;
 
   core::SimulatorCase scase = core::simulator_case("series_rlc");
   scase.attack_duration = 15;
 
+  // Optional first argument: worker threads for the sweep (0 = all cores);
+  // results are bit-identical regardless.
+  core::ExecutionConfig exec;
+  if (argc > 1) exec.threads = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
+
   const std::vector<std::size_t> windows = {0, 2, 5, 10, 15, 20, 30, 40, 60, 80, 100};
   core::MetricsOptions options;
   options.warmup = 100;
 
-  const auto points =
-      core::fixed_window_sweep(scase, core::AttackKind::kBias, windows, 50, 1234, options);
+  const auto points = core::fixed_window_sweep(scase, core::AttackKind::kBias, windows, 50,
+                                               1234, options, exec.threads);
 
   std::printf("Series RLC, 15-step bias attack, 50 runs per window size\n\n");
   std::printf("%8s %16s %16s\n", "window", "#FP experiments", "#FN experiments");

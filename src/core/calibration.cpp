@@ -60,7 +60,7 @@ MaxWindowProfile profile_max_window(const SimulatorCase& scase, AttackKind attac
   }
   MaxWindowProfile profile;
   profile.sweep = fixed_window_sweep(scase, attack, windows, options.runs, seed,
-                                     options.metrics);
+                                     options.metrics, options.exec.threads);
 
   // FN grows with the window; take the largest window still within
   // tolerance (the "cutting line" of §4.3).

@@ -31,6 +31,17 @@ using linalg::Vec;
 /// Attack scenarios of §6.1.1 (plus extensions).
 enum class AttackKind { kNone, kBias, kDelay, kReplay, kRamp, kFreeze };
 
+/// Parallel-execution knob shared by the Monte-Carlo workloads (run_cell,
+/// fixed_window_sweep) and their bench/example entry points.  Results are
+/// bit-identical for every thread count (deterministic seed partitioning +
+/// ordered reduction, see core/parallel.hpp), so this only trades wall
+/// clock for cores.
+struct ExecutionConfig {
+  /// Worker threads: 0 = auto (AWD_THREADS env var, else hardware
+  /// concurrency), 1 = serial escape hatch, n = exactly n workers.
+  std::size_t threads = 0;
+};
+
 /// Parse/print helpers for AttackKind.
 [[nodiscard]] std::string_view to_string(AttackKind kind) noexcept;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/detection_system.hpp"
+#include "core/parallel.hpp"
 #include "sim/noise.hpp"
 
 namespace awd::core {
@@ -14,46 +15,125 @@ std::uint64_t run_seed(std::uint64_t base_seed, std::size_t run) {
   return sim::splitmix64(base_seed + 0x51a3c0de00000000ULL + run);
 }
 
+/// Per-run, per-window verdicts of one sweep run (parallel-safe payload;
+/// reduced in run-index order by fixed_window_sweep).
+struct SweepRunOutcome {
+  std::vector<bool> fp_experiment;  ///< one flag per window index
+  std::vector<bool> fn_experiment;
+};
+
+SweepRunOutcome sweep_run_once(const SimulatorCase& scase, AttackKind attack,
+                               const std::vector<std::size_t>& windows, std::uint64_t seed,
+                               const MetricsOptions& options) {
+  const std::size_t n = scase.model.state_dim();
+  const std::size_t steps = scase.steps;
+  const std::size_t attack_end = scase.attack_start + scase.attack_duration;
+
+  // Simulate once; the residual stream is detector-independent.
+  sim::Plant plant(scase.model, scase.u_range, scase.eps, scase.x0);
+  sim::SimulatorOptions opts;
+  opts.x0 = scase.x0;
+  opts.reference = scase.reference;
+  opts.sensor_noise = scase.sensor_noise;
+  opts.seed = seed;
+  opts.predict_with_commanded = scase.predict_with_commanded;
+  opts.reference_schedule = scase.reference_schedule;
+  opts.reference_sinusoids = scase.reference_sinusoids;
+  sim::Simulator simulator(std::move(plant), scase.make_controller(),
+                           scase.make_attack(attack), std::move(opts));
+
+  // Per-dimension prefix sums of the residuals: prefix[d][t+1] - wait-free
+  // window means for every size.
+  std::vector<std::vector<double>> prefix(n, std::vector<double>(steps + 1, 0.0));
+  for (std::size_t t = 0; t < steps; ++t) {
+    const sim::StepRecord rec = simulator.step();
+    for (std::size_t d = 0; d < n; ++d) {
+      prefix[d][t + 1] = prefix[d][t] + rec.residual[d];
+    }
+  }
+
+  SweepRunOutcome outcome;
+  outcome.fp_experiment.resize(windows.size(), false);
+  outcome.fn_experiment.resize(windows.size(), false);
+
+  for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+    const std::size_t w = windows[wi];
+    std::size_t clean_steps = 0;
+    std::size_t fp_alarms = 0;
+    bool detected = false;
+
+    for (std::size_t t = options.warmup; t < steps; ++t) {
+      const std::size_t lo = t >= w ? t - w : 0;
+      const std::size_t count = t - lo + 1;
+      bool alarm = false;
+      for (std::size_t d = 0; d < n; ++d) {
+        const double mean = (prefix[d][t + 1] - prefix[d][lo]) / static_cast<double>(count);
+        if (mean > scase.tau[d]) {
+          alarm = true;
+          break;
+        }
+      }
+      // An alarm whose window overlaps the attack interval is a true
+      // positive; everything else is a false positive.
+      const bool window_overlaps_attack = t >= scase.attack_start && lo < attack_end;
+      if (window_overlaps_attack) {
+        if (alarm) detected = true;
+      } else {
+        ++clean_steps;
+        if (alarm) ++fp_alarms;
+      }
+    }
+
+    const double fp_rate = clean_steps == 0
+                               ? 0.0
+                               : static_cast<double>(fp_alarms) /
+                                     static_cast<double>(clean_steps);
+    outcome.fp_experiment[wi] = fp_rate > options.fp_threshold;
+    outcome.fn_experiment[wi] = !detected;
+  }
+  return outcome;
+}
+
 }  // namespace
 
-CellResult run_cell(const SimulatorCase& scase, AttackKind attack, std::size_t runs,
-                    std::uint64_t base_seed, const MetricsOptions& options) {
+CellRunOutcome run_cell_once(const SimulatorCase& scase, AttackKind attack,
+                             std::uint64_t seed, const MetricsOptions& options) {
+  DetectionSystem system(scase, attack, seed);
+  const sim::Trace trace = system.run();
+
+  CellRunOutcome outcome;
+  outcome.adaptive = compute_metrics(trace, scase.attack_start, scase.attack_duration,
+                                     Strategy::kAdaptive, options);
+  outcome.fixed = compute_metrics(trace, scase.attack_start, scase.attack_duration,
+                                  Strategy::kFixed, options);
+  return outcome;
+}
+
+CellResult reduce_cell(const SimulatorCase& scase, AttackKind attack,
+                       const std::vector<CellRunOutcome>& outcomes) {
   CellResult cell;
   cell.simulator = scase.key;
   cell.attack = attack;
-  cell.runs = runs;
+  cell.runs = outcomes.size();
 
   double delay_sum_adaptive = 0.0;
   std::size_t delay_n_adaptive = 0;
   double delay_sum_fixed = 0.0;
   std::size_t delay_n_fixed = 0;
 
-  // Alarms while a window still covers attacked samples are delayed true
-  // positives; by default guard one maximal window past the attack.
-  MetricsOptions opts = options;
-  if (opts.post_attack_guard == 0) opts.post_attack_guard = scase.max_window;
-
-  for (std::size_t r = 0; r < runs; ++r) {
-    DetectionSystem system(scase, attack, run_seed(base_seed, r));
-    const sim::Trace trace = system.run();
-
-    const RunMetrics ma = compute_metrics(trace, scase.attack_start, scase.attack_duration,
-                                          Strategy::kAdaptive, opts);
-    const RunMetrics mf = compute_metrics(trace, scase.attack_start, scase.attack_duration,
-                                          Strategy::kFixed, opts);
-
-    if (ma.fp_experiment) ++cell.fp_adaptive;
-    if (mf.fp_experiment) ++cell.fp_fixed;
-    if (ma.deadline_miss) ++cell.dm_adaptive;
-    if (mf.deadline_miss) ++cell.dm_fixed;
-    if (ma.false_negative) ++cell.fn_adaptive;
-    if (mf.false_negative) ++cell.fn_fixed;
-    if (ma.detection_delay) {
-      delay_sum_adaptive += static_cast<double>(*ma.detection_delay);
+  for (const CellRunOutcome& o : outcomes) {
+    if (o.adaptive.fp_experiment) ++cell.fp_adaptive;
+    if (o.fixed.fp_experiment) ++cell.fp_fixed;
+    if (o.adaptive.deadline_miss) ++cell.dm_adaptive;
+    if (o.fixed.deadline_miss) ++cell.dm_fixed;
+    if (o.adaptive.false_negative) ++cell.fn_adaptive;
+    if (o.fixed.false_negative) ++cell.fn_fixed;
+    if (o.adaptive.detection_delay) {
+      delay_sum_adaptive += static_cast<double>(*o.adaptive.detection_delay);
       ++delay_n_adaptive;
     }
-    if (mf.detection_delay) {
-      delay_sum_fixed += static_cast<double>(*mf.detection_delay);
+    if (o.fixed.detection_delay) {
+      delay_sum_fixed += static_cast<double>(*o.fixed.detection_delay);
       ++delay_n_fixed;
     }
   }
@@ -65,76 +145,42 @@ CellResult run_cell(const SimulatorCase& scase, AttackKind attack, std::size_t r
   return cell;
 }
 
+CellResult run_cell(const SimulatorCase& scase, AttackKind attack, std::size_t runs,
+                    std::uint64_t base_seed, const MetricsOptions& options,
+                    std::size_t threads) {
+  // Alarms while a window still covers attacked samples are delayed true
+  // positives; by default guard one maximal window past the attack.
+  MetricsOptions opts = options;
+  if (opts.post_attack_guard == 0) opts.post_attack_guard = scase.max_window;
+
+  // Each run is independent (seed derived from the run index, not from any
+  // shared RNG state); slot r receives run r's outcome no matter which
+  // worker computes it, and reduce_cell walks the slots in order.
+  std::vector<CellRunOutcome> outcomes(runs);
+  parallel_for(runs, threads, [&](std::size_t r) {
+    outcomes[r] = run_cell_once(scase, attack, run_seed(base_seed, r), opts);
+  });
+  return reduce_cell(scase, attack, outcomes);
+}
+
 std::vector<WindowSweepPoint> fixed_window_sweep(const SimulatorCase& scase,
                                                  AttackKind attack,
                                                  const std::vector<std::size_t>& windows,
                                                  std::size_t runs, std::uint64_t base_seed,
-                                                 const MetricsOptions& options) {
-  const std::size_t n = scase.model.state_dim();
-  const std::size_t steps = scase.steps;
-  const std::size_t attack_end = scase.attack_start + scase.attack_duration;
+                                                 const MetricsOptions& options,
+                                                 std::size_t threads) {
+  std::vector<SweepRunOutcome> outcomes(runs);
+  parallel_for(runs, threads, [&](std::size_t r) {
+    outcomes[r] = sweep_run_once(scase, attack, windows, run_seed(base_seed, r), options);
+  });
 
+  // Ordered reduction: identical counts regardless of thread count.
   std::vector<WindowSweepPoint> points(windows.size());
   for (std::size_t w = 0; w < windows.size(); ++w) points[w].window = windows[w];
-
-  for (std::size_t r = 0; r < runs; ++r) {
-    // Simulate once; the residual stream is detector-independent.
-    sim::Plant plant(scase.model, scase.u_range, scase.eps, scase.x0);
-    sim::SimulatorOptions opts;
-    opts.x0 = scase.x0;
-    opts.reference = scase.reference;
-    opts.sensor_noise = scase.sensor_noise;
-    opts.seed = run_seed(base_seed, r);
-    opts.predict_with_commanded = scase.predict_with_commanded;
-    opts.reference_schedule = scase.reference_schedule;
-    opts.reference_sinusoids = scase.reference_sinusoids;
-    sim::Simulator simulator(std::move(plant), scase.make_controller(),
-                             scase.make_attack(attack), std::move(opts));
-
-    // Per-dimension prefix sums of the residuals: prefix[d][t+1] - wait-free
-    // window means for every size.
-    std::vector<std::vector<double>> prefix(n, std::vector<double>(steps + 1, 0.0));
-    for (std::size_t t = 0; t < steps; ++t) {
-      const sim::StepRecord rec = simulator.step();
-      for (std::size_t d = 0; d < n; ++d) {
-        prefix[d][t + 1] = prefix[d][t] + rec.residual[d];
-      }
-    }
-
+  for (const SweepRunOutcome& o : outcomes) {
     for (std::size_t wi = 0; wi < windows.size(); ++wi) {
-      const std::size_t w = windows[wi];
-      std::size_t clean_steps = 0;
-      std::size_t fp_alarms = 0;
-      bool detected = false;
-
-      for (std::size_t t = options.warmup; t < steps; ++t) {
-        const std::size_t lo = t >= w ? t - w : 0;
-        const std::size_t count = t - lo + 1;
-        bool alarm = false;
-        for (std::size_t d = 0; d < n; ++d) {
-          const double mean = (prefix[d][t + 1] - prefix[d][lo]) / static_cast<double>(count);
-          if (mean > scase.tau[d]) {
-            alarm = true;
-            break;
-          }
-        }
-        // An alarm whose window overlaps the attack interval is a true
-        // positive; everything else is a false positive.
-        const bool window_overlaps_attack = t >= scase.attack_start && lo < attack_end;
-        if (window_overlaps_attack) {
-          if (alarm) detected = true;
-        } else {
-          ++clean_steps;
-          if (alarm) ++fp_alarms;
-        }
-      }
-
-      const double fp_rate = clean_steps == 0
-                                 ? 0.0
-                                 : static_cast<double>(fp_alarms) /
-                                       static_cast<double>(clean_steps);
-      if (fp_rate > options.fp_threshold) ++points[wi].fp_experiments;
-      if (!detected) ++points[wi].fn_experiments;
+      if (o.fp_experiment[wi]) ++points[wi].fp_experiments;
+      if (o.fn_experiment[wi]) ++points[wi].fn_experiments;
     }
   }
   return points;

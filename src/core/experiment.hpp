@@ -11,6 +11,13 @@
 //                       each run is simulated once and every window size is
 //                       evaluated on the same residual stream via prefix
 //                       sums.
+//
+// Both runners execute their seeded runs on core::parallel_for: run r uses
+// the derived seed splitmix64(base_seed + r) regardless of which worker
+// computes it, per-run outcomes land in slot r, and the reduction walks the
+// slots in run-index order.  Counts, floating-point delay sums, and CSV
+// output are therefore bit-identical for every thread count; threads == 1
+// degenerates to the plain serial loop.
 #pragma once
 
 #include <cstdint>
@@ -36,25 +43,55 @@ struct CellResult {
 
   double mean_delay_adaptive = 0.0;  ///< mean detection delay over detected runs
   double mean_delay_fixed = 0.0;
+
+  [[nodiscard]] friend bool operator==(const CellResult&, const CellResult&) = default;
 };
 
+/// Outcome of a single Table 2 run: both strategies evaluated on one trace.
+struct CellRunOutcome {
+  RunMetrics adaptive;
+  RunMetrics fixed;
+};
+
+/// Execute one seeded run of a Table 2 cell.  `options` is used as given
+/// (no post_attack_guard defaulting); pure apart from the simulation itself,
+/// safe to call concurrently for distinct seeds.
+[[nodiscard]] CellRunOutcome run_cell_once(const SimulatorCase& scase, AttackKind attack,
+                                           std::uint64_t seed, const MetricsOptions& options);
+
+/// Pure reduction of per-run outcomes into a CellResult, walking `outcomes`
+/// in run-index order (so delay sums accumulate exactly like the serial
+/// loop).  Shared by the serial and parallel paths of run_cell.
+[[nodiscard]] CellResult reduce_cell(const SimulatorCase& scase, AttackKind attack,
+                                     const std::vector<CellRunOutcome>& outcomes);
+
 /// Run one Table 2 cell: `runs` seeded simulations with both detectors.
+/// @param threads worker threads for the run loop: 0 = auto (AWD_THREADS
+///                env var, else hardware concurrency), 1 = serial.  Results
+///                are bit-identical for every value.
 [[nodiscard]] CellResult run_cell(const SimulatorCase& scase, AttackKind attack,
                                   std::size_t runs, std::uint64_t base_seed,
-                                  const MetricsOptions& options = {});
+                                  const MetricsOptions& options = {},
+                                  std::size_t threads = 0);
 
 /// One point of the Fig. 7 sweep.
 struct WindowSweepPoint {
   std::size_t window = 0;
   std::size_t fp_experiments = 0;  ///< runs with FP rate > threshold at this window
   std::size_t fn_experiments = 0;  ///< runs where the attack went undetected
+
+  [[nodiscard]] friend bool operator==(const WindowSweepPoint&,
+                                       const WindowSweepPoint&) = default;
 };
 
 /// Fig. 7: profile the fixed-window detector across window sizes.
 /// @param windows window sizes to evaluate (e.g. 0..100)
 /// @param runs    experiments per window size (shared traces)
+/// @param threads worker threads (see run_cell); results are bit-identical
+///                for every value
 [[nodiscard]] std::vector<WindowSweepPoint> fixed_window_sweep(
     const SimulatorCase& scase, AttackKind attack, const std::vector<std::size_t>& windows,
-    std::size_t runs, std::uint64_t base_seed, const MetricsOptions& options = {});
+    std::size_t runs, std::uint64_t base_seed, const MetricsOptions& options = {},
+    std::size_t threads = 0);
 
 }  // namespace awd::core

@@ -1,0 +1,138 @@
+#include "core/parallel.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace awd::core {
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("AWD_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// Persistent workers parked on a condition variable.  Each run() publishes a
+// (generation, n, fn) job; worker w wakes, executes its static block, and
+// reports completion.  The calling thread doubles as worker 0.
+struct ThreadPool::Impl {
+  explicit Impl(std::size_t threads) : worker_count(threads < 1 ? 1 : threads) {
+    exceptions.resize(worker_count);
+    // Worker 0 is the calling thread; spawn only the extras.
+    for (std::size_t w = 1; w < worker_count; ++w) {
+      extras.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      shutting_down = true;
+    }
+    job_ready.notify_all();
+    for (std::thread& t : extras) t.join();
+  }
+
+  /// Contiguous block of worker w for n items: [w*n/W, (w+1)*n/W).
+  void run_block(std::size_t w, std::size_t n,
+                 const std::function<void(std::size_t)>& f) noexcept {
+    const std::size_t lo = w * n / worker_count;
+    const std::size_t hi = (w + 1) * n / worker_count;
+    try {
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+    } catch (...) {
+      exceptions[w] = std::current_exception();
+    }
+  }
+
+  void worker_loop(std::size_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex);
+      job_ready.wait(lock, [&] { return shutting_down || generation != seen; });
+      if (shutting_down) return;
+      seen = generation;
+      const std::size_t job_n = n;
+      const std::function<void(std::size_t)>* job_fn = fn;
+      lock.unlock();
+
+      run_block(w, job_n, *job_fn);
+
+      lock.lock();
+      if (++done == worker_count - 1) {
+        lock.unlock();
+        job_done.notify_one();
+      }
+    }
+  }
+
+  void run(std::size_t job_n, const std::function<void(std::size_t)>& job_fn) {
+    for (auto& e : exceptions) e = nullptr;
+    if (worker_count > 1) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        n = job_n;
+        fn = &job_fn;
+        done = 0;
+        ++generation;
+      }
+      job_ready.notify_all();
+    }
+
+    run_block(0, job_n, job_fn);
+
+    if (worker_count > 1) {
+      std::unique_lock<std::mutex> lock(mutex);
+      job_done.wait(lock, [&] { return done == worker_count - 1; });
+    }
+    for (const std::exception_ptr& e : exceptions) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  const std::size_t worker_count;
+  std::vector<std::thread> extras;
+  std::vector<std::exception_ptr> exceptions;
+
+  std::mutex mutex;
+  std::condition_variable job_ready;
+  std::condition_variable job_done;
+  std::uint64_t generation = 0;
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t done = 0;
+  bool shutting_down = false;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl(threads)) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+std::size_t ThreadPool::size() const noexcept { return impl_->worker_count; }
+
+void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  impl_->run(n, fn);
+}
+
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  std::size_t workers = resolve_threads(threads);
+  if (workers > n) workers = n;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(workers);
+  pool.run(n, fn);
+}
+
+}  // namespace awd::core

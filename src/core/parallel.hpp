@@ -1,0 +1,70 @@
+// parallel.hpp — fixed-size thread pool and deterministic parallel_for.
+//
+// The Monte-Carlo workloads (run_cell, fixed_window_sweep) consist of
+// independent seeded runs whose results are reduced in run-index order, so
+// the only parallelism primitive the experiment layer needs is "invoke
+// fn(i) for every i in [0, n) across a fixed set of workers".  Determinism
+// requirements shape the design:
+//
+//   * static partitioning — index space [0, n) is split into one contiguous
+//     block per worker, so which thread computes which run never depends on
+//     timing (no work stealing, no shared atomic cursor);
+//   * results land in caller-owned per-index slots and are reduced by the
+//     caller in index order, so floating-point accumulation order is
+//     identical to the serial loop and outputs are bit-identical;
+//   * threads == 1 bypasses the pool entirely and runs the plain serial
+//     loop on the calling thread — the escape hatch that reproduces the
+//     pre-parallel behavior exactly.
+//
+// Exceptions thrown by fn are captured, the remaining work of that worker
+// is abandoned, and the first exception (lowest worker index) is rethrown
+// on the calling thread after all workers finish.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace awd::core {
+
+/// Resolve a thread-count request to a concrete worker count:
+///   * requested > 0  — use exactly `requested`;
+///   * requested == 0 — use the AWD_THREADS environment variable if set to
+///                      a positive integer, else std::thread::hardware_concurrency()
+///                      (minimum 1).
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested) noexcept;
+
+/// Fixed-size pool of persistent worker threads executing statically
+/// partitioned index ranges.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers.  Must not be called while run() is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Invoke fn(i) for every i in [0, n), blocking until all indices are
+  /// done.  Worker w executes the contiguous block
+  /// [w*n/size(), (w+1)*n/size()); the calling thread executes block 0 so a
+  /// single-worker pool never context-switches.  Rethrows the first worker
+  /// exception (by worker index) after every worker has stopped.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// One-shot deterministic parallel loop: invoke fn(i) for i in [0, n).
+/// `threads` is resolved via resolve_threads(); a resolved count of 1 (or
+/// n <= 1) runs the serial loop inline without touching any threading
+/// machinery.  Blocking; rethrows the first worker exception.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace awd::core

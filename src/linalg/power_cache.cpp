@@ -14,6 +14,13 @@ const Matrix& PowerCache::power(std::size_t k) {
   return powers_[k];
 }
 
+const Matrix& PowerCache::cached(std::size_t k) const {
+  if (k >= powers_.size()) {
+    throw std::out_of_range("PowerCache::cached: exponent not yet cached");
+  }
+  return powers_[k];
+}
+
 void PowerCache::reserve(std::size_t k) {
   while (powers_.size() <= k) {
     powers_.push_back(powers_.back() * base_);

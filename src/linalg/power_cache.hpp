@@ -24,6 +24,11 @@ class PowerCache {
   /// The reference stays valid until the next call that grows the cache.
   [[nodiscard]] const Matrix& power(std::size_t k);
 
+  /// A^k for an exponent that is already cached; throws std::out_of_range
+  /// if k >= cached_count().  Const companion of power() for hot paths that
+  /// pre-reserved their horizon (e.g. reach::ReachSystem).
+  [[nodiscard]] const Matrix& cached(std::size_t k) const;
+
   /// Pre-populate powers 0..k (useful to pay the cost up front).
   void reserve(std::size_t k);
 

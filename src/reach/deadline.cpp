@@ -1,6 +1,7 @@
 #include "reach/deadline.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace awd::reach {
@@ -17,11 +18,64 @@ DeadlineEstimator::DeadlineEstimator(const models::DiscreteLti& model, Box u_ran
   if (config_.init_radius < 0.0) {
     throw std::invalid_argument("DeadlineEstimator: init_radius must be >= 0");
   }
+
+  // Flatten the x0-independent reach terms into per-step containment
+  // checks.  Dimensions the safe set leaves fully unconstrained can never
+  // fail and are dropped; the remaining checks replicate the reach_box
+  // arithmetic exactly (same terms, same association) so the cached walk is
+  // bit-identical to the uncached recursion.
+  const std::size_t n = model.state_dim();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  checks_.reserve(config_.max_window);
+  for (std::size_t t = 1; t <= config_.max_window; ++t) {
+    std::vector<DimCheck> step;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Interval& s = safe_[i];
+      if (s.lo == -kInf && s.hi == kInf) continue;
+      DimCheck c;
+      c.row = reach_.a_power(t).row_vec(i);
+      c.drift = reach_.cum_drift(t)[i];
+      c.spread = reach_.cum_spread(t)[i] + reach_.cum_noise(t)[i] +
+                 config_.init_radius * reach_.initial_ball_scale(t)[i];
+      c.lo = s.lo;
+      c.hi = s.hi;
+      step.push_back(std::move(c));
+    }
+    checks_.push_back(std::move(step));
+  }
+}
+
+std::size_t DeadlineEstimator::walk(const Vec& x0, std::size_t cap,
+                                    bool& resolved) const noexcept {
+  // R̄ ∩ F = ∅  ⟺  R̄ ⊆ S when F is the complement of the safe box S, so
+  // the search tests box containment step by step (Fig. 2), reading the
+  // precomputed per-step terms instead of re-running the reach recursion.
+  for (std::size_t t = 1; t <= cap; ++t) {
+    for (const DimCheck& c : checks_[t - 1]) {
+      const double center = c.row.dot(x0) + c.drift;
+      if (!(c.lo <= center - c.spread && center + c.spread <= c.hi)) {
+        resolved = true;
+        return t - 1;
+      }
+    }
+  }
+  resolved = false;
+  return cap;
 }
 
 std::size_t DeadlineEstimator::estimate(const Vec& x0) const {
-  // R̄ ∩ F = ∅  ⟺  R̄ ⊆ S when F is the complement of the safe box S, so
-  // the search tests box containment step by step (Fig. 2).
+  if (x0.size() != reach_.model().state_dim()) {
+    throw std::invalid_argument("DeadlineEstimator::estimate: seed dimension mismatch");
+  }
+  if (!x0.is_finite()) {
+    throw std::invalid_argument("DeadlineEstimator::estimate: non-finite seed");
+  }
+  bool resolved = false;
+  const std::size_t t = walk(x0, config_.max_window, resolved);
+  return resolved ? t : config_.max_window;
+}
+
+std::size_t DeadlineEstimator::estimate_uncached(const Vec& x0) const {
   for (std::size_t t = 1; t <= config_.max_window; ++t) {
     const Box r = reach_.reach_box(x0, t, config_.init_radius);
     if (!safe_.contains(r)) return t - 1;
@@ -41,10 +95,9 @@ core::Result<std::size_t> DeadlineEstimator::estimate_checked(const Vec& x0) con
   const std::size_t cap = config_.budget_steps == 0
                               ? config_.max_window
                               : std::min(config_.budget_steps, config_.max_window);
-  for (std::size_t t = 1; t <= cap; ++t) {
-    const Box r = reach_.reach_box(x0, t, config_.init_radius);
-    if (!safe_.contains(r)) return t - 1;
-  }
+  bool resolved = false;
+  const std::size_t t = walk(x0, cap, resolved);
+  if (resolved) return t;
   if (cap < config_.max_window) {
     // The boundary was not resolved within the budget: answering max_window
     // here would *over*-state how much time detection has.  Yield instead.

@@ -8,9 +8,22 @@
 // must be flagged within t_d steps.  The search is capped at the maximum
 // detection window size w_m (§4.3), which doubles as the "no intersection
 // found" answer.
+//
+// Per-query cost.  The reach recursion (Eq. 3–5) splits into an
+// x0-dependent affine part (A^t x0) and x0-independent accumulated
+// input/uncertainty boxes.  The constructor flattens the latter — together
+// with the fixed init_radius term and the safe-set bounds — into one
+// containment check per (step, constrained safe dimension), each holding
+// the matching row of A^t (from the ReachSystem's linalg::PowerCache).  A
+// query is then a single cached-box walk: per step, one length-n dot
+// product and two comparisons per *constrained* dimension, with no box
+// construction or allocation.  The arithmetic replicates
+// reach_box + Box::contains operation-for-operation, so cached deadlines
+// are bit-identical to the uncached reference (estimate_uncached).
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/status.hpp"
 #include "reach/reach.hpp"
@@ -44,8 +57,15 @@ class DeadlineEstimator {
   ///   * t_d = max_window  — no reachable intersection within the horizon,
   ///   * t_d = 0           — the very next step may already be unsafe.
   /// Ignores the search budget; throws std::invalid_argument on a
-  /// mis-shaped seed.
+  /// mis-shaped or non-finite seed.  Runs on the precomputed deadline-term
+  /// cache (see file header).
   [[nodiscard]] std::size_t estimate(const Vec& x0) const;
+
+  /// Reference implementation of estimate() that re-runs the full reach-box
+  /// recursion per step instead of the cached walk.  Kept for validation
+  /// (cached and uncached deadlines are bit-identical) and as the baseline
+  /// of the bench_micro_overhead speedup column; not a hot-path API.
+  [[nodiscard]] std::size_t estimate_uncached(const Vec& x0) const;
 
   /// Hot-path entry point: never throws on bad runtime data.  Returns
   ///   * kInvalidInput   — x0 mis-shaped or non-finite (a corrupted seed
@@ -66,9 +86,30 @@ class DeadlineEstimator {
   [[nodiscard]] const DeadlineConfig& config() const noexcept { return config_; }
 
  private:
+  // One precomputed containment test: safe dimension i at step t.  The
+  // reach box at step t stays inside [lo, hi] iff
+  //   lo <= center - spread  &&  center + spread <= hi,
+  // with center = row·x0 + drift (row = row i of A^t) — the exact
+  // operations reach_box + Box::contains perform, in the same order.
+  struct DimCheck {
+    Vec row;            ///< row i of A^t
+    double drift = 0;   ///< Σ_{j<t} (A^j B c)_i
+    double spread = 0;  ///< input + uncertainty + init_radius·‖row_i(A^t)‖₂ spread
+    double lo = 0;      ///< safe-set lower bound of dimension i
+    double hi = 0;      ///< safe-set upper bound of dimension i
+  };
+
+  /// Cached-box walk shared by estimate / estimate_checked: first step in
+  /// [1, cap] whose box escapes the safe set yields deadline t - 1;
+  /// `resolved` is false when the walk exhausts cap without finding the
+  /// boundary.
+  [[nodiscard]] std::size_t walk(const Vec& x0, std::size_t cap,
+                                 bool& resolved) const noexcept;
+
   ReachSystem reach_;
   Box safe_;
   DeadlineConfig config_;
+  std::vector<std::vector<DimCheck>> checks_;  ///< index t-1 → constrained dims at step t
 };
 
 }  // namespace awd::reach

@@ -9,7 +9,11 @@ namespace awd::reach {
 
 ReachSystem::ReachSystem(models::DiscreteLti model, Box u_range, double eps,
                          std::size_t horizon)
-    : model_(std::move(model)), u_range_(std::move(u_range)), eps_(eps), horizon_(horizon) {
+    : model_(std::move(model)),
+      u_range_(std::move(u_range)),
+      eps_(eps),
+      horizon_(horizon),
+      a_pow_(model_.A) {
   model_.validate();
   if (u_range_.dim() != model_.input_dim()) {
     throw std::invalid_argument("ReachSystem: input range dimension mismatch");
@@ -23,13 +27,16 @@ ReachSystem::ReachSystem(models::DiscreteLti model, Box u_range, double eps,
   const Vec c = u_range_.center();
   const Vec gamma = u_range_.half_widths();  // diagonal of Q
 
-  a_pow_.reserve(horizon_ + 1);
+  // PowerCache grows A^t incrementally (A^{t-1} * A), matching the order
+  // of operations the tables below assume; reserve the whole horizon up
+  // front so the const accessors never grow the cache.
+  a_pow_.reserve(horizon_);
+
   cum_drift_.reserve(horizon_ + 1);
   cum_spread_.reserve(horizon_ + 1);
   cum_noise_.reserve(horizon_ + 1);
   row_norm2_.reserve(horizon_ + 1);
 
-  a_pow_.push_back(Matrix::identity(n));
   cum_drift_.emplace_back(n);
   cum_spread_.emplace_back(n);
   cum_noise_.emplace_back(n);
@@ -42,7 +49,7 @@ ReachSystem::ReachSystem(models::DiscreteLti model, Box u_range, double eps,
 
   const Vec bc = model_.B * c;  // B c, drift contribution of A^0
   for (std::size_t t = 1; t <= horizon_; ++t) {
-    const Matrix& prev = a_pow_.back();  // A^{t-1}
+    const Matrix& prev = a_pow_.cached(t - 1);  // A^{t-1}
 
     // Drift: cum_drift[t] = cum_drift[t-1] + A^{t-1} B c.
     cum_drift_.push_back(cum_drift_.back() + prev * bc);
@@ -62,10 +69,10 @@ ReachSystem::ReachSystem(models::DiscreteLti model, Box u_range, double eps,
     for (std::size_t i = 0; i < n; ++i) noise[i] += eps_ * prev.row_vec(i).norm2();
     cum_noise_.push_back(std::move(noise));
 
-    // Next power and its row norms.
-    a_pow_.push_back(prev * model_.A);
+    // Row norms of the next power A^t (already present in the cache).
+    const Matrix& cur = a_pow_.cached(t);
     Vec rn(n);
-    for (std::size_t i = 0; i < n; ++i) rn[i] = a_pow_.back().row_vec(i).norm2();
+    for (std::size_t i = 0; i < n; ++i) rn[i] = cur.row_vec(i).norm2();
     row_norm2_.push_back(std::move(rn));
   }
 }
@@ -80,7 +87,7 @@ Box ReachSystem::reach_box(const Vec& x0, std::size_t t, double init_radius) con
   }
 
   const std::size_t n = model_.state_dim();
-  const Vec center_state = a_pow_[t] * x0;
+  const Vec center_state = a_pow_.cached(t) * x0;
 
   std::vector<Interval> dims(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -104,12 +111,12 @@ double ReachSystem::support(const Vec& x0, std::size_t t, const Vec& l,
 
   // Eq. (3): ρ_R(l) = lᵀ A^t x0 + Σ_j ρ_{B_U}((A^j B)ᵀ l) + Σ_k ρ_{A^k B_ε}(l),
   // plus the initial-ball term when the seed is a set.
-  double rho = (a_pow_[t] * x0).dot(l);
-  rho += init_radius * a_pow_[t].transpose_times(l).norm2();
+  double rho = (a_pow_.cached(t) * x0).dot(l);
+  rho += init_radius * a_pow_.cached(t).transpose_times(l).norm2();
   for (std::size_t j = 0; j < t; ++j) {
-    const Matrix ajb = a_pow_[j] * model_.B;
+    const Matrix ajb = a_pow_.cached(j) * model_.B;
     rho += support_mapped_box(ajb, u_range_, l);
-    rho += eps_ * a_pow_[j].transpose_times(l).norm2();
+    rho += eps_ * a_pow_.cached(j).transpose_times(l).norm2();
   }
   return rho;
 }

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/power_cache.hpp"
 #include "models/lti.hpp"
 #include "reach/sets.hpp"
 
@@ -54,6 +55,24 @@ class ReachSystem {
   [[nodiscard]] const Box& input_range() const noexcept { return u_range_; }
   [[nodiscard]] double uncertainty_bound() const noexcept { return eps_; }
 
+  // Read access to the precomputed x0-independent tables (all indexed by
+  // step t in [0, horizon]; throw std::out_of_range beyond the horizon).
+  // The DeadlineEstimator flattens these into its per-step containment
+  // cache instead of re-deriving them.
+
+  /// A^t from the power cache.
+  [[nodiscard]] const Matrix& a_power(std::size_t t) const { return a_pow_.cached(t); }
+  /// Σ_{j<t} A^j B c — x0-independent drift of the reach-box center.
+  [[nodiscard]] const Vec& cum_drift(std::size_t t) const { return cum_drift_.at(t); }
+  /// Σ_{j<t} ‖(A^j B Q)ᵀ e_i‖₁ per dimension i — input-box spread.
+  [[nodiscard]] const Vec& cum_spread(std::size_t t) const { return cum_spread_.at(t); }
+  /// Σ_{k<t} ε ‖(A^k)ᵀ e_i‖₂ per dimension i — uncertainty-ball spread.
+  [[nodiscard]] const Vec& cum_noise(std::size_t t) const { return cum_noise_.at(t); }
+  /// ‖(A^t)ᵀ e_i‖₂ per dimension i — initial-ball scaling factor.
+  [[nodiscard]] const Vec& initial_ball_scale(std::size_t t) const {
+    return row_norm2_.at(t);
+  }
+
  private:
   models::DiscreteLti model_;
   Box u_range_;
@@ -61,7 +80,7 @@ class ReachSystem {
   std::size_t horizon_;
 
   // Tables indexed by step t in [0, horizon]:
-  std::vector<Matrix> a_pow_;      ///< A^t
+  linalg::PowerCache a_pow_;       ///< A^t (shared lazy power cache, pre-reserved)
   std::vector<Vec> cum_drift_;     ///< Σ_{j<t} A^j B c         (per dimension)
   std::vector<Vec> cum_spread_;    ///< Σ_{j<t} ‖(A^j B Q)ᵀ e_i‖₁ per dimension i
   std::vector<Vec> cum_noise_;     ///< Σ_{k<t} ε ‖(A^k)ᵀ e_i‖₂  per dimension i

@@ -63,6 +63,84 @@ TEST(Experiment, WindowSweepShapesMatchFig7) {
   EXPECT_EQ(points[0].fn_experiments, 0u);
 }
 
+TEST(Experiment, PinnedTable2CellForFixedSeed) {
+  // Regression pin guarding the parallel rewrite: one Table-2 cell
+  // (aircraft pitch x bias, 10 runs, base seed 2022, Table-2 metric
+  // options) must keep producing exactly these counts and delay means.
+  // The values were recorded from the serial implementation; the ordered
+  // reduction keeps them bit-identical for every thread count.
+  const SimulatorCase scase = simulator_case("aircraft_pitch");
+  MetricsOptions opts;
+  opts.warmup = 100;
+  opts.fp_threshold = 0.01;
+  const CellResult cell = run_cell(scase, AttackKind::kBias, 10, 2022, opts, 1);
+  EXPECT_EQ(cell.fp_adaptive, 6u);
+  EXPECT_EQ(cell.fp_fixed, 0u);
+  EXPECT_EQ(cell.dm_adaptive, 0u);
+  EXPECT_EQ(cell.dm_fixed, 7u);
+  EXPECT_EQ(cell.fn_adaptive, 0u);
+  EXPECT_EQ(cell.fn_fixed, 3u);
+  EXPECT_DOUBLE_EQ(cell.mean_delay_adaptive, 0.0);
+  EXPECT_DOUBLE_EQ(cell.mean_delay_fixed, 276.0 / 7.0);
+}
+
+TEST(Experiment, RunCellBitIdenticalAcrossThreadCounts) {
+  // The parallel rewrite's core contract: counts AND floating-point delay
+  // means are bit-identical for every thread count.
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  MetricsOptions opts;
+  opts.warmup = 100;
+  opts.fp_threshold = 0.01;
+  const CellResult serial = run_cell(scase, AttackKind::kBias, 12, 2022, opts, 1);
+  const CellResult threaded = run_cell(scase, AttackKind::kBias, 12, 2022, opts, 8);
+  EXPECT_EQ(serial, threaded);
+  const CellResult odd = run_cell(scase, AttackKind::kBias, 12, 2022, opts, 3);
+  EXPECT_EQ(serial, odd);
+}
+
+TEST(Experiment, SweepBitIdenticalAcrossThreadCounts) {
+  SimulatorCase scase = simulator_case("series_rlc");
+  scase.attack_duration = 15;
+  MetricsOptions opts;
+  opts.warmup = 100;
+  const std::vector<std::size_t> windows = {0, 5, 20, 40, 100};
+  const auto serial = fixed_window_sweep(scase, AttackKind::kBias, windows, 12, 9, opts, 1);
+  const auto threaded =
+      fixed_window_sweep(scase, AttackKind::kBias, windows, 12, 9, opts, 8);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(Experiment, ReduceCellMatchesManualAccumulation) {
+  // The pure reduction helper shared by the serial and parallel paths:
+  // counts come from the flags, delay means divide by the *detected* run
+  // count only, and run order fixes the floating-point sum.
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  std::vector<CellRunOutcome> outcomes(3);
+  outcomes[0].adaptive.fp_experiment = true;
+  outcomes[0].adaptive.detection_delay = 4;
+  outcomes[0].fixed.deadline_miss = true;
+  outcomes[0].fixed.false_negative = true;
+  outcomes[1].adaptive.detection_delay = 7;
+  outcomes[1].fixed.detection_delay = 9;
+  outcomes[2].adaptive.deadline_miss = true;
+
+  const CellResult cell = reduce_cell(scase, AttackKind::kDelay, outcomes);
+  EXPECT_EQ(cell.simulator, "vehicle_turning");
+  EXPECT_EQ(cell.attack, AttackKind::kDelay);
+  EXPECT_EQ(cell.runs, 3u);
+  EXPECT_EQ(cell.fp_adaptive, 1u);
+  EXPECT_EQ(cell.fp_fixed, 0u);
+  EXPECT_EQ(cell.dm_adaptive, 1u);
+  EXPECT_EQ(cell.dm_fixed, 1u);
+  EXPECT_EQ(cell.fn_fixed, 1u);
+  EXPECT_DOUBLE_EQ(cell.mean_delay_adaptive, (4.0 + 7.0) / 2.0);
+  EXPECT_DOUBLE_EQ(cell.mean_delay_fixed, 9.0);
+  // No detected runs -> mean 0, not a division by zero.
+  const CellResult empty = reduce_cell(scase, AttackKind::kBias, {});
+  EXPECT_EQ(empty.runs, 0u);
+  EXPECT_EQ(empty.mean_delay_adaptive, 0.0);
+}
+
 TEST(Experiment, SweepIsDeterministic) {
   SimulatorCase scase = simulator_case("vehicle_turning");
   scase.attack_duration = 15;

@@ -1,0 +1,91 @@
+// Tests for the fixed-size thread pool and deterministic parallel_for.
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace awd::core {
+namespace {
+
+TEST(Parallel, ResolveThreadsExplicitWins) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(Parallel, ResolveThreadsAutoIsPositive) { EXPECT_GE(resolve_threads(0), 1u); }
+
+TEST(Parallel, EveryIndexVisitedExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    std::vector<std::atomic<int>> visits(97);
+    parallel_for(97, threads, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(Parallel, ZeroAndTinyIterationCounts) {
+  std::size_t calls = 0;
+  parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  // More workers than items: clamped, single item still runs exactly once.
+  std::atomic<int> one{0};
+  parallel_for(1, 8, [&](std::size_t) { ++one; });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(Parallel, SlotWritesMatchSerialLoop) {
+  // The contract the experiment runners rely on: fn(i) writing slot i
+  // produces the same vector for every thread count.
+  auto fill = [](std::size_t threads) {
+    std::vector<double> out(64);
+    parallel_for(out.size(), threads, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.25 + 0.5;
+    });
+    return out;
+  };
+  const std::vector<double> serial = fill(1);
+  EXPECT_EQ(fill(2), serial);
+  EXPECT_EQ(fill(5), serial);
+  EXPECT_EQ(fill(8), serial);
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for(16, 4,
+                   [&](std::size_t i) {
+                     if (i == 9) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Serial path propagates too.
+  EXPECT_THROW(parallel_for(4, 1, [&](std::size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(Parallel, PoolIsReusableAcrossRuns) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<std::atomic<int>> visits(31);
+    pool.run(visits.size(), [&](std::size_t i) { ++visits[i]; });
+    long total = 0;
+    for (auto& v : visits) total += v.load();
+    ASSERT_EQ(total, 31) << "round " << round;
+  }
+}
+
+TEST(Parallel, PoolRecoversAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run(8, [](std::size_t) { throw std::runtime_error("once"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.run(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+}  // namespace
+}  // namespace awd::core

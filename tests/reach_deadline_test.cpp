@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -143,6 +144,48 @@ TEST(Deadline, NegativeInitRadiusRejectedAtConstruction) {
                                  Box::from_bounds(Vec{-5.5}, Vec{5.5}),
                                  DeadlineConfig{20, -1.0}),
                std::invalid_argument);
+}
+
+// The cached walk (precomputed x0-independent terms) must agree with the
+// uncached reach-box recursion bit-for-bit: same terms, same operation
+// order.  Probe all four low-dimensional model-bank plants plus the
+// 12-state quadrotor with 200 seeded random states each.
+TEST(Deadline, CachedMatchesUncachedAcrossPlants) {
+  const char* keys[] = {"aircraft_pitch", "vehicle_turning", "series_rlc", "dc_motor",
+                        "quadrotor"};
+  for (const char* key : keys) {
+    const core::SimulatorCase scase = core::simulator_case(key);
+    DeadlineEstimator est(scase.model, scase.u_range,
+                          scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach,
+                          scase.safe_set, DeadlineConfig{scase.max_window});
+    const std::size_t n = scase.model.state_dim();
+    std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+    auto next_unit = [&rng]() {  // xorshift into [-1, 1)
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return static_cast<double>(static_cast<std::int64_t>(rng >> 11)) / (1ULL << 52) - 1.0;
+    };
+    for (int s = 0; s < 200; ++s) {
+      // Random seed states around the reference, scaled so the sample set
+      // crosses the safe boundary for some draws (deadline varies).
+      Vec x0 = scase.reference;
+      for (std::size_t i = 0; i < n; ++i) x0[i] += 3.0 * next_unit();
+      ASSERT_EQ(est.estimate(x0), est.estimate_uncached(x0))
+          << key << " seed " << s;
+    }
+  }
+}
+
+TEST(Deadline, CachedRespectsInitRadiusTerm) {
+  const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
+  DeadlineEstimator est(scase.model, scase.u_range, scase.eps, scase.safe_set,
+                        DeadlineConfig{scase.max_window, 0.15});
+  Vec x0 = scase.reference;
+  for (double pitch : {0.0, 0.5, 1.0, 1.5, 2.0, 2.4}) {
+    x0[2] = pitch;
+    EXPECT_EQ(est.estimate(x0), est.estimate_uncached(x0)) << pitch;
+  }
 }
 
 // Property: the deadline is monotone in the safe-set size.

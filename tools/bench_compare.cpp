@@ -1,0 +1,204 @@
+// bench_compare — CI benchmark-regression gate.
+//
+// Diffs a google-benchmark JSON report against a committed baseline and
+// fails (exit 1) when any benchmark's per-iteration real time regressed by
+// more than the tolerance (default 25 %).  Usage:
+//
+//   awd_bench_compare <baseline.json> <current.json> [--tolerance 0.25]
+//
+// The parser is deliberately minimal: it understands exactly the JSON that
+// benchmark::JSONReporter emits (a "benchmarks" array of flat objects with
+// "name", "run_type", "real_time", and "time_unit" fields), so the tool has
+// no third-party dependencies.  Entries present only in the current report
+// are informational; entries that disappeared from the current report fail
+// the gate (a silently dropped benchmark would otherwise un-pin its path).
+//
+// When a report was produced with --benchmark_repetitions=N, the gate uses
+// each benchmark's *minimum* across the repetition samples.  The minimum is
+// the noise-robust statistic for microbenchmarks: scheduling interference
+// and frequency scaling only ever add time, so min-of-N converges to the
+// true cost floor and keeps the 25 % tolerance meaningful on shared CI
+// runners.  Aggregate entries (mean/median/stddev) are ignored; a report
+// without repetitions gates on its single iteration sample per benchmark.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchEntry {
+  std::string name;
+  double real_time_ns = 0.0;
+};
+
+/// Extract the string value of `"key": "..."` inside [begin, end).
+std::string find_string_field(const std::string& text, std::size_t begin, std::size_t end,
+                              const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, begin);
+  if (at == std::string::npos || at >= end) return {};
+  const std::size_t open = text.find('"', at + needle.size());
+  if (open == std::string::npos || open >= end) return {};
+  const std::size_t close = text.find('"', open + 1);
+  if (close == std::string::npos || close >= end) return {};
+  return text.substr(open + 1, close - open - 1);
+}
+
+/// Extract the numeric value of `"key": <number>` inside [begin, end).
+bool find_number_field(const std::string& text, std::size_t begin, std::size_t end,
+                       const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, begin);
+  if (at == std::string::npos || at >= end) return false;
+  const char* p = text.c_str() + at + needle.size();
+  char* parse_end = nullptr;
+  const double v = std::strtod(p, &parse_end);
+  if (parse_end == p) return false;
+  *out = v;
+  return true;
+}
+
+double unit_to_ns(const std::string& unit) {
+  if (unit == "ns" || unit.empty()) return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 1.0;
+}
+
+/// Parse every per-iteration benchmark entry out of a JSONReporter file.
+std::vector<BenchEntry> parse_report(const std::string& path, bool* ok) {
+  *ok = false;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::vector<BenchEntry> entries;
+  const std::size_t array_at = text.find("\"benchmarks\":");
+  if (array_at == std::string::npos) {
+    std::fprintf(stderr, "bench_compare: %s has no \"benchmarks\" array\n", path.c_str());
+    return {};
+  }
+
+  // Objects inside the benchmarks array are flat: scan brace-delimited
+  // blocks from the array start.
+  std::size_t pos = text.find('[', array_at);
+  const std::size_t array_close = text.find(']', pos == std::string::npos ? array_at : pos);
+  while (pos != std::string::npos) {
+    const std::size_t open = text.find('{', pos);
+    if (open == std::string::npos || (array_close != std::string::npos && open > array_close))
+      break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+
+    const std::string name = find_string_field(text, open, close, "name");
+    const std::string run_type = find_string_field(text, open, close, "run_type");
+    double real_time = 0.0;
+    if (!name.empty() && (run_type.empty() || run_type == "iteration") &&
+        find_number_field(text, open, close, "real_time", &real_time)) {
+      const std::string unit = find_string_field(text, open, close, "time_unit");
+      const double ns = real_time * unit_to_ns(unit);
+      // Repetition samples share a name; fold them to the per-name minimum.
+      bool merged = false;
+      for (BenchEntry& e : entries) {
+        if (e.name == name) {
+          e.real_time_ns = std::min(e.real_time_ns, ns);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) entries.push_back({name, ns});
+    }
+    pos = close + 1;
+  }
+  *ok = true;
+  return entries;
+}
+
+const BenchEntry* find_entry(const std::vector<BenchEntry>& entries,
+                             const std::string& name) {
+  for (const BenchEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.25;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      tolerance = std::strtod(argv[i] + 12, nullptr);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.size() != 2 || !(tolerance > 0.0) || !std::isfinite(tolerance)) {
+    std::fprintf(stderr,
+                 "usage: awd_bench_compare <baseline.json> <current.json> "
+                 "[--tolerance 0.25]\n");
+    return 2;
+  }
+
+  bool base_ok = false;
+  bool cur_ok = false;
+  const std::vector<BenchEntry> baseline = parse_report(files[0], &base_ok);
+  const std::vector<BenchEntry> current = parse_report(files[1], &cur_ok);
+  if (!base_ok || !cur_ok) return 2;
+  if (baseline.empty()) {
+    std::fprintf(stderr, "bench_compare: baseline %s has no benchmark entries\n",
+                 files[0].c_str());
+    return 2;
+  }
+
+  std::printf("%-45s %14s %14s %9s\n", "benchmark", "baseline (ns)", "current (ns)",
+              "ratio");
+  int regressions = 0;
+  int missing = 0;
+  for (const BenchEntry& base : baseline) {
+    const BenchEntry* cur = find_entry(current, base.name);
+    if (cur == nullptr) {
+      std::printf("%-45s %14.1f %14s %9s  MISSING\n", base.name.c_str(), base.real_time_ns,
+                  "-", "-");
+      ++missing;
+      continue;
+    }
+    const double ratio = base.real_time_ns > 0.0 ? cur->real_time_ns / base.real_time_ns : 0.0;
+    const bool regressed = ratio > 1.0 + tolerance;
+    std::printf("%-45s %14.1f %14.1f %8.2fx%s\n", base.name.c_str(), base.real_time_ns,
+                cur->real_time_ns, ratio, regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  for (const BenchEntry& cur : current) {
+    if (find_entry(baseline, cur.name) == nullptr) {
+      std::printf("%-45s %14s %14.1f %9s  (new, not gated)\n", cur.name.c_str(), "-",
+                  cur.real_time_ns, "-");
+    }
+  }
+
+  if (regressions > 0 || missing > 0) {
+    std::fprintf(stderr,
+                 "\nbench_compare: FAIL — %d regression(s) beyond %.0f%%, %d missing "
+                 "benchmark(s)\n",
+                 regressions, tolerance * 100.0, missing);
+    return 1;
+  }
+  std::printf("\nbench_compare: OK — no per-iteration regression beyond %.0f%%\n",
+              tolerance * 100.0);
+  return 0;
+}
