@@ -20,6 +20,7 @@
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
 #include "detect/adaptive.hpp"
+#include "obs/obs.hpp"
 #include "reach/deadline.hpp"
 #include "reach/zonotope.hpp"
 
@@ -133,7 +134,8 @@ void ablation_zonotope() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   bench::heading("Ablations — design choices of the detection system");
   ablation_complementary();
   ablation_conservatism();

@@ -13,6 +13,7 @@
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
 #include "detect/cusum.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -102,7 +103,8 @@ void run_case(const core::SimulatorCase& scase) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   bench::heading("Baseline comparison (extension) — adaptive vs fixed vs CUSUM vs chi^2");
   for (const auto& scase : core::table1_cases()) run_case(scase);
   return 0;

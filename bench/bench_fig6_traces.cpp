@@ -15,6 +15,7 @@
 #include "bench_util.hpp"
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -56,7 +57,8 @@ void run_panel(const core::SimulatorCase& scase, core::AttackKind attack,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   bench::heading(
       "Fig. 6 — adaptive vs fixed window detection traces\n"
       "(vehicle turning + series RLC circuit, bias/delay/replay attacks)");

@@ -10,8 +10,10 @@
 
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   using namespace awd;
 
   const std::size_t threads = bench::threads_arg(argc, argv);

@@ -15,8 +15,10 @@
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
 #include "models/model_bank.hpp"
+#include "obs/obs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   using namespace awd;
 
   bench::heading("Fig. 8 — RC-car testbed: +2.5 m/s speed bias at step 79");

@@ -9,8 +9,11 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace awd::bench {
 
@@ -39,18 +42,42 @@ class TeeReporter : public benchmark::BenchmarkReporter {
   benchmark::JSONReporter json_;
 };
 
+/// Splice an `"awd_metrics"` block — the obs JSON summary of the global
+/// registry — into a JSONReporter file, so every BENCH_*.json carries the
+/// pipeline counters accumulated while the benchmarks ran alongside the
+/// timings.  awd_bench_compare reads the block's "derived" ratios (e.g. the
+/// deadline-cache hit rate) and flags regressions; reports without the
+/// block stay valid (the gate treats it as informational).
+inline void append_metrics_block(const std::string& json_path) {
+  std::ifstream in(json_path);
+  if (!in) return;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  in.close();
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) return;
+  std::ofstream out(json_path, std::ios::trunc);
+  if (!out) return;
+  out << text.substr(0, close) << ",\n  \"awd_metrics\": "
+      << obs::metrics_json(obs::Registry::global().snapshot()) << "\n}\n";
+}
+
 /// Run all registered benchmarks, mirroring the report to `json_path`
 /// (next to the binary, so CI can archive and diff it).  Falls back to
 /// console-only if the file cannot be opened.
 inline void run_benchmarks_with_json(const std::string& json_path) {
-  std::ofstream json_out(json_path);
-  if (!json_out) {
-    std::cerr << "warning: cannot open " << json_path << " for writing\n";
-    benchmark::RunSpecifiedBenchmarks();
-    return;
+  {
+    std::ofstream json_out(json_path);
+    if (!json_out) {
+      std::cerr << "warning: cannot open " << json_path << " for writing\n";
+      benchmark::RunSpecifiedBenchmarks();
+      return;
+    }
+    TeeReporter tee(&json_out);
+    benchmark::RunSpecifiedBenchmarks(&tee);
   }
-  TeeReporter tee(&json_out);
-  benchmark::RunSpecifiedBenchmarks(&tee);
+  append_metrics_block(json_path);
 }
 
 }  // namespace awd::bench

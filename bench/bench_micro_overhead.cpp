@@ -6,9 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
 #include "bench_json.hpp"
 #include "core/detection_system.hpp"
+#include "obs/obs.hpp"
 #include "reach/deadline.hpp"
 
 namespace {
@@ -86,6 +91,20 @@ void BM_DetectionSystemStep(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(system.step());
   }
+  // Observability cost columns: the same step loop with metrics collection
+  // on vs off (fresh systems so both start from the same stream position).
+  constexpr int kReps = 2000;
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  core::DetectionSystem on_system(scase, core::AttackKind::kNone, 1);
+  const double on_ns = mean_ns([&] { return on_system.step().t; }, kReps);
+  obs::set_enabled(false);
+  core::DetectionSystem off_system(scase, core::AttackKind::kNone, 1);
+  const double off_ns = mean_ns([&] { return off_system.step().t; }, kReps);
+  obs::set_enabled(was_enabled);
+  state.counters["obs_on_ns"] = on_ns;
+  state.counters["obs_off_ns"] = off_ns;
+  state.counters["obs_overhead"] = off_ns > 0.0 ? (on_ns - off_ns) / off_ns : 0.0;
   state.SetLabel(scase.key);
 }
 BENCHMARK(BM_DetectionSystemStep)->DenseRange(0, 4);
@@ -122,15 +141,86 @@ void BM_AdaptiveDetectorStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdaptiveDetectorStep);
 
+/// Noise-robust per-step cost: minimum over `batches` batches of the mean
+/// ns across `steps` detection steps (interference only ever adds time).
+double min_batch_step_ns(core::DetectionSystem& system, int batches, int steps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int b = 0; b < batches; ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < steps; ++i) benchmark::DoNotOptimize(system.step());
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() / steps;
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+/// CI overhead gate (--assert-obs-overhead): per-step cost of the fully
+/// instrumented detection loop with metrics on vs off, summed over the five
+/// plants so per-case jitter averages out.  Returns false when the relative
+/// overhead exceeds `budget`.
+bool assert_obs_overhead(double budget) {
+  constexpr int kBatches = 25;
+  constexpr int kSteps = 2000;
+  const bool was_enabled = awd::obs::enabled();
+  double on_sum = 0.0;
+  double off_sum = 0.0;
+  std::printf("\nobservability overhead (DetectionSystem::step, min of %d x %d-step "
+              "batches):\n",
+              kBatches, kSteps);
+  for (const char* key : kCaseKeys) {
+    const core::SimulatorCase scase = core::simulator_case(key);
+    awd::obs::set_enabled(true);
+    core::DetectionSystem on_system(scase, core::AttackKind::kNone, 1);
+    const double on_ns = min_batch_step_ns(on_system, kBatches, kSteps);
+    awd::obs::set_enabled(false);
+    core::DetectionSystem off_system(scase, core::AttackKind::kNone, 1);
+    const double off_ns = min_batch_step_ns(off_system, kBatches, kSteps);
+    std::printf("  %-16s on %8.1f ns   off %8.1f ns   overhead %+6.2f%%\n", key, on_ns,
+                off_ns, off_ns > 0.0 ? (on_ns - off_ns) / off_ns * 100.0 : 0.0);
+    on_sum += on_ns;
+    off_sum += off_ns;
+  }
+  awd::obs::set_enabled(was_enabled);
+  const double overhead = off_sum > 0.0 ? (on_sum - off_sum) / off_sum : 0.0;
+  std::printf("  %-16s on %8.1f ns   off %8.1f ns   overhead %+6.2f%%  (budget %.0f%%)\n",
+              "TOTAL", on_sum, off_sum, overhead * 100.0, budget * 100.0);
+  if (overhead > budget) {
+    std::fprintf(stderr, "obs overhead gate: FAIL — %.2f%% > %.0f%% budget\n",
+                 overhead * 100.0, budget * 100.0);
+    return false;
+  }
+  std::printf("obs overhead gate: OK\n");
+  return true;
+}
+
 }  // namespace
 
 // Besides the console table, always drop a machine-readable record of the
 // run next to the binary so overhead numbers can be tracked across commits
 // (CI archives it and diffs it against bench/baselines/ via awd_bench_compare).
 int main(int argc, char** argv) {
+  // ObsSession strips --obs-out before google-benchmark sees the flag; the
+  // overhead gate flag is stripped the same way.
+  const awd::obs::ObsSession obs_session(argc, argv);
+  double overhead_budget = -1.0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert-obs-overhead") == 0) {
+      overhead_budget = 0.05;
+    } else if (std::strncmp(argv[i], "--assert-obs-overhead=", 22) == 0) {
+      overhead_budget = std::strtod(argv[i] + 22, nullptr);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   awd::bench::run_benchmarks_with_json("BENCH_detector_step.json");
   benchmark::Shutdown();
+  if (overhead_budget > 0.0 && !assert_obs_overhead(overhead_budget)) return 1;
   return 0;
 }

@@ -121,6 +121,8 @@ bool verify_determinism_and_report() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // ObsSession strips --obs-out before google-benchmark sees the flag.
+  const awd::obs::ObsSession obs_session(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (!verify_determinism_and_report()) return 1;

@@ -5,6 +5,7 @@
 
 #include "bench_util.hpp"
 #include "core/config.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -53,7 +54,8 @@ void print_case(const core::SimulatorCase& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   bench::heading("Table 1 — Simulation settings (paper rows + testbed)");
   for (const auto& c : core::table1_cases()) print_case(c);
   print_case(core::testbed_case());

@@ -10,8 +10,10 @@
 
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   using namespace awd;
 
   // Worker threads for the 100-run cells: --threads=N / AWD_THREADS, 0 = all

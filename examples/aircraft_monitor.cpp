@@ -13,11 +13,13 @@
 #include "detect/logger.hpp"
 #include "models/discretize.hpp"
 #include "models/model_bank.hpp"
+#include "obs/obs.hpp"
 #include "reach/deadline.hpp"
 #include "sim/pid.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   using namespace awd;
   using linalg::Vec;
 

@@ -12,8 +12,10 @@
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
 #include "models/model_bank.hpp"
+#include "obs/obs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   using namespace awd;
 
   const core::SimulatorCase scase = core::testbed_case();

@@ -11,8 +11,10 @@
 #include "core/csv.hpp"
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
+#include "obs/obs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   using namespace awd;
 
   core::SimulatorCase scase = core::simulator_case("quadrotor");

@@ -9,8 +9,10 @@
 
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
+#include "obs/obs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   using namespace awd;
 
   // 1. Pick a preconfigured plant (Table 1 row) — model, PID controller,

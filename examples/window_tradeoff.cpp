@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
   using namespace awd;
 
   core::SimulatorCase scase = core::simulator_case("series_rlc");

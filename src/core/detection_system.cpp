@@ -2,9 +2,57 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace awd::core {
 
 namespace {
+
+/// Pipeline-level instrumentation, registered once per process.  The five
+/// stage timers mirror the spans emitted per step: estimate → residual →
+/// deadline → window-adapt → detect (DESIGN.md §10).
+struct StepObs {
+  obs::Timer& stage_estimate;
+  obs::Timer& stage_residual;
+  obs::Timer& stage_deadline;
+  obs::Timer& stage_window_adapt;
+  obs::Timer& stage_detect;
+  obs::Counter& steps;
+  obs::Counter& adaptive_alarms;
+  obs::Counter& fixed_alarms;
+  obs::Counter& unsafe_steps;
+  obs::Counter& deadline_fallbacks;
+  obs::Counter& seed_unavailable;
+
+  static StepObs& get() {
+    static StepObs o{
+        obs::Registry::global().timer("awd_stage_estimate",
+                                      "simulator advance + state estimation"),
+        obs::Registry::global().timer("awd_stage_residual",
+                                      "data-logger buffering + residual computation"),
+        obs::Registry::global().timer("awd_stage_deadline",
+                                      "reachability-based deadline estimation"),
+        obs::Registry::global().timer("awd_stage_window_adapt",
+                                      "adaptive window selection + complementary sweeps"),
+        obs::Registry::global().timer("awd_stage_detect",
+                                      "fixed baseline evaluation + health folding"),
+        obs::Registry::global().counter("awd_detection_steps_total",
+                                        "control periods run through DetectionSystem"),
+        obs::Registry::global().counter("awd_alarms_adaptive_total",
+                                        "steps where the adaptive detector alarmed"),
+        obs::Registry::global().counter("awd_alarms_fixed_total",
+                                        "steps where the fixed baseline alarmed"),
+        obs::Registry::global().counter("awd_unsafe_steps_total",
+                                        "steps with the true state outside the safe set"),
+        obs::Registry::global().counter("awd_deadline_fallback_total",
+                                        "steps served by the deadline decay fallback"),
+        obs::Registry::global().counter(
+            "awd_deadline_seed_unavailable_total",
+            "steps with no trusted seed outside the previous window"),
+    };
+    return o;
+  }
+};
 
 sim::Simulator build_simulator(const SimulatorCase& scase, AttackKind attack,
                                std::uint64_t seed, const DetectionSystemOptions& options,
@@ -45,7 +93,11 @@ DetectionSystem::DetectionSystem(const SimulatorCase& scase, AttackKind attack,
       last_valid_deadline_(scase.max_window) {}
 
 sim::StepRecord DetectionSystem::step() {
+  StepObs& ob = StepObs::get();
+  obs::StageClock stage_clock;
+
   sim::StepRecord rec = simulator_.step();
+  stage_clock.mark(ob.stage_estimate, "step.estimate");
 
   // Data Logger: buffer the estimate and the control input the predictor
   // will use for step t+1 (commanded vs applied per the case's setting).
@@ -59,6 +111,7 @@ sim::StepRecord DetectionSystem::step() {
     throw std::logic_error("DetectionSystem::step: " + std::string(log_status.message()));
   }
   rec.residual_quarantined = logger_.entry(rec.t).quarantined;
+  stage_clock.mark(ob.stage_residual, "step.residual");
 
   // Deadline Estimator, seeded with the trusted estimate that sits just
   // outside the *previous* detection window (§3.3.1).  Before enough
@@ -74,6 +127,7 @@ sim::StepRecord DetectionSystem::step() {
   bool deadline_failed = false;
   const std::optional<Vec> seed_state =
       logger_.trusted_state(rec.t, adaptive_.previous_window());
+  if (!seed_state) ob.seed_unavailable.inc();
   if (seed_state) {
     if (faults_ && faults_->deadline_budget_exhausted(rec.t)) {
       deadline_failed = true;  // simulated budget exhaustion from the plan
@@ -97,17 +151,20 @@ sim::StepRecord DetectionSystem::step() {
                    ? last_valid_deadline_ - fallback_steps_
                    : 1;
     rec.deadline_fallback = true;
+    ob.deadline_fallbacks.inc();
   } else {
     last_valid_deadline_ = deadline;
     fallback_steps_ = 0;
   }
   rec.deadline = deadline;
+  stage_clock.mark(ob.stage_deadline, "step.deadline");
 
   // Adaptive Detector (§4.2) with complementary sweeps on shrink.
   const detect::AdaptiveDecision ad = adaptive_.step(logger_, rec.t, deadline);
   evaluations_ += ad.evaluations;
   rec.window = ad.window;
   rec.adaptive_alarm = ad.any_alarm();
+  stage_clock.mark(ob.stage_window_adapt, "step.window_adapt");
 
   // Fixed-window baseline on the same residual stream.
   rec.fixed_alarm = fixed_.step(logger_, rec.t).alarm;
@@ -119,6 +176,12 @@ sim::StepRecord DetectionSystem::step() {
   const bool degraded = rec.estimate_fallback || rec.residual_quarantined ||
                         rec.deadline_fallback || rec.sample_missing;
   rec.health = health_.step(rec.fault, degraded);
+  stage_clock.mark(ob.stage_detect, "step.detect");
+
+  ob.steps.inc();
+  if (rec.adaptive_alarm) ob.adaptive_alarms.inc();
+  if (rec.fixed_alarm) ob.fixed_alarms.inc();
+  if (rec.unsafe) ob.unsafe_steps.inc();
   return rec;
 }
 

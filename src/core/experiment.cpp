@@ -4,11 +4,51 @@
 
 #include "core/detection_system.hpp"
 #include "core/parallel.hpp"
+#include "obs/obs.hpp"
 #include "sim/noise.hpp"
 
 namespace awd::core {
 
 namespace {
+
+struct ExperimentObs {
+  obs::Counter& cell_runs;
+  obs::Counter& sweep_runs;
+  obs::Counter& fp_adaptive;
+  obs::Counter& fp_fixed;
+  obs::Counter& dm_adaptive;
+  obs::Counter& dm_fixed;
+  obs::Counter& fn_adaptive;
+  obs::Counter& fn_fixed;
+  obs::Timer& cell_run;
+  obs::Timer& sweep_run;
+
+  static ExperimentObs& get() {
+    static ExperimentObs o{
+        obs::Registry::global().counter("awd_experiment_cell_runs_total",
+                                        "Monte-Carlo runs executed by run_cell"),
+        obs::Registry::global().counter("awd_experiment_sweep_runs_total",
+                                        "simulations executed by fixed_window_sweep"),
+        obs::Registry::global().counter("awd_experiment_fp_adaptive_total",
+                                        "runs flagged FP-experiment (adaptive)"),
+        obs::Registry::global().counter("awd_experiment_fp_fixed_total",
+                                        "runs flagged FP-experiment (fixed)"),
+        obs::Registry::global().counter("awd_experiment_dm_adaptive_total",
+                                        "runs flagged deadline-miss (adaptive)"),
+        obs::Registry::global().counter("awd_experiment_dm_fixed_total",
+                                        "runs flagged deadline-miss (fixed)"),
+        obs::Registry::global().counter("awd_experiment_fn_adaptive_total",
+                                        "runs flagged false-negative (adaptive)"),
+        obs::Registry::global().counter("awd_experiment_fn_fixed_total",
+                                        "runs flagged false-negative (fixed)"),
+        obs::Registry::global().timer("awd_experiment_cell_run",
+                                      "one simulate+detect+score Monte-Carlo run"),
+        obs::Registry::global().timer("awd_experiment_sweep_run",
+                                      "one fixed-window sweep simulation"),
+    };
+    return o;
+  }
+};
 
 /// Independent per-run seed stream (splitmix64 over the run index).
 std::uint64_t run_seed(std::uint64_t base_seed, std::size_t run) {
@@ -25,6 +65,9 @@ struct SweepRunOutcome {
 SweepRunOutcome sweep_run_once(const SimulatorCase& scase, AttackKind attack,
                                const std::vector<std::size_t>& windows, std::uint64_t seed,
                                const MetricsOptions& options) {
+  ExperimentObs& ob = ExperimentObs::get();
+  ob.sweep_runs.inc();
+  const obs::ScopedSpan span(ob.sweep_run, "sweep_run", "experiment");
   const std::size_t n = scase.model.state_dim();
   const std::size_t steps = scase.steps;
   const std::size_t attack_end = scase.attack_start + scase.attack_duration;
@@ -98,6 +141,9 @@ SweepRunOutcome sweep_run_once(const SimulatorCase& scase, AttackKind attack,
 
 CellRunOutcome run_cell_once(const SimulatorCase& scase, AttackKind attack,
                              std::uint64_t seed, const MetricsOptions& options) {
+  ExperimentObs& ob = ExperimentObs::get();
+  ob.cell_runs.inc();
+  const obs::ScopedSpan span(ob.cell_run, "cell_run", "experiment");
   DetectionSystem system(scase, attack, seed);
   const sim::Trace trace = system.run();
 
@@ -137,6 +183,14 @@ CellResult reduce_cell(const SimulatorCase& scase, AttackKind attack,
       ++delay_n_fixed;
     }
   }
+
+  ExperimentObs& ob = ExperimentObs::get();
+  ob.fp_adaptive.inc(cell.fp_adaptive);
+  ob.fp_fixed.inc(cell.fp_fixed);
+  ob.dm_adaptive.inc(cell.dm_adaptive);
+  ob.dm_fixed.inc(cell.dm_fixed);
+  ob.fn_adaptive.inc(cell.fn_adaptive);
+  ob.fn_fixed.inc(cell.fn_fixed);
 
   cell.mean_delay_adaptive =
       delay_n_adaptive == 0 ? 0.0 : delay_sum_adaptive / static_cast<double>(delay_n_adaptive);

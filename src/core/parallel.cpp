@@ -8,7 +8,34 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace awd::core {
+
+namespace {
+
+struct ParallelObs {
+  obs::Counter& loops;
+  obs::Counter& indices;
+  obs::Gauge& workers;
+  obs::Timer& block;
+
+  static ParallelObs& get() {
+    static ParallelObs o{
+        obs::Registry::global().counter("awd_parallel_loops_total",
+                                        "parallel_for invocations"),
+        obs::Registry::global().counter("awd_parallel_indices_total",
+                                        "loop indices executed across all workers"),
+        obs::Registry::global().gauge("awd_parallel_workers",
+                                      "worker count of the most recent parallel loop"),
+        obs::Registry::global().timer("awd_parallel_block",
+                                      "per-worker contiguous block execution"),
+    };
+    return o;
+  }
+};
+
+}  // namespace
 
 std::size_t resolve_threads(std::size_t requested) noexcept {
   if (requested > 0) return requested;
@@ -47,6 +74,9 @@ struct ThreadPool::Impl {
                  const std::function<void(std::size_t)>& f) noexcept {
     const std::size_t lo = w * n / worker_count;
     const std::size_t hi = (w + 1) * n / worker_count;
+    // Worker-block span: in a trace, one bar per worker showing how evenly
+    // the static partition filled the pool.
+    const obs::ScopedSpan span(ParallelObs::get().block, "parallel_for.block", "parallel");
     try {
       for (std::size_t i = lo; i < hi; ++i) f(i);
     } catch (...) {
@@ -127,6 +157,10 @@ void parallel_for(std::size_t n, std::size_t threads,
                   const std::function<void(std::size_t)>& fn) {
   std::size_t workers = resolve_threads(threads);
   if (workers > n) workers = n;
+  ParallelObs& ob = ParallelObs::get();
+  ob.loops.inc();
+  ob.indices.inc(n);
+  ob.workers.set(static_cast<std::int64_t>(workers <= 1 ? 1 : workers));
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;

@@ -3,7 +3,50 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace awd::detect {
+
+namespace {
+
+/// Adaptive-detector observability: the window-size histogram plus
+/// shrink/grow/sweep/alarm counters reproduce the Fig. 7 trade-off data
+/// from live runs (DESIGN.md §10).
+struct AdaptiveObs {
+  obs::Counter& steps;
+  obs::Counter& shrink;
+  obs::Counter& grow;
+  obs::Counter& sweeps;
+  obs::Counter& sweep_evals;
+  obs::Counter& alarms;
+  obs::Counter& comp_alarms;
+  obs::Histogram& window;
+
+  static AdaptiveObs& get() {
+    static AdaptiveObs o{
+        obs::Registry::global().counter("awd_adaptive_steps_total",
+                                        "adaptive-detector evaluations (one per step)"),
+        obs::Registry::global().counter("awd_adaptive_window_shrink_total",
+                                        "steps where the window shrank (w_c < w_p)"),
+        obs::Registry::global().counter("awd_adaptive_window_grow_total",
+                                        "steps where the window grew (w_c > w_p)"),
+        obs::Registry::global().counter("awd_adaptive_complementary_sweeps_total",
+                                        "shrink transitions that ran a complementary sweep"),
+        obs::Registry::global().counter("awd_adaptive_sweep_evaluations_total",
+                                        "window tests run inside complementary sweeps"),
+        obs::Registry::global().counter("awd_adaptive_current_alarms_total",
+                                        "alarms from the current-step window test"),
+        obs::Registry::global().counter("awd_adaptive_complementary_alarms_total",
+                                        "alarms raised during complementary sweeps"),
+        obs::Registry::global().histogram(
+            "awd_adaptive_window_size", {0, 1, 2, 4, 6, 8, 12, 16, 20, 25, 30, 40, 60, 100},
+            "window size w_c used per step"),
+    };
+    return o;
+  }
+};
+
+}  // namespace
 
 AdaptiveDetector::AdaptiveDetector(Vec tau, std::size_t max_window, bool complementary)
     : tau_(std::move(tau)), max_window_(max_window), complementary_(complementary) {
@@ -13,13 +56,22 @@ AdaptiveDetector::AdaptiveDetector(Vec tau, std::size_t max_window, bool complem
 
 AdaptiveDecision AdaptiveDetector::step(const DataLogger& logger, std::size_t t,
                                         std::size_t deadline) {
+  AdaptiveObs& ob = AdaptiveObs::get();
   AdaptiveDecision d;
   d.window = std::min(deadline, max_window_);
 
   const std::size_t w_c = d.window;
   const std::size_t w_p = prev_window_;
 
+  ob.steps.inc();
+  ob.window.observe(static_cast<double>(w_c));
+  if (!first_step_) {
+    if (w_c < w_p) ob.shrink.inc();
+    if (w_c > w_p) ob.grow.inc();
+  }
+
   if (complementary_ && !first_step_ && w_c < w_p) {
+    ob.sweeps.inc();
     // Complementary detection (§4.2.1): re-check the region that escaped
     // the shorter window with size w_c at virtual times
     // [t - w_p - 1 + w_c, t - 1].  At stream start some of these virtual
@@ -39,6 +91,10 @@ AdaptiveDecision AdaptiveDetector::step(const DataLogger& logger, std::size_t t,
   ++d.evaluations;
   d.alarm = now.alarm;
   d.mean_residual = now.mean_residual;
+
+  if (d.evaluations > 1) ob.sweep_evals.inc(d.evaluations - 1);
+  if (d.alarm) ob.alarms.inc();
+  if (d.complementary_alarm) ob.comp_alarms.inc();
 
   prev_window_ = w_c;
   first_step_ = false;

@@ -3,7 +3,28 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace awd::detect {
+
+namespace {
+
+struct LoggerObs {
+  obs::Counter& entries;
+  obs::Counter& quarantined;
+
+  static LoggerObs& get() {
+    static LoggerObs o{
+        obs::Registry::global().counter("awd_logger_entries_total",
+                                        "control steps buffered by the data logger"),
+        obs::Registry::global().counter("awd_logger_quarantine_total",
+                                        "logged steps quarantined for non-finite data"),
+    };
+    return o;
+  }
+};
+
+}  // namespace
 
 DataLogger::DataLogger(models::DiscreteLti model, std::size_t max_window)
     : model_(std::move(model)), max_window_(max_window) {
@@ -67,7 +88,9 @@ const LogEntry& DataLogger::store(std::size_t t, const Vec& estimate, const Vec&
   if (e.quarantined) {
     e.residual = Vec(n);  // quarantined residuals contribute nothing
     ++quarantined_;
+    LoggerObs::get().quarantined.inc();
   }
+  LoggerObs::get().entries.inc();
 
   LogEntry& dst = buf_[t % buf_.size()];
   dst = std::move(e);

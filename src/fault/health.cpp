@@ -2,7 +2,35 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace awd::fault {
+
+namespace {
+
+struct HealthObs {
+  obs::Counter& enter_degraded;
+  obs::Counter& enter_failsafe;
+  obs::Counter& recoveries;
+  obs::Counter& degraded_steps;
+
+  static HealthObs& get() {
+    static HealthObs o{
+        obs::Registry::global().counter("awd_health_enter_degraded_total",
+                                        "NOMINAL→DEGRADED transitions"),
+        obs::Registry::global().counter("awd_health_enter_failsafe_total",
+                                        "transitions into FAILSAFE"),
+        obs::Registry::global().counter("awd_health_recover_total",
+                                        "one-level recoveries after a clean streak"),
+        obs::Registry::global().counter("awd_health_degraded_steps_total",
+                                        "steps where any pipeline layer ran a fallback"),
+    };
+    return o;
+  }
+};
+
+}  // namespace
 
 std::string_view to_string(HealthState state) noexcept {
   switch (state) {
@@ -26,7 +54,10 @@ HealthState HealthMonitor::step(FaultKind kind, bool degraded) {
   ++steps_;
   if (kind != FaultKind::kNone) ++counts_[static_cast<std::size_t>(kind)];
   if (degraded) ++degraded_steps_;
+  HealthObs& ob = HealthObs::get();
+  if (degraded) ob.degraded_steps.inc();
 
+  const HealthState before = state_;
   const bool faulted = kind != FaultKind::kNone || degraded;
   if (faulted) {
     clean_streak_ = 0;
@@ -39,6 +70,18 @@ HealthState HealthMonitor::step(FaultKind kind, bool degraded) {
       clean_streak_ = 0;
       state_ = state_ == HealthState::kFailsafe ? HealthState::kDegraded
                                                 : HealthState::kNominal;
+    }
+  }
+  if (state_ != before) {
+    if (before == HealthState::kNominal && state_ == HealthState::kDegraded) {
+      ob.enter_degraded.inc();
+      obs::Tracer::global().instant("health.degraded", "health");
+    } else if (state_ == HealthState::kFailsafe) {
+      ob.enter_failsafe.inc();
+      obs::Tracer::global().instant("health.failsafe", "health");
+    } else {
+      ob.recoveries.inc();
+      obs::Tracer::global().instant("health.recover", "health");
     }
   }
   return state_;

@@ -1,0 +1,230 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace awd::obs {
+
+namespace {
+
+/// Shortest round-trip decimal rendering of a double (JSON-safe).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Bound label for Prometheus le= / JSON keys ("5", "2.5", "+Inf").
+std::string bound_label(double b) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", b);
+  return buf;
+}
+
+/// Find a counter by name; nullptr when absent.
+const MetricsSnapshot::CounterSample* find_counter(const MetricsSnapshot& snap,
+                                                  std::string_view name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+/// Derived ratio metrics: iteration-count independent, so they are the
+/// values the CI metrics gate compares across runs.
+std::vector<std::pair<std::string, double>> derived_metrics(const MetricsSnapshot& snap) {
+  std::vector<std::pair<std::string, double>> out;
+  const auto* hits = find_counter(snap, "awd_deadline_cache_hits_total");
+  const auto* misses = find_counter(snap, "awd_deadline_cache_misses_total");
+  if (hits != nullptr && misses != nullptr && hits->value + misses->value > 0) {
+    out.emplace_back("deadline_cache_hit_rate",
+                     static_cast<double>(hits->value) /
+                         static_cast<double>(hits->value + misses->value));
+  }
+  const auto* shrink = find_counter(snap, "awd_adaptive_window_shrink_total");
+  const auto* grow = find_counter(snap, "awd_adaptive_window_grow_total");
+  const auto* steps = find_counter(snap, "awd_adaptive_steps_total");
+  if (shrink != nullptr && grow != nullptr && steps != nullptr && steps->value > 0) {
+    out.emplace_back("adaptive_window_change_rate",
+                     static_cast<double>(shrink->value + grow->value) /
+                         static_cast<double>(steps->value));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  for (const auto& c : snap.counters) {
+    if (!c.help.empty()) out << "# HELP " << c.name << " " << c.help << "\n";
+    out << "# TYPE " << c.name << " counter\n";
+    out << c.name << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    if (!g.help.empty()) out << "# HELP " << g.name << " " << g.help << "\n";
+    out << "# TYPE " << g.name << " gauge\n";
+    out << g.name << " " << g.value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    if (!h.help.empty()) out << "# HELP " << h.name << " " << h.help << "\n";
+    out << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out << h.name << "_bucket{le=\"" << bound_label(h.bounds[i]) << "\"} " << cumulative
+          << "\n";
+    }
+    cumulative += h.counts.back();
+    out << h.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << h.name << "_sum " << fmt_double(h.sum) << "\n";
+    out << h.name << "_count " << h.count << "\n";
+  }
+  for (const auto& t : snap.timers) {
+    if (!t.help.empty()) out << "# HELP " << t.name << "_seconds_total " << t.help << "\n";
+    out << "# TYPE " << t.name << "_seconds_total counter\n";
+    out << t.name << "_seconds_total " << fmt_double(static_cast<double>(t.total_ns) * 1e-9)
+        << "\n";
+    out << "# TYPE " << t.name << "_calls_total counter\n";
+    out << t.name << "_calls_total " << t.count << "\n";
+  }
+  return out.str();
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.counters[i].name
+        << "\": " << snap.counters[i].value;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.gauges[i].name
+        << "\": " << snap.gauges[i].value;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << h.name << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << fmt_double(h.bounds[b]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.counts[b];
+    }
+    out << "], \"sum\": " << fmt_double(h.sum) << ", \"count\": " << h.count << "}";
+  }
+  out << "\n  },\n  \"profile\": {";
+  for (std::size_t i = 0; i < snap.timers.size(); ++i) {
+    const auto& t = snap.timers[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << t.name << "\": {\"count\": " << t.count
+        << ", \"total_ns\": " << t.total_ns << ", \"min_ns\": " << t.min_ns
+        << ", \"max_ns\": " << t.max_ns << "}";
+  }
+  out << "\n  },\n  \"derived\": {";
+  const auto derived = derived_metrics(snap);
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << derived[i].first
+        << "\": " << fmt_double(derived[i].second);
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"" << e.name << "\", \"cat\": \""
+        << e.cat << "\", \"ph\": \"" << e.ph << "\", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"ts\": " << fmt_double(static_cast<double>(e.ts_ns) * 1e-3);
+    if (e.ph == 'X') {
+      out << ", \"dur\": " << fmt_double(static_cast<double>(e.dur_ns) * 1e-3);
+    } else {
+      out << ", \"s\": \"t\"";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+std::string trace_jsonl(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  for (const TraceEvent& e : events) {
+    out << "{\"name\": \"" << e.name << "\", \"cat\": \"" << e.cat << "\", \"ph\": \""
+        << e.ph << "\", \"tid\": " << e.tid << ", \"ts_ns\": " << e.ts_ns
+        << ", \"dur_ns\": " << e.dur_ns << "}\n";
+  }
+  return out.str();
+}
+
+core::Status write_obs_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return core::Status{core::StatusCode::kUnavailable,
+                        "write_obs_dir: cannot create output directory"};
+  }
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  const std::vector<TraceEvent> events = Tracer::global().collect();
+  const std::pair<const char*, std::string> files[] = {
+      {"metrics.prom", prometheus_text(snap)},
+      {"metrics.json", metrics_json(snap)},
+      {"trace.json", chrome_trace_json(events)},
+      {"trace.jsonl", trace_jsonl(events)},
+  };
+  for (const auto& [name, content] : files) {
+    std::ofstream out(std::filesystem::path(dir) / name);
+    if (!out) {
+      return core::Status{core::StatusCode::kUnavailable,
+                          "write_obs_dir: cannot open output file"};
+    }
+    out << content;
+  }
+  return core::Status::ok();
+}
+
+ObsSession::ObsSession(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--obs-out=", 10) == 0) {
+      dir_ = arg + 10;
+      continue;  // strip
+    }
+    if (std::strcmp(arg, "--obs-out") == 0 && i + 1 < argc) {
+      dir_ = argv[++i];
+      continue;  // strip flag and value
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (!dir_.empty()) {
+    set_enabled(true);  // --obs-out is an explicit request; it wins over AWD_OBS=off
+    Tracer::global().start();
+  }
+}
+
+ObsSession::~ObsSession() {
+  if (dir_.empty()) return;
+  Tracer::global().stop();
+  const core::Status st = write_obs_dir(dir_);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "obs: failed to write %s: %s\n", dir_.c_str(),
+                 std::string(st.message()).c_str());
+    return;
+  }
+  const std::uint64_t dropped = Tracer::global().dropped();
+  std::printf("\n[obs] wrote metrics + trace to %s (%zu events%s)\n", dir_.c_str(),
+              Tracer::global().collect().size(),
+              dropped > 0 ? ", some DROPPED — raise capacity" : "");
+}
+
+}  // namespace awd::obs

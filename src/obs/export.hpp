@@ -1,0 +1,57 @@
+// export.hpp — render the observability state to files and strings.
+//
+// Three render targets:
+//   * Prometheus text exposition (metrics.prom) — counters/gauges/
+//     histograms under their registered names, Timer profile entries as
+//     *_seconds_total / *_calls_total pairs;
+//   * JSON summary (metrics.json) — one object with "counters", "gauges",
+//     "histograms", "profile" and a "derived" block of ratio metrics
+//     (currently the deadline-cache hit rate) that are iteration-count
+//     independent and therefore comparable across runs;
+//   * Chrome trace-event JSON (trace.json, chrome://tracing-loadable) and a
+//     JSONL stream (trace.jsonl) of the collected tracer events.
+//
+// write_obs_dir() materializes all four under one directory — the backing
+// store of the --obs-out command-line flag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace awd::obs {
+
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snap);
+[[nodiscard]] std::string metrics_json(const MetricsSnapshot& snap);
+[[nodiscard]] std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+[[nodiscard]] std::string trace_jsonl(const std::vector<TraceEvent>& events);
+
+/// Write metrics.prom, metrics.json, trace.json and trace.jsonl for the
+/// global registry/tracer into `dir` (created if missing).  Returns
+/// kUnavailable when the directory cannot be created or a file cannot be
+/// written.
+[[nodiscard]] core::Status write_obs_dir(const std::string& dir);
+
+/// Command-line plumbing for bench/example mains: parses and *removes*
+/// --obs-out=<dir> (or "--obs-out <dir>") from argv so downstream flag
+/// parsers (e.g. google-benchmark) never see it, starts the global tracer
+/// when the flag is present, and writes the directory on destruction.
+class ObsSession {
+ public:
+  ObsSession(int& argc, char** argv);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace awd::obs

@@ -1,0 +1,260 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace awd::obs {
+
+namespace {
+
+/// CAS add — portable FP atomic accumulation (uncontended in steady state:
+/// one writer per shard slot).
+void add_double(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+#ifndef AWD_OBS_DISABLED
+bool env_default() noexcept {
+  const char* v = std::getenv("AWD_OBS");
+  if (v == nullptr) return true;
+  const std::string_view s(v);
+  return !(s == "off" || s == "0" || s == "false");
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{env_default()};
+  return flag;
+}
+#endif
+
+}  // namespace
+
+#ifndef AWD_OBS_DISABLED
+bool enabled() noexcept { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept { enabled_flag().store(on, std::memory_order_relaxed); }
+#endif
+
+std::size_t shard_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx & (kShards - 1);
+}
+
+// ---------------------------------------------------------------- Counter
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const ShardCell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (ShardCell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ Gauge
+
+void Gauge::record_max(std::int64_t v) noexcept {
+  if (!enabled()) return;
+  std::int64_t cur = value_.load(std::memory_order_relaxed);
+  while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// -------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::string name, std::string help, std::vector<double> bounds)
+    : name_(std::move(name)), help_(std::move(help)), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: empty bucket bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: bucket bounds must be strictly increasing");
+    }
+  }
+  cells_ = std::vector<ShardCell>(kShards * (bounds_.size() + 1));
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!enabled()) return;
+  std::size_t bucket = bounds_.size();  // +inf bucket
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  const std::size_t shard = shard_index();
+  cells_[shard * (bounds_.size() + 1) + bucket].v.fetch_add(1, std::memory_order_relaxed);
+  add_double(sums_[shard].v, v);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += cells_[s * out.size() + b].v.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const ShardCell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const SumCell& c : sums_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (ShardCell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  for (SumCell& c : sums_) c.v.store(0.0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ Timer
+
+void Timer::record(std::uint64_t ns) noexcept {
+  if (!enabled()) return;
+  const std::size_t shard = shard_index();
+  counts_[shard].v.fetch_add(1, std::memory_order_relaxed);
+  totals_[shard].v.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (ns < cur && !min_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (ns > cur && !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Timer::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const ShardCell& c : counts_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Timer::total_ns() const noexcept {
+  std::uint64_t total = 0;
+  for (const ShardCell& c : totals_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Timer::min_ns() const noexcept {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+std::uint64_t Timer::max_ns() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+void Timer::reset() noexcept {
+  for (ShardCell& c : counts_) c.v.store(0, std::memory_order_relaxed);
+  for (ShardCell& c : totals_) c.v.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- Registry
+
+/// Deques give stable addresses for the handle references; metrics are
+/// created once and never destroyed before the registry.
+struct Registry::Impl {
+  std::mutex mu;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::deque<Timer> timers;
+};
+
+Registry::Registry() : impl_(new Impl()) {}
+
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Intentionally leaked at process exit so metric handles held by static
+  // instrumentation blocks never dangle during shutdown.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  Impl& im = *impl_;
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (Counter& c : im.counters) {
+    if (c.name() == name) return c;
+  }
+  return im.counters.emplace_back(std::string(name), std::string(help));
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  Impl& im = *impl_;
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (Gauge& g : im.gauges) {
+    if (g.name() == name) return g;
+  }
+  return im.gauges.emplace_back(std::string(name), std::string(help));
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds,
+                               std::string_view help) {
+  Impl& im = *impl_;
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (Histogram& h : im.histograms) {
+    if (h.name() == name) return h;
+  }
+  return im.histograms.emplace_back(std::string(name), std::string(help), std::move(bounds));
+}
+
+Timer& Registry::timer(std::string_view name, std::string_view help) {
+  Impl& im = *impl_;
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (Timer& t : im.timers) {
+    if (t.name() == name) return t;
+  }
+  return im.timers.emplace_back(std::string(name), std::string(help));
+}
+
+void Registry::reset() noexcept {
+  Impl& im = *impl_;
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (Counter& c : im.counters) c.reset();
+  for (Gauge& g : im.gauges) g.reset();
+  for (Histogram& h : im.histograms) h.reset();
+  for (Timer& t : im.timers) t.reset();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  Impl& im = *impl_;
+  MetricsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    for (const Counter& c : im.counters) {
+      snap.counters.push_back({c.name(), c.help(), c.value()});
+    }
+    for (const Gauge& g : im.gauges) snap.gauges.push_back({g.name(), g.help(), g.value()});
+    for (const Histogram& h : im.histograms) {
+      snap.histograms.push_back(
+          {h.name(), h.help(), h.bounds(), h.counts(), h.sum(), h.count()});
+    }
+    for (const Timer& t : im.timers) {
+      snap.timers.push_back(
+          {t.name(), t.help(), t.count(), t.total_ns(), t.min_ns(), t.max_ns()});
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+  return snap;
+}
+
+}  // namespace awd::obs

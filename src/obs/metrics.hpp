@@ -1,0 +1,247 @@
+// metrics.hpp — low-overhead metrics registry: counters, gauges,
+// fixed-bucket histograms, and stage timers.
+//
+// Hot-path writes touch only a cache-line-padded per-thread shard slot with
+// a relaxed atomic add, so the experiment engine's thread pool never
+// contends on a metric update; readers aggregate the shards on scrape
+// (snapshot()).  Threads map to one of kShards slots by a monotonically
+// assigned thread index — with more live threads than slots, slots are
+// shared, which stays exactly correct (atomic adds) at the cost of some
+// contention.
+//
+// Determinism rule: counter / gauge / histogram *values* hold domain
+// quantities only (window sizes, cache hits, alarm counts) — never
+// wall-clock readings — so two runs with the same seeds scrape identical
+// metrics at any thread count.  Wall-clock timing lives in Timer
+// ("profile") entries and in the event tracer, both explicitly excluded
+// from determinism comparisons and from the CI metrics gate.
+//
+// Disabling: at runtime AWD_OBS=off (or set_enabled(false)) short-circuits
+// every write behind a single relaxed bool load; at compile time
+// -DAWD_OBS_DISABLED makes enabled() a constant false so the write paths
+// fold away entirely.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace awd::obs {
+
+/// Per-metric shard slots (power of two; see file header).
+inline constexpr std::size_t kShards = 64;
+
+#ifdef AWD_OBS_DISABLED
+inline constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+#else
+/// Global observability switch.  Initialized from the AWD_OBS environment
+/// variable on first use: "off", "0" or "false" disable collection,
+/// anything else (including unset) enables it.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+#endif
+
+/// Stable shard slot of the calling thread (assigned on first use).
+[[nodiscard]] std::size_t shard_index() noexcept;
+
+/// One cache line per shard slot so concurrent writers never false-share.
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Monotonic event count.  inc() is lock-free and wait-free on x86.
+class Counter {
+ public:
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t delta = 1) noexcept {
+    if (!enabled() || delta == 0) return;
+    cells_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Aggregate over all shards (approximate while writers are in flight,
+  /// exact once they have finished — the scrape contract).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::array<ShardCell, kShards> cells_{};
+};
+
+/// Last-written value (set semantics have no meaningful per-thread merge,
+/// so a gauge is a single atomic — writes are rare by design).
+class Gauge {
+ public:
+  Gauge(std::string name, std::string help) : name_(std::move(name)), help_(std::move(help)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    if (enabled()) value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  /// Raise the gauge to v if it is below (high-water mark).
+  void record_max(std::int64_t v) noexcept;
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram with Prometheus "le" semantics: bucket i counts
+/// observations v <= bounds[i]; an implicit +inf bucket catches the rest.
+/// The running sum is exact (hence deterministic) for integral
+/// observations, which is what the pipeline records.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.  Throws
+  /// std::invalid_argument otherwise.
+  Histogram(std::string name, std::string help, std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, last is +inf).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+ private:
+  struct alignas(64) SumCell {
+    std::atomic<double> v{0.0};
+  };
+
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;
+  std::vector<ShardCell> cells_;  ///< kShards rows of (bounds+1) buckets
+  std::array<SumCell, kShards> sums_{};
+};
+
+/// Accumulated wall-clock timing of one pipeline stage ("profile" entry —
+/// excluded from determinism comparisons by definition).
+class Timer {
+ public:
+  Timer(std::string name, std::string help) : name_(std::move(name)), help_(std::move(help)) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void record(std::uint64_t ns) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t total_ns() const noexcept;
+  /// 0 when nothing was recorded.
+  [[nodiscard]] std::uint64_t min_ns() const noexcept;
+  [[nodiscard]] std::uint64_t max_ns() const noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::array<ShardCell, kShards> counts_{};
+  std::array<ShardCell, kShards> totals_{};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time aggregate of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::string help;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::string help;
+    std::int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::string help;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1, last is +inf
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct TimerSample {
+    std::string name;
+    std::string help;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<TimerSample> timers;
+};
+
+/// Name-keyed metric registry.  Registration (counter()/gauge()/...) takes
+/// a mutex and is meant for construction paths or function-local statics;
+/// the returned references stay valid for the registry's lifetime — reset()
+/// zeroes values but never invalidates handles.
+class Registry {
+ public:
+  /// The process-wide registry every pipeline component reports into.
+  [[nodiscard]] static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create by name.  Re-registering an existing name returns the
+  /// original object (a histogram's bounds are fixed by first registration).
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view help = {});
+  Timer& timer(std::string_view name, std::string_view help = {});
+
+  /// Zero every value, keeping all registrations (handles stay valid).
+  void reset() noexcept;
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace awd::obs

@@ -1,0 +1,17 @@
+// obs.hpp — umbrella header for the runtime observability layer.
+//
+// One include gives instrumented code the whole surface:
+//   * metrics.hpp — Registry / Counter / Gauge / Histogram / Timer with
+//     lock-free per-thread shards and the AWD_OBS / AWD_OBS_DISABLED gates,
+//   * trace.hpp  — the structured event tracer (Chrome trace-event spans),
+//   * timer.hpp  — ScopedSpan / StageClock RAII bridges,
+//   * export.hpp — Prometheus/JSON/trace writers and the --obs-out
+//     ObsSession helper for mains.
+// See DESIGN.md §10 for the architecture, overhead budget and determinism
+// rules.
+#pragma once
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,287 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace awd::obs {
+
+namespace {
+
+std::string slurp(const std::string& path, bool* ok) {
+  *ok = false;
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *ok = true;
+  return buf.str();
+}
+
+/// [begin, end) of the body of `"section": { ... }` (exclusive of the outer
+/// braces); npos/npos when absent.  Brace matching is textual, which is
+/// sound for our exporters' output (no braces inside names).
+std::pair<std::size_t, std::size_t> section_body(const std::string& text,
+                                                 const std::string& section) {
+  const std::string needle = "\"" + section + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return {std::string::npos, std::string::npos};
+  const std::size_t open = text.find('{', at + needle.size());
+  if (open == std::string::npos) return {std::string::npos, std::string::npos};
+  int depth = 1;
+  for (std::size_t i = open + 1; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return {open + 1, i};
+  }
+  return {std::string::npos, std::string::npos};
+}
+
+/// Scan `"name": <number>` pairs at the top level of [begin, end).
+std::vector<std::pair<std::string, double>> scan_flat(const std::string& text,
+                                                      std::size_t begin, std::size_t end) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = begin;
+  while (pos < end) {
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos || open >= end) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos || close >= end) break;
+    const std::size_t colon = text.find(':', close);
+    if (colon == std::string::npos || colon >= end) break;
+    char* parse_end = nullptr;
+    const double v = std::strtod(text.c_str() + colon + 1, &parse_end);
+    if (parse_end == text.c_str() + colon + 1) break;
+    out.emplace_back(text.substr(open + 1, close - open - 1), v);
+    pos = static_cast<std::size_t>(parse_end - text.c_str());
+  }
+  return out;
+}
+
+/// Numeric field `"key": <number>` inside [begin, end); false when absent.
+bool number_field(const std::string& text, std::size_t begin, std::size_t end,
+                  const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, begin);
+  if (at == std::string::npos || at >= end) return false;
+  char* parse_end = nullptr;
+  const double v = std::strtod(text.c_str() + at + needle.size(), &parse_end);
+  if (parse_end == text.c_str() + at + needle.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// String field `"key": "..."` inside [begin, end).
+std::string string_field(const std::string& text, std::size_t begin, std::size_t end,
+                         const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, begin);
+  if (at == std::string::npos || at >= end) return {};
+  const std::size_t open = text.find('"', at + needle.size());
+  if (open == std::string::npos || open >= end) return {};
+  const std::size_t close = text.find('"', open + 1);
+  if (close == std::string::npos || close >= end) return {};
+  return text.substr(open + 1, close - open - 1);
+}
+
+/// Numeric array `"key": [a, b, ...]` inside [begin, end).
+std::vector<double> array_field(const std::string& text, std::size_t begin, std::size_t end,
+                                const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, begin);
+  if (at == std::string::npos || at >= end) return out;
+  std::size_t pos = text.find('[', at + needle.size());
+  if (pos == std::string::npos || pos >= end) return out;
+  const std::size_t close = text.find(']', pos);
+  ++pos;
+  while (pos < close) {
+    char* parse_end = nullptr;
+    const double v = std::strtod(text.c_str() + pos, &parse_end);
+    if (parse_end == text.c_str() + pos) break;
+    out.push_back(v);
+    pos = text.find(',', static_cast<std::size_t>(parse_end - text.c_str()));
+    if (pos == std::string::npos || pos >= close) break;
+    ++pos;
+  }
+  return out;
+}
+
+/// Scan `"name": { ...fields... }` blocks at the top level of [begin, end),
+/// invoking fn(name, block_begin, block_end).
+template <typename Fn>
+void scan_blocks(const std::string& text, std::size_t begin, std::size_t end, Fn&& fn) {
+  std::size_t pos = begin;
+  while (pos < end) {
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos || open >= end) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos || close >= end) break;
+    const std::size_t brace = text.find('{', close);
+    if (brace == std::string::npos || brace >= end) break;
+    int depth = 1;
+    std::size_t i = brace + 1;
+    for (; i < end && depth > 0; ++i) {
+      if (text[i] == '{') ++depth;
+      if (text[i] == '}') --depth;
+    }
+    fn(text.substr(open + 1, close - open - 1), brace + 1, i - 1);
+    pos = i;
+  }
+}
+
+}  // namespace
+
+LoadedMetrics load_metrics_json(const std::string& path, bool* ok) {
+  LoadedMetrics m;
+  const std::string text = slurp(path, ok);
+  if (!*ok) return m;
+
+  const auto [cb, ce] = section_body(text, "counters");
+  if (cb != std::string::npos) m.counters = scan_flat(text, cb, ce);
+  const auto [gb, ge] = section_body(text, "gauges");
+  if (gb != std::string::npos) m.gauges = scan_flat(text, gb, ge);
+  const auto [db, de] = section_body(text, "derived");
+  if (db != std::string::npos) m.derived = scan_flat(text, db, de);
+
+  const auto [pb, pe] = section_body(text, "profile");
+  if (pb != std::string::npos) {
+    scan_blocks(text, pb, pe, [&](const std::string& name, std::size_t b, std::size_t e) {
+      LoadedMetrics::Profile p;
+      p.name = name;
+      double v = 0.0;
+      if (number_field(text, b, e, "count", &v)) p.count = static_cast<std::uint64_t>(v);
+      if (number_field(text, b, e, "total_ns", &v)) p.total_ns = static_cast<std::uint64_t>(v);
+      if (number_field(text, b, e, "min_ns", &v)) p.min_ns = static_cast<std::uint64_t>(v);
+      if (number_field(text, b, e, "max_ns", &v)) p.max_ns = static_cast<std::uint64_t>(v);
+      m.profile.push_back(std::move(p));
+    });
+  }
+
+  const auto [hb, he] = section_body(text, "histograms");
+  if (hb != std::string::npos) {
+    scan_blocks(text, hb, he, [&](const std::string& name, std::size_t b, std::size_t e) {
+      LoadedMetrics::Hist h;
+      h.name = name;
+      h.bounds = array_field(text, b, e, "bounds");
+      for (double c : array_field(text, b, e, "counts")) {
+        h.counts.push_back(static_cast<std::uint64_t>(c));
+      }
+      double v = 0.0;
+      if (number_field(text, b, e, "sum", &v)) h.sum = v;
+      if (number_field(text, b, e, "count", &v)) h.count = static_cast<std::uint64_t>(v);
+      m.histograms.push_back(std::move(h));
+    });
+  }
+  return m;
+}
+
+std::vector<LoadedSpan> load_chrome_trace(const std::string& path, bool* ok) {
+  std::vector<LoadedSpan> spans;
+  const std::string text = slurp(path, ok);
+  if (!*ok) return spans;
+  const std::size_t array_at = text.find("\"traceEvents\"");
+  if (array_at == std::string::npos) {
+    *ok = false;
+    return spans;
+  }
+  std::size_t pos = text.find('[', array_at);
+  const std::size_t array_close = text.rfind(']');
+  while (pos != std::string::npos && pos < array_close) {
+    const std::size_t open = text.find('{', pos);
+    if (open == std::string::npos || open > array_close) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    LoadedSpan s;
+    s.name = string_field(text, open, close, "name");
+    s.cat = string_field(text, open, close, "cat");
+    const std::string ph = string_field(text, open, close, "ph");
+    s.ph = ph.empty() ? 'X' : ph[0];
+    double v = 0.0;
+    if (number_field(text, open, close, "ts", &v)) s.ts_us = v;
+    if (number_field(text, open, close, "dur", &v)) s.dur_us = v;
+    if (number_field(text, open, close, "tid", &v)) s.tid = static_cast<int>(v);
+    if (!s.name.empty()) spans.push_back(std::move(s));
+    pos = close + 1;
+  }
+  return spans;
+}
+
+bool print_obs_summary(const std::string& dir, std::size_t top_n) {
+  bool metrics_ok = false;
+  bool trace_ok = false;
+  const LoadedMetrics m = load_metrics_json(dir + "/metrics.json", &metrics_ok);
+  std::vector<LoadedSpan> spans = load_chrome_trace(dir + "/trace.json", &trace_ok);
+
+  if (metrics_ok) {
+    std::printf("== counters ==\n");
+    for (const auto& [name, value] : m.counters) {
+      std::printf("  %-48s %14.0f\n", name.c_str(), value);
+    }
+    if (!m.gauges.empty()) {
+      std::printf("\n== gauges ==\n");
+      for (const auto& [name, value] : m.gauges) {
+        std::printf("  %-48s %14.0f\n", name.c_str(), value);
+      }
+    }
+    if (!m.derived.empty()) {
+      std::printf("\n== derived ==\n");
+      for (const auto& [name, value] : m.derived) {
+        std::printf("  %-48s %14.4f\n", name.c_str(), value);
+      }
+    }
+    if (!m.histograms.empty()) {
+      std::printf("\n== histograms ==\n");
+      for (const auto& h : m.histograms) {
+        const double mean = h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+        std::printf("  %-48s count %10llu  mean %8.2f\n", h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), mean);
+        for (std::size_t b = 0; b < h.counts.size(); ++b) {
+          if (h.counts[b] == 0) continue;
+          if (b < h.bounds.size()) {
+            std::printf("      le %-8g %10llu\n", h.bounds[b],
+                        static_cast<unsigned long long>(h.counts[b]));
+          } else {
+            std::printf("      le +Inf    %10llu\n",
+                        static_cast<unsigned long long>(h.counts[b]));
+          }
+        }
+      }
+    }
+    if (!m.profile.empty()) {
+      std::printf("\n== per-stage profile (wall clock) ==\n");
+      std::printf("  %-36s %10s %12s %10s %10s %10s\n", "stage", "calls", "total ms",
+                  "mean us", "min us", "max us");
+      for (const auto& p : m.profile) {
+        const double mean_us =
+            p.count == 0 ? 0.0 : static_cast<double>(p.total_ns) / 1e3 /
+                                     static_cast<double>(p.count);
+        std::printf("  %-36s %10llu %12.2f %10.2f %10.2f %10.2f\n", p.name.c_str(),
+                    static_cast<unsigned long long>(p.count),
+                    static_cast<double>(p.total_ns) / 1e6, mean_us,
+                    static_cast<double>(p.min_ns) / 1e3, static_cast<double>(p.max_ns) / 1e3);
+      }
+    }
+  }
+
+  if (trace_ok && !spans.empty()) {
+    std::printf("\n== top %zu slowest spans (of %zu events) ==\n", top_n, spans.size());
+    std::vector<const LoadedSpan*> slow;
+    slow.reserve(spans.size());
+    for (const LoadedSpan& s : spans) {
+      if (s.ph == 'X') slow.push_back(&s);
+    }
+    std::sort(slow.begin(), slow.end(),
+              [](const LoadedSpan* a, const LoadedSpan* b) { return a->dur_us > b->dur_us; });
+    if (slow.size() > top_n) slow.resize(top_n);
+    std::printf("  %-36s %6s %14s %14s\n", "span", "tid", "ts us", "dur us");
+    for (const LoadedSpan* s : slow) {
+      std::printf("  %-36s %6d %14.1f %14.1f\n", s->name.c_str(), s->tid, s->ts_us,
+                  s->dur_us);
+    }
+  }
+  return metrics_ok || trace_ok;
+}
+
+}  // namespace awd::obs

@@ -1,0 +1,84 @@
+// timer.hpp — RAII scoped timers bridging the metrics registry (Timer
+// "profile" entries) and the event tracer (spans).
+//
+// Two shapes, both compiling to a single relaxed bool load when
+// observability is off:
+//   * ScopedSpan — time one region: reads the clock on entry and exit,
+//     records the duration into a Timer and, when the tracer is active,
+//     emits a span.
+//   * StageClock — time N consecutive stages of one function with N+1
+//     clock reads instead of 2N: each mark() closes the stage that began at
+//     the previous mark (or construction).  When the tracer is inactive,
+//     stage timing is additionally *sampled* 1-in-16 (the clock reads and
+//     Timer atomics dominate the per-step cost, not the counters): Timer
+//     profile entries become statistical samples — means stay accurate,
+//     counts/totals reflect the sampled steps — which is what keeps the
+//     fully instrumented DetectionSystem::step within its <=5 % overhead
+//     budget.  With the tracer running (--obs-out) every step is timed so
+//     the trace has no gaps.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace awd::obs {
+
+/// Time the enclosing scope into `timer`, tracing a span when active.
+class ScopedSpan {
+ public:
+  ScopedSpan(Timer& timer, const char* name, const char* cat = "pipeline") noexcept
+      : timer_(timer), name_(name), cat_(cat), on_(enabled()) {
+    if (on_) t0_ = Tracer::now_ns();
+  }
+  ~ScopedSpan() {
+    if (!on_) return;
+    const std::uint64_t t1 = Tracer::now_ns();
+    timer_.record(t1 - t0_);
+    Tracer& tracer = Tracer::global();
+    if (tracer.active()) tracer.span(name_, cat_, t0_, t1 - t0_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Timer& timer_;
+  const char* name_;
+  const char* cat_;
+  bool on_;
+  std::uint64_t t0_ = 0;
+};
+
+/// Boundary clock for consecutive stages (see file header).
+class StageClock {
+ public:
+  /// 1-in-N stage-timing sample rate while the tracer is inactive.
+  static constexpr std::uint32_t kSampleEvery = 16;
+
+  StageClock() noexcept : on_(enabled() && should_time()) {
+    if (on_) last_ = Tracer::now_ns();
+  }
+
+  /// Close the current stage: record its duration into `timer` and emit a
+  /// span named `name` when the tracer is active.
+  void mark(Timer& timer, const char* name, const char* cat = "pipeline") noexcept {
+    if (!on_) return;
+    const std::uint64_t now = Tracer::now_ns();
+    timer.record(now - last_);
+    Tracer& tracer = Tracer::global();
+    if (tracer.active()) tracer.span(name, cat, last_, now - last_);
+    last_ = now;
+  }
+
+ private:
+  static bool should_time() noexcept {
+    if (Tracer::global().active()) return true;
+    thread_local std::uint32_t tick = 0;
+    return (tick++ % kSampleEvery) == 0;
+  }
+
+  bool on_;
+  std::uint64_t last_ = 0;
+};
+
+}  // namespace awd::obs

@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace awd::obs {
+
+/// Per-thread event buffer.  The owning thread appends under `mu`; the
+/// mutex is uncontended except while collect() briefly walks the buffers.
+struct Tracer::ThreadBuf {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::thread::id owner;
+  std::uint32_t tid = 0;
+};
+
+struct Tracer::Impl {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::uint32_t next_tid = 0;
+};
+
+Tracer& Tracer::global() {
+  // Leaked like Registry::global(): instrumentation may fire during static
+  // destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+Tracer::Impl* Tracer::impl() {
+  Impl* im = impl_.load(std::memory_order_acquire);
+  if (im != nullptr) return im;
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(im, fresh, std::memory_order_acq_rel)) return fresh;
+  delete fresh;
+  return im;
+}
+
+Tracer::ThreadBuf& Tracer::local() {
+  thread_local Tracer* cached_owner = nullptr;
+  thread_local ThreadBuf* cached_buf = nullptr;
+  if (cached_owner == this && cached_buf != nullptr) return *cached_buf;
+
+  Impl* im = impl();
+  const std::thread::id self = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(im->mu);
+  for (const auto& buf : im->bufs) {
+    if (buf->owner == self) {
+      cached_owner = this;
+      cached_buf = buf.get();
+      return *cached_buf;
+    }
+  }
+  im->bufs.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf& buf = *im->bufs.back();
+  buf.owner = self;
+  buf.tid = im->next_tid++;
+  buf.events.reserve(1024);
+  cached_owner = this;
+  cached_buf = &buf;
+  return buf;
+}
+
+void Tracer::start() {
+  Impl* im = impl();
+  {
+    const std::lock_guard<std::mutex> lock(im->mu);
+    for (const auto& buf : im->bufs) {
+      const std::lock_guard<std::mutex> buf_lock(buf->mu);
+      buf->events.clear();
+    }
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ns_.store(now_ns(), std::memory_order_relaxed);
+  active_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_release); }
+
+void Tracer::span(const char* name, const char* cat, std::uint64_t ts_ns,
+                  std::uint64_t dur_ns) noexcept {
+  if (!active()) return;
+  const std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.ts_ns = ts_ns > epoch ? ts_ns - epoch : 0;
+  ev.dur_ns = dur_ns;
+  ThreadBuf& buf = local();
+  ev.tid = buf.tid;
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(ev);
+}
+
+void Tracer::instant(const char* name, const char* cat) noexcept {
+  if (!active()) return;
+  const std::uint64_t now = now_ns();
+  const std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts_ns = now > epoch ? now - epoch : 0;
+  ThreadBuf& buf = local();
+  ev.tid = buf.tid;
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(ev);
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  Impl* im = impl_.load(std::memory_order_acquire);
+  std::vector<TraceEvent> out;
+  if (im == nullptr) return out;
+  {
+    const std::lock_guard<std::mutex> lock(im->mu);
+    for (const auto& buf : im->bufs) {
+      const std::lock_guard<std::mutex> buf_lock(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns : a.tid < b.tid;
+  });
+  return out;
+}
+
+}  // namespace awd::obs

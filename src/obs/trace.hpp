@@ -1,0 +1,93 @@
+// trace.hpp — structured event tracer for the detection pipeline.
+//
+// Collects complete spans ("X" phase) and instant events ("i" phase) into
+// per-thread buffers, each guarded by its own (uncontended in steady state)
+// mutex, and renders them as Chrome trace-event JSON — loadable in
+// chrome://tracing or https://ui.perfetto.dev — plus a line-per-event JSONL
+// stream for ad-hoc tooling.
+//
+// Tracing is opt-in on top of metrics: events are recorded only between
+// start() and stop() (wired to --obs-out in the bench/example mains), so
+// the steady-state cost of an instrumented region is one relaxed bool load.
+// Buffers are bounded (set_capacity, default 1 Mi events per thread); once
+// full, further events are counted in dropped() rather than silently lost
+// — exporters surface the drop count.
+//
+// Timestamps come from the steady clock and are reported relative to the
+// tracer's start() instant.  They never feed metric values (see the
+// determinism rule in metrics.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace awd::obs {
+
+/// One trace event in Chrome trace-event terms.
+struct TraceEvent {
+  const char* name = "";  ///< static string (span/instant label)
+  const char* cat = "";   ///< static category string
+  char ph = 'X';          ///< 'X' = complete span, 'i' = instant
+  std::uint64_t ts_ns = 0;   ///< start, relative to Tracer::start()
+  std::uint64_t dur_ns = 0;  ///< span duration (0 for instants)
+  std::uint32_t tid = 0;     ///< stable per-thread index
+};
+
+/// Process-wide span/instant collector (see file header).
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Begin collecting; clears previous events and the drop count.
+  void start();
+  void stop();
+  [[nodiscard]] bool active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Record a complete span.  `ts_ns` is an absolute steady-clock reading
+  /// (now_ns()); events stamped before start() are clamped to it.  Static
+  /// strings only — the tracer stores the pointers.
+  void span(const char* name, const char* cat, std::uint64_t ts_ns,
+            std::uint64_t dur_ns) noexcept;
+  /// Record an instant event at the current time.
+  void instant(const char* name, const char* cat) noexcept;
+
+  /// Merge every thread's buffer, sorted by (ts, tid).  Callable while
+  /// stopped or active (a live snapshot).
+  [[nodiscard]] std::vector<TraceEvent> collect() const;
+
+  /// Events discarded because a thread buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread buffer capacity for subsequent start() calls.
+  void set_capacity(std::size_t events_per_thread) noexcept { capacity_ = events_per_thread; }
+
+  /// Monotonic wall-clock reading in nanoseconds (steady clock).
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+ private:
+  struct ThreadBuf;
+
+  /// The calling thread's buffer, registered on first use.
+  ThreadBuf& local();
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> epoch_ns_{0};  ///< start() instant
+  std::size_t capacity_ = 1u << 20;
+
+  struct Impl;
+  Impl* impl();  // lazily built, leaked with the global tracer
+  std::atomic<Impl*> impl_{nullptr};
+};
+
+}  // namespace awd::obs

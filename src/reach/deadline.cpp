@@ -4,7 +4,37 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace awd::reach {
+
+namespace {
+
+/// Deadline-estimator observability.  A query is a "cache hit" when the
+/// precomputed term cache answers it (the hot path); a "miss" is any query
+/// the cache could not serve — rejected seed or exhausted budget — which
+/// forces the caller's decay fallback.  The hit *rate* is iteration-count
+/// independent, so the CI metrics gate can compare it across runs.
+struct DeadlineObs {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& box_checks;
+
+  static DeadlineObs& get() {
+    static DeadlineObs o{
+        obs::Registry::global().counter("awd_deadline_cache_hits_total",
+                                        "deadline queries served by the term cache"),
+        obs::Registry::global().counter(
+            "awd_deadline_cache_misses_total",
+            "deadline queries the cache could not serve (bad seed / budget)"),
+        obs::Registry::global().counter("awd_deadline_box_checks_total",
+                                        "per-step containment walks executed"),
+    };
+    return o;
+  }
+};
+
+}  // namespace
 
 DeadlineEstimator::DeadlineEstimator(const models::DiscreteLti& model, Box u_range,
                                      double eps, Box safe_set, DeadlineConfig config)
@@ -84,11 +114,14 @@ std::size_t DeadlineEstimator::estimate_uncached(const Vec& x0) const {
 }
 
 core::Result<std::size_t> DeadlineEstimator::estimate_checked(const Vec& x0) const noexcept {
+  DeadlineObs& ob = DeadlineObs::get();
   if (x0.size() != reach_.model().state_dim()) {
+    ob.misses.inc();
     return core::Status{core::StatusCode::kInvalidInput,
                         "DeadlineEstimator: seed dimension mismatch"};
   }
   if (!x0.is_finite()) {
+    ob.misses.inc();
     return core::Status{core::StatusCode::kInvalidInput,
                         "DeadlineEstimator: non-finite seed rejected"};
   }
@@ -97,13 +130,19 @@ core::Result<std::size_t> DeadlineEstimator::estimate_checked(const Vec& x0) con
                               : std::min(config_.budget_steps, config_.max_window);
   bool resolved = false;
   const std::size_t t = walk(x0, cap, resolved);
-  if (resolved) return t;
+  ob.box_checks.inc(resolved ? t + 1 : cap);
+  if (resolved) {
+    ob.hits.inc();
+    return t;
+  }
   if (cap < config_.max_window) {
     // The boundary was not resolved within the budget: answering max_window
     // here would *over*-state how much time detection has.  Yield instead.
+    ob.misses.inc();
     return core::Status{core::StatusCode::kBudgetExceeded,
                         "DeadlineEstimator: search budget exhausted"};
   }
+  ob.hits.inc();
   return config_.max_window;
 }
 

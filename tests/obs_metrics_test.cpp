@@ -1,0 +1,279 @@
+// Tests for the observability core: sharded counters/histograms under
+// concurrency, the enabled/disabled switch, exporter output, and the
+// Chrome trace round trip.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detection_system.hpp"
+#include "obs/report.hpp"
+
+namespace awd::obs {
+namespace {
+
+/// Every test runs with collection on and restores the previous state.
+/// When the layer is compiled out (-DAWD_OBS_RUNTIME=OFF) every write is a
+/// no-op by design, so collection-dependent tests skip.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+    if (!enabled()) GTEST_SKIP() << "observability compiled out (AWD_OBS_DISABLED)";
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+TEST_F(ObsTest, CounterConcurrentIncrementsSumExactly) {
+  Registry reg;
+  Counter& c = reg.counter("test_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, CounterIncByDelta) {
+  Registry reg;
+  Counter& c = reg.counter("test_delta_total");
+  c.inc(5);
+  c.inc(0);
+  c.inc(7);
+  EXPECT_EQ(c.value(), 12u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreLeInclusive) {
+  Registry reg;
+  Histogram& h = reg.histogram("test_hist", {1.0, 2.0, 4.0});
+  // "le" semantics: bucket i counts v <= bounds[i]; last bucket is +inf.
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0 (inclusive upper bound)
+  h.observe(1.5);  // bucket 1
+  h.observe(2.0);  // bucket 1
+  h.observe(4.0);  // bucket 2
+  h.observe(9.0);  // +inf bucket
+  const std::vector<std::uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST_F(ObsTest, HistogramConcurrentObservationsSumExactly) {
+  Registry reg;
+  Histogram& h = reg.histogram("test_hist_mt", {10.0, 20.0});
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(static_cast<double>(i % 30));
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : h.counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(Obs, HistogramRejectsBadBounds) {
+  Registry reg;
+  EXPECT_THROW(reg.histogram("test_bad_empty", {}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("test_bad_order", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Obs, DisabledModeIsANoOp) {
+  const bool was_enabled = enabled();
+  Registry reg;
+  Counter& c = reg.counter("test_disabled_total");
+  Gauge& g = reg.gauge("test_disabled_gauge");
+  Histogram& h = reg.histogram("test_disabled_hist", {1.0});
+  Timer& t = reg.timer("test_disabled_timer");
+  set_enabled(false);
+  c.inc(100);
+  g.set(42);
+  h.observe(0.5);
+  t.record(1000);
+  set_enabled(was_enabled);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST_F(ObsTest, GaugeRecordMaxKeepsHighWaterMark) {
+  Registry reg;
+  Gauge& g = reg.gauge("test_hwm");
+  g.record_max(3);
+  g.record_max(9);
+  g.record_max(5);
+  EXPECT_EQ(g.value(), 9);
+}
+
+TEST_F(ObsTest, TimerTracksCountTotalMinMax) {
+  Registry reg;
+  Timer& t = reg.timer("test_timer");
+  t.record(30);
+  t.record(10);
+  t.record(20);
+  EXPECT_EQ(t.count(), 3u);
+  EXPECT_EQ(t.total_ns(), 60u);
+  EXPECT_EQ(t.min_ns(), 10u);
+  EXPECT_EQ(t.max_ns(), 30u);
+}
+
+TEST_F(ObsTest, RegistryFindOrCreateReturnsSameHandle) {
+  Registry reg;
+  Counter& a = reg.counter("test_same");
+  Counter& b = reg.counter("test_same");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(ObsTest, RegistryResetZeroesValuesButKeepsHandles) {
+  Registry reg;
+  Counter& c = reg.counter("test_reset_total");
+  c.inc(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  EXPECT_EQ(reg.counter("test_reset_total").value(), 1u);
+}
+
+TEST(Obs, SnapshotIsSortedByName) {
+  Registry reg;
+  reg.counter("zzz_total");
+  reg.counter("aaa_total");
+  reg.counter("mmm_total");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "aaa_total");
+  EXPECT_EQ(snap.counters[1].name, "mmm_total");
+  EXPECT_EQ(snap.counters[2].name, "zzz_total");
+}
+
+TEST_F(ObsTest, PrometheusTextContainsRegisteredSeries) {
+  Registry reg;
+  reg.counter("test_prom_total", "help text").inc(3);
+  Histogram& h = reg.histogram("test_prom_hist", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE test_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_total 3"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 2"), std::string::npos);
+}
+
+TEST(Obs, ObsSessionStripsObsOutFromArgv) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "awd_obs_session_test";
+  const std::string flag = "--obs-out=" + dir.string();
+  std::string prog = "prog";
+  std::string keep = "--benchmark_filter=x";
+  std::vector<char*> argv = {prog.data(), const_cast<char*>(flag.c_str()), keep.data()};
+  int argc = static_cast<int>(argv.size());
+  {
+    ObsSession session(argc, argv.data());
+    EXPECT_TRUE(session.active());
+    EXPECT_EQ(session.dir(), dir.string());
+    ASSERT_EQ(argc, 2);
+    EXPECT_EQ(std::string(argv[1]), keep);
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir / "metrics.json"));
+  std::filesystem::remove_all(dir);
+}
+
+// End-to-end: run the detection pipeline with the tracer on, export to a
+// directory, and parse the Chrome trace back.  The trace must be valid
+// trace-event JSON and contain spans for all five DetectionSystem::step
+// stages.
+TEST_F(ObsTest, ChromeTraceRoundTripHasAllFiveStageSpans) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "awd_obs_trace_test";
+  std::filesystem::remove_all(dir);
+
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  {
+    const core::SimulatorCase scase = core::simulator_case("series_rlc");
+    core::DetectionSystem system(scase, core::AttackKind::kBias, 1);
+    (void)system.run(80);
+  }
+  tracer.stop();
+  ASSERT_TRUE(write_obs_dir(dir.string()).is_ok());
+
+  bool ok = false;
+  const std::vector<LoadedSpan> spans = load_chrome_trace((dir / "trace.json").string(), &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_FALSE(spans.empty());
+
+  const char* kStages[] = {"step.estimate", "step.residual", "step.deadline",
+                           "step.window_adapt", "step.detect"};
+  for (const char* stage : kStages) {
+    std::size_t found = 0;
+    for (const LoadedSpan& s : spans) {
+      if (s.name == stage && s.ph == 'X') ++found;
+    }
+    EXPECT_EQ(found, 80u) << "missing spans for stage " << stage;
+  }
+  // Timestamps are non-decreasing (collect() sorts) and durations finite.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].ts_us, spans[i - 1].ts_us);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "awd_obs_json_test";
+  std::filesystem::remove_all(dir);
+
+  Registry::global().reset();
+  Registry::global().counter("awd_deadline_cache_hits_total").inc(9);
+  Registry::global().counter("awd_deadline_cache_misses_total").inc(1);
+  ASSERT_TRUE(write_obs_dir(dir.string()).is_ok());
+
+  bool ok = false;
+  const LoadedMetrics loaded = load_metrics_json((dir / "metrics.json").string(), &ok);
+  ASSERT_TRUE(ok);
+
+  double hits = -1.0;
+  for (const auto& [name, value] : loaded.counters) {
+    if (name == "awd_deadline_cache_hits_total") hits = value;
+  }
+  EXPECT_DOUBLE_EQ(hits, 9.0);
+  double rate = -1.0;
+  for (const auto& [name, value] : loaded.derived) {
+    if (name == "deadline_cache_hit_rate") rate = value;
+  }
+  EXPECT_DOUBLE_EQ(rate, 0.9);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace awd::obs

@@ -1,0 +1,131 @@
+// Pipeline-level observability tests: the metrics scraped from a live
+// detection run must agree with the ground truth recorded in the trace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detection_system.hpp"
+#include "obs/obs.hpp"
+
+namespace awd::obs {
+namespace {
+
+class ObsPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+    if (!enabled()) GTEST_SKIP() << "observability compiled out (AWD_OBS_DISABLED)";
+    Registry::global().reset();
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+const MetricsSnapshot::HistogramSample* find_histogram(const MetricsSnapshot& snap,
+                                                       const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t counter_value(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+// The window-size histogram scraped after an attacked run must be exactly
+// the histogram of the per-step window sequence the trace recorded: the
+// adaptive detector observes w_c once per step, and StepRecord.window is
+// that same w_c.
+TEST_F(ObsPipelineTest, WindowHistogramMatchesTraceWindowSequence) {
+  const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
+  core::DetectionSystem system(scase, core::AttackKind::kBias, 7);
+  const sim::Trace trace = system.run();
+
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  const auto* hist = find_histogram(snap, "awd_adaptive_window_size");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->counts.size(), hist->bounds.size() + 1);
+
+  // Recompute with the same "le" bucket rule from the trace.
+  std::vector<std::uint64_t> expected(hist->bounds.size() + 1, 0);
+  double expected_sum = 0.0;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const double w = static_cast<double>(trace[t].window);
+    std::size_t b = hist->bounds.size();
+    for (std::size_t i = 0; i < hist->bounds.size(); ++i) {
+      if (w <= hist->bounds[i]) {
+        b = i;
+        break;
+      }
+    }
+    ++expected[b];
+    expected_sum += w;
+  }
+
+  EXPECT_EQ(hist->count, trace.size());
+  EXPECT_DOUBLE_EQ(hist->sum, expected_sum);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(hist->counts[i], expected[i]) << "bucket " << i;
+  }
+}
+
+// Step/alarm counters must agree with the trace they were scraped from.
+TEST_F(ObsPipelineTest, StepAndAlarmCountersMatchTrace) {
+  const core::SimulatorCase scase = core::simulator_case("series_rlc");
+  core::DetectionSystem system(scase, core::AttackKind::kReplay, 3);
+  const sim::Trace trace = system.run();
+
+  std::uint64_t adaptive_alarms = 0;
+  std::uint64_t fixed_alarms = 0;
+  std::uint64_t unsafe_steps = 0;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    if (trace[t].adaptive_alarm) ++adaptive_alarms;
+    if (trace[t].fixed_alarm) ++fixed_alarms;
+    if (trace[t].unsafe) ++unsafe_steps;
+  }
+
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  EXPECT_EQ(counter_value(snap, "awd_detection_steps_total"), trace.size());
+  EXPECT_EQ(counter_value(snap, "awd_adaptive_steps_total"), trace.size());
+  EXPECT_EQ(counter_value(snap, "awd_logger_entries_total"), trace.size());
+  EXPECT_EQ(counter_value(snap, "awd_alarms_adaptive_total"), adaptive_alarms);
+  EXPECT_EQ(counter_value(snap, "awd_alarms_fixed_total"), fixed_alarms);
+  EXPECT_EQ(counter_value(snap, "awd_unsafe_steps_total"), unsafe_steps);
+}
+
+// Identical seeds scrape identical domain metrics (the determinism rule:
+// counter/histogram values never hold wall-clock quantities).
+TEST_F(ObsPipelineTest, DomainMetricsAreDeterministicAcrossRuns) {
+  const core::SimulatorCase scase = core::simulator_case("dc_motor");
+
+  auto run_and_scrape = [&scase] {
+    Registry::global().reset();
+    core::DetectionSystem system(scase, core::AttackKind::kRamp, 11);
+    (void)system.run();
+    return Registry::global().snapshot();
+  };
+  const MetricsSnapshot a = run_and_scrape();
+  const MetricsSnapshot b = run_and_scrape();
+
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(a.counters[i].name, b.counters[i].name);
+    EXPECT_EQ(a.counters[i].value, b.counters[i].value) << a.counters[i].name;
+  }
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (std::size_t i = 0; i < a.histograms.size(); ++i) {
+    EXPECT_EQ(a.histograms[i].counts, b.histograms[i].counts) << a.histograms[i].name;
+    EXPECT_DOUBLE_EQ(a.histograms[i].sum, b.histograms[i].sum) << a.histograms[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace awd::obs

@@ -20,6 +20,14 @@
 // true cost floor and keeps the 25 % tolerance meaningful on shared CI
 // runners.  Aggregate entries (mean/median/stddev) are ignored; a report
 // without repetitions gates on its single iteration sample per benchmark.
+//
+// Reports written by run_benchmarks_with_json additionally carry an
+// "awd_metrics" block with a "derived" section of iteration-count
+// independent pipeline ratios.  When both reports have the block, the gate
+// compares the deadline-cache hit rate and fails on an absolute drop beyond
+// --metrics-tolerance (default 0.10): a hit-rate collapse means deadline
+// queries silently fell back to the decay heuristic, which no timing
+// tolerance would catch.  Reports without the block pass unchanged.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -134,24 +142,87 @@ const BenchEntry* find_entry(const std::vector<BenchEntry>& entries,
   return nullptr;
 }
 
+struct DerivedMetric {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Parse the "derived" section of a report's optional "awd_metrics" block.
+/// Returns an empty vector (not an error) when the block is absent.
+std::vector<DerivedMetric> parse_derived_metrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const std::size_t block_at = text.find("\"awd_metrics\":");
+  if (block_at == std::string::npos) return {};
+  const std::size_t derived_at = text.find("\"derived\":", block_at);
+  if (derived_at == std::string::npos) return {};
+  const std::size_t open = text.find('{', derived_at);
+  const std::size_t close = text.find('}', open == std::string::npos ? derived_at : open);
+  if (open == std::string::npos || close == std::string::npos) return {};
+
+  // The section is flat: "name": number pairs.
+  std::vector<DerivedMetric> out;
+  std::size_t pos = open + 1;
+  while (pos < close) {
+    const std::size_t k0 = text.find('"', pos);
+    if (k0 == std::string::npos || k0 >= close) break;
+    const std::size_t k1 = text.find('"', k0 + 1);
+    if (k1 == std::string::npos || k1 >= close) break;
+    const std::size_t colon = text.find(':', k1);
+    if (colon == std::string::npos || colon >= close) break;
+    char* parse_end = nullptr;
+    const double v = std::strtod(text.c_str() + colon + 1, &parse_end);
+    if (parse_end != text.c_str() + colon + 1) {
+      out.push_back({text.substr(k0 + 1, k1 - k0 - 1), v});
+    }
+    pos = k1 + 1;
+    const std::size_t comma = text.find(',', colon);
+    if (comma == std::string::npos || comma >= close) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+const DerivedMetric* find_derived(const std::vector<DerivedMetric>& metrics,
+                                  const std::string& name) {
+  for (const DerivedMetric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+/// Derived ratios where a *drop* signals a pipeline regression (the cache
+/// stopped serving queries); other derived metrics are informational.
+const char* const kGatedDerived[] = {"deadline_cache_hit_rate"};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double tolerance = 0.25;
+  double metrics_tolerance = 0.10;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
       tolerance = std::strtod(argv[++i], nullptr);
     } else if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
       tolerance = std::strtod(argv[i] + 12, nullptr);
+    } else if (std::strcmp(argv[i], "--metrics-tolerance") == 0 && i + 1 < argc) {
+      metrics_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(argv[i], "--metrics-tolerance=", 20) == 0) {
+      metrics_tolerance = std::strtod(argv[i] + 20, nullptr);
     } else {
       files.emplace_back(argv[i]);
     }
   }
-  if (files.size() != 2 || !(tolerance > 0.0) || !std::isfinite(tolerance)) {
+  if (files.size() != 2 || !(tolerance > 0.0) || !std::isfinite(tolerance) ||
+      !(metrics_tolerance > 0.0) || !std::isfinite(metrics_tolerance)) {
     std::fprintf(stderr,
                  "usage: awd_bench_compare <baseline.json> <current.json> "
-                 "[--tolerance 0.25]\n");
+                 "[--tolerance 0.25] [--metrics-tolerance 0.10]\n");
     return 2;
   }
 
@@ -188,6 +259,27 @@ int main(int argc, char** argv) {
     if (find_entry(baseline, cur.name) == nullptr) {
       std::printf("%-45s %14s %14.1f %9s  (new, not gated)\n", cur.name.c_str(), "-",
                   cur.real_time_ns, "-");
+    }
+  }
+
+  // Pipeline-metrics gate (informational when either report predates the
+  // awd_metrics block).
+  const std::vector<DerivedMetric> base_derived = parse_derived_metrics(files[0]);
+  const std::vector<DerivedMetric> cur_derived = parse_derived_metrics(files[1]);
+  if (!base_derived.empty() && !cur_derived.empty()) {
+    std::printf("\n%-45s %14s %14s %9s\n", "derived metric", "baseline", "current",
+                "delta");
+    for (const DerivedMetric& base : base_derived) {
+      const DerivedMetric* cur = find_derived(cur_derived, base.name);
+      if (cur == nullptr) continue;
+      const double delta = cur->value - base.value;
+      bool gated = false;
+      for (const char* name : kGatedDerived) gated = gated || base.name == name;
+      const bool regressed = gated && delta < -metrics_tolerance;
+      std::printf("%-45s %14.4f %14.4f %+9.4f%s\n", base.name.c_str(), base.value,
+                  cur->value, delta,
+                  regressed ? "  REGRESSION" : (gated ? "" : "  (info)"));
+      if (regressed) ++regressions;
     }
   }
 

@@ -1,18 +1,23 @@
 // diagnose — calibration/diagnostic tool (not part of the benchmark set).
 //
 // Usage: awd_diagnose <case_key> <attack> [seed]
+//        awd_diagnose --obs <obs-dir> [--top N]
 //
-// Prints per-phase residual statistics, deadline distribution, alarm
-// locations for both strategies, and run metrics — everything needed to
-// calibrate the free parameters (sensor noise, attack magnitude) against
-// the paper's reported shapes.
+// The first form prints per-phase residual statistics, deadline
+// distribution, alarm locations for both strategies, and run metrics —
+// everything needed to calibrate the free parameters (sensor noise, attack
+// magnitude) against the paper's reported shapes.  The second form ingests
+// a directory written by --obs-out and pretty-prints it (counter tables,
+// per-stage profile, top-N slowest spans).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -51,8 +56,27 @@ void print_alarm_ranges(const sim::Trace& trace, bool adaptive, const char* labe
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--obs") == 0) {
+    std::size_t top_n = 10;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+        top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
+        top_n = static_cast<std::size_t>(std::strtoul(argv[i] + 6, nullptr, 10));
+      }
+    }
+    if (!obs::print_obs_summary(argv[2], top_n)) {
+      std::fprintf(stderr, "diagnose: %s has neither metrics.json nor trace.json\n",
+                   argv[2]);
+      return 1;
+    }
+    return 0;
+  }
   if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <case_key> <attack> [seed]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <case_key> <attack> [seed]\n"
+                 "       %s --obs <obs-dir> [--top N]\n",
+                 argv[0], argv[0]);
     return 1;
   }
   const core::SimulatorCase scase = core::simulator_case(argv[1]);

@@ -1,0 +1,40 @@
+// obs_report — summarize an --obs-out directory on the console.
+//
+// Usage: awd_obs_report <obs-dir> [--top N]
+//
+// Prints the counter/gauge tables, derived ratios, per-stage profile, the
+// window-size histogram, and the top-N slowest trace spans recorded by a
+// run launched with --obs-out=<obs-dir>.  CI runs it over the archived
+// trace directory so the numbers appear in the job log next to the
+// artifact.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  const char* dir = nullptr;
+  std::size_t top_n = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      top_n = static_cast<std::size_t>(std::strtoul(argv[i] + 6, nullptr, 10));
+    } else if (dir == nullptr) {
+      dir = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s <obs-dir> [--top N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (dir == nullptr) {
+    std::fprintf(stderr, "usage: %s <obs-dir> [--top N]\n", argv[0]);
+    return 2;
+  }
+  if (!awd::obs::print_obs_summary(dir, top_n)) {
+    std::fprintf(stderr, "obs_report: %s has neither metrics.json nor trace.json\n", dir);
+    return 1;
+  }
+  return 0;
+}
