@@ -68,66 +68,105 @@ std::shared_ptr<const attack::Attack> SimulatorCase::make_attack(AttackKind kind
 
 namespace {
 
-/// Every element finite, else a descriptive std::invalid_argument.
-void check_finite(const Vec& v, const std::string& key, const char* what) {
-  if (!v.is_finite()) {
-    throw std::invalid_argument(key + ": " + what +
-                                " contains a non-finite value (NaN or Inf)");
-  }
+/// Every element finite, else a static-message invalid-input Status.
+Status check_finite(const Vec& v, const char* message) noexcept {
+  if (!v.is_finite()) return {StatusCode::kInvalidInput, message};
+  return Status::ok();
 }
 
 }  // namespace
 
-void SimulatorCase::validate() const {
-  model.validate();
+Status SimulatorCase::check() const noexcept {
+  constexpr StatusCode kBad = StatusCode::kInvalidInput;
+  try {
+    model.validate();
+  } catch (const std::exception&) {
+    return {kBad, "model failed validation"};
+  }
   const std::size_t n = model.state_dim();
   const std::size_t m = model.input_dim();
-  if (n == 0) throw std::invalid_argument(key + ": model has zero state dimensions");
-  if (m == 0) throw std::invalid_argument(key + ": model has zero input dimensions");
-  if (u_range.dim() != m) throw std::invalid_argument(key + ": u_range dimension mismatch");
-  if (safe_set.dim() != n) throw std::invalid_argument(key + ": safe_set dimension mismatch");
-  if (tau.size() != n) throw std::invalid_argument(key + ": tau dimension mismatch");
-  if (x0.size() != n) throw std::invalid_argument(key + ": x0 dimension mismatch");
-  if (reference.size() != n) throw std::invalid_argument(key + ": reference dimension mismatch");
-  if (sensor_noise.size() != n) {
-    throw std::invalid_argument(key + ": sensor_noise dimension mismatch");
-  }
-  if (bias.size() != n) throw std::invalid_argument(key + ": bias dimension mismatch");
-  if (ramp_slope.size() != n) throw std::invalid_argument(key + ": ramp_slope dimension mismatch");
+  if (n == 0) return {kBad, "model has zero state dimensions"};
+  if (m == 0) return {kBad, "model has zero input dimensions"};
+  if (u_range.dim() != m) return {kBad, "u_range dimension mismatch"};
+  if (safe_set.dim() != n) return {kBad, "safe_set dimension mismatch"};
+  if (tau.size() != n) return {kBad, "tau dimension mismatch"};
+  if (x0.size() != n) return {kBad, "x0 dimension mismatch"};
+  if (reference.size() != n) return {kBad, "reference dimension mismatch"};
+  if (sensor_noise.size() != n) return {kBad, "sensor_noise dimension mismatch"};
+  if (bias.size() != n) return {kBad, "bias dimension mismatch"};
+  if (ramp_slope.size() != n) return {kBad, "ramp_slope dimension mismatch"};
   if (output_map.rows() != m || output_map.cols() != tracked_dims.size()) {
-    throw std::invalid_argument(key + ": output_map shape mismatch");
+    return {kBad, "output_map shape mismatch"};
   }
   for (std::size_t d : tracked_dims) {
-    if (d >= n) throw std::invalid_argument(key + ": tracked dimension out of range");
+    if (d >= n) return {kBad, "tracked dimension out of range"};
   }
-  check_finite(tau, key, "tau");
-  check_finite(x0, key, "x0");
-  check_finite(reference, key, "reference");
-  check_finite(sensor_noise, key, "sensor_noise");
-  check_finite(bias, key, "bias");
-  check_finite(ramp_slope, key, "ramp_slope");
+  if (Status s = check_finite(tau, "tau contains a non-finite value (NaN or Inf)");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_finite(x0, "x0 contains a non-finite value (NaN or Inf)");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s =
+          check_finite(reference, "reference contains a non-finite value (NaN or Inf)");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_finite(sensor_noise,
+                              "sensor_noise contains a non-finite value (NaN or Inf)");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_finite(bias, "bias contains a non-finite value (NaN or Inf)");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s =
+          check_finite(ramp_slope, "ramp_slope contains a non-finite value (NaN or Inf)");
+      !s.is_ok()) {
+    return s;
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    if (tau[i] < 0.0) throw std::invalid_argument(key + ": tau must be >= 0");
-    if (sensor_noise[i] < 0.0) {
-      throw std::invalid_argument(key + ": sensor_noise must be >= 0");
+    // τ = 0 (or below) alarms on every residual or none at all — either way
+    // the detector is disabled, not configured.
+    if (!(tau[i] > 0.0)) {
+      return {kBad, "tau must be > 0 in every dimension (a zero or negative "
+                    "threshold disables detection)"};
     }
+    if (sensor_noise[i] < 0.0) return {kBad, "sensor_noise must be >= 0"};
   }
   for (const auto& [step, ref] : reference_schedule) {
     (void)step;
-    check_finite(ref, key, "reference_schedule entry");
+    if (Status s = check_finite(
+            ref, "reference_schedule entry contains a non-finite value (NaN or Inf)");
+        !s.is_ok()) {
+      return s;
+    }
   }
-  if (!std::isfinite(eps) || eps < 0.0) {
-    throw std::invalid_argument(key + ": eps must be finite and >= 0");
-  }
-  if (!std::isfinite(eps_reach)) {
-    throw std::invalid_argument(key + ": eps_reach must be finite");
-  }
+  if (!std::isfinite(eps) || eps < 0.0) return {kBad, "eps must be finite and >= 0"};
+  if (!std::isfinite(eps_reach)) return {kBad, "eps_reach must be finite"};
   if (eps_reach != 0.0 && eps_reach < eps) {
-    throw std::invalid_argument(key + ": eps_reach must be conservative (>= eps)");
+    return {kBad, "eps_reach must be conservative (>= eps)"};
   }
-  if (max_window == 0) throw std::invalid_argument(key + ": max_window must be >= 1");
+  if (max_window == 0) {
+    return {kBad, "max_window must be >= 1 (a zero-size window never sees a "
+                  "residual, so detection never runs)"};
+  }
   if (attack_start + attack_duration > steps) {
-    throw std::invalid_argument(key + ": attack extends beyond the run");
+    return {kBad, "attack extends beyond the run"};
+  }
+  return Status::ok();
+}
+
+void SimulatorCase::validate() const {
+  // Re-run the model's own validation first so its more detailed message
+  // propagates for model-level problems.
+  model.validate();
+  const Status s = check();
+  if (!s.is_ok()) {
+    throw std::invalid_argument(key + ": " + std::string(s.message()));
   }
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "attack/attack.hpp"
+#include "core/status.hpp"
 #include "models/lti.hpp"
 #include "reach/sets.hpp"
 #include "sim/controller.hpp"
@@ -92,7 +93,15 @@ struct SimulatorCase {
   /// Attack object for the given scenario using this case's defaults.
   [[nodiscard]] std::shared_ptr<const attack::Attack> make_attack(AttackKind kind) const;
 
-  /// Basic shape consistency checks; throws std::invalid_argument.
+  /// Non-throwing configuration check: returns the first violation as a
+  /// Status (kInvalidInput with a static, field-naming message), or OK.
+  /// Rejects degenerate detector settings outright — max_window == 0 and
+  /// tau <= 0 both silently disable detection, which a fielded monitor must
+  /// refuse to start with rather than discover in the log.
+  [[nodiscard]] Status check() const noexcept;
+
+  /// Basic shape consistency checks; throws std::invalid_argument with the
+  /// case key prefixed to check()'s message.
   void validate() const;
 };
 

@@ -70,15 +70,28 @@ AdaptiveDecision AdaptiveDetector::step(const DataLogger& logger, std::size_t t,
     if (w_c > w_p) ob.grow.inc();
   }
 
+#ifdef AWD_MUT_DROP_COMPLEMENTARY
+  // [mutation-smoke seeded bug] never runs the §4.2.1 complementary sweep:
+  // anything logged before a forced shrink escapes detection (breaks Thm. 1).
+  if (false) {
+#else
   if (complementary_ && !first_step_ && w_c < w_p) {
+#endif
     ob.sweeps.inc();
     // Complementary detection (§4.2.1): re-check the region that escaped
     // the shorter window with size w_c at virtual times
     // [t - w_p - 1 + w_c, t - 1].  At stream start some of these virtual
     // times predate step 0 or the retained history; they carry no
     // un-checked data, so they are skipped.
+#ifdef AWD_MUT_SWEEP_START_LATE
+    // [mutation-smoke seeded bug] sweep starts one virtual step late — the
+    // earliest escaped point is only covered by the first virtual window.
+    const std::size_t first_virtual =
+        ((t >= w_p + 1) ? t - w_p - 1 + w_c : (w_c <= t ? w_c : t)) + 1;
+#else
     const std::size_t first_virtual =
         (t >= w_p + 1) ? t - w_p - 1 + w_c : (w_c <= t ? w_c : t);
+#endif
     for (std::size_t s = first_virtual; s < t; ++s) {
       if (!logger.has(s)) continue;
       const WindowDecision wd = evaluate_window(logger, s, w_c, tau_);

@@ -146,7 +146,13 @@ Vec DataLogger::window_mean(std::size_t t_end, std::size_t w) const {
   if (!has(t_end)) {
     throw std::out_of_range("DataLogger::window_mean: t_end not retained");
   }
+#ifdef AWD_MUT_WINDOW_MEAN_OFF_BY_ONE
+  // [mutation-smoke seeded bug] window one point short: drops the oldest
+  // in-window residual, so the mean skips exactly the evidence Thm. 1 needs.
+  const std::size_t lo_wanted = t_end >= w ? t_end - w + 1 : 0;
+#else
   const std::size_t lo_wanted = t_end >= w ? t_end - w : 0;  // startup underflow guard
+#endif
   const std::size_t lo = std::max(lo_wanted, earliest());
 
   Vec sum(model_.state_dim());
@@ -166,7 +172,13 @@ Vec DataLogger::window_mean(std::size_t t_end, std::size_t w) const {
 
 std::optional<Vec> DataLogger::trusted_state(std::size_t t, std::size_t w) const {
   if (t < w + 1) return std::nullopt;  // startup: nothing outside the window yet
+#ifdef AWD_MUT_TRUSTED_SEED_INSIDE_WINDOW
+  // [mutation-smoke seeded bug] seeds reachability from the newest
+  // *in-window* point — a state the current window has not yet cleared.
+  const std::size_t seed = t - w;
+#else
   const std::size_t seed = t - w - 1;
+#endif
   if (!has(seed)) return std::nullopt;
   const LogEntry& e = slot(seed);
   if (e.quarantined) return std::nullopt;  // corrupted points never seed reachability

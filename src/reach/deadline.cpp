@@ -65,8 +65,15 @@ DeadlineEstimator::DeadlineEstimator(const models::DiscreteLti& model, Box u_ran
       DimCheck c;
       c.row = reach_.a_power(t).row_vec(i);
       c.drift = reach_.cum_drift(t)[i];
+#ifdef AWD_MUT_STALE_CACHE_TERM
+      // [mutation-smoke seeded bug] caches the previous step's noise term:
+      // under-approximates the reach box, over-states the deadline.
+      c.spread = reach_.cum_spread(t)[i] + reach_.cum_noise(t - 1)[i] +
+                 config_.init_radius * reach_.initial_ball_scale(t)[i];
+#else
       c.spread = reach_.cum_spread(t)[i] + reach_.cum_noise(t)[i] +
                  config_.init_radius * reach_.initial_ball_scale(t)[i];
+#endif
       c.lo = s.lo;
       c.hi = s.hi;
       step.push_back(std::move(c));
@@ -85,7 +92,13 @@ std::size_t DeadlineEstimator::walk(const Vec& x0, std::size_t cap,
       const double center = c.row.dot(x0) + c.drift;
       if (!(c.lo <= center - c.spread && center + c.spread <= c.hi)) {
         resolved = true;
+#ifdef AWD_MUT_DEADLINE_OFF_BY_ONE
+        // [mutation-smoke seeded bug] reports the first *unsafe* step as the
+        // deadline — one step more than the plant can actually be trusted.
+        return t;
+#else
         return t - 1;
+#endif
       }
     }
   }

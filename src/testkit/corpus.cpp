@@ -1,0 +1,97 @@
+#include "testkit/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace awd::testkit {
+
+namespace {
+
+/// Minimal extractor for the flat corpus schema: finds "key": <value> at
+/// the top level and returns the raw value token (string contents unescaped
+/// for the simple characters the corpus uses).  Not a general JSON parser —
+/// corpus files are flat objects written by this repo's own tooling.
+bool extract_field(const std::string& text, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = text.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  if (pos >= text.size()) return false;
+  if (text[pos] == '"') {
+    std::string value;
+    for (++pos; pos < text.size() && text[pos] != '"'; ++pos) {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      value += text[pos];
+    }
+    out = std::move(value);
+    return true;
+  }
+  std::string value;
+  while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+         !std::isspace(static_cast<unsigned char>(text[pos]))) {
+    value += text[pos++];
+  }
+  if (value.empty()) return false;
+  out = std::move(value);
+  return true;
+}
+
+}  // namespace
+
+CorpusEntry parse_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("corpus: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  CorpusEntry entry;
+  entry.path = path;
+  if (!extract_field(text, "property", entry.property) || entry.property.empty()) {
+    throw std::runtime_error("corpus: " + path + " is missing \"property\"");
+  }
+  std::string seed_text;
+  if (!extract_field(text, "seed", seed_text)) {
+    throw std::runtime_error("corpus: " + path + " is missing \"seed\"");
+  }
+  try {
+    std::size_t consumed = 0;
+    entry.seed = std::stoull(seed_text, &consumed);
+    if (consumed != seed_text.size()) throw std::invalid_argument(seed_text);
+  } catch (const std::exception&) {
+    throw std::runtime_error("corpus: " + path + " has a malformed \"seed\": " + seed_text);
+  }
+  (void)extract_field(text, "family", entry.family);
+  (void)extract_field(text, "note", entry.note);
+  return entry;
+}
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("corpus: not a directory: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".json") {
+      paths.push_back(e.path().string());
+    }
+  }
+  if (paths.empty()) {
+    throw std::runtime_error("corpus: no *.json entries under " + dir);
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<CorpusEntry> corpus;
+  corpus.reserve(paths.size());
+  for (const std::string& p : paths) corpus.push_back(parse_corpus_file(p));
+  return corpus;
+}
+
+}  // namespace awd::testkit

@@ -1,0 +1,41 @@
+// corpus.hpp — the committed regression corpus (tests/prop/corpus/*.json).
+//
+// Every interesting seed discovered during development — a past failure, a
+// near-boundary scenario, one exemplar per plant family — is committed as a
+// small JSON file and replayed by ctest on every build.  The format is a
+// flat object of string/number fields; only "property" and "seed" are
+// required, everything else is human context:
+//
+//   {
+//     "property": "no_escape_shrink",
+//     "seed": 1234567890123456789,
+//     "family": "dc_motor",
+//     "note": "deep sweep with w_small = 0"
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace awd::testkit {
+
+/// One corpus entry.
+struct CorpusEntry {
+  std::string path;      ///< file it came from
+  std::string property;  ///< catalogue name
+  std::uint64_t seed = 0;
+  std::string family;    ///< informational
+  std::string note;      ///< informational
+};
+
+/// Parse one corpus JSON file.  Throws std::runtime_error on unreadable
+/// files or missing/malformed required fields.
+[[nodiscard]] CorpusEntry parse_corpus_file(const std::string& path);
+
+/// Load every *.json under `dir` (sorted by filename for deterministic
+/// order).  Throws std::runtime_error when the directory is missing, empty
+/// of corpus files, or contains an invalid entry.
+[[nodiscard]] std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+}  // namespace awd::testkit

@@ -1,0 +1,28 @@
+// properties.hpp — internal declarations of the individual property
+// functions, grouped by the layer they exercise.  Only property.cpp (the
+// catalogue) and the mutation smoke driver include this; external callers
+// go through property_catalogue().
+#pragma once
+
+#include "testkit/property.hpp"
+
+namespace awd::testkit::props {
+
+// properties_detect.cpp — logger + adaptive detector (§4.2, §5).
+PropertyResult no_escape_shrink(std::uint64_t seed, const GenLimits& limits);
+PropertyResult adaptive_matches_reference(std::uint64_t seed, const GenLimits& limits);
+PropertyResult logger_matches_reference(std::uint64_t seed, const GenLimits& limits);
+
+// properties_reach.cpp — deadline estimator (§3).
+PropertyResult deadline_cached_equals_uncached(std::uint64_t seed, const GenLimits& limits);
+PropertyResult deadline_brute_force_walk(std::uint64_t seed, const GenLimits& limits);
+PropertyResult deadline_sound_on_samples(std::uint64_t seed, const GenLimits& limits);
+PropertyResult deadline_monotone_in_uncertainty(std::uint64_t seed, const GenLimits& limits);
+
+// properties_pipeline.cpp — full DetectionSystem + experiment engine (§6).
+PropertyResult adaptive_equals_fixed_when_pinned(std::uint64_t seed, const GenLimits& limits);
+PropertyResult serial_parallel_cell_identical(std::uint64_t seed, const GenLimits& limits);
+PropertyResult attack_free_fp_budget(std::uint64_t seed, const GenLimits& limits);
+PropertyResult replay_determinism(std::uint64_t seed, const GenLimits& limits);
+
+}  // namespace awd::testkit::props

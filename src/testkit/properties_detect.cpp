@@ -1,0 +1,249 @@
+// properties_detect.cpp — oracles for the Data Logger (§5) and the
+// Adaptive Detector (§4.2): the planted-escape Theorem-1 invariant and the
+// bitwise differentials against the flat-history reference implementations.
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "detect/adaptive.hpp"
+#include "detect/logger.hpp"
+#include "testkit/properties.hpp"
+#include "testkit/reference.hpp"
+
+namespace awd::testkit::props {
+
+namespace {
+
+using detect::AdaptiveDecision;
+using detect::AdaptiveDetector;
+using detect::DataLogger;
+
+std::string vec_str(const Vec& v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : "") << v[i];
+  os << "]";
+  return os.str();
+}
+
+/// Inject NaN/Inf into one random dimension with small probability; returns
+/// whether the vector was corrupted.
+bool maybe_corrupt(Vec& v, PropRng& rng, double p) {
+  if (v.empty() || !rng.chance(p)) return false;
+  const double bad = rng.chance(0.5) ? std::numeric_limits<double>::quiet_NaN()
+                                     : std::numeric_limits<double>::infinity();
+  v[rng.below(v.size())] = rng.chance(0.5) ? bad : -bad;
+  return true;
+}
+
+}  // namespace
+
+PropertyResult no_escape_shrink(std::uint64_t seed, const GenLimits& limits) {
+  PropRng rng(seed);
+  GenLimits l = limits;
+  l.allow_attack = false;  // the spike is planted directly in the residuals
+  ScenarioOptions opt;
+  opt.allow_budget = false;
+  const Scenario sc = generate_scenario(rng, l, opt);
+  const core::SimulatorCase& c = sc.scase;
+  const std::size_t n = c.model.state_dim();
+  const std::size_t w_m = c.max_window;
+
+  // Thm-1 setup: a spike of magnitude m = 1.45·τ·(w_small+1) alarms the
+  // window test at size w_small (mean 1.45·τ > τ) but not at size w_big
+  // whenever 1.5·(w_small+1) <= w_big+1 (mean <= 0.97·τ, clear of
+  // floating-point rounding).  The detector runs at w_big until step T,
+  // then the deadline forces a shrink to w_small; the spike is planted in
+  // the escaped region [T-w_big-1, T-w_small-1], so only the §4.2.1
+  // complementary sweep can catch it.
+  const std::size_t w_small_cap = 2 * (w_m + 1) / 3 - 1;  // 1.5(w_small+1) <= w_m+1
+  const std::size_t w_small = rng.range(0, w_small_cap);
+  const std::size_t w_big_min = (3 * (w_small + 1) + 1) / 2 - 1;  // ceil(1.5(w_small+1))-1
+  const std::size_t w_big = rng.range(w_big_min, w_m);
+  const std::size_t s = w_big + rng.range(0, 2 * w_m);  // spike step, windows full
+  // T - w_big - 1 is the deepest escaped point; hit it exactly often so an
+  // off-by-one at the sweep start cannot hide.
+  const std::size_t T =
+      s + (rng.chance(0.4) ? w_big + 1 : rng.range(w_small + 1, w_big + 1));
+  const std::size_t d = rng.below(n);
+  const double m = 1.45 * c.tau[d] * static_cast<double>(w_small + 1);
+
+  DataLogger logger(c.model, w_m);
+  AdaptiveDetector det(c.tau, w_m);
+  const Vec u(c.model.input_dim());
+  Vec prev_est;
+  for (std::size_t t = 0; t <= T; ++t) {
+    // Residual-exact stream: est_t equals the logger's own prediction
+    // (residual 0) everywhere except the spike step.
+    Vec est = (t == 0) ? c.x0 : c.model.step(prev_est, u);
+    if (t == s) est[d] -= m;
+    (void)logger.log(t, est, u);
+    const std::size_t deadline = (t < T) ? w_big : w_small;
+    const AdaptiveDecision dec = det.step(logger, t, deadline);
+    if (t < T && dec.any_alarm()) {
+      return PropertyResult::fail(
+          "premature alarm at t=" + std::to_string(t) + " (window " +
+          std::to_string(dec.window) + ", spike s=" + std::to_string(s) +
+          ", m=" + std::to_string(m) + "); " + sc.describe());
+    }
+    if (t == T) {
+      if (dec.alarm) {
+        return PropertyResult::fail(
+            "current-step test at T=" + std::to_string(T) + " (w_small=" +
+            std::to_string(w_small) + ") unexpectedly covered the spike at s=" +
+            std::to_string(s) + "; " + sc.describe());
+      }
+      if (!dec.complementary_alarm) {
+        return PropertyResult::fail(
+            "ESCAPE: spike at s=" + std::to_string(s) + " (dim " + std::to_string(d) +
+            ", m=" + std::to_string(m) + ") survived the shrink w_big=" +
+            std::to_string(w_big) + " -> w_small=" + std::to_string(w_small) +
+            " at T=" + std::to_string(T) + " (evaluations=" +
+            std::to_string(dec.evaluations) + "); " + sc.describe());
+      }
+    }
+    prev_est = est;
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult adaptive_matches_reference(std::uint64_t seed, const GenLimits& limits) {
+  PropRng rng(seed);
+  const Scenario sc = generate_scenario(rng, limits, {});
+  const core::SimulatorCase& c = sc.scase;
+  const std::size_t n = c.model.state_dim();
+  const std::size_t w_m = c.max_window;
+  const std::size_t steps = std::min<std::size_t>(c.steps, 150);
+
+  DataLogger logger(c.model, w_m);
+  AdaptiveDetector det(c.tau, w_m);
+  RefLog ref_log(c.model, w_m);
+  RefAdaptive ref_det(c.tau, w_m);
+
+  const Vec u_half = c.u_range.half_widths();
+  const Vec u_center = c.u_range.center();
+  Vec prev_est = c.x0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    // Residuals hover around the alarm boundary: the estimate is the model
+    // prediction plus a ball of radius up to 3·max(τ).
+    Vec u = u_center + rng.in_box(u_half);
+    Vec est = (t == 0) ? c.x0
+                       : c.model.step(prev_est, u) +
+                             rng.in_ball(n, c.tau.norm_inf() * rng.uniform(0.0, 3.0));
+    maybe_corrupt(est, rng, 0.05);
+    maybe_corrupt(u, rng, 0.03);
+    // Random deadline schedule, sometimes above w_m to exercise the clamp.
+    const std::size_t deadline = rng.range(0, w_m + 5);
+
+    const core::Status st = logger.log_checked(t, est, u);
+    if (!st.is_ok()) {
+      return PropertyResult::fail("log_checked rejected a contiguous step: " +
+                                  std::string(st.message()) + "; " + sc.describe());
+    }
+    ref_log.log(t, est, u);
+    const AdaptiveDecision got = det.step(logger, t, deadline);
+    const RefDecision want = ref_det.step(ref_log, t, deadline);
+
+    if (got.window != want.window || got.alarm != want.alarm ||
+        got.complementary_alarm != want.complementary_alarm ||
+        got.evaluations != want.evaluations ||
+        !(got.mean_residual == want.mean_residual)) {
+      std::ostringstream os;
+      os << "adaptive diverged from reference at t=" << t << " (deadline=" << deadline
+         << "): window " << got.window << " vs " << want.window << ", alarm "
+         << got.alarm << " vs " << want.alarm << ", comp " << got.complementary_alarm
+         << " vs " << want.complementary_alarm << ", evals " << got.evaluations
+         << " vs " << want.evaluations << ", mean " << vec_str(got.mean_residual)
+         << " vs " << vec_str(want.mean_residual) << "; " << sc.describe();
+      return PropertyResult::fail(os.str());
+    }
+    // The sanitized stored estimate feeds the next prediction.
+    prev_est = logger.entry(t).estimate;
+  }
+  if (logger.quarantined_count() != ref_log.quarantined_count()) {
+    return PropertyResult::fail(
+        "quarantine count diverged: " + std::to_string(logger.quarantined_count()) +
+        " vs " + std::to_string(ref_log.quarantined_count()) + "; " + sc.describe());
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult logger_matches_reference(std::uint64_t seed, const GenLimits& limits) {
+  PropRng rng(seed);
+  const Scenario sc = generate_scenario(rng, limits, {});
+  const core::SimulatorCase& c = sc.scase;
+  const std::size_t n = c.model.state_dim();
+  const std::size_t w_m = c.max_window;
+  const std::size_t steps = std::min<std::size_t>(c.steps, 150);
+
+  DataLogger logger(c.model, w_m);
+  RefLog ref(c.model, w_m);
+
+  const Vec u_half = c.u_range.half_widths();
+  const Vec u_center = c.u_range.center();
+  Vec prev_est = c.x0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    Vec u = u_center + rng.in_box(u_half);
+    Vec est = (t == 0) ? c.x0
+                       : c.model.step(prev_est, u) +
+                             rng.in_ball(n, c.tau.norm_inf() * rng.uniform(0.0, 3.0));
+    maybe_corrupt(est, rng, 0.08);
+    maybe_corrupt(u, rng, 0.04);
+
+    const core::Status st = logger.log_checked(t, est, u);
+    if (!st.is_ok()) {
+      return PropertyResult::fail("log_checked rejected a contiguous step: " +
+                                  std::string(st.message()) + "; " + sc.describe());
+    }
+    ref.log(t, est, u);
+
+    const detect::LogEntry& ge = logger.entry(t);
+    const RefEntry& we = ref.entry(t);
+    if (ge.quarantined != we.quarantined || !(ge.estimate == we.estimate) ||
+        !(ge.residual == we.residual) || !(ge.predicted == we.predicted)) {
+      return PropertyResult::fail(
+          "entry diverged at t=" + std::to_string(t) + ": quarantined " +
+          std::to_string(ge.quarantined) + " vs " + std::to_string(we.quarantined) +
+          ", residual " + vec_str(ge.residual) + " vs " + vec_str(we.residual) + "; " +
+          sc.describe());
+    }
+
+    // Window means, retention, and trusted seeds at random probe points.
+    for (int probe = 0; probe < 3; ++probe) {
+      const std::size_t w = rng.range(0, w_m);
+      if (!(logger.window_mean(t, w) == ref.window_mean(t, w))) {
+        return PropertyResult::fail(
+            "window_mean(t=" + std::to_string(t) + ", w=" + std::to_string(w) +
+            ") diverged: " + vec_str(logger.window_mean(t, w)) + " vs " +
+            vec_str(ref.window_mean(t, w)) + "; " + sc.describe());
+      }
+      const auto got_seed = logger.trusted_state(t, w);
+      const auto want_seed = ref.trusted_state(t, w);
+      if (got_seed.has_value() != want_seed.has_value() ||
+          (got_seed && !(*got_seed == *want_seed))) {
+        return PropertyResult::fail(
+            "trusted_state(t=" + std::to_string(t) + ", w=" + std::to_string(w) +
+            ") diverged (have " + std::to_string(got_seed.has_value()) + " vs " +
+            std::to_string(want_seed.has_value()) + "); " + sc.describe());
+      }
+      const std::size_t back = rng.range(0, w_m + 3);
+      const std::size_t probe_t = t >= back ? t - back : 0;
+      if (logger.has(probe_t) != ref.has(probe_t)) {
+        return PropertyResult::fail("has(" + std::to_string(probe_t) +
+                                    ") diverged at t=" + std::to_string(t) + "; " +
+                                    sc.describe());
+      }
+    }
+    prev_est = logger.entry(t).estimate;
+  }
+  if (logger.quarantined_count() != ref.quarantined_count()) {
+    return PropertyResult::fail(
+        "quarantine count diverged: " + std::to_string(logger.quarantined_count()) +
+        " vs " + std::to_string(ref.quarantined_count()) + "; " + sc.describe());
+  }
+  return PropertyResult::pass();
+}
+
+}  // namespace awd::testkit::props

@@ -1,0 +1,55 @@
+// property.hpp — the machine-checked property catalogue.
+//
+// Each Property encodes one paper guarantee (or one cross-implementation
+// agreement the codebase promises) as a pure function of a 64-bit trial
+// seed: generate a scenario from the seed, run the pipeline, check the
+// oracle.  The catalogue is the single source of truth shared by the
+// tools/prop_fuzz driver, the corpus-replay ctest, and the mutation smoke
+// binaries; DESIGN.md §11 documents the paper mapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "testkit/scenario.hpp"
+
+namespace awd::testkit {
+
+/// Outcome of evaluating one property at one seed.
+struct PropertyResult {
+  bool passed = true;
+  std::string message;  ///< failure detail; empty on pass
+
+  [[nodiscard]] static PropertyResult pass() { return {}; }
+  [[nodiscard]] static PropertyResult fail(std::string msg) {
+    return {false, std::move(msg)};
+  }
+};
+
+/// A property evaluates one seed under the given generation limits.
+using PropertyFn = PropertyResult (*)(std::uint64_t seed, const GenLimits& limits);
+
+/// One catalogue entry.
+struct Property {
+  std::string_view name;       ///< stable identifier used by --property / corpus
+  std::string_view paper_ref;  ///< paper section the oracle encodes
+  std::string_view summary;    ///< one-line description
+  PropertyFn fn = nullptr;
+};
+
+/// All registered properties, in stable order.
+[[nodiscard]] const std::vector<Property>& property_catalogue();
+
+/// Look up one property by name; nullptr when unknown.
+[[nodiscard]] const Property* find_property(std::string_view name);
+
+/// Seed for trial `index` of `property` under fuzz seed `base`: mixes the
+/// property name in so trial i of different properties never shares a
+/// scenario, while staying a pure function of (base, name, index) — the
+/// replay token printed in failure reports.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base, std::string_view property,
+                                       std::uint64_t index) noexcept;
+
+}  // namespace awd::testkit

@@ -1,0 +1,140 @@
+#include "testkit/reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace awd::testkit {
+
+RefLog::RefLog(models::DiscreteLti model, std::size_t max_window)
+    : model_(std::move(model)), max_window_(max_window), capacity_(max_window + 2) {
+  model_.validate();
+  if (max_window_ == 0) throw std::invalid_argument("RefLog: max_window must be >= 1");
+}
+
+void RefLog::log(std::size_t t, const Vec& estimate, const Vec& control) {
+  if (estimate.size() != model_.state_dim() || control.size() != model_.input_dim()) {
+    throw std::invalid_argument("RefLog::log: dimension mismatch");
+  }
+  if (!entries_.empty() && t != first_t_ + entries_.size()) {
+    throw std::invalid_argument("RefLog::log: steps must be contiguous");
+  }
+  const std::size_t n = model_.state_dim();
+
+  RefEntry e;
+  e.t = t;
+  e.estimate = estimate;
+  e.control = control;
+  // §5 quarantine, line 1: non-finite inputs are sanitized before storage —
+  // the estimate falls back to the previous finite estimate, the control to
+  // zero — so the next prediction stays finite.
+  if (!e.estimate.is_finite()) {
+    e.quarantined = true;
+    e.estimate = entries_.empty() ? Vec(n) : entries_.back().estimate;
+  }
+  if (!e.control.is_finite()) {
+    e.quarantined = true;
+    e.control = Vec(control.size());
+  }
+  if (entries_.empty()) {
+    e.predicted = e.estimate;
+    e.residual = Vec(n);
+  } else {
+    const RefEntry& prev = entries_.back();
+    e.predicted = model_.step(prev.estimate, prev.control);
+    e.residual = (e.predicted - e.estimate).cwise_abs();
+    // Line 2: finite inputs can still overflow through the prediction.
+    if (!e.predicted.is_finite() || !e.residual.is_finite()) {
+      e.quarantined = true;
+      e.predicted = e.estimate;
+      e.residual = Vec(n);
+    }
+  }
+  if (e.quarantined) {
+    e.residual = Vec(n);
+    ++quarantined_;
+  }
+  if (entries_.empty()) first_t_ = t;
+  entries_.push_back(std::move(e));
+}
+
+std::size_t RefLog::earliest_retained() const noexcept {
+  const std::size_t latest = first_t_ + entries_.size() - 1;
+  const std::size_t retained = std::min(entries_.size(), capacity_);
+  return latest - retained + 1;
+}
+
+bool RefLog::has(std::size_t t) const noexcept {
+  if (entries_.empty()) return false;
+  const std::size_t latest = first_t_ + entries_.size() - 1;
+  return t >= earliest_retained() && t <= latest;
+}
+
+const RefEntry& RefLog::entry(std::size_t t) const {
+  if (!has(t)) throw std::out_of_range("RefLog::entry: step not retained");
+  return entries_[t - first_t_];
+}
+
+Vec RefLog::window_mean(std::size_t t_end, std::size_t w) const {
+  if (!has(t_end)) throw std::out_of_range("RefLog::window_mean: t_end not retained");
+  const std::size_t lo_wanted = t_end >= w ? t_end - w : 0;
+  const std::size_t lo = std::max(lo_wanted, earliest_retained());
+
+  Vec sum(model_.state_dim());
+  std::size_t count = 0;
+  for (std::size_t s = lo; s <= t_end; ++s) {
+    const RefEntry& e = entries_[s - first_t_];
+    if (e.quarantined) continue;
+    sum += e.residual;
+    ++count;
+  }
+  if (count == 0) return Vec(model_.state_dim());
+  return sum / static_cast<double>(count);
+}
+
+std::optional<Vec> RefLog::trusted_state(std::size_t t, std::size_t w) const {
+  if (t < w + 1) return std::nullopt;
+  const std::size_t seed = t - w - 1;
+  if (!has(seed)) return std::nullopt;
+  const RefEntry& e = entries_[seed - first_t_];
+  if (e.quarantined) return std::nullopt;
+  return e.estimate;
+}
+
+std::size_t sweep_first_virtual(std::size_t t, std::size_t w_p, std::size_t w_c) noexcept {
+  // §4.2.1: virtual times [t - w_p - 1 + w_c, t - 1].  Near stream start the
+  // nominal start underflows; those virtual windows carry no unchecked data
+  // and collapse to min(w_c, t).
+  if (t >= w_p + 1) return t - w_p - 1 + w_c;
+  return std::min(w_c, t);
+}
+
+RefAdaptive::RefAdaptive(Vec tau, std::size_t max_window, bool complementary)
+    : tau_(std::move(tau)), max_window_(max_window), complementary_(complementary) {
+  if (tau_.empty()) throw std::invalid_argument("RefAdaptive: empty threshold");
+  if (max_window_ == 0) throw std::invalid_argument("RefAdaptive: max_window must be >= 1");
+}
+
+RefDecision RefAdaptive::step(const RefLog& log, std::size_t t, std::size_t deadline) {
+  RefDecision d;
+  d.window = std::min(deadline, max_window_);
+  const std::size_t w_c = d.window;
+  const std::size_t w_p = prev_window_;
+
+  if (complementary_ && !first_step_ && w_c < w_p) {
+    for (std::size_t s = sweep_first_virtual(t, w_p, w_c); s < t; ++s) {
+      if (!log.has(s)) continue;
+      ++d.evaluations;
+      if (log.window_mean(s, w_c).any_exceeds(tau_)) d.complementary_alarm = true;
+    }
+  }
+
+  d.mean_residual = log.window_mean(t, w_c);
+  ++d.evaluations;
+  d.alarm = d.mean_residual.any_exceeds(tau_);
+
+  prev_window_ = w_c;
+  first_step_ = false;
+  return d;
+}
+
+}  // namespace awd::testkit

@@ -1,0 +1,103 @@
+// reference.hpp — straight-line reimplementations used as pseudo-oracles.
+//
+// The differential properties compare the production Data Logger (§5) and
+// Adaptive Detector (§4.2) against these deliberately simple versions:
+// RefLog keeps the whole history in a flat vector instead of a ring buffer,
+// RefAdaptive walks windows without any of the production code's counters
+// or instrumentation.  Both replicate the paper semantics — quarantine
+// rules, retention horizon w_m + 2, partial windows at stream start, the
+// complementary-sweep range of §4.2.1 — with the same floating-point
+// accumulation order, so agreement is required to be *bitwise*, not
+// approximate.  Any divergence is a bug in one of the two.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/vec.hpp"
+#include "models/lti.hpp"
+
+namespace awd::testkit {
+
+using linalg::Vec;
+
+/// One logged step in the reference log.
+struct RefEntry {
+  std::size_t t = 0;
+  Vec estimate;
+  Vec control;
+  Vec predicted;
+  Vec residual;
+  bool quarantined = false;
+};
+
+/// Flat-vector reference of detect::DataLogger.
+class RefLog {
+ public:
+  RefLog(models::DiscreteLti model, std::size_t max_window);
+
+  /// Record step t (must be contiguous after the first entry).
+  void log(std::size_t t, const Vec& estimate, const Vec& control);
+
+  /// True iff step t is inside the retention horizon (last w_m + 2 steps).
+  [[nodiscard]] bool has(std::size_t t) const noexcept;
+
+  [[nodiscard]] const RefEntry& entry(std::size_t t) const;
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t quarantined_count() const noexcept { return quarantined_; }
+
+  /// Mean residual over [t_end - w, t_end] ∩ retained, skipping quarantined
+  /// points; zero vector when nothing usable remains.
+  [[nodiscard]] Vec window_mean(std::size_t t_end, std::size_t w) const;
+
+  /// The §3.3.1 trusted seed x̄_{t-w-1}, or nullopt when it does not exist,
+  /// was released, or is quarantined.
+  [[nodiscard]] std::optional<Vec> trusted_state(std::size_t t, std::size_t w) const;
+
+ private:
+  [[nodiscard]] std::size_t earliest_retained() const noexcept;
+
+  models::DiscreteLti model_;
+  std::size_t max_window_;
+  std::size_t capacity_;                ///< retention horizon w_m + 2
+  std::vector<RefEntry> entries_;       ///< full history, index i ↔ step first_t_ + i
+  std::size_t first_t_ = 0;             ///< absolute step of entries_[0]
+  std::size_t quarantined_ = 0;
+};
+
+/// Outcome of one reference adaptive-detector step.
+struct RefDecision {
+  bool alarm = false;
+  bool complementary_alarm = false;
+  std::size_t window = 0;
+  std::size_t evaluations = 0;
+  Vec mean_residual;
+
+  [[nodiscard]] bool any_alarm() const noexcept { return alarm || complementary_alarm; }
+};
+
+/// Reference of detect::AdaptiveDetector reading from a RefLog.
+class RefAdaptive {
+ public:
+  RefAdaptive(Vec tau, std::size_t max_window, bool complementary = true);
+
+  [[nodiscard]] RefDecision step(const RefLog& log, std::size_t t, std::size_t deadline);
+
+  [[nodiscard]] std::size_t previous_window() const noexcept { return prev_window_; }
+
+ private:
+  Vec tau_;
+  std::size_t max_window_;
+  bool complementary_;
+  std::size_t prev_window_ = 0;
+  bool first_step_ = true;
+};
+
+/// First virtual time of the §4.2.1 complementary sweep for a shrink from
+/// w_p to w_c at step t (exposed so coverage oracles can reason about the
+/// swept range without running a detector).
+[[nodiscard]] std::size_t sweep_first_virtual(std::size_t t, std::size_t w_p,
+                                              std::size_t w_c) noexcept;
+
+}  // namespace awd::testkit

@@ -1,0 +1,91 @@
+// rng.hpp — deterministic random source for property-based testing.
+//
+// The fuzz harness promises bit-reproducible runs for a fixed seed (the
+// replay line in a failure report must reproduce the failure exactly), so
+// generation cannot go through std::uniform_real_distribution &co., whose
+// output is implementation-defined and may differ between standard
+// libraries.  PropRng is a self-contained splitmix64 stream with hand-rolled
+// double/int/ball helpers: every draw is a pure function of the 64-bit seed
+// and the draw sequence, on any conforming toolchain.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "linalg/vec.hpp"
+
+namespace awd::testkit {
+
+using linalg::Vec;
+
+/// splitmix64 output function (Steele, Lea & Flood) over an incrementing
+/// Weyl sequence — the same mixer the simulator uses for per-run seeds.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seeded deterministic generator for scenario/property generation.
+class PropRng {
+ public:
+  explicit PropRng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next() noexcept { return mix64(state_ += 0x9e3779b97f4a7c15ULL); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double unit() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * unit(); }
+
+  /// Uniform index in [0, n); returns 0 for n == 0.  The modulo bias is
+  /// ~2^-64 per draw — irrelevant for test generation.
+  std::size_t below(std::size_t n) noexcept {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::size_t range(std::size_t lo, std::size_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// True with probability p.
+  bool chance(double p) noexcept { return unit() < p; }
+
+  /// Standard normal deviate (Box-Muller; two draws per call).
+  double gaussian() noexcept {
+    const double u1 = 1.0 - unit();  // (0, 1] keeps the log finite
+    const double u2 = unit();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Uniform point in the n-dimensional Euclidean ball of given radius
+  /// (Gaussian direction + radius^(1/n) scaling, exact for any n).
+  Vec in_ball(std::size_t n, double radius) noexcept {
+    Vec v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = gaussian();
+    const double norm = v.norm2();
+    if (norm == 0.0) return Vec(n);
+    const double r = radius * std::pow(unit(), 1.0 / static_cast<double>(n));
+    return v * (r / norm);
+  }
+
+  /// Per-dimension uniform in [-bound[i], bound[i]].
+  Vec in_box(const Vec& bound) noexcept {
+    Vec v(bound.size());
+    for (std::size_t i = 0; i < bound.size(); ++i) v[i] = uniform(-bound[i], bound[i]);
+    return v;
+  }
+
+  /// Derive an independent child seed without disturbing this stream's
+  /// position more than one draw.
+  std::uint64_t fork(std::uint64_t salt) noexcept { return mix64(next() ^ salt); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace awd::testkit

@@ -1,0 +1,238 @@
+#include "testkit/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <ostream>
+#include <stdexcept>
+
+namespace awd::testkit {
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The candidate sequence the shrinker walks, tightest-first within each
+/// move: each call proposes the next smaller limits or returns false.
+bool next_shrink_candidate(const GenLimits& current, std::size_t move, GenLimits& out) {
+  out = current;
+  switch (move) {
+    case 0:
+      if (!current.allow_attack) return false;
+      out.allow_attack = false;
+      return true;
+    case 1:
+      if (!current.allow_perturbation) return false;
+      out.allow_perturbation = false;
+      return true;
+    case 2: {
+      // 12 -> 3 -> 2 -> 1 mirrors the plant-family dimensions.
+      constexpr std::size_t kDims[] = {3, 2, 1};
+      for (const std::size_t d : kDims) {
+        if (current.max_state_dim > d) {
+          out.max_state_dim = d;
+          return true;
+        }
+      }
+      return false;
+    }
+    case 3:
+      if (current.window_cap <= 4) return false;
+      out.window_cap = std::max<std::size_t>(4, current.window_cap / 2);
+      return true;
+    case 4:
+      if (current.max_steps <= 24) return false;
+      out.max_steps = std::max<std::size_t>(24, current.max_steps / 2);
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::size_t RunReport::total_failures() const noexcept {
+  std::size_t n = 0;
+  for (const PropertyReport& p : properties) n += p.failures;
+  return n;
+}
+
+PropertyResult run_single(const Property& property, std::uint64_t trial_seed,
+                          const GenLimits& limits) {
+  try {
+    return property.fn(trial_seed, limits);
+  } catch (const std::exception& e) {
+    return PropertyResult::fail(std::string("exception: ") + e.what());
+  } catch (...) {
+    return PropertyResult::fail("exception: unknown");
+  }
+}
+
+GenLimits shrink_failure(const Property& property, std::uint64_t trial_seed,
+                         const GenLimits& start, std::string* final_message,
+                         std::size_t* evals) {
+  constexpr std::size_t kMoves = 5;
+  constexpr std::size_t kBudget = 48;
+  GenLimits best = start;
+  std::size_t spent = 0;
+  bool improved = true;
+  while (improved && spent < kBudget) {
+    improved = false;
+    for (std::size_t move = 0; move < kMoves && spent < kBudget; ++move) {
+      GenLimits candidate;
+      if (!next_shrink_candidate(best, move, candidate)) continue;
+      ++spent;
+      const PropertyResult r = run_single(property, trial_seed, candidate);
+      if (!r.passed) {
+        best = candidate;
+        if (final_message) *final_message = r.message;
+        improved = true;
+      }
+    }
+  }
+  if (evals) *evals = spent;
+  return best;
+}
+
+std::string replay_command(std::string_view exe, const FailureReport& failure) {
+  std::string cmd = std::string(exe) + " --property=" + failure.property +
+                    " --replay=" + std::to_string(failure.trial_seed);
+  const std::string flags = failure.shrunk_limits.flags();
+  if (!flags.empty()) cmd += " " + flags;
+  return cmd;
+}
+
+RunReport run_properties(const RunnerOptions& options) {
+  // Resolve the property subset up front so typos fail fast.
+  std::vector<const Property*> selected;
+  if (options.properties.empty()) {
+    for (const Property& p : property_catalogue()) selected.push_back(&p);
+  } else {
+    for (const std::string& name : options.properties) {
+      const Property* p = find_property(name);
+      if (p == nullptr) {
+        throw std::invalid_argument("unknown property '" + name +
+                                    "' (see --list for the catalogue)");
+      }
+      selected.push_back(p);
+    }
+  }
+
+  const auto start_time = std::chrono::steady_clock::now();
+  const auto out_of_time = [&]() {
+    if (options.time_budget_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_time;
+    return elapsed.count() > options.time_budget_seconds;
+  };
+
+  RunReport report;
+  report.seed = options.seed;
+  report.trials_per_property = options.trials;
+  report.limits_flags = options.limits.flags();
+
+  for (const Property* property : selected) {
+    PropertyReport pr;
+    pr.name = std::string(property->name);
+    for (std::uint64_t i = 0; i < options.trials; ++i) {
+      if (out_of_time()) {
+        report.truncated = true;
+        break;
+      }
+      const std::uint64_t seed = trial_seed(options.seed, property->name, i);
+      const PropertyResult r = run_single(*property, seed, options.limits);
+      ++pr.trials;
+      if (r.passed) continue;
+      ++pr.failures;
+      if (pr.failure_details.size() < options.max_failures) {
+        FailureReport f;
+        f.property = pr.name;
+        f.trial_index = i;
+        f.trial_seed = seed;
+        f.message = r.message;
+        f.shrunk_limits = options.limits;
+        f.shrunk_message = r.message;
+        if (options.shrink) {
+          f.shrunk_limits =
+              shrink_failure(*property, seed, options.limits, &f.shrunk_message,
+                             &f.shrink_evals);
+        }
+        f.replay = replay_command("tools/awd_prop_fuzz", f);
+        if (options.log) {
+          *options.log << "FAIL " << pr.name << " trial " << i << " seed " << seed
+                       << "\n  " << f.shrunk_message << "\n  replay: " << f.replay
+                       << "\n";
+        }
+        pr.failure_details.push_back(std::move(f));
+      }
+    }
+    if (options.log) {
+      *options.log << (pr.failures == 0 ? "ok   " : "FAIL ") << pr.name << ": "
+                   << (pr.trials - pr.failures) << "/" << pr.trials << " passed\n";
+    }
+    report.properties.push_back(std::move(pr));
+    if (report.truncated) break;
+  }
+  return report;
+}
+
+void write_json_report(const RunReport& report, std::ostream& out) {
+  out << "{\n";
+  out << "  \"seed\": " << report.seed << ",\n";
+  out << "  \"trials_per_property\": " << report.trials_per_property << ",\n";
+  out << "  \"limits\": \"" << json_escape(report.limits_flags) << "\",\n";
+  out << "  \"truncated\": " << (report.truncated ? "true" : "false") << ",\n";
+  out << "  \"total_failures\": " << report.total_failures() << ",\n";
+  out << "  \"properties\": [\n";
+  for (std::size_t i = 0; i < report.properties.size(); ++i) {
+    const PropertyReport& p = report.properties[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << json_escape(p.name) << "\",\n";
+    out << "      \"trials\": " << p.trials << ",\n";
+    out << "      \"failures\": " << p.failures << ",\n";
+    out << "      \"failure_details\": [\n";
+    for (std::size_t j = 0; j < p.failure_details.size(); ++j) {
+      const FailureReport& f = p.failure_details[j];
+      out << "        {\n";
+      out << "          \"trial_index\": " << f.trial_index << ",\n";
+      out << "          \"trial_seed\": " << f.trial_seed << ",\n";
+      out << "          \"message\": \"" << json_escape(f.message) << "\",\n";
+      out << "          \"shrunk_limits\": \"" << json_escape(f.shrunk_limits.flags())
+          << "\",\n";
+      out << "          \"shrunk_message\": \"" << json_escape(f.shrunk_message)
+          << "\",\n";
+      out << "          \"shrink_evals\": " << f.shrink_evals << ",\n";
+      out << "          \"replay\": \"" << json_escape(f.replay) << "\"\n";
+      out << "        }" << (j + 1 < p.failure_details.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n";
+    out << "    }" << (i + 1 < report.properties.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace awd::testkit

@@ -1,0 +1,94 @@
+// runner.hpp — seeded trial loop, shrinker, and JSON reporting for the
+// property catalogue.  This is the engine behind tools/prop_fuzz, the
+// corpus-replay ctest, and the mutation smoke binaries.
+//
+// Reproducibility contract: for a fixed (--seed, --trials, property set,
+// limits) the run — every generated scenario, every verdict, and the JSON
+// report byte for byte — is identical across runs and machines.  The report
+// therefore carries no timestamps or durations; wall-clock goes to the
+// human-readable log stream only.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "testkit/property.hpp"
+
+namespace awd::testkit {
+
+/// Knobs of one fuzzing run.
+struct RunnerOptions {
+  std::uint64_t seed = 0x5eed2022;  ///< base seed (--seed)
+  std::size_t trials = 200;         ///< trials per property (--trials)
+  GenLimits limits;                 ///< generation caps (shrink flags)
+  std::vector<std::string> properties;  ///< subset to run; empty = all
+  bool shrink = true;               ///< shrink failures to minimal limits
+  std::size_t max_failures = 5;     ///< stop a property after this many failures
+  /// Wall-clock budget in seconds (0 = unlimited).  When exceeded the run
+  /// stops early and the report flags itself as truncated — note that a
+  /// triggered budget trades away byte-reproducibility.
+  double time_budget_seconds = 0.0;
+  std::ostream* log = nullptr;      ///< human-readable progress (may be null)
+};
+
+/// One shrunk, replayable failure.
+struct FailureReport {
+  std::string property;
+  std::uint64_t trial_index = 0;
+  std::uint64_t trial_seed = 0;   ///< full replay token
+  std::string message;            ///< oracle message at the original limits
+  GenLimits shrunk_limits;        ///< tightest limits that still fail
+  std::string shrunk_message;     ///< oracle message at the shrunk limits
+  std::size_t shrink_evals = 0;   ///< property evaluations the shrinker spent
+  std::string replay;             ///< single command reproducing the failure
+};
+
+/// Per-property tally.
+struct PropertyReport {
+  std::string name;
+  std::size_t trials = 0;
+  std::size_t failures = 0;  ///< total, including ones beyond max_failures
+  std::vector<FailureReport> failure_details;
+};
+
+/// Whole-run result.
+struct RunReport {
+  std::uint64_t seed = 0;
+  std::size_t trials_per_property = 0;
+  std::string limits_flags;  ///< non-default generation limits ("" = defaults)
+  bool truncated = false;    ///< the time budget stopped the run early
+  std::vector<PropertyReport> properties;
+
+  [[nodiscard]] std::size_t total_failures() const noexcept;
+};
+
+/// Run the selected properties for options.trials seeded trials each.
+/// Unknown property names throw std::invalid_argument.  Exceptions escaping
+/// a property count as failures (message "exception: ...").
+[[nodiscard]] RunReport run_properties(const RunnerOptions& options);
+
+/// Evaluate one property at one explicit trial seed (the --replay path).
+/// Exceptions are folded into a failed PropertyResult.
+[[nodiscard]] PropertyResult run_single(const Property& property, std::uint64_t trial_seed,
+                                        const GenLimits& limits);
+
+/// Greedily tighten `start` (drop attack, drop perturbation, fewer state
+/// dims, smaller windows, fewer steps) while the property still fails at
+/// `trial_seed`; returns the tightest failing limits.  `final_message`
+/// receives the oracle message at those limits, `evals` the number of
+/// property evaluations spent.
+[[nodiscard]] GenLimits shrink_failure(const Property& property, std::uint64_t trial_seed,
+                                       const GenLimits& start, std::string* final_message,
+                                       std::size_t* evals);
+
+/// The single-command replay line for a failure ("<exe> --property=X
+/// --replay=SEED [limit flags]").
+[[nodiscard]] std::string replay_command(std::string_view exe, const FailureReport& failure);
+
+/// Serialize the report as deterministic JSON (stable key order, no
+/// timestamps): byte-identical for identical runs.
+void write_json_report(const RunReport& report, std::ostream& out);
+
+}  // namespace awd::testkit

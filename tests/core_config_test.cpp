@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "models/model_bank.hpp"
 
@@ -201,6 +202,58 @@ TEST(Config, ValidationRejectsNonFiniteValues) {
   EXPECT_THROW(
       broken([&](SimulatorCase& c) { c.reference_schedule = {{10, Vec{nan}}}; }).validate(),
       std::invalid_argument);
+}
+
+TEST(Config, CheckIsNoexceptAndOkOnEveryTemplate) {
+  static_assert(noexcept(std::declval<const SimulatorCase&>().check()));
+  for (const SimulatorCase& c : table1_cases()) {
+    const Status s = c.check();
+    EXPECT_TRUE(s.is_ok()) << c.key << ": " << s.message();
+  }
+  EXPECT_TRUE(testbed_case().check().is_ok());
+}
+
+TEST(Config, CheckRejectsZeroMaxWindowWithClearMessage) {
+  SimulatorCase c = simulator_case("dc_motor");
+  c.max_window = 0;
+  const Status s = c.check();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidInput);
+  EXPECT_NE(s.message().find("max_window"), std::string_view::npos);
+
+  try {
+    c.validate();
+    FAIL() << "max_window == 0 accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dc_motor"), std::string::npos);
+    EXPECT_NE(what.find("max_window must be >= 1"), std::string::npos);
+  }
+}
+
+TEST(Config, CheckRejectsNonPositiveTauWithClearMessage) {
+  for (const double bad : {0.0, -0.07}) {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    c.tau[0] = bad;
+    const Status s = c.check();
+    ASSERT_FALSE(s.is_ok()) << "tau = " << bad << " accepted";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidInput);
+    EXPECT_NE(s.message().find("tau must be > 0"), std::string_view::npos);
+    try {
+      c.validate();
+      FAIL() << "tau = " << bad << " accepted by validate()";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("tau"), std::string::npos);
+    }
+  }
+}
+
+TEST(Config, CheckReportsShapeMismatchesWithoutThrowing) {
+  SimulatorCase c = simulator_case("vehicle_turning");
+  c.tau = Vec{0.1, 0.1};  // scalar plant: wrong threshold dimension
+  const Status s = c.check();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("tau dimension mismatch"), std::string_view::npos);
 }
 
 TEST(Config, UnknownKeyErrorListsValidNames) {
