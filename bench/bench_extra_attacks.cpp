@@ -34,8 +34,13 @@ int main(int argc, char** argv) {
               "#FP", "#DM", "#FN", "mean delay");
   for (const auto& scase : core::table1_cases()) {
     for (core::AttackKind attack : attacks) {
-      const core::CellResult cell =
-          core::run_cell(scase, attack, 50, 2022, options, threads);
+      const core::CellResult cell = core::run_cell({.scase = scase,
+                                                    .attack = attack,
+                                                    .runs = 50,
+                                                    .base_seed = 2022,
+                                                    .metrics = options,
+                                                    .threads = threads})
+                                        .value();
       std::printf("%-20s %-8s %-10s %5zu %5zu %6zu %12.1f\n", scase.display_name.c_str(),
                   std::string(core::to_string(attack)).c_str(), "Adaptive",
                   cell.fp_adaptive, cell.dm_adaptive, cell.fn_adaptive,

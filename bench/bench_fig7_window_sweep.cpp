@@ -32,9 +32,14 @@ int main(int argc, char** argv) {
   options.fp_threshold = 0.1;  // FP experiment iff FP rate > 10 %
   options.warmup = 100;  // exclude controller start-up transients from FP counting
 
-  const auto points =
-      core::fixed_window_sweep(scase, core::AttackKind::kBias, windows, 100, 2022, options,
-                               threads);
+  const auto points = core::fixed_window_sweep({.scase = scase,
+                                                .attack = core::AttackKind::kBias,
+                                                .windows = windows,
+                                                .runs = 100,
+                                                .base_seed = 2022,
+                                                .metrics = options,
+                                                .threads = threads})
+                          .value();
 
   std::printf("\n%8s %16s %16s\n", "window", "#FP experiments", "#FN experiments");
   for (const auto& p : points) {

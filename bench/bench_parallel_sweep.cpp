@@ -43,8 +43,12 @@ void BM_RunCell(benchmark::State& state) {
   const core::MetricsOptions options = table2_options();
   const std::size_t threads = core::resolve_threads(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::run_cell(scase, core::AttackKind::kBias, kCellRuns, kSeed, options, threads));
+    benchmark::DoNotOptimize(core::run_cell({.scase = scase,
+                                             .attack = core::AttackKind::kBias,
+                                             .runs = kCellRuns,
+                                             .base_seed = kSeed,
+                                             .metrics = options,
+                                             .threads = threads}));
   }
   state.counters["threads"] = static_cast<double>(threads);
   state.SetLabel(scase.key);
@@ -59,9 +63,13 @@ void BM_WindowSweep(benchmark::State& state) {
   const std::vector<std::size_t> windows = sweep_windows();
   const std::size_t threads = core::resolve_threads(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::fixed_window_sweep(scase, core::AttackKind::kBias,
-                                                      windows, kSweepRuns, kSeed, options,
-                                                      threads));
+    benchmark::DoNotOptimize(core::fixed_window_sweep({.scase = scase,
+                                                       .attack = core::AttackKind::kBias,
+                                                       .windows = windows,
+                                                       .runs = kSweepRuns,
+                                                       .base_seed = kSeed,
+                                                       .metrics = options,
+                                                       .threads = threads}));
   }
   state.counters["threads"] = static_cast<double>(threads);
   state.SetLabel(scase.key);
@@ -75,12 +83,17 @@ bool verify_determinism_and_report() {
   const core::MetricsOptions options = table2_options();
   const std::size_t threads = core::resolve_threads(0);
 
+  core::ExperimentSpec cell_spec{.scase = scase,
+                                 .attack = core::AttackKind::kBias,
+                                 .runs = kCellRuns,
+                                 .base_seed = kSeed,
+                                 .metrics = options,
+                                 .threads = 1};
   const auto t0 = std::chrono::steady_clock::now();
-  const core::CellResult serial =
-      core::run_cell(scase, core::AttackKind::kBias, kCellRuns, kSeed, options, 1);
+  const core::CellResult serial = core::run_cell(cell_spec).value();
   const auto t1 = std::chrono::steady_clock::now();
-  const core::CellResult threaded =
-      core::run_cell(scase, core::AttackKind::kBias, kCellRuns, kSeed, options, threads);
+  cell_spec.threads = threads;
+  const core::CellResult threaded = core::run_cell(cell_spec).value();
   const auto t2 = std::chrono::steady_clock::now();
 
   if (!(serial == threaded)) {
@@ -94,12 +107,16 @@ bool verify_determinism_and_report() {
   sweep_case.attack_duration = 15;
   core::MetricsOptions sweep_options;
   sweep_options.warmup = 100;
-  const auto windows = sweep_windows();
-  const auto sweep_serial = core::fixed_window_sweep(
-      sweep_case, core::AttackKind::kBias, windows, kSweepRuns, kSeed, sweep_options, 1);
-  const auto sweep_threaded =
-      core::fixed_window_sweep(sweep_case, core::AttackKind::kBias, windows, kSweepRuns,
-                               kSeed, sweep_options, threads);
+  core::SweepSpec sweep_spec{.scase = sweep_case,
+                             .attack = core::AttackKind::kBias,
+                             .windows = sweep_windows(),
+                             .runs = kSweepRuns,
+                             .base_seed = kSeed,
+                             .metrics = sweep_options,
+                             .threads = 1};
+  const auto sweep_serial = core::fixed_window_sweep(sweep_spec).value();
+  sweep_spec.threads = threads;
+  const auto sweep_threaded = core::fixed_window_sweep(sweep_spec).value();
   if (!(sweep_serial == sweep_threaded)) {
     std::fprintf(
         stderr,

@@ -1,0 +1,204 @@
+// bench_stream_engine — aggregate throughput of the batched StreamEngine
+// (serve/stream_engine.hpp) against the naive per-stream loop a user would
+// write: construct a DetectionSystem per stream, run() it to a materialized
+// trace, score with compute_metrics, destroy, next stream.  Emits
+// BENCH_stream_engine.json for the CI regression gate.
+//
+// Aggregate throughput is reported as items_per_second where one item is
+// one stream-step.  Three shapes, each over a heterogeneous mix of four
+// plant families:
+//   * BM_NaivePerStreamLoop/N      — the serial baseline loop;
+//   * BM_StreamEngine/N/1          — the engine pinned to one thread: the
+//     batching wins alone (shared estimators, per-shard arenas, streaming
+//     metrics, no trace) at an identical thread count;
+//   * BM_StreamEngine/N/0          — the engine on its full pool (auto
+//     threads): what a serving deployment gets.  Machine-dependent, so
+//     absent from the committed baselines (reports as "new, not gated").
+//
+// Before benchmarking, main() verifies the engine's core contract: every
+// drained stream's metrics must be bitwise identical to the standalone
+// run_cell_once path — a broken determinism guarantee cannot produce a
+// green benchmark run.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "awd.hpp"
+#include "bench_json.hpp"
+
+namespace {
+
+using namespace awd;
+
+const char* const kPlants[] = {"aircraft_pitch", "vehicle_turning", "series_rlc",
+                               "dc_motor"};
+constexpr std::size_t kPlantCount = 4;
+
+/// The engine's guard policy, applied to the baseline too so both sides
+/// score identically.
+MetricsOptions guarded(const SimulatorCase& scase) {
+  MetricsOptions options;
+  options.post_attack_guard = scase.max_window;
+  return options;
+}
+
+AttackKind attack_for(std::size_t stream) {
+  constexpr AttackKind kAttacks[] = {AttackKind::kBias, AttackKind::kDelay,
+                                     AttackKind::kReplay, AttackKind::kFreeze};
+  return kAttacks[stream % 4];
+}
+
+/// Total stream-steps for an N-stream mixed workload (every case runs its
+/// configured length).
+std::size_t workload_steps(std::size_t streams) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < streams; ++s) {
+    total += simulator_case(kPlants[s % kPlantCount]).steps;
+  }
+  return total;
+}
+
+// Arg 0 = stream count.
+void BM_NaivePerStreamLoop(benchmark::State& state) {
+  const std::size_t streams = static_cast<std::size_t>(state.range(0));
+  std::vector<SimulatorCase> cases;
+  for (std::size_t p = 0; p < kPlantCount; ++p) {
+    cases.push_back(simulator_case(kPlants[p]));
+  }
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < streams; ++s) {
+      const SimulatorCase& scase = cases[s % kPlantCount];
+      benchmark::DoNotOptimize(
+          run_cell_once(scase, attack_for(s), /*seed=*/s + 1, guarded(scase)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload_steps(streams)));
+}
+BENCHMARK(BM_NaivePerStreamLoop)->Arg(64)->Arg(1024)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Arg 0 = stream count, arg 1 = engine threads (0 = auto).
+void BM_StreamEngine(benchmark::State& state) {
+  const std::size_t streams = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  std::vector<SimulatorCase> cases;
+  for (std::size_t p = 0; p < kPlantCount; ++p) {
+    cases.push_back(simulator_case(kPlants[p]));
+  }
+  for (auto _ : state) {
+    StreamEngine engine(
+        {.threads = threads, .max_streams = streams, .queue_capacity = streams});
+    std::vector<serve::StreamId> ids;
+    ids.reserve(streams);
+    for (std::size_t s = 0; s < streams; ++s) {
+      ids.push_back(engine
+                        .submit({.scase = cases[s % kPlantCount],
+                                 .attack = attack_for(s),
+                                 .seed = s + 1})
+                        .value());
+    }
+    engine.run_to_completion();
+    for (serve::StreamId id : ids) {
+      benchmark::DoNotOptimize(engine.drain(id).value());
+    }
+  }
+  state.counters["threads"] = static_cast<double>(core::resolve_threads(threads));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload_steps(streams)));
+}
+BENCHMARK(BM_StreamEngine)
+    ->Args({64, 1})
+    ->Args({1024, 1})
+    ->Args({64, 0})
+    ->Args({1024, 0})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Engine-vs-standalone bitwise differential (the same contract
+/// tests/api/stream_engine_test.cpp proves exhaustively), plus a one-shot
+/// aggregate steps/sec summary at 256 streams.
+bool verify_differential_and_report() {
+  StreamEngine engine({.threads = 0, .max_streams = 256, .queue_capacity = 256});
+  struct Expected {
+    serve::StreamId id;
+    CellRunOutcome reference;
+  };
+  std::vector<Expected> expected;
+  for (std::size_t s = 0; s < 24; ++s) {
+    const SimulatorCase scase = simulator_case(kPlants[s % kPlantCount]);
+    Result<serve::StreamId> id =
+        engine.submit({.scase = scase, .attack = attack_for(s), .seed = s + 1});
+    if (!id.is_ok()) {
+      std::fprintf(stderr, "FATAL: submit failed: %s\n",
+                   std::string(id.status().message()).c_str());
+      return false;
+    }
+    expected.push_back(
+        {id.value(), run_cell_once(scase, attack_for(s), s + 1, guarded(scase))});
+  }
+  engine.run_to_completion();
+  const auto equal = [](const RunMetrics& a, const RunMetrics& b) {
+    return a.fp_rate == b.fp_rate &&
+           a.first_alarm_after_onset == b.first_alarm_after_onset &&
+           a.detection_delay == b.detection_delay &&
+           a.deadline_at_onset == b.deadline_at_onset &&
+           a.fp_experiment == b.fp_experiment && a.deadline_miss == b.deadline_miss &&
+           a.false_negative == b.false_negative && a.first_unsafe == b.first_unsafe;
+  };
+  for (const Expected& e : expected) {
+    const serve::StreamResult result = engine.drain(e.id).value();
+    if (!equal(result.adaptive, e.reference.adaptive) ||
+        !equal(result.fixed, e.reference.fixed)) {
+      std::fprintf(stderr, "FATAL: stream %llu diverged from standalone pipeline\n",
+                   static_cast<unsigned long long>(e.id));
+      return false;
+    }
+  }
+
+  // One-shot aggregate summary: serial baseline loop vs engine on its pool.
+  using clock = std::chrono::steady_clock;
+  constexpr std::size_t kStreams = 256;
+  const std::size_t total_steps = workload_steps(kStreams);
+  const auto t0 = clock::now();
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const SimulatorCase scase = simulator_case(kPlants[s % kPlantCount]);
+    benchmark::DoNotOptimize(run_cell_once(scase, attack_for(s), s + 1, guarded(scase)));
+  }
+  const auto t1 = clock::now();
+  StreamEngine serving({.threads = 0, .max_streams = kStreams, .queue_capacity = kStreams});
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    (void)serving
+        .submit({.scase = simulator_case(kPlants[s % kPlantCount]),
+                 .attack = attack_for(s),
+                 .seed = s + 1})
+        .value();
+  }
+  serving.run_to_completion();
+  const auto t2 = clock::now();
+  const double naive_s = std::chrono::duration<double>(t1 - t0).count();
+  const double engine_s = std::chrono::duration<double>(t2 - t1).count();
+  std::printf(
+      "%zu mixed streams (%zu stream-steps): naive loop %.0f ksteps/s, engine %.0f "
+      "ksteps/s on %zu thread(s) — %.2fx, results bit-identical\n\n",
+      kStreams, total_steps, static_cast<double>(total_steps) / naive_s / 1e3,
+      static_cast<double>(total_steps) / engine_s / 1e3, core::resolve_threads(0),
+      naive_s / engine_s);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // ObsSession strips --obs-out before google-benchmark sees the flag.
+  const awd::obs::ObsSession obs_session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!verify_differential_and_report()) return 1;
+  awd::bench::run_benchmarks_with_json("BENCH_stream_engine.json");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,8 +37,13 @@ int main(int argc, char** argv) {
               "#DM", "mean delay");
   for (const auto& scase : core::table1_cases()) {
     for (core::AttackKind attack : attacks) {
-      const core::CellResult cell =
-          core::run_cell(scase, attack, 100, 2022, options, threads);
+      const core::CellResult cell = core::run_cell({.scase = scase,
+                                                    .attack = attack,
+                                                    .runs = 100,
+                                                    .base_seed = 2022,
+                                                    .metrics = options,
+                                                    .threads = threads})
+                                        .value();
       std::printf("%-20s %-8s %-10s %5zu %5zu %12.1f\n", scase.display_name.c_str(),
                   std::string(core::to_string(attack)).c_str(), "Adaptive",
                   cell.fp_adaptive, cell.dm_adaptive, cell.mean_delay_adaptive);

@@ -8,18 +8,20 @@
 #include <cstdio>
 #include <memory>
 
+// The facade supplies the stable surface (ObsSession, StepRecord, Trace);
+// the remaining includes are internal component headers, pulled in on
+// purpose — manual composition is the point of this example.
 #include "attack/attack.hpp"
+#include "awd.hpp"
 #include "detect/adaptive.hpp"
 #include "detect/logger.hpp"
 #include "models/discretize.hpp"
 #include "models/model_bank.hpp"
-#include "obs/obs.hpp"
 #include "reach/deadline.hpp"
 #include "sim/pid.hpp"
-#include "sim/simulator.hpp"
 
 int main(int argc, char** argv) {
-  const awd::obs::ObsSession obs_session(argc, argv);
+  const awd::ObsSession obs_session(argc, argv);
   using namespace awd;
   using linalg::Vec;
 
@@ -60,7 +62,7 @@ int main(int argc, char** argv) {
   std::size_t first_alert = 0;
   bool alerted = false;
   for (std::size_t t = 0; t < 400; ++t) {
-    const sim::StepRecord rec = simulator.step();
+    const StepRecord rec = simulator.step();
     logger.log(rec.t, rec.estimate, rec.commanded);
 
     std::size_t deadline = w_m;

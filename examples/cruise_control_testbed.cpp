@@ -9,18 +9,16 @@
 // too late.
 #include <cstdio>
 
-#include "core/detection_system.hpp"
-#include "core/metrics.hpp"
-#include "models/model_bank.hpp"
-#include "obs/obs.hpp"
+#include "awd.hpp"
+#include "models/model_bank.hpp"  // internal: testbed case + speed scale constant
 
 int main(int argc, char** argv) {
-  const awd::obs::ObsSession obs_session(argc, argv);
+  const awd::ObsSession obs_session(argc, argv);
   using namespace awd;
 
-  const core::SimulatorCase scase = core::testbed_case();
-  core::DetectionSystem system(scase, core::AttackKind::kBias, /*seed=*/3);
-  const sim::Trace trace = system.run();
+  const SimulatorCase scase = core::testbed_case();
+  DetectionSystem system(scase, AttackKind::kBias, /*seed=*/3);
+  const Trace trace = system.run();
 
   std::printf("RC-car cruise control: +2.5 m/s sensor bias at step %zu\n\n",
               scase.attack_start);
@@ -35,10 +33,10 @@ int main(int argc, char** argv) {
                 r.fixed_alarm ? "[FIXED ALERT]" : "", r.unsafe ? "[UNSAFE]" : "");
   }
 
-  const core::RunMetrics ma = core::compute_metrics(
-      trace, scase.attack_start, scase.attack_duration, core::Strategy::kAdaptive);
-  const core::RunMetrics mf = core::compute_metrics(
-      trace, scase.attack_start, scase.attack_duration, core::Strategy::kFixed);
+  const RunMetrics ma =
+      compute_metrics(trace, scase.attack_start, scase.attack_duration, Strategy::kAdaptive);
+  const RunMetrics mf =
+      compute_metrics(trace, scase.attack_start, scase.attack_duration, Strategy::kFixed);
   std::printf("\nadaptive: alert %s (delay %s steps)\n",
               ma.first_alarm_after_onset
                   ? std::to_string(*ma.first_alarm_after_onset).c_str()

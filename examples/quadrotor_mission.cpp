@@ -7,35 +7,31 @@
 // hand-picked τ, and exporting the full trace for plotting.
 #include <cstdio>
 
-#include "core/calibration.hpp"
-#include "core/csv.hpp"
-#include "core/detection_system.hpp"
-#include "core/metrics.hpp"
-#include "obs/obs.hpp"
+#include "awd.hpp"
 
 int main(int argc, char** argv) {
-  const awd::obs::ObsSession obs_session(argc, argv);
+  const awd::ObsSession obs_session(argc, argv);
   using namespace awd;
 
-  core::SimulatorCase scase = core::simulator_case("quadrotor");
+  SimulatorCase scase = simulator_case("quadrotor");
 
   // Replace Table 1's τ with one calibrated from attack-free flights of
   // this exact mission (99.5th percentile of clean residuals + 20% margin).
-  core::ThresholdCalibrationOptions cal;
+  ThresholdCalibrationOptions cal;
   cal.runs = 5;
   cal.quantile = 0.995;
   cal.margin = 1.2;
-  scase.tau = core::calibrate_threshold(scase, /*seed=*/21, cal);
+  scase.tau = calibrate_threshold(scase, /*seed=*/21, cal);
   std::printf("calibrated tau (altitude dim): %.4f  (Table 1 used 0.018)\n",
               scase.tau[2]);
 
-  core::DetectionSystem system(scase, core::AttackKind::kReplay, /*seed=*/6);
-  const sim::Trace trace = system.run();
+  DetectionSystem system(scase, AttackKind::kReplay, /*seed=*/6);
+  const Trace trace = system.run();
 
-  const core::RunMetrics ma = core::compute_metrics(
-      trace, scase.attack_start, scase.attack_duration, core::Strategy::kAdaptive);
-  const core::RunMetrics mf = core::compute_metrics(
-      trace, scase.attack_start, scase.attack_duration, core::Strategy::kFixed);
+  const RunMetrics ma =
+      compute_metrics(trace, scase.attack_start, scase.attack_duration, Strategy::kAdaptive);
+  const RunMetrics mf =
+      compute_metrics(trace, scase.attack_start, scase.attack_duration, Strategy::kFixed);
 
   std::printf("\nreplay attack at step %zu (re-serving the mission's first period)\n",
               scase.attack_start);
@@ -61,7 +57,7 @@ int main(int argc, char** argv) {
   }
 
   const char* csv_path = "quadrotor_mission_trace.csv";
-  core::write_trace_csv(csv_path, trace);
+  write_trace_csv(csv_path, trace);
   std::printf("\nfull trace written to %s (plot altitude, deadline, window)\n", csv_path);
   return 0;
 }

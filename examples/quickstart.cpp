@@ -2,34 +2,32 @@
 //
 // Builds the paper's full detection pipeline for one plant (the vehicle
 // turning simulator), injects a bias attack, runs the closed loop, and
-// prints what the detector saw.  Everything here goes through the
-// high-level core API; see aircraft_monitor.cpp for manual composition of
-// the individual components.
+// prints what the detector saw.  Everything here goes through the stable
+// awd::v1 facade; see aircraft_monitor.cpp for manual composition of the
+// individual components from internal headers.
 #include <cstdio>
 
-#include "core/detection_system.hpp"
-#include "core/metrics.hpp"
-#include "obs/obs.hpp"
+#include "awd.hpp"
 
 int main(int argc, char** argv) {
-  const awd::obs::ObsSession obs_session(argc, argv);
+  const awd::ObsSession obs_session(argc, argv);
   using namespace awd;
 
   // 1. Pick a preconfigured plant (Table 1 row) — model, PID controller,
   //    actuator limits, uncertainty bound, safe set, threshold.
-  const core::SimulatorCase scase = core::simulator_case("vehicle_turning");
+  const SimulatorCase scase = simulator_case("vehicle_turning");
 
   // 2. Wire the full run-time system: closed-loop simulator + data logger +
   //    deadline estimator + adaptive detector + fixed baseline, with a bias
   //    attack starting at the case's default step.
-  core::DetectionSystem system(scase, core::AttackKind::kBias, /*seed=*/42);
+  DetectionSystem system(scase, AttackKind::kBias, /*seed=*/42);
 
   // 3. Run and analyze.
-  const sim::Trace trace = system.run();
-  const core::RunMetrics adaptive = core::compute_metrics(
-      trace, scase.attack_start, scase.attack_duration, core::Strategy::kAdaptive);
-  const core::RunMetrics fixed = core::compute_metrics(
-      trace, scase.attack_start, scase.attack_duration, core::Strategy::kFixed);
+  const Trace trace = system.run();
+  const RunMetrics adaptive = compute_metrics(trace, scase.attack_start,
+                                              scase.attack_duration, Strategy::kAdaptive);
+  const RunMetrics fixed = compute_metrics(trace, scase.attack_start,
+                                           scase.attack_duration, Strategy::kFixed);
 
   std::printf("Vehicle-turning simulator, bias attack at step %zu\n", scase.attack_start);
   std::printf("  detection deadline at onset: %zu steps\n", adaptive.deadline_at_onset);

@@ -9,27 +9,32 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/experiment.hpp"
-#include "obs/obs.hpp"
+#include "awd.hpp"
 
 int main(int argc, char** argv) {
-  const awd::obs::ObsSession obs_session(argc, argv);
+  const awd::ObsSession obs_session(argc, argv);
   using namespace awd;
 
-  core::SimulatorCase scase = core::simulator_case("series_rlc");
+  SimulatorCase scase = simulator_case("series_rlc");
   scase.attack_duration = 15;
 
   // Optional first argument: worker threads for the sweep (0 = all cores);
   // results are bit-identical regardless.
-  core::ExecutionConfig exec;
+  ExecutionConfig exec;
   if (argc > 1) exec.threads = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
 
   const std::vector<std::size_t> windows = {0, 2, 5, 10, 15, 20, 30, 40, 60, 80, 100};
-  core::MetricsOptions options;
+  MetricsOptions options;
   options.warmup = 100;
 
-  const auto points = core::fixed_window_sweep(scase, core::AttackKind::kBias, windows, 50,
-                                               1234, options, exec.threads);
+  const auto points = fixed_window_sweep({.scase = scase,
+                                          .attack = AttackKind::kBias,
+                                          .windows = windows,
+                                          .runs = 50,
+                                          .base_seed = 1234,
+                                          .metrics = options,
+                                          .threads = exec.threads})
+                          .value();
 
   std::printf("Series RLC, 15-step bias attack, 50 runs per window size\n\n");
   std::printf("%8s %16s %16s\n", "window", "#FP experiments", "#FN experiments");

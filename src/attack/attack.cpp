@@ -15,6 +15,12 @@ Vec BiasAttack::apply(std::size_t t, const Vec& clean, const std::vector<Vec>&) 
   return clean + bias_;
 }
 
+void BiasAttack::apply_into(std::size_t t, const Vec& clean, const std::vector<Vec>&,
+                            Vec& out) const {
+  out = clean;
+  if (window_.active(t)) out += bias_;
+}
+
 DelayAttack::DelayAttack(AttackWindow window, std::size_t lag)
     : window_(window), lag_(lag) {
   if (window_.duration == 0) throw std::invalid_argument("DelayAttack: zero duration");
@@ -27,6 +33,16 @@ Vec DelayAttack::apply(std::size_t t, const Vec& clean,
   const std::size_t src = t >= lag_ ? t - lag_ : 0;
   if (src >= history.size()) return clean;  // no history yet; nothing to delay to
   return history[src];
+}
+
+void DelayAttack::apply_into(std::size_t t, const Vec& clean,
+                             const std::vector<Vec>& history, Vec& out) const {
+  if (!window_.active(t)) {
+    out = clean;
+    return;
+  }
+  const std::size_t src = t >= lag_ ? t - lag_ : 0;
+  out = src >= history.size() ? clean : history[src];
 }
 
 ReplayAttack::ReplayAttack(AttackWindow window, std::size_t record_start)
@@ -46,6 +62,16 @@ Vec ReplayAttack::apply(std::size_t t, const Vec& clean,
   return history[src];
 }
 
+void ReplayAttack::apply_into(std::size_t t, const Vec& clean,
+                              const std::vector<Vec>& history, Vec& out) const {
+  if (!window_.active(t)) {
+    out = clean;
+    return;
+  }
+  const std::size_t src = record_start_ + (t - window_.start);
+  out = src >= history.size() ? clean : history[src];
+}
+
 FreezeAttack::FreezeAttack(AttackWindow window) : window_(window) {
   if (window_.duration == 0) throw std::invalid_argument("FreezeAttack: zero duration");
 }
@@ -58,6 +84,16 @@ Vec FreezeAttack::apply(std::size_t t, const Vec& clean,
   return history[src];
 }
 
+void FreezeAttack::apply_into(std::size_t t, const Vec& clean,
+                              const std::vector<Vec>& history, Vec& out) const {
+  if (!window_.active(t) || window_.start == 0 || history.empty()) {
+    out = clean;
+    return;
+  }
+  const std::size_t src = std::min(window_.start - 1, history.size() - 1);
+  out = history[src];
+}
+
 RampAttack::RampAttack(AttackWindow window, Vec slope)
     : window_(window), slope_(std::move(slope)) {
   if (window_.duration == 0) throw std::invalid_argument("RampAttack: zero duration");
@@ -67,6 +103,23 @@ Vec RampAttack::apply(std::size_t t, const Vec& clean, const std::vector<Vec>&) 
   if (!window_.active(t)) return clean;
   const double steps = static_cast<double>(t - window_.start + 1);
   return clean + slope_ * steps;
+}
+
+void RampAttack::apply_into(std::size_t t, const Vec& clean, const std::vector<Vec>&,
+                            Vec& out) const {
+  out = clean;
+  if (!window_.active(t)) return;
+  if (slope_.size() != out.size()) {
+    out += slope_;  // unreachable on success: throws apply()'s size-mismatch error
+    return;
+  }
+  const double steps = static_cast<double>(t - window_.start + 1);
+  // Statement-separated multiply/add keeps the two roundings apply() gets
+  // from its (slope * steps) temporary — no contraction into an FMA.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double ramp = slope_[i] * steps;
+    out[i] += ramp;
+  }
 }
 
 }  // namespace awd::attack

@@ -46,6 +46,21 @@ class Attack {
   [[nodiscard]] virtual Vec apply(std::size_t t, const Vec& clean,
                                   const std::vector<Vec>& history) const = 0;
 
+  /// apply() into caller-owned storage.  The default adapts apply();
+  /// attacks whose arithmetic permits it override with an allocation-free
+  /// body producing bit-identical values.  Thread-safe (attacks are
+  /// immutable); `out` must not alias `clean` or any history entry.
+  virtual void apply_into(std::size_t t, const Vec& clean,
+                          const std::vector<Vec>& history, Vec& out) const {
+    out = apply(t, clean, history);
+  }
+
+  /// True when apply() may read the clean-measurement history.  The
+  /// simulator skips recording history for attacks that never look at it
+  /// (bias/ramp/none), which removes the per-step history append without
+  /// changing any delivered measurement.
+  [[nodiscard]] virtual bool needs_history() const noexcept { return true; }
+
   /// True while the attack is manipulating measurements.
   [[nodiscard]] virtual bool active(std::size_t t) const = 0;
 
@@ -62,6 +77,11 @@ class NoAttack final : public Attack {
                           const std::vector<Vec>&) const override {
     return clean;
   }
+  void apply_into(std::size_t, const Vec& clean, const std::vector<Vec>&,
+                  Vec& out) const override {
+    out = clean;
+  }
+  [[nodiscard]] bool needs_history() const noexcept override { return false; }
   [[nodiscard]] bool active(std::size_t) const override { return false; }
   [[nodiscard]] std::size_t start() const override { return static_cast<std::size_t>(-1); }
   [[nodiscard]] std::string name() const override { return "none"; }
@@ -75,6 +95,9 @@ class BiasAttack final : public Attack {
 
   [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
                           const std::vector<Vec>& history) const override;
+  void apply_into(std::size_t t, const Vec& clean, const std::vector<Vec>& history,
+                  Vec& out) const override;
+  [[nodiscard]] bool needs_history() const noexcept override { return false; }
   [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
   [[nodiscard]] std::size_t start() const override { return window_.start; }
   [[nodiscard]] std::string name() const override { return "bias"; }
@@ -95,6 +118,8 @@ class DelayAttack final : public Attack {
 
   [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
                           const std::vector<Vec>& history) const override;
+  void apply_into(std::size_t t, const Vec& clean, const std::vector<Vec>& history,
+                  Vec& out) const override;
   [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
   [[nodiscard]] std::size_t start() const override { return window_.start; }
   [[nodiscard]] std::string name() const override { return "delay"; }
@@ -116,6 +141,8 @@ class ReplayAttack final : public Attack {
 
   [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
                           const std::vector<Vec>& history) const override;
+  void apply_into(std::size_t t, const Vec& clean, const std::vector<Vec>& history,
+                  Vec& out) const override;
   [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
   [[nodiscard]] std::size_t start() const override { return window_.start; }
   [[nodiscard]] std::string name() const override { return "replay"; }
@@ -136,6 +163,8 @@ class FreezeAttack final : public Attack {
 
   [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
                           const std::vector<Vec>& history) const override;
+  void apply_into(std::size_t t, const Vec& clean, const std::vector<Vec>& history,
+                  Vec& out) const override;
   [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
   [[nodiscard]] std::size_t start() const override { return window_.start; }
   [[nodiscard]] std::string name() const override { return "freeze"; }
@@ -153,6 +182,9 @@ class RampAttack final : public Attack {
 
   [[nodiscard]] Vec apply(std::size_t t, const Vec& clean,
                           const std::vector<Vec>& history) const override;
+  void apply_into(std::size_t t, const Vec& clean, const std::vector<Vec>& history,
+                  Vec& out) const override;
+  [[nodiscard]] bool needs_history() const noexcept override { return false; }
   [[nodiscard]] bool active(std::size_t t) const override { return window_.active(t); }
   [[nodiscard]] std::size_t start() const override { return window_.start; }
   [[nodiscard]] std::string name() const override { return "ramp"; }

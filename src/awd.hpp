@@ -1,0 +1,107 @@
+// awd.hpp — the library's stable public surface (README "Public API &
+// versioning").
+//
+// Everything re-exported here under `awd::v1` is the API the project
+// commits to: applications include this one header and use the plain
+// `awd::` names (v1 is an inline namespace, so `awd::DetectionSystem` and
+// `awd::v1::DetectionSystem` are the same type — but the mangled symbols
+// carry the version, so a future `v2` can change signatures side by side
+// while `v1` keeps linking).  Internal headers (`core/…`, `detect/…`, …)
+// remain includable for composition and research, with no stability
+// promise beyond what this facade re-exports.
+//
+// The surface, by layer:
+//   * outcomes    — Status / StatusCode / Result<T>
+//   * scenarios   — SimulatorCase, AttackKind, the Table 1 bank
+//   * pipeline    — DetectionSystem (+ options), StepRecord / Trace
+//   * scoring     — RunMetrics, compute_metrics, StreamingMetrics
+//   * campaigns   — ExperimentSpec / SweepSpec runners (Table 2 / Fig. 7)
+//   * calibration — threshold / max-window profiling
+//   * serving     — StreamEngine: batched multi-stream detection
+//   * tooling     — CSV export, observability session
+#pragma once
+
+#include "core/calibration.hpp"
+#include "core/config.hpp"
+#include "core/csv.hpp"
+#include "core/detection_system.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel.hpp"
+#include "core/status.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "obs/obs.hpp"
+#include "serve/stream_engine.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace awd {
+inline namespace v1 {
+
+// Outcomes.
+using core::Result;
+using core::Status;
+using core::StatusCode;
+
+// Scenarios (Table 1) and the vector/matrix types their fields expose.
+using linalg::Matrix;
+using linalg::Vec;
+
+using core::AttackKind;
+using core::ExecutionConfig;
+using core::SimulatorCase;
+using core::simulator_case;
+using core::table1_cases;
+
+// The detection pipeline (Fig. 1).
+using core::DetectionSystem;
+using core::DetectionSystemOptions;
+using sim::StepRecord;
+using sim::Trace;
+
+// Scoring (§6).
+using core::compute_metrics;
+using core::MetricsOptions;
+using core::RunMetrics;
+using core::StreamingMetrics;
+using core::Strategy;
+
+// Monte-Carlo campaigns (Table 2 / Fig. 7).
+using core::CellResult;
+using core::CellRunOutcome;
+using core::ExperimentSpec;
+using core::fixed_window_sweep;
+using core::run_cell;
+using core::run_cell_once;
+using core::SweepSpec;
+using core::WindowSweepPoint;
+
+// Calibration (§4.3 operating points).
+using core::calibrate_threshold;
+using core::MaxWindowOptions;
+using core::MaxWindowProfile;
+using core::profile_max_window;
+using core::ThresholdCalibrationOptions;
+
+// Fault model and degradation states.
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::HealthState;
+
+// Batched multi-stream serving (DESIGN.md §12).
+using serve::EngineSnapshot;
+using serve::StreamEngine;
+using serve::StreamEngineOptions;
+using serve::StreamId;
+using serve::StreamResult;
+using serve::StreamSpec;
+using serve::StreamState;
+using serve::StreamStatus;
+
+// Tooling.
+using core::write_trace_csv;
+using obs::ObsSession;
+
+}  // namespace v1
+}  // namespace awd

@@ -59,8 +59,19 @@ MaxWindowProfile profile_max_window(const SimulatorCase& scase, AttackKind attac
     windows.push_back(w);
   }
   MaxWindowProfile profile;
-  profile.sweep = fixed_window_sweep(scase, attack, windows, options.runs, seed,
-                                     options.metrics, options.exec.threads);
+  Result<std::vector<WindowSweepPoint>> sweep =
+      fixed_window_sweep({.scase = scase,
+                          .attack = attack,
+                          .windows = windows,
+                          .runs = options.runs,
+                          .base_seed = seed,
+                          .metrics = options.metrics,
+                          .threads = options.exec.threads});
+  if (!sweep.is_ok()) {
+    throw std::invalid_argument("profile_max_window: " +
+                                std::string(sweep.status().message()));
+  }
+  profile.sweep = std::move(sweep).value();
 
   // FN grows with the window; take the largest window still within
   // tolerance (the "cutting line" of §4.3).

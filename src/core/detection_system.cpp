@@ -57,7 +57,6 @@ struct StepObs {
 sim::Simulator build_simulator(const SimulatorCase& scase, AttackKind attack,
                                std::uint64_t seed, const DetectionSystemOptions& options,
                                std::shared_ptr<fault::FaultInjector> faults) {
-  scase.validate();
   sim::Plant plant(scase.model, scase.u_range, scase.eps, scase.x0);
   sim::SimulatorOptions opts;
   opts.x0 = scase.x0;
@@ -68,6 +67,7 @@ sim::Simulator build_simulator(const SimulatorCase& scase, AttackKind attack,
   opts.reference_schedule = scase.reference_schedule;
   opts.reference_sinusoids = scase.reference_sinusoids;
   opts.faults = std::move(faults);
+  opts.lean_records = options.lean_records;
   return sim::Simulator(std::move(plant), scase.make_controller(),
                         scase.make_attack(attack), std::move(opts),
                         options.make_estimator ? options.make_estimator() : nullptr);
@@ -75,28 +75,81 @@ sim::Simulator build_simulator(const SimulatorCase& scase, AttackKind attack,
 
 }  // namespace
 
-DetectionSystem::DetectionSystem(const SimulatorCase& scase, AttackKind attack,
-                                 std::uint64_t seed, DetectionSystemOptions options)
+DetectionSystem::DetectionSystem(AssembleTag, const SimulatorCase& scase,
+                                 AttackKind attack, std::uint64_t seed,
+                                 DetectionSystemOptions options)
     : case_(scase),
       faults_(options.fault_plan.empty()
                   ? nullptr
                   : std::make_shared<fault::FaultInjector>(std::move(options.fault_plan))),
       simulator_(build_simulator(scase, attack, seed, options, faults_)),
       logger_(scase.model, scase.max_window),
-      estimator_(scase.model, scase.u_range,
-                 scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach, scase.safe_set,
-                 reach::DeadlineConfig{scase.max_window, options.init_radius,
-                                       options.deadline_budget}),
+      estimator_(options.shared_deadline_estimator
+                     ? std::move(options.shared_deadline_estimator)
+                     : std::make_shared<const reach::DeadlineEstimator>(
+                           scase.model, scase.u_range,
+                           scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach,
+                           scase.safe_set,
+                           reach::DeadlineConfig{scase.max_window, options.init_radius,
+                                                 options.deadline_budget})),
       adaptive_(scase.tau, scase.max_window),
       fixed_(scase.tau, options.fixed_window.value_or(scase.fixed_window)),
       health_(options.health),
+      per_step_obs_(options.per_step_obs),
       last_valid_deadline_(scase.max_window) {}
 
-sim::StepRecord DetectionSystem::step() {
-  StepObs& ob = StepObs::get();
-  obs::StageClock stage_clock;
+Result<DetectionSystem> DetectionSystem::create(const SimulatorCase& scase,
+                                                AttackKind attack, std::uint64_t seed,
+                                                DetectionSystemOptions options) {
+  if (Status s = scase.check(); !s.is_ok()) return s;
+  if (options.shared_deadline_estimator) {
+    const reach::DeadlineEstimator& shared = *options.shared_deadline_estimator;
+    const reach::DeadlineConfig& cfg = shared.config();
+    if (cfg.max_window != scase.max_window || cfg.init_radius != options.init_radius ||
+        cfg.budget_steps != options.deadline_budget) {
+      return Status{StatusCode::kInvalidInput,
+                    "shared deadline estimator config mismatch "
+                    "(max_window/init_radius/budget must match the case)"};
+    }
+    if (shared.safe_set().dim() != scase.model.state_dim()) {
+      return Status{StatusCode::kInvalidInput,
+                    "shared deadline estimator dimension mismatch"};
+    }
+  }
+  try {
+    return DetectionSystem(AssembleTag{}, scase, attack, seed, std::move(options));
+  } catch (const std::exception&) {
+    // check() vets everything the component constructors re-validate; a
+    // throw past this point is a wiring gap, surfaced as a status so the
+    // serving path still cannot unwind.
+    return Status{StatusCode::kInvalidInput, "case rejected during assembly"};
+  }
+}
 
-  sim::StepRecord rec = simulator_.step();
+DetectionSystem::DetectionSystem(const SimulatorCase& scase, AttackKind attack,
+                                 std::uint64_t seed, DetectionSystemOptions options)
+    : DetectionSystem([&]() -> DetectionSystem {
+        scase.validate();  // key-prefixed diagnostics for the throwing path
+        Result<DetectionSystem> r = create(scase, attack, seed, std::move(options));
+        if (!r.is_ok()) {
+          throw std::invalid_argument("DetectionSystem: " +
+                                      std::string(r.status().message()));
+        }
+        return std::move(r).value();
+      }()) {}
+
+sim::StepRecord DetectionSystem::step() {
+  sim::StepRecord rec;
+  step_into(rec);
+  return rec;
+}
+
+void DetectionSystem::step_into(sim::StepRecord& rec) {
+  StepObs& ob = StepObs::get();
+  obs::StageClock stage_clock(per_step_obs_);
+
+  simulator_.step_into(rec);
+  rec.deadline_fallback = false;  // reused records must not leak the flag
   stage_clock.mark(ob.stage_estimate, "step.estimate");
 
   // Data Logger: buffer the estimate and the control input the predictor
@@ -125,8 +178,7 @@ sim::StepRecord DetectionSystem::step() {
   // most one per step — with floor 1, the most alert the window gets.
   std::size_t deadline = case_.max_window;
   bool deadline_failed = false;
-  const std::optional<Vec> seed_state =
-      logger_.trusted_state(rec.t, adaptive_.previous_window());
+  const Vec* seed_state = logger_.trusted_state_view(rec.t, adaptive_.previous_window());
   if (!seed_state) ob.seed_unavailable.inc();
   if (seed_state) {
     if (faults_ && faults_->deadline_budget_exhausted(rec.t)) {
@@ -137,7 +189,7 @@ sim::StepRecord DetectionSystem::step() {
         rec.fault = fault::FaultKind::kDeadlineBudget;
       }
     } else {
-      const core::Result<std::size_t> est = estimator_.estimate_checked(*seed_state);
+      const core::Result<std::size_t> est = estimator_->estimate_checked(*seed_state);
       if (est.is_ok()) {
         deadline = est.value();
       } else {
@@ -160,14 +212,16 @@ sim::StepRecord DetectionSystem::step() {
   stage_clock.mark(ob.stage_deadline, "step.deadline");
 
   // Adaptive Detector (§4.2) with complementary sweeps on shrink.
-  const detect::AdaptiveDecision ad = adaptive_.step(logger_, rec.t, deadline);
+  adaptive_.step_into(logger_, rec.t, deadline, adaptive_scratch_);
+  const detect::AdaptiveDecision& ad = adaptive_scratch_;
   evaluations_ += ad.evaluations;
   rec.window = ad.window;
   rec.adaptive_alarm = ad.any_alarm();
   stage_clock.mark(ob.stage_window_adapt, "step.window_adapt");
 
   // Fixed-window baseline on the same residual stream.
-  rec.fixed_alarm = fixed_.step(logger_, rec.t).alarm;
+  fixed_.step_into(logger_, rec.t, fixed_scratch_);
+  rec.fixed_alarm = fixed_scratch_.alarm;
 
   rec.unsafe = !case_.safe_set.contains(rec.true_state);
 
@@ -182,7 +236,6 @@ sim::StepRecord DetectionSystem::step() {
   if (rec.adaptive_alarm) ob.adaptive_alarms.inc();
   if (rec.fixed_alarm) ob.fixed_alarms.inc();
   if (rec.unsafe) ob.unsafe_steps.inc();
-  return rec;
 }
 
 sim::Trace DetectionSystem::run(std::size_t steps) {

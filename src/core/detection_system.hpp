@@ -23,6 +23,7 @@
 #include <optional>
 
 #include "core/config.hpp"
+#include "core/status.hpp"
 #include "detect/adaptive.hpp"
 #include "detect/fixed.hpp"
 #include "detect/logger.hpp"
@@ -50,20 +51,56 @@ struct DetectionSystemOptions {
   /// Real-time budget for each deadline search, in reach-box queries
   /// (0 = unlimited).  Exhaustion triggers the deadline-decay fallback.
   std::size_t deadline_budget = 0;
+
+  /// Reuse an already-built deadline estimator instead of constructing one
+  /// (its constructor flattens the reach recursion into per-step tables —
+  /// the dominant setup cost).  The estimator's query API is const, so many
+  /// systems of the same plant family can share one instance
+  /// (serve::StreamEngine's per-family cache).  create() rejects an
+  /// estimator whose config or dimensions disagree with the case.
+  std::shared_ptr<const reach::DeadlineEstimator> shared_deadline_estimator;
+
+  /// Forwarded to sim::SimulatorOptions::lean_records: skip the record-only
+  /// prediction/residual fields of each StepRecord.  Detection outputs stay
+  /// bit-identical (the DataLogger recomputes both internally).
+  bool lean_records = false;
+
+  /// When false, step() skips its per-stage StageClock marks (the five
+  /// pipeline span timers).  Counters still count.  Serving paths that
+  /// aggregate their own per-shard timers turn this off; the detection
+  /// outputs are unaffected either way.
+  bool per_step_obs = true;
 };
 
 /// One fully wired detection run over one plant/attack/seed combination.
 class DetectionSystem {
  public:
-  /// Assemble plant, controller, attack, logger, estimator and detectors
-  /// from a case description.  Throws std::invalid_argument on an invalid
-  /// case.
+  /// Non-throwing factory: assemble plant, controller, attack, logger,
+  /// estimator and detectors from a case description.  Returns
+  /// kInvalidInput (with the first violation's message) instead of
+  /// throwing — the serving path's only construction entry point
+  /// (serve::StreamEngine), where one bad stream spec must not unwind the
+  /// engine.
+  [[nodiscard]] static Result<DetectionSystem> create(const SimulatorCase& scase,
+                                                      AttackKind attack,
+                                                      std::uint64_t seed,
+                                                      DetectionSystemOptions options = {});
+
+  /// Throwing convenience constructor; delegates to create() and raises
+  /// std::invalid_argument on an invalid case (the case key prefixed to
+  /// the first violation, as SimulatorCase::validate reports it).
   DetectionSystem(const SimulatorCase& scase, AttackKind attack, std::uint64_t seed,
                   DetectionSystemOptions options = {});
 
   /// Advance one control period through the full pipeline; the returned
   /// record carries the detection outputs (deadline, window, alarms).
   sim::StepRecord step();
+
+  /// step() into a caller-owned record whose vectors are reused across
+  /// steps — the allocation-free serving entry point (serve::StreamEngine).
+  /// Single implementation: step() delegates here, so records are
+  /// bit-identical either way.
+  void step_into(sim::StepRecord& rec);
 
   /// Run the case's configured number of steps (or `steps` if nonzero).
   [[nodiscard]] sim::Trace run(std::size_t steps = 0);
@@ -74,6 +111,14 @@ class DetectionSystem {
 
   [[nodiscard]] const detect::DataLogger& logger() const noexcept { return logger_; }
   [[nodiscard]] const reach::DeadlineEstimator& estimator() const noexcept {
+    return *estimator_;
+  }
+
+  /// The deadline estimator as a shareable handle — pass it to another
+  /// system's options (shared_deadline_estimator) to amortize its
+  /// construction across a plant family.
+  [[nodiscard]] std::shared_ptr<const reach::DeadlineEstimator> estimator_handle()
+      const noexcept {
     return estimator_;
   }
   [[nodiscard]] const SimulatorCase& scase() const noexcept { return case_; }
@@ -86,17 +131,27 @@ class DetectionSystem {
   [[nodiscard]] const fault::FaultInjector* faults() const noexcept { return faults_.get(); }
 
  private:
+  /// Tag selecting the assembling constructor (create() runs the checks
+  /// first; the tag keeps it from colliding with the throwing overload).
+  struct AssembleTag {};
+  DetectionSystem(AssembleTag, const SimulatorCase& scase, AttackKind attack,
+                  std::uint64_t seed, DetectionSystemOptions options);
+
   SimulatorCase case_;
   std::shared_ptr<fault::FaultInjector> faults_;  ///< before simulator_: init order
   sim::Simulator simulator_;
   detect::DataLogger logger_;
-  reach::DeadlineEstimator estimator_;
+  std::shared_ptr<const reach::DeadlineEstimator> estimator_;  ///< shareable, never null
   detect::AdaptiveDetector adaptive_;
   detect::FixedWindowDetector fixed_;
   fault::HealthMonitor health_;
+  bool per_step_obs_ = true;
   std::size_t evaluations_ = 0;
   std::size_t last_valid_deadline_ = 0;  ///< most recent non-fallback deadline
   std::size_t fallback_steps_ = 0;       ///< consecutive deadline fallbacks so far
+  // step_into scratch (not logical state; buffers reused across steps).
+  detect::AdaptiveDecision adaptive_scratch_;
+  detect::WindowDecision fixed_scratch_;
 };
 
 }  // namespace awd::core

@@ -1,6 +1,9 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "core/detection_system.hpp"
 #include "core/parallel.hpp"
@@ -199,22 +202,87 @@ CellResult reduce_cell(const SimulatorCase& scase, AttackKind attack,
   return cell;
 }
 
-CellResult run_cell(const SimulatorCase& scase, AttackKind attack, std::size_t runs,
-                    std::uint64_t base_seed, const MetricsOptions& options,
-                    std::size_t threads) {
+Status ExperimentSpec::check() const noexcept {
+  if (Status s = scase.check(); !s.is_ok()) return s;
+  if (runs == 0) {
+    return Status{StatusCode::kInvalidInput, "ExperimentSpec: runs must be >= 1"};
+  }
+  return Status::ok();
+}
+
+Status SweepSpec::check() const noexcept {
+  if (Status s = scase.check(); !s.is_ok()) return s;
+  if (runs == 0) {
+    return Status{StatusCode::kInvalidInput, "SweepSpec: runs must be >= 1"};
+  }
+  if (windows.empty()) {
+    return Status{StatusCode::kInvalidInput, "SweepSpec: windows must be non-empty"};
+  }
+  return Status::ok();
+}
+
+Result<CellResult> run_cell(const ExperimentSpec& spec) {
+  if (Status s = spec.check(); !s.is_ok()) return s;
+
   // Alarms while a window still covers attacked samples are delayed true
   // positives; by default guard one maximal window past the attack.
-  MetricsOptions opts = options;
-  if (opts.post_attack_guard == 0) opts.post_attack_guard = scase.max_window;
+  MetricsOptions opts = spec.metrics;
+  if (opts.post_attack_guard == 0) opts.post_attack_guard = spec.scase.max_window;
 
   // Each run is independent (seed derived from the run index, not from any
   // shared RNG state); slot r receives run r's outcome no matter which
   // worker computes it, and reduce_cell walks the slots in order.
-  std::vector<CellRunOutcome> outcomes(runs);
-  parallel_for(runs, threads, [&](std::size_t r) {
-    outcomes[r] = run_cell_once(scase, attack, run_seed(base_seed, r), opts);
+  std::vector<CellRunOutcome> outcomes(spec.runs);
+  parallel_for(spec.runs, spec.threads, [&](std::size_t r) {
+    outcomes[r] =
+        run_cell_once(spec.scase, spec.attack, run_seed(spec.base_seed, r), opts);
   });
-  return reduce_cell(scase, attack, outcomes);
+  return reduce_cell(spec.scase, spec.attack, outcomes);
+}
+
+Result<std::vector<WindowSweepPoint>> fixed_window_sweep(const SweepSpec& spec) {
+  if (Status s = spec.check(); !s.is_ok()) return s;
+
+  std::vector<SweepRunOutcome> outcomes(spec.runs);
+  parallel_for(spec.runs, spec.threads, [&](std::size_t r) {
+    outcomes[r] = sweep_run_once(spec.scase, spec.attack, spec.windows,
+                                 run_seed(spec.base_seed, r), spec.metrics);
+  });
+
+  // Ordered reduction: identical counts regardless of thread count.
+  std::vector<WindowSweepPoint> points(spec.windows.size());
+  for (std::size_t w = 0; w < spec.windows.size(); ++w) points[w].window = spec.windows[w];
+  for (const SweepRunOutcome& o : outcomes) {
+    for (std::size_t wi = 0; wi < spec.windows.size(); ++wi) {
+      if (o.fp_experiment[wi]) ++points[wi].fp_experiments;
+      if (o.fn_experiment[wi]) ++points[wi].fn_experiments;
+    }
+  }
+  return points;
+}
+
+namespace {
+
+/// Shared tail of the deprecated positional shims.
+template <typename T>
+T value_or_throw(Result<T> result) {
+  if (!result.is_ok()) {
+    throw std::invalid_argument(std::string(result.status().message()));
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+CellResult run_cell(const SimulatorCase& scase, AttackKind attack, std::size_t runs,
+                    std::uint64_t base_seed, const MetricsOptions& options,
+                    std::size_t threads) {
+  return value_or_throw(run_cell(ExperimentSpec{.scase = scase,
+                                                .attack = attack,
+                                                .runs = runs,
+                                                .base_seed = base_seed,
+                                                .metrics = options,
+                                                .threads = threads}));
 }
 
 std::vector<WindowSweepPoint> fixed_window_sweep(const SimulatorCase& scase,
@@ -223,21 +291,13 @@ std::vector<WindowSweepPoint> fixed_window_sweep(const SimulatorCase& scase,
                                                  std::size_t runs, std::uint64_t base_seed,
                                                  const MetricsOptions& options,
                                                  std::size_t threads) {
-  std::vector<SweepRunOutcome> outcomes(runs);
-  parallel_for(runs, threads, [&](std::size_t r) {
-    outcomes[r] = sweep_run_once(scase, attack, windows, run_seed(base_seed, r), options);
-  });
-
-  // Ordered reduction: identical counts regardless of thread count.
-  std::vector<WindowSweepPoint> points(windows.size());
-  for (std::size_t w = 0; w < windows.size(); ++w) points[w].window = windows[w];
-  for (const SweepRunOutcome& o : outcomes) {
-    for (std::size_t wi = 0; wi < windows.size(); ++wi) {
-      if (o.fp_experiment[wi]) ++points[wi].fp_experiments;
-      if (o.fn_experiment[wi]) ++points[wi].fn_experiments;
-    }
-  }
-  return points;
+  return value_or_throw(fixed_window_sweep(SweepSpec{.scase = scase,
+                                                     .attack = attack,
+                                                     .windows = windows,
+                                                     .runs = runs,
+                                                     .base_seed = base_seed,
+                                                     .metrics = options,
+                                                     .threads = threads}));
 }
 
 }  // namespace awd::core

@@ -25,6 +25,7 @@
 
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "core/status.hpp"
 
 namespace awd::core {
 
@@ -65,10 +66,35 @@ struct CellRunOutcome {
 [[nodiscard]] CellResult reduce_cell(const SimulatorCase& scase, AttackKind attack,
                                      const std::vector<CellRunOutcome>& outcomes);
 
-/// Run one Table 2 cell: `runs` seeded simulations with both detectors.
-/// @param threads worker threads for the run loop: 0 = auto (AWD_THREADS
-///                env var, else hardware concurrency), 1 = serial.  Results
-///                are bit-identical for every value.
+/// Parameters of one Table 2 cell.  Designated initializers replace the
+/// old six-argument positional call:
+///   run_cell({.scase = scase, .attack = AttackKind::kBias, .runs = 100,
+///             .base_seed = 2022});
+struct ExperimentSpec {
+  SimulatorCase scase;
+  AttackKind attack = AttackKind::kNone;
+  std::size_t runs = 100;       ///< seeded Monte-Carlo runs (§6.1: 100)
+  std::uint64_t base_seed = 0;  ///< run r uses splitmix64-derived seed r
+  /// Scoring parameters; a zero post_attack_guard defaults to
+  /// scase.max_window (alarms while a window still covers attacked samples
+  /// are delayed true positives).
+  MetricsOptions metrics = {};
+  /// Worker threads for the run loop: 0 = auto (AWD_THREADS env var, else
+  /// hardware concurrency), 1 = serial.  Results are bit-identical for
+  /// every value.
+  std::size_t threads = 0;
+
+  /// First violation as a Status (kInvalidInput), or OK.
+  [[nodiscard]] Status check() const noexcept;
+};
+
+/// Run one Table 2 cell: spec.runs seeded simulations with both detectors.
+/// Returns spec.check()'s Status when the spec is invalid.
+[[nodiscard]] Result<CellResult> run_cell(const ExperimentSpec& spec);
+
+/// Deprecated positional form; forwards to run_cell(ExperimentSpec) and
+/// throws std::invalid_argument when the spec is rejected.
+[[deprecated("use run_cell(const ExperimentSpec&) with designated initializers")]]
 [[nodiscard]] CellResult run_cell(const SimulatorCase& scase, AttackKind attack,
                                   std::size_t runs, std::uint64_t base_seed,
                                   const MetricsOptions& options = {},
@@ -84,11 +110,29 @@ struct WindowSweepPoint {
                                        const WindowSweepPoint&) = default;
 };
 
+/// Parameters of one Fig. 7 sweep (see ExperimentSpec for the field
+/// conventions; `windows` must be non-empty).
+struct SweepSpec {
+  SimulatorCase scase;
+  AttackKind attack = AttackKind::kNone;
+  std::vector<std::size_t> windows;  ///< window sizes to evaluate (e.g. 0..100)
+  std::size_t runs = 100;            ///< experiments per window size (shared traces)
+  std::uint64_t base_seed = 0;
+  MetricsOptions metrics = {};  ///< used as given (no post_attack_guard defaulting)
+  std::size_t threads = 0;
+
+  /// First violation as a Status (kInvalidInput), or OK.
+  [[nodiscard]] Status check() const noexcept;
+};
+
 /// Fig. 7: profile the fixed-window detector across window sizes.
-/// @param windows window sizes to evaluate (e.g. 0..100)
-/// @param runs    experiments per window size (shared traces)
-/// @param threads worker threads (see run_cell); results are bit-identical
-///                for every value
+/// Returns spec.check()'s Status when the spec is invalid.
+[[nodiscard]] Result<std::vector<WindowSweepPoint>> fixed_window_sweep(
+    const SweepSpec& spec);
+
+/// Deprecated positional form; forwards to fixed_window_sweep(SweepSpec)
+/// and throws std::invalid_argument when the spec is rejected.
+[[deprecated("use fixed_window_sweep(const SweepSpec&) with designated initializers")]]
 [[nodiscard]] std::vector<WindowSweepPoint> fixed_window_sweep(
     const SimulatorCase& scase, AttackKind attack, const std::vector<std::size_t>& windows,
     std::size_t runs, std::uint64_t base_seed, const MetricsOptions& options = {},

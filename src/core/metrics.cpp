@@ -58,4 +58,56 @@ RunMetrics compute_metrics(const sim::Trace& trace, std::size_t attack_start,
   return m;
 }
 
+StreamingMetrics::StreamingMetrics(std::size_t attack_start, std::size_t attack_duration,
+                                   MetricsOptions options)
+    : attack_start_(attack_start),
+      attack_end_(attack_start + attack_duration),
+      options_(options) {}
+
+void StreamingMetrics::observe(const sim::StepRecord& rec) {
+  const std::size_t i = steps_++;
+  const bool alarms[2] = {rec.adaptive_alarm, rec.fixed_alarm};
+
+  // FP counting — the exact per-step predicate of false_positive_rate.
+  if (i >= options_.warmup &&
+      !(i >= attack_start_ && i < attack_end_ + options_.post_attack_guard)) {
+    ++clean_steps_;
+    for (std::size_t s = 0; s < 2; ++s) {
+      if (alarms[s]) ++fp_alarms_[s];
+    }
+  }
+
+  if (i == attack_start_) deadline_at_onset_ = rec.deadline;
+  if (i >= attack_start_) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      if (alarms[s] && !first_alarm_[s]) first_alarm_[s] = i;
+    }
+  }
+  if (rec.unsafe && !first_unsafe_) first_unsafe_ = i;
+}
+
+RunMetrics StreamingMetrics::finish(Strategy strategy) const {
+  if (attack_start_ >= steps_) {
+    throw std::invalid_argument("compute_metrics: attack_start outside trace");
+  }
+  const std::size_t s = strategy == Strategy::kAdaptive ? 0 : 1;
+
+  RunMetrics m;
+  m.fp_rate = clean_steps_ == 0 ? 0.0
+                                : static_cast<double>(fp_alarms_[s]) /
+                                      static_cast<double>(clean_steps_);
+  m.fp_experiment = m.fp_rate > options_.fp_threshold;
+  m.deadline_at_onset = deadline_at_onset_;
+  m.first_unsafe = first_unsafe_;
+
+  m.first_alarm_after_onset = first_alarm_[s];
+  if (m.first_alarm_after_onset) {
+    m.detection_delay = *m.first_alarm_after_onset - attack_start_;
+  }
+  m.false_negative = !m.first_alarm_after_onset.has_value();
+  m.deadline_miss = !m.first_alarm_after_onset ||
+                    *m.first_alarm_after_onset > attack_start_ + m.deadline_at_onset;
+  return m;
+}
+
 }  // namespace awd::core

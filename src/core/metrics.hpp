@@ -61,4 +61,50 @@ struct MetricsOptions {
                                          std::size_t attack_end, Strategy strategy,
                                          std::size_t warmup = 0, std::size_t guard = 0);
 
+/// One-pass metrics accumulator: feed each StepRecord as it is produced and
+/// read the RunMetrics at the end, without ever materializing a Trace.  The
+/// serving path (serve::StreamEngine) scores thousands of concurrent
+/// streams this way — O(1) state per stream instead of O(steps) records.
+///
+/// Equivalence contract: observing the records of a run in step order and
+/// calling finish() yields the same RunMetrics object — bit-identical,
+/// including the FP-rate division — as compute_metrics over the collected
+/// trace with the same arguments.  Both implementations classify each step
+/// with the same predicate (warmup steps skipped; steps inside
+/// [attack_start, attack_end + guard) excluded from FP counting) and derive
+/// delay / deadline-miss / false-negative from the same first-alarm value,
+/// so the counts they divide are equal integers.
+class StreamingMetrics {
+ public:
+  /// @param attack_start    first attacked step (== compute_metrics's)
+  /// @param attack_duration attacked step count
+  StreamingMetrics(std::size_t attack_start, std::size_t attack_duration,
+                   MetricsOptions options = {});
+
+  /// Fold in the record of the next step.  Records must arrive in step
+  /// order from step 0; the accumulator counts steps itself and ignores
+  /// rec.t, exactly as compute_metrics indexes the trace.
+  void observe(const sim::StepRecord& rec);
+
+  /// Steps observed so far.
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+  /// Metrics for one strategy over every step observed so far.  Throws
+  /// std::invalid_argument when the attack onset has not been observed yet
+  /// (compute_metrics's "attack_start outside trace" condition).
+  [[nodiscard]] RunMetrics finish(Strategy strategy) const;
+
+ private:
+  std::size_t attack_start_;
+  std::size_t attack_end_;  ///< attack_start + attack_duration
+  MetricsOptions options_;
+
+  std::size_t steps_ = 0;
+  std::size_t clean_steps_ = 0;  ///< FP-countable steps (strategy-independent)
+  std::size_t fp_alarms_[2] = {0, 0};  ///< [kAdaptive, kFixed]
+  std::optional<std::size_t> first_alarm_[2];  ///< first alarm at/after onset
+  std::size_t deadline_at_onset_ = 0;          ///< deadline of step attack_start
+  std::optional<std::size_t> first_unsafe_;
+};
+
 }  // namespace awd::core

@@ -56,8 +56,17 @@ AdaptiveDetector::AdaptiveDetector(Vec tau, std::size_t max_window, bool complem
 
 AdaptiveDecision AdaptiveDetector::step(const DataLogger& logger, std::size_t t,
                                         std::size_t deadline) {
-  AdaptiveObs& ob = AdaptiveObs::get();
   AdaptiveDecision d;
+  step_into(logger, t, deadline, d);
+  return d;
+}
+
+void AdaptiveDetector::step_into(const DataLogger& logger, std::size_t t,
+                                 std::size_t deadline, AdaptiveDecision& d) {
+  AdaptiveObs& ob = AdaptiveObs::get();
+  d.alarm = false;
+  d.complementary_alarm = false;
+  d.evaluations = 0;
   d.window = std::min(deadline, max_window_);
 
   const std::size_t w_c = d.window;
@@ -94,16 +103,20 @@ AdaptiveDecision AdaptiveDetector::step(const DataLogger& logger, std::size_t t,
 #endif
     for (std::size_t s = first_virtual; s < t; ++s) {
       if (!logger.has(s)) continue;
-      const WindowDecision wd = evaluate_window(logger, s, w_c, tau_);
+      evaluate_window_into(logger, s, w_c, tau_, sweep_scratch_);
       ++d.evaluations;
-      if (wd.alarm) d.complementary_alarm = true;
+      if (sweep_scratch_.alarm) d.complementary_alarm = true;
     }
   }
 
-  const WindowDecision now = evaluate_window(logger, t, w_c, tau_);
+  // Current-step test, writing the mean straight into the decision (the
+  // same three operations evaluate_window_into performs).
+  logger.window_mean_into(t, w_c, d.mean_residual);
+  if (tau_.size() != d.mean_residual.size()) {
+    throw std::invalid_argument("evaluate_window: threshold dimension mismatch");
+  }
+  d.alarm = d.mean_residual.any_exceeds(tau_);
   ++d.evaluations;
-  d.alarm = now.alarm;
-  d.mean_residual = now.mean_residual;
 
   if (d.evaluations > 1) ob.sweep_evals.inc(d.evaluations - 1);
   if (d.alarm) ob.alarms.inc();
@@ -111,7 +124,6 @@ AdaptiveDecision AdaptiveDetector::step(const DataLogger& logger, std::size_t t,
 
   prev_window_ = w_c;
   first_step_ = false;
-  return d;
 }
 
 void AdaptiveDetector::reset() noexcept {

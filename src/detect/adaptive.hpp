@@ -48,6 +48,12 @@ class AdaptiveDetector {
   [[nodiscard]] AdaptiveDecision step(const DataLogger& logger, std::size_t t,
                                       std::size_t deadline);
 
+  /// step() into a caller-owned decision whose mean_residual buffer is
+  /// reused across steps.  Single implementation — the value-returning
+  /// overload delegates here.
+  void step_into(const DataLogger& logger, std::size_t t, std::size_t deadline,
+                 AdaptiveDecision& out);
+
   /// Forget the previous window size (new run).
   void reset() noexcept;
 
@@ -61,6 +67,7 @@ class AdaptiveDetector {
   bool complementary_;
   std::size_t prev_window_ = 0;
   bool first_step_ = true;
+  WindowDecision sweep_scratch_;  ///< complementary-sweep scratch (not logical state)
 };
 
 }  // namespace awd::detect

@@ -13,4 +13,9 @@ WindowDecision FixedWindowDetector::step(const DataLogger& logger, std::size_t t
   return evaluate_window(logger, t, window_, tau_);
 }
 
+void FixedWindowDetector::step_into(const DataLogger& logger, std::size_t t,
+                                    WindowDecision& out) const {
+  evaluate_window_into(logger, t, window_, tau_, out);
+}
+
 }  // namespace awd::detect

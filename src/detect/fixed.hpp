@@ -19,6 +19,10 @@ class FixedWindowDetector {
   /// Evaluate at step t using the shared data logger.
   [[nodiscard]] WindowDecision step(const DataLogger& logger, std::size_t t) const;
 
+  /// step() into a caller-owned decision (mean_residual buffer reused);
+  /// the value-returning overload delegates here.
+  void step_into(const DataLogger& logger, std::size_t t, WindowDecision& out) const;
+
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
   [[nodiscard]] const Vec& threshold() const noexcept { return tau_; }
 

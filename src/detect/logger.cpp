@@ -1,5 +1,6 @@
 #include "detect/logger.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -51,8 +52,13 @@ core::Status DataLogger::check_log(std::size_t t, const Vec& estimate,
 const LogEntry& DataLogger::store(std::size_t t, const Vec& estimate, const Vec& control) {
   const std::size_t n = model_.state_dim();
 
-  LogEntry e;
+  // Build the entry directly in its ring slot: every field is overwritten
+  // below, so the slot's vectors act as a per-step arena (no allocation
+  // once their buffers are sized).  The slot never aliases the previous
+  // entry's slot — steps are contiguous and the capacity is >= 3.
+  LogEntry& e = buf_[t % buf_.size()];
   e.t = t;
+  e.quarantined = false;
   e.estimate = estimate;
   e.control = control;
 
@@ -61,42 +67,46 @@ const LogEntry& DataLogger::store(std::size_t t, const Vec& estimate, const Vec&
   // step's prediction stays finite; a non-finite control becomes zero.
   if (!e.estimate.is_finite()) {
     e.quarantined = true;
-    e.estimate = size_ > 0 ? slot(latest_).estimate : Vec(n);
+    if (size_ > 0) {
+      e.estimate = slot(latest_).estimate;
+    } else {
+      e.estimate.assign(n, 0.0);
+    }
   }
   if (!e.control.is_finite()) {
     e.quarantined = true;
-    e.control = Vec(control.size());
+    e.control.assign(control.size(), 0.0);
   }
 
   if (size_ == 0) {
     // No previous step: define the prediction as the estimate itself so the
     // first residual is zero.
     e.predicted = e.estimate;
-    e.residual = Vec(n);
+    e.residual.assign(n, 0.0);
   } else {
     const LogEntry& prev = slot(latest_);
-    e.predicted = model_.step(prev.estimate, prev.control);
-    e.residual = (e.predicted - e.estimate).cwise_abs();
+    model_.step_into(prev.estimate, prev.control, e.predicted, predict_scratch_);
+    e.residual = e.predicted;
+    e.residual -= e.estimate;
+    for (double& z : e.residual) z = std::abs(z);
     // Quarantine line 2: even finite inputs can overflow through an
     // unstable model's prediction.
     if (!e.predicted.is_finite() || !e.residual.is_finite()) {
       e.quarantined = true;
       e.predicted = e.estimate;
-      e.residual = Vec(n);
+      e.residual.assign(n, 0.0);
     }
   }
   if (e.quarantined) {
-    e.residual = Vec(n);  // quarantined residuals contribute nothing
+    e.residual.assign(n, 0.0);  // quarantined residuals contribute nothing
     ++quarantined_;
     LoggerObs::get().quarantined.inc();
   }
   LoggerObs::get().entries.inc();
 
-  LogEntry& dst = buf_[t % buf_.size()];
-  dst = std::move(e);
   latest_ = t;
   if (size_ < buf_.size()) ++size_;  // Release happens implicitly: the ring overwrites
-  return dst;
+  return e;
 }
 
 const LogEntry& DataLogger::log(std::size_t t, const Vec& estimate, const Vec& control) {
@@ -143,6 +153,12 @@ std::size_t DataLogger::latest() const {
 }
 
 Vec DataLogger::window_mean(std::size_t t_end, std::size_t w) const {
+  Vec out;
+  window_mean_into(t_end, w, out);
+  return out;
+}
+
+void DataLogger::window_mean_into(std::size_t t_end, std::size_t w, Vec& out) const {
   if (!has(t_end)) {
     throw std::out_of_range("DataLogger::window_mean: t_end not retained");
   }
@@ -155,23 +171,29 @@ Vec DataLogger::window_mean(std::size_t t_end, std::size_t w) const {
 #endif
   const std::size_t lo = std::max(lo_wanted, earliest());
 
-  Vec sum(model_.state_dim());
+  out.assign(model_.state_dim(), 0.0);
   std::size_t count = 0;
   for (std::size_t s = lo; s <= t_end; ++s) {
     const LogEntry& e = slot(s);
     if (e.quarantined) continue;
-    sum += e.residual;
+    out += e.residual;
     ++count;
   }
   // Every point quarantined: no usable evidence in the window.  Zero is the
   // conservative answer — the detector stays silent rather than alarming on
   // garbage (the corruption itself is surfaced through the health monitor).
-  if (count == 0) return Vec(model_.state_dim());
-  return sum / static_cast<double>(count);
+  if (count == 0) return;
+  out /= static_cast<double>(count);
 }
 
 std::optional<Vec> DataLogger::trusted_state(std::size_t t, std::size_t w) const {
-  if (t < w + 1) return std::nullopt;  // startup: nothing outside the window yet
+  const Vec* seed = trusted_state_view(t, w);
+  if (seed == nullptr) return std::nullopt;
+  return *seed;
+}
+
+const Vec* DataLogger::trusted_state_view(std::size_t t, std::size_t w) const noexcept {
+  if (t < w + 1) return nullptr;  // startup: nothing outside the window yet
 #ifdef AWD_MUT_TRUSTED_SEED_INSIDE_WINDOW
   // [mutation-smoke seeded bug] seeds reachability from the newest
   // *in-window* point — a state the current window has not yet cleared.
@@ -179,10 +201,10 @@ std::optional<Vec> DataLogger::trusted_state(std::size_t t, std::size_t w) const
 #else
   const std::size_t seed = t - w - 1;
 #endif
-  if (!has(seed)) return std::nullopt;
+  if (!has(seed)) return nullptr;
   const LogEntry& e = slot(seed);
-  if (e.quarantined) return std::nullopt;  // corrupted points never seed reachability
-  return e.estimate;
+  if (e.quarantined) return nullptr;  // corrupted points never seed reachability
+  return &e.estimate;
 }
 
 void DataLogger::reset() {

@@ -91,12 +91,22 @@ class DataLogger {
   /// itself is not retained.
   [[nodiscard]] Vec window_mean(std::size_t t_end, std::size_t w) const;
 
+  /// window_mean() into caller-owned storage (resized, buffer reused).
+  /// Single implementation of the mean — the value-returning overload
+  /// delegates here — so batched callers are bit-identical.
+  void window_mean_into(std::size_t t_end, std::size_t w, Vec& out) const;
+
   /// The trusted seed for deadline estimation at time t with window w:
   /// the estimate x̄_{t-w-1} that just left the detection window (§3.3.1),
   /// or nullopt while the stream is younger than w + 1 steps or when the
   /// seed entry is quarantined (a corrupted point must never seed
   /// reachability).
   [[nodiscard]] std::optional<Vec> trusted_state(std::size_t t, std::size_t w) const;
+
+  /// trusted_state() without the copy: a pointer into the ring (valid until
+  /// the next log/reset), or nullptr exactly when trusted_state() — which
+  /// delegates here — returns nullopt.
+  [[nodiscard]] const Vec* trusted_state_view(std::size_t t, std::size_t w) const noexcept;
 
   /// Forget everything (new run).
   void reset();
@@ -116,6 +126,7 @@ class DataLogger {
   models::DiscreteLti model_;
   std::size_t max_window_;
   std::vector<LogEntry> buf_;  ///< ring, indexed by t mod capacity
+  Vec predict_scratch_;        ///< store() scratch (not logical state)
   std::size_t size_ = 0;       ///< retained entry count
   std::size_t latest_ = 0;     ///< absolute step of newest entry (valid when size_ > 0)
   std::size_t quarantined_ = 0;  ///< lifetime quarantine count

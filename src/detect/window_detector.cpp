@@ -7,12 +7,17 @@ namespace awd::detect {
 WindowDecision evaluate_window(const DataLogger& logger, std::size_t t_end, std::size_t w,
                                const Vec& tau) {
   WindowDecision d;
-  d.mean_residual = logger.window_mean(t_end, w);
-  if (tau.size() != d.mean_residual.size()) {
+  evaluate_window_into(logger, t_end, w, tau, d);
+  return d;
+}
+
+void evaluate_window_into(const DataLogger& logger, std::size_t t_end, std::size_t w,
+                          const Vec& tau, WindowDecision& out) {
+  logger.window_mean_into(t_end, w, out.mean_residual);
+  if (tau.size() != out.mean_residual.size()) {
     throw std::invalid_argument("evaluate_window: threshold dimension mismatch");
   }
-  d.alarm = d.mean_residual.any_exceeds(tau);
-  return d;
+  out.alarm = out.mean_residual.any_exceeds(tau);
 }
 
 }  // namespace awd::detect

@@ -21,4 +21,10 @@ struct WindowDecision {
 [[nodiscard]] WindowDecision evaluate_window(const DataLogger& logger, std::size_t t_end,
                                              std::size_t w, const Vec& tau);
 
+/// evaluate_window() into a caller-owned decision whose mean_residual
+/// buffer is reused.  Single implementation of the test — the
+/// value-returning overload delegates here.
+void evaluate_window_into(const DataLogger& logger, std::size_t t_end, std::size_t w,
+                          const Vec& tau, WindowDecision& out);
+
 }  // namespace awd::detect

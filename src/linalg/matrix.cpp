@@ -109,17 +109,22 @@ Matrix Matrix::operator*(const Matrix& o) const {
 }
 
 Vec Matrix::operator*(const Vec& v) const {
+  Vec r;
+  mul_into(v, r);
+  return r;
+}
+
+void Matrix::mul_into(const Vec& v, Vec& out) const {
   if (cols_ != v.size()) {
     throw std::invalid_argument("Matrix::operator*(Vec): dimension mismatch (" +
                                 std::to_string(cols_) + " vs " + std::to_string(v.size()) + ")");
   }
-  Vec r(rows_);
+  out.assign(rows_, 0.0);
   for (std::size_t i = 0; i < rows_; ++i) {
     double s = 0.0;
     for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
-    r[i] = s;
+    out[i] = s;
   }
-  return r;
 }
 
 Matrix Matrix::transposed() const {

@@ -80,6 +80,12 @@ class Matrix {
   /// Matrix-vector product.
   [[nodiscard]] Vec operator*(const Vec& v) const;
 
+  /// Matrix-vector product into a caller-owned vector (resized, buffer
+  /// reused).  This is the single implementation of the product —
+  /// operator*(Vec) delegates here — so in-place callers are bit-identical
+  /// to value-returning ones.  `out` must not alias `v`.
+  void mul_into(const Vec& v, Vec& out) const;
+
   /// Transpose.
   [[nodiscard]] Matrix transposed() const;
 

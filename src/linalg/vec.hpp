@@ -34,6 +34,12 @@ class Vec {
   /// Construct from an existing buffer.
   explicit Vec(std::vector<double> xs) : data_(std::move(xs)) {}
 
+  /// Resize to n elements all equal to `value` without shrinking capacity —
+  /// the building block of the allocation-free `_into` kernels: a scratch
+  /// vector assigned this way reuses its buffer on every step after the
+  /// first.
+  void assign(std::size_t n, double value = 0.0) { data_.assign(n, value); }
+
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 

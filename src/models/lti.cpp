@@ -27,6 +27,17 @@ void DiscreteLti::validate() const {
   }
 }
 
-Vec DiscreteLti::step(const Vec& x, const Vec& u) const { return A * x + B * u; }
+Vec DiscreteLti::step(const Vec& x, const Vec& u) const {
+  Vec out;
+  Vec scratch;
+  step_into(x, u, out, scratch);
+  return out;
+}
+
+void DiscreteLti::step_into(const Vec& x, const Vec& u, Vec& out, Vec& scratch) const {
+  A.mul_into(x, out);
+  B.mul_into(u, scratch);
+  out += scratch;
+}
 
 }  // namespace awd::models

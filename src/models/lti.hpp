@@ -49,6 +49,12 @@ struct DiscreteLti {
   /// One noise-free step: A x + B u.  This is also the predictor x̃ used by
   /// the Data Logger (§5).
   [[nodiscard]] Vec step(const Vec& x, const Vec& u) const;
+
+  /// step() into caller-owned storage: out = A x, scratch = B u,
+  /// out += scratch — the same three kernels the value-returning overload
+  /// runs, so results are bit-identical while both vectors reuse their
+  /// buffers.  `out` and `scratch` must not alias `x` or `u`.
+  void step_into(const Vec& x, const Vec& u, Vec& out, Vec& scratch) const;
 };
 
 }  // namespace awd::models

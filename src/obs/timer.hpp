@@ -59,6 +59,14 @@ class StageClock {
     if (on_) last_ = Tracer::now_ns();
   }
 
+  /// As the default constructor, but force-disabled when `enable` is false:
+  /// every mark() becomes a no-op and not even the sampling tick advances.
+  /// Serving paths that aggregate their own per-shard timers use this to
+  /// drop the per-step marks (core::DetectionSystemOptions::per_step_obs).
+  explicit StageClock(bool enable) noexcept : on_(enable && enabled() && should_time()) {
+    if (on_) last_ = Tracer::now_ns();
+  }
+
   /// Close the current stage: record its duration into `timer` and emit a
   /// span named `name` when the tracer is active.
   void mark(Timer& timer, const char* name, const char* cat = "pipeline") noexcept {

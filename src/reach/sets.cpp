@@ -71,10 +71,15 @@ bool Box::intersects(const Box& o) const {
 }
 
 Vec Box::clamp(const Vec& x) const {
-  check_dim(x, "Box::clamp");
-  Vec r(x);
-  for (std::size_t i = 0; i < dims_.size(); ++i) r[i] = dims_[i].clamp(x[i]);
+  Vec r;
+  clamp_into(x, r);
   return r;
+}
+
+void Box::clamp_into(const Vec& x, Vec& out) const {
+  check_dim(x, "Box::clamp");
+  out.assign(dims_.size(), 0.0);
+  for (std::size_t i = 0; i < dims_.size(); ++i) out[i] = dims_[i].clamp(x[i]);
 }
 
 Vec Box::center() const {

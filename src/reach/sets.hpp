@@ -81,6 +81,10 @@ class Box {
   /// saturation to the control range U.
   [[nodiscard]] Vec clamp(const Vec& x) const;
 
+  /// clamp() into caller-owned storage (resized, buffer reused); the
+  /// value-returning overload delegates here.  `out` must not alias `x`.
+  void clamp_into(const Vec& x, Vec& out) const;
+
   /// Center point; requires every dimension bounded.
   [[nodiscard]] Vec center() const;
 

@@ -1,0 +1,359 @@
+#include "serve/stream_engine.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace awd::serve {
+
+namespace {
+
+/// Engine observability: stream gauges, throughput counters, and the batch
+/// timers (engine-level step_all plus per-shard batch duration).  The
+/// per-pipeline stage timers stay available via per_step_obs.
+struct ServeObs {
+  obs::Gauge& running;
+  obs::Gauge& queued;
+  obs::Counter& steps;
+  obs::Counter& admitted;
+  obs::Counter& finished;
+  obs::Counter& rejected;
+  obs::Timer& step_all;
+  obs::Timer& shard_step;
+
+  static ServeObs& get() {
+    static ServeObs o{
+        obs::Registry::global().gauge("awd_serve_streams_running",
+                                      "streams currently stepping in the engine"),
+        obs::Registry::global().gauge("awd_serve_streams_queued",
+                                      "streams waiting for admission"),
+        obs::Registry::global().counter("awd_serve_steps_total",
+                                        "stream-steps executed by the engine"),
+        obs::Registry::global().counter("awd_serve_streams_admitted_total",
+                                        "streams admitted into the step loop"),
+        obs::Registry::global().counter("awd_serve_streams_finished_total",
+                                        "streams that completed their run"),
+        obs::Registry::global().counter("awd_serve_streams_rejected_total",
+                                        "submissions bounced by backpressure"),
+        obs::Registry::global().timer("awd_serve_step_all",
+                                      "one batched step across every running stream"),
+        obs::Registry::global().timer("awd_serve_shard_step",
+                                      "one shard's slice of a batched step"),
+    };
+    return o;
+  }
+};
+
+/// Cache key for deadline-estimator sharing: everything its construction
+/// reads.  Streams whose cases agree on these fields (same plant family)
+/// get the same instance; create() re-verifies the config on every reuse.
+std::string family_fingerprint(const core::SimulatorCase& scase,
+                               const core::DetectionSystemOptions& options) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "|w%zu|r%.17g|b%zu|e%.17g|er%.17g", scase.max_window,
+                options.init_radius, options.deadline_budget, scase.eps,
+                scase.eps_reach);
+  return scase.key + buf;
+}
+
+}  // namespace
+
+/// One admitted stream: its pipeline, its O(1) scorer, and the last step's
+/// detection outputs for the snapshot API.
+struct StreamEngine::StreamRuntime {
+  StreamId id;
+  core::DetectionSystem system;
+  core::StreamingMetrics metrics;
+  std::size_t steps_total;
+  std::size_t steps_done = 0;
+  // Snapshot scalars (mirrors of the last stepped record).
+  std::size_t deadline = 0;
+  std::size_t window = 0;
+  bool adaptive_alarm = false;
+  bool fixed_alarm = false;
+  fault::HealthState health = fault::HealthState::kNominal;
+
+  StreamRuntime(StreamId id_, core::DetectionSystem system_,
+                core::StreamingMetrics metrics_, std::size_t steps_total_)
+      : id(id_),
+        system(std::move(system_)),
+        metrics(std::move(metrics_)),
+        steps_total(steps_total_) {}
+};
+
+/// One worker's partition.  The shard's StepRecord is the arena every one
+/// of its streams steps into: DetectionSystem::step_into overwrites all
+/// fields in place, so after the first lap over the shard the record's
+/// vectors hold the maximum dimension seen and the loop stops allocating.
+struct StreamEngine::Shard {
+  std::vector<std::unique_ptr<StreamRuntime>> slots;  ///< nullptr = free
+  std::vector<std::size_t> free_slots;
+  std::vector<std::size_t> finished;  ///< slots that completed this batch
+  sim::StepRecord rec;                ///< reused step arena
+  std::size_t stepped = 0;            ///< stream-steps executed this batch
+};
+
+StreamEngine::StreamEngine(StreamEngineOptions options) : options_(options) {
+  if (options_.max_streams == 0) options_.max_streams = 1;
+  const std::size_t threads = core::resolve_threads(options_.threads);
+  if (threads > 1) pool_ = std::make_unique<core::ThreadPool>(threads);
+  shards_.resize(threads);
+}
+
+StreamEngine::~StreamEngine() = default;
+
+std::size_t StreamEngine::shards() const noexcept { return shards_.size(); }
+
+core::Result<StreamId> StreamEngine::submit(StreamSpec spec) {
+  ServeObs& ob = ServeObs::get();
+  if (core::Status s = spec.scase.check(); !s.is_ok()) return s;
+  if (spec.steps == 0) spec.steps = spec.scase.steps;
+  if (spec.steps == 0) {
+    return core::Status{core::StatusCode::kInvalidInput, "stream has no steps to run"};
+  }
+  // StreamingMetrics::finish needs the onset inside the run, exactly as
+  // compute_metrics needs it inside the trace.
+  if (spec.scase.attack_start >= spec.steps) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "attack onset outside the stream's run"};
+  }
+  // run_cell's guard policy: one maximal window past the attack.
+  if (spec.metrics.post_attack_guard == 0) {
+    spec.metrics.post_attack_guard = spec.scase.max_window;
+  }
+
+  if (running_.size() >= options_.max_streams &&
+      pending_.size() >= options_.queue_capacity) {
+    ++streams_rejected_;
+    ob.rejected.inc();
+    return core::Status{core::StatusCode::kBudgetExceeded,
+                        "stream engine full (queue at capacity: step or drain, "
+                        "then resubmit)"};
+  }
+
+  const StreamId id = next_id_++;
+  if (running_.size() < options_.max_streams) {
+    if (core::Status s = admit_(id, std::move(spec)); !s.is_ok()) return s;
+  } else {
+    pending_.emplace_back(id, std::move(spec));
+  }
+  ob.running.set(static_cast<std::int64_t>(running_.size()));
+  ob.queued.set(static_cast<std::int64_t>(pending_.size()));
+  return id;
+}
+
+core::Status StreamEngine::admit_(StreamId id, StreamSpec&& spec) {
+  core::DetectionSystemOptions opts = std::move(spec.options);
+  opts.lean_records = options_.lean_records;
+  opts.per_step_obs = options_.per_step_obs;
+
+  std::string fingerprint;
+  const bool want_shared =
+      options_.share_deadline_estimators && !opts.shared_deadline_estimator;
+  if (want_shared) {
+    fingerprint = family_fingerprint(spec.scase, opts);
+    if (auto it = estimator_cache_.find(fingerprint); it != estimator_cache_.end()) {
+      opts.shared_deadline_estimator = it->second;
+    }
+  }
+
+  core::Result<core::DetectionSystem> system =
+      core::DetectionSystem::create(spec.scase, spec.attack, spec.seed, std::move(opts));
+  if (!system.is_ok()) return system.status();
+  if (want_shared && estimator_cache_.find(fingerprint) == estimator_cache_.end()) {
+    estimator_cache_.emplace(std::move(fingerprint),
+                             system.value().estimator_handle());
+  }
+
+  core::StreamingMetrics metrics(spec.scase.attack_start, spec.scase.attack_duration,
+                                 spec.metrics);
+
+  const std::size_t shard_index = next_shard_++ % shards_.size();
+  Shard& shard = shards_[shard_index];
+  std::size_t slot;
+  if (!shard.free_slots.empty()) {
+    slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+    shard.slots[slot] = std::make_unique<StreamRuntime>(
+        id, std::move(system).value(), std::move(metrics), spec.steps);
+  } else {
+    slot = shard.slots.size();
+    shard.slots.push_back(std::make_unique<StreamRuntime>(
+        id, std::move(system).value(), std::move(metrics), spec.steps));
+  }
+  running_.emplace(id, std::make_pair(shard_index, slot));
+  ++streams_admitted_;
+  ServeObs::get().admitted.inc();
+  return core::Status::ok();
+}
+
+void StreamEngine::admit_pending_() {
+  while (!pending_.empty() && running_.size() < options_.max_streams) {
+    std::pair<StreamId, StreamSpec> next = std::move(pending_.front());
+    pending_.pop_front();
+    const core::Status s = admit_(next.first, std::move(next.second));
+    if (!s.is_ok()) {
+      // The spec passed submit-time validation, so this is an estimator
+      // wiring error; surface it through drain() instead of unwinding.
+      StreamResult failed;
+      failed.id = next.first;
+      failed.status = s;
+      finished_.emplace(next.first, std::move(failed));
+      ++streams_finished_;
+      ServeObs::get().finished.inc();
+    }
+  }
+}
+
+void StreamEngine::step_shard_(Shard& shard, std::size_t budget) {
+  const obs::ScopedSpan span(ServeObs::get().shard_step, "serve.shard_step", "serve");
+  shard.stepped = 0;
+  for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+    if (!shard.slots[i]) continue;
+    StreamRuntime& stream = *shard.slots[i];
+    // Advance this stream up to `budget` control periods while its state is
+    // cache-hot.  Streams are independent, so the chunked interleaving is
+    // invisible to per-stream results.
+    const std::size_t remaining = stream.steps_total - stream.steps_done;
+    const std::size_t chunk = remaining < budget ? remaining : budget;
+    for (std::size_t k = 0; k < chunk; ++k) {
+      stream.system.step_into(shard.rec);
+      stream.metrics.observe(shard.rec);
+    }
+    stream.deadline = shard.rec.deadline;
+    stream.window = shard.rec.window;
+    stream.adaptive_alarm = shard.rec.adaptive_alarm;
+    stream.fixed_alarm = shard.rec.fixed_alarm;
+    stream.health = shard.rec.health;
+    stream.steps_done += chunk;
+    shard.stepped += chunk;
+    if (stream.steps_done == stream.steps_total) shard.finished.push_back(i);
+  }
+}
+
+void StreamEngine::finalize_finished_() {
+  ServeObs& ob = ServeObs::get();
+  for (Shard& shard : shards_) {
+    for (const std::size_t slot : shard.finished) {
+      StreamRuntime& stream = *shard.slots[slot];
+      StreamResult result;
+      result.id = stream.id;
+      result.steps = stream.steps_done;
+      result.adaptive = stream.metrics.finish(core::Strategy::kAdaptive);
+      result.fixed = stream.metrics.finish(core::Strategy::kFixed);
+      result.final_health = stream.health;
+      result.adaptive_evaluations = stream.system.adaptive_evaluations();
+      finished_.emplace(stream.id, std::move(result));
+      running_.erase(stream.id);
+      shard.slots[slot].reset();
+      shard.free_slots.push_back(slot);
+      ++streams_finished_;
+      ob.finished.inc();
+    }
+    shard.finished.clear();
+  }
+}
+
+std::size_t StreamEngine::step_batch_(std::size_t budget) {
+  ServeObs& ob = ServeObs::get();
+  admit_pending_();
+  std::size_t stepped = 0;
+  if (!running_.empty()) {
+    const obs::ScopedSpan span(ob.step_all, "serve.step_all", "serve");
+    if (!pool_) {
+      for (Shard& shard : shards_) step_shard_(shard, budget);
+    } else {
+      pool_->run(shards_.size(),
+                 [this, budget](std::size_t i) { step_shard_(shards_[i], budget); });
+    }
+    for (const Shard& shard : shards_) stepped += shard.stepped;
+    finalize_finished_();
+    steps_total_ += stepped;
+    ob.steps.inc(stepped);
+  }
+  ob.running.set(static_cast<std::int64_t>(running_.size()));
+  ob.queued.set(static_cast<std::int64_t>(pending_.size()));
+  return stepped;
+}
+
+std::size_t StreamEngine::step_all() { return step_batch_(1); }
+
+std::size_t StreamEngine::run_to_completion() {
+  // Chunk size trades scheduling granularity (admission of queued streams,
+  // shard-batch timer resolution) against cache locality; 64 keeps a
+  // 1024-stream engine from thrashing every stream's working set per pass.
+  constexpr std::size_t kRunChunk = 64;
+  std::size_t total = 0;
+  while (true) {
+    const std::size_t stepped = step_batch_(kRunChunk);
+    if (stepped == 0) break;
+    total += stepped;
+  }
+  return total;
+}
+
+core::Result<StreamResult> StreamEngine::drain(StreamId id) {
+  if (auto it = finished_.find(id); it != finished_.end()) {
+    StreamResult result = std::move(it->second);
+    finished_.erase(it);
+    return result;
+  }
+  if (running_.count(id) != 0) {
+    return core::Status{core::StatusCode::kUnavailable, "stream still running"};
+  }
+  for (const auto& [pending_id, spec] : pending_) {
+    (void)spec;
+    if (pending_id == id) {
+      return core::Status{core::StatusCode::kUnavailable, "stream still queued"};
+    }
+  }
+  return core::Status{core::StatusCode::kOutOfRange, "unknown stream id"};
+}
+
+core::Result<StreamStatus> StreamEngine::status(StreamId id) const {
+  StreamStatus st;
+  st.id = id;
+  if (auto it = running_.find(id); it != running_.end()) {
+    const StreamRuntime& stream = *shards_[it->second.first].slots[it->second.second];
+    st.state = StreamState::kRunning;
+    st.steps_done = stream.steps_done;
+    st.steps_total = stream.steps_total;
+    st.deadline = stream.deadline;
+    st.window = stream.window;
+    st.adaptive_alarm = stream.adaptive_alarm;
+    st.fixed_alarm = stream.fixed_alarm;
+    st.health = stream.health;
+    return st;
+  }
+  if (auto it = finished_.find(id); it != finished_.end()) {
+    st.state = StreamState::kFinished;
+    st.steps_done = it->second.steps;
+    st.steps_total = it->second.steps;
+    st.health = it->second.final_health;
+    return st;
+  }
+  for (const auto& [pending_id, spec] : pending_) {
+    if (pending_id == id) {
+      st.state = StreamState::kQueued;
+      st.steps_total = spec.steps;
+      return st;
+    }
+  }
+  return core::Status{core::StatusCode::kOutOfRange, "unknown stream id"};
+}
+
+EngineSnapshot StreamEngine::snapshot() const noexcept {
+  EngineSnapshot snap;
+  snap.running = running_.size();
+  snap.queued = pending_.size();
+  snap.finished = finished_.size();
+  snap.shards = shards_.size();
+  snap.steps_total = steps_total_;
+  snap.streams_admitted = streams_admitted_;
+  snap.streams_finished = streams_finished_;
+  snap.streams_rejected = streams_rejected_;
+  return snap;
+}
+
+}  // namespace awd::serve

@@ -1,0 +1,215 @@
+// stream_engine.hpp — batched multi-stream detection serving (DESIGN.md §12).
+//
+// A fielded monitor rarely watches one loop: a test range, a fleet
+// gateway, or a Monte-Carlo campaign runs hundreds of independent
+// detection pipelines — heterogeneous plants, attacks and seeds — at
+// once.  The StreamEngine multiplexes N DetectionSystems through one
+// batched step loop:
+//
+//   * streams are partitioned statically across shards (one shard per
+//     core::ThreadPool worker, round-robin at admission), so which worker
+//     steps which stream never depends on timing;
+//   * each shard owns an arena — one reused StepRecord whose vectors are
+//     written in place by DetectionSystem::step_into — so the steady-state
+//     step loop allocates nothing;
+//   * deadline estimators are shared per plant family (their query API is
+//     const), amortizing the dominant construction cost across streams;
+//   * per-stream scoring runs on core::StreamingMetrics (O(1) state), so
+//     no trace is ever materialized.
+//
+// Determinism: streams share no mutable state — each owns its RNG, logger
+// and detectors — so every stream's alarms, deadlines and metrics are
+// bit-identical to a standalone DetectionSystem run of the same spec,
+// regardless of shard count, thread count, admission order, or what else
+// is in flight (tests/serve_stream_engine_test.cpp proves this
+// record-by-record).
+//
+// Threading contract: submit/step_all/drain/status are driver-thread APIs
+// (externally synchronized); the engine parallelizes internally across its
+// pool.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/detection_system.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel.hpp"
+#include "core/status.hpp"
+#include "fault/health.hpp"
+#include "sim/trace.hpp"
+
+namespace awd::serve {
+
+/// Engine-assigned stream handle (monotonically increasing from 1).
+using StreamId = std::uint64_t;
+
+/// Everything one stream runs: a case, an attack, a seed, and per-stream
+/// overrides.  Designated initializers make call sites self-describing:
+///   engine.submit({.scase = bank.aircraft_pitch(), .attack = kBias, .seed = 7});
+struct StreamSpec {
+  core::SimulatorCase scase;
+  core::AttackKind attack = core::AttackKind::kNone;
+  std::uint64_t seed = 0;
+
+  /// Steps to run; 0 means the case's configured length (scase.steps).
+  std::size_t steps = 0;
+
+  /// Scoring parameters.  A zero post_attack_guard defaults to
+  /// scase.max_window, matching run_cell's guard policy.
+  core::MetricsOptions metrics = {};
+
+  /// Per-stream pipeline knobs (fault plan, fixed-window override, ...).
+  /// lean_records and per_step_obs are engine-wide serving policy
+  /// (StreamEngineOptions) and override these fields;
+  /// shared_deadline_estimator is filled from the engine's plant-family
+  /// cache when left unset.
+  core::DetectionSystemOptions options = {};
+};
+
+/// Where a stream is in its lifecycle.
+enum class StreamState : std::uint8_t { kQueued, kRunning, kFinished };
+
+/// Point-in-time view of one stream (snapshot API).
+struct StreamStatus {
+  StreamId id = 0;
+  StreamState state = StreamState::kQueued;
+  std::size_t steps_done = 0;
+  std::size_t steps_total = 0;
+  // Last completed step's detection outputs (kRunning/kFinished only).
+  std::size_t deadline = 0;
+  std::size_t window = 0;
+  bool adaptive_alarm = false;
+  bool fixed_alarm = false;
+  fault::HealthState health = fault::HealthState::kNominal;
+};
+
+/// Final outcome of one stream, produced when its last step completes.
+struct StreamResult {
+  StreamId id = 0;
+  /// OK for a completed run.  A queued stream that fails deferred
+  /// admission (e.g. an estimator wiring error) finishes immediately with
+  /// the failure here and zeroed metrics — the engine never unwinds.
+  core::Status status;
+  std::size_t steps = 0;             ///< steps executed
+  core::RunMetrics adaptive;         ///< §6 metrics, adaptive strategy
+  core::RunMetrics fixed;            ///< §6 metrics, fixed baseline
+  fault::HealthState final_health = fault::HealthState::kNominal;
+  std::size_t adaptive_evaluations = 0;  ///< window tests run (overhead metric)
+};
+
+/// Engine-level counters (snapshot API).
+struct EngineSnapshot {
+  std::size_t running = 0;            ///< streams currently stepping
+  std::size_t queued = 0;             ///< streams awaiting admission
+  std::size_t finished = 0;           ///< results awaiting drain()
+  std::size_t shards = 0;
+  std::uint64_t steps_total = 0;      ///< stream-steps executed so far
+  std::uint64_t streams_admitted = 0;
+  std::uint64_t streams_finished = 0;
+  std::uint64_t streams_rejected = 0; ///< submissions bounced by backpressure
+};
+
+/// Engine sizing and serving-policy knobs.
+struct StreamEngineOptions {
+  /// Worker threads (== shards): 0 = auto (AWD_THREADS env var, else
+  /// hardware concurrency), 1 = serial stepping on the driver thread.
+  std::size_t threads = 0;
+
+  /// Admission cap: streams stepping concurrently.  Clamped to >= 1.
+  std::size_t max_streams = 1024;
+
+  /// Bounded submission queue: submit() returns kBudgetExceeded once
+  /// max_streams are in flight and this many specs are already waiting.
+  std::size_t queue_capacity = 1024;
+
+  /// Serve with lean StepRecords (skip record-only prediction/residual
+  /// fields; detection outputs are unaffected — see SimulatorOptions).
+  bool lean_records = true;
+
+  /// Forward per-step StageClock marks from each pipeline.  Off by
+  /// default: the engine records its own per-shard batch timers instead.
+  bool per_step_obs = false;
+
+  /// Share one DeadlineEstimator per plant family across streams.  The
+  /// estimator is immutable after construction, so sharing is invisible
+  /// to results; disable only to measure its cost.
+  bool share_deadline_estimators = true;
+};
+
+/// Batched multi-stream serving engine over DetectionSystem pipelines.
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamEngineOptions options = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Validate and admit (or queue) a stream.  Returns its StreamId, or
+  ///   * kInvalidInput    — the spec fails SimulatorCase::check(), has no
+  ///                        steps to run, or its attack onset lies outside
+  ///                        the run;
+  ///   * kBudgetExceeded  — engine full and the pending queue at capacity
+  ///                        (backpressure: step or drain, then resubmit).
+  [[nodiscard]] core::Result<StreamId> submit(StreamSpec spec);
+
+  /// Advance every running stream by one control period (admitting queued
+  /// streams into freed capacity first).  Returns the number of streams
+  /// stepped; 0 means the engine is idle.
+  std::size_t step_all();
+
+  /// Step until no stream is running or admittable, scheduling in chunks:
+  /// each shard advances a stream several control periods while its state
+  /// is cache-hot before moving to the next (streams are independent, so
+  /// per-stream results are identical to step_all() driving — only the
+  /// interleaving differs).  Returns the total stream-steps executed.
+  std::size_t run_to_completion();
+
+  /// Remove a finished stream and return its result, or
+  ///   * kUnavailable — the stream is still queued or running;
+  ///   * kOutOfRange  — unknown (or already drained) id.
+  [[nodiscard]] core::Result<StreamResult> drain(StreamId id);
+
+  /// Point-in-time view of one stream (kOutOfRange on unknown id).
+  [[nodiscard]] core::Result<StreamStatus> status(StreamId id) const;
+
+  /// Engine-level counters.
+  [[nodiscard]] EngineSnapshot snapshot() const noexcept;
+
+  /// Worker count == shard count.
+  [[nodiscard]] std::size_t shards() const noexcept;
+
+ private:
+  struct StreamRuntime;
+  struct Shard;
+
+  void admit_pending_();
+  core::Status admit_(StreamId id, StreamSpec&& spec);
+  std::size_t step_batch_(std::size_t budget);
+  void step_shard_(Shard& shard, std::size_t budget);
+  void finalize_finished_();
+
+  StreamEngineOptions options_;
+  std::unique_ptr<core::ThreadPool> pool_;
+  std::vector<Shard> shards_;
+  std::deque<std::pair<StreamId, StreamSpec>> pending_;
+  std::unordered_map<StreamId, std::pair<std::size_t, std::size_t>>
+      running_;  ///< id → (shard, slot)
+  std::unordered_map<StreamId, StreamResult> finished_;
+  std::unordered_map<std::string, std::shared_ptr<const reach::DeadlineEstimator>>
+      estimator_cache_;  ///< plant-family fingerprint → shared estimator
+  StreamId next_id_ = 1;
+  std::size_t next_shard_ = 0;  ///< round-robin admission cursor
+  std::uint64_t steps_total_ = 0;
+  std::uint64_t streams_admitted_ = 0;
+  std::uint64_t streams_finished_ = 0;
+  std::uint64_t streams_rejected_ = 0;
+};
+
+}  // namespace awd::serve

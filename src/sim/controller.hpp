@@ -24,6 +24,15 @@ class Controller {
   /// state estimate and the reference state.
   [[nodiscard]] virtual Vec compute(const Vec& estimate, const Vec& reference) = 0;
 
+  /// compute() into caller-owned storage.  The default adapts compute();
+  /// stateful laws on the hot path (PID) override it with an
+  /// allocation-free body that compute() then delegates to, so both entry
+  /// points share one arithmetic implementation.  Like compute(), advances
+  /// internal state — call exactly once per control period.
+  virtual void compute_into(const Vec& estimate, const Vec& reference, Vec& out) {
+    out = compute(estimate, reference);
+  }
+
   /// Clear internal state (integrators, previous error) for a fresh run.
   virtual void reset() = 0;
 

@@ -28,6 +28,20 @@ core::Result<Vec> Estimator::estimate_checked(const std::optional<Vec>& measurem
   return estimate(*measurement, u_prev);
 }
 
+core::Status Estimator::estimate_checked_into(const std::optional<Vec>& measurement,
+                                              const Vec& u_prev, Vec& out) {
+  if (!measurement) {
+    return {core::StatusCode::kUnavailable,
+            "Estimator: no sample delivered this period"};
+  }
+  if (!measurement->is_finite()) {
+    return {core::StatusCode::kInvalidInput,
+            "Estimator: non-finite measurement rejected"};
+  }
+  estimate_into(*measurement, u_prev, out);
+  return core::Status::ok();
+}
+
 FilteringEstimator::FilteringEstimator(const models::DiscreteLti& model, double q,
                                        double r, Vec x0)
     : filter_(model, linalg::Matrix::identity(model.state_dim()),

@@ -31,6 +31,13 @@ class Estimator {
   /// previously applied control input.
   [[nodiscard]] virtual Vec estimate(const Vec& measurement, const Vec& u_prev) = 0;
 
+  /// estimate() into caller-owned storage.  The default adapts estimate();
+  /// hot-path estimators (passthrough) override it allocation-free.  Like
+  /// estimate(), may advance internal state — call once per period.
+  virtual void estimate_into(const Vec& measurement, const Vec& u_prev, Vec& out) {
+    out = estimate(measurement, u_prev);
+  }
+
   /// Hot-path entry point: validates the sample before estimating, without
   /// throwing.  Returns kUnavailable when no sample was delivered this
   /// period (dropout / burst loss) and kInvalidInput when the sample holds
@@ -39,6 +46,12 @@ class Estimator {
   /// period cannot poison subsequent estimates.
   [[nodiscard]] core::Result<Vec> estimate_checked(const std::optional<Vec>& measurement,
                                                    const Vec& u_prev);
+
+  /// estimate_checked() into caller-owned storage: same validation and
+  /// fallback contract, but the estimate lands in `out` (untouched on
+  /// error) instead of a freshly allocated Result payload.
+  [[nodiscard]] core::Status estimate_checked_into(const std::optional<Vec>& measurement,
+                                                   const Vec& u_prev, Vec& out);
 
   /// Clear internal state for a fresh run.
   virtual void reset() = 0;
@@ -51,6 +64,9 @@ class PassthroughEstimator final : public Estimator {
  public:
   [[nodiscard]] Vec estimate(const Vec& measurement, const Vec&) override {
     return measurement;
+  }
+  void estimate_into(const Vec& measurement, const Vec&, Vec& out) override {
+    out = measurement;
   }
   void reset() override {}
   [[nodiscard]] std::unique_ptr<Estimator> clone() const override {

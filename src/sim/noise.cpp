@@ -23,30 +23,41 @@ double Rng::gaussian() {
 }
 
 Vec Rng::uniform_in_ball(std::size_t n, double radius) {
+  Vec v;
+  uniform_in_ball_into(n, radius, v);
+  return v;
+}
+
+void Rng::uniform_in_ball_into(std::size_t n, double radius, Vec& out) {
   if (radius < 0.0) throw std::invalid_argument("Rng::uniform_in_ball: negative radius");
-  Vec v(n);
-  if (n == 0 || radius == 0.0) return v;
+  out.assign(n, 0.0);
+  if (n == 0 || radius == 0.0) return;
 
   // Gaussian vector gives a uniform direction; scaling by U^{1/n} makes the
   // radial distribution match the uniform ball measure.
   double norm_sq = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    v[i] = gaussian();
-    norm_sq += v[i] * v[i];
+    out[i] = gaussian();
+    norm_sq += out[i] * out[i];
   }
-  if (norm_sq == 0.0) return v;  // astronomically unlikely; center is valid
+  if (norm_sq == 0.0) return;  // astronomically unlikely; center is valid
   const double scale =
       radius * std::pow(uniform(0.0, 1.0), 1.0 / static_cast<double>(n)) / std::sqrt(norm_sq);
-  return v * scale;
+  out *= scale;
 }
 
 Vec Rng::uniform_in_box(const Vec& bound) {
-  Vec v(bound.size());
+  Vec v;
+  uniform_in_box_into(bound, v);
+  return v;
+}
+
+void Rng::uniform_in_box_into(const Vec& bound, Vec& out) {
+  out.assign(bound.size(), 0.0);
   for (std::size_t i = 0; i < bound.size(); ++i) {
     if (bound[i] < 0.0) throw std::invalid_argument("Rng::uniform_in_box: negative bound");
-    v[i] = bound[i] == 0.0 ? 0.0 : uniform(-bound[i], bound[i]);
+    out[i] = bound[i] == 0.0 ? 0.0 : uniform(-bound[i], bound[i]);
   }
-  return v;
 }
 
 std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {

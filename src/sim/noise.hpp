@@ -37,9 +37,19 @@ class Rng {
   /// Gaussian-direction + radius^(1/n) method, exact for any n.
   [[nodiscard]] Vec uniform_in_ball(std::size_t n, double radius);
 
+  /// uniform_in_ball() into caller-owned storage (resized, buffer reused).
+  /// The value-returning overload delegates here, so the draw sequence and
+  /// arithmetic are identical for both entry points.
+  void uniform_in_ball_into(std::size_t n, double radius, Vec& out);
+
   /// Per-dimension uniform in [-bound[i], bound[i]] — box-bounded sensor
   /// noise.  Throws std::invalid_argument on a negative bound.
   [[nodiscard]] Vec uniform_in_box(const Vec& bound);
+
+  /// uniform_in_box() into caller-owned storage (resized, buffer reused);
+  /// the value-returning overload delegates here.  `out` must not alias
+  /// `bound`.
+  void uniform_in_box_into(const Vec& bound, Vec& out);
 
   /// Uniform integer in [lo, hi].
   [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);

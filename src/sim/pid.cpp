@@ -29,7 +29,14 @@ PidController PidController::simple(PidGains gains, std::size_t dim, double dt) 
 }
 
 Vec PidController::compute(const Vec& estimate, const Vec& reference) {
-  Vec channel(tracked_.size());
+  Vec out;
+  compute_into(estimate, reference, out);
+  return out;
+}
+
+void PidController::compute_into(const Vec& estimate, const Vec& reference, Vec& out) {
+  Vec& channel = channel_scratch_;
+  channel.assign(tracked_.size(), 0.0);
   for (std::size_t k = 0; k < tracked_.size(); ++k) {
     const std::size_t d = tracked_[k];
     if (d >= estimate.size() || d >= reference.size()) {
@@ -49,7 +56,7 @@ Vec PidController::compute(const Vec& estimate, const Vec& reference) {
     channel[k] = gains_.kp * e + gains_.ki * integral_[k] + gains_.kd * filtered_deriv_[k];
   }
   first_step_ = false;
-  return output_map_ * channel;
+  output_map_.mul_into(channel, out);
 }
 
 void PidController::reset() {

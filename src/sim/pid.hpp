@@ -54,6 +54,7 @@ class PidController final : public Controller {
   [[nodiscard]] static PidController simple(PidGains gains, std::size_t dim, double dt);
 
   [[nodiscard]] Vec compute(const Vec& estimate, const Vec& reference) override;
+  void compute_into(const Vec& estimate, const Vec& reference, Vec& out) override;
   void reset() override;
   [[nodiscard]] std::unique_ptr<Controller> clone() const override;
 
@@ -67,6 +68,7 @@ class PidController final : public Controller {
   Vec integral_;        // per-channel accumulated error
   Vec prev_error_;      // per-channel previous error
   Vec filtered_deriv_;  // per-channel low-passed derivative
+  Vec channel_scratch_; // compute_into scratch (not logical state)
   bool first_step_ = true;
 };
 

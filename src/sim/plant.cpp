@@ -1,6 +1,7 @@
 #include "sim/plant.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace awd::sim {
 
@@ -17,12 +18,20 @@ Plant::Plant(models::DiscreteLti model, reach::Box u_range, double eps, Vec x0)
 }
 
 Vec Plant::step(const Vec& u, Rng& rng) {
+  Vec u_sat;
+  step_into(u, rng, u_sat);
+  return u_sat;
+}
+
+void Plant::step_into(const Vec& u, Rng& rng, Vec& u_sat_out) {
   if (u.size() != model_.input_dim()) {
     throw std::invalid_argument("Plant::step: input dimension mismatch");
   }
-  const Vec u_sat = u_range_.clamp(u);
-  x_ = model_.step(x_, u_sat) + rng.uniform_in_ball(model_.state_dim(), eps_);
-  return u_sat;
+  u_range_.clamp_into(u, u_sat_out);
+  model_.step_into(x_, u_sat_out, next_scratch_, mul_scratch_);
+  rng.uniform_in_ball_into(model_.state_dim(), eps_, noise_scratch_);
+  next_scratch_ += noise_scratch_;
+  std::swap(x_, next_scratch_);
 }
 
 void Plant::reset(Vec x0) {

@@ -29,6 +29,12 @@ class Plant {
   /// process noise from `rng`, and return the applied (saturated) input.
   Vec step(const Vec& u, Rng& rng);
 
+  /// step() writing the applied (saturated) input into caller-owned
+  /// storage.  The value-returning overload delegates here; internal
+  /// scratch vectors make the advance allocation-free after the first
+  /// call.  `u_sat_out` must not alias `u`.
+  void step_into(const Vec& u, Rng& rng, Vec& u_sat_out);
+
   /// Reset the true state for a new run.
   void reset(Vec x0);
 
@@ -41,6 +47,10 @@ class Plant {
   reach::Box u_range_;
   double eps_;
   Vec x_;
+  // step_into scratch (not logical state; buffers reused across steps).
+  Vec next_scratch_;
+  Vec mul_scratch_;
+  Vec noise_scratch_;
 };
 
 }  // namespace awd::sim

@@ -44,25 +44,43 @@ Simulator::Simulator(Plant plant, std::unique_ptr<Controller> controller,
     }
   }
   reference_ = opts_.reference;
+  record_history_ = attack_->needs_history();
   plant_.reset(opts_.x0);
 }
 
 StepRecord Simulator::step() {
+  StepRecord rec;
+  step_into(rec);
+  return rec;
+}
+
+void Simulator::step_into(StepRecord& rec) {
   const std::size_t n = plant_.model().state_dim();
 
-  StepRecord rec;
   rec.t = t_;
   rec.true_state = plant_.state();
+  // Reset the per-step flags this function owns; a reused record must not
+  // leak the previous step's fault attribution.
+  rec.fault = fault::FaultKind::kNone;
+  rec.sample_missing = false;
+  rec.estimate_fallback = false;
 
   // 1. Sensor: true state plus bounded measurement noise.  The noise draw
   // happens unconditionally so the RNG stream — and therefore the rest of
   // the run — is identical with and without injected sensor faults.
-  const Vec clean = rec.true_state + rng_.uniform_in_box(opts_.sensor_noise);
+  rng_.uniform_in_box_into(opts_.sensor_noise, noise_scratch_);
+  clean_scratch_ = rec.true_state;
+  clean_scratch_ += noise_scratch_;
+  const Vec& clean = clean_scratch_;
 
-  // 2. Attack path — the attacker sees/needs only the clean stream.
+  // 2. Attack path — the attacker sees/needs only the clean stream.  The
+  // delivered-sample buffer is reused across steps (re-engaged after a
+  // fault dropout cleared it).
   rec.attack_active = attack_->active(t_);
-  std::optional<Vec> delivered = attack_->apply(t_, clean, clean_measurements_);
-  clean_measurements_.push_back(clean);
+  if (!delivered_scratch_) delivered_scratch_.emplace();
+  attack_->apply_into(t_, clean, clean_measurements_, *delivered_scratch_);
+  std::optional<Vec>& delivered = delivered_scratch_;
+  if (record_history_) clean_measurements_.push_back(clean);
 
   // 2b. Fault injection on the delivered sample (dropout / corruption /
   // stuck-at), after the attack: faults model the transport between sensor
@@ -73,10 +91,9 @@ StepRecord Simulator::step() {
   // checked call rejects missing or non-finite samples; the loop then holds
   // its last value — the only state it can still trust — so the controller
   // keeps acting and the logger keeps a finite stream.
-  const core::Result<Vec> est = estimator_->estimate_checked(delivered, prev_control_);
-  if (est.is_ok()) {
-    rec.estimate = est.value();
-  } else {
+  const core::Status est =
+      estimator_->estimate_checked_into(delivered, prev_control_, rec.estimate);
+  if (!est.is_ok()) {
     rec.estimate_fallback = true;
     rec.sample_missing = !delivered.has_value();
     rec.estimate = t_ == 0 ? opts_.x0 : prev_estimate_;
@@ -85,13 +102,20 @@ StepRecord Simulator::step() {
   // never leaves the injector boundary; `rec.fault` records why.
   rec.measurement = delivered && delivered->is_finite() ? *delivered : rec.estimate;
 
-  // 4. Prediction and residual (Data Logger, §5 "Buffer").
-  if (t_ == 0) {
+  // 4. Prediction and residual (Data Logger, §5 "Buffer").  Record-only
+  // fields: the DataLogger recomputes both from its own buffer, so lean
+  // runs skip them (emptied, never stale) without touching detection.
+  if (opts_.lean_records) {
+    rec.predicted.assign(0);
+    rec.residual.assign(0);
+  } else if (t_ == 0) {
     rec.predicted = rec.estimate;  // no prior step; define residual as zero
-    rec.residual = Vec(n);
+    rec.residual.assign(n, 0.0);
   } else {
-    rec.predicted = plant_.model().step(prev_estimate_, prev_control_);
-    rec.residual = (rec.predicted - rec.estimate).cwise_abs();
+    plant_.model().step_into(prev_estimate_, prev_control_, rec.predicted, mul_scratch_);
+    rec.residual = rec.predicted;
+    rec.residual -= rec.estimate;
+    for (double& z : rec.residual) z = std::abs(z);
   }
 
   // 5-6. Control and plant advance (applying any scheduled setpoint change
@@ -101,19 +125,19 @@ StepRecord Simulator::step() {
     reference_ = opts_.reference_schedule[next_ref_].second;
     ++next_ref_;
   }
-  Vec ref = reference_;
+  ref_scratch_ = reference_;
+  Vec& ref = ref_scratch_;
   for (const ReferenceSine& sine : opts_.reference_sinusoids) {
     ref[sine.dim] += sine.amplitude *
                      std::sin(2.0 * std::numbers::pi * static_cast<double>(t_) /
                               sine.period_steps);
   }
-  rec.commanded = controller_->compute(rec.estimate, ref);
-  rec.control = plant_.step(rec.commanded, rng_);
+  controller_->compute_into(rec.estimate, ref, rec.commanded);
+  plant_.step_into(rec.commanded, rng_, rec.control);
 
   prev_estimate_ = rec.estimate;
   prev_control_ = opts_.predict_with_commanded ? rec.commanded : rec.control;
   ++t_;
-  return rec;
 }
 
 Trace Simulator::run(std::size_t steps) {

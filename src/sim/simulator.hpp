@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -69,6 +70,15 @@ struct SimulatorOptions {
   /// and deadline-budget schedule.  Injection never consumes RNG draws, so
   /// an empty plan is bit-identical to no injector at all.
   std::shared_ptr<fault::FaultInjector> faults;
+
+  /// Skip the record-only prediction/residual fields of each StepRecord
+  /// (left empty).  The closed loop, the RNG stream, and every detection
+  /// output are unaffected — the DataLogger recomputes its own
+  /// prediction/residual independently — so a lean run's alarms and
+  /// deadlines are bit-identical to a full run's.  Serving-path knob
+  /// (serve::StreamEngine): drops two state-dimension kernels per step
+  /// that nothing on the hot path reads.
+  bool lean_records = false;
 };
 
 /// Step-at-a-time closed-loop simulator.
@@ -88,6 +98,14 @@ class Simulator {
   /// Execute one control period and return the resulting record
   /// (detection fields left at defaults).
   StepRecord step();
+
+  /// step() into a caller-owned record whose vectors are reused across
+  /// steps — with the simulator's internal scratch, the control period is
+  /// allocation-free after the first call (except the clean-history append
+  /// for history-reading attacks).  Single implementation: step()
+  /// delegates here, so records are bit-identical either way.  Detection
+  /// fields are left untouched.
+  void step_into(StepRecord& rec);
 
   /// Run `steps` periods from scratch and collect the trace.
   [[nodiscard]] Trace run(std::size_t steps);
@@ -112,6 +130,14 @@ class Simulator {
   Vec prev_estimate_;          ///< x̄_{t-1}
   Vec prev_control_;           ///< u_{t-1}
   std::vector<Vec> clean_measurements_;  ///< clean history for replay/delay attacks
+  bool record_history_ = true;           ///< false when the attack never reads it
+
+  // step_into scratch (not logical state; buffers reused across steps).
+  Vec noise_scratch_;
+  Vec clean_scratch_;
+  Vec ref_scratch_;
+  Vec mul_scratch_;
+  std::optional<Vec> delivered_scratch_;
 };
 
 }  // namespace awd::sim

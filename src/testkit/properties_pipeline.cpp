@@ -91,10 +91,15 @@ PropertyResult serial_parallel_cell_identical(std::uint64_t seed, const GenLimit
   const std::uint64_t base_seed = rng.fork(0xce11);
   const core::MetricsOptions metrics;
 
-  const core::CellResult serial =
-      core::run_cell(sc.scase, sc.attack, runs, base_seed, metrics, /*threads=*/1);
-  const core::CellResult parallel =
-      core::run_cell(sc.scase, sc.attack, runs, base_seed, metrics, /*threads=*/3);
+  core::ExperimentSpec spec{.scase = sc.scase,
+                            .attack = sc.attack,
+                            .runs = runs,
+                            .base_seed = base_seed,
+                            .metrics = metrics,
+                            .threads = 1};
+  const core::CellResult serial = core::run_cell(spec).value();
+  spec.threads = 3;
+  const core::CellResult parallel = core::run_cell(spec).value();
   if (!(serial == parallel)) {
     std::ostringstream os;
     os.precision(17);

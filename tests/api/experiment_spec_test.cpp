@@ -1,0 +1,63 @@
+// The designated-initializer experiment surface: specs validate through
+// check(), the runners return Result instead of throwing, and a spec is a
+// plain value — mutate one field and rerun.
+#include <gtest/gtest.h>
+
+#include "awd.hpp"
+
+namespace {
+
+using namespace awd;
+
+TEST(ExperimentSpecApi, RunnersReturnStatusOnInvalidSpecs) {
+  const SimulatorCase scase = simulator_case("dc_motor");
+
+  Result<CellResult> no_runs =
+      run_cell({.scase = scase, .attack = AttackKind::kBias, .runs = 0});
+  ASSERT_FALSE(no_runs.is_ok());
+  EXPECT_EQ(no_runs.status().code(), StatusCode::kInvalidInput);
+
+  Result<std::vector<WindowSweepPoint>> no_windows = fixed_window_sweep(
+      {.scase = scase, .attack = AttackKind::kBias, .windows = {}, .runs = 3});
+  ASSERT_FALSE(no_windows.is_ok());
+  EXPECT_EQ(no_windows.status().code(), StatusCode::kInvalidInput);
+
+  SimulatorCase broken = scase;
+  broken.tau = Vec{};
+  EXPECT_FALSE(run_cell({.scase = broken, .attack = AttackKind::kBias, .runs = 1}).is_ok());
+}
+
+TEST(ExperimentSpecApi, SpecIsAReusableValue) {
+  ExperimentSpec spec{.scase = simulator_case("dc_motor"),
+                      .attack = AttackKind::kDelay,
+                      .runs = 4,
+                      .base_seed = 7,
+                      .threads = 1};
+  ASSERT_TRUE(spec.check().is_ok());
+  const CellResult serial = run_cell(spec).value();
+
+  spec.threads = 2;  // same cell, different execution plan
+  const CellResult parallel = run_cell(spec).value();
+  EXPECT_EQ(serial, parallel);
+
+  spec.base_seed = 8;  // different cell now
+  const CellResult reseeded = run_cell(spec).value();
+  EXPECT_EQ(reseeded.runs, serial.runs);
+}
+
+TEST(ExperimentSpecApi, SweepSpecRoundTrip) {
+  SweepSpec spec{.scase = simulator_case("series_rlc"),
+                 .attack = AttackKind::kBias,
+                 .windows = {0, 10, 40},
+                 .runs = 3,
+                 .base_seed = 11,
+                 .threads = 1};
+  ASSERT_TRUE(spec.check().is_ok());
+  const std::vector<WindowSweepPoint> points = fixed_window_sweep(spec).value();
+  ASSERT_EQ(points.size(), spec.windows.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].window, spec.windows[i]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+// The awd.hpp facade contract: every exported name is reachable as a plain
+// `awd::` name, `awd::v1::` spells the same entity (v1 is inline), and the
+// surface is wide enough to drive the pipeline end to end without touching
+// an internal header (this TU includes only awd.hpp).
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "awd.hpp"
+
+namespace {
+
+// Inline-namespace versioning: the plain and the explicitly versioned names
+// are the same types, not lookalikes.
+static_assert(std::is_same_v<awd::DetectionSystem, awd::v1::DetectionSystem>);
+static_assert(std::is_same_v<awd::StreamEngine, awd::v1::StreamEngine>);
+static_assert(std::is_same_v<awd::ExperimentSpec, awd::v1::ExperimentSpec>);
+static_assert(std::is_same_v<awd::Result<int>, awd::v1::Result<int>>);
+static_assert(std::is_same_v<awd::Status, awd::v1::Status>);
+static_assert(std::is_same_v<awd::Trace, awd::v1::Trace>);
+static_assert(std::is_same_v<awd::Vec, awd::v1::Vec>);
+
+// ...and they alias the internal definitions (the facade re-exports, it does
+// not wrap).
+static_assert(std::is_same_v<awd::DetectionSystem, awd::core::DetectionSystem>);
+static_assert(std::is_same_v<awd::StreamEngine, awd::serve::StreamEngine>);
+static_assert(std::is_same_v<awd::StepRecord, awd::sim::StepRecord>);
+static_assert(std::is_same_v<awd::HealthState, awd::fault::HealthState>);
+
+TEST(Facade, DrivesThePipelineEndToEnd) {
+  const awd::SimulatorCase scase = awd::simulator_case("dc_motor");
+  ASSERT_TRUE(scase.check().is_ok());
+
+  awd::Result<awd::DetectionSystem> system =
+      awd::DetectionSystem::create(scase, awd::AttackKind::kBias, /*seed=*/1);
+  ASSERT_TRUE(system.is_ok());
+  const awd::Trace trace = std::move(system).value().run();
+
+  const awd::RunMetrics metrics = awd::compute_metrics(
+      trace, scase.attack_start, scase.attack_duration, awd::Strategy::kAdaptive);
+  EXPECT_GT(metrics.deadline_at_onset, 0u);
+
+  const awd::CellResult cell = awd::run_cell({.scase = scase,
+                                              .attack = awd::AttackKind::kBias,
+                                              .runs = 2,
+                                              .base_seed = 1,
+                                              .threads = 1})
+                                   .value();
+  EXPECT_EQ(cell.runs, 2u);
+}
+
+TEST(Facade, Table1BankIsExported) {
+  const auto cases = awd::table1_cases();
+  ASSERT_EQ(cases.size(), 5u);
+  for (const awd::SimulatorCase& scase : cases) {
+    EXPECT_TRUE(scase.check().is_ok()) << scase.key;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// DetectionSystem::create — the non-throwing factory: invalid inputs come
+// back as Status (never an exception), valid inputs build a system whose
+// run is bit-identical to the throwing constructor's, and shared deadline
+// estimators are validated against the case before being adopted.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "awd.hpp"
+
+namespace {
+
+using namespace awd;
+
+TEST(DetectionSystemFactory, InvalidCaseReturnsStatusInsteadOfThrowing) {
+  SimulatorCase scase = simulator_case("dc_motor");
+  scase.tau = Vec{};  // wrong dimension
+  Result<DetectionSystem> result = DetectionSystem::create(scase, AttackKind::kBias, 1);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST(DetectionSystemFactory, ThrowingConstructorStillThrowsWithDiagnostics) {
+  SimulatorCase scase = simulator_case("dc_motor");
+  scase.tau = Vec{};
+  EXPECT_THROW(DetectionSystem(scase, AttackKind::kBias, 1), std::invalid_argument);
+}
+
+TEST(DetectionSystemFactory, FactoryRunBitIdenticalToThrowingConstructor) {
+  const SimulatorCase scase = simulator_case("series_rlc");
+  DetectionSystem via_ctor(scase, AttackKind::kDelay, /*seed=*/13);
+  Result<DetectionSystem> via_factory =
+      DetectionSystem::create(scase, AttackKind::kDelay, /*seed=*/13);
+  ASSERT_TRUE(via_factory.is_ok());
+  DetectionSystem factory_system = std::move(via_factory).value();
+
+  for (std::size_t t = 0; t < scase.steps; ++t) {
+    const StepRecord a = via_ctor.step();
+    const StepRecord b = factory_system.step();
+    ASSERT_EQ(a.deadline, b.deadline) << "t=" << t;
+    ASSERT_EQ(a.window, b.window) << "t=" << t;
+    ASSERT_EQ(a.adaptive_alarm, b.adaptive_alarm) << "t=" << t;
+    ASSERT_EQ(a.fixed_alarm, b.fixed_alarm) << "t=" << t;
+    ASSERT_EQ(a.residual, b.residual) << "t=" << t;
+  }
+}
+
+TEST(DetectionSystemFactory, SharedEstimatorAdoptedWhenCompatible) {
+  const SimulatorCase scase = simulator_case("dc_motor");
+  DetectionSystemOptions options;
+  {
+    // Borrow a freshly built system's estimator, the way StreamEngine's
+    // per-family cache does.
+    Result<DetectionSystem> donor = DetectionSystem::create(scase, AttackKind::kNone, 1);
+    ASSERT_TRUE(donor.is_ok());
+    options.shared_deadline_estimator = donor.value().estimator_handle();
+  }
+  Result<DetectionSystem> shared =
+      DetectionSystem::create(scase, AttackKind::kBias, 2, options);
+  ASSERT_TRUE(shared.is_ok());
+  EXPECT_EQ(shared.value().estimator_handle().get(),
+            options.shared_deadline_estimator.get());
+
+  DetectionSystem owned(scase, AttackKind::kBias, 2);
+  DetectionSystem borrowed = std::move(shared).value();
+  for (std::size_t t = 0; t < scase.steps; ++t) {
+    const StepRecord a = owned.step();
+    const StepRecord b = borrowed.step();
+    ASSERT_EQ(a.deadline, b.deadline) << "t=" << t;
+    ASSERT_EQ(a.adaptive_alarm, b.adaptive_alarm) << "t=" << t;
+  }
+}
+
+TEST(DetectionSystemFactory, SharedEstimatorConfigMismatchRejected) {
+  const SimulatorCase donor_case = simulator_case("dc_motor");
+  Result<DetectionSystem> donor = DetectionSystem::create(donor_case, AttackKind::kNone, 1);
+  ASSERT_TRUE(donor.is_ok());
+
+  // Same plant, different max_window: the estimator's deadline tables no
+  // longer describe this configuration.
+  SimulatorCase tweaked = donor_case;
+  tweaked.max_window = donor_case.max_window + 5;
+  DetectionSystemOptions options;
+  options.shared_deadline_estimator = donor.value().estimator_handle();
+  Result<DetectionSystem> result =
+      DetectionSystem::create(tweaked, AttackKind::kBias, 2, options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidInput);
+
+  // Different plant dimension (12-state quadrotor vs 3-state motor):
+  // rejected as well.
+  const SimulatorCase other = simulator_case("quadrotor");
+  DetectionSystemOptions cross;
+  cross.shared_deadline_estimator = donor.value().estimator_handle();
+  EXPECT_FALSE(DetectionSystem::create(other, AttackKind::kBias, 2, cross).is_ok());
+}
+
+}  // namespace

@@ -1,0 +1,7 @@
+// Self-containment: "awd.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "awd.hpp"
+#include "awd.hpp"
+
+int awd_selfcontain_awd() { return 1; }

@@ -1,0 +1,7 @@
+// Self-containment: "core/calibration.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "core/calibration.hpp"
+#include "core/calibration.hpp"
+
+int awd_selfcontain_core_calibration() { return 1; }

@@ -1,0 +1,7 @@
+// Self-containment: "core/experiment.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "core/experiment.hpp"
+#include "core/experiment.hpp"
+
+int awd_selfcontain_core_experiment() { return 1; }

@@ -1,0 +1,7 @@
+// Self-containment: "core/status.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "core/status.hpp"
+#include "core/status.hpp"
+
+int awd_selfcontain_core_status() { return 1; }

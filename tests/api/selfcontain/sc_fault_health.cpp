@@ -1,0 +1,7 @@
+// Self-containment: "fault/health.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "fault/health.hpp"
+#include "fault/health.hpp"
+
+int awd_selfcontain_fault_health() { return 1; }

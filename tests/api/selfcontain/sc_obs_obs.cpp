@@ -1,0 +1,7 @@
+// Self-containment: "obs/obs.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "obs/obs.hpp"
+#include "obs/obs.hpp"
+
+int awd_selfcontain_obs_obs() { return 1; }

@@ -1,0 +1,7 @@
+// Self-containment: "serve/stream_engine.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "serve/stream_engine.hpp"
+#include "serve/stream_engine.hpp"
+
+int awd_selfcontain_serve_stream_engine() { return 1; }

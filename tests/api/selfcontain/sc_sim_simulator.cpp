@@ -1,0 +1,7 @@
+// Self-containment: "sim/simulator.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "sim/simulator.hpp"
+#include "sim/simulator.hpp"
+
+int awd_selfcontain_sim_simulator() { return 1; }

@@ -1,0 +1,67 @@
+// Compatibility contract of the deprecated positional shims: they must
+// forward to the spec-based runners and return identical results.  This is
+// the one translation unit allowed to call the deprecated surface — its
+// target compiles with -Wno-deprecated-declarations while the rest of the
+// tree promotes that warning to an error (see tests/api/CMakeLists.txt and
+// the root CMakeLists).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "awd.hpp"
+
+namespace {
+
+using namespace awd;
+
+TEST(DeprecatedShims, PositionalRunCellMatchesSpecApi) {
+  const SimulatorCase scase = simulator_case("dc_motor");
+  MetricsOptions options;
+  options.warmup = 100;
+
+  const CellResult via_shim =
+      run_cell(scase, AttackKind::kBias, /*runs=*/4, /*base_seed=*/3, options,
+               /*threads=*/1);
+  const CellResult via_spec = run_cell({.scase = scase,
+                                        .attack = AttackKind::kBias,
+                                        .runs = 4,
+                                        .base_seed = 3,
+                                        .metrics = options,
+                                        .threads = 1})
+                                  .value();
+  EXPECT_EQ(via_shim, via_spec);
+}
+
+TEST(DeprecatedShims, PositionalSweepMatchesSpecApi) {
+  const SimulatorCase scase = simulator_case("series_rlc");
+  const std::vector<std::size_t> windows = {0, 20, 40};
+
+  const std::vector<WindowSweepPoint> via_shim =
+      fixed_window_sweep(scase, AttackKind::kBias, windows, /*runs=*/2, /*base_seed=*/5,
+                         /*options=*/{}, /*threads=*/1);
+  const std::vector<WindowSweepPoint> via_spec = fixed_window_sweep({.scase = scase,
+                                                                     .attack =
+                                                                         AttackKind::kBias,
+                                                                     .windows = windows,
+                                                                     .runs = 2,
+                                                                     .base_seed = 5,
+                                                                     .threads = 1})
+                                                     .value();
+  ASSERT_EQ(via_shim.size(), via_spec.size());
+  for (std::size_t i = 0; i < via_shim.size(); ++i) {
+    EXPECT_EQ(via_shim[i].window, via_spec[i].window);
+    EXPECT_EQ(via_shim[i].fp_experiments, via_spec[i].fp_experiments);
+    EXPECT_EQ(via_shim[i].fn_experiments, via_spec[i].fn_experiments);
+  }
+}
+
+TEST(DeprecatedShims, ShimRethrowsSpecValidationErrors) {
+  SimulatorCase broken = simulator_case("dc_motor");
+  broken.tau = Vec{};
+  EXPECT_THROW(run_cell(broken, AttackKind::kBias, 1, 0), std::invalid_argument);
+  EXPECT_THROW(fixed_window_sweep(broken, AttackKind::kBias, {0}, 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

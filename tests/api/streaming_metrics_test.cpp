@@ -1,0 +1,63 @@
+// StreamingMetrics — the one-pass, trace-free scorer StreamEngine uses —
+// must produce a RunMetrics bitwise equal to compute_metrics over the
+// materialized trace, for both strategies and across metric options.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "awd.hpp"
+
+namespace {
+
+using namespace awd;
+
+void expect_metrics_equal(const RunMetrics& got, const RunMetrics& want) {
+  EXPECT_EQ(got.fp_rate, want.fp_rate);
+  EXPECT_EQ(got.first_alarm_after_onset, want.first_alarm_after_onset);
+  EXPECT_EQ(got.detection_delay, want.detection_delay);
+  EXPECT_EQ(got.deadline_at_onset, want.deadline_at_onset);
+  EXPECT_EQ(got.fp_experiment, want.fp_experiment);
+  EXPECT_EQ(got.deadline_miss, want.deadline_miss);
+  EXPECT_EQ(got.false_negative, want.false_negative);
+  EXPECT_EQ(got.first_unsafe, want.first_unsafe);
+}
+
+TEST(StreamingMetrics, BitIdenticalToComputeMetricsOnRealTraces) {
+  const MetricsOptions kVariants[] = {
+      {},                                                        // defaults
+      {.fp_threshold = 0.01, .warmup = 100},                     // Table 2 options
+      {.warmup = 50, .post_attack_guard = 40},                   // engine guard policy
+  };
+  for (const char* key : {"dc_motor", "vehicle_turning"}) {
+    const SimulatorCase scase = simulator_case(key);
+    for (const MetricsOptions& options : kVariants) {
+      DetectionSystem system(scase, AttackKind::kBias, /*seed=*/17);
+      const Trace trace = system.run();
+
+      StreamingMetrics streaming(scase.attack_start, scase.attack_duration, options);
+      for (std::size_t t = 0; t < trace.size(); ++t) streaming.observe(trace[t]);
+      ASSERT_EQ(streaming.steps(), trace.size());
+
+      for (Strategy strategy : {Strategy::kAdaptive, Strategy::kFixed}) {
+        SCOPED_TRACE(std::string(key) + (strategy == Strategy::kAdaptive ? " adaptive"
+                                                                         : " fixed"));
+        expect_metrics_equal(
+            streaming.finish(strategy),
+            compute_metrics(trace, scase.attack_start, scase.attack_duration, strategy,
+                            options));
+      }
+    }
+  }
+}
+
+TEST(StreamingMetrics, FinishBeforeOnsetThrowsLikeComputeMetrics) {
+  const SimulatorCase scase = simulator_case("dc_motor");
+  StreamingMetrics streaming(scase.attack_start, scase.attack_duration);
+  DetectionSystem system(scase, AttackKind::kBias, /*seed=*/1);
+  // Observe fewer steps than the onset: the run never reached the attack.
+  for (std::size_t t = 0; t < scase.attack_start; ++t) streaming.observe(system.step());
+  EXPECT_THROW(static_cast<void>(streaming.finish(Strategy::kAdaptive)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -84,11 +84,15 @@ TEST(Calibration, MaxWindowProfileRespectsTolerance) {
   ASSERT_FALSE(profile.sweep.empty());
   // The chosen w_m itself satisfies the tolerance.
   for (const auto& p : profile.sweep) {
-    if (p.window == profile.max_window) EXPECT_LE(p.fn_experiments, opts.fn_tolerance);
+    if (p.window == profile.max_window) {
+      EXPECT_LE(p.fn_experiments, opts.fn_tolerance);
+    }
   }
   // And it is the largest such window in the sweep.
   for (const auto& p : profile.sweep) {
-    if (p.window > profile.max_window) EXPECT_GT(p.fn_experiments, opts.fn_tolerance);
+    if (p.window > profile.max_window) {
+      EXPECT_GT(p.fn_experiments, opts.fn_tolerance);
+    }
   }
 }
 

@@ -11,7 +11,12 @@ TEST(Experiment, CellResultCountsAreConsistent) {
   const SimulatorCase scase = simulator_case("vehicle_turning");
   MetricsOptions opts;
   opts.warmup = 100;
-  const CellResult cell = run_cell(scase, AttackKind::kBias, 10, 2022, opts);
+  const CellResult cell = run_cell({.scase = scase,
+                                    .attack = AttackKind::kBias,
+                                    .runs = 10,
+                                    .base_seed = 2022,
+                                    .metrics = opts})
+                              .value();
   EXPECT_EQ(cell.runs, 10u);
   EXPECT_EQ(cell.simulator, "vehicle_turning");
   EXPECT_LE(cell.fp_adaptive, 10u);
@@ -25,8 +30,13 @@ TEST(Experiment, DeterministicForFixedBaseSeed) {
   const SimulatorCase scase = simulator_case("series_rlc");
   MetricsOptions opts;
   opts.warmup = 100;
-  const CellResult a = run_cell(scase, AttackKind::kBias, 5, 7, opts);
-  const CellResult b = run_cell(scase, AttackKind::kBias, 5, 7, opts);
+  const ExperimentSpec spec{.scase = scase,
+                            .attack = AttackKind::kBias,
+                            .runs = 5,
+                            .base_seed = 7,
+                            .metrics = opts};
+  const CellResult a = run_cell(spec).value();
+  const CellResult b = run_cell(spec).value();
   EXPECT_EQ(a.fp_adaptive, b.fp_adaptive);
   EXPECT_EQ(a.dm_fixed, b.dm_fixed);
   EXPECT_EQ(a.mean_delay_adaptive, b.mean_delay_adaptive);
@@ -39,7 +49,12 @@ TEST(Experiment, HeadlineOrderingOnBiasCell) {
   MetricsOptions opts;
   opts.warmup = 100;
   opts.fp_threshold = 0.01;
-  const CellResult cell = run_cell(scase, AttackKind::kBias, 20, 2022, opts);
+  const CellResult cell = run_cell({.scase = scase,
+                                    .attack = AttackKind::kBias,
+                                    .runs = 20,
+                                    .base_seed = 2022,
+                                    .metrics = opts})
+                              .value();
   EXPECT_GE(cell.fp_adaptive, cell.fp_fixed);
   EXPECT_LT(cell.dm_adaptive, cell.dm_fixed);
   EXPECT_EQ(cell.dm_adaptive, 0u);
@@ -50,8 +65,13 @@ TEST(Experiment, WindowSweepShapesMatchFig7) {
   scase.attack_duration = 15;  // §6.1.2
   MetricsOptions opts;
   opts.warmup = 100;
-  const std::vector<std::size_t> windows = {0, 40, 100};
-  const auto points = fixed_window_sweep(scase, AttackKind::kBias, windows, 30, 2022, opts);
+  const auto points = fixed_window_sweep({.scase = scase,
+                                          .attack = AttackKind::kBias,
+                                          .windows = {0, 40, 100},
+                                          .runs = 30,
+                                          .base_seed = 2022,
+                                          .metrics = opts})
+                          .value();
   ASSERT_EQ(points.size(), 3u);
   // FP experiments decrease with window size; FN experiments increase.
   EXPECT_GT(points[0].fp_experiments, points[1].fp_experiments);
@@ -73,7 +93,13 @@ TEST(Experiment, PinnedTable2CellForFixedSeed) {
   MetricsOptions opts;
   opts.warmup = 100;
   opts.fp_threshold = 0.01;
-  const CellResult cell = run_cell(scase, AttackKind::kBias, 10, 2022, opts, 1);
+  const CellResult cell = run_cell({.scase = scase,
+                                    .attack = AttackKind::kBias,
+                                    .runs = 10,
+                                    .base_seed = 2022,
+                                    .metrics = opts,
+                                    .threads = 1})
+                              .value();
   EXPECT_EQ(cell.fp_adaptive, 6u);
   EXPECT_EQ(cell.fp_fixed, 0u);
   EXPECT_EQ(cell.dm_adaptive, 0u);
@@ -91,10 +117,18 @@ TEST(Experiment, RunCellBitIdenticalAcrossThreadCounts) {
   MetricsOptions opts;
   opts.warmup = 100;
   opts.fp_threshold = 0.01;
-  const CellResult serial = run_cell(scase, AttackKind::kBias, 12, 2022, opts, 1);
-  const CellResult threaded = run_cell(scase, AttackKind::kBias, 12, 2022, opts, 8);
+  ExperimentSpec spec{.scase = scase,
+                      .attack = AttackKind::kBias,
+                      .runs = 12,
+                      .base_seed = 2022,
+                      .metrics = opts,
+                      .threads = 1};
+  const CellResult serial = run_cell(spec).value();
+  spec.threads = 8;
+  const CellResult threaded = run_cell(spec).value();
   EXPECT_EQ(serial, threaded);
-  const CellResult odd = run_cell(scase, AttackKind::kBias, 12, 2022, opts, 3);
+  spec.threads = 3;
+  const CellResult odd = run_cell(spec).value();
   EXPECT_EQ(serial, odd);
 }
 
@@ -103,11 +137,34 @@ TEST(Experiment, SweepBitIdenticalAcrossThreadCounts) {
   scase.attack_duration = 15;
   MetricsOptions opts;
   opts.warmup = 100;
-  const std::vector<std::size_t> windows = {0, 5, 20, 40, 100};
-  const auto serial = fixed_window_sweep(scase, AttackKind::kBias, windows, 12, 9, opts, 1);
-  const auto threaded =
-      fixed_window_sweep(scase, AttackKind::kBias, windows, 12, 9, opts, 8);
+  SweepSpec spec{.scase = scase,
+                 .attack = AttackKind::kBias,
+                 .windows = {0, 5, 20, 40, 100},
+                 .runs = 12,
+                 .base_seed = 9,
+                 .metrics = opts,
+                 .threads = 1};
+  const auto serial = fixed_window_sweep(spec).value();
+  spec.threads = 8;
+  const auto threaded = fixed_window_sweep(spec).value();
   EXPECT_EQ(serial, threaded);
+}
+
+TEST(Experiment, SpecCheckRejectsDegenerateInputs) {
+  const SimulatorCase scase = simulator_case("vehicle_turning");
+  const auto no_runs =
+      run_cell({.scase = scase, .attack = AttackKind::kBias, .runs = 0});
+  EXPECT_FALSE(no_runs.is_ok());
+  EXPECT_EQ(no_runs.status().code(), StatusCode::kInvalidInput);
+
+  SimulatorCase bad = scase;
+  bad.tau = Vec{};  // dimension mismatch → SimulatorCase::check failure
+  EXPECT_FALSE(run_cell({.scase = bad, .attack = AttackKind::kBias}).is_ok());
+
+  const auto no_windows = fixed_window_sweep(
+      {.scase = scase, .attack = AttackKind::kBias, .windows = {}, .runs = 5});
+  EXPECT_FALSE(no_windows.is_ok());
+  EXPECT_EQ(no_windows.status().code(), StatusCode::kInvalidInput);
 }
 
 TEST(Experiment, ReduceCellMatchesManualAccumulation) {
@@ -144,9 +201,13 @@ TEST(Experiment, ReduceCellMatchesManualAccumulation) {
 TEST(Experiment, SweepIsDeterministic) {
   SimulatorCase scase = simulator_case("vehicle_turning");
   scase.attack_duration = 15;
-  const std::vector<std::size_t> windows = {0, 10};
-  const auto a = fixed_window_sweep(scase, AttackKind::kBias, windows, 5, 3, {});
-  const auto b = fixed_window_sweep(scase, AttackKind::kBias, windows, 5, 3, {});
+  const SweepSpec spec{.scase = scase,
+                       .attack = AttackKind::kBias,
+                       .windows = {0, 10},
+                       .runs = 5,
+                       .base_seed = 3};
+  const auto a = fixed_window_sweep(spec).value();
+  const auto b = fixed_window_sweep(spec).value();
   EXPECT_EQ(a[0].fp_experiments, b[0].fp_experiments);
   EXPECT_EQ(a[1].fn_experiments, b[1].fn_experiments);
 }

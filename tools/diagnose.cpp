@@ -15,25 +15,24 @@
 #include <map>
 #include <string>
 
-#include "core/detection_system.hpp"
-#include "core/metrics.hpp"
-#include "obs/report.hpp"
+#include "awd.hpp"
+#include "obs/report.hpp"  // internal: --obs directory pretty-printer
 
 namespace {
 
 using namespace awd;
 
-core::AttackKind parse_attack(const std::string& s) {
-  if (s == "none") return core::AttackKind::kNone;
-  if (s == "bias") return core::AttackKind::kBias;
-  if (s == "delay") return core::AttackKind::kDelay;
-  if (s == "replay") return core::AttackKind::kReplay;
-  if (s == "ramp") return core::AttackKind::kRamp;
+AttackKind parse_attack(const std::string& s) {
+  if (s == "none") return AttackKind::kNone;
+  if (s == "bias") return AttackKind::kBias;
+  if (s == "delay") return AttackKind::kDelay;
+  if (s == "replay") return AttackKind::kReplay;
+  if (s == "ramp") return AttackKind::kRamp;
   std::fprintf(stderr, "unknown attack '%s'\n", s.c_str());
   std::exit(1);
 }
 
-void print_alarm_ranges(const sim::Trace& trace, bool adaptive, const char* label) {
+void print_alarm_ranges(const Trace& trace, bool adaptive, const char* label) {
   std::printf("  %s alarms: ", label);
   bool in_range = false;
   std::size_t start = 0;
@@ -79,12 +78,12 @@ int main(int argc, char** argv) {
                  argv[0], argv[0]);
     return 1;
   }
-  const core::SimulatorCase scase = core::simulator_case(argv[1]);
-  const core::AttackKind attack = parse_attack(argv[2]);
+  const awd::SimulatorCase scase = awd::simulator_case(argv[1]);
+  const awd::AttackKind attack = parse_attack(argv[2]);
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
 
-  core::DetectionSystem system(scase, attack, seed);
-  const sim::Trace trace = system.run();
+  awd::DetectionSystem system(scase, attack, seed);
+  const awd::Trace trace = system.run();
   const std::size_t n = scase.model.state_dim();
   const std::size_t a0 = scase.attack_start;
   const std::size_t a1 = a0 + scase.attack_duration;
@@ -134,12 +133,12 @@ int main(int argc, char** argv) {
   print_alarm_ranges(trace, true, "adaptive");
   print_alarm_ranges(trace, false, "fixed   ");
 
-  core::MetricsOptions opts;
+  awd::MetricsOptions opts;
   opts.warmup = 100;
-  const auto ma = core::compute_metrics(trace, a0, scase.attack_duration,
-                                        core::Strategy::kAdaptive, opts);
-  const auto mf =
-      core::compute_metrics(trace, a0, scase.attack_duration, core::Strategy::kFixed, opts);
+  const auto ma = awd::compute_metrics(trace, a0, scase.attack_duration,
+                                       awd::Strategy::kAdaptive, opts);
+  const auto mf = awd::compute_metrics(trace, a0, scase.attack_duration,
+                                       awd::Strategy::kFixed, opts);
   std::printf("\nadaptive: fp_rate %.3f fp_exp %d dm %d delay %s (deadline %zu)\n",
               ma.fp_rate, ma.fp_experiment, ma.deadline_miss,
               ma.detection_delay ? std::to_string(*ma.detection_delay).c_str() : "-",
