@@ -1,0 +1,199 @@
+// bench_checkpoint — cost of the snapshot surface (DESIGN.md §13): taking a
+// checkpoint of a mid-run StreamEngine, validating/summarizing the image
+// (the awd_ckpt path), restoring it into a fresh engine, and a full
+// rebalance() (checkpoint + pool teardown + restore).  Emits
+// BENCH_checkpoint.json for the CI regression gate.
+//
+// All gated shapes run the engine pinned to one thread so the committed
+// baselines are about codec + rebuild cost, not the runner's core count.
+// items_per_second counts streams through each operation; the bytes counter
+// reports the snapshot image size for the workload.
+//
+// Before benchmarking, main() verifies the contract the numbers depend on:
+// checkpoint → restore → continue must be bit-identical to the
+// uninterrupted run (a broken round-trip cannot produce a green benchmark).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "awd.hpp"
+#include "bench_json.hpp"
+
+namespace {
+
+using namespace awd;
+
+const char* const kPlants[] = {"aircraft_pitch", "vehicle_turning", "series_rlc",
+                               "dc_motor"};
+constexpr std::size_t kPlantCount = 4;
+
+AttackKind attack_for(std::size_t stream) {
+  constexpr AttackKind kAttacks[] = {AttackKind::kBias, AttackKind::kDelay,
+                                     AttackKind::kReplay, AttackKind::kFreeze};
+  return kAttacks[stream % 4];
+}
+
+/// Fill `engine` with `streams` mixed-plant streams and advance each
+/// `advance` steps — the mid-run shape every benchmark snapshots.  (The
+/// engine is an out-parameter because it owns a worker pool and is
+/// immovable.)
+void fill_midrun(serve::StreamEngine& engine, std::size_t streams,
+                 std::size_t advance) {
+  for (std::size_t s = 0; s < streams; ++s) {
+    (void)engine
+        .submit({.scase = simulator_case(kPlants[s % kPlantCount]),
+                 .attack = attack_for(s),
+                 .seed = s + 1})
+        .value();
+  }
+  for (std::size_t t = 0; t < advance; ++t) engine.step_all();
+}
+
+std::vector<std::uint8_t> midrun_snapshot(std::size_t streams, std::size_t advance) {
+  serve::StreamEngine engine(
+      {.threads = 1, .max_streams = streams, .queue_capacity = streams});
+  fill_midrun(engine, streams, advance);
+  return engine.checkpoint().value();
+}
+
+// Arg 0 = stream count.  Serialize a mid-run engine to a byte image.
+void BM_Checkpoint(benchmark::State& state) {
+  const std::size_t streams = static_cast<std::size_t>(state.range(0));
+  serve::StreamEngine engine(
+      {.threads = 1, .max_streams = streams, .queue_capacity = streams});
+  fill_midrun(engine, streams, 60);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Result<std::vector<std::uint8_t>> snap = engine.checkpoint();
+    bytes = snap.value().size();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(streams));
+}
+BENCHMARK(BM_Checkpoint)->Arg(16)->Arg(128)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Arg 0 = stream count.  Parse + summarize only (the awd_ckpt inspect path:
+// framing validation, CRCs, fingerprint — no pipeline reconstruction).
+void BM_DescribeSnapshot(benchmark::State& state) {
+  const std::size_t streams = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint8_t> snap = midrun_snapshot(streams, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(describe_snapshot(snap));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(streams));
+}
+BENCHMARK(BM_DescribeSnapshot)->Arg(16)->Arg(128)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Arg 0 = stream count.  Rebuild a fresh engine from the image: spec
+// decoding, pipeline construction (shared deadline estimators rebuilt once
+// per plant family), state deserialization, shard placement.
+void BM_Restore(benchmark::State& state) {
+  const std::size_t streams = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint8_t> snap = midrun_snapshot(streams, 60);
+  for (auto _ : state) {
+    serve::StreamEngine fresh({.threads = 1});
+    const Status status = fresh.restore(snap);
+    if (!status.is_ok()) {
+      state.SkipWithError(std::string(status.message()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(fresh.snapshot());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(streams));
+}
+BENCHMARK(BM_Restore)->Arg(16)->Arg(128)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Arg 0 = stream count.  Full elastic reshard in place, alternating the
+// shard count so every iteration really tears down and rebuilds the pool.
+void BM_Rebalance(benchmark::State& state) {
+  const std::size_t streams = static_cast<std::size_t>(state.range(0));
+  serve::StreamEngine engine(
+      {.threads = 1, .max_streams = streams, .queue_capacity = streams});
+  fill_midrun(engine, streams, 60);
+  std::size_t shards = 2;
+  for (auto _ : state) {
+    const Status status = engine.rebalance(shards);
+    if (!status.is_ok()) {
+      state.SkipWithError(std::string(status.message()).c_str());
+      return;
+    }
+    shards = (shards == 2) ? 1 : 2;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(streams));
+}
+BENCHMARK(BM_Rebalance)->Arg(16)->Arg(128)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The round-trip differential the benchmark numbers presuppose: interrupt,
+/// snapshot, restore at a different shard count, finish — bitwise equal to
+/// the uninterrupted run.
+bool verify_roundtrip() {
+  constexpr std::size_t kStreams = 16;
+  serve::StreamEngine reference(
+      {.threads = 1, .max_streams = kStreams, .queue_capacity = kStreams});
+  std::vector<serve::StreamId> ids;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    ids.push_back(reference
+                      .submit({.scase = simulator_case(kPlants[s % kPlantCount]),
+                               .attack = attack_for(s),
+                               .seed = s + 1})
+                      .value());
+  }
+  reference.run_to_completion();
+
+  const std::vector<std::uint8_t> snap = midrun_snapshot(kStreams, 60);
+  serve::StreamEngine restored({.threads = 2});
+  if (!restored.restore(snap).is_ok()) {
+    std::fprintf(stderr, "FATAL: restore failed\n");
+    return false;
+  }
+  restored.run_to_completion();
+
+  const auto equal = [](const RunMetrics& a, const RunMetrics& b) {
+    return a.fp_rate == b.fp_rate &&
+           a.first_alarm_after_onset == b.first_alarm_after_onset &&
+           a.detection_delay == b.detection_delay &&
+           a.deadline_at_onset == b.deadline_at_onset &&
+           a.fp_experiment == b.fp_experiment && a.deadline_miss == b.deadline_miss &&
+           a.false_negative == b.false_negative && a.first_unsafe == b.first_unsafe;
+  };
+  for (serve::StreamId id : ids) {
+    const serve::StreamResult got = restored.drain(id).value();
+    const serve::StreamResult want = reference.drain(id).value();
+    if (!equal(got.adaptive, want.adaptive) || !equal(got.fixed, want.fixed) ||
+        got.final_health != want.final_health ||
+        got.adaptive_evaluations != want.adaptive_evaluations) {
+      std::fprintf(stderr,
+                   "FATAL: stream %llu diverged after checkpoint/restore\n",
+                   static_cast<unsigned long long>(id));
+      return false;
+    }
+  }
+  const std::size_t bytes = snap.size();
+  std::printf("%zu mixed streams checkpoint: %zu bytes (%.0f bytes/stream), "
+              "restore at 2 shards bit-identical\n\n",
+              kStreams, bytes, static_cast<double>(bytes) / kStreams);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const awd::obs::ObsSession obs_session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!verify_roundtrip()) return 1;
+  awd::bench::run_benchmarks_with_json("BENCH_checkpoint.json");
+  benchmark::Shutdown();
+  return 0;
+}

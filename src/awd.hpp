@@ -32,6 +32,7 @@
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "obs/obs.hpp"
+#include "serve/engine_ckpt.hpp"
 #include "serve/stream_engine.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -98,6 +99,11 @@ using serve::StreamResult;
 using serve::StreamSpec;
 using serve::StreamState;
 using serve::StreamStatus;
+
+// Checkpoint / restore (DESIGN.md §13).
+using serve::describe_snapshot;
+using serve::SnapshotInfo;
+using serve::SnapshotStreamInfo;
 
 // Tooling.
 using core::write_trace_csv;

@@ -1,0 +1,196 @@
+// ckpt.hpp — versioned binary snapshot codec (DESIGN.md §13).
+//
+// A fielded detector fleet drains, upgrades, rebalances and crash-recovers
+// under live traffic; a single lost window or RNG step changes alarm times
+// and silently forfeits the paper's recovery guarantee.  Every piece of
+// per-stream detection state therefore serializes through this one codec:
+//
+//   * Writer / Reader — flat little-endian primitives (doubles as raw
+//     IEEE-754 bit patterns, so ±Inf round-trips exactly) with
+//     length-prefixed strings/vectors.  Every Reader access is
+//     bounds-checked; a truncated or malformed payload latches an error
+//     instead of reading past the buffer — corrupt snapshots must come back
+//     as typed Status errors, never UB.
+//   * SnapshotBuilder / SnapshotView — the file framing: a fixed header
+//     (magic, format version, config fingerprint, CRC32) followed by typed
+//     sections, each with its own length and CRC32.  parse() validates all
+//     of it up front; a snapshot that parses exposes only in-bounds section
+//     payloads.
+//
+// Who writes what lives with the component: detect::*, sim::*, fault::*,
+// core::DetectionSystem and core::StreamingMetrics each carry
+// serialize/deserialize hooks; serve::StreamEngine composes them into its
+// checkpoint()/restore() sections.  This header knows nothing about them —
+// it is the byte layer only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+
+namespace awd::core::ckpt {
+
+/// File magic: "AWDCKPT1".
+inline constexpr std::uint8_t kMagic[8] = {'A', 'W', 'D', 'C', 'K', 'P', 'T', '1'};
+
+/// Current snapshot format version.  Bump on any layout change; readers
+/// reject other versions with kUnimplemented (see DESIGN.md §13 for the
+/// compatibility policy).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Fixed header size in bytes (magic, version, section count, fingerprint,
+/// reserved, CRC32 over everything before the CRC).
+inline constexpr std::size_t kHeaderSize = 32;
+
+/// Per-section header size (id, reserved, payload length, payload CRC32).
+inline constexpr std::size_t kSectionHeaderSize = 20;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept;
+
+/// FNV-1a 64-bit hash — the config-fingerprint primitive.  Chained: pass the
+/// previous hash as `seed` to fold successive ranges into one fingerprint.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+[[nodiscard]] std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size,
+                                    std::uint64_t seed = kFnvOffset) noexcept;
+
+/// Append-only little-endian encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Double as its raw IEEE-754 bit pattern (±Inf and NaN round-trip).
+  void f64(double v);
+  void str(std::string_view s);
+  void vec(const linalg::Vec& v);
+  void mat(const linalg::Matrix& m);
+  void opt_u64(const std::optional<std::size_t>& v);
+  void opt_vec(const std::optional<linalg::Vec>& v);
+  void bytes(const std::uint8_t* data, std::size_t size);
+  /// Length-prefixed nested byte block (framing for sub-objects whose bytes
+  /// are hashed or skipped as a unit, e.g. per-stream spec blocks).
+  void block(const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range.  Every
+/// accessor returns false (and latches the error) on truncation or a
+/// malformed length; once failed, all further reads fail.  Callers check
+/// ok()/status() at object boundaries.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v);
+  [[nodiscard]] bool b(bool& v);
+  [[nodiscard]] bool u32(std::uint32_t& v);
+  [[nodiscard]] bool u64(std::uint64_t& v);
+  [[nodiscard]] bool f64(double& v);
+  [[nodiscard]] bool str(std::string& s);
+  [[nodiscard]] bool vec(linalg::Vec& v);
+  [[nodiscard]] bool mat(linalg::Matrix& m);
+  [[nodiscard]] bool opt_u64(std::optional<std::size_t>& v);
+  [[nodiscard]] bool opt_vec(std::optional<linalg::Vec>& v);
+  /// Nested byte block: on success `out` borrows the block's bytes.
+  [[nodiscard]] bool block(Reader& out);
+
+  /// Mark the payload malformed (semantic violation found by a caller,
+  /// e.g. an out-of-range enum value); all further reads fail.
+  void fail() noexcept { failed_ = true; }
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+  /// kDataLoss once any read failed; OK otherwise.
+  [[nodiscard]] core::Status status() const noexcept {
+    return failed_ ? core::Status{core::StatusCode::kDataLoss,
+                                  "snapshot payload truncated or malformed"}
+                   : core::Status::ok();
+  }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n, const std::uint8_t*& out);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// One parsed section: a typed view into the snapshot's bytes.
+struct SectionView {
+  std::uint32_t id = 0;
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+
+  [[nodiscard]] Reader reader() const { return Reader(data, size); }
+};
+
+/// Assembles a snapshot: header + CRC-framed sections.
+class SnapshotBuilder {
+ public:
+  /// Start a new section; write its payload through the returned Writer.
+  Writer& section(std::uint32_t id);
+
+  /// Produce the final byte image with `fingerprint` in the header.
+  [[nodiscard]] std::vector<std::uint8_t> finish(std::uint64_t fingerprint) const;
+
+ private:
+  std::vector<std::pair<std::uint32_t, Writer>> sections_;
+};
+
+/// Validated view over a snapshot byte image.  parse() checks magic, format
+/// version, header CRC, every section's bounds and CRC, and that no trailing
+/// bytes follow the last section — each failure mode comes back as its own
+/// typed Status (kDataLoss for corruption, kUnimplemented for a version
+/// mismatch).  The view borrows the caller's buffer.
+class SnapshotView {
+ public:
+  [[nodiscard]] static core::Result<SnapshotView> parse(const std::uint8_t* data,
+                                                        std::size_t size);
+  [[nodiscard]] static core::Result<SnapshotView> parse(
+      const std::vector<std::uint8_t>& bytes) {
+    return parse(bytes.data(), bytes.size());
+  }
+
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+  [[nodiscard]] const std::vector<SectionView>& sections() const noexcept {
+    return sections_;
+  }
+
+  /// First section with the given id, or nullptr.
+  [[nodiscard]] const SectionView* find(std::uint32_t id) const noexcept;
+
+ private:
+  std::uint32_t version_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<SectionView> sections_;
+};
+
+/// Write a snapshot image to a file (atomic enough for the chaos suite:
+/// write to `path + ".tmp"`, then rename over `path`, so a crash mid-write
+/// never leaves a half snapshot under the recovery path).
+[[nodiscard]] core::Status write_file(const std::string& path,
+                                      const std::vector<std::uint8_t>& bytes);
+
+/// Read a whole snapshot file back (kUnavailable when unreadable).
+[[nodiscard]] core::Result<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+}  // namespace awd::core::ckpt

@@ -246,4 +246,44 @@ sim::Trace DetectionSystem::run(std::size_t steps) {
   return trace;
 }
 
+void DetectionSystem::serialize(ckpt::Writer& w) const {
+  simulator_.serialize(w);
+  logger_.serialize(w);
+  adaptive_.serialize(w);
+  fixed_.serialize(w);
+  health_.serialize(w);
+  w.b(faults_ != nullptr);
+  if (faults_) faults_->serialize(w);
+  w.u64(evaluations_);
+  w.u64(last_valid_deadline_);
+  w.u64(fallback_steps_);
+}
+
+Status DetectionSystem::deserialize(ckpt::Reader& r) {
+  if (Status s = simulator_.deserialize(r); !s.is_ok()) return s;
+  if (Status s = logger_.deserialize(r); !s.is_ok()) return s;
+  if (Status s = adaptive_.deserialize(r); !s.is_ok()) return s;
+  if (Status s = fixed_.deserialize(r); !s.is_ok()) return s;
+  if (Status s = health_.deserialize(r); !s.is_ok()) return s;
+  bool has_faults = false;
+  if (!r.b(has_faults)) return r.status();
+  if (has_faults != (faults_ != nullptr)) {
+    return Status{StatusCode::kInvalidInput,
+                  "snapshot fault injector presence disagrees with options"};
+  }
+  if (faults_) {
+    if (Status s = faults_->deserialize(r); !s.is_ok()) return s;
+  }
+  std::uint64_t evaluations = 0;
+  std::uint64_t last_valid_deadline = 0;
+  std::uint64_t fallback_steps = 0;
+  if (!r.u64(evaluations) || !r.u64(last_valid_deadline) || !r.u64(fallback_steps)) {
+    return r.status();
+  }
+  evaluations_ = static_cast<std::size_t>(evaluations);
+  last_valid_deadline_ = static_cast<std::size_t>(last_valid_deadline);
+  fallback_steps_ = static_cast<std::size_t>(fallback_steps);
+  return Status::ok();
+}
+
 }  // namespace awd::core

@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/ckpt.hpp"
 #include "core/config.hpp"
 #include "core/status.hpp"
 #include "detect/adaptive.hpp"
@@ -129,6 +130,19 @@ class DetectionSystem {
 
   /// The run's fault injector, or nullptr for a nominal run.
   [[nodiscard]] const fault::FaultInjector* faults() const noexcept { return faults_.get(); }
+
+  /// Snapshot hooks (core::ckpt): the composed mutable state of the whole
+  /// pipeline — simulator (plant/RNG/controller/estimator), logger ring,
+  /// both detectors, health machine, fault injector, and the deadline
+  /// bookkeeping.  deserialize is applied to a system freshly created from
+  /// the same (case, attack, seed, options) and validates configuration
+  /// agreement section by section; on error the system's state is
+  /// unspecified and the instance must be discarded.  The shareable
+  /// DeadlineEstimator is deliberately not serialized: its tables are a
+  /// pure function of the case, so the restoring side rebuilds (or shares)
+  /// an identical instance.
+  void serialize(ckpt::Writer& w) const;
+  [[nodiscard]] Status deserialize(ckpt::Reader& r);
 
  private:
   /// Tag selecting the assembling constructor (create() runs the checks

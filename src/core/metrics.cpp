@@ -1,6 +1,7 @@
 #include "core/metrics.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace awd::core {
@@ -108,6 +109,57 @@ RunMetrics StreamingMetrics::finish(Strategy strategy) const {
   m.deadline_miss = !m.first_alarm_after_onset ||
                     *m.first_alarm_after_onset > attack_start_ + m.deadline_at_onset;
   return m;
+}
+
+void StreamingMetrics::serialize(ckpt::Writer& w) const {
+  w.u64(attack_start_);
+  w.u64(attack_end_);
+  w.f64(options_.fp_threshold);
+  w.u64(options_.warmup);
+  w.u64(options_.post_attack_guard);
+  w.u64(steps_);
+  w.u64(clean_steps_);
+  w.u64(fp_alarms_[0]);
+  w.u64(fp_alarms_[1]);
+  w.opt_u64(first_alarm_[0]);
+  w.opt_u64(first_alarm_[1]);
+  w.u64(deadline_at_onset_);
+  w.opt_u64(first_unsafe_);
+}
+
+Status StreamingMetrics::deserialize(ckpt::Reader& r) {
+  std::uint64_t attack_start = 0;
+  std::uint64_t attack_end = 0;
+  double fp_threshold = 0.0;
+  std::uint64_t warmup = 0;
+  std::uint64_t guard = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t clean_steps = 0;
+  std::uint64_t fp_alarms[2] = {};
+  std::optional<std::size_t> first_alarm[2];
+  std::uint64_t deadline_at_onset = 0;
+  std::optional<std::size_t> first_unsafe;
+  if (!r.u64(attack_start) || !r.u64(attack_end) || !r.f64(fp_threshold) ||
+      !r.u64(warmup) || !r.u64(guard) || !r.u64(steps) || !r.u64(clean_steps) ||
+      !r.u64(fp_alarms[0]) || !r.u64(fp_alarms[1]) || !r.opt_u64(first_alarm[0]) ||
+      !r.opt_u64(first_alarm[1]) || !r.u64(deadline_at_onset) || !r.opt_u64(first_unsafe)) {
+    return r.status();
+  }
+  if (attack_start != attack_start_ || attack_end != attack_end_ ||
+      fp_threshold != options_.fp_threshold || warmup != options_.warmup ||
+      guard != options_.post_attack_guard) {
+    return Status{StatusCode::kInvalidInput,
+                  "snapshot metrics scoring parameters disagree with this accumulator"};
+  }
+  steps_ = static_cast<std::size_t>(steps);
+  clean_steps_ = static_cast<std::size_t>(clean_steps);
+  for (std::size_t s = 0; s < 2; ++s) {
+    fp_alarms_[s] = static_cast<std::size_t>(fp_alarms[s]);
+    first_alarm_[s] = first_alarm[s];
+  }
+  deadline_at_onset_ = static_cast<std::size_t>(deadline_at_onset);
+  first_unsafe_ = first_unsafe;
+  return Status::ok();
 }
 
 }  // namespace awd::core

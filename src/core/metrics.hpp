@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <optional>
 
+#include "core/ckpt.hpp"
 #include "sim/trace.hpp"
 
 namespace awd::core {
@@ -93,6 +94,13 @@ class StreamingMetrics {
   /// std::invalid_argument when the attack onset has not been observed yet
   /// (compute_metrics's "attack_start outside trace" condition).
   [[nodiscard]] RunMetrics finish(Strategy strategy) const;
+
+  /// Snapshot hooks (core::ckpt): every accumulator, plus the attack
+  /// interval and options for cross-validation — deserialize is applied to
+  /// an accumulator constructed from the same spec and rejects a snapshot
+  /// whose scoring parameters disagree.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
 
  private:
   std::size_t attack_start_;

@@ -25,6 +25,8 @@ enum class StatusCode {
   kInvalidInput,    ///< non-finite or mis-shaped data reached a component
   kBudgetExceeded,  ///< computation exceeded its real-time budget
   kOutOfRange,      ///< index/step outside the retained history
+  kDataLoss,        ///< stored state (snapshot) is corrupt, truncated or tampered
+  kUnimplemented,   ///< operation valid but unsupported (format version, feature)
 };
 
 /// Printable name of a status code ("ok", "unavailable", ...).
@@ -35,6 +37,8 @@ enum class StatusCode {
     case StatusCode::kInvalidInput: return "invalid_input";
     case StatusCode::kBudgetExceeded: return "budget_exceeded";
     case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kUnimplemented: return "unimplemented";
   }
   return "unknown";
 }

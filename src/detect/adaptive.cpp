@@ -1,6 +1,7 @@
 #include "detect/adaptive.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -129,6 +130,24 @@ void AdaptiveDetector::step_into(const DataLogger& logger, std::size_t t,
 void AdaptiveDetector::reset() noexcept {
   prev_window_ = 0;
   first_step_ = true;
+}
+
+void AdaptiveDetector::serialize(core::ckpt::Writer& w) const {
+  w.u64(prev_window_);
+  w.b(first_step_);
+}
+
+core::Status AdaptiveDetector::deserialize(core::ckpt::Reader& r) {
+  std::uint64_t prev_window = 0;
+  bool first_step = true;
+  if (!r.u64(prev_window) || !r.b(first_step)) return r.status();
+  if (prev_window > max_window_) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot adaptive window exceeds the configured maximum"};
+  }
+  prev_window_ = static_cast<std::size_t>(prev_window);
+  first_step_ = first_step;
+  return core::Status::ok();
 }
 
 }  // namespace awd::detect

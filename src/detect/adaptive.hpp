@@ -57,6 +57,11 @@ class AdaptiveDetector {
   /// Forget the previous window size (new run).
   void reset() noexcept;
 
+  /// Snapshot hooks (core::ckpt): the previous window size and first-step
+  /// flag — the two values the shrink/grow transition logic depends on.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
+
   [[nodiscard]] std::size_t max_window() const noexcept { return max_window_; }
   [[nodiscard]] const Vec& threshold() const noexcept { return tau_; }
   [[nodiscard]] std::size_t previous_window() const noexcept { return prev_window_; }

@@ -1,6 +1,7 @@
 #include "detect/chi2.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace awd::detect {
@@ -41,6 +42,22 @@ Chi2Decision Chi2Detector::step(const DataLogger& logger, std::size_t t) const {
   d.statistic /= static_cast<double>(count);
   d.alarm = d.statistic > threshold_;
   return d;
+}
+
+void Chi2Detector::serialize(core::ckpt::Writer& w) const {
+  w.f64(threshold_);
+  w.u64(window_);
+}
+
+core::Status Chi2Detector::deserialize(core::ckpt::Reader& r) {
+  double threshold = 0.0;
+  std::uint64_t window = 0;
+  if (!r.f64(threshold) || !r.u64(window)) return r.status();
+  if (threshold != threshold_ || window != window_) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot chi2 configuration disagrees with this detector"};
+  }
+  return core::Status::ok();
 }
 
 }  // namespace awd::detect

@@ -35,6 +35,11 @@ class Chi2Detector {
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
 
+  /// Snapshot hooks (core::ckpt).  Stateless — the hooks write/verify the
+  /// threshold and window so configuration mismatches are rejected.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
+
  private:
   Vec inv_var_;  ///< 1/σ² per dimension
   double threshold_;

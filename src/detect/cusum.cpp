@@ -1,7 +1,9 @@
 #include "detect/cusum.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 namespace awd::detect {
 
@@ -36,6 +38,24 @@ CusumDecision CusumDetector::update(const Vec& residual) {
 
 void CusumDetector::reset() noexcept {
   for (std::size_t i = 0; i < s_.size(); ++i) s_[i] = 0.0;
+}
+
+void CusumDetector::serialize(core::ckpt::Writer& w) const {
+  w.vec(s_);
+  w.b(initialized_);
+}
+
+core::Status CusumDetector::deserialize(core::ckpt::Reader& r) {
+  Vec s;
+  bool initialized = false;
+  if (!r.vec(s) || !r.b(initialized)) return r.status();
+  if (s.size() != drift_.size()) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot CUSUM statistic dimension mismatch"};
+  }
+  s_ = std::move(s);
+  initialized_ = initialized;
+  return core::Status::ok();
 }
 
 }  // namespace awd::detect

@@ -36,6 +36,12 @@ class CusumDetector {
 
   [[nodiscard]] const Vec& statistic() const noexcept { return s_; }
 
+  /// Snapshot hooks (core::ckpt): the cumulative statistic S_t and the
+  /// initialization flag — exactly the detector state the related work
+  /// identifies as what must survive a restart intact.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
+
  private:
   Vec drift_;
   Vec threshold_;

@@ -1,5 +1,6 @@
 #include "detect/fixed.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace awd::detect {
@@ -16,6 +17,18 @@ WindowDecision FixedWindowDetector::step(const DataLogger& logger, std::size_t t
 void FixedWindowDetector::step_into(const DataLogger& logger, std::size_t t,
                                     WindowDecision& out) const {
   evaluate_window_into(logger, t, window_, tau_, out);
+}
+
+void FixedWindowDetector::serialize(core::ckpt::Writer& w) const { w.u64(window_); }
+
+core::Status FixedWindowDetector::deserialize(core::ckpt::Reader& r) {
+  std::uint64_t window = 0;
+  if (!r.u64(window)) return r.status();
+  if (window != window_) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot fixed-window size disagrees with configuration"};
+  }
+  return core::Status::ok();
 }
 
 }  // namespace awd::detect

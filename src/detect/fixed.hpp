@@ -26,6 +26,13 @@ class FixedWindowDetector {
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
   [[nodiscard]] const Vec& threshold() const noexcept { return tau_; }
 
+  /// Snapshot hooks (core::ckpt).  The detector is stateless; the hooks
+  /// write/verify the window size so a snapshot restored against a
+  /// differently configured baseline is rejected instead of silently
+  /// evaluating a different test.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
+
  private:
   Vec tau_;
   std::size_t window_;

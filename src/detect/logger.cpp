@@ -1,6 +1,7 @@
 #include "detect/logger.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -211,6 +212,67 @@ void DataLogger::reset() {
   size_ = 0;
   latest_ = 0;
   quarantined_ = 0;
+}
+
+void DataLogger::serialize(core::ckpt::Writer& w) const {
+  w.u64(max_window_);
+  w.u64(size_);
+  w.u64(latest_);
+  w.u64(quarantined_);
+  if (size_ == 0) return;
+  for (std::size_t t = latest_ - size_ + 1; t <= latest_; ++t) {
+    const LogEntry& e = slot(t);
+    w.u64(e.t);
+    w.vec(e.estimate);
+    w.vec(e.control);
+    w.vec(e.predicted);
+    w.vec(e.residual);
+    w.b(e.quarantined);
+  }
+}
+
+core::Status DataLogger::deserialize(core::ckpt::Reader& r) {
+  std::uint64_t max_window = 0;
+  std::uint64_t size = 0;
+  std::uint64_t latest = 0;
+  std::uint64_t quarantined = 0;
+  if (!r.u64(max_window) || !r.u64(size) || !r.u64(latest) || !r.u64(quarantined)) {
+    return r.status();
+  }
+  if (max_window != max_window_) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot logger window size disagrees with configuration"};
+  }
+  if (size > buf_.size() || (size > 0 && latest + 1 < size)) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot logger ring geometry inconsistent"};
+  }
+  const std::size_t n = model_.state_dim();
+  const std::size_t m = model_.input_dim();
+  reset();
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::size_t t = static_cast<std::size_t>(latest - size + 1 + i);
+    std::uint64_t stored_t = 0;
+    LogEntry& e = buf_[t % buf_.size()];
+    if (!r.u64(stored_t) || !r.vec(e.estimate) || !r.vec(e.control) ||
+        !r.vec(e.predicted) || !r.vec(e.residual) || !r.b(e.quarantined)) {
+      return r.status();
+    }
+    if (stored_t != t) {
+      return core::Status{core::StatusCode::kInvalidInput,
+                          "snapshot logger entries not contiguous"};
+    }
+    if (e.estimate.size() != n || e.control.size() != m || e.predicted.size() != n ||
+        e.residual.size() != n) {
+      return core::Status{core::StatusCode::kInvalidInput,
+                          "snapshot logger entry dimension mismatch"};
+    }
+    e.t = t;
+  }
+  size_ = static_cast<std::size_t>(size);
+  latest_ = static_cast<std::size_t>(latest);
+  quarantined_ = static_cast<std::size_t>(quarantined);
+  return core::Status::ok();
 }
 
 }  // namespace awd::detect

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/ckpt.hpp"
 #include "core/status.hpp"
 #include "models/lti.hpp"
 
@@ -110,6 +111,14 @@ class DataLogger {
 
   /// Forget everything (new run).
   void reset();
+
+  /// Snapshot hooks (core::ckpt): the retained ring entries (earliest to
+  /// latest, with quarantine flags) plus the size/latest/quarantine
+  /// counters.  deserialize validates the window size against this logger's
+  /// configuration and the entries' step contiguity, so a tampered payload
+  /// cannot produce an inconsistent ring.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
 
  private:
   [[nodiscard]] const LogEntry& slot(std::size_t t) const noexcept {

@@ -150,4 +150,23 @@ void FaultInjector::reset() noexcept {
   last_delivered_.reset();
 }
 
+void FaultInjector::serialize(core::ckpt::Writer& w) const {
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) w.u64(counters_.by_kind[i]);
+  w.opt_vec(last_delivered_);
+}
+
+core::Status FaultInjector::deserialize(core::ckpt::Reader& r) {
+  Counters counters;
+  std::optional<Vec> last_delivered;
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    std::uint64_t c = 0;
+    if (!r.u64(c)) return r.status();
+    counters.by_kind[i] = static_cast<std::size_t>(c);
+  }
+  if (!r.opt_vec(last_delivered)) return r.status();
+  counters_ = counters;
+  last_delivered_ = std::move(last_delivered);
+  return core::Status::ok();
+}
+
 }  // namespace awd::fault

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/ckpt.hpp"
 #include "linalg/vec.hpp"
 
 namespace awd::fault {
@@ -142,6 +143,12 @@ class FaultInjector {
 
   /// Forget delivery history and counters (new run over the same plan).
   void reset() noexcept;
+
+  /// Snapshot hooks (core::ckpt): per-kind counters and the last delivered
+  /// sample (the stuck-at memory).  The plan itself is configuration and is
+  /// serialized with the stream spec, not here.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
 
  private:
   FaultPlan plan_;

@@ -102,4 +102,39 @@ void HealthMonitor::reset() noexcept {
   for (std::size_t& c : counts_) c = 0;
 }
 
+void HealthMonitor::serialize(core::ckpt::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u64(fault_streak_);
+  w.u64(clean_streak_);
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) w.u64(counts_[i]);
+  w.u64(degraded_steps_);
+  w.u64(steps_);
+}
+
+core::Status HealthMonitor::deserialize(core::ckpt::Reader& r) {
+  std::uint8_t state = 0;
+  std::uint64_t fault_streak = 0;
+  std::uint64_t clean_streak = 0;
+  std::uint64_t counts[kFaultKindCount] = {};
+  std::uint64_t degraded_steps = 0;
+  std::uint64_t steps = 0;
+  if (!r.u8(state) || !r.u64(fault_streak) || !r.u64(clean_streak)) return r.status();
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    if (!r.u64(counts[i])) return r.status();
+  }
+  if (!r.u64(degraded_steps) || !r.u64(steps)) return r.status();
+  if (state > static_cast<std::uint8_t>(HealthState::kFailsafe)) {
+    return core::Status{core::StatusCode::kDataLoss, "snapshot health state out of range"};
+  }
+  state_ = static_cast<HealthState>(state);
+  fault_streak_ = static_cast<std::size_t>(fault_streak);
+  clean_streak_ = static_cast<std::size_t>(clean_streak);
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    counts_[i] = static_cast<std::size_t>(counts[i]);
+  }
+  degraded_steps_ = static_cast<std::size_t>(degraded_steps);
+  steps_ = static_cast<std::size_t>(steps);
+  return core::Status::ok();
+}
+
 }  // namespace awd::fault

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "core/ckpt.hpp"
 #include "fault/fault.hpp"
 
 namespace awd::fault {
@@ -65,6 +66,13 @@ class HealthMonitor {
 
   /// Back to NOMINAL with zeroed counters (new run).
   void reset() noexcept;
+
+  /// Snapshot hooks (core::ckpt): the full state machine — current state,
+  /// both streaks, per-kind counters, degraded/total step counts — so a
+  /// restored pipeline resumes DEGRADED/FAILSAFE where it left off instead
+  /// of resetting to NOMINAL mid-fault.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
 
  private:
   HealthConfig config_;

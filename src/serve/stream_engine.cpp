@@ -45,54 +45,16 @@ struct ServeObs {
   }
 };
 
-/// Cache key for deadline-estimator sharing: everything its construction
-/// reads.  Streams whose cases agree on these fields (same plant family)
-/// get the same instance; create() re-verifies the config on every reuse.
-std::string family_fingerprint(const core::SimulatorCase& scase,
-                               const core::DetectionSystemOptions& options) {
+}  // namespace
+
+std::string StreamEngine::family_fingerprint(const core::SimulatorCase& scase,
+                                             const core::DetectionSystemOptions& options) {
   char buf[160];
   std::snprintf(buf, sizeof buf, "|w%zu|r%.17g|b%zu|e%.17g|er%.17g", scase.max_window,
                 options.init_radius, options.deadline_budget, scase.eps,
                 scase.eps_reach);
   return scase.key + buf;
 }
-
-}  // namespace
-
-/// One admitted stream: its pipeline, its O(1) scorer, and the last step's
-/// detection outputs for the snapshot API.
-struct StreamEngine::StreamRuntime {
-  StreamId id;
-  core::DetectionSystem system;
-  core::StreamingMetrics metrics;
-  std::size_t steps_total;
-  std::size_t steps_done = 0;
-  // Snapshot scalars (mirrors of the last stepped record).
-  std::size_t deadline = 0;
-  std::size_t window = 0;
-  bool adaptive_alarm = false;
-  bool fixed_alarm = false;
-  fault::HealthState health = fault::HealthState::kNominal;
-
-  StreamRuntime(StreamId id_, core::DetectionSystem system_,
-                core::StreamingMetrics metrics_, std::size_t steps_total_)
-      : id(id_),
-        system(std::move(system_)),
-        metrics(std::move(metrics_)),
-        steps_total(steps_total_) {}
-};
-
-/// One worker's partition.  The shard's StepRecord is the arena every one
-/// of its streams steps into: DetectionSystem::step_into overwrites all
-/// fields in place, so after the first lap over the shard the record's
-/// vectors hold the maximum dimension seen and the loop stops allocating.
-struct StreamEngine::Shard {
-  std::vector<std::unique_ptr<StreamRuntime>> slots;  ///< nullptr = free
-  std::vector<std::size_t> free_slots;
-  std::vector<std::size_t> finished;  ///< slots that completed this batch
-  sim::StepRecord rec;                ///< reused step arena
-  std::size_t stepped = 0;            ///< stream-steps executed this batch
-};
 
 StreamEngine::StreamEngine(StreamEngineOptions options) : options_(options) {
   if (options_.max_streams == 0) options_.max_streams = 1;
@@ -143,49 +105,58 @@ core::Result<StreamId> StreamEngine::submit(StreamSpec spec) {
   return id;
 }
 
-core::Status StreamEngine::admit_(StreamId id, StreamSpec&& spec) {
-  core::DetectionSystemOptions opts = std::move(spec.options);
+core::DetectionSystemOptions StreamEngine::effective_options_(const StreamSpec& spec) {
+  core::DetectionSystemOptions opts = spec.options;  // spec is retained whole
   opts.lean_records = options_.lean_records;
   opts.per_step_obs = options_.per_step_obs;
-
-  std::string fingerprint;
-  const bool want_shared =
-      options_.share_deadline_estimators && !opts.shared_deadline_estimator;
-  if (want_shared) {
-    fingerprint = family_fingerprint(spec.scase, opts);
+  if (options_.share_deadline_estimators && !opts.shared_deadline_estimator) {
+    const std::string fingerprint = family_fingerprint(spec.scase, opts);
     if (auto it = estimator_cache_.find(fingerprint); it != estimator_cache_.end()) {
       opts.shared_deadline_estimator = it->second;
     }
   }
+  return opts;
+}
+
+core::Status StreamEngine::admit_(StreamId id, StreamSpec&& spec) {
+  core::DetectionSystemOptions opts = effective_options_(spec);
+  const bool want_shared =
+      options_.share_deadline_estimators && !spec.options.shared_deadline_estimator;
 
   core::Result<core::DetectionSystem> system =
       core::DetectionSystem::create(spec.scase, spec.attack, spec.seed, std::move(opts));
   if (!system.is_ok()) return system.status();
-  if (want_shared && estimator_cache_.find(fingerprint) == estimator_cache_.end()) {
-    estimator_cache_.emplace(std::move(fingerprint),
-                             system.value().estimator_handle());
+  if (want_shared) {
+    std::string fingerprint = family_fingerprint(spec.scase, spec.options);
+    if (estimator_cache_.find(fingerprint) == estimator_cache_.end()) {
+      estimator_cache_.emplace(std::move(fingerprint),
+                               system.value().estimator_handle());
+    }
   }
 
   core::StreamingMetrics metrics(spec.scase.attack_start, spec.scase.attack_duration,
                                  spec.metrics);
+  place_runtime_(std::make_unique<StreamRuntime>(
+      id, std::move(spec), std::move(system).value(), std::move(metrics)));
+  ++streams_admitted_;
+  ServeObs::get().admitted.inc();
+  return core::Status::ok();
+}
 
+void StreamEngine::place_runtime_(std::unique_ptr<StreamRuntime> runtime) {
+  const StreamId id = runtime->id;
   const std::size_t shard_index = next_shard_++ % shards_.size();
   Shard& shard = shards_[shard_index];
   std::size_t slot;
   if (!shard.free_slots.empty()) {
     slot = shard.free_slots.back();
     shard.free_slots.pop_back();
-    shard.slots[slot] = std::make_unique<StreamRuntime>(
-        id, std::move(system).value(), std::move(metrics), spec.steps);
+    shard.slots[slot] = std::move(runtime);
   } else {
     slot = shard.slots.size();
-    shard.slots.push_back(std::make_unique<StreamRuntime>(
-        id, std::move(system).value(), std::move(metrics), spec.steps));
+    shard.slots.push_back(std::move(runtime));
   }
   running_.emplace(id, std::make_pair(shard_index, slot));
-  ++streams_admitted_;
-  ServeObs::get().admitted.inc();
-  return core::Status::ok();
 }
 
 void StreamEngine::admit_pending_() {

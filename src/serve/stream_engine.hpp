@@ -34,8 +34,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "core/ckpt.hpp"
 #include "core/config.hpp"
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
@@ -185,12 +187,90 @@ class StreamEngine {
   /// Worker count == shard count.
   [[nodiscard]] std::size_t shards() const noexcept;
 
+  /// Serialize the engine's complete mutable state — every running stream's
+  /// pipeline (plant, RNG, logger ring, detectors, health, fault injector,
+  /// metrics accumulators), the pending queue, undrained results, and the
+  /// engine counters — into a versioned snapshot image (core::ckpt,
+  /// DESIGN.md §13).  The shard layout is deliberately NOT part of the
+  /// snapshot: restore() re-partitions streams across whatever shard count
+  /// the restoring engine runs, and every stream continues bit-identically
+  /// (streams share no mutable state).  Returns kUnimplemented when any
+  /// stream carries a custom make_estimator factory — an opaque
+  /// std::function cannot be serialized.
+  [[nodiscard]] core::Result<std::vector<std::uint8_t>> checkpoint() const;
+
+  /// Rebuild the engine's state from a snapshot produced by checkpoint().
+  /// The engine must be empty (nothing running, queued or undrained) —
+  /// kInvalidInput otherwise.  Corrupted, truncated or version-mismatched
+  /// images come back as typed errors (kDataLoss / kUnimplemented) from the
+  /// codec's validation; on any error the engine's state is unspecified and
+  /// the instance should be discarded.  Engine serving policy (max_streams,
+  /// queue capacity, lean_records, per_step_obs, estimator sharing) is
+  /// adopted from the snapshot so detection outputs stay bit-identical;
+  /// the thread/shard count stays whatever this engine was built with.
+  [[nodiscard]] core::Status restore(const std::vector<std::uint8_t>& bytes);
+
+  /// Elastic resharding: checkpoint, tear the worker pool and shards down,
+  /// rebuild them `new_shards` wide (0 = auto), and restore in place.
+  /// Every stream resumes exactly where it was; results are bit-identical
+  /// to never having resharded.
+  [[nodiscard]] core::Status rebalance(std::size_t new_shards);
+
  private:
-  struct StreamRuntime;
-  struct Shard;
+  /// One admitted stream: its normalized spec (retained as the
+  /// checkpoint/restore source of truth), its pipeline, its O(1) scorer,
+  /// and the last step's detection outputs for the snapshot API.
+  struct StreamRuntime {
+    StreamId id;
+    StreamSpec spec;
+    core::DetectionSystem system;
+    core::StreamingMetrics metrics;
+    std::size_t steps_total;
+    std::size_t steps_done = 0;
+    // Snapshot scalars (mirrors of the last stepped record).
+    std::size_t deadline = 0;
+    std::size_t window = 0;
+    bool adaptive_alarm = false;
+    bool fixed_alarm = false;
+    fault::HealthState health = fault::HealthState::kNominal;
+
+    StreamRuntime(StreamId id_, StreamSpec spec_, core::DetectionSystem system_,
+                  core::StreamingMetrics metrics_)
+        : id(id_),
+          spec(std::move(spec_)),
+          system(std::move(system_)),
+          metrics(std::move(metrics_)),
+          steps_total(spec.steps) {}
+  };
+
+  /// One worker's partition.  The shard's StepRecord is the arena every one
+  /// of its streams steps into: DetectionSystem::step_into overwrites all
+  /// fields in place, so after the first lap over the shard the record's
+  /// vectors hold the maximum dimension seen and the loop stops allocating.
+  struct Shard {
+    std::vector<std::unique_ptr<StreamRuntime>> slots;  ///< nullptr = free
+    std::vector<std::size_t> free_slots;
+    std::vector<std::size_t> finished;  ///< slots that completed this batch
+    sim::StepRecord rec;                ///< reused step arena
+    std::size_t stepped = 0;            ///< stream-steps executed this batch
+  };
+
+  /// Cache key for deadline-estimator sharing: everything its construction
+  /// reads.  Streams whose cases agree on these fields (same plant family)
+  /// get the same instance; create() re-verifies the config on every reuse.
+  [[nodiscard]] static std::string family_fingerprint(
+      const core::SimulatorCase& scase, const core::DetectionSystemOptions& options);
 
   void admit_pending_();
   core::Status admit_(StreamId id, StreamSpec&& spec);
+  /// Round-robin a runtime into the next shard's free slot and index it in
+  /// running_ — shared by admission and restore (which must not touch the
+  /// admission counters).
+  void place_runtime_(std::unique_ptr<StreamRuntime> runtime);
+  /// Build the effective DetectionSystemOptions for a spec: engine serving
+  /// policy applied, shared deadline estimator filled from (and published
+  /// to) the per-family cache.
+  [[nodiscard]] core::DetectionSystemOptions effective_options_(const StreamSpec& spec);
   std::size_t step_batch_(std::size_t budget);
   void step_shard_(Shard& shard, std::size_t budget);
   void finalize_finished_();

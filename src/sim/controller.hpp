@@ -5,8 +5,10 @@
 // live in pid.hpp and lqr.hpp; the simulator only sees this interface.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
+#include "core/ckpt.hpp"
 #include "linalg/vec.hpp"
 
 namespace awd::sim {
@@ -39,6 +41,21 @@ class Controller {
   /// Deep copy, so a configured controller can serve as a prototype for
   /// Monte-Carlo experiment runs.
   [[nodiscard]] virtual std::unique_ptr<Controller> clone() const = 0;
+
+  /// Snapshot hooks (core::ckpt).  Each implementation writes a one-byte
+  /// state tag followed by its mutable state; restore_state is called on an
+  /// already-configured controller of the same concrete type and rejects a
+  /// foreign tag with kDataLoss.  The defaults serve stateless laws (LQR).
+  virtual void serialize_state(core::ckpt::Writer& w) const { w.u8(0); }
+  [[nodiscard]] virtual core::Status restore_state(core::ckpt::Reader& r) {
+    std::uint8_t tag = 0;
+    if (!r.u8(tag)) return r.status();
+    if (tag != 0) {
+      return core::Status{core::StatusCode::kDataLoss,
+                          "snapshot controller state tag mismatch"};
+    }
+    return core::Status::ok();
+  }
 };
 
 }  // namespace awd::sim

@@ -1,7 +1,9 @@
 #include "sim/estimator.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace awd::sim {
 
@@ -71,6 +73,37 @@ void FilteringEstimator::reset() {
 std::unique_ptr<Estimator> FilteringEstimator::clone() const {
   auto copy = std::make_unique<FilteringEstimator>(*this);
   return copy;
+}
+
+void FilteringEstimator::serialize_state(core::ckpt::Writer& w) const {
+  w.u8(2);  // Kalman-filter state tag
+  w.b(first_);
+  if (!first_) w.vec(filter_.estimate());
+}
+
+core::Status FilteringEstimator::restore_state(core::ckpt::Reader& r) {
+  std::uint8_t tag = 0;
+  if (!r.u8(tag)) return r.status();
+  if (tag != 2) {
+    return core::Status{core::StatusCode::kDataLoss,
+                        "snapshot estimator state tag mismatch"};
+  }
+  bool first = true;
+  if (!r.b(first)) return r.status();
+  if (first) {
+    filter_.reset(x0_);
+    first_ = true;
+    return core::Status::ok();
+  }
+  Vec estimate;
+  if (!r.vec(estimate)) return r.status();
+  if (estimate.size() != x0_.size()) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot filter estimate dimension mismatch"};
+  }
+  filter_.reset(std::move(estimate));
+  first_ = false;
+  return core::Status::ok();
 }
 
 }  // namespace awd::sim

@@ -13,9 +13,11 @@
 // attack onset (quantified in sim_estimator_test.cpp).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 
+#include "core/ckpt.hpp"
 #include "core/status.hpp"
 #include "models/lti.hpp"
 #include "sim/observer.hpp"
@@ -57,6 +59,20 @@ class Estimator {
   virtual void reset() = 0;
 
   [[nodiscard]] virtual std::unique_ptr<Estimator> clone() const = 0;
+
+  /// Snapshot hooks (core::ckpt), mirroring Controller's: a one-byte state
+  /// tag then the mutable state.  The defaults serve stateless estimators
+  /// (passthrough); restore_state rejects a foreign tag with kDataLoss.
+  virtual void serialize_state(core::ckpt::Writer& w) const { w.u8(0); }
+  [[nodiscard]] virtual core::Status restore_state(core::ckpt::Reader& r) {
+    std::uint8_t tag = 0;
+    if (!r.u8(tag)) return r.status();
+    if (tag != 0) {
+      return core::Status{core::StatusCode::kDataLoss,
+                          "snapshot estimator state tag mismatch"};
+    }
+    return core::Status::ok();
+  }
 };
 
 /// §2's fully-observable assumption: the estimate is the measurement.
@@ -86,6 +102,11 @@ class FilteringEstimator final : public Estimator {
   [[nodiscard]] Vec estimate(const Vec& measurement, const Vec& u_prev) override;
   void reset() override;
   [[nodiscard]] std::unique_ptr<Estimator> clone() const override;
+
+  /// Snapshot hooks: tag 2 + the first-step flag and (when past the first
+  /// step) the filter's current estimate.
+  void serialize_state(core::ckpt::Writer& w) const override;
+  [[nodiscard]] core::Status restore_state(core::ckpt::Reader& r) override;
 
   [[nodiscard]] const linalg::Matrix& gain() const noexcept { return filter_.gain(); }
 

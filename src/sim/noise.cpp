@@ -1,7 +1,9 @@
 #include "sim/noise.hpp"
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace awd::sim {
 
@@ -63,6 +65,28 @@ void Rng::uniform_in_box_into(const Vec& bound, Vec& out) {
 std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
   std::uniform_int_distribution<std::uint64_t> d(lo, hi);
   return d(engine_);
+}
+
+void Rng::serialize(core::ckpt::Writer& w) const {
+  // The standard stream representation of mt19937_64 (624 words of state +
+  // position) is defined by the C++ standard, so it round-trips across
+  // implementations.
+  std::ostringstream os;
+  os << engine_;
+  w.str(os.str());
+}
+
+core::Status Rng::deserialize(core::ckpt::Reader& r) {
+  std::string state;
+  if (!r.str(state)) return r.status();
+  std::istringstream is(state);
+  std::mt19937_64 engine;
+  is >> engine;
+  if (is.fail()) {
+    return core::Status{core::StatusCode::kDataLoss, "snapshot RNG state malformed"};
+  }
+  engine_ = engine;
+  return core::Status::ok();
 }
 
 }  // namespace awd::sim

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <random>
 
+#include "core/ckpt.hpp"
 #include "linalg/vec.hpp"
 
 namespace awd::sim {
@@ -53,6 +54,13 @@ class Rng {
 
   /// Uniform integer in [lo, hi].
   [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Snapshot hooks (core::ckpt).  The engine object *is* the complete RNG
+  /// state — every distribution is constructed fresh per draw (noise.cpp),
+  /// so nothing else carries entropy — serialized via the standard stream
+  /// representation of mt19937_64, which is portable across platforms.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
 
  private:
   std::mt19937_64 engine_;

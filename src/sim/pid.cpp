@@ -1,6 +1,8 @@
 #include "sim/pid.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 namespace awd::sim {
 
@@ -68,6 +70,41 @@ void PidController::reset() {
 
 std::unique_ptr<Controller> PidController::clone() const {
   return std::make_unique<PidController>(*this);
+}
+
+void PidController::serialize_state(core::ckpt::Writer& w) const {
+  w.u8(1);  // PID state tag
+  w.b(first_step_);
+  w.vec(integral_);
+  w.vec(prev_error_);
+  w.vec(filtered_deriv_);
+}
+
+core::Status PidController::restore_state(core::ckpt::Reader& r) {
+  std::uint8_t tag = 0;
+  if (!r.u8(tag)) return r.status();
+  if (tag != 1) {
+    return core::Status{core::StatusCode::kDataLoss,
+                        "snapshot controller state tag mismatch"};
+  }
+  bool first_step = true;
+  Vec integral;
+  Vec prev_error;
+  Vec filtered_deriv;
+  if (!r.b(first_step) || !r.vec(integral) || !r.vec(prev_error) ||
+      !r.vec(filtered_deriv)) {
+    return r.status();
+  }
+  const std::size_t k = tracked_.size();
+  if (integral.size() != k || prev_error.size() != k || filtered_deriv.size() != k) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot PID channel count mismatch"};
+  }
+  first_step_ = first_step;
+  integral_ = std::move(integral);
+  prev_error_ = std::move(prev_error);
+  filtered_deriv_ = std::move(filtered_deriv);
+  return core::Status::ok();
 }
 
 }  // namespace awd::sim

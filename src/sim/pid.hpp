@@ -58,6 +58,12 @@ class PidController final : public Controller {
   void reset() override;
   [[nodiscard]] std::unique_ptr<Controller> clone() const override;
 
+  /// Snapshot hooks: tag 1 + integrator / previous-error / filtered-
+  /// derivative channels and the first-step flag.  Channel dimensions are
+  /// validated against this controller's configuration on restore.
+  void serialize_state(core::ckpt::Writer& w) const override;
+  [[nodiscard]] core::Status restore_state(core::ckpt::Reader& r) override;
+
   [[nodiscard]] const PidGains& gains() const noexcept { return gains_; }
 
  private:

@@ -41,4 +41,17 @@ void Plant::reset(Vec x0) {
   x_ = std::move(x0);
 }
 
+void Plant::serialize(core::ckpt::Writer& w) const { w.vec(x_); }
+
+core::Status Plant::deserialize(core::ckpt::Reader& r) {
+  Vec x;
+  if (!r.vec(x)) return r.status();
+  if (x.size() != model_.state_dim()) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot plant state dimension mismatch"};
+  }
+  x_ = std::move(x);
+  return core::Status::ok();
+}
+
 }  // namespace awd::sim

@@ -38,6 +38,12 @@ class Plant {
   /// Reset the true state for a new run.
   void reset(Vec x0);
 
+  /// Snapshot hooks (core::ckpt): the true state x_t is the plant's only
+  /// mutable state — model/range/eps are configuration the restoring side
+  /// reconstructs.  deserialize validates the dimension against the model.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
+
   [[nodiscard]] const models::DiscreteLti& model() const noexcept { return model_; }
   [[nodiscard]] const reach::Box& input_range() const noexcept { return u_range_; }
   [[nodiscard]] double uncertainty_bound() const noexcept { return eps_; }

@@ -147,4 +147,83 @@ Trace Simulator::run(std::size_t steps) {
   return trace;
 }
 
+void Simulator::serialize(core::ckpt::Writer& w) const {
+  w.u64(t_);
+  w.vec(reference_);
+  w.u64(next_ref_);
+  w.vec(prev_estimate_);
+  w.vec(prev_control_);
+  w.b(record_history_);
+  w.u64(clean_measurements_.size());
+  for (const Vec& m : clean_measurements_) w.vec(m);
+  plant_.serialize(w);
+  rng_.serialize(w);
+  controller_->serialize_state(w);
+  estimator_->serialize_state(w);
+}
+
+core::Status Simulator::deserialize(core::ckpt::Reader& r) {
+  const std::size_t n = plant_.model().state_dim();
+
+  std::uint64_t t = 0;
+  Vec reference;
+  std::uint64_t next_ref = 0;
+  Vec prev_estimate;
+  Vec prev_control;
+  bool record_history = true;
+  std::uint64_t history_count = 0;
+  if (!r.u64(t) || !r.vec(reference) || !r.u64(next_ref) || !r.vec(prev_estimate) ||
+      !r.vec(prev_control) || !r.b(record_history) || !r.u64(history_count)) {
+    return r.status();
+  }
+  if (reference.size() != n) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot simulator reference dimension mismatch"};
+  }
+  if (next_ref > opts_.reference_schedule.size()) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot simulator schedule cursor out of range"};
+  }
+  // Before the first step both prev vectors are empty; afterwards the
+  // estimate has state dimension and the control has input dimension.
+  const std::size_t m = plant_.model().input_dim();
+  if (!(prev_estimate.empty() && prev_control.empty() && t == 0) &&
+      !(prev_estimate.size() == n && prev_control.size() == m && t > 0)) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot simulator previous-step state inconsistent"};
+  }
+  if (record_history != record_history_) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot simulator history policy disagrees with the attack"};
+  }
+  // History-reading attacks keep every clean sample; others keep none.
+  if (history_count != (record_history_ ? t : 0)) {
+    return core::Status{core::StatusCode::kInvalidInput,
+                        "snapshot simulator history length inconsistent"};
+  }
+  std::vector<Vec> history;
+  history.reserve(static_cast<std::size_t>(history_count));
+  for (std::uint64_t i = 0; i < history_count; ++i) {
+    Vec sample;
+    if (!r.vec(sample)) return r.status();
+    if (sample.size() != n) {
+      return core::Status{core::StatusCode::kInvalidInput,
+                          "snapshot simulator history dimension mismatch"};
+    }
+    history.push_back(std::move(sample));
+  }
+  if (core::Status s = plant_.deserialize(r); !s.is_ok()) return s;
+  if (core::Status s = rng_.deserialize(r); !s.is_ok()) return s;
+  if (core::Status s = controller_->restore_state(r); !s.is_ok()) return s;
+  if (core::Status s = estimator_->restore_state(r); !s.is_ok()) return s;
+
+  t_ = static_cast<std::size_t>(t);
+  reference_ = std::move(reference);
+  next_ref_ = static_cast<std::size_t>(next_ref);
+  prev_estimate_ = std::move(prev_estimate);
+  prev_control_ = std::move(prev_control);
+  clean_measurements_ = std::move(history);
+  return core::Status::ok();
+}
+
 }  // namespace awd::sim

@@ -113,6 +113,15 @@ class Simulator {
   /// Control step that executes next.
   [[nodiscard]] std::size_t now() const noexcept { return t_; }
 
+  /// Snapshot hooks (core::ckpt): step counter, active reference and
+  /// schedule cursor, previous estimate/control, the clean-measurement
+  /// history (replay/delay attacks), the plant state, the RNG position, and
+  /// the controller/estimator state via their virtual hooks.  deserialize is
+  /// applied to a freshly constructed Simulator of the same configuration
+  /// and validates dimensions and history length against it.
+  void serialize(core::ckpt::Writer& w) const;
+  [[nodiscard]] core::Status deserialize(core::ckpt::Reader& r);
+
   [[nodiscard]] const Plant& plant() const noexcept { return plant_; }
   [[nodiscard]] const attack::Attack& attack() const noexcept { return *attack_; }
 

@@ -24,5 +24,6 @@ PropertyResult adaptive_equals_fixed_when_pinned(std::uint64_t seed, const GenLi
 PropertyResult serial_parallel_cell_identical(std::uint64_t seed, const GenLimits& limits);
 PropertyResult attack_free_fp_budget(std::uint64_t seed, const GenLimits& limits);
 PropertyResult replay_determinism(std::uint64_t seed, const GenLimits& limits);
+PropertyResult checkpoint_roundtrip(std::uint64_t seed, const GenLimits& limits);
 
 }  // namespace awd::testkit::props

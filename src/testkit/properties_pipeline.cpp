@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/calibration.hpp"
+#include "core/ckpt.hpp"
 #include "core/detection_system.hpp"
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
@@ -181,6 +182,57 @@ PropertyResult replay_determinism(std::uint64_t seed, const GenLimits& limits) {
   if (first.adaptive_evaluations() != second.adaptive_evaluations()) {
     return PropertyResult::fail("adaptive evaluation counts diverged on replay; " +
                                 sc.describe());
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult checkpoint_roundtrip(std::uint64_t seed, const GenLimits& limits) {
+  PropRng rng(seed);
+  Scenario sc = generate_scenario(rng, limits, {});
+  cap_steps(sc, 140);
+  core::DetectionSystemOptions options;
+  options.deadline_budget = sc.deadline_budget;
+
+  const std::size_t steps = sc.scase.steps;
+  if (steps < 2) return PropertyResult::pass();
+  // The interruption point k is drawn below the (shrinkable) run length, so
+  // the shrinker minimizes k along with everything else.
+  const std::size_t k = rng.range(1, steps - 1);
+
+  core::DetectionSystem reference(sc.scase, sc.attack, sc.sim_seed, options);
+  const sim::Trace want = reference.run(steps);
+
+  core::DetectionSystem first(sc.scase, sc.attack, sc.sim_seed, options);
+  for (std::size_t t = 0; t < k; ++t) (void)first.step();
+  core::ckpt::Writer w;
+  first.serialize(w);
+
+  core::DetectionSystem second(sc.scase, sc.attack, sc.sim_seed, options);
+  core::ckpt::Reader r(w.data().data(), w.size());
+  const core::Status restored = second.deserialize(r);
+  if (!restored.is_ok()) {
+    return PropertyResult::fail("deserialize failed after k=" + std::to_string(k) +
+                                " steps: " + std::string(restored.message()) + "; " +
+                                sc.describe());
+  }
+  if (!r.at_end()) {
+    return PropertyResult::fail(
+        "snapshot bytes not fully consumed on restore (k=" + std::to_string(k) +
+        ", " + std::to_string(r.remaining()) + " bytes left); " + sc.describe());
+  }
+  for (std::size_t t = k; t < steps; ++t) {
+    const sim::StepRecord rec = second.step();
+    if (!records_equal(rec, want[t])) {
+      return PropertyResult::fail("restored pipeline diverged at t=" +
+                                  std::to_string(t) + " after a checkpoint at k=" +
+                                  std::to_string(k) + "; " + sc.describe());
+    }
+  }
+  if (second.adaptive_evaluations() != reference.adaptive_evaluations()) {
+    return PropertyResult::fail(
+        "adaptive evaluation counts diverged after restore (k=" + std::to_string(k) +
+        ": " + std::to_string(second.adaptive_evaluations()) + " vs " +
+        std::to_string(reference.adaptive_evaluations()) + "); " + sc.describe());
   }
   return PropertyResult::pass();
 }

@@ -51,6 +51,11 @@ const std::vector<Property>& property_catalogue() {
        "re-running a DetectionSystem with the same seed reproduces the trace "
        "bitwise (states, residuals, deadlines, alarms)",
        &props::replay_determinism},
+      {"checkpoint_roundtrip", "DESIGN.md §13",
+       "interrupting a DetectionSystem at a random step k, snapshotting it "
+       "through the ckpt codec and restoring into a fresh pipeline continues "
+       "the trace bitwise (states, residuals, deadlines, alarms, sweep count)",
+       &props::checkpoint_roundtrip},
   };
   return kCatalogue;
 }

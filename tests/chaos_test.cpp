@@ -13,13 +13,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "core/ckpt.hpp"
 #include "core/detection_system.hpp"
 #include "core/metrics.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
+#include "serve/stream_engine.hpp"
 
 namespace awd {
 namespace {
@@ -352,6 +355,189 @@ TEST(Chaos, CorruptionNeverReachesEmittedMeasurement) {
     expect_all_finite(rec, "corruption");
     if (rec.t >= 40 && rec.t < 43) EXPECT_EQ(rec.fault, FaultKind::kCorruptNaN);
     if (rec.t >= 60 && rec.t < 63) EXPECT_EQ(rec.fault, FaultKind::kCorruptInf);
+  }
+}
+
+// ------------------------------------------------- checkpoint/recovery chaos
+
+namespace {
+
+/// Bitwise equality of two StreamResults (the engine-level analogue of
+/// expect_traces_identical).
+void expect_stream_results_identical(const serve::StreamResult& a,
+                                     const serve::StreamResult& b,
+                                     const std::string& context) {
+  EXPECT_EQ(a.id, b.id) << context;
+  EXPECT_EQ(a.status.code(), b.status.code()) << context;
+  EXPECT_EQ(a.steps, b.steps) << context;
+  EXPECT_EQ(a.final_health, b.final_health) << context;
+  EXPECT_EQ(a.adaptive_evaluations, b.adaptive_evaluations) << context;
+  const core::RunMetrics* got[] = {&a.adaptive, &a.fixed};
+  const core::RunMetrics* want[] = {&b.adaptive, &b.fixed};
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(got[i]->fp_rate, want[i]->fp_rate) << context;
+    EXPECT_EQ(got[i]->first_alarm_after_onset, want[i]->first_alarm_after_onset)
+        << context;
+    EXPECT_EQ(got[i]->detection_delay, want[i]->detection_delay) << context;
+    EXPECT_EQ(got[i]->deadline_miss, want[i]->deadline_miss) << context;
+    EXPECT_EQ(got[i]->false_negative, want[i]->false_negative) << context;
+    EXPECT_EQ(got[i]->first_unsafe, want[i]->first_unsafe) << context;
+  }
+}
+
+}  // namespace
+
+// Crash mid-run, recover from the last durable snapshot.  The engine takes
+// periodic snapshots to disk (write_file's tmp+rename keeps each one atomic);
+// the process "dies" mid-attack with the newest on-disk snapshot corrupted by
+// a simulated torn disk — recovery must reject it with a typed error, fall
+// back to the previous generation, and still finish bit-identically to the
+// uninterrupted run.
+TEST(Chaos, CrashRecoveryFromLastDurableSnapshot) {
+  const std::string newest = ::testing::TempDir() + "awd_chaos_ckpt.1.snap";
+  const std::string older = ::testing::TempDir() + "awd_chaos_ckpt.0.snap";
+
+  auto submit_pair = [](serve::StreamEngine& e) {
+    std::vector<serve::StreamId> ids;
+    FaultPlan plan;
+    plan.add({160, 4, FaultKind::kDropout});  // faults inside the attack window
+    serve::StreamSpec bias{.scase = core::simulator_case("aircraft_pitch"),
+                           .attack = AttackKind::kBias,
+                           .seed = 21};
+    bias.options.fault_plan = plan;
+    serve::StreamSpec freeze{.scase = core::simulator_case("series_rlc"),
+                             .attack = AttackKind::kFreeze,
+                             .seed = 22};
+    ids.push_back(e.submit(bias).value());
+    ids.push_back(e.submit(freeze).value());
+    return ids;
+  };
+
+  // Uninterrupted reference.
+  serve::StreamEngine reference({.threads = 1});
+  const std::vector<serve::StreamId> ids = submit_pair(reference);
+  reference.run_to_completion();
+
+  // The doomed process: snapshot every 40 steps, die at t=175 (attack and
+  // fault plan both active).
+  {
+    serve::StreamEngine doomed({.threads = 1});
+    ASSERT_EQ(submit_pair(doomed), ids);
+    for (int t = 1; t <= 175; ++t) {
+      doomed.step_all();
+      if (t % 40 == 0) {
+        std::remove(older.c_str());
+        std::rename(newest.c_str(), older.c_str());
+        ASSERT_TRUE(
+            core::ckpt::write_file(newest, doomed.checkpoint().value()).is_ok());
+      }
+    }
+    // No clean shutdown: the engine object simply goes away.
+  }
+
+  // Simulated torn disk: the newest snapshot loses its tail.
+  {
+    core::Result<std::vector<std::uint8_t>> bytes = core::ckpt::read_file(newest);
+    ASSERT_TRUE(bytes.is_ok());
+    std::vector<std::uint8_t> torn = bytes.value();
+    torn.resize(torn.size() / 2);
+    ASSERT_TRUE(core::ckpt::write_file(newest, torn).is_ok());
+  }
+
+  // Recovery: newest generation rejected typed, older generation restores.
+  serve::StreamEngine recovered({.threads = 2});
+  bool restored = false;
+  for (const std::string& path : {newest, older}) {
+    core::Result<std::vector<std::uint8_t>> bytes = core::ckpt::read_file(path);
+    if (!bytes.is_ok()) continue;
+    const core::Status status = recovered.restore(bytes.value());
+    if (status.is_ok()) {
+      restored = true;
+      break;
+    }
+    EXPECT_EQ(status.code(), core::StatusCode::kDataLoss) << path;
+  }
+  ASSERT_TRUE(restored);
+
+  recovered.run_to_completion();
+  for (serve::StreamId id : ids) {
+    expect_stream_results_identical(recovered.drain(id).value(),
+                                    reference.drain(id).value(),
+                                    "recovered stream " + std::to_string(id));
+  }
+  std::remove(newest.c_str());
+  std::remove(older.c_str());
+}
+
+// Checkpoint taken mid-fault-burst: the restored stream must come back in
+// DEGRADED health (the monitor's streaks and counters travel in the
+// snapshot), then recover to NOMINAL exactly as the uninterrupted run does.
+TEST(Chaos, RestoreUnderActiveFaultPlanResumesDegraded) {
+  FaultPlan plan;
+  plan.add({100, 3, FaultKind::kDropout});
+  serve::StreamSpec spec{.scase = core::simulator_case("vehicle_turning"),
+                         .attack = AttackKind::kNone,
+                         .seed = 31};
+  spec.options.fault_plan = plan;
+
+  serve::StreamEngine reference({.threads = 1});
+  const serve::StreamId ref_id = reference.submit(spec).value();
+  reference.run_to_completion();
+
+  serve::StreamEngine engine({.threads = 1});
+  const serve::StreamId id = engine.submit(spec).value();
+  ASSERT_EQ(id, ref_id);
+  for (int t = 0; t < 102; ++t) engine.step_all();  // inside the burst
+  ASSERT_EQ(engine.status(id).value().health, HealthState::kDegraded);
+  const std::vector<std::uint8_t> snap = engine.checkpoint().value();
+
+  serve::StreamEngine restored({.threads = 1});
+  ASSERT_TRUE(restored.restore(snap).is_ok());
+  EXPECT_EQ(restored.status(id).value().health, HealthState::kDegraded)
+      << "health state must survive the snapshot";
+  EXPECT_EQ(restored.status(id).value().steps_done, 102u);
+
+  restored.run_to_completion();
+  const serve::StreamResult got = restored.drain(id).value();
+  EXPECT_EQ(got.final_health, HealthState::kNominal)
+      << "restored run must still recover after the burst ends";
+  expect_stream_results_identical(got, reference.drain(id).value(),
+                                  "restore under active fault plan");
+}
+
+// Elastic resharding while an attack is in progress and a fault plan is
+// firing: rebalance() must be invisible in every drained result.
+TEST(Chaos, RebalanceMidAttackIsInvisible) {
+  auto submit_cells = [](serve::StreamEngine& e) {
+    std::vector<serve::StreamId> ids;
+    const AttackKind attacks[] = {AttackKind::kBias, AttackKind::kReplay,
+                                  AttackKind::kFreeze};
+    int i = 0;
+    for (const char* plant : {"aircraft_pitch", "vehicle_turning", "series_rlc"}) {
+      serve::StreamSpec spec{.scase = core::simulator_case(plant),
+                             .attack = attacks[i++],
+                             .seed = 41};
+      spec.options.fault_plan = FaultPlan::random(13, 400, {.fault_rate = 0.02});
+      ids.push_back(e.submit(spec).value());
+    }
+    return ids;
+  };
+
+  serve::StreamEngine reference({.threads = 2});
+  const std::vector<serve::StreamId> ids = submit_cells(reference);
+  reference.run_to_completion();
+
+  serve::StreamEngine engine({.threads = 1});
+  ASSERT_EQ(submit_cells(engine), ids);
+  for (int t = 0; t < 170; ++t) engine.step_all();  // attack begins at 150
+  ASSERT_TRUE(engine.rebalance(3).is_ok());  // reshard mid-attack
+  engine.run_to_completion();
+
+  for (serve::StreamId id : ids) {
+    expect_stream_results_identical(engine.drain(id).value(),
+                                    reference.drain(id).value(),
+                                    "rebalance mid-attack stream " +
+                                        std::to_string(id));
   }
 }
 

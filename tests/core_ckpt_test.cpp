@@ -1,0 +1,468 @@
+// Unit tests for the snapshot codec (core/ckpt.hpp) and the configuration
+// codecs layered on it (core/ckpt_io.hpp): primitive round-trips including
+// the IEEE-754 specials, Reader bounds-checking and error latching, the
+// SnapshotBuilder/SnapshotView framing, the bit-flip-every-header-field
+// robustness sweep the ISSUE demands, prefix-truncation sweeps, the atomic
+// file helpers, and spec-codec byte-identity (which the engine fingerprint
+// relies on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ckpt.hpp"
+#include "core/ckpt_io.hpp"
+#include "core/config.hpp"
+#include "fault/fault.hpp"
+
+namespace {
+
+using namespace awd;
+using namespace awd::core;
+
+// --- Writer / Reader primitives --------------------------------------------
+
+TEST(CkptWriterReader, PrimitivesRoundTrip) {
+  ckpt::Writer w;
+  w.u8(0xAB);
+  w.b(true);
+  w.b(false);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-1.5);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.str("adaptive window");
+  w.str("");
+  linalg::Vec v(3);
+  v[0] = 1.0;
+  v[1] = -0.0;
+  v[2] = 3.25;
+  w.vec(v);
+  linalg::Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = -7.0;
+  w.mat(m);
+  w.opt_u64(std::nullopt);
+  w.opt_u64(std::optional<std::size_t>{42});
+  w.opt_vec(std::nullopt);
+  w.opt_vec(v);
+
+  ckpt::Reader r(w.data().data(), w.size());
+  std::uint8_t u8v = 0;
+  bool b1 = false;
+  bool b2 = true;
+  std::uint32_t u32v = 0;
+  std::uint64_t u64v = 0;
+  double d = 0.0;
+  EXPECT_TRUE(r.u8(u8v));
+  EXPECT_EQ(u8v, 0xAB);
+  EXPECT_TRUE(r.b(b1));
+  EXPECT_TRUE(b1);
+  EXPECT_TRUE(r.b(b2));
+  EXPECT_FALSE(b2);
+  EXPECT_TRUE(r.u32(u32v));
+  EXPECT_EQ(u32v, 0xDEADBEEFu);
+  EXPECT_TRUE(r.u64(u64v));
+  EXPECT_EQ(u64v, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.f64(d));
+  EXPECT_EQ(d, -1.5);
+  EXPECT_TRUE(r.f64(d));
+  EXPECT_EQ(d, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(r.f64(d));
+  EXPECT_EQ(d, -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(r.f64(d));
+  EXPECT_TRUE(std::isnan(d));
+  std::string s;
+  EXPECT_TRUE(r.str(s));
+  EXPECT_EQ(s, "adaptive window");
+  EXPECT_TRUE(r.str(s));
+  EXPECT_TRUE(s.empty());
+  linalg::Vec rv;
+  EXPECT_TRUE(r.vec(rv));
+  ASSERT_EQ(rv.size(), 3u);
+  EXPECT_EQ(rv[0], 1.0);
+  EXPECT_EQ(rv[1], -0.0);
+  EXPECT_TRUE(std::signbit(rv[1]));  // -0.0 round-trips with its sign bit
+  EXPECT_EQ(rv[2], 3.25);
+  linalg::Matrix rm;
+  EXPECT_TRUE(r.mat(rm));
+  ASSERT_EQ(rm.rows(), 2u);
+  ASSERT_EQ(rm.cols(), 3u);
+  EXPECT_EQ(rm(0, 0), 1.0);
+  EXPECT_EQ(rm(1, 2), -7.0);
+  std::optional<std::size_t> ou;
+  EXPECT_TRUE(r.opt_u64(ou));
+  EXPECT_FALSE(ou.has_value());
+  EXPECT_TRUE(r.opt_u64(ou));
+  ASSERT_TRUE(ou.has_value());
+  EXPECT_EQ(*ou, 42u);
+  std::optional<linalg::Vec> ov;
+  EXPECT_TRUE(r.opt_vec(ov));
+  EXPECT_FALSE(ov.has_value());
+  EXPECT_TRUE(r.opt_vec(ov));
+  ASSERT_TRUE(ov.has_value());
+  EXPECT_EQ(ov->size(), 3u);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(CkptWriterReader, BlockNestsAndBorrows) {
+  ckpt::Writer inner;
+  inner.u64(7);
+  inner.str("nested");
+  ckpt::Writer outer;
+  outer.block(inner.data());
+  outer.u32(99);
+
+  ckpt::Reader r(outer.data().data(), outer.size());
+  ckpt::Reader nested(nullptr, 0);
+  ASSERT_TRUE(r.block(nested));
+  std::uint64_t x = 0;
+  std::string s;
+  EXPECT_TRUE(nested.u64(x));
+  EXPECT_EQ(x, 7u);
+  EXPECT_TRUE(nested.str(s));
+  EXPECT_EQ(s, "nested");
+  EXPECT_TRUE(nested.at_end());
+  std::uint32_t tail = 0;
+  EXPECT_TRUE(r.u32(tail));
+  EXPECT_EQ(tail, 99u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(CkptReader, TruncationLatchesFailure) {
+  ckpt::Writer w;
+  w.u32(5);
+  ckpt::Reader r(w.data().data(), w.size());
+  std::uint64_t wide = 0;
+  EXPECT_FALSE(r.u64(wide));  // only 4 bytes available
+  EXPECT_FALSE(r.ok());
+  // Once failed, even a read that would fit keeps failing.
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(r.u8(byte));
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CkptReader, BoolByteAboveOneIsCorruption) {
+  const std::uint8_t raw[] = {2};
+  ckpt::Reader r(raw, sizeof(raw));
+  bool v = false;
+  EXPECT_FALSE(r.b(v));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CkptReader, HugeCountsRejectedWithoutAllocating) {
+  // A length prefix far beyond the buffer (as a flipped byte would produce)
+  // must fail the read, not attempt a multi-gigabyte allocation.
+  ckpt::Writer w;
+  w.u64(0xFFFFFFFFFFFFull);
+  {
+    ckpt::Reader r(w.data().data(), w.size());
+    std::string s;
+    EXPECT_FALSE(r.str(s));
+  }
+  {
+    ckpt::Reader r(w.data().data(), w.size());
+    linalg::Vec v;
+    EXPECT_FALSE(r.vec(v));
+  }
+  {
+    ckpt::Writer wm;
+    wm.u64(0xFFFFFFFFull);
+    wm.u64(0xFFFFFFFFull);
+    ckpt::Reader r(wm.data().data(), wm.size());
+    linalg::Matrix m;
+    EXPECT_FALSE(r.mat(m));
+  }
+}
+
+TEST(CkptReader, SemanticFailLatches) {
+  ckpt::Writer w;
+  w.u64(123);
+  ckpt::Reader r(w.data().data(), w.size());
+  r.fail();  // caller found an out-of-range enum, say
+  std::uint64_t v = 0;
+  EXPECT_FALSE(r.u64(v));
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+// --- Snapshot framing -------------------------------------------------------
+
+std::vector<std::uint8_t> two_section_snapshot(std::uint64_t fingerprint = 0x5EED) {
+  ckpt::SnapshotBuilder builder;
+  ckpt::Writer& a = builder.section(7);
+  a.str("alpha");
+  a.u64(11);
+  ckpt::Writer& b = builder.section(9);
+  b.f64(2.5);
+  return builder.finish(fingerprint);
+}
+
+/// Recompute the header CRC after an intentional in-place header edit, so a
+/// test can reach the checks that come *after* CRC validation.
+void fix_header_crc(std::vector<std::uint8_t>& img) {
+  const std::uint32_t crc = ckpt::crc32(img.data(), ckpt::kHeaderSize - 4);
+  for (int i = 0; i < 4; ++i) {
+    img[ckpt::kHeaderSize - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+TEST(CkptSnapshot, BuildParseRoundTrip) {
+  const std::vector<std::uint8_t> img = two_section_snapshot();
+  Result<ckpt::SnapshotView> view = ckpt::SnapshotView::parse(img);
+  ASSERT_TRUE(view.is_ok()) << view.status().message();
+  EXPECT_EQ(view.value().version(), ckpt::kFormatVersion);
+  EXPECT_EQ(view.value().fingerprint(), 0x5EEDu);
+  ASSERT_EQ(view.value().sections().size(), 2u);
+  EXPECT_EQ(view.value().sections()[0].id, 7u);
+  EXPECT_EQ(view.value().sections()[1].id, 9u);
+  EXPECT_EQ(view.value().find(9), &view.value().sections()[1]);
+  EXPECT_EQ(view.value().find(3), nullptr);
+
+  ckpt::Reader r = view.value().sections()[0].reader();
+  std::string s;
+  std::uint64_t x = 0;
+  EXPECT_TRUE(r.str(s));
+  EXPECT_EQ(s, "alpha");
+  EXPECT_TRUE(r.u64(x));
+  EXPECT_EQ(x, 11u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(CkptSnapshot, EmptySnapshotParses) {
+  ckpt::SnapshotBuilder builder;
+  const std::vector<std::uint8_t> img = builder.finish(0);
+  Result<ckpt::SnapshotView> view = ckpt::SnapshotView::parse(img);
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_TRUE(view.value().sections().empty());
+}
+
+// The ISSUE's header robustness sweep: flip every bit of every header field
+// (magic, version, section count, fingerprint, reserved, CRC) and require a
+// typed error every time — corruption anywhere in the 32-byte header must
+// never parse, and must never crash or read out of bounds.
+TEST(CkptSnapshot, BitFlipEveryHeaderFieldRejected) {
+  const std::vector<std::uint8_t> good = two_section_snapshot();
+  ASSERT_TRUE(ckpt::SnapshotView::parse(good).is_ok());
+  for (std::size_t byte = 0; byte < ckpt::kHeaderSize; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> img = good;
+      img[byte] = static_cast<std::uint8_t>(img[byte] ^ (1u << bit));
+      Result<ckpt::SnapshotView> view = ckpt::SnapshotView::parse(img);
+      ASSERT_FALSE(view.is_ok()) << "byte " << byte << " bit " << bit;
+      const StatusCode code = view.status().code();
+      EXPECT_TRUE(code == StatusCode::kDataLoss || code == StatusCode::kUnimplemented)
+          << "byte " << byte << " bit " << bit << ": "
+          << view.status().message();
+      EXPECT_FALSE(view.status().message().empty());
+    }
+  }
+}
+
+TEST(CkptSnapshot, EachHeaderFieldFailsTyped) {
+  // Magic (checked before the CRC, so no fix-up needed).
+  {
+    std::vector<std::uint8_t> img = two_section_snapshot();
+    img[0] = 'X';
+    Result<ckpt::SnapshotView> v = ckpt::SnapshotView::parse(img);
+    ASSERT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().message(), "bad snapshot magic");
+  }
+  // Version mismatch, with the CRC recomputed so the version check is the
+  // one that fires: must be kUnimplemented, the upgrade-path signal.
+  {
+    std::vector<std::uint8_t> img = two_section_snapshot();
+    img[8] = static_cast<std::uint8_t>(ckpt::kFormatVersion + 1);
+    fix_header_crc(img);
+    Result<ckpt::SnapshotView> v = ckpt::SnapshotView::parse(img);
+    ASSERT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kUnimplemented);
+    EXPECT_EQ(v.status().message(), "unsupported snapshot format version");
+  }
+  // Reserved field, same treatment.
+  {
+    std::vector<std::uint8_t> img = two_section_snapshot();
+    img[24] = 1;
+    fix_header_crc(img);
+    Result<ckpt::SnapshotView> v = ckpt::SnapshotView::parse(img);
+    ASSERT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().message(), "snapshot header reserved field not zero");
+  }
+  // Fingerprint flip without fix-up trips the CRC (the parse-level guard);
+  // with fix-up it parses and defers to the engine's fingerprint check.
+  {
+    std::vector<std::uint8_t> img = two_section_snapshot();
+    img[16] ^= 0xFF;
+    Result<ckpt::SnapshotView> v = ckpt::SnapshotView::parse(img);
+    ASSERT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().message(), "snapshot header CRC mismatch");
+    fix_header_crc(img);
+    Result<ckpt::SnapshotView> fixed = ckpt::SnapshotView::parse(img);
+    ASSERT_TRUE(fixed.is_ok());
+    EXPECT_NE(fixed.value().fingerprint(), 0x5EEDu);
+  }
+}
+
+TEST(CkptSnapshot, SectionCorruptionRejected) {
+  const std::vector<std::uint8_t> good = two_section_snapshot();
+  // Payload byte flip -> section CRC mismatch.
+  {
+    std::vector<std::uint8_t> img = good;
+    img[ckpt::kHeaderSize + ckpt::kSectionHeaderSize] ^= 0x01;
+    Result<ckpt::SnapshotView> v = ckpt::SnapshotView::parse(img);
+    ASSERT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().message(), "snapshot section CRC mismatch");
+  }
+  // Section reserved field non-zero.
+  {
+    std::vector<std::uint8_t> img = good;
+    img[ckpt::kHeaderSize + 4] = 1;
+    Result<ckpt::SnapshotView> v = ckpt::SnapshotView::parse(img);
+    ASSERT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().message(), "snapshot section reserved field not zero");
+  }
+  // A stray trailing byte after the last section.
+  {
+    std::vector<std::uint8_t> img = good;
+    img.push_back(0);
+    Result<ckpt::SnapshotView> v = ckpt::SnapshotView::parse(img);
+    ASSERT_FALSE(v.is_ok());
+    EXPECT_EQ(v.status().message(), "snapshot has trailing bytes");
+  }
+}
+
+// Every proper prefix of a valid snapshot must fail to parse — never crash,
+// never succeed on partial data (the crash-mid-write case the atomic file
+// helper exists to prevent, exercised here directly against the parser).
+TEST(CkptSnapshot, EveryTruncationRejected) {
+  const std::vector<std::uint8_t> good = two_section_snapshot();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::vector<std::uint8_t> img(good.begin(), good.begin() + static_cast<long>(len));
+    Result<ckpt::SnapshotView> v = ckpt::SnapshotView::parse(img);
+    ASSERT_FALSE(v.is_ok()) << "prefix length " << len;
+    EXPECT_EQ(v.status().code(), StatusCode::kDataLoss) << "prefix length " << len;
+  }
+}
+
+// --- File helpers -----------------------------------------------------------
+
+TEST(CkptFile, WriteReadRoundTripAndOverwrite) {
+  const std::string path = ::testing::TempDir() + "awd_ckpt_file_test.snap";
+  const std::vector<std::uint8_t> img = two_section_snapshot();
+  ASSERT_TRUE(ckpt::write_file(path, img).is_ok());
+  // No .tmp staging file may survive a successful write.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+
+  Result<std::vector<std::uint8_t>> back = ckpt::read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), img);
+
+  // Rename-over semantics: a second write replaces the file atomically.
+  const std::vector<std::uint8_t> img2 = two_section_snapshot(0xABCD);
+  ASSERT_TRUE(ckpt::write_file(path, img2).is_ok());
+  Result<std::vector<std::uint8_t>> back2 = ckpt::read_file(path);
+  ASSERT_TRUE(back2.is_ok());
+  EXPECT_EQ(back2.value(), img2);
+  std::remove(path.c_str());
+}
+
+TEST(CkptFile, MissingFileIsUnavailable) {
+  Result<std::vector<std::uint8_t>> r =
+      ckpt::read_file(::testing::TempDir() + "awd_ckpt_no_such_file.snap");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+// --- Configuration codecs (ckpt_io) -----------------------------------------
+
+// write_case ∘ read_case must be a byte identity: the engine fingerprint is
+// fnv1a64 over re-encoded spec blocks, so any drift here would break
+// restore's fingerprint verification.
+TEST(CkptIo, CaseCodecIsByteIdentity) {
+  for (const SimulatorCase& scase : table1_cases()) {
+    ckpt::Writer w;
+    ckpt::write_case(w, scase);
+    ckpt::Reader r(w.data().data(), w.size());
+    SimulatorCase back;
+    ASSERT_TRUE(ckpt::read_case(r, back)) << scase.key;
+    EXPECT_TRUE(r.at_end()) << scase.key;
+    ckpt::Writer w2;
+    ckpt::write_case(w2, back);
+    EXPECT_EQ(w.data(), w2.data()) << scase.key;
+    EXPECT_EQ(back.key, scase.key);
+    EXPECT_EQ(back.steps, scase.steps);
+    EXPECT_EQ(back.max_window, scase.max_window);
+  }
+}
+
+TEST(CkptIo, FaultPlanRoundTripAndRejection) {
+  fault::FaultPlan plan;
+  plan.add({.start = 10, .duration = 5, .kind = fault::FaultKind::kDropout});
+  plan.add({.start = 40, .duration = 8, .kind = fault::FaultKind::kStuckAtLast});
+  ckpt::Writer w;
+  ckpt::write_fault_plan(w, plan);
+  ckpt::Reader r(w.data().data(), w.size());
+  fault::FaultPlan back;
+  ASSERT_TRUE(ckpt::read_fault_plan(r, back));
+  ckpt::Writer w2;
+  ckpt::write_fault_plan(w2, back);
+  EXPECT_EQ(w.data(), w2.data());
+
+  // An out-of-range kind byte must fail the read, not throw from
+  // FaultPlan::add.
+  std::vector<std::uint8_t> corrupt = w.take();
+  bool rejected_something = false;
+  for (std::size_t i = 0; i < corrupt.size(); ++i) {
+    std::vector<std::uint8_t> img = corrupt;
+    img[i] = 0xEE;
+    ckpt::Reader cr(img.data(), img.size());
+    fault::FaultPlan out;
+    if (!ckpt::read_fault_plan(cr, out)) rejected_something = true;
+  }
+  EXPECT_TRUE(rejected_something);
+}
+
+TEST(CkptIo, AttackKindRejectsOutOfRange) {
+  ckpt::Writer w;
+  w.u8(0xFF);
+  ckpt::Reader r(w.data().data(), w.size());
+  AttackKind k = AttackKind::kNone;
+  EXPECT_FALSE(ckpt::read_attack_kind(r, k));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CkptIo, IntervalRejectsInverted) {
+  ckpt::Writer w;
+  w.f64(2.0);  // lo > hi: unconstructible
+  w.f64(-2.0);
+  ckpt::Reader r(w.data().data(), w.size());
+  reach::Interval v{};
+  EXPECT_FALSE(ckpt::read_interval(r, v));
+}
+
+TEST(CkptIo, SystemOptionsRoundTrip) {
+  DetectionSystemOptions o;
+  o.lean_records = true;
+  o.per_step_obs = false;
+  ckpt::Writer w;
+  ckpt::write_system_options(w, o);
+  ckpt::Reader r(w.data().data(), w.size());
+  DetectionSystemOptions back;
+  ASSERT_TRUE(ckpt::read_system_options(r, back));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(back.lean_records, o.lean_records);
+  EXPECT_EQ(back.per_step_obs, o.per_step_obs);
+}
+
+}  // namespace
