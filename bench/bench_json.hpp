@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/kernels.hpp"
 #include "obs/obs.hpp"
 
 namespace awd::bench {
@@ -59,7 +60,18 @@ inline void append_metrics_block(const std::string& json_path) {
   if (close == std::string::npos) return;
   std::ofstream out(json_path, std::ios::trunc);
   if (!out) return;
-  out << text.substr(0, close) << ",\n  \"awd_metrics\": "
+  // The `awd_simd` block records which kernel set produced the numbers
+  // (DESIGN.md §14): `compiled` is the widest set in the binary (AWD_SIMD),
+  // `runtime` what CPU detection allows, `active` what the dispatch served
+  // while the benchmarks ran (differs from `runtime` only under an AWD_SIMD
+  // env override or a force_level pin).
+  out << text.substr(0, close) << ",\n  \"awd_simd\": {\n    \"compiled\": \""
+      << linalg::kernels::level_name(linalg::kernels::compiled_level())
+      << "\",\n    \"runtime\": \""
+      << linalg::kernels::level_name(linalg::kernels::runtime_level())
+      << "\",\n    \"active\": \""
+      << linalg::kernels::level_name(linalg::kernels::active_level())
+      << "\"\n  },\n  \"awd_metrics\": "
       << obs::metrics_json(obs::Registry::global().snapshot()) << "\n}\n";
 }
 

@@ -6,13 +6,17 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "bench_json.hpp"
 #include "core/detection_system.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
 #include "reach/deadline.hpp"
 
@@ -32,6 +36,15 @@ double mean_ns(Fn&& fn, int reps) {
   for (int i = 0; i < reps; ++i) benchmark::DoNotOptimize(fn());
   const auto stop = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::nano>(stop - start).count() / reps;
+}
+
+/// Noise-robust kernel cost: minimum over `batches` batches of the mean ns
+/// across `reps` calls of `fn` (interference only ever adds time).
+template <typename Fn>
+double min_batch_ns(Fn&& fn, int batches, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int b = 0; b < batches; ++b) best = std::min(best, mean_ns(fn, reps));
+  return best;
 }
 
 void BM_DeadlineEstimate(benchmark::State& state) {
@@ -108,6 +121,106 @@ void BM_DetectionSystemStep(benchmark::State& state) {
   state.SetLabel(scase.key);
 }
 BENCHMARK(BM_DetectionSystemStep)->DenseRange(0, 4);
+
+// ---- per-kernel benchmarks (DESIGN.md §14) --------------------------------
+//
+// Each benchmark times the kernel under the ambient dispatch level (the best
+// set the host supports unless AWD_SIMD pins it) and reports two extra
+// counters: `scalar_ns`, the same call pinned to the scalar reference set,
+// and `simd_speedup` = scalar_ns / vector time.  `simd_level` records which
+// set produced the primary column (0 scalar, 1 neon, 2 avx2), so archived
+// BENCH_detector_step.json files say which code path the numbers came from.
+
+namespace kn = awd::linalg::kernels;
+
+/// Deterministic pseudo-random doubles in (-1, 1) — no <random> engine so
+/// the fixture cost stays trivial and identical across runs.
+double lcg_unit(std::uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return static_cast<double>(static_cast<std::int64_t>(s >> 11)) / 9.2e18;
+}
+
+/// scalar_ns / simd_ns for `fn`, with each side pinned to its kernel set.
+template <typename Fn>
+void simd_speedup_counters(benchmark::State& state, Fn&& fn) {
+  constexpr int kBatches = 15;
+  constexpr int kReps = 2000;
+  const kn::SimdLevel ambient = kn::active_level();
+  (void)kn::force_level(kn::SimdLevel::kScalar);
+  const double scalar_ns = min_batch_ns(fn, kBatches, kReps);
+  (void)kn::force_level(kn::runtime_level());
+  const double simd_ns = min_batch_ns(fn, kBatches, kReps);
+  (void)kn::force_level(ambient);
+  state.counters["scalar_ns"] = scalar_ns;
+  state.counters["simd_speedup"] = simd_ns > 0.0 ? scalar_ns / simd_ns : 0.0;
+  state.counters["simd_level"] = static_cast<double>(kn::runtime_level());
+  state.SetLabel(kn::level_name(kn::runtime_level()));
+}
+
+void BM_KernelMatvec(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t s = 42;
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = lcg_unit(s);
+  }
+  kn::GemvPanel panel;
+  panel.assign(a);
+  std::vector<double> x(n), y(n);
+  for (double& v : x) v = lcg_unit(s);
+  const auto call = [&] {
+    kn::gemv(panel, x.data(), y.data());
+    return y[0];
+  };
+  for (auto _ : state) benchmark::DoNotOptimize(call());
+  simd_speedup_counters(state, call);
+}
+BENCHMARK(BM_KernelMatvec)->Arg(4)->Arg(12);
+
+void BM_KernelResidualNorm(benchmark::State& state) {
+  // The detector's residual path: |predicted - estimate| followed by the
+  // per-dimension threshold test.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t s = 43;
+  std::vector<double> predicted(n), estimate(n), residual(n), tau(n, 0.75);
+  for (std::size_t i = 0; i < n; ++i) {
+    predicted[i] = lcg_unit(s);
+    estimate[i] = lcg_unit(s);
+  }
+  const auto call = [&] {
+    kn::abs_diff(predicted.data(), estimate.data(), residual.data(), n);
+    return kn::any_abs_exceeds(residual.data(), tau.data(), n);
+  };
+  for (auto _ : state) benchmark::DoNotOptimize(call());
+  simd_speedup_counters(state, call);
+}
+BENCHMARK(BM_KernelResidualNorm)->Arg(4)->Arg(12);
+
+void BM_KernelSupportWalk(benchmark::State& state) {
+  // Worst-case deadline walk: every containment check passes, so the walk
+  // runs the full 40-step window (the adaptive detector's common case when
+  // the plant is far from the safe-set boundary).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSteps = 40;
+  std::uint64_t s = 44;
+  kn::SupportTable table;
+  table.dim = n;
+  std::vector<double> rows(n * n), drifts(n), spreads(n), los(n, -1e12), his(n, 1e12);
+  std::vector<double> x0(n);
+  for (double& v : x0) v = lcg_unit(s);
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    for (double& v : rows) v = lcg_unit(s);
+    for (double& v : drifts) v = 0.01 * lcg_unit(s);
+    for (double& v : spreads) v = 0.1 + 0.01 * lcg_unit(s);
+    table.push_step(rows.data(), drifts.data(), spreads.data(), los.data(), his.data(),
+                    n);
+  }
+  bool resolved = false;
+  const auto call = [&] { return kn::support_walk(table, x0.data(), kSteps, resolved); };
+  for (auto _ : state) benchmark::DoNotOptimize(call());
+  simd_speedup_counters(state, call);
+}
+BENCHMARK(BM_KernelSupportWalk)->Arg(4)->Arg(12);
 
 void BM_LoggerLog(benchmark::State& state) {
   const core::SimulatorCase scase = core::simulator_case("quadrotor");
@@ -195,6 +308,82 @@ bool assert_obs_overhead(double budget) {
   return true;
 }
 
+/// CI SIMD gate (--assert-simd-speedup): the matvec and support-walk kernels
+/// pinned to the vector set must beat the scalar reference set by at least
+/// `target`x at dims 4 and 12 (the residual-norm row is informational — at
+/// these dims it is a handful of ops and measurement noise dominates).
+/// Skipped (pass) when the host or build resolves to the scalar set: the
+/// simd-off CI leg has nothing to compare.
+bool assert_simd_speedup(double target) {
+  namespace kn = awd::linalg::kernels;
+  if (kn::runtime_level() == kn::SimdLevel::kScalar) {
+    std::printf("\nsimd speedup gate: SKIP — runtime kernel set is scalar "
+                "(compiled %s)\n",
+                kn::level_name(kn::compiled_level()));
+    return true;
+  }
+  constexpr int kBatches = 40;
+  constexpr int kReps = 4000;
+  constexpr std::size_t kWalkSteps = 40;
+  std::printf("\nsimd speedup (%s vs scalar, min of %d x %d-call batches):\n",
+              kn::level_name(kn::runtime_level()), kBatches, kReps);
+  bool ok = true;
+  for (const std::size_t n : {std::size_t{4}, std::size_t{12}}) {
+    std::uint64_t s = 42;
+    linalg::Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = lcg_unit(s);
+    }
+    kn::GemvPanel panel;
+    panel.assign(a);
+    std::vector<double> x(n), y(n), residual(n), tau(n, 0.75);
+    for (double& v : x) v = lcg_unit(s);
+    kn::SupportTable table;
+    table.dim = n;
+    std::vector<double> rows(n * n), drifts(n, 0.01), spreads(n, 0.1);
+    std::vector<double> los(n, -1e12), his(n, 1e12);
+    for (std::size_t t = 0; t < kWalkSteps; ++t) {
+      for (double& v : rows) v = lcg_unit(s);
+      table.push_step(rows.data(), drifts.data(), spreads.data(), los.data(),
+                      his.data(), n);
+    }
+    bool resolved = false;
+    const auto matvec = [&] { kn::gemv(panel, x.data(), y.data()); return y[0]; };
+    const auto resid = [&] {
+      kn::abs_diff(x.data(), y.data(), residual.data(), n);
+      return kn::any_abs_exceeds(residual.data(), tau.data(), n);
+    };
+    const auto walk = [&] { return kn::support_walk(table, x.data(), kWalkSteps, resolved); };
+    struct Row {
+      const char* name;
+      double scalar_ns, simd_ns;
+      bool gated;
+    };
+    (void)kn::force_level(kn::SimdLevel::kScalar);
+    Row rowsv[] = {{"matvec", min_batch_ns(matvec, kBatches, kReps), 0.0, true},
+                   {"residual_norm", min_batch_ns(resid, kBatches, kReps), 0.0, false},
+                   {"support_walk", min_batch_ns(walk, kBatches, kReps), 0.0, true}};
+    (void)kn::force_level(kn::runtime_level());
+    rowsv[0].simd_ns = min_batch_ns(matvec, kBatches, kReps);
+    rowsv[1].simd_ns = min_batch_ns(resid, kBatches, kReps);
+    rowsv[2].simd_ns = min_batch_ns(walk, kBatches, kReps);
+    for (const Row& r : rowsv) {
+      const double speedup = r.simd_ns > 0.0 ? r.scalar_ns / r.simd_ns : 0.0;
+      const bool pass = !r.gated || speedup >= target;
+      std::printf("  dim %-3zu %-14s scalar %9.2f ns   simd %9.2f ns   %5.2fx  %s\n",
+                  n, r.name, r.scalar_ns, r.simd_ns, speedup,
+                  r.gated ? (pass ? "ok" : "FAIL") : "(info)");
+      ok = ok && pass;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "simd speedup gate: FAIL — below %.2fx target\n", target);
+    return false;
+  }
+  std::printf("simd speedup gate: OK (>= %.2fx)\n", target);
+  return true;
+}
+
 }  // namespace
 
 // Besides the console table, always drop a machine-readable record of the
@@ -205,12 +394,17 @@ int main(int argc, char** argv) {
   // overhead gate flag is stripped the same way.
   const awd::obs::ObsSession obs_session(argc, argv);
   double overhead_budget = -1.0;
+  double simd_target = -1.0;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--assert-obs-overhead") == 0) {
       overhead_budget = 0.05;
     } else if (std::strncmp(argv[i], "--assert-obs-overhead=", 22) == 0) {
       overhead_budget = std::strtod(argv[i] + 22, nullptr);
+    } else if (std::strcmp(argv[i], "--assert-simd-speedup") == 0) {
+      simd_target = 1.2;
+    } else if (std::strncmp(argv[i], "--assert-simd-speedup=", 22) == 0) {
+      simd_target = std::strtod(argv[i] + 22, nullptr);
     } else {
       argv[kept++] = argv[i];
     }
@@ -222,5 +416,6 @@ int main(int argc, char** argv) {
   awd::bench::run_benchmarks_with_json("BENCH_detector_step.json");
   benchmark::Shutdown();
   if (overhead_budget > 0.0 && !assert_obs_overhead(overhead_budget)) return 1;
+  if (simd_target > 0.0 && !assert_simd_speedup(simd_target)) return 1;
   return 0;
 }

@@ -1,0 +1,173 @@
+// kernels.hpp — vectorized hot-path kernels with runtime dispatch (§14).
+//
+// The detector's per-step cost is a handful of tiny dense kernels: the
+// matvec behind every prediction (x̃ = A x̄ + B u), the |z| residual, the
+// window-mean accumulation, the τ threshold test, and the deadline
+// estimator's box support-function walk.  This header is their single
+// implementation point: a scalar reference set plus optional AVX2/NEON sets
+// selected by the AWD_SIMD CMake knob and, within one binary, by runtime
+// CPU detection.
+//
+// Bit-identity contract.  Every vector kernel performs the *exact scalar
+// operation sequence per output lane* — lanes run across independent
+// outputs (matvec rows, support checks, vector elements), never across a
+// reduction, and fused multiply-add is never used (an FMA's single
+// rounding would diverge from the scalar mul-then-add).  SIMD results are
+// therefore bit-identical to the scalar set, including NaN/Inf
+// propagation, which is what keeps checkpoint images byte-identical across
+// AWD_SIMD=OFF and AWD_SIMD=AVX2 builds (the prop tier enforces this; the
+// documented ULP bound is 0).
+//
+// The dispatch is a process-global function-pointer table.  force_level()
+// exists so one binary can run both paths back to back — the scalar↔SIMD
+// differential tests and the bench speedup counters depend on it.  The
+// AWD_SIMD environment variable ("off"/"scalar", "avx2", "neon", "auto")
+// forces the initial level the same way for whole-process experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace awd::linalg {
+
+class Matrix;
+
+namespace kernels {
+
+/// Which kernel set is in play.  Order is "capability": higher enum values
+/// are wider vector units.
+enum class SimdLevel : std::uint8_t { kScalar = 0, kNeon = 1, kAvx2 = 2 };
+
+/// Human-readable level name ("scalar", "neon", "avx2").
+[[nodiscard]] const char* level_name(SimdLevel level) noexcept;
+
+/// Best kernel set compiled into this binary (the AWD_SIMD build knob).
+[[nodiscard]] SimdLevel compiled_level() noexcept;
+
+/// compiled_level() clamped to what the executing CPU supports — an AVX2
+/// build running on a pre-AVX2 core silently serves the scalar set.
+[[nodiscard]] SimdLevel runtime_level() noexcept;
+
+/// The level the dispatch currently serves (runtime_level() unless forced).
+[[nodiscard]] SimdLevel active_level() noexcept;
+
+/// Pin the dispatch to `level`, clamped to runtime_level() — requesting an
+/// unavailable set falls back to the best available one, and kScalar is
+/// always honored.  Returns the level actually installed.  Thread-safe but
+/// process-global: intended for tests, benchmarks, and startup config, not
+/// for flipping mid-flight next to concurrent steppers.
+SimdLevel force_level(SimdLevel level) noexcept;
+
+/// Lane width (doubles per vector register) of a level: 1 / 2 / 4.
+[[nodiscard]] std::size_t lane_width(SimdLevel level) noexcept;
+
+// --- batch views ------------------------------------------------------------
+
+/// Column-major, row-padded copy of a row-major Matrix — the layout the
+/// vector matvec wants: lane k of column j holds A(i0+k, j), so one vector
+/// load feeds `lane` consecutive output rows with the same x[j] broadcast.
+/// Rows are padded to the widest lane width with zeros; padded lanes are
+/// computed and discarded, never stored.  Panels are derived data (rebuilt
+/// from the Matrix on assign), never checkpointed.
+struct GemvPanel {
+  std::size_t rows = 0;    ///< output dimension
+  std::size_t cols = 0;    ///< input dimension
+  std::size_t padded = 0;  ///< rows rounded up to kPanelPad
+  std::vector<double> data;  ///< data[j * padded + i] = A(i, j)
+
+  /// Widest lane width any kernel set uses; fixed across build flavors so
+  /// panel geometry never depends on the AWD_SIMD setting.
+  static constexpr std::size_t kPanelPad = 4;
+
+  /// (Re)build from a row-major matrix, reusing the buffer when possible.
+  void assign(const Matrix& a);
+
+  [[nodiscard]] bool empty() const noexcept { return rows == 0; }
+};
+
+/// Precomputed box support-function walk: per reach step, a padded group of
+/// containment checks (one per constrained safe-set dimension).  The reach
+/// box at step t stays inside [lo, hi] iff
+///   lo <= center - spread  &&  center + spread <= hi,
+/// with center = row·x0 + drift.  Rows are stored column-major per step
+/// (rows[row_off + j * padded + k] = row k's j-th coefficient) so the walk
+/// evaluates `lane` checks per vector op.  Padded lanes hold row 0, drift
+/// 0, spread 0, lo -inf, hi +inf — they always pass and can never resolve
+/// the walk.
+struct SupportTable {
+  struct Step {
+    std::size_t count = 0;       ///< live checks at this reach step
+    std::size_t padded = 0;      ///< count rounded up to GemvPanel::kPanelPad
+    std::size_t scalar_off = 0;  ///< segment start in drift/spread/lo/hi
+    std::size_t row_off = 0;     ///< segment start in rows
+  };
+
+  std::size_t dim = 0;          ///< x0 length
+  std::vector<Step> steps;      ///< index t-1 → checks at reach step t
+  std::vector<double> drift;    ///< padded per-step segments
+  std::vector<double> spread;
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::vector<double> rows;     ///< per-step column-major row panels
+
+  void clear() noexcept;
+
+  /// Append one reach step's checks.  `row_major_rows` holds `count` rows of
+  /// length `dim` back to back (row-major); the table transposes and pads.
+  void push_step(const double* row_major_rows, const double* drifts,
+                 const double* spreads, const double* los, const double* his,
+                 std::size_t count);
+};
+
+// --- kernels (dispatch through the active level) ----------------------------
+
+/// y = A x over a panel: y[i] = Σ_j A(i,j) x[j], accumulating j in
+/// ascending order per row — the exact Matrix::mul_into sum order.  `x` has
+/// a.cols elements, `y` a.rows; neither may alias the panel, and y must not
+/// alias x.
+void gemv(const GemvPanel& a, const double* x, double* y) noexcept;
+
+/// out[i] = |a[i] - b[i]| — the residual z = |x̃ - x̄|.  `out` may alias
+/// `a` or `b`.
+void abs_diff(const double* a, const double* b, double* out, std::size_t n) noexcept;
+
+/// out[i] += a[i] — window-mean accumulation.  `out` may alias `a` (each
+/// lane doubles, exactly as the scalar loop would).
+void add_assign(double* out, const double* a, std::size_t n) noexcept;
+
+/// out[i] -= a[i].  `out` may alias `a`.
+void sub_assign(double* out, const double* a, std::size_t n) noexcept;
+
+/// True iff any |z[i]| > tau[i] — the §4.1 per-dimension alarm test.  NaN
+/// never exceeds (ordered compare), matching the scalar `std::abs(z) > tau`.
+[[nodiscard]] bool any_abs_exceeds(const double* z, const double* tau,
+                                   std::size_t n) noexcept;
+
+/// First reach step t in [1, cap] with a failing containment check:
+/// resolved=true and t is returned.  When every step up to cap passes,
+/// resolved=false and cap is returned.  cap must be <= table.steps.size();
+/// x0 has table.dim elements.
+std::size_t support_walk(const SupportTable& table, const double* x0,
+                         std::size_t cap, bool& resolved) noexcept;
+
+// --- kernel set plumbing (one table per level) ------------------------------
+
+/// One level's kernel set.  The scalar set is the semantics reference;
+/// vector sets must be lane-for-lane bit-identical to it.
+struct Ops {
+  void (*gemv)(const GemvPanel&, const double*, double*) noexcept;
+  void (*abs_diff)(const double*, const double*, double*, std::size_t) noexcept;
+  void (*add_assign)(double*, const double*, std::size_t) noexcept;
+  void (*sub_assign)(double*, const double*, std::size_t) noexcept;
+  bool (*any_abs_exceeds)(const double*, const double*, std::size_t) noexcept;
+  std::size_t (*support_walk)(const SupportTable&, const double*, std::size_t,
+                              bool&) noexcept;
+  SimdLevel level;
+};
+
+/// The reference set (always compiled).
+[[nodiscard]] const Ops& scalar_ops() noexcept;
+
+}  // namespace kernels
+}  // namespace awd::linalg

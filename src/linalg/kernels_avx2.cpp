@@ -1,0 +1,171 @@
+// kernels_avx2.cpp — the AVX2 kernel set (4 double lanes).
+//
+// This is the ONLY translation unit built with -mavx2; everything else
+// keeps the default target arch so scalar codegen — and with it every
+// checkpoint image — is identical across AWD_SIMD settings.  Deliberately
+// no -mfma and no FMA intrinsics anywhere: each lane runs the scalar
+// mul-then-add sequence with two roundings, which is what makes the vector
+// results bit-identical to the scalar reference set (kernels.hpp).  GCC
+// does not contract explicit _mm256_add_pd(_mm256_mul_pd(...)) pairs, and
+// the build adds -ffp-contract=off globally as a second fence.
+#include "linalg/kernels.hpp"
+
+#if defined(AWD_SIMD_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace awd::linalg::kernels {
+
+namespace {
+
+// Sign-bit mask: andnot with it is exactly std::abs on every payload,
+// including NaNs (clears the sign, preserves the significand).
+inline __m256d abs_pd(__m256d v) noexcept {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+// Broadcast-hoist bound: gemv and the support walk replicate each x[j]
+// across lanes once up front instead of once per row group / reach step.
+// Purely an op-count saving — the per-lane arithmetic is unchanged.
+constexpr std::size_t kMaxHoist = 16;
+
+void gemv_avx2(const GemvPanel& a, const double* x, double* y) noexcept {
+  const double* d = a.data.data();
+  __m256d bx[kMaxHoist];
+  const bool hoist = a.cols <= kMaxHoist;
+  if (hoist) {
+    for (std::size_t j = 0; j < a.cols; ++j) bx[j] = _mm256_set1_pd(x[j]);
+  }
+  for (std::size_t i = 0; i < a.padded; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    const double* col = d + i;
+    if (hoist) {
+      for (std::size_t j = 0; j < a.cols; ++j) {
+        const __m256d aj = _mm256_loadu_pd(col + j * a.padded);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(aj, bx[j]));
+      }
+    } else {
+      for (std::size_t j = 0; j < a.cols; ++j) {
+        const __m256d aj = _mm256_loadu_pd(col + j * a.padded);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(aj, _mm256_set1_pd(x[j])));
+      }
+    }
+    if (i + 4 <= a.rows) {
+      _mm256_storeu_pd(y + i, acc);
+    } else {
+      // Remainder group: padded lanes computed on the zero-filled panel
+      // columns are discarded, only live rows are stored.
+      alignas(32) double lane[4];
+      _mm256_store_pd(lane, acc);
+      for (std::size_t k = 0; i + k < a.rows; ++k) y[i + k] = lane[k];
+    }
+  }
+}
+
+void abs_diff_avx2(const double* a, const double* b, double* out,
+                   std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    _mm256_storeu_pd(out + i, abs_pd(d));
+  }
+  for (; i < n; ++i) out[i] = std::abs(a[i] - b[i]);
+}
+
+void add_assign_avx2(double* out, const double* a, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_add_pd(_mm256_loadu_pd(out + i), _mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) out[i] += a[i];
+}
+
+void sub_assign_avx2(double* out, const double* a, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_sub_pd(_mm256_loadu_pd(out + i), _mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) out[i] -= a[i];
+}
+
+bool any_abs_exceeds_avx2(const double* z, const double* tau,
+                          std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Ordered GT: NaN lanes compare false, matching scalar `abs(z) > tau`.
+    const __m256d gt =
+        _mm256_cmp_pd(abs_pd(_mm256_loadu_pd(z + i)), _mm256_loadu_pd(tau + i),
+                      _CMP_GT_OQ);
+    if (_mm256_movemask_pd(gt) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (std::abs(z[i]) > tau[i]) return true;
+  }
+  return false;
+}
+
+std::size_t support_walk_avx2(const SupportTable& table, const double* x0,
+                              std::size_t cap, bool& resolved) noexcept {
+  // x0 is loop-invariant across the whole walk: hoist its lane broadcasts
+  // (cap * dim of them otherwise — the dominant overhead at small dims).
+  __m256d bx[kMaxHoist];
+  const bool hoist = table.dim <= kMaxHoist;
+  if (hoist) {
+    for (std::size_t j = 0; j < table.dim; ++j) bx[j] = _mm256_set1_pd(x0[j]);
+  }
+  for (std::size_t t = 1; t <= cap; ++t) {
+    const SupportTable::Step& st = table.steps[t - 1];
+    const double* rows = table.rows.data() + st.row_off;
+    const double* drift = table.drift.data() + st.scalar_off;
+    const double* spread = table.spread.data() + st.scalar_off;
+    const double* lo = table.lo.data() + st.scalar_off;
+    const double* hi = table.hi.data() + st.scalar_off;
+    for (std::size_t g = 0; g < st.padded; g += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      if (hoist) {
+        for (std::size_t j = 0; j < table.dim; ++j) {
+          const __m256d rj = _mm256_loadu_pd(rows + j * st.padded + g);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(rj, bx[j]));
+        }
+      } else {
+        for (std::size_t j = 0; j < table.dim; ++j) {
+          const __m256d rj = _mm256_loadu_pd(rows + j * st.padded + g);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(rj, _mm256_set1_pd(x0[j])));
+        }
+      }
+      const __m256d center = _mm256_add_pd(acc, _mm256_loadu_pd(drift + g));
+      const __m256d spr = _mm256_loadu_pd(spread + g);
+      // A lane passes iff lo <= center-spread && center+spread <= hi, with
+      // ordered compares so a NaN center fails exactly like the scalar
+      // !(...) test.  Padded lanes ([-inf,+inf], zero center) always pass.
+      const __m256d pass = _mm256_and_pd(
+          _mm256_cmp_pd(_mm256_loadu_pd(lo + g), _mm256_sub_pd(center, spr),
+                        _CMP_LE_OQ),
+          _mm256_cmp_pd(_mm256_add_pd(center, spr), _mm256_loadu_pd(hi + g),
+                        _CMP_LE_OQ));
+      if (_mm256_movemask_pd(pass) != 0xF) {
+        resolved = true;
+        return t;
+      }
+    }
+  }
+  resolved = false;
+  return cap;
+}
+
+constexpr Ops kAvx2Ops{gemv_avx2,       abs_diff_avx2,
+                       add_assign_avx2, sub_assign_avx2,
+                       any_abs_exceeds_avx2, support_walk_avx2,
+                       SimdLevel::kAvx2};
+
+}  // namespace
+
+const Ops& avx2_ops() noexcept { return kAvx2Ops; }
+
+}  // namespace awd::linalg::kernels
+
+#endif  // AWD_SIMD_KERNELS_AVX2

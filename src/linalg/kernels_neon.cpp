@@ -1,0 +1,138 @@
+// kernels_neon.cpp — the NEON/AdvSIMD kernel set (2 double lanes).
+//
+// Mirrors kernels_avx2.cpp at half the lane width.  Explicit vmul+vadd
+// pairs — never vfma — keep each lane on the scalar two-rounding sequence,
+// and the global -ffp-contract=off stops the compiler from fusing the
+// scalar remainder loops, so the set stays bit-identical to the scalar
+// reference on AArch64 exactly as AVX2 is on x86-64.  Table/panel padding
+// is GemvPanel::kPanelPad (4), a multiple of the 2-lane width, so both
+// vector sets walk the same layouts.
+#include "linalg/kernels.hpp"
+
+#if defined(AWD_SIMD_KERNELS_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+namespace awd::linalg::kernels {
+
+namespace {
+
+// Broadcast-hoist bound, mirroring kernels_avx2.cpp: replicate each x[j]
+// across lanes once up front instead of once per row group / reach step.
+constexpr std::size_t kMaxHoist = 16;
+
+void gemv_neon(const GemvPanel& a, const double* x, double* y) noexcept {
+  const double* d = a.data.data();
+  float64x2_t bx[kMaxHoist];
+  const bool hoist = a.cols <= kMaxHoist;
+  if (hoist) {
+    for (std::size_t j = 0; j < a.cols; ++j) bx[j] = vdupq_n_f64(x[j]);
+  }
+  for (std::size_t i = 0; i < a.padded; i += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    const double* col = d + i;
+    for (std::size_t j = 0; j < a.cols; ++j) {
+      const float64x2_t aj = vld1q_f64(col + j * a.padded);
+      acc = vaddq_f64(acc, vmulq_f64(aj, hoist ? bx[j] : vdupq_n_f64(x[j])));
+    }
+    if (i + 2 <= a.rows) {
+      vst1q_f64(y + i, acc);
+    } else if (i < a.rows) {
+      y[i] = vgetq_lane_f64(acc, 0);
+    }
+  }
+}
+
+void abs_diff_neon(const double* a, const double* b, double* out,
+                   std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vabsq_f64(vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i))));
+  }
+  for (; i < n; ++i) out[i] = std::abs(a[i] - b[i]);
+}
+
+void add_assign_neon(double* out, const double* a, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vaddq_f64(vld1q_f64(out + i), vld1q_f64(a + i)));
+  }
+  for (; i < n; ++i) out[i] += a[i];
+}
+
+void sub_assign_neon(double* out, const double* a, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vsubq_f64(vld1q_f64(out + i), vld1q_f64(a + i)));
+  }
+  for (; i < n; ++i) out[i] -= a[i];
+}
+
+bool any_abs_exceeds_neon(const double* z, const double* tau,
+                          std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // vcgtq is an ordered compare: NaN lanes yield 0, matching the scalar
+    // `std::abs(z) > tau`.
+    const uint64x2_t gt = vcgtq_f64(vabsq_f64(vld1q_f64(z + i)), vld1q_f64(tau + i));
+    if ((vgetq_lane_u64(gt, 0) | vgetq_lane_u64(gt, 1)) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (std::abs(z[i]) > tau[i]) return true;
+  }
+  return false;
+}
+
+std::size_t support_walk_neon(const SupportTable& table, const double* x0,
+                              std::size_t cap, bool& resolved) noexcept {
+  // x0 is loop-invariant across the whole walk: hoist its lane broadcasts.
+  float64x2_t bx[kMaxHoist];
+  const bool hoist = table.dim <= kMaxHoist;
+  if (hoist) {
+    for (std::size_t j = 0; j < table.dim; ++j) bx[j] = vdupq_n_f64(x0[j]);
+  }
+  for (std::size_t t = 1; t <= cap; ++t) {
+    const SupportTable::Step& st = table.steps[t - 1];
+    const double* rows = table.rows.data() + st.row_off;
+    const double* drift = table.drift.data() + st.scalar_off;
+    const double* spread = table.spread.data() + st.scalar_off;
+    const double* lo = table.lo.data() + st.scalar_off;
+    const double* hi = table.hi.data() + st.scalar_off;
+    for (std::size_t g = 0; g < st.padded; g += 2) {
+      float64x2_t acc = vdupq_n_f64(0.0);
+      for (std::size_t j = 0; j < table.dim; ++j) {
+        const float64x2_t rj = vld1q_f64(rows + j * st.padded + g);
+        acc = vaddq_f64(acc, vmulq_f64(rj, hoist ? bx[j] : vdupq_n_f64(x0[j])));
+      }
+      const float64x2_t center = vaddq_f64(acc, vld1q_f64(drift + g));
+      const float64x2_t spr = vld1q_f64(spread + g);
+      // Ordered <=: a NaN center fails both sides, exactly like the scalar
+      // !(lo <= center-spread && center+spread <= hi) test.
+      const uint64x2_t pass =
+          vandq_u64(vcleq_f64(vld1q_f64(lo + g), vsubq_f64(center, spr)),
+                    vcleq_f64(vaddq_f64(center, spr), vld1q_f64(hi + g)));
+      if ((vgetq_lane_u64(pass, 0) & vgetq_lane_u64(pass, 1)) !=
+          ~static_cast<std::uint64_t>(0)) {
+        resolved = true;
+        return t;
+      }
+    }
+  }
+  resolved = false;
+  return cap;
+}
+
+constexpr Ops kNeonOps{gemv_neon,       abs_diff_neon,
+                       add_assign_neon, sub_assign_neon,
+                       any_abs_exceeds_neon, support_walk_neon,
+                       SimdLevel::kNeon};
+
+}  // namespace
+
+const Ops& neon_ops() noexcept { return kNeonOps; }
+
+}  // namespace awd::linalg::kernels
+
+#endif  // AWD_SIMD_KERNELS_NEON

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "linalg/kernels.hpp"
+
 namespace awd::linalg {
 
 /// Dense real-valued vector with size-checked elementwise arithmetic.
@@ -52,6 +54,11 @@ class Vec {
 
   [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
 
+  /// Contiguous storage (may be null when empty) — the handle the
+  /// linalg::kernels entry points take.
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
   [[nodiscard]] auto begin() noexcept { return data_.begin(); }
   [[nodiscard]] auto end() noexcept { return data_.end(); }
   [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
@@ -59,13 +66,13 @@ class Vec {
 
   Vec& operator+=(const Vec& o) {
     check_same_size(o, "Vec::operator+=");
-    for (std::size_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+    kernels::add_assign(data_.data(), o.data_.data(), size());
     return *this;
   }
 
   Vec& operator-=(const Vec& o) {
     check_same_size(o, "Vec::operator-=");
-    for (std::size_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+    kernels::sub_assign(data_.data(), o.data_.data(), size());
     return *this;
   }
 
@@ -126,10 +133,7 @@ class Vec {
   /// This is the per-dimension alarm test from §4.1 with vector threshold τ.
   [[nodiscard]] bool any_exceeds(const Vec& thresh) const {
     check_same_size(thresh, "Vec::any_exceeds");
-    for (std::size_t i = 0; i < size(); ++i) {
-      if (std::abs(data_[i]) > thresh[i]) return true;
-    }
-    return false;
+    return kernels::any_abs_exceeds(data_.data(), thresh.data_.data(), size());
   }
 
   /// True iff every element is finite (no NaN, no ±Inf).  The degradation

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -53,32 +54,37 @@ DeadlineEstimator::DeadlineEstimator(const models::DiscreteLti& model, Box u_ran
   // checks.  Dimensions the safe set leaves fully unconstrained can never
   // fail and are dropped; the remaining checks replicate the reach_box
   // arithmetic exactly (same terms, same association) so the cached walk is
-  // bit-identical to the uncached recursion.
+  // bit-identical to the uncached recursion on every kernel set.
   const std::size_t n = model.state_dim();
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  checks_.reserve(config_.max_window);
+  table_.dim = n;
+  std::vector<double> rows, drifts, spreads, los, his;
   for (std::size_t t = 1; t <= config_.max_window; ++t) {
-    std::vector<DimCheck> step;
+    rows.clear();
+    drifts.clear();
+    spreads.clear();
+    los.clear();
+    his.clear();
     for (std::size_t i = 0; i < n; ++i) {
       const Interval& s = safe_[i];
       if (s.lo == -kInf && s.hi == kInf) continue;
-      DimCheck c;
-      c.row = reach_.a_power(t).row_vec(i);
-      c.drift = reach_.cum_drift(t)[i];
+      const Vec row = reach_.a_power(t).row_vec(i);
+      rows.insert(rows.end(), row.begin(), row.end());
+      drifts.push_back(reach_.cum_drift(t)[i]);
 #ifdef AWD_MUT_STALE_CACHE_TERM
       // [mutation-smoke seeded bug] caches the previous step's noise term:
       // under-approximates the reach box, over-states the deadline.
-      c.spread = reach_.cum_spread(t)[i] + reach_.cum_noise(t - 1)[i] +
-                 config_.init_radius * reach_.initial_ball_scale(t)[i];
+      spreads.push_back(reach_.cum_spread(t)[i] + reach_.cum_noise(t - 1)[i] +
+                        config_.init_radius * reach_.initial_ball_scale(t)[i]);
 #else
-      c.spread = reach_.cum_spread(t)[i] + reach_.cum_noise(t)[i] +
-                 config_.init_radius * reach_.initial_ball_scale(t)[i];
+      spreads.push_back(reach_.cum_spread(t)[i] + reach_.cum_noise(t)[i] +
+                        config_.init_radius * reach_.initial_ball_scale(t)[i]);
 #endif
-      c.lo = s.lo;
-      c.hi = s.hi;
-      step.push_back(std::move(c));
+      los.push_back(s.lo);
+      his.push_back(s.hi);
     }
-    checks_.push_back(std::move(step));
+    table_.push_step(rows.data(), drifts.data(), spreads.data(), los.data(),
+                     his.data(), drifts.size());
   }
 }
 
@@ -87,23 +93,17 @@ std::size_t DeadlineEstimator::walk(const Vec& x0, std::size_t cap,
   // R̄ ∩ F = ∅  ⟺  R̄ ⊆ S when F is the complement of the safe box S, so
   // the search tests box containment step by step (Fig. 2), reading the
   // precomputed per-step terms instead of re-running the reach recursion.
-  for (std::size_t t = 1; t <= cap; ++t) {
-    for (const DimCheck& c : checks_[t - 1]) {
-      const double center = c.row.dot(x0) + c.drift;
-      if (!(c.lo <= center - c.spread && center + c.spread <= c.hi)) {
-        resolved = true;
+  // The kernel reports the first *failing* reach step t; the deadline is
+  // the last trusted step before it.
+  const std::size_t t = linalg::kernels::support_walk(table_, x0.data(), cap, resolved);
+  if (!resolved) return cap;
 #ifdef AWD_MUT_DEADLINE_OFF_BY_ONE
-        // [mutation-smoke seeded bug] reports the first *unsafe* step as the
-        // deadline — one step more than the plant can actually be trusted.
-        return t;
+  // [mutation-smoke seeded bug] reports the first *unsafe* step as the
+  // deadline — one step more than the plant can actually be trusted.
+  return t;
 #else
-        return t - 1;
+  return t - 1;
 #endif
-      }
-    }
-  }
-  resolved = false;
-  return cap;
 }
 
 std::size_t DeadlineEstimator::estimate(const Vec& x0) const {

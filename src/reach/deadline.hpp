@@ -23,9 +23,9 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
 #include "core/status.hpp"
+#include "linalg/kernels.hpp"
 #include "reach/reach.hpp"
 
 namespace awd::reach {
@@ -86,30 +86,21 @@ class DeadlineEstimator {
   [[nodiscard]] const DeadlineConfig& config() const noexcept { return config_; }
 
  private:
-  // One precomputed containment test: safe dimension i at step t.  The
-  // reach box at step t stays inside [lo, hi] iff
-  //   lo <= center - spread  &&  center + spread <= hi,
-  // with center = row·x0 + drift (row = row i of A^t) — the exact
-  // operations reach_box + Box::contains perform, in the same order.
-  struct DimCheck {
-    Vec row;            ///< row i of A^t
-    double drift = 0;   ///< Σ_{j<t} (A^j B c)_i
-    double spread = 0;  ///< input + uncertainty + init_radius·‖row_i(A^t)‖₂ spread
-    double lo = 0;      ///< safe-set lower bound of dimension i
-    double hi = 0;      ///< safe-set upper bound of dimension i
-  };
-
   /// Cached-box walk shared by estimate / estimate_checked: first step in
   /// [1, cap] whose box escapes the safe set yields deadline t - 1;
   /// `resolved` is false when the walk exhausts cap without finding the
-  /// boundary.
+  /// boundary.  Runs on the vectorized support-function kernel: the
+  /// flattened checks live in a linalg::kernels::SupportTable whose lanes
+  /// replicate the reach_box + Box::contains arithmetic per constrained
+  /// dimension (lo <= row·x0 + drift - spread && ... <= hi), so the walk
+  /// stays bit-identical to the uncached recursion on every kernel set.
   [[nodiscard]] std::size_t walk(const Vec& x0, std::size_t cap,
                                  bool& resolved) const noexcept;
 
   ReachSystem reach_;
   Box safe_;
   DeadlineConfig config_;
-  std::vector<std::vector<DimCheck>> checks_;  ///< index t-1 → constrained dims at step t
+  linalg::kernels::SupportTable table_;  ///< step t-1 → constrained-dim checks
 };
 
 }  // namespace awd::reach

@@ -169,10 +169,12 @@ core::Result<std::vector<std::uint8_t>> StreamEngine::checkpoint() const {
 
   for (const StreamId id : running_ids) {
     const auto& loc = running_.at(id);
-    const StreamRuntime& rt = *shards_[loc.first].slots[loc.second];
+    const Shard& shard = shards_[loc.first];
+    const std::size_t slot = loc.second;
+    const StreamRuntime& rt = *shard.slots[slot];
     ckpt::Writer& s = builder.section(kSectionStream);
     s.u64(rt.id);
-    s.u64(rt.steps_done);
+    s.u64(shard.soa.steps_done[slot]);
     ckpt::Writer spec_w;
     write_spec(spec_w, rt.spec);
     fp.bytes(spec_w.data().data(), spec_w.size());
@@ -180,11 +182,14 @@ core::Result<std::vector<std::uint8_t>> StreamEngine::checkpoint() const {
     ckpt::Writer state;
     rt.system.serialize(state);
     rt.metrics.serialize(state);
-    state.u64(rt.deadline);
-    state.u64(rt.window);
-    state.b(rt.adaptive_alarm);
-    state.b(rt.fixed_alarm);
-    state.u8(static_cast<std::uint8_t>(rt.health));
+    // The SoA is a runtime layout only: the stream section serializes the
+    // same scalar sequence as ever, so images are byte-identical to the
+    // pre-SoA (and cross-AWD_SIMD) encodings.
+    state.u64(shard.soa.deadline[slot]);
+    state.u64(shard.soa.window[slot]);
+    state.b(shard.soa.adaptive_alarm[slot] != 0);
+    state.b(shard.soa.fixed_alarm[slot] != 0);
+    state.u8(shard.soa.health[slot]);
     s.block(state.data());
   }
 
@@ -326,13 +331,14 @@ core::Status StreamEngine::restore(const std::vector<std::uint8_t>& bytes) {
 
         auto runtime = std::make_unique<StreamRuntime>(
             id, std::move(spec), std::move(system), std::move(metrics));
-        runtime->steps_done = static_cast<std::size_t>(steps_done);
-        runtime->deadline = static_cast<std::size_t>(deadline);
-        runtime->window = static_cast<std::size_t>(window);
-        runtime->adaptive_alarm = adaptive_alarm;
-        runtime->fixed_alarm = fixed_alarm;
-        runtime->health = health;
-        place_runtime_(std::move(runtime));
+        const auto [shard_index, slot] = place_runtime_(std::move(runtime));
+        StreamSoa& soa = shards_[shard_index].soa;
+        soa.steps_done[slot] = static_cast<std::size_t>(steps_done);
+        soa.deadline[slot] = static_cast<std::size_t>(deadline);
+        soa.window[slot] = static_cast<std::size_t>(window);
+        soa.adaptive_alarm[slot] = adaptive_alarm ? 1 : 0;
+        soa.fixed_alarm[slot] = fixed_alarm ? 1 : 0;
+        soa.health[slot] = static_cast<std::uint8_t>(health);
         break;
       }
       case kSectionPending: {

@@ -143,8 +143,10 @@ core::Status StreamEngine::admit_(StreamId id, StreamSpec&& spec) {
   return core::Status::ok();
 }
 
-void StreamEngine::place_runtime_(std::unique_ptr<StreamRuntime> runtime) {
+std::pair<std::size_t, std::size_t> StreamEngine::place_runtime_(
+    std::unique_ptr<StreamRuntime> runtime) {
   const StreamId id = runtime->id;
+  const std::size_t steps_total = runtime->spec.steps;
   const std::size_t shard_index = next_shard_++ % shards_.size();
   Shard& shard = shards_[shard_index];
   std::size_t slot;
@@ -156,7 +158,18 @@ void StreamEngine::place_runtime_(std::unique_ptr<StreamRuntime> runtime) {
     slot = shard.slots.size();
     shard.slots.push_back(std::move(runtime));
   }
+  // Seed every SoA lane — a reused slot must not leak the previous
+  // occupant's progress or outputs.
+  shard.soa.ensure(slot);
+  shard.soa.steps_total[slot] = steps_total;
+  shard.soa.steps_done[slot] = 0;
+  shard.soa.deadline[slot] = 0;
+  shard.soa.window[slot] = 0;
+  shard.soa.adaptive_alarm[slot] = 0;
+  shard.soa.fixed_alarm[slot] = 0;
+  shard.soa.health[slot] = static_cast<std::uint8_t>(fault::HealthState::kNominal);
   running_.emplace(id, std::make_pair(shard_index, slot));
+  return {shard_index, slot};
 }
 
 void StreamEngine::admit_pending_() {
@@ -180,26 +193,29 @@ void StreamEngine::admit_pending_() {
 void StreamEngine::step_shard_(Shard& shard, std::size_t budget) {
   const obs::ScopedSpan span(ServeObs::get().shard_step, "serve.shard_step", "serve");
   shard.stepped = 0;
+  StreamSoa& soa = shard.soa;
   for (std::size_t i = 0; i < shard.slots.size(); ++i) {
     if (!shard.slots[i]) continue;
     StreamRuntime& stream = *shard.slots[i];
     // Advance this stream up to `budget` control periods while its state is
     // cache-hot.  Streams are independent, so the chunked interleaving is
-    // invisible to per-stream results.
-    const std::size_t remaining = stream.steps_total - stream.steps_done;
+    // invisible to per-stream results.  Progress and last-output lanes live
+    // in the shard's SoA batch, so this sweep touches contiguous arrays
+    // plus the one pipeline it is stepping.
+    const std::size_t remaining = soa.steps_total[i] - soa.steps_done[i];
     const std::size_t chunk = remaining < budget ? remaining : budget;
     for (std::size_t k = 0; k < chunk; ++k) {
       stream.system.step_into(shard.rec);
       stream.metrics.observe(shard.rec);
     }
-    stream.deadline = shard.rec.deadline;
-    stream.window = shard.rec.window;
-    stream.adaptive_alarm = shard.rec.adaptive_alarm;
-    stream.fixed_alarm = shard.rec.fixed_alarm;
-    stream.health = shard.rec.health;
-    stream.steps_done += chunk;
+    soa.deadline[i] = shard.rec.deadline;
+    soa.window[i] = shard.rec.window;
+    soa.adaptive_alarm[i] = shard.rec.adaptive_alarm ? 1 : 0;
+    soa.fixed_alarm[i] = shard.rec.fixed_alarm ? 1 : 0;
+    soa.health[i] = static_cast<std::uint8_t>(shard.rec.health);
+    soa.steps_done[i] += chunk;
     shard.stepped += chunk;
-    if (stream.steps_done == stream.steps_total) shard.finished.push_back(i);
+    if (soa.steps_done[i] == soa.steps_total[i]) shard.finished.push_back(i);
   }
 }
 
@@ -210,10 +226,10 @@ void StreamEngine::finalize_finished_() {
       StreamRuntime& stream = *shard.slots[slot];
       StreamResult result;
       result.id = stream.id;
-      result.steps = stream.steps_done;
+      result.steps = shard.soa.steps_done[slot];
       result.adaptive = stream.metrics.finish(core::Strategy::kAdaptive);
       result.fixed = stream.metrics.finish(core::Strategy::kFixed);
-      result.final_health = stream.health;
+      result.final_health = static_cast<fault::HealthState>(shard.soa.health[slot]);
       result.adaptive_evaluations = stream.system.adaptive_evaluations();
       finished_.emplace(stream.id, std::move(result));
       running_.erase(stream.id);
@@ -286,15 +302,16 @@ core::Result<StreamStatus> StreamEngine::status(StreamId id) const {
   StreamStatus st;
   st.id = id;
   if (auto it = running_.find(id); it != running_.end()) {
-    const StreamRuntime& stream = *shards_[it->second.first].slots[it->second.second];
+    const Shard& shard = shards_[it->second.first];
+    const std::size_t slot = it->second.second;
     st.state = StreamState::kRunning;
-    st.steps_done = stream.steps_done;
-    st.steps_total = stream.steps_total;
-    st.deadline = stream.deadline;
-    st.window = stream.window;
-    st.adaptive_alarm = stream.adaptive_alarm;
-    st.fixed_alarm = stream.fixed_alarm;
-    st.health = stream.health;
+    st.steps_done = shard.soa.steps_done[slot];
+    st.steps_total = shard.soa.steps_total[slot];
+    st.deadline = shard.soa.deadline[slot];
+    st.window = shard.soa.window[slot];
+    st.adaptive_alarm = shard.soa.adaptive_alarm[slot] != 0;
+    st.fixed_alarm = shard.soa.fixed_alarm[slot] != 0;
+    st.health = static_cast<fault::HealthState>(shard.soa.health[slot]);
     return st;
   }
   if (auto it = finished_.find(id); it != finished_.end()) {

@@ -217,30 +217,55 @@ class StreamEngine {
   [[nodiscard]] core::Status rebalance(std::size_t new_shards);
 
  private:
-  /// One admitted stream: its normalized spec (retained as the
-  /// checkpoint/restore source of truth), its pipeline, its O(1) scorer,
-  /// and the last step's detection outputs for the snapshot API.
+  /// One admitted stream's cold state: its normalized spec (retained as the
+  /// checkpoint/restore source of truth), its pipeline, and its O(1)
+  /// scorer.  The per-step hot scalars (progress, last detection outputs)
+  /// live in the shard's structure-of-arrays batch instead — the inner step
+  /// loop walks those contiguous lanes rather than chasing one heap object
+  /// per stream.
   struct StreamRuntime {
     StreamId id;
     StreamSpec spec;
     core::DetectionSystem system;
     core::StreamingMetrics metrics;
-    std::size_t steps_total;
-    std::size_t steps_done = 0;
-    // Snapshot scalars (mirrors of the last stepped record).
-    std::size_t deadline = 0;
-    std::size_t window = 0;
-    bool adaptive_alarm = false;
-    bool fixed_alarm = false;
-    fault::HealthState health = fault::HealthState::kNominal;
 
     StreamRuntime(StreamId id_, StreamSpec spec_, core::DetectionSystem system_,
                   core::StreamingMetrics metrics_)
         : id(id_),
           spec(std::move(spec_)),
           system(std::move(system_)),
-          metrics(std::move(metrics_)),
-          steps_total(spec.steps) {}
+          metrics(std::move(metrics_)) {}
+  };
+
+  /// Structure-of-arrays batch of per-stream hot state, indexed by slot in
+  /// parallel with Shard::slots.  Progress counters and the last step's
+  /// detection outputs are what the batched loop, the snapshot API, and the
+  /// checkpoint writer read per stream — contiguous per-field lanes make
+  /// those sweeps cache-linear instead of chasing one heap object per
+  /// stream.  Entries of freed slots are stale until the slot is reused
+  /// (placement rewrites every lane); the SoA is a runtime layout only and
+  /// never enters the checkpoint image.
+  struct StreamSoa {
+    std::vector<std::size_t> steps_total;
+    std::vector<std::size_t> steps_done;
+    std::vector<std::size_t> deadline;
+    std::vector<std::size_t> window;
+    std::vector<std::uint8_t> adaptive_alarm;
+    std::vector<std::uint8_t> fixed_alarm;
+    std::vector<std::uint8_t> health;  ///< fault::HealthState underlying value
+
+    /// Grow every lane to cover `slot` (new lanes zero-initialized).
+    void ensure(std::size_t slot) {
+      if (slot < steps_total.size()) return;
+      const std::size_t n = slot + 1;
+      steps_total.resize(n, 0);
+      steps_done.resize(n, 0);
+      deadline.resize(n, 0);
+      window.resize(n, 0);
+      adaptive_alarm.resize(n, 0);
+      fixed_alarm.resize(n, 0);
+      health.resize(n, 0);
+    }
   };
 
   /// One worker's partition.  The shard's StepRecord is the arena every one
@@ -249,6 +274,7 @@ class StreamEngine {
   /// vectors hold the maximum dimension seen and the loop stops allocating.
   struct Shard {
     std::vector<std::unique_ptr<StreamRuntime>> slots;  ///< nullptr = free
+    StreamSoa soa;                      ///< hot per-stream state, slot-parallel
     std::vector<std::size_t> free_slots;
     std::vector<std::size_t> finished;  ///< slots that completed this batch
     sim::StepRecord rec;                ///< reused step arena
@@ -263,10 +289,13 @@ class StreamEngine {
 
   void admit_pending_();
   core::Status admit_(StreamId id, StreamSpec&& spec);
-  /// Round-robin a runtime into the next shard's free slot and index it in
-  /// running_ — shared by admission and restore (which must not touch the
-  /// admission counters).
-  void place_runtime_(std::unique_ptr<StreamRuntime> runtime);
+  /// Round-robin a runtime into the next shard's free slot, seed its SoA
+  /// lanes (progress zeroed, outputs nominal), and index it in running_ —
+  /// shared by admission and restore (which must not touch the admission
+  /// counters).  Returns the (shard, slot) location so restore can overwrite
+  /// the SoA lanes with the snapshot's progress and last outputs.
+  std::pair<std::size_t, std::size_t> place_runtime_(
+      std::unique_ptr<StreamRuntime> runtime);
   /// Build the effective DetectionSystemOptions for a spec: engine serving
   /// policy applied, shared deadline estimator filled from (and published
   /// to) the per-family cache.

@@ -112,10 +112,10 @@ void Simulator::step_into(StepRecord& rec) {
     rec.predicted = rec.estimate;  // no prior step; define residual as zero
     rec.residual.assign(n, 0.0);
   } else {
-    plant_.model().step_into(prev_estimate_, prev_control_, rec.predicted, mul_scratch_);
-    rec.residual = rec.predicted;
-    rec.residual -= rec.estimate;
-    for (double& z : rec.residual) z = std::abs(z);
+    plant_.predict_into(prev_estimate_, prev_control_, rec.predicted, mul_scratch_);
+    rec.residual.assign(n, 0.0);
+    linalg::kernels::abs_diff(rec.predicted.data(), rec.estimate.data(),
+                              rec.residual.data(), n);
   }
 
   // 5-6. Control and plant advance (applying any scheduled setpoint change

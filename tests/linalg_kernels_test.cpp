@@ -1,0 +1,421 @@
+// Unit tests for the SIMD hot-path kernels (src/linalg/kernels.*).
+//
+// The contract under test is bit-identity: every vector kernel set must
+// reproduce the scalar reference set bit for bit — including NaN/Inf
+// propagation, signed zeros, and dimension remainders that do not fill a
+// vector lane.  Each case therefore runs the kernel once under the forced
+// scalar set and once under the best runtime set, and compares outputs with
+// exact bit equality (ULP bound 0).  On a host without a vector set the two
+// runs collapse onto the same code path and the tests degenerate to
+// self-consistency, which is the intended behavior.
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vec.hpp"
+
+namespace awd::linalg::kernels {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// RAII pin of the dispatch level (restores the previous level on exit so a
+/// failing test cannot leak a forced-scalar process state).
+class LevelGuard {
+ public:
+  explicit LevelGuard(SimdLevel level) : previous_(active_level()) {
+    (void)force_level(level);
+  }
+  ~LevelGuard() { (void)force_level(previous_); }
+  LevelGuard(const LevelGuard&) = delete;
+  LevelGuard& operator=(const LevelGuard&) = delete;
+
+ private:
+  SimdLevel previous_;
+};
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+std::vector<double> random_values(std::mt19937_64& rng, std::size_t n) {
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+Matrix random_matrix(std::mt19937_64& rng, std::size_t rows, std::size_t cols) {
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = dist(rng);
+  }
+  return m;
+}
+
+TEST(KernelLevels, ScalarAlwaysAvailableAndForceRoundTrips) {
+  const SimdLevel runtime = runtime_level();
+  {
+    const LevelGuard pin(SimdLevel::kScalar);
+    EXPECT_EQ(active_level(), SimdLevel::kScalar);
+  }
+  // The guard restored whatever the process started with; runtime_level is
+  // always reachable.
+  EXPECT_EQ(force_level(runtime), runtime);
+  EXPECT_EQ(active_level(), runtime);
+}
+
+TEST(KernelLevels, CompiledClampsRuntimeAndNamesAreStable) {
+  EXPECT_LE(static_cast<int>(runtime_level()), static_cast<int>(compiled_level()));
+  EXPECT_STREQ(level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(level_name(SimdLevel::kNeon), "neon");
+  EXPECT_STREQ(level_name(SimdLevel::kAvx2), "avx2");
+  EXPECT_EQ(lane_width(SimdLevel::kScalar), 1u);
+  EXPECT_EQ(lane_width(SimdLevel::kNeon), 2u);
+  EXPECT_EQ(lane_width(SimdLevel::kAvx2), 4u);
+}
+
+// Gemv over every dimension from 1 to 13 covers full lanes, remainder
+// groups of every phase, and the 1-dim degenerate panel; bit-compared both
+// against the scalar kernel and against Matrix::mul_into (the semantics the
+// panel is documented to replicate).
+TEST(KernelGemv, BitIdenticalToScalarAndMulIntoAcrossDims) {
+  std::mt19937_64 rng(20260808);
+  for (std::size_t n = 1; n <= 13; ++n) {
+    for (std::size_t m = 1; m <= 5; ++m) {
+      const Matrix a = random_matrix(rng, n, m);
+      const std::vector<double> x = random_values(rng, m);
+      GemvPanel panel;
+      panel.assign(a);
+      ASSERT_EQ(panel.rows, n);
+      ASSERT_EQ(panel.cols, m);
+      ASSERT_EQ(panel.padded % GemvPanel::kPanelPad, 0u);
+
+      std::vector<double> y_simd(n, 7.0);
+      std::vector<double> y_scalar(n, -7.0);
+      gemv(panel, x.data(), y_simd.data());
+      {
+        const LevelGuard pin(SimdLevel::kScalar);
+        gemv(panel, x.data(), y_scalar.data());
+      }
+      EXPECT_TRUE(bits_equal(y_simd, y_scalar)) << "n=" << n << " m=" << m;
+
+      Vec ref;
+      a.mul_into(Vec(std::vector<double>(x)), ref);
+      EXPECT_TRUE(bits_equal(y_simd, ref.raw())) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(KernelGemv, EmptyMatrixAndZeroInputDim) {
+  GemvPanel panel;
+  panel.assign(Matrix(0, 0));
+  EXPECT_TRUE(panel.empty());
+  gemv(panel, nullptr, nullptr);  // zero loop trips: must not touch memory
+
+  // Zero-column panel: every output row is the empty sum.
+  panel.assign(Matrix(3, 0));
+  std::vector<double> y(3, 99.0);
+  gemv(panel, nullptr, y.data());
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(KernelGemv, NonFiniteRowsPropagateIdentically) {
+  Matrix a(5, 3);
+  a(0, 0) = kNan;
+  a(1, 1) = kInf;
+  a(2, 2) = -kInf;
+  a(3, 0) = 1.0;
+  a(4, 2) = std::numeric_limits<double>::denorm_min();
+  const std::vector<double> x{1.0, -2.0, 0.5};
+  GemvPanel panel;
+  panel.assign(a);
+
+  std::vector<double> y_simd(5), y_scalar(5);
+  gemv(panel, x.data(), y_simd.data());
+  {
+    const LevelGuard pin(SimdLevel::kScalar);
+    gemv(panel, x.data(), y_scalar.data());
+  }
+  EXPECT_TRUE(std::isnan(y_simd[0]));
+  EXPECT_EQ(y_simd[1], -kInf);  // Inf * x[1] with x[1] = -2.0
+  EXPECT_EQ(y_simd[2], -kInf);  // -Inf * x[2] with x[2] = 0.5
+  EXPECT_TRUE(bits_equal(y_simd, y_scalar));
+}
+
+TEST(KernelElementwise, AbsDiffMatchesScalarIncludingNonFinite) {
+  std::mt19937_64 rng(7);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{3}, std::size_t{4}, std::size_t{5},
+                              std::size_t{7}, std::size_t{8}, std::size_t{12},
+                              std::size_t{13}}) {
+    std::vector<double> a = random_values(rng, n);
+    std::vector<double> b = random_values(rng, n);
+    if (n >= 3) {
+      a[0] = kNan;           // NaN - x = NaN, |NaN| = NaN
+      b[1] = kInf;           // x - Inf = -Inf, |..| = Inf
+      a[2] = b[2];           // exact zero difference
+    }
+    std::vector<double> out_simd(n, -1.0), out_scalar(n, -1.0);
+    abs_diff(a.data(), b.data(), out_simd.data(), n);
+    {
+      const LevelGuard pin(SimdLevel::kScalar);
+      abs_diff(a.data(), b.data(), out_scalar.data(), n);
+    }
+    EXPECT_TRUE(bits_equal(out_simd, out_scalar)) << "n=" << n;
+  }
+}
+
+TEST(KernelElementwise, AbsDiffSupportsAliasedOutput) {
+  std::mt19937_64 rng(11);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{6},
+                              std::size_t{9}}) {
+    const std::vector<double> a = random_values(rng, n);
+    const std::vector<double> b = random_values(rng, n);
+    std::vector<double> expect(n);
+    abs_diff(a.data(), b.data(), expect.data(), n);
+
+    std::vector<double> alias_a = a;  // out aliases the first operand
+    abs_diff(alias_a.data(), b.data(), alias_a.data(), n);
+    EXPECT_TRUE(bits_equal(alias_a, expect)) << "n=" << n;
+
+    std::vector<double> alias_b = b;  // out aliases the second operand
+    abs_diff(a.data(), alias_b.data(), alias_b.data(), n);
+    EXPECT_TRUE(bits_equal(alias_b, expect)) << "n=" << n;
+  }
+}
+
+TEST(KernelElementwise, AddSubAssignMatchScalarAndSelfAlias) {
+  std::mt19937_64 rng(13);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{5}, std::size_t{11}}) {
+    const std::vector<double> base = random_values(rng, n);
+    const std::vector<double> delta = random_values(rng, n);
+
+    std::vector<double> add_simd = base;
+    std::vector<double> add_scalar = base;
+    add_assign(add_simd.data(), delta.data(), n);
+    {
+      const LevelGuard pin(SimdLevel::kScalar);
+      add_assign(add_scalar.data(), delta.data(), n);
+    }
+    EXPECT_TRUE(bits_equal(add_simd, add_scalar)) << "n=" << n;
+
+    std::vector<double> sub_simd = base;
+    std::vector<double> sub_scalar = base;
+    sub_assign(sub_simd.data(), delta.data(), n);
+    {
+      const LevelGuard pin(SimdLevel::kScalar);
+      sub_assign(sub_scalar.data(), delta.data(), n);
+    }
+    EXPECT_TRUE(bits_equal(sub_simd, sub_scalar)) << "n=" << n;
+
+    // v += v doubles each element; v -= v zeroes each element (with the
+    // scalar's signed-zero behavior: x - x = +0.0 for finite x).
+    std::vector<double> self = base;
+    add_assign(self.data(), self.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(self[i], base[i] + base[i]);
+    self = base;
+    sub_assign(self.data(), self.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(self[i], 0.0);
+  }
+}
+
+TEST(KernelThreshold, AnyAbsExceedsMatchesScalarSemantics) {
+  // Strictly-greater, NaN never exceeds (ordered compare), Inf always does.
+  const std::vector<double> tau{1.0, 2.0, 3.0, 4.0, 5.0};
+  for (const SimdLevel level : {runtime_level(), SimdLevel::kScalar}) {
+    const LevelGuard pin(level);
+    EXPECT_FALSE(any_abs_exceeds(std::vector<double>{1.0, -2.0, 3.0, -4.0, 5.0}.data(),
+                                 tau.data(), 5));  // equality is not exceedance
+    EXPECT_TRUE(any_abs_exceeds(std::vector<double>{0.0, 0.0, 0.0, 0.0, -5.5}.data(),
+                                tau.data(), 5));  // remainder lane fires
+    EXPECT_TRUE(any_abs_exceeds(std::vector<double>{0.0, 2.5, 0.0, 0.0, 0.0}.data(),
+                                tau.data(), 5));  // full-lane group fires
+    EXPECT_FALSE(any_abs_exceeds(std::vector<double>{kNan, kNan, kNan, kNan, kNan}.data(),
+                                 tau.data(), 5));  // NaN is silent
+    EXPECT_TRUE(any_abs_exceeds(std::vector<double>{0.0, -kInf, 0.0, 0.0, 0.0}.data(),
+                                tau.data(), 5));
+    EXPECT_FALSE(any_abs_exceeds(nullptr, nullptr, 0));
+  }
+}
+
+// Reference reimplementation of the support walk straight from the header's
+// containment formula, evaluated on the padded table layout.
+std::size_t reference_walk(const SupportTable& table, const double* x0,
+                           std::size_t cap, bool& resolved) {
+  for (std::size_t t = 1; t <= cap; ++t) {
+    const SupportTable::Step& st = table.steps[t - 1];
+    for (std::size_t k = 0; k < st.count; ++k) {
+      double center = 0.0;
+      for (std::size_t j = 0; j < table.dim; ++j) {
+        center += table.rows[st.row_off + j * st.padded + k] * x0[j];
+      }
+      center += table.drift[st.scalar_off + k];
+      const double spread = table.spread[st.scalar_off + k];
+      if (!(table.lo[st.scalar_off + k] <= center - spread &&
+            center + spread <= table.hi[st.scalar_off + k])) {
+        resolved = true;
+        return t;
+      }
+    }
+  }
+  resolved = false;
+  return cap;
+}
+
+SupportTable random_table(std::mt19937_64& rng, std::size_t dim,
+                          std::size_t steps, std::size_t checks_per_step) {
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  SupportTable table;
+  table.dim = dim;
+  std::vector<double> rows, drifts, spreads, los, his;
+  for (std::size_t t = 0; t < steps; ++t) {
+    rows.clear();
+    drifts.clear();
+    spreads.clear();
+    los.clear();
+    his.clear();
+    for (std::size_t k = 0; k < checks_per_step; ++k) {
+      for (std::size_t j = 0; j < dim; ++j) rows.push_back(dist(rng));
+      drifts.push_back(dist(rng));
+      spreads.push_back(std::abs(dist(rng)) * 0.1);
+      // Bounds wide enough that early steps usually pass, tight enough that
+      // some table resolves mid-walk.
+      los.push_back(-4.0 - static_cast<double>(t));
+      his.push_back(4.0 + static_cast<double>(t));
+    }
+    table.push_step(rows.data(), drifts.data(), spreads.data(), los.data(),
+                    his.data(), checks_per_step);
+  }
+  return table;
+}
+
+TEST(KernelSupportWalk, MatchesReferenceAcrossShapesAndLevels) {
+  std::mt19937_64 rng(20260808);
+  for (const std::size_t dim : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                std::size_t{4}, std::size_t{12}}) {
+    for (const std::size_t checks : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{3}, std::size_t{4},
+                                     std::size_t{5}, std::size_t{7}}) {
+      const SupportTable table = random_table(rng, dim, 20, checks);
+      const std::vector<double> x0 = random_values(rng, dim);
+
+      bool ref_resolved = false;
+      const std::size_t ref_t = reference_walk(table, x0.data(), 20, ref_resolved);
+      for (const SimdLevel level : {runtime_level(), SimdLevel::kScalar}) {
+        const LevelGuard pin(level);
+        bool resolved = false;
+        const std::size_t t = support_walk(table, x0.data(), 20, resolved);
+        EXPECT_EQ(t, ref_t) << "dim=" << dim << " checks=" << checks
+                            << " level=" << level_name(level);
+        EXPECT_EQ(resolved, ref_resolved);
+      }
+    }
+  }
+}
+
+TEST(KernelSupportWalk, CapShortOfBoundaryLeavesUnresolved) {
+  std::mt19937_64 rng(3);
+  const SupportTable table = random_table(rng, 3, 30, 2);
+  const std::vector<double> x0{100.0, -100.0, 50.0};  // escapes early
+  bool resolved = false;
+  const std::size_t full = support_walk(table, x0.data(), 30, resolved);
+  ASSERT_TRUE(resolved);
+  ASSERT_GE(full, 1u);
+
+  // Capping below the failing step must report resolved=false and the cap.
+  bool capped_resolved = true;
+  const std::size_t capped = support_walk(table, x0.data(), full - 1, capped_resolved);
+  EXPECT_FALSE(capped_resolved);
+  EXPECT_EQ(capped, full - 1);
+}
+
+TEST(KernelSupportWalk, NanSeedFailsLikeScalarAtEveryLevel) {
+  std::mt19937_64 rng(5);
+  const SupportTable table = random_table(rng, 2, 10, 3);
+  const std::vector<double> x0{kNan, 1.0};
+
+  bool scalar_resolved = false;
+  std::size_t scalar_t = 0;
+  {
+    const LevelGuard pin(SimdLevel::kScalar);
+    scalar_t = support_walk(table, x0.data(), 10, scalar_resolved);
+  }
+  // A NaN center is outside every finite box: the very first check fails.
+  EXPECT_TRUE(scalar_resolved);
+  EXPECT_EQ(scalar_t, 1u);
+
+  bool simd_resolved = false;
+  const std::size_t simd_t = support_walk(table, x0.data(), 10, simd_resolved);
+  EXPECT_EQ(simd_t, scalar_t);
+  EXPECT_EQ(simd_resolved, scalar_resolved);
+}
+
+TEST(KernelSupportWalk, PaddedLanesNeverResolveTheWalk) {
+  // One check per step forces 3 padded lanes per group on the widest set;
+  // bounds the live check always satisfies.  If a padded lane (drift 0,
+  // spread 0, lo -inf, hi +inf) could fail, this would resolve spuriously.
+  SupportTable table;
+  table.dim = 1;
+  const double row = 0.0;  // center stays 0 regardless of x0
+  const double drift = 0.0;
+  const double spread = 0.5;
+  const double lo = -1.0;
+  const double hi = 1.0;
+  for (int t = 0; t < 8; ++t) {
+    table.push_step(&row, &drift, &spread, &lo, &hi, 1);
+  }
+  const double x0 = 1e300;
+  for (const SimdLevel level : {runtime_level(), SimdLevel::kScalar}) {
+    const LevelGuard pin(level);
+    bool resolved = true;
+    EXPECT_EQ(support_walk(table, &x0, 8, resolved), 8u);
+    EXPECT_FALSE(resolved);
+  }
+}
+
+TEST(KernelSupportWalk, EmptyStepAndZeroCap) {
+  SupportTable table;
+  table.dim = 2;
+  // A step with zero live checks (fully unconstrained safe set) can never
+  // fail.
+  table.push_step(nullptr, nullptr, nullptr, nullptr, nullptr, 0);
+  const std::vector<double> x0{1.0, 2.0};
+  for (const SimdLevel level : {runtime_level(), SimdLevel::kScalar}) {
+    const LevelGuard pin(level);
+    bool resolved = true;
+    EXPECT_EQ(support_walk(table, x0.data(), 1, resolved), 1u);
+    EXPECT_FALSE(resolved);
+    resolved = true;
+    EXPECT_EQ(support_walk(table, x0.data(), 0, resolved), 0u);
+    EXPECT_FALSE(resolved);
+  }
+}
+
+TEST(KernelVecIntegration, VecOperatorsRouteThroughKernels) {
+  // Vec::operator+=/-=/any_exceeds are kernel-backed; sanity-check the
+  // wiring end to end on a remainder-heavy dimension.
+  Vec a{1.0, -2.0, 3.0, -4.0, 5.5};
+  const Vec b{0.5, 0.5, 0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_EQ(a, (Vec{1.5, -1.5, 3.5, -3.5, 6.0}));
+  a -= b;
+  EXPECT_EQ(a, (Vec{1.0, -2.0, 3.0, -4.0, 5.5}));
+  EXPECT_TRUE(a.any_exceeds(Vec{5.0, 5.0, 5.0, 5.0, 5.0}));
+  EXPECT_FALSE(a.any_exceeds(Vec{6.0, 6.0, 6.0, 6.0, 6.0}));
+}
+
+}  // namespace
+}  // namespace awd::linalg::kernels

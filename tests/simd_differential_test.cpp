@@ -1,0 +1,220 @@
+// Scalar <-> SIMD differential at the system level (DESIGN.md §14).  The
+// vector kernels promise an ULP bound of ZERO: every detector artifact —
+// step records, adaptive evaluation counts, StreamEngine checkpoint images —
+// must be bitwise identical whether the dispatch serves the scalar set or
+// the best runtime SIMD set.  On hosts whose best set IS scalar these tests
+// degenerate to replay determinism, which is exactly what the simd-off CI
+// leg should observe.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/detection_system.hpp"
+#include "linalg/kernels.hpp"
+#include "serve/stream_engine.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+namespace kn = awd::linalg::kernels;
+using awd::core::AttackKind;
+using awd::core::DetectionSystem;
+using awd::core::DetectionSystemOptions;
+using awd::core::SimulatorCase;
+using awd::core::simulator_case;
+
+/// Force `level` for the lifetime of the guard, restoring on destruction.
+class LevelGuard {
+ public:
+  explicit LevelGuard(kn::SimdLevel level) : prev_(kn::active_level()) {
+    (void)kn::force_level(level);
+  }
+  ~LevelGuard() { (void)kn::force_level(prev_); }
+  LevelGuard(const LevelGuard&) = delete;
+  LevelGuard& operator=(const LevelGuard&) = delete;
+
+ private:
+  kn::SimdLevel prev_;
+};
+
+void expect_records_equal(const awd::sim::StepRecord& a, const awd::sim::StepRecord& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.t, b.t) << what;
+  EXPECT_EQ(a.true_state, b.true_state) << what;
+  EXPECT_EQ(a.estimate, b.estimate) << what;
+  EXPECT_EQ(a.residual, b.residual) << what;
+  EXPECT_EQ(a.control, b.control) << what;
+  EXPECT_EQ(a.deadline, b.deadline) << what;
+  EXPECT_EQ(a.window, b.window) << what;
+  EXPECT_EQ(a.adaptive_alarm, b.adaptive_alarm) << what;
+  EXPECT_EQ(a.fixed_alarm, b.fixed_alarm) << what;
+  EXPECT_EQ(a.attack_active, b.attack_active) << what;
+  EXPECT_EQ(a.unsafe, b.unsafe) << what;
+}
+
+/// Cap a case's run length, re-fitting the attack window (and a replay
+/// attack's recorded segment, which must end before the attack starts).
+void cap_case(SimulatorCase& scase, std::size_t max_steps) {
+  scase.steps = std::min(scase.steps, max_steps);
+  if (scase.attack_start + scase.attack_duration > scase.steps) {
+    scase.attack_start = std::min(scase.attack_start, scase.steps / 2);
+    scase.attack_duration = std::min(scase.attack_duration, scase.steps - scase.attack_start);
+  }
+  if (scase.attack_start > 0) {
+    scase.replay_record_start = std::min(scase.replay_record_start, scase.attack_start - 1);
+  }
+}
+
+/// Build and run one pipeline entirely under `level` (construction caches the
+/// deadline terms, so the level must cover the constructor too).
+awd::sim::Trace run_pipeline(kn::SimdLevel level, const SimulatorCase& scase,
+                             AttackKind attack, std::uint64_t seed) {
+  LevelGuard guard(level);
+  DetectionSystem system(scase, attack, seed, DetectionSystemOptions{});
+  return system.run();
+}
+
+constexpr const char* kPlants[] = {"aircraft_pitch", "vehicle_turning", "series_rlc",
+                                   "dc_motor", "quadrotor"};
+constexpr AttackKind kAttacks[] = {AttackKind::kNone, AttackKind::kBias,
+                                   AttackKind::kDelay, AttackKind::kReplay,
+                                   AttackKind::kFreeze};
+
+// Every preset plant (state dims 1..12, so every gemv/support-walk remainder
+// shape), every attack kind: scalar and best-SIMD traces are bitwise equal.
+TEST(SimdDifferential, PipelineTraceBitIdentical) {
+  const kn::SimdLevel best = kn::runtime_level();
+  for (const char* key : kPlants) {
+    SimulatorCase scase = simulator_case(key);
+    cap_case(scase, 200);
+    for (std::size_t a = 0; a < 5; ++a) {
+      const AttackKind attack = kAttacks[a];
+      const std::uint64_t seed = 11 + a;
+      const awd::sim::Trace scalar = run_pipeline(kn::SimdLevel::kScalar, scase,
+                                                  attack, seed);
+      const awd::sim::Trace simd = run_pipeline(best, scase, attack, seed);
+      ASSERT_EQ(scalar.size(), simd.size()) << key << " attack " << a;
+      for (std::size_t t = 0; t < scalar.size(); ++t) {
+        expect_records_equal(scalar[t], simd[t],
+                             std::string(key) + " attack " + std::to_string(a) +
+                                 " t=" + std::to_string(t));
+      }
+    }
+  }
+}
+
+/// Submit a small mixed-plant batch; returns ids in submission order.
+std::vector<awd::serve::StreamId> submit_batch(awd::serve::StreamEngine& engine) {
+  std::vector<awd::serve::StreamId> ids;
+  for (const char* key : {"aircraft_pitch", "series_rlc", "dc_motor"}) {
+    const SimulatorCase scase = simulator_case(key);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      awd::core::Result<awd::serve::StreamId> id = engine.submit(
+          {.scase = scase, .attack = kAttacks[seed % 5], .seed = seed});
+      EXPECT_TRUE(id.is_ok()) << id.status().message();
+      ids.push_back(id.value());
+    }
+  }
+  return ids;
+}
+
+// A StreamEngine checkpoint image taken mid-run must be byte-identical
+// regardless of which kernel set produced it — the serialized state is
+// layout- and instruction-set-independent.
+TEST(SimdDifferential, EngineCheckpointBytesLevelIndependent) {
+  const kn::SimdLevel best = kn::runtime_level();
+
+  std::vector<std::uint8_t> scalar_image;
+  {
+    LevelGuard guard(kn::SimdLevel::kScalar);
+    awd::serve::StreamEngine engine({.threads = 2, .max_streams = 16});
+    submit_batch(engine);
+    for (int k = 0; k < 41; ++k) engine.step_all();
+    awd::core::Result<std::vector<std::uint8_t>> snap = engine.checkpoint();
+    ASSERT_TRUE(snap.is_ok()) << snap.status().message();
+    scalar_image = snap.value();
+  }
+
+  std::vector<std::uint8_t> simd_image;
+  {
+    LevelGuard guard(best);
+    awd::serve::StreamEngine engine({.threads = 2, .max_streams = 16});
+    submit_batch(engine);
+    for (int k = 0; k < 41; ++k) engine.step_all();
+    awd::core::Result<std::vector<std::uint8_t>> snap = engine.checkpoint();
+    ASSERT_TRUE(snap.is_ok()) << snap.status().message();
+    simd_image = snap.value();
+  }
+
+  EXPECT_EQ(scalar_image, simd_image)
+      << "checkpoint images diverged between scalar and "
+      << kn::level_name(best) << " kernel sets";
+}
+
+// Cross-level resume: an image produced under the scalar set restores under
+// the SIMD set (and vice versa) and finishes bitwise equal to an
+// uninterrupted scalar run — checkpoints migrate freely between AWD_SIMD
+// build flavors and hosts.
+TEST(SimdDifferential, CrossLevelRestoreContinuesBitIdentical) {
+  const kn::SimdLevel best = kn::runtime_level();
+
+  // Uninterrupted scalar reference.
+  std::vector<awd::serve::StreamId> ids;
+  std::vector<awd::serve::StreamResult> want;
+  {
+    LevelGuard guard(kn::SimdLevel::kScalar);
+    awd::serve::StreamEngine reference({.threads = 2, .max_streams = 16});
+    ids = submit_batch(reference);
+    reference.run_to_completion();
+    for (awd::serve::StreamId id : ids) {
+      awd::core::Result<awd::serve::StreamResult> r = reference.drain(id);
+      ASSERT_TRUE(r.is_ok());
+      want.push_back(r.value());
+    }
+  }
+
+  struct Direction {
+    kn::SimdLevel produce;
+    kn::SimdLevel resume;
+    const char* what;
+  };
+  const Direction directions[] = {
+      {kn::SimdLevel::kScalar, best, "scalar image resumed under SIMD"},
+      {best, kn::SimdLevel::kScalar, "SIMD image resumed under scalar"},
+  };
+  for (const Direction& dir : directions) {
+    std::vector<std::uint8_t> image;
+    {
+      LevelGuard guard(dir.produce);
+      awd::serve::StreamEngine interrupted({.threads = 2, .max_streams = 16});
+      ASSERT_EQ(submit_batch(interrupted), ids) << dir.what;
+      for (int k = 0; k < 33; ++k) interrupted.step_all();
+      awd::core::Result<std::vector<std::uint8_t>> snap = interrupted.checkpoint();
+      ASSERT_TRUE(snap.is_ok()) << dir.what << ": " << snap.status().message();
+      image = snap.value();
+    }
+    LevelGuard guard(dir.resume);
+    awd::serve::StreamEngine restored({.threads = 2, .max_streams = 16});
+    ASSERT_TRUE(restored.restore(image).is_ok()) << dir.what;
+    restored.run_to_completion();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      awd::core::Result<awd::serve::StreamResult> r = restored.drain(ids[i]);
+      ASSERT_TRUE(r.is_ok()) << dir.what << " stream " << ids[i];
+      const awd::serve::StreamResult& got = r.value();
+      EXPECT_EQ(got.id, want[i].id) << dir.what;
+      EXPECT_EQ(got.steps, want[i].steps) << dir.what;
+      EXPECT_EQ(got.final_health, want[i].final_health) << dir.what;
+      EXPECT_EQ(got.adaptive_evaluations, want[i].adaptive_evaluations) << dir.what;
+      EXPECT_EQ(got.adaptive.fp_rate, want[i].adaptive.fp_rate) << dir.what;
+      EXPECT_EQ(got.adaptive.detection_delay, want[i].adaptive.detection_delay)
+          << dir.what;
+      EXPECT_EQ(got.fixed.fp_rate, want[i].fixed.fp_rate) << dir.what;
+      EXPECT_EQ(got.fixed.detection_delay, want[i].fixed.detection_delay) << dir.what;
+    }
+  }
+}
+
+}  // namespace

@@ -1,14 +1,17 @@
 // diagnose — calibration/diagnostic tool (not part of the benchmark set).
 //
-// Usage: awd_diagnose <case_key> <attack> [seed]
+// Usage: awd_diagnose                               (build/host diagnostics)
+//        awd_diagnose <case_key> <attack> [seed]
 //        awd_diagnose --obs <obs-dir> [--top N]
 //
-// The first form prints per-phase residual statistics, deadline
-// distribution, alarm locations for both strategies, and run metrics —
-// everything needed to calibrate the free parameters (sensor noise, attack
-// magnitude) against the paper's reported shapes.  The second form ingests
-// a directory written by --obs-out and pretty-prints it (counter tables,
-// per-stage profile, top-N slowest spans).
+// With no arguments it reports the build/host diagnostics a bug report or
+// bench JSON should carry — most importantly the compiled, runtime-detected
+// and active SIMD kernel levels (DESIGN.md §14).  The per-case form prints
+// per-phase residual statistics, deadline distribution, alarm locations for
+// both strategies, and run metrics — everything needed to calibrate the free
+// parameters (sensor noise, attack magnitude) against the paper's reported
+// shapes.  The --obs form ingests a directory written by --obs-out and
+// pretty-prints it (counter tables, per-stage profile, top-N slowest spans).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,11 +19,23 @@
 #include <string>
 
 #include "awd.hpp"
+#include "linalg/kernels.hpp"
 #include "obs/report.hpp"  // internal: --obs directory pretty-printer
 
 namespace {
 
 using namespace awd;
+
+/// The three SIMD dispatch facts every report should record: what the
+/// binary was built with (AWD_SIMD), what the host CPU allows, and what the
+/// dispatch is actually serving (differs only under an AWD_SIMD env
+/// override or an in-process force_level pin).
+void print_simd_levels() {
+  namespace kn = linalg::kernels;
+  std::printf("simd: compiled=%s runtime=%s active=%s (lane width %zu)\n",
+              kn::level_name(kn::compiled_level()), kn::level_name(kn::runtime_level()),
+              kn::level_name(kn::active_level()), kn::lane_width(kn::active_level()));
+}
 
 AttackKind parse_attack(const std::string& s) {
   if (s == "none") return AttackKind::kNone;
@@ -71,6 +86,14 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (argc == 1) {
+    std::printf("awd_diagnose — build/host diagnostics\n");
+    print_simd_levels();
+    std::printf("\nusage: %s <case_key> <attack> [seed]\n"
+                "       %s --obs <obs-dir> [--top N]\n",
+                argv[0], argv[0]);
+    return 0;
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <case_key> <attack> [seed]\n"
@@ -100,6 +123,7 @@ int main(int argc, char** argv) {
 
   std::printf("%s / %s / seed %llu  (tau[0]=%g)\n", scase.key.c_str(), argv[2],
               static_cast<unsigned long long>(seed), scase.tau[0]);
+  print_simd_levels();
   std::printf("\nresidual mean per dim (vs tau):\n");
   for (const Phase& ph : phases) {
     if (ph.hi <= ph.lo) continue;
