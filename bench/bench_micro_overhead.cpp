@@ -256,11 +256,19 @@ BENCHMARK(BM_AdaptiveDetectorStep);
 
 /// Noise-robust per-step cost: minimum over `batches` batches of the mean
 /// ns across `steps` detection steps (interference only ever adds time).
-double min_batch_step_ns(core::DetectionSystem& system, int batches, int steps) {
+/// With a recorder, every step is also distilled into its flight frame —
+/// the serving engine's fully instrumented configuration.
+double min_batch_step_ns(core::DetectionSystem& system, obs::FlightRecorder* recorder,
+                         int batches, int steps) {
+  sim::StepRecord rec;
   double best = std::numeric_limits<double>::infinity();
   for (int b = 0; b < batches; ++b) {
     const auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < steps; ++i) benchmark::DoNotOptimize(system.step());
+    for (int i = 0; i < steps; ++i) {
+      system.step_into(rec);
+      if (recorder != nullptr) recorder->record(rec);
+      benchmark::DoNotOptimize(rec.t);
+    }
     const auto stop = std::chrono::steady_clock::now();
     const double ns =
         std::chrono::duration<double, std::nano>(stop - start).count() / steps;
@@ -270,26 +278,29 @@ double min_batch_step_ns(core::DetectionSystem& system, int batches, int steps) 
 }
 
 /// CI overhead gate (--assert-obs-overhead): per-step cost of the fully
-/// instrumented detection loop with metrics on vs off, summed over the five
-/// plants so per-case jitter averages out.  Returns false when the relative
-/// overhead exceeds `budget`.
+/// instrumented detection loop — metrics collection on AND a per-stream
+/// flight recorder capturing every step — vs the bare loop with both off,
+/// summed over the five plants so per-case jitter averages out.  Returns
+/// false when the relative overhead exceeds `budget`.
 bool assert_obs_overhead(double budget) {
   constexpr int kBatches = 25;
   constexpr int kSteps = 2000;
+  constexpr std::size_t kRecorderDepth = 256;  // the engine's default ring
   const bool was_enabled = awd::obs::enabled();
   double on_sum = 0.0;
   double off_sum = 0.0;
-  std::printf("\nobservability overhead (DetectionSystem::step, min of %d x %d-step "
-              "batches):\n",
+  std::printf("\nobservability overhead (DetectionSystem::step + flight recorder, "
+              "min of %d x %d-step batches):\n",
               kBatches, kSteps);
   for (const char* key : kCaseKeys) {
     const core::SimulatorCase scase = core::simulator_case(key);
     awd::obs::set_enabled(true);
     core::DetectionSystem on_system(scase, core::AttackKind::kNone, 1);
-    const double on_ns = min_batch_step_ns(on_system, kBatches, kSteps);
+    obs::FlightRecorder recorder(kRecorderDepth);
+    const double on_ns = min_batch_step_ns(on_system, &recorder, kBatches, kSteps);
     awd::obs::set_enabled(false);
     core::DetectionSystem off_system(scase, core::AttackKind::kNone, 1);
-    const double off_ns = min_batch_step_ns(off_system, kBatches, kSteps);
+    const double off_ns = min_batch_step_ns(off_system, nullptr, kBatches, kSteps);
     std::printf("  %-16s on %8.1f ns   off %8.1f ns   overhead %+6.2f%%\n", key, on_ns,
                 off_ns, off_ns > 0.0 ? (on_ns - off_ns) / off_ns * 100.0 : 0.0);
     on_sum += on_ns;

@@ -33,6 +33,7 @@
 #include "fault/health.hpp"
 #include "obs/obs.hpp"
 #include "serve/engine_ckpt.hpp"
+#include "serve/forensics.hpp"
 #include "serve/stream_engine.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -104,6 +105,17 @@ using serve::StreamStatus;
 using serve::describe_snapshot;
 using serve::SnapshotInfo;
 using serve::SnapshotStreamInfo;
+
+// Forensics & introspection (DESIGN.md §15).
+using serve::decode_dump;
+using serve::DumpReason;
+using serve::encode_dump;
+using serve::EngineIntrospection;
+using serve::ForensicsDump;
+using serve::introspection_json;
+using serve::replay_dump;
+using serve::ReplayReport;
+using serve::ShardIntrospection;
 
 // Tooling.
 using core::write_trace_csv;

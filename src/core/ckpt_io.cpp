@@ -284,4 +284,35 @@ bool read_system_options(Reader& r, DetectionSystemOptions& o) {
   return true;
 }
 
+void write_flight_frame(Writer& w, const obs::FlightFrame& f) {
+  w.u64(f.t);
+  w.f64(f.residual_norm);
+  w.f64(f.detect_stat);
+  w.u32(f.deadline);
+  w.u32(f.window);
+  w.u32(f.flags);
+  w.u8(f.fault);
+  w.u8(f.health);
+}
+
+bool read_flight_frame(Reader& r, obs::FlightFrame& f) {
+  constexpr std::uint32_t kKnownFlags =
+      obs::kFrameAdaptiveAlarm | obs::kFrameFixedAlarm | obs::kFrameAttackActive |
+      obs::kFrameUnsafe | obs::kFrameSampleMissing | obs::kFrameEstimateFallback |
+      obs::kFrameResidualQuarantined | obs::kFrameDeadlineFallback;
+  std::uint32_t flags = 0;
+  if (!r.u64(f.t) || !r.f64(f.residual_norm) || !r.f64(f.detect_stat) ||
+      !r.u32(f.deadline) || !r.u32(f.window) || !r.u32(flags) || !r.u8(f.fault) ||
+      !r.u8(f.health)) {
+    return false;
+  }
+  if ((flags & ~kKnownFlags) != 0 || f.fault >= fault::kFaultKindCount ||
+      f.health > static_cast<std::uint8_t>(fault::HealthState::kFailsafe)) {
+    r.fail();
+    return false;
+  }
+  f.flags = static_cast<std::uint16_t>(flags);
+  return true;
+}
+
 }  // namespace awd::core::ckpt

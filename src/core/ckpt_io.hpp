@@ -24,6 +24,7 @@
 #include "core/metrics.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace awd::core::ckpt {
 
@@ -63,5 +64,12 @@ void write_case(Writer& w, const SimulatorCase& c);
 /// checkpointed; the second is rebuilt from the case on restore).
 void write_system_options(Writer& w, const DetectionSystemOptions& o);
 [[nodiscard]] bool read_system_options(Reader& r, DetectionSystemOptions& o);
+
+/// One flight-recorder frame (DESIGN.md §15) — the payload unit of the
+/// .awdfr forensic dump's frame section.  The reader rejects out-of-range
+/// health/fault enum values and unknown flag bits, so a tampered dump can
+/// never decode into frames the replay verifier would misinterpret.
+void write_flight_frame(Writer& w, const obs::FlightFrame& f);
+[[nodiscard]] bool read_flight_frame(Reader& r, obs::FlightFrame& f);
 
 }  // namespace awd::core::ckpt

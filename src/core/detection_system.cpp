@@ -217,6 +217,18 @@ void DetectionSystem::step_into(sim::StepRecord& rec) {
   evaluations_ += ad.evaluations;
   rec.window = ad.window;
   rec.adaptive_alarm = ad.any_alarm();
+  // Forensics scalars: the logged residual's L∞ norm (the logger's entry is
+  // populated even under lean_records) and the current-step window test's
+  // normalized statistic max_d mean[d]/τ[d].  Scalar arithmetic only, so
+  // both replay bit-identically at any SIMD level.  The statistic covers
+  // the current-step test; a complementary-sweep alarm can raise
+  // adaptive_alarm with the statistic still <= 1.
+  rec.residual_norm = logger_.entry(rec.t).residual.norm_inf();
+  rec.detect_stat = 0.0;
+  for (std::size_t d = 0; d < ad.mean_residual.size(); ++d) {
+    const double ratio = ad.mean_residual[d] / case_.tau[d];
+    if (ratio > rec.detect_stat) rec.detect_stat = ratio;
+  }
   stage_clock.mark(ob.stage_window_adapt, "step.window_adapt");
 
   // Fixed-window baseline on the same residual stream.

@@ -1,0 +1,125 @@
+#include "obs/event_log.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace awd::obs {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kAlarm:
+      return "alarm";
+    case EventKind::kHealthTransition:
+      return "health_transition";
+    case EventKind::kAdmissionReject:
+      return "admission_reject";
+    case EventKind::kQuarantine:
+      return "quarantine";
+    case EventKind::kCheckpoint:
+      return "checkpoint";
+    case EventKind::kRestore:
+      return "restore";
+    case EventKind::kDump:
+      return "dump";
+    case EventKind::kCrashFlush:
+      return "crash_flush";
+  }
+  return "unknown";
+}
+
+EventLog& EventLog::global() {
+  static EventLog* log = new EventLog();  // leaked: outlives crash handlers
+  return *log;
+}
+
+void EventLog::log(EventKind kind, std::uint64_t stream, std::uint64_t shard,
+                   std::uint64_t step, std::int64_t arg0, std::int64_t arg1,
+                   const char* detail) noexcept {
+  if (!enabled()) return;
+  Event e;
+  e.kind = kind;
+  e.ts_ns = Tracer::now_ns();
+  e.stream = stream;
+  e.shard = shard;
+  e.step = step;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.detail = detail;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) ring_.resize(capacity_);
+  ring_[head_] = e;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;  // evicted the oldest event
+  }
+  ++logged_;
+}
+
+std::vector<Event> EventLog::collect() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out(size_);
+  if (size_ == 0) return out;
+  std::size_t pos = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = ring_[pos];
+    pos = pos + 1 == ring_.size() ? 0 : pos + 1;
+  }
+  return out;
+}
+
+std::uint64_t EventLog::dropped() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t EventLog::logged() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return logged_;
+}
+
+void EventLog::set_capacity(std::size_t events) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events == 0) events = 1;
+  if (events == ring_.size()) {
+    capacity_ = events;
+    return;
+  }
+  // Re-linearize the retained suffix into a fresh ring.
+  std::vector<Event> kept(size_);
+  std::size_t pos = ring_.empty() ? 0 : (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    kept[i] = ring_[pos];
+    pos = pos + 1 == ring_.size() ? 0 : pos + 1;
+  }
+  capacity_ = events;
+  ring_.assign(events, Event{});
+  const std::size_t keep = kept.size() > events ? events : kept.size();
+  for (std::size_t i = 0; i < keep; ++i) ring_[i] = kept[kept.size() - keep + i];
+  size_ = keep;
+  head_ = keep == events ? 0 : keep;
+}
+
+void EventLog::clear() noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  size_ = 0;
+  head_ = 0;
+  dropped_ = 0;
+  logged_ = 0;
+}
+
+std::string events_jsonl(const std::vector<Event>& events) {
+  std::ostringstream out;
+  for (const Event& e : events) {
+    out << "{\"event\": \"" << event_kind_name(e.kind) << "\", \"ts_ns\": " << e.ts_ns
+        << ", \"stream\": " << e.stream << ", \"shard\": " << e.shard
+        << ", \"step\": " << e.step << ", \"arg0\": " << e.arg0
+        << ", \"arg1\": " << e.arg1 << ", \"detail\": \"" << e.detail << "\"}\n";
+  }
+  return out.str();
+}
+
+}  // namespace awd::obs

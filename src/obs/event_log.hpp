@@ -1,0 +1,96 @@
+// event_log.hpp — structured, bounded, process-wide event log.
+//
+// Metrics answer "how many alarms?"; the event log answers "which stream,
+// when, and what happened around it".  Pipeline and engine code append
+// typed events — alarms, health transitions, admission rejections,
+// residual quarantines, checkpoint/restore, forensic dumps — each stamped
+// with the monotonic clock and the stream/shard ids involved.  The
+// exporter renders them as one JSON object per line (events.jsonl in an
+// --obs-out directory), so postmortem tooling can grep/join them against
+// trace spans and .awdfr flight-recorder dumps.
+//
+// Collection follows the metrics gate: log() is a no-op unless
+// obs::enabled().  The buffer is a bounded ring keeping the *most recent*
+// events (the ones a postmortem needs); evictions are counted in
+// dropped().  Appends take a mutex — event rates are designed to be low
+// (edges, not per-step), so the lock is uncontended in steady state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace awd::obs {
+
+/// Event vocabulary.  Extend at the end; the JSONL name is the stable
+/// external identity.
+enum class EventKind : std::uint8_t {
+  kAlarm = 0,          ///< adaptive detector alarm rising edge
+  kHealthTransition,   ///< health state changed (arg0 = from, arg1 = to)
+  kAdmissionReject,    ///< submission bounced by backpressure
+  kQuarantine,         ///< logger quarantine rising edge
+  kCheckpoint,         ///< engine checkpoint taken (arg0 = bytes)
+  kRestore,            ///< engine restored from a snapshot (arg0 = bytes)
+  kDump,               ///< forensic flight-recorder dump (arg0 = frames)
+  kCrashFlush,         ///< failure-path flush ran
+};
+
+/// Stable external name ("alarm", "health_transition", ...).
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+
+/// One logged event.  `detail` must be a static string (the log stores the
+/// pointer, exactly like the tracer's span names).
+struct Event {
+  EventKind kind = EventKind::kAlarm;
+  std::uint64_t ts_ns = 0;   ///< monotonic (steady-clock) timestamp
+  std::uint64_t stream = 0;  ///< stream id (0 = not stream-scoped)
+  std::uint64_t shard = 0;   ///< shard index (meaningful with stream != 0)
+  std::uint64_t step = 0;    ///< control step (0 = not step-scoped)
+  std::int64_t arg0 = 0;     ///< kind-specific (see EventKind)
+  std::int64_t arg1 = 0;     ///< kind-specific
+  const char* detail = "";   ///< static annotation string
+};
+
+/// Process-wide bounded event collector (see file header).
+class EventLog {
+ public:
+  [[nodiscard]] static EventLog& global();
+
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Append one event (timestamped here).  No-op unless obs::enabled().
+  void log(EventKind kind, std::uint64_t stream = 0, std::uint64_t shard = 0,
+           std::uint64_t step = 0, std::int64_t arg0 = 0, std::int64_t arg1 = 0,
+           const char* detail = "") noexcept;
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> collect() const;
+
+  /// Events evicted because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  /// Lifetime accepted-event count (>= collect().size()).
+  [[nodiscard]] std::uint64_t logged() const noexcept;
+
+  /// Ring capacity for subsequent events (existing overflow is kept).
+  void set_capacity(std::size_t events) noexcept;
+  /// Forget everything (tests; the drop/lifetime counters reset too).
+  void clear() noexcept;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  std::size_t capacity_ = 1u << 16;
+  std::size_t size_ = 0;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t logged_ = 0;
+};
+
+/// Render events as JSONL: one {"event": ..., "ts_ns": ...} object per line.
+[[nodiscard]] std::string events_jsonl(const std::vector<Event>& events);
+
+}  // namespace awd::obs

@@ -2,9 +2,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <utility>
+
+#include "obs/event_log.hpp"
 
 namespace awd::obs {
 
@@ -57,6 +62,29 @@ std::vector<std::pair<std::string, double>> derived_metrics(const MetricsSnapsho
 
 }  // namespace
 
+double histogram_quantile(const MetricsSnapshot::HistogramSample& h, double q) noexcept {
+  if (h.count == 0 || h.bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t below = cumulative;
+    cumulative += h.counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Prometheus semantics: the +Inf bucket has no upper edge to
+    // interpolate toward, so the quantile clamps to the last finite bound.
+    if (i >= h.bounds.size()) return h.bounds.back();
+    const double hi = h.bounds[i];
+    const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+    if (h.counts[i] == 0) return hi;  // unreachable with cumulative >= rank
+    const double frac = (rank - static_cast<double>(below)) /
+                        static_cast<double>(h.counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return h.bounds.back();
+}
+
 std::string prometheus_text(const MetricsSnapshot& snap) {
   std::ostringstream out;
   for (const auto& c : snap.counters) {
@@ -82,6 +110,14 @@ std::string prometheus_text(const MetricsSnapshot& snap) {
     out << h.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
     out << h.name << "_sum " << fmt_double(h.sum) << "\n";
     out << h.name << "_count " << h.count << "\n";
+    // Interpolated quantiles as companion gauges, so dashboards get p50/p99
+    // without PromQL histogram_quantile over the bucket series.
+    if (h.count > 0) {
+      out << "# TYPE " << h.name << "_p50 gauge\n";
+      out << h.name << "_p50 " << fmt_double(histogram_quantile(h, 0.50)) << "\n";
+      out << "# TYPE " << h.name << "_p99 gauge\n";
+      out << h.name << "_p99 " << fmt_double(histogram_quantile(h, 0.99)) << "\n";
+    }
   }
   for (const auto& t : snap.timers) {
     if (!t.help.empty()) out << "# HELP " << t.name << "_seconds_total " << t.help << "\n";
@@ -179,6 +215,7 @@ core::Status write_obs_dir(const std::string& dir) {
       {"metrics.json", metrics_json(snap)},
       {"trace.json", chrome_trace_json(events)},
       {"trace.jsonl", trace_jsonl(events)},
+      {"events.jsonl", events_jsonl(EventLog::global().collect())},
   };
   for (const auto& [name, content] : files) {
     std::ofstream out(std::filesystem::path(dir) / name);
@@ -189,6 +226,101 @@ core::Status write_obs_dir(const std::string& dir) {
     out << content;
   }
   return core::Status::ok();
+}
+
+// --- failure-path flush ----------------------------------------------------
+
+namespace {
+
+/// Armed flush state.  The mutex orders install/add/remove against a flush
+/// from another thread; the flush itself copies what it needs and runs the
+/// hooks outside the lock (a hook may log events or call back into obs).
+struct FailureFlushState {
+  std::mutex mu;
+  std::string dir;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> hooks;
+  std::uint64_t next_token = 1;
+  bool installed = false;
+  std::terminate_handler previous = nullptr;
+};
+
+FailureFlushState& failure_state() {
+  static FailureFlushState* state = new FailureFlushState();  // outlives atexit
+  return *state;
+}
+
+[[noreturn]] void terminate_with_flush() {
+  flush_failure_artifacts();
+  const std::terminate_handler previous = failure_state().previous;
+  if (previous != nullptr) previous();
+  std::abort();
+}
+
+}  // namespace
+
+void install_failure_flush(const std::string& dir) {
+  FailureFlushState& state = failure_state();
+  bool install_hooks = false;
+  {
+    const std::lock_guard<std::mutex> lock(state.mu);
+    state.dir = dir;
+    install_hooks = !state.installed;
+    state.installed = true;
+  }
+  if (install_hooks) {
+    state.previous = std::set_terminate(&terminate_with_flush);
+    std::atexit([] { flush_failure_artifacts(); });
+  }
+}
+
+void flush_failure_artifacts() noexcept {
+  FailureFlushState& state = failure_state();
+  std::string dir;
+  std::vector<std::function<void()>> hooks;
+  {
+    const std::lock_guard<std::mutex> lock(state.mu);
+    dir = state.dir;
+    hooks.reserve(state.hooks.size());
+    for (const auto& [token, hook] : state.hooks) {
+      (void)token;
+      hooks.push_back(hook);
+    }
+  }
+  try {
+    // Hooks first: a crash dump's events must land in the flushed log.
+    for (const auto& hook : hooks) hook();
+    if (dir.empty()) return;
+    EventLog::global().log(EventKind::kCrashFlush, 0, 0, 0,
+                           static_cast<std::int64_t>(hooks.size()), 0,
+                           "failure-path flush");
+    const core::Status st = write_obs_dir(dir);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "obs: failure flush to %s failed: %s\n", dir.c_str(),
+                   std::string(st.message()).c_str());
+    }
+  } catch (...) {
+    // The flush runs on the way down; it must never turn one failure into
+    // another (terminate inside terminate aborts without artifacts).
+  }
+}
+
+std::uint64_t add_failure_hook(std::function<void()> hook) {
+  FailureFlushState& state = failure_state();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  const std::uint64_t token = state.next_token++;
+  state.hooks.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void remove_failure_hook(std::uint64_t token) noexcept {
+  FailureFlushState& state = failure_state();
+  const std::lock_guard<std::mutex> lock(state.mu);
+  for (std::size_t i = 0; i < state.hooks.size(); ++i) {
+    if (state.hooks[i].first == token) {
+      state.hooks.erase(state.hooks.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 ObsSession::ObsSession(int& argc, char** argv) {

@@ -1,0 +1,80 @@
+#include "obs/flight_recorder.hpp"
+
+#include <bit>
+
+namespace awd::obs {
+
+FlightFrame make_frame(const sim::StepRecord& rec) noexcept {
+  FlightFrame f;
+  f.t = rec.t;
+  f.residual_norm = rec.residual_norm;
+  f.detect_stat = rec.detect_stat;
+  f.deadline = static_cast<std::uint32_t>(rec.deadline);
+  f.window = static_cast<std::uint32_t>(rec.window);
+  f.flags = static_cast<std::uint16_t>(
+      (rec.adaptive_alarm ? kFrameAdaptiveAlarm : 0) |
+      (rec.fixed_alarm ? kFrameFixedAlarm : 0) |
+      (rec.attack_active ? kFrameAttackActive : 0) | (rec.unsafe ? kFrameUnsafe : 0) |
+      (rec.sample_missing ? kFrameSampleMissing : 0) |
+      (rec.estimate_fallback ? kFrameEstimateFallback : 0) |
+      (rec.residual_quarantined ? kFrameResidualQuarantined : 0) |
+      (rec.deadline_fallback ? kFrameDeadlineFallback : 0));
+  f.fault = static_cast<std::uint8_t>(rec.fault);
+  f.health = static_cast<std::uint8_t>(rec.health);
+  return f;
+}
+
+bool frames_bit_identical(const FlightFrame& a, const FlightFrame& b) noexcept {
+  return a.t == b.t &&
+         std::bit_cast<std::uint64_t>(a.residual_norm) ==
+             std::bit_cast<std::uint64_t>(b.residual_norm) &&
+         std::bit_cast<std::uint64_t>(a.detect_stat) ==
+             std::bit_cast<std::uint64_t>(b.detect_stat) &&
+         a.deadline == b.deadline && a.window == b.window && a.flags == b.flags &&
+         a.fault == b.fault && a.health == b.health;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::record(const sim::StepRecord& rec) noexcept {
+  record_frame(make_frame(rec));
+}
+
+void FlightRecorder::record_frame(const FlightFrame& frame) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = frame;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) ++size_;
+  ++recorded_;
+}
+
+void FlightRecorder::snapshot(std::vector<FlightFrame>& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.resize(size_);
+  // Oldest frame sits `size_` slots behind the write head.
+  std::size_t pos = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = ring_[pos];
+    pos = pos + 1 == ring_.size() ? 0 : pos + 1;
+  }
+}
+
+void FlightRecorder::clear() noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  size_ = 0;
+  head_ = 0;
+  recorded_ = 0;
+}
+
+std::size_t FlightRecorder::size() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+std::uint64_t FlightRecorder::recorded() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace awd::obs

@@ -5,13 +5,17 @@
 //     lock-free per-thread shards and the AWD_OBS / AWD_OBS_DISABLED gates,
 //   * trace.hpp  — the structured event tracer (Chrome trace-event spans),
 //   * timer.hpp  — ScopedSpan / StageClock RAII bridges,
-//   * export.hpp — Prometheus/JSON/trace writers and the --obs-out
-//     ObsSession helper for mains.
+//   * event_log.hpp — the bounded structured event log (events.jsonl),
+//   * flight_recorder.hpp — per-stream forensic frame ring (DESIGN.md §15),
+//   * export.hpp — Prometheus/JSON/trace/event writers, the --obs-out
+//     ObsSession helper for mains, and the failure-path flush hooks.
 // See DESIGN.md §10 for the architecture, overhead budget and determinism
-// rules.
+// rules, §15 for the forensics pipeline.
 #pragma once
 
+#include "obs/event_log.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"

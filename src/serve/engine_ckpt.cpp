@@ -11,6 +11,7 @@
 
 #include "core/ckpt.hpp"
 #include "core/ckpt_io.hpp"
+#include "obs/event_log.hpp"
 
 namespace awd::serve {
 
@@ -38,28 +39,6 @@ bool read_policy(ckpt::Reader& r, StreamEngineOptions& o) {
   }
   o.max_streams = static_cast<std::size_t>(max_streams);
   o.queue_capacity = static_cast<std::size_t>(queue_capacity);
-  return true;
-}
-
-void write_spec(ckpt::Writer& w, const StreamSpec& spec) {
-  ckpt::write_case(w, spec.scase);
-  ckpt::write_attack_kind(w, spec.attack);
-  w.u64(spec.seed);
-  w.u64(spec.steps);
-  ckpt::write_metrics_options(w, spec.metrics);
-  ckpt::write_system_options(w, spec.options);
-}
-
-bool read_spec(ckpt::Reader& r, StreamSpec& spec) {
-  std::uint64_t seed = 0;
-  std::uint64_t steps = 0;
-  if (!ckpt::read_case(r, spec.scase) || !ckpt::read_attack_kind(r, spec.attack) ||
-      !r.u64(seed) || !r.u64(steps) || !ckpt::read_metrics_options(r, spec.metrics) ||
-      !ckpt::read_system_options(r, spec.options)) {
-    return false;
-  }
-  spec.seed = seed;
-  spec.steps = static_cast<std::size_t>(steps);
   return true;
 }
 
@@ -129,6 +108,28 @@ constexpr core::Status kTrailing{core::StatusCode::kDataLoss,
 
 }  // namespace
 
+void write_stream_spec(ckpt::Writer& w, const StreamSpec& spec) {
+  ckpt::write_case(w, spec.scase);
+  ckpt::write_attack_kind(w, spec.attack);
+  w.u64(spec.seed);
+  w.u64(spec.steps);
+  ckpt::write_metrics_options(w, spec.metrics);
+  ckpt::write_system_options(w, spec.options);
+}
+
+bool read_stream_spec(ckpt::Reader& r, StreamSpec& spec) {
+  std::uint64_t seed = 0;
+  std::uint64_t steps = 0;
+  if (!ckpt::read_case(r, spec.scase) || !ckpt::read_attack_kind(r, spec.attack) ||
+      !r.u64(seed) || !r.u64(steps) || !ckpt::read_metrics_options(r, spec.metrics) ||
+      !ckpt::read_system_options(r, spec.options)) {
+    return false;
+  }
+  spec.seed = seed;
+  spec.steps = static_cast<std::size_t>(steps);
+  return true;
+}
+
 // --- checkpoint ------------------------------------------------------------
 
 core::Result<std::vector<std::uint8_t>> StreamEngine::checkpoint() const {
@@ -176,7 +177,7 @@ core::Result<std::vector<std::uint8_t>> StreamEngine::checkpoint() const {
     s.u64(rt.id);
     s.u64(shard.soa.steps_done[slot]);
     ckpt::Writer spec_w;
-    write_spec(spec_w, rt.spec);
+    write_stream_spec(spec_w, rt.spec);
     fp.bytes(spec_w.data().data(), spec_w.size());
     s.block(spec_w.data());
     ckpt::Writer state;
@@ -199,7 +200,7 @@ core::Result<std::vector<std::uint8_t>> StreamEngine::checkpoint() const {
     for (const auto& [id, spec] : pending_) {
       p.u64(id);
       ckpt::Writer spec_w;
-      write_spec(spec_w, spec);
+      write_stream_spec(spec_w, spec);
       fp.bytes(spec_w.data().data(), spec_w.size());
       p.block(spec_w.data());
     }
@@ -227,7 +228,11 @@ core::Result<std::vector<std::uint8_t>> StreamEngine::checkpoint() const {
     }
   }
 
-  return builder.finish(ckpt::fnv1a64(fp.data().data(), fp.size()));
+  std::vector<std::uint8_t> image = builder.finish(ckpt::fnv1a64(fp.data().data(), fp.size()));
+  obs::EventLog::global().log(obs::EventKind::kCheckpoint, 0, 0, 0,
+                              static_cast<std::int64_t>(image.size()),
+                              static_cast<std::int64_t>(running_ids.size()));
+  return image;
 }
 
 // --- restore ---------------------------------------------------------------
@@ -280,11 +285,11 @@ core::Status StreamEngine::restore(const std::vector<std::uint8_t>& bytes) {
         if (!r.at_end()) return kTrailing;
 
         StreamSpec spec;
-        if (!read_spec(spec_reader, spec)) return spec_reader.status();
+        if (!read_stream_spec(spec_reader, spec)) return spec_reader.status();
         if (!spec_reader.at_end()) return kTrailing;
         {
           ckpt::Writer spec_w;  // canonical re-encoding for the fingerprint
-          write_spec(spec_w, spec);
+          write_stream_spec(spec_w, spec);
           fp.bytes(spec_w.data().data(), spec_w.size());
         }
         if (core::Status s = spec.scase.check(); !s.is_ok()) return s;
@@ -349,10 +354,10 @@ core::Status StreamEngine::restore(const std::vector<std::uint8_t>& bytes) {
           ckpt::Reader spec_reader(nullptr, 0);
           if (!r.u64(id) || !r.block(spec_reader)) return r.status();
           StreamSpec spec;
-          if (!read_spec(spec_reader, spec)) return spec_reader.status();
+          if (!read_stream_spec(spec_reader, spec)) return spec_reader.status();
           if (!spec_reader.at_end()) return kTrailing;
           ckpt::Writer spec_w;
-          write_spec(spec_w, spec);
+          write_stream_spec(spec_w, spec);
           fp.bytes(spec_w.data().data(), spec_w.size());
           pending_.emplace_back(id, std::move(spec));
         }
@@ -401,6 +406,9 @@ core::Status StreamEngine::restore(const std::vector<std::uint8_t>& bytes) {
   streams_admitted_ = meta.streams_admitted;
   streams_finished_ = meta.streams_finished;
   streams_rejected_ = meta.streams_rejected;
+  obs::EventLog::global().log(obs::EventKind::kRestore, 0, 0, 0,
+                              static_cast<std::int64_t>(bytes.size()),
+                              static_cast<std::int64_t>(running_.size()));
   return core::Status::ok();
 }
 
@@ -477,10 +485,10 @@ core::Result<SnapshotInfo> describe_snapshot(const std::vector<std::uint8_t>& by
         }
         if (!r.at_end()) return kTrailing;
         StreamSpec spec;
-        if (!read_spec(spec_reader, spec)) return spec_reader.status();
+        if (!read_stream_spec(spec_reader, spec)) return spec_reader.status();
         if (!spec_reader.at_end()) return kTrailing;
         ckpt::Writer spec_w;
-        write_spec(spec_w, spec);
+        write_stream_spec(spec_w, spec);
         fp.bytes(spec_w.data().data(), spec_w.size());
         info.running.push_back(SnapshotStreamInfo{
             id, spec.scase.key, spec.attack, spec.seed, spec.steps,
@@ -495,10 +503,10 @@ core::Result<SnapshotInfo> describe_snapshot(const std::vector<std::uint8_t>& by
           ckpt::Reader spec_reader(nullptr, 0);
           if (!r.u64(id) || !r.block(spec_reader)) return r.status();
           StreamSpec spec;
-          if (!read_spec(spec_reader, spec)) return spec_reader.status();
+          if (!read_stream_spec(spec_reader, spec)) return spec_reader.status();
           if (!spec_reader.at_end()) return kTrailing;
           ckpt::Writer spec_w;
-          write_spec(spec_w, spec);
+          write_stream_spec(spec_w, spec);
           fp.bytes(spec_w.data().data(), spec_w.size());
           info.pending.push_back(
               SnapshotStreamInfo{id, spec.scase.key, spec.attack, spec.seed, spec.steps, 0});

@@ -33,6 +33,13 @@ inline constexpr std::uint32_t kSectionStream = 2;
 inline constexpr std::uint32_t kSectionPending = 3;
 inline constexpr std::uint32_t kSectionFinished = 4;
 
+/// Spec-block codec — (case, attack, seed, steps, metrics options, system
+/// options) — shared by the engine snapshot sections above and the .awdfr
+/// forensic dump (serve/forensics.hpp), so a dump's spec decodes with the
+/// exact bytes the checkpoint fingerprint hashes.
+void write_stream_spec(core::ckpt::Writer& w, const StreamSpec& spec);
+[[nodiscard]] bool read_stream_spec(core::ckpt::Reader& r, StreamSpec& spec);
+
 /// One stream as a snapshot records it (no pipeline reconstruction).
 struct SnapshotStreamInfo {
   StreamId id = 0;

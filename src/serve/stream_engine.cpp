@@ -1,9 +1,11 @@
 #include "serve/stream_engine.hpp"
 
 #include <cstdio>
+#include <sstream>
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "serve/forensics.hpp"
 
 namespace awd::serve {
 
@@ -21,6 +23,14 @@ struct ServeObs {
   obs::Counter& rejected;
   obs::Timer& step_all;
   obs::Timer& shard_step;
+  // Introspection gauges, published after every batch
+  // (StreamEngine::publish_introspection_).
+  obs::Gauge& alarming;
+  obs::Gauge& degraded;
+  obs::Gauge& failsafe;
+  obs::Gauge& recorder_frames;
+  obs::Gauge& dumps_written;
+  obs::Gauge& dumps_skipped;
 
   static ServeObs& get() {
     static ServeObs o{
@@ -40,6 +50,18 @@ struct ServeObs {
                                       "one batched step across every running stream"),
         obs::Registry::global().timer("awd_serve_shard_step",
                                       "one shard's slice of a batched step"),
+        obs::Registry::global().gauge("awd_serve_streams_alarming",
+                                      "streams whose last step raised the adaptive alarm"),
+        obs::Registry::global().gauge("awd_serve_streams_degraded",
+                                      "streams currently in health state DEGRADED"),
+        obs::Registry::global().gauge("awd_serve_streams_failsafe",
+                                      "streams currently in health state FAILSAFE"),
+        obs::Registry::global().gauge("awd_serve_recorder_frames",
+                                      "flight-recorder frames retained across all streams"),
+        obs::Registry::global().gauge("awd_serve_dumps_written",
+                                      "automatic forensic dumps taken"),
+        obs::Registry::global().gauge("awd_serve_dumps_skipped",
+                                      "dump triggers on undumpable streams"),
     };
     return o;
   }
@@ -56,14 +78,23 @@ std::string StreamEngine::family_fingerprint(const core::SimulatorCase& scase,
   return scase.key + buf;
 }
 
-StreamEngine::StreamEngine(StreamEngineOptions options) : options_(options) {
+StreamEngine::StreamEngine(StreamEngineOptions options) : options_(std::move(options)) {
   if (options_.max_streams == 0) options_.max_streams = 1;
   const std::size_t threads = core::resolve_threads(options_.threads);
   if (threads > 1) pool_ = std::make_unique<core::ThreadPool>(threads);
   shards_.resize(threads);
+  if (!options_.forensics_dir.empty()) {
+    // Crash path: if the process dies (terminate/atexit flush), every
+    // running stream's recorder lands in forensics_dir before the event
+    // log and metrics are flushed.
+    failure_hook_token_ = obs::add_failure_hook(
+        [this] { (void)dump_all_streams(options_.forensics_dir, DumpReason::kCrash); });
+  }
 }
 
-StreamEngine::~StreamEngine() = default;
+StreamEngine::~StreamEngine() {
+  if (failure_hook_token_ != 0) obs::remove_failure_hook(failure_hook_token_);
+}
 
 std::size_t StreamEngine::shards() const noexcept { return shards_.size(); }
 
@@ -89,6 +120,10 @@ core::Result<StreamId> StreamEngine::submit(StreamSpec spec) {
       pending_.size() >= options_.queue_capacity) {
     ++streams_rejected_;
     ob.rejected.inc();
+    obs::EventLog::global().log(obs::EventKind::kAdmissionReject, 0, 0, 0,
+                                static_cast<std::int64_t>(running_.size()),
+                                static_cast<std::int64_t>(pending_.size()),
+                                "engine full, queue at capacity");
     return core::Status{core::StatusCode::kBudgetExceeded,
                         "stream engine full (queue at capacity: step or drain, "
                         "then resubmit)"};
@@ -168,6 +203,18 @@ std::pair<std::size_t, std::size_t> StreamEngine::place_runtime_(
   shard.soa.adaptive_alarm[slot] = 0;
   shard.soa.fixed_alarm[slot] = 0;
   shard.soa.health[slot] = static_cast<std::uint8_t>(fault::HealthState::kNominal);
+  shard.soa.quarantined[slot] = 0;
+  if (options_.flight_recorder_depth > 0) {
+    if (shard.recorders.size() < shard.slots.size()) {
+      shard.recorders.resize(shard.slots.size());
+    }
+    if (shard.recorders[slot]) {
+      shard.recorders[slot]->clear();  // reused slot: forget the last occupant
+    } else {
+      shard.recorders[slot] =
+          std::make_unique<obs::FlightRecorder>(options_.flight_recorder_depth);
+    }
+  }
   running_.emplace(id, std::make_pair(shard_index, slot));
   return {shard_index, slot};
 }
@@ -192,11 +239,23 @@ void StreamEngine::admit_pending_() {
 
 void StreamEngine::step_shard_(Shard& shard, std::size_t budget) {
   const obs::ScopedSpan span(ServeObs::get().shard_step, "serve.shard_step", "serve");
+  const auto shard_index = static_cast<std::uint64_t>(&shard - shards_.data());
+  obs::EventLog& events = obs::EventLog::global();
   shard.stepped = 0;
   StreamSoa& soa = shard.soa;
+  // At most one pending dump per slot per batch — a flapping alarm must not
+  // queue a dump (file write) for every rising edge inside a chunk.
+  const auto dump_queued = [&shard](std::size_t slot) {
+    for (const PendingDump& d : shard.pending_dumps) {
+      if (d.slot == slot) return true;
+    }
+    return false;
+  };
   for (std::size_t i = 0; i < shard.slots.size(); ++i) {
     if (!shard.slots[i]) continue;
     StreamRuntime& stream = *shard.slots[i];
+    obs::FlightRecorder* recorder =
+        i < shard.recorders.size() ? shard.recorders[i].get() : nullptr;
     // Advance this stream up to `budget` control periods while its state is
     // cache-hot.  Streams are independent, so the chunked interleaving is
     // invisible to per-stream results.  Progress and last-output lanes live
@@ -204,15 +263,52 @@ void StreamEngine::step_shard_(Shard& shard, std::size_t budget) {
     // plus the one pipeline it is stepping.
     const std::size_t remaining = soa.steps_total[i] - soa.steps_done[i];
     const std::size_t chunk = remaining < budget ? remaining : budget;
+    // Edge detectors carry across chunk and batch boundaries through the
+    // SoA lanes — an alarm that stays up across batches is one event.
+    bool prev_alarm = soa.adaptive_alarm[i] != 0;
+    auto prev_health = static_cast<fault::HealthState>(soa.health[i]);
+    bool prev_quarantined = soa.quarantined[i] != 0;
     for (std::size_t k = 0; k < chunk; ++k) {
       stream.system.step_into(shard.rec);
       stream.metrics.observe(shard.rec);
+      if (recorder != nullptr) recorder->record(shard.rec);
+      if (shard.rec.adaptive_alarm && !prev_alarm) {
+        events.log(obs::EventKind::kAlarm, stream.id, shard_index, shard.rec.t,
+                   static_cast<std::int64_t>(shard.rec.window),
+                   static_cast<std::int64_t>(shard.rec.deadline), "adaptive");
+        if (recorder != nullptr && !dump_queued(i)) {
+          shard.pending_dumps.push_back({i, DumpReason::kAlarm, shard.rec.t});
+        }
+      }
+      if (shard.rec.health != prev_health) {
+        events.log(obs::EventKind::kHealthTransition, stream.id, shard_index,
+                   shard.rec.t, static_cast<std::int64_t>(prev_health),
+                   static_cast<std::int64_t>(shard.rec.health),
+                   fault::to_string(shard.rec.health).data());
+        const bool into_degraded = shard.rec.health == fault::HealthState::kDegraded;
+        const bool into_failsafe = shard.rec.health == fault::HealthState::kFailsafe;
+        if ((into_degraded || into_failsafe) && recorder != nullptr && !dump_queued(i)) {
+          shard.pending_dumps.push_back({i,
+                                         into_failsafe ? DumpReason::kHealthFailsafe
+                                                       : DumpReason::kHealthDegraded,
+                                         shard.rec.t});
+        }
+      }
+      if (shard.rec.residual_quarantined && !prev_quarantined) {
+        events.log(obs::EventKind::kQuarantine, stream.id, shard_index, shard.rec.t,
+                   static_cast<std::int64_t>(shard.rec.fault), 0,
+                   fault::to_string(shard.rec.fault).data());
+      }
+      prev_alarm = shard.rec.adaptive_alarm;
+      prev_health = shard.rec.health;
+      prev_quarantined = shard.rec.residual_quarantined;
     }
     soa.deadline[i] = shard.rec.deadline;
     soa.window[i] = shard.rec.window;
     soa.adaptive_alarm[i] = shard.rec.adaptive_alarm ? 1 : 0;
     soa.fixed_alarm[i] = shard.rec.fixed_alarm ? 1 : 0;
     soa.health[i] = static_cast<std::uint8_t>(shard.rec.health);
+    soa.quarantined[i] = shard.rec.residual_quarantined ? 1 : 0;
     soa.steps_done[i] += chunk;
     shard.stepped += chunk;
     if (soa.steps_done[i] == soa.steps_total[i]) shard.finished.push_back(i);
@@ -255,12 +351,16 @@ std::size_t StreamEngine::step_batch_(std::size_t budget) {
                  [this, budget](std::size_t i) { step_shard_(shards_[i], budget); });
     }
     for (const Shard& shard : shards_) stepped += shard.stepped;
+    // Dumps before finalize: a stream whose trigger landed on its last step
+    // must still be in its slot when the driver encodes it.
+    perform_pending_dumps_();
     finalize_finished_();
     steps_total_ += stepped;
     ob.steps.inc(stepped);
   }
   ob.running.set(static_cast<std::int64_t>(running_.size()));
   ob.queued.set(static_cast<std::int64_t>(pending_.size()));
+  publish_introspection_();
   return stepped;
 }
 
@@ -284,6 +384,7 @@ core::Result<StreamResult> StreamEngine::drain(StreamId id) {
   if (auto it = finished_.find(id); it != finished_.end()) {
     StreamResult result = std::move(it->second);
     finished_.erase(it);
+    last_dump_.erase(id);  // the retained dump dies with the stream
     return result;
   }
   if (running_.count(id) != 0) {
@@ -342,6 +443,208 @@ EngineSnapshot StreamEngine::snapshot() const noexcept {
   snap.streams_finished = streams_finished_;
   snap.streams_rejected = streams_rejected_;
   return snap;
+}
+
+// --- forensics -------------------------------------------------------------
+
+core::Result<std::vector<std::uint8_t>> StreamEngine::encode_slot_dump_(
+    const Shard& shard, std::size_t shard_index, std::size_t slot, DumpReason reason,
+    std::uint64_t trigger_step) const {
+  const StreamRuntime& stream = *shard.slots[slot];
+  if (stream.spec.options.make_estimator) {
+    // Mirrors checkpoint(): an opaque factory cannot round-trip, so the
+    // dump could never be replayed — refuse instead of lying.
+    return core::Status{core::StatusCode::kUnimplemented,
+                        "stream with a custom make_estimator factory cannot be "
+                        "dumped for replay"};
+  }
+  const obs::FlightRecorder* recorder =
+      slot < shard.recorders.size() ? shard.recorders[slot].get() : nullptr;
+  if (recorder == nullptr) {
+    return core::Status{core::StatusCode::kUnavailable,
+                        "flight recording disabled (flight_recorder_depth = 0)"};
+  }
+  ForensicsDump dump;
+  dump.reason = reason;
+  dump.stream = stream.id;
+  dump.shard = shard_index;
+  dump.trigger_step = trigger_step;
+  dump.steps_done = shard.soa.steps_done[slot];
+  dump.ts_ns = obs::Tracer::now_ns();
+  dump.spec = stream.spec;
+  recorder->snapshot(dump.frames);
+  return encode_dump(dump);
+}
+
+void StreamEngine::perform_pending_dumps_() {
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& shard = shards_[si];
+    if (shard.pending_dumps.empty()) continue;
+    for (const PendingDump& d : shard.pending_dumps) {
+      if (!shard.slots[d.slot]) continue;
+      const StreamId id = shard.slots[d.slot]->id;
+      core::Result<std::vector<std::uint8_t>> image =
+          encode_slot_dump_(shard, si, d.slot, d.reason, d.trigger_step);
+      if (!image.is_ok()) {
+        ++dumps_skipped_;
+        continue;
+      }
+      const auto frames = static_cast<std::int64_t>(shard.recorders[d.slot]->size());
+      if (!options_.forensics_dir.empty()) {
+        char name[96];
+        std::snprintf(name, sizeof name, "/stream_%llu_%s_%llu.awdfr",
+                      static_cast<unsigned long long>(id), dump_reason_name(d.reason),
+                      static_cast<unsigned long long>(d.trigger_step));
+        const core::Status st =
+            core::ckpt::write_file(options_.forensics_dir + name, image.value());
+        if (!st.is_ok()) {
+          std::fprintf(stderr, "serve: forensic dump for stream %llu failed: %s\n",
+                       static_cast<unsigned long long>(id),
+                       std::string(st.message()).c_str());
+        }
+      }
+      obs::EventLog::global().log(obs::EventKind::kDump, id, si, d.trigger_step,
+                                  frames, static_cast<std::int64_t>(d.reason),
+                                  dump_reason_name(d.reason));
+      last_dump_[id] = std::move(image).value();
+      ++dumps_written_;
+    }
+    shard.pending_dumps.clear();
+  }
+}
+
+core::Result<std::vector<std::uint8_t>> StreamEngine::dump_stream(
+    StreamId id, DumpReason reason) const {
+  const auto it = running_.find(id);
+  if (it == running_.end()) {
+    return core::Status{core::StatusCode::kOutOfRange,
+                        "unknown or not-running stream id"};
+  }
+  const Shard& shard = shards_[it->second.first];
+  const std::size_t slot = it->second.second;
+  const std::size_t done = shard.soa.steps_done[slot];
+  return encode_slot_dump_(shard, it->second.first, slot, reason,
+                           done > 0 ? done - 1 : 0);
+}
+
+core::Result<std::vector<std::uint8_t>> StreamEngine::last_dump(StreamId id) const {
+  const auto it = last_dump_.find(id);
+  if (it == last_dump_.end()) {
+    return core::Status{core::StatusCode::kOutOfRange,
+                        "no retained dump for this stream id"};
+  }
+  return it->second;
+}
+
+std::size_t StreamEngine::dump_all_streams(const std::string& dir,
+                                           DumpReason reason) const noexcept {
+  std::size_t written = 0;
+  try {
+    for (std::size_t si = 0; si < shards_.size(); ++si) {
+      const Shard& shard = shards_[si];
+      for (std::size_t slot = 0; slot < shard.slots.size(); ++slot) {
+        if (!shard.slots[slot]) continue;
+        const std::size_t done = shard.soa.steps_done[slot];
+        core::Result<std::vector<std::uint8_t>> image =
+            encode_slot_dump_(shard, si, slot, reason, done > 0 ? done - 1 : 0);
+        if (!image.is_ok()) continue;
+        const StreamId id = shard.slots[slot]->id;
+        char name[96];
+        std::snprintf(name, sizeof name, "/stream_%llu_%s.awdfr",
+                      static_cast<unsigned long long>(id), dump_reason_name(reason));
+        if (core::ckpt::write_file(dir + name, image.value()).is_ok()) {
+          ++written;
+          obs::EventLog::global().log(
+              obs::EventKind::kDump, id, si, done > 0 ? done - 1 : 0,
+              static_cast<std::int64_t>(image.value().size()),
+              static_cast<std::int64_t>(reason), dump_reason_name(reason));
+        }
+      }
+    }
+  } catch (...) {
+    // Best effort by contract: the crash path must never throw on the way
+    // down.  Whatever was written before the failure stays on disk.
+  }
+  return written;
+}
+
+// --- introspection ---------------------------------------------------------
+
+EngineIntrospection StreamEngine::introspect() const {
+  EngineIntrospection intro;
+  intro.counters = snapshot();
+  intro.recorder_depth = options_.flight_recorder_depth;
+  intro.dumps_written = dumps_written_;
+  intro.dumps_skipped = dumps_skipped_;
+  intro.shard_info.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    ShardIntrospection si;
+    for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+      if (!shard.slots[i]) continue;
+      ++si.streams;
+      si.steps_done += shard.soa.steps_done[i];
+      if (shard.soa.adaptive_alarm[i] != 0) ++si.alarming;
+      const auto health = static_cast<fault::HealthState>(shard.soa.health[i]);
+      if (health == fault::HealthState::kDegraded) ++si.degraded;
+      if (health == fault::HealthState::kFailsafe) ++si.failsafe;
+      if (i < shard.recorders.size() && shard.recorders[i]) {
+        si.recorder_frames += shard.recorders[i]->size();
+      }
+    }
+    intro.shard_info.push_back(si);
+  }
+  return intro;
+}
+
+void StreamEngine::publish_introspection_() const {
+  if (!obs::enabled()) return;
+  const EngineIntrospection intro = introspect();
+  std::size_t alarming = 0;
+  std::size_t degraded = 0;
+  std::size_t failsafe = 0;
+  std::size_t frames = 0;
+  for (const ShardIntrospection& si : intro.shard_info) {
+    alarming += si.alarming;
+    degraded += si.degraded;
+    failsafe += si.failsafe;
+    frames += si.recorder_frames;
+  }
+  ServeObs& ob = ServeObs::get();
+  ob.alarming.set(static_cast<std::int64_t>(alarming));
+  ob.degraded.set(static_cast<std::int64_t>(degraded));
+  ob.failsafe.set(static_cast<std::int64_t>(failsafe));
+  ob.recorder_frames.set(static_cast<std::int64_t>(frames));
+  ob.dumps_written.set(static_cast<std::int64_t>(dumps_written_));
+  ob.dumps_skipped.set(static_cast<std::int64_t>(dumps_skipped_));
+}
+
+std::string introspection_json(const EngineIntrospection& intro) {
+  std::ostringstream out;
+  const EngineSnapshot& c = intro.counters;
+  out << "{\n"
+      << "  \"running\": " << c.running << ",\n"
+      << "  \"queued\": " << c.queued << ",\n"
+      << "  \"finished\": " << c.finished << ",\n"
+      << "  \"shards\": " << c.shards << ",\n"
+      << "  \"steps_total\": " << c.steps_total << ",\n"
+      << "  \"streams_admitted\": " << c.streams_admitted << ",\n"
+      << "  \"streams_finished\": " << c.streams_finished << ",\n"
+      << "  \"streams_rejected\": " << c.streams_rejected << ",\n"
+      << "  \"recorder_depth\": " << intro.recorder_depth << ",\n"
+      << "  \"dumps_written\": " << intro.dumps_written << ",\n"
+      << "  \"dumps_skipped\": " << intro.dumps_skipped << ",\n"
+      << "  \"shard_info\": [";
+  for (std::size_t i = 0; i < intro.shard_info.size(); ++i) {
+    const ShardIntrospection& si = intro.shard_info[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"streams\": " << si.streams << ", \"steps_done\": " << si.steps_done
+        << ", \"alarming\": " << si.alarming << ", \"degraded\": " << si.degraded
+        << ", \"failsafe\": " << si.failsafe
+        << ", \"recorder_frames\": " << si.recorder_frames << "}";
+  }
+  if (!intro.shard_info.empty()) out << "\n  ";
+  out << "]\n}\n";
+  return out.str();
 }
 
 }  // namespace awd::serve

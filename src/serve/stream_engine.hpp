@@ -44,6 +44,7 @@
 #include "core/parallel.hpp"
 #include "core/status.hpp"
 #include "fault/health.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/trace.hpp"
 
 namespace awd::serve {
@@ -76,6 +77,19 @@ struct StreamSpec {
 
 /// Where a stream is in its lifecycle.
 enum class StreamState : std::uint8_t { kQueued, kRunning, kFinished };
+
+/// Why a flight-recorder dump was taken (recorded in the .awdfr meta
+/// section; see serve/forensics.hpp for the dump format).
+enum class DumpReason : std::uint8_t {
+  kManual = 0,       ///< dump_stream() API call
+  kAlarm,            ///< adaptive-alarm rising edge
+  kHealthDegraded,   ///< health transitioned into DEGRADED
+  kHealthFailsafe,   ///< health transitioned into FAILSAFE
+  kCrash,            ///< failure-path flush (obs::install_failure_flush)
+};
+
+/// Stable external name ("manual", "alarm", ...).
+[[nodiscard]] const char* dump_reason_name(DumpReason reason) noexcept;
 
 /// Point-in-time view of one stream (snapshot API).
 struct StreamStatus {
@@ -142,6 +156,41 @@ struct StreamEngineOptions {
   /// estimator is immutable after construction, so sharing is invisible
   /// to results; disable only to measure its cost.
   bool share_deadline_estimators = true;
+
+  /// Flight-recorder depth: each stream slot keeps its most recent this-many
+  /// steps in a fixed ring (obs::FlightRecorder) for forensic dumps; 0
+  /// disables recording and with it the automatic dump triggers.  Runtime
+  /// observability only — never part of the checkpoint image, and detection
+  /// outputs are identical either way.
+  std::size_t flight_recorder_depth = 256;
+
+  /// Directory automatic dumps (.awdfr) are written to.  Empty keeps dumps
+  /// in memory only — retrievable via last_dump()/dump_stream().  When set,
+  /// the engine also registers an obs failure hook that dumps every running
+  /// stream's recorder here if the process dies (DumpReason::kCrash).
+  std::string forensics_dir;
+};
+
+/// Live introspection of one shard (see StreamEngine::introspect).
+struct ShardIntrospection {
+  std::size_t streams = 0;          ///< occupied slots
+  std::uint64_t steps_done = 0;     ///< sum of stream progress
+  std::size_t alarming = 0;         ///< streams whose last step raised the adaptive alarm
+  std::size_t degraded = 0;         ///< streams in HealthState::kDegraded
+  std::size_t failsafe = 0;         ///< streams in HealthState::kFailsafe
+  std::size_t recorder_frames = 0;  ///< flight-recorder frames retained
+};
+
+/// Point-in-time engine introspection: the counters plus per-shard stream,
+/// alarm/health and recorder-occupancy tallies.  Exported as gauges through
+/// the Prometheus/JSON exporters every batch and rendered as JSON by
+/// serve::introspection_json for the status surface.
+struct EngineIntrospection {
+  EngineSnapshot counters;
+  std::vector<ShardIntrospection> shard_info;
+  std::size_t recorder_depth = 0;    ///< configured ring depth (0 = disabled)
+  std::uint64_t dumps_written = 0;   ///< automatic forensic dumps taken
+  std::uint64_t dumps_skipped = 0;   ///< dump triggers on undumpable streams
 };
 
 /// Batched multi-stream serving engine over DetectionSystem pipelines.
@@ -183,6 +232,30 @@ class StreamEngine {
 
   /// Engine-level counters.
   [[nodiscard]] EngineSnapshot snapshot() const noexcept;
+
+  /// Live introspection: snapshot() plus per-shard stream counts, alarm and
+  /// health tallies, and flight-recorder occupancy.  The same tallies are
+  /// published as awd_serve_* gauges after every batch, so the Prometheus
+  /// and JSON exporters carry them without polling this API.
+  [[nodiscard]] EngineIntrospection introspect() const;
+
+  /// Encode a running stream's flight recorder as a .awdfr dump image now.
+  ///   * kOutOfRange     — unknown or not-running id;
+  ///   * kUnavailable    — recording disabled (flight_recorder_depth 0);
+  ///   * kUnimplemented  — the stream carries an opaque make_estimator
+  ///                       factory, so a dump could not be replayed.
+  [[nodiscard]] core::Result<std::vector<std::uint8_t>> dump_stream(
+      StreamId id, DumpReason reason = DumpReason::kManual) const;
+
+  /// The most recent automatic dump taken for a stream (kOutOfRange when
+  /// none).  Retained until the stream is drained.
+  [[nodiscard]] core::Result<std::vector<std::uint8_t>> last_dump(StreamId id) const;
+
+  /// Dump every running stream's recorder into `dir` (best effort — the
+  /// crash path; also runs as the engine's obs failure hook when
+  /// forensics_dir is set).  Returns the number of dump files written.
+  std::size_t dump_all_streams(const std::string& dir,
+                               DumpReason reason = DumpReason::kCrash) const noexcept;
 
   /// Worker count == shard count.
   [[nodiscard]] std::size_t shards() const noexcept;
@@ -253,6 +326,11 @@ class StreamEngine {
     std::vector<std::uint8_t> adaptive_alarm;
     std::vector<std::uint8_t> fixed_alarm;
     std::vector<std::uint8_t> health;  ///< fault::HealthState underlying value
+    /// Last step's residual-quarantine flag — edge detection for the
+    /// kQuarantine event across batch boundaries.  Runtime-only like the
+    /// rest of the SoA; deliberately not checkpointed (a restore may log
+    /// one spurious rising edge, which observability tolerates).
+    std::vector<std::uint8_t> quarantined;
 
     /// Grow every lane to cover `slot` (new lanes zero-initialized).
     void ensure(std::size_t slot) {
@@ -265,7 +343,17 @@ class StreamEngine {
       adaptive_alarm.resize(n, 0);
       fixed_alarm.resize(n, 0);
       health.resize(n, 0);
+      quarantined.resize(n, 0);
     }
+  };
+
+  /// A dump trigger observed by a shard worker mid-batch.  File and event
+  /// I/O stay off the workers: triggers are queued here and performed on
+  /// the driver thread after the pool joins (perform_pending_dumps_).
+  struct PendingDump {
+    std::size_t slot = 0;
+    DumpReason reason = DumpReason::kAlarm;
+    std::uint64_t trigger_step = 0;
   };
 
   /// One worker's partition.  The shard's StepRecord is the arena every one
@@ -275,8 +363,12 @@ class StreamEngine {
   struct Shard {
     std::vector<std::unique_ptr<StreamRuntime>> slots;  ///< nullptr = free
     StreamSoa soa;                      ///< hot per-stream state, slot-parallel
+    /// Slot-parallel flight recorders (null when recording is disabled).
+    /// Reused across occupants — place_runtime_ clears the ring.
+    std::vector<std::unique_ptr<obs::FlightRecorder>> recorders;
     std::vector<std::size_t> free_slots;
     std::vector<std::size_t> finished;  ///< slots that completed this batch
+    std::vector<PendingDump> pending_dumps;  ///< triggers awaiting the driver
     sim::StepRecord rec;                ///< reused step arena
     std::size_t stepped = 0;            ///< stream-steps executed this batch
   };
@@ -303,6 +395,17 @@ class StreamEngine {
   std::size_t step_batch_(std::size_t budget);
   void step_shard_(Shard& shard, std::size_t budget);
   void finalize_finished_();
+  /// Driver-thread half of the dump pipeline: encode each queued trigger,
+  /// retain it as the stream's last dump, write the .awdfr file when
+  /// forensics_dir is set, and log the dump event.
+  void perform_pending_dumps_();
+  /// Publish the introspection tallies as awd_serve_* gauges.
+  void publish_introspection_() const;
+  /// Encode one slot's recorder as a dump image (shared by the automatic,
+  /// manual and crash paths).  kUnimplemented for make_estimator streams.
+  [[nodiscard]] core::Result<std::vector<std::uint8_t>> encode_slot_dump_(
+      const Shard& shard, std::size_t shard_index, std::size_t slot,
+      DumpReason reason, std::uint64_t trigger_step) const;
 
   StreamEngineOptions options_;
   std::unique_ptr<core::ThreadPool> pool_;
@@ -319,6 +422,15 @@ class StreamEngine {
   std::uint64_t streams_admitted_ = 0;
   std::uint64_t streams_finished_ = 0;
   std::uint64_t streams_rejected_ = 0;
+  std::unordered_map<StreamId, std::vector<std::uint8_t>>
+      last_dump_;  ///< latest automatic dump per stream (dropped at drain)
+  std::uint64_t dumps_written_ = 0;
+  std::uint64_t dumps_skipped_ = 0;
+  std::uint64_t failure_hook_token_ = 0;  ///< 0 = no crash hook registered
 };
+
+/// Render an introspection snapshot as a JSON object — the status document
+/// a future network daemon serves (ROADMAP open item 2).
+[[nodiscard]] std::string introspection_json(const EngineIntrospection& intro);
 
 }  // namespace awd::serve

@@ -38,6 +38,14 @@ struct StepRecord {
   bool fixed_alarm = false;       ///< fixed-window baseline raised an alarm this step
   bool unsafe = false;            ///< true state outside the safe set this step
 
+  // Forensics scalars (populated by core::DetectionSystem).  Both are
+  // derived from the logger/detector state — not the record-only residual
+  // field — so they are valid under lean_records and, like every detection
+  // output, bit-identical at any AWD_SIMD level.
+  double residual_norm = 0.0;  ///< ‖z_t‖∞ of this step's logged residual
+  double detect_stat = 0.0;    ///< max_d mean_residual[d]/τ[d] of the window test
+                               ///< (> 1 exactly when the current-step test alarms)
+
   // Fault / degradation observability (benign defaults when no FaultInjector
   // is wired in).  `measurement` and `estimate` always hold the *sanitized*
   // values the pipeline actually used — on a dropped or corrupted sample

@@ -14,6 +14,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +27,9 @@
 #include "core/metrics.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "serve/forensics.hpp"
 #include "serve/stream_engine.hpp"
 
 namespace awd {
@@ -538,6 +546,71 @@ TEST(Chaos, RebalanceMidAttackIsInvisible) {
                                     reference.drain(id).value(),
                                     "rebalance mid-attack stream " +
                                         std::to_string(id));
+  }
+}
+
+// The crash-path body run inside the death-test child: arm the failure
+// flush, serve an attacked stream past its alarm, then die mid-serve.
+[[noreturn]] void crash_mid_serve(const std::string& dir) {
+  obs::set_enabled(true);
+  obs::install_failure_flush(dir);
+  serve::StreamEngine engine(
+      {.threads = 1, .flight_recorder_depth = 128, .forensics_dir = dir});
+  serve::StreamSpec spec{.scase = core::simulator_case("aircraft_pitch"),
+                         .attack = AttackKind::kBias,
+                         .seed = 3};
+  if (!engine.submit(spec).is_ok()) std::abort();
+  for (int t = 0; t < 160; ++t) engine.step_all();  // past attack onset
+  std::terminate();  // simulated crash mid-serve
+}
+
+// The crash path end to end: a process that dies mid-serve (std::terminate
+// with install_failure_flush armed) must leave a readable postmortem behind
+// — a flushed events.jsonl carrying the crash-flush marker, and .awdfr
+// flight-recorder dumps that decode and replay in the surviving process.
+TEST(Chaos, CrashFlushLeavesReadableForensics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // CI points AWD_TEST_FORENSICS_DIR into the build tree so the postmortem
+  // artifacts (.awdfr dumps, events.jsonl) can be uploaded when a chaos-tier
+  // run fails; locally the dump lands in the system temp directory.
+  const char* artifact_dir = std::getenv("AWD_TEST_FORENSICS_DIR");
+  const std::filesystem::path dir =
+      artifact_dir != nullptr && artifact_dir[0] != '\0'
+          ? std::filesystem::path(artifact_dir) / "crash_flush"
+          : std::filesystem::temp_directory_path() / "awd_chaos_crash_flush";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  EXPECT_DEATH(crash_mid_serve(dir.string()), "");
+
+  // The child is dead; its artifacts must still tell the story.
+  ASSERT_TRUE(std::filesystem::exists(dir / "events.jsonl"))
+      << "failure flush did not write the event log";
+  std::ifstream events_file(dir / "events.jsonl");
+  std::stringstream events;
+  events << events_file.rdbuf();
+  EXPECT_NE(events.str().find("\"event\": \"crash_flush\""), std::string::npos);
+  EXPECT_NE(events.str().find("\"event\": \"alarm\""), std::string::npos);
+
+  std::size_t verified = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".awdfr") continue;
+    const core::Result<std::vector<std::uint8_t>> bytes =
+        core::ckpt::read_file(entry.path().string());
+    ASSERT_TRUE(bytes.is_ok()) << entry.path();
+    const core::Result<serve::ForensicsDump> dump = serve::decode_dump(bytes.value());
+    ASSERT_TRUE(dump.is_ok()) << entry.path() << ": " << dump.status().message();
+    const core::Result<serve::ReplayReport> replayed = serve::replay_dump(dump.value());
+    ASSERT_TRUE(replayed.is_ok()) << entry.path();
+    EXPECT_TRUE(replayed.value().verified())
+        << entry.path() << ": " << replayed.value().mismatch;
+    ++verified;
+  }
+  EXPECT_GE(verified, 1u) << "no decodable .awdfr dump survived the crash";
+  // Keep the artifacts when CI asked for a stable directory (the upload
+  // step collects them on failure); clean up the temp-dir fallback.
+  if (artifact_dir == nullptr || artifact_dir[0] == '\0') {
+    std::filesystem::remove_all(dir);
   }
 }
 

@@ -7,11 +7,14 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/detection_system.hpp"
+#include "obs/event_log.hpp"
 #include "obs/report.hpp"
 
 namespace awd::obs {
@@ -187,6 +190,65 @@ TEST_F(ObsTest, PrometheusTextContainsRegisteredSeries) {
   EXPECT_NE(text.find("test_prom_total 3"), std::string::npos);
   EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 2"), std::string::npos);
   EXPECT_NE(text.find("test_prom_hist_count 2"), std::string::npos);
+}
+
+TEST_F(ObsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  MetricsSnapshot::HistogramSample h;
+  h.bounds = {10.0, 20.0, 40.0};
+  // 10 observations <= 10, 10 in (10, 20], none in (20, 40], 0 above.
+  h.counts = {10, 10, 0, 0};
+  h.count = 20;
+  // p50 lands exactly at the first bucket's upper edge (rank 10 of 10 in
+  // [0, 10]); p75 is halfway through the second bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.50), 10.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.75), 15.0);
+  // q clamps to [0, 1]; an empty histogram reads 0.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 2.0), histogram_quantile(h, 1.0));
+  MetricsSnapshot::HistogramSample empty;
+  EXPECT_DOUBLE_EQ(histogram_quantile(empty, 0.5), 0.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileClampsInfBucketToLastFiniteBound) {
+  MetricsSnapshot::HistogramSample h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {0, 0, 5};  // everything in +Inf
+  h.count = 5;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 2.0);
+}
+
+TEST_F(ObsTest, PrometheusTextCarriesQuantileGauges) {
+  Registry reg;
+  Histogram& h = reg.histogram("test_prom_quant", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 8; ++i) h.observe(0.5);   // p50 inside bucket 0
+  for (int i = 0; i < 2; ++i) h.observe(3.0);   // tail in (2, 4]
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE test_prom_quant_p50 gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_quant_p99 gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_quant_p50 "), std::string::npos);
+  EXPECT_NE(text.find("test_prom_quant_p99 "), std::string::npos);
+  // An empty histogram exports buckets but no quantile gauges (count 0).
+  Registry reg_empty;
+  (void)reg_empty.histogram("test_prom_empty", {1.0});
+  const std::string empty_text = prometheus_text(reg_empty.snapshot());
+  EXPECT_EQ(empty_text.find("test_prom_empty_p50"), std::string::npos);
+}
+
+TEST_F(ObsTest, WriteObsDirIncludesEventsJsonl) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "awd_obs_events_test";
+  std::filesystem::remove_all(dir);
+  EventLog::global().clear();
+  EventLog::global().log(EventKind::kAlarm, 5, 0, 99, 4, 12, "adaptive");
+  ASSERT_TRUE(write_obs_dir(dir.string()).is_ok());
+  std::ifstream in(dir / "events.jsonl");
+  ASSERT_TRUE(in.good()) << "write_obs_dir must materialize events.jsonl";
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"event\": \"alarm\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"stream\": 5"), std::string::npos);
+  EXPECT_NE(text.str().find("\"step\": 99"), std::string::npos);
+  EventLog::global().clear();
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Obs, ObsSessionStripsObsOutFromArgv) {

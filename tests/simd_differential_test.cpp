@@ -14,6 +14,7 @@
 #include "core/config.hpp"
 #include "core/detection_system.hpp"
 #include "linalg/kernels.hpp"
+#include "serve/forensics.hpp"
 #include "serve/stream_engine.hpp"
 #include "sim/trace.hpp"
 
@@ -214,6 +215,75 @@ TEST(SimdDifferential, CrossLevelRestoreContinuesBitIdentical) {
       EXPECT_EQ(got.fixed.fp_rate, want[i].fixed.fp_rate) << dir.what;
       EXPECT_EQ(got.fixed.detection_delay, want[i].fixed.detection_delay) << dir.what;
     }
+  }
+}
+
+/// Run an attacked stream under `level` and return its forensic dump bytes
+/// (manual dump after `steps` engine steps; single-stream, single-shard).
+std::vector<std::uint8_t> dump_under_level(kn::SimdLevel level, int steps) {
+  LevelGuard guard(level);
+  awd::serve::StreamEngine engine({.threads = 1, .flight_recorder_depth = 256});
+  SimulatorCase scase = simulator_case("aircraft_pitch");
+  cap_case(scase, 200);
+  awd::core::Result<awd::serve::StreamId> id =
+      engine.submit({.scase = scase, .attack = AttackKind::kBias, .seed = 17});
+  EXPECT_TRUE(id.is_ok()) << id.status().message();
+  for (int k = 0; k < steps; ++k) engine.step_all();
+  awd::core::Result<std::vector<std::uint8_t>> image = engine.dump_stream(id.value());
+  EXPECT_TRUE(image.is_ok()) << image.status().message();
+  return image.is_ok() ? image.value() : std::vector<std::uint8_t>{};
+}
+
+// A forensic dump's captured frames are kernel-set-independent, and a dump
+// taken under one level must verify — bit-for-bit — when replayed under the
+// other.  This is the §15 acceptance cross: capture scalar / replay SIMD and
+// capture SIMD / replay scalar both reproduce the alarm step and the
+// detector statistic exactly.
+TEST(SimdDifferential, ForensicDumpReplaysAcrossLevels) {
+  const kn::SimdLevel best = kn::runtime_level();
+  const int kSteps = 170;  // past the bias onset at t=100 (capped case)
+
+  const std::vector<std::uint8_t> scalar_image =
+      dump_under_level(kn::SimdLevel::kScalar, kSteps);
+  const std::vector<std::uint8_t> simd_image = dump_under_level(best, kSteps);
+  ASSERT_FALSE(scalar_image.empty());
+  ASSERT_FALSE(simd_image.empty());
+
+  awd::core::Result<awd::serve::ForensicsDump> scalar_dump =
+      awd::serve::decode_dump(scalar_image);
+  awd::core::Result<awd::serve::ForensicsDump> simd_dump =
+      awd::serve::decode_dump(simd_image);
+  ASSERT_TRUE(scalar_dump.is_ok()) << scalar_dump.status().message();
+  ASSERT_TRUE(simd_dump.is_ok()) << simd_dump.status().message();
+
+  // The captured frame windows are bitwise equal across kernel sets.
+  ASSERT_EQ(scalar_dump.value().frames.size(), simd_dump.value().frames.size());
+  for (std::size_t i = 0; i < scalar_dump.value().frames.size(); ++i) {
+    EXPECT_TRUE(awd::obs::frames_bit_identical(scalar_dump.value().frames[i],
+                                               simd_dump.value().frames[i]))
+        << "frame " << i << " diverged between scalar and " << kn::level_name(best);
+  }
+
+  // Cross replay: each image verifies under the *other* kernel set.
+  struct Direction {
+    const awd::serve::ForensicsDump* dump;
+    kn::SimdLevel replay_level;
+    const char* what;
+  };
+  const Direction directions[] = {
+      {&scalar_dump.value(), best, "scalar dump replayed under SIMD"},
+      {&simd_dump.value(), kn::SimdLevel::kScalar, "SIMD dump replayed under scalar"},
+  };
+  for (const Direction& dir : directions) {
+    LevelGuard guard(dir.replay_level);
+    awd::core::Result<awd::serve::ReplayReport> replayed =
+        awd::serve::replay_dump(*dir.dump);
+    ASSERT_TRUE(replayed.is_ok()) << dir.what << ": " << replayed.status().message();
+    EXPECT_TRUE(replayed.value().frames_identical)
+        << dir.what << ": " << replayed.value().mismatch;
+    EXPECT_TRUE(replayed.value().trigger_reproduced) << dir.what;
+    EXPECT_EQ(replayed.value().steps_replayed, static_cast<std::size_t>(kSteps))
+        << dir.what;
   }
 }
 

@@ -1,0 +1,203 @@
+// awd_forensics — flight-recorder dump decoder and alarm replay verifier
+// (DESIGN.md §15).
+//
+// Usage: awd_forensics info <file.awdfr> [--json]
+//        awd_forensics frames <file.awdfr> [--tail N]
+//        awd_forensics replay <file.awdfr> [--json]
+//
+// `info` decodes a dump down to its meta/spec summary; `frames` prints the
+// captured window one step per line (residual norm, detector statistic,
+// window, deadline, flags); `replay` rebuilds the stream from the embedded
+// spec, re-runs it deterministically, and verifies every captured frame
+// bit-for-bit plus the trigger condition — the operator-facing form of the
+// guarantee that a dump faithfully describes what the detector saw.
+//
+// Exit codes: 0 decoded (and, for replay, verified); 1 corrupt dump or
+// failed verification; 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "awd.hpp"
+
+namespace {
+
+using namespace awd;
+
+const char* attack_name(AttackKind k) {
+  switch (k) {
+    case AttackKind::kNone: return "none";
+    case AttackKind::kBias: return "bias";
+    case AttackKind::kDelay: return "delay";
+    case AttackKind::kReplay: return "replay";
+    case AttackKind::kFreeze: return "freeze";
+    case AttackKind::kRamp: return "ramp";
+  }
+  return "unknown";
+}
+
+/// Render a frame's flag bits as a compact mnemonic string ("A" adaptive
+/// alarm, "F" fixed alarm, "a" attack active, "u" unsafe, "m" sample
+/// missing, "e" estimate fallback, "q" quarantined, "d" deadline fallback).
+std::string flag_string(const obs::FlightFrame& f) {
+  std::string s;
+  if (f.flag(obs::kFrameAdaptiveAlarm)) s += 'A';
+  if (f.flag(obs::kFrameFixedAlarm)) s += 'F';
+  if (f.flag(obs::kFrameAttackActive)) s += 'a';
+  if (f.flag(obs::kFrameUnsafe)) s += 'u';
+  if (f.flag(obs::kFrameSampleMissing)) s += 'm';
+  if (f.flag(obs::kFrameEstimateFallback)) s += 'e';
+  if (f.flag(obs::kFrameResidualQuarantined)) s += 'q';
+  if (f.flag(obs::kFrameDeadlineFallback)) s += 'd';
+  return s.empty() ? "-" : s;
+}
+
+void print_info_text(const std::string& path, const ForensicsDump& d) {
+  std::printf("%s: awd forensic dump, reason %s\n", path.c_str(),
+              serve::dump_reason_name(d.reason));
+  std::printf("  stream           #%llu (shard %llu)\n",
+              static_cast<unsigned long long>(d.stream),
+              static_cast<unsigned long long>(d.shard));
+  std::printf("  trigger          step %llu of %llu done (%zu total)\n",
+              static_cast<unsigned long long>(d.trigger_step),
+              static_cast<unsigned long long>(d.steps_done), d.spec.steps);
+  std::printf("  spec             %s, attack %s, seed %llu\n", d.spec.scase.key.c_str(),
+              attack_name(d.spec.attack),
+              static_cast<unsigned long long>(d.spec.seed));
+  std::printf("  frames           %zu (steps %llu..%llu)\n", d.frames.size(),
+              d.frames.empty() ? 0ULL
+                               : static_cast<unsigned long long>(d.frames.front().t),
+              d.frames.empty() ? 0ULL
+                               : static_cast<unsigned long long>(d.frames.back().t));
+  std::printf("  timestamp        %llu ns (monotonic)\n",
+              static_cast<unsigned long long>(d.ts_ns));
+}
+
+void print_info_json(const ForensicsDump& d) {
+  std::printf("{\n");
+  std::printf("  \"reason\": \"%s\",\n", serve::dump_reason_name(d.reason));
+  std::printf("  \"stream\": %llu,\n", static_cast<unsigned long long>(d.stream));
+  std::printf("  \"shard\": %llu,\n", static_cast<unsigned long long>(d.shard));
+  std::printf("  \"trigger_step\": %llu,\n",
+              static_cast<unsigned long long>(d.trigger_step));
+  std::printf("  \"steps_done\": %llu,\n",
+              static_cast<unsigned long long>(d.steps_done));
+  std::printf("  \"ts_ns\": %llu,\n", static_cast<unsigned long long>(d.ts_ns));
+  std::printf("  \"case\": \"%s\",\n", d.spec.scase.key.c_str());
+  std::printf("  \"attack\": \"%s\",\n", attack_name(d.spec.attack));
+  std::printf("  \"seed\": %llu,\n", static_cast<unsigned long long>(d.spec.seed));
+  std::printf("  \"steps_total\": %zu,\n", d.spec.steps);
+  std::printf("  \"frames\": %zu\n", d.frames.size());
+  std::printf("}\n");
+}
+
+void print_frames(const ForensicsDump& d, std::size_t tail) {
+  const std::size_t n = d.frames.size();
+  const std::size_t first = tail != 0 && tail < n ? n - tail : 0;
+  std::printf("%8s %14s %14s %7s %9s %6s %6s %s\n", "step", "resid_norm",
+              "detect_stat", "window", "deadline", "fault", "health", "flags");
+  for (std::size_t i = first; i < n; ++i) {
+    const obs::FlightFrame& f = d.frames[i];
+    const char* marker = f.t == d.trigger_step ? "  <-- trigger" : "";
+    std::printf("%8llu %14.6g %14.6g %7u %9u %6u %6u %s%s\n",
+                static_cast<unsigned long long>(f.t), f.residual_norm, f.detect_stat,
+                f.window, f.deadline, f.fault, f.health, flag_string(f).c_str(),
+                marker);
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: awd_forensics info <file.awdfr> [--json]\n"
+               "       awd_forensics frames <file.awdfr> [--tail N]\n"
+               "       awd_forensics replay <file.awdfr> [--json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  bool json = false;
+  std::size_t tail = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--tail") == 0 && i + 1 < argc) {
+      tail = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  if (command != "info" && command != "frames" && command != "replay") return usage();
+
+  Result<std::vector<std::uint8_t>> bytes = core::ckpt::read_file(path);
+  if (!bytes.is_ok()) {
+    std::fprintf(stderr, "awd_forensics: %s: %.*s\n", path.c_str(),
+                 static_cast<int>(bytes.status().message().size()),
+                 bytes.status().message().data());
+    return 2;
+  }
+
+  Result<ForensicsDump> dump = decode_dump(bytes.value());
+  if (!dump.is_ok()) {
+    std::fprintf(stderr, "awd_forensics: %s: [%.*s] %.*s\n", path.c_str(),
+                 static_cast<int>(core::to_string(dump.status().code()).size()),
+                 core::to_string(dump.status().code()).data(),
+                 static_cast<int>(dump.status().message().size()),
+                 dump.status().message().data());
+    return 1;
+  }
+  const ForensicsDump& d = dump.value();
+
+  if (command == "info") {
+    if (json) {
+      print_info_json(d);
+    } else {
+      print_info_text(path, d);
+    }
+    return 0;
+  }
+  if (command == "frames") {
+    print_frames(d, tail);
+    return 0;
+  }
+
+  // replay
+  Result<ReplayReport> replayed = replay_dump(d);
+  if (!replayed.is_ok()) {
+    std::fprintf(stderr, "awd_forensics: replay failed: [%.*s] %.*s\n",
+                 static_cast<int>(core::to_string(replayed.status().code()).size()),
+                 core::to_string(replayed.status().code()).data(),
+                 static_cast<int>(replayed.status().message().size()),
+                 replayed.status().message().data());
+    return 1;
+  }
+  const ReplayReport& rep = replayed.value();
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"verified\": %s,\n", rep.verified() ? "true" : "false");
+    std::printf("  \"steps_replayed\": %zu,\n", rep.steps_replayed);
+    std::printf("  \"frames_compared\": %zu,\n", rep.frames_compared);
+    std::printf("  \"frames_identical\": %s,\n", rep.frames_identical ? "true" : "false");
+    std::printf("  \"trigger_reproduced\": %s,\n",
+                rep.trigger_reproduced ? "true" : "false");
+    std::printf("  \"trigger_stat\": %.17g,\n", rep.trigger_stat);
+    std::printf("  \"mismatch\": \"%s\"\n", rep.mismatch.c_str());
+    std::printf("}\n");
+  } else {
+    std::printf("%s %s: replayed %zu steps, %zu frames bit-%s, trigger (%s) %s, "
+                "detector stat %.6g\n",
+                rep.verified() ? "PASS" : "FAIL", path.c_str(), rep.steps_replayed,
+                rep.frames_compared, rep.frames_identical ? "identical" : "DIFFERENT",
+                serve::dump_reason_name(d.reason),
+                rep.trigger_reproduced ? "reproduced" : "NOT reproduced",
+                rep.trigger_stat);
+    if (!rep.mismatch.empty()) std::printf("  %s\n", rep.mismatch.c_str());
+  }
+  return rep.verified() ? 0 : 1;
+}

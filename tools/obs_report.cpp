@@ -2,16 +2,31 @@
 //
 // Usage: awd_obs_report <obs-dir> [--top N]
 //
-// Prints the counter/gauge tables, derived ratios, per-stage profile, the
-// window-size histogram, and the top-N slowest trace spans recorded by a
-// run launched with --obs-out=<obs-dir>.  CI runs it over the archived
-// trace directory so the numbers appear in the job log next to the
-// artifact.
+// Prints the SIMD dispatch in effect (compiled/runtime/active kernel set —
+// timings from an AVX2 build are not comparable to scalar ones, so the
+// report says which produced them), then the counter/gauge tables, derived
+// ratios, per-stage profile, the window-size histogram, and the top-N
+// slowest trace spans recorded by a run launched with --obs-out=<obs-dir>.
+// CI runs it over the archived trace directory so the numbers appear in the
+// job log next to the artifact.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "linalg/kernels.hpp"
 #include "obs/report.hpp"
+
+namespace {
+
+void print_simd_dispatch() {
+  namespace kn = awd::linalg::kernels;
+  std::printf("simd: compiled=%s runtime=%s active=%s (lane width %zu)\n",
+              kn::level_name(kn::compiled_level()), kn::level_name(kn::runtime_level()),
+              kn::level_name(kn::active_level()),
+              kn::lane_width(kn::active_level()));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const char* dir = nullptr;
@@ -32,6 +47,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s <obs-dir> [--top N]\n", argv[0]);
     return 2;
   }
+  print_simd_dispatch();
   if (!awd::obs::print_obs_summary(dir, top_n)) {
     std::fprintf(stderr, "obs_report: %s has neither metrics.json nor trace.json\n", dir);
     return 1;
