@@ -1,0 +1,133 @@
+// bench_detector_roc — the detection-quality gate (DESIGN.md §16): sweep
+// the adaptive detector's ROC curve on every small seed plant with the
+// adversarial attack mix in the TPR denominator, time the sweep, and emit
+// BENCH_detector_roc.json whose awd_metrics.derived block carries one
+// `roc_auc_<plant>` per plant.  tools/bench_compare gates those AUCs with
+// an *absolute* tolerance (--auc-tolerance, default 0.02): a detector
+// change that cedes more than two points of area to the attacker fails CI
+// even if every timing stayed flat.
+//
+// Before benchmarking, main() verifies the contract the gate depends on:
+// the sweep must be bit-identical across thread counts — a nondeterministic
+// AUC cannot be a baseline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/config.hpp"
+#include "tune/roc.hpp"
+
+namespace {
+
+using namespace awd;
+
+const char* const kPlants[] = {"aircraft_pitch", "vehicle_turning", "series_rlc",
+                               "dc_motor"};
+
+/// One fixed option set for contract check, benchmark and baseline alike:
+/// the committed AUC must be the number this binary measures.
+tune::RocOptions roc_options(std::size_t threads) {
+  tune::RocOptions opts;
+  opts.scales = {0.45, 0.7, 1.0, 1.4, 2.0};
+  opts.far_trials = 6;
+  opts.tpr_trials = 4;
+  opts.threads = threads;
+  return opts;
+}
+
+tune::RocCurve sweep(const char* plant, std::size_t threads) {
+  return tune::roc_sweep(core::simulator_case(plant), roc_options(threads)).value();
+}
+
+void BM_RocSweep(benchmark::State& state, const char* plant) {
+  double auc = 0.0;
+  for (auto _ : state) {
+    const tune::RocCurve curve = sweep(plant, 3);
+    auc = curve.auc;
+    benchmark::DoNotOptimize(curve);
+  }
+  state.counters["auc"] = auc;
+}
+BENCHMARK_CAPTURE(BM_RocSweep, aircraft_pitch, "aircraft_pitch")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_RocSweep, vehicle_turning, "vehicle_turning")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_RocSweep, series_rlc, "series_rlc")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_RocSweep, dc_motor, "dc_motor")->Unit(benchmark::kMillisecond);
+
+/// Splice the measured AUCs into the report as awd_metrics.derived entries
+/// — the flat map bench_compare's absolute-drop gate reads.  This replaces
+/// bench_json's registry-backed block: the detection-quality gate must
+/// compare exactly these deterministic values, nothing runtime-dependent.
+void append_auc_block(const std::string& json_path,
+                      const std::vector<std::pair<std::string, double>>& aucs) {
+  std::ifstream in(json_path);
+  if (!in) return;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) return;
+  std::ofstream out(json_path, std::ios::trunc);
+  if (!out) return;
+  out << text.substr(0, close) << ",\n  \"awd_metrics\": {\n    \"derived\": {";
+  out.precision(17);
+  for (std::size_t i = 0; i < aucs.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "      \"" << aucs[i].first
+        << "\": " << aucs[i].second;
+  }
+  out << "\n    }\n  }\n}\n";
+}
+
+/// The gate's precondition: AUC bit-identical across thread counts.
+bool verify_determinism(std::vector<std::pair<std::string, double>>* aucs) {
+  for (const char* plant : kPlants) {
+    const tune::RocCurve serial = sweep(plant, 1);
+    const tune::RocCurve parallel = sweep(plant, 3);
+    if (serial.auc != parallel.auc || serial.points.size() != parallel.points.size()) {
+      std::fprintf(stderr, "FATAL: %s ROC sweep diverged across thread counts\n", plant);
+      return false;
+    }
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      if (serial.points[i].far != parallel.points[i].far ||
+          serial.points[i].detected != parallel.points[i].detected) {
+        std::fprintf(stderr, "FATAL: %s ROC point %zu diverged across thread counts\n",
+                     plant, i);
+        return false;
+      }
+    }
+    std::printf("%-18s auc %.6f over %zu scales\n", plant, serial.auc,
+                serial.points.size());
+    aucs->emplace_back(std::string("roc_auc_") + plant, serial.auc);
+  }
+  std::printf("\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::vector<std::pair<std::string, double>> aucs;
+  if (!verify_determinism(&aucs)) return 1;
+  const std::string json_path = "BENCH_detector_roc.json";
+  {
+    std::ofstream json_out(json_path);
+    if (!json_out) {
+      std::fprintf(stderr, "warning: cannot open %s for writing\n", json_path.c_str());
+      benchmark::RunSpecifiedBenchmarks();
+      benchmark::Shutdown();
+      return 0;
+    }
+    awd::bench::TeeReporter tee(&json_out);
+    benchmark::RunSpecifiedBenchmarks(&tee);
+  }
+  append_auc_block(json_path, aucs);
+  benchmark::Shutdown();
+  return 0;
+}

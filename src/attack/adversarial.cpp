@@ -1,0 +1,216 @@
+#include "attack/adversarial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace awd::attack {
+
+namespace {
+
+/// splitmix64 finalizer (same mixer the testkit and simulator seeds use);
+/// local copy so the attack layer stays free of sim/testkit includes.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+StealthyRampAttack::StealthyRampAttack(AttackWindow window, Vec tau, double margin,
+                                       std::size_t horizon)
+    : window_(window), slope_(tau.size()), margin_(margin), horizon_(horizon) {
+  if (window_.duration == 0) {
+    throw std::invalid_argument("StealthyRampAttack: zero duration");
+  }
+  if (!(margin > 0.0 && margin < 1.0)) {
+    throw std::invalid_argument(
+        "StealthyRampAttack: margin must be in (0, 1) — at 1 the ramp sits on "
+        "the detection threshold instead of under it");
+  }
+  if (horizon_ == 0) throw std::invalid_argument("StealthyRampAttack: zero horizon");
+  if (tau.size() == 0) throw std::invalid_argument("StealthyRampAttack: empty tau");
+  for (std::size_t d = 0; d < tau.size(); ++d) {
+    if (!(std::isfinite(tau[d]) && tau[d] > 0.0)) {
+      throw std::invalid_argument(
+          "StealthyRampAttack: tau must be finite and > 0 in every dimension");
+    }
+    // Two roundings (divide, then multiply) — matches apply()'s arithmetic.
+    const double per_step = tau[d] / static_cast<double>(horizon_);
+    slope_[d] = per_step * margin;
+  }
+}
+
+Vec StealthyRampAttack::apply(std::size_t t, const Vec& clean,
+                              const std::vector<Vec>& history) const {
+  Vec out(clean.size());
+  apply_into(t, clean, history, out);
+  return out;
+}
+
+void StealthyRampAttack::apply_into(std::size_t t, const Vec& clean,
+                                    const std::vector<Vec>&, Vec& out) const {
+  out = clean;
+  if (!window_.active(t)) return;
+  if (slope_.size() != out.size()) {
+    throw std::invalid_argument("StealthyRampAttack: tau/measurement size mismatch");
+  }
+#ifdef AWD_MUT_ATTACK_RAMP_OFF_BY_ONE
+  // [mutation-smoke seeded bug] ramps from index i instead of i + 1: the
+  // first attacked step injects zero and every later step lags one slope
+  // unit under the committed envelope.
+  const std::size_t i = t - window_.start;
+#else
+  const std::size_t i = t - window_.start + 1;
+#endif
+  const double steps = static_cast<double>(i < horizon_ ? i : horizon_);
+  // Statement-separated multiply/add: no contraction into an FMA, so the
+  // delivered bias is bitwise slope * steps added to clean.
+  for (std::size_t d = 0; d < out.size(); ++d) {
+    const double ramp = slope_[d] * steps;
+    out[d] += ramp;
+  }
+}
+
+JitteredReplayAttack::JitteredReplayAttack(AttackWindow window, std::size_t record_start,
+                                           std::size_t jitter, std::uint64_t seed)
+    : window_(window), record_start_(record_start), jitter_(jitter), seed_(seed) {
+  if (window_.duration == 0) {
+    throw std::invalid_argument("JitteredReplayAttack: zero duration");
+  }
+  if (jitter_ > record_start_) {
+    throw std::invalid_argument(
+        "JitteredReplayAttack: jitter band reaches before measurement 0 "
+        "(jitter must be <= record_start)");
+  }
+  if (record_start_ + window_.duration + jitter_ > window_.start) {
+    throw std::invalid_argument(
+        "JitteredReplayAttack: jittered recorded segment must end before the "
+        "attack starts");
+  }
+}
+
+std::ptrdiff_t JitteredReplayAttack::offset_at(std::size_t t) const noexcept {
+#ifdef AWD_MUT_ATTACK_DROP_JITTER
+  // [mutation-smoke seeded bug] drops the timing jitter entirely — the
+  // attack degenerates to a plain phase-aligned replay.
+  (void)t;
+  return 0;
+#else
+  if (jitter_ == 0) return 0;
+  const std::uint64_t span = 2 * static_cast<std::uint64_t>(jitter_) + 1;
+  const std::uint64_t draw = mix64(seed_ ^ static_cast<std::uint64_t>(t)) % span;
+  return static_cast<std::ptrdiff_t>(draw) - static_cast<std::ptrdiff_t>(jitter_);
+#endif
+}
+
+Vec JitteredReplayAttack::apply(std::size_t t, const Vec& clean,
+                                const std::vector<Vec>& history) const {
+  Vec out(clean.size());
+  apply_into(t, clean, history, out);
+  return out;
+}
+
+void JitteredReplayAttack::apply_into(std::size_t t, const Vec& clean,
+                                      const std::vector<Vec>& history, Vec& out) const {
+  if (!window_.active(t)) {
+    out = clean;
+    return;
+  }
+  const std::ptrdiff_t src_signed =
+      static_cast<std::ptrdiff_t>(record_start_ + (t - window_.start)) + offset_at(t);
+  // The constructor bounds keep src_signed >= 0; the history-size guard
+  // mirrors ReplayAttack (clean passthrough before enough history exists).
+  const std::size_t src = static_cast<std::size_t>(src_signed);
+  out = src >= history.size() ? clean : history[src];
+}
+
+CoordinatedBiasAttack::CoordinatedBiasAttack(AttackWindow window, Vec direction,
+                                             double magnitude, std::size_t ramp_in)
+    : window_(window), unit_(std::move(direction)), magnitude_(magnitude),
+      ramp_in_(ramp_in) {
+  if (window_.duration == 0) {
+    throw std::invalid_argument("CoordinatedBiasAttack: zero duration");
+  }
+  if (!std::isfinite(magnitude_) || magnitude_ <= 0.0) {
+    throw std::invalid_argument("CoordinatedBiasAttack: magnitude must be finite and > 0");
+  }
+  if (ramp_in_ == 0) throw std::invalid_argument("CoordinatedBiasAttack: zero ramp_in");
+  if (!unit_.is_finite()) {
+    throw std::invalid_argument("CoordinatedBiasAttack: non-finite direction");
+  }
+  const double norm = unit_.norm2();
+  if (!(norm > 0.0)) {
+    throw std::invalid_argument("CoordinatedBiasAttack: zero direction");
+  }
+  for (std::size_t d = 0; d < unit_.size(); ++d) unit_[d] /= norm;
+}
+
+Vec CoordinatedBiasAttack::apply(std::size_t t, const Vec& clean,
+                                 const std::vector<Vec>& history) const {
+  Vec out(clean.size());
+  apply_into(t, clean, history, out);
+  return out;
+}
+
+void CoordinatedBiasAttack::apply_into(std::size_t t, const Vec& clean,
+                                       const std::vector<Vec>&, Vec& out) const {
+  out = clean;
+  if (!window_.active(t)) return;
+  if (unit_.size() != out.size()) {
+    throw std::invalid_argument("CoordinatedBiasAttack: direction/measurement size mismatch");
+  }
+  const std::size_t i = t - window_.start + 1;
+  const double frac =
+      i < ramp_in_ ? static_cast<double>(i) / static_cast<double>(ramp_in_) : 1.0;
+  const double level = magnitude_ * frac;
+  for (std::size_t d = 0; d < out.size(); ++d) {
+    const double push = unit_[d] * level;
+    out[d] += push;
+  }
+}
+
+IntermittentAttack::IntermittentAttack(AttackWindow window,
+                                       std::shared_ptr<const Attack> inner,
+                                       std::size_t period, std::size_t on_steps)
+    : window_(window), inner_(std::move(inner)), period_(period), on_steps_(on_steps) {
+  if (window_.duration == 0) {
+    throw std::invalid_argument("IntermittentAttack: zero duration");
+  }
+  if (!inner_) throw std::invalid_argument("IntermittentAttack: null inner attack");
+  if (period_ < 2) throw std::invalid_argument("IntermittentAttack: period must be >= 2");
+  if (on_steps_ == 0 || on_steps_ >= period_) {
+    throw std::invalid_argument(
+        "IntermittentAttack: on_steps must be in [1, period) — a full-period "
+        "on-phase is just the inner attack");
+  }
+}
+
+bool IntermittentAttack::on_phase(std::size_t t) const noexcept {
+  if (t < window_.start) return false;
+#ifdef AWD_MUT_ATTACK_INTERMITTENT_ALWAYS_ON
+  // [mutation-smoke seeded bug] never switches off: the duty cycle
+  // disappears and every windowed mean integrates the full inner bias.
+  return true;
+#else
+  return (t - window_.start) % period_ < on_steps_;
+#endif
+}
+
+Vec IntermittentAttack::apply(std::size_t t, const Vec& clean,
+                              const std::vector<Vec>& history) const {
+  if (!window_.active(t) || !on_phase(t)) return clean;
+  return inner_->apply(t, clean, history);
+}
+
+void IntermittentAttack::apply_into(std::size_t t, const Vec& clean,
+                                    const std::vector<Vec>& history, Vec& out) const {
+  if (!window_.active(t) || !on_phase(t)) {
+    out = clean;
+    return;
+  }
+  inner_->apply_into(t, clean, history, out);
+}
+
+}  // namespace awd::attack

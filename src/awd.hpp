@@ -18,6 +18,7 @@
 //   * campaigns   — ExperimentSpec / SweepSpec runners (Table 2 / Fig. 7)
 //   * calibration — threshold / max-window profiling
 //   * serving     — StreamEngine: batched multi-stream detection
+//   * tuning      — auto-tuner to a target FAR, ROC/AUC sweeps
 //   * tooling     — CSV export, observability session
 #pragma once
 
@@ -37,6 +38,8 @@
 #include "serve/stream_engine.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "tune/roc.hpp"
+#include "tune/tuner.hpp"
 
 namespace awd {
 inline namespace v1 {
@@ -116,6 +119,17 @@ using serve::introspection_json;
 using serve::replay_dump;
 using serve::ReplayReport;
 using serve::ShardIntrospection;
+
+// Auto-tuning & adversarial corpus (DESIGN.md §16).
+using tune::FarSample;
+using tune::measure_far;
+using tune::roc_sweep;
+using tune::RocCurve;
+using tune::RocOptions;
+using tune::RocPoint;
+using tune::tune_detector;
+using tune::TuneOptions;
+using tune::TuneReport;
 
 // Tooling.
 using core::write_trace_csv;

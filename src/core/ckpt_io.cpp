@@ -170,7 +170,7 @@ void write_attack_kind(Writer& w, AttackKind k) { w.u8(static_cast<std::uint8_t>
 bool read_attack_kind(Reader& r, AttackKind& k) {
   std::uint8_t v = 0;
   if (!r.u8(v)) return false;
-  if (v > static_cast<std::uint8_t>(AttackKind::kFreeze)) {
+  if (v > static_cast<std::uint8_t>(AttackKind::kIntermittentBias)) {
     r.fail();
     return false;
   }
@@ -211,6 +211,13 @@ void write_case(Writer& w, const SimulatorCase& c) {
   w.u64(c.delay_lag);
   w.u64(c.replay_record_start);
   w.vec(c.ramp_slope);
+  w.f64(c.stealth_margin);
+  w.u64(c.stealth_horizon);
+  w.u64(c.replay_jitter);
+  w.u64(c.intermittent_period);
+  w.u64(c.intermittent_on);
+  w.f64(c.target_far);
+  w.u64(c.tune_trials);
 }
 
 bool read_case(Reader& r, SimulatorCase& c) {
@@ -260,6 +267,21 @@ bool read_case(Reader& r, SimulatorCase& c) {
   c.attack_duration = static_cast<std::size_t>(attack_duration);
   c.delay_lag = static_cast<std::size_t>(delay_lag);
   c.replay_record_start = static_cast<std::size_t>(replay_record_start);
+  std::uint64_t stealth_horizon = 0;
+  std::uint64_t replay_jitter = 0;
+  std::uint64_t intermittent_period = 0;
+  std::uint64_t intermittent_on = 0;
+  std::uint64_t tune_trials = 0;
+  if (!r.f64(c.stealth_margin) || !r.u64(stealth_horizon) || !r.u64(replay_jitter) ||
+      !r.u64(intermittent_period) || !r.u64(intermittent_on) || !r.f64(c.target_far) ||
+      !r.u64(tune_trials)) {
+    return false;
+  }
+  c.stealth_horizon = static_cast<std::size_t>(stealth_horizon);
+  c.replay_jitter = static_cast<std::size_t>(replay_jitter);
+  c.intermittent_period = static_cast<std::size_t>(intermittent_period);
+  c.intermittent_on = static_cast<std::size_t>(intermittent_on);
+  c.tune_trials = static_cast<std::size_t>(tune_trials);
   return true;
 }
 

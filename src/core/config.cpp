@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "attack/adversarial.hpp"
+
 #include "models/discretize.hpp"
 #include "models/model_bank.hpp"
 
@@ -34,6 +36,10 @@ std::string_view to_string(AttackKind kind) noexcept {
     case AttackKind::kReplay: return "replay";
     case AttackKind::kRamp: return "ramp";
     case AttackKind::kFreeze: return "freeze";
+    case AttackKind::kStealthyRamp: return "stealthy_ramp";
+    case AttackKind::kJitterReplay: return "jitter_replay";
+    case AttackKind::kCoordinatedBias: return "coordinated_bias";
+    case AttackKind::kIntermittentBias: return "intermittent_bias";
   }
   return "unknown";
 }
@@ -62,6 +68,36 @@ std::shared_ptr<const attack::Attack> SimulatorCase::make_attack(AttackKind kind
       return std::make_shared<RampAttack>(window, ramp_slope);
     case AttackKind::kFreeze:
       return std::make_shared<FreezeAttack>(window);
+    case AttackKind::kStealthyRamp: {
+      const std::size_t horizon = stealth_horizon != 0 ? stealth_horizon : max_window;
+      return std::make_shared<StealthyRampAttack>(window, tau, stealth_margin, horizon);
+    }
+    case AttackKind::kJitterReplay: {
+      // Clamp like kReplay, leaving room for the jitter band on both sides.
+      const std::size_t jitter = std::min(replay_jitter, replay_record_start);
+      AttackWindow w = window;
+      const std::size_t avail = attack_start > replay_record_start + jitter
+                                    ? attack_start - replay_record_start - jitter
+                                    : 0;
+      w.duration = std::min(w.duration, avail);
+      // The jitter offset is a pure function of (seed, step); a fixed seed
+      // keeps make_attack deterministic per case.
+      return std::make_shared<JitteredReplayAttack>(w, replay_record_start, jitter,
+                                                    0x6a177e12u);
+    }
+    case AttackKind::kCoordinatedBias: {
+      // Direction defaults to the bias vector; tau (always strictly
+      // positive) is the fallback when the case has a zero bias.
+      const bool bias_usable = bias.size() == tau.size() && bias.norm2() > 0.0;
+      const Vec& dir = bias_usable ? bias : tau;
+      return std::make_shared<CoordinatedBiasAttack>(window, dir, dir.norm2(),
+                                                     std::max<std::size_t>(1, max_window));
+    }
+    case AttackKind::kIntermittentBias: {
+      auto inner = std::make_shared<BiasAttack>(window, bias);
+      return std::make_shared<IntermittentAttack>(window, std::move(inner),
+                                                  intermittent_period, intermittent_on);
+    }
   }
   throw std::invalid_argument("SimulatorCase::make_attack: unknown attack kind");
 }
@@ -156,6 +192,26 @@ Status SimulatorCase::check() const noexcept {
   }
   if (attack_start + attack_duration > steps) {
     return {kBad, "attack extends beyond the run"};
+  }
+  if (!(std::isfinite(stealth_margin) && stealth_margin > 0.0 && stealth_margin < 1.0)) {
+    return {kBad, "stealth_margin must be in (0, 1) (at 1 the stealthy ramp "
+                  "sits on the threshold instead of under it)"};
+  }
+  if (intermittent_period < 2) {
+    return {kBad, "intermittent_period must be >= 2 (a 1-step cycle cannot "
+                  "switch off)"};
+  }
+  if (intermittent_on == 0 || intermittent_on >= intermittent_period) {
+    return {kBad, "intermittent_on must be in [1, intermittent_period) (an "
+                  "always-on or never-on duty cycle is not intermittent)"};
+  }
+  if (!(std::isfinite(target_far) && target_far > 0.0 && target_far < 1.0)) {
+    return {kBad, "target_far must be in (0, 1) (the auto-tuner needs an "
+                  "achievable false-alarm target)"};
+  }
+  if (tune_trials == 0) {
+    return {kBad, "tune_trials must be >= 1 (the FAR estimator needs at "
+                  "least one attack-free run)"};
   }
   return Status::ok();
 }

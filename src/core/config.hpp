@@ -29,8 +29,22 @@ namespace awd::core {
 using linalg::Matrix;
 using linalg::Vec;
 
-/// Attack scenarios of §6.1.1 (plus extensions).
-enum class AttackKind { kNone, kBias, kDelay, kReplay, kRamp, kFreeze };
+/// Attack scenarios of §6.1.1 (plus extensions).  The last four are the
+/// detector-aware adversarial scenarios (attack/adversarial.hpp): an
+/// attacker who knows the calibrated threshold and shapes the injection to
+/// evade it.
+enum class AttackKind {
+  kNone,
+  kBias,
+  kDelay,
+  kReplay,
+  kRamp,
+  kFreeze,
+  kStealthyRamp,      ///< ramp held at stealth_margin * tau (sub-threshold)
+  kJitterReplay,      ///< replay with ±replay_jitter timing wobble
+  kCoordinatedBias,   ///< one direction pushed on every sensor, ramped in
+  kIntermittentBias,  ///< bias duty-cycled so window means never integrate it
+};
 
 /// Parallel-execution knob shared by the Monte-Carlo workloads (run_cell,
 /// fixed_window_sweep) and their bench/example entry points.  Results are
@@ -86,6 +100,18 @@ struct SimulatorCase {
   std::size_t delay_lag = 10;        ///< delay-attack lag (steps)
   std::size_t replay_record_start = 50;  ///< replay source segment start
   Vec ramp_slope;                    ///< ramp-attack per-step slope
+
+  // Adversarial-scenario parameterization (attack/adversarial.hpp).
+  double stealth_margin = 0.5;          ///< stealthy ramp holds at margin * tau, in (0,1)
+  std::size_t stealth_horizon = 0;      ///< ramp-in steps (0 = max_window)
+  std::size_t replay_jitter = 2;        ///< jittered-replay timing wobble (steps)
+  std::size_t intermittent_period = 8;  ///< on/off duty-cycle length (>= 2)
+  std::size_t intermittent_on = 3;      ///< on-steps per cycle, in [1, period)
+
+  // Auto-tuner defaults (src/tune): the false-alarm rate the thresholds are
+  // calibrated to and the attack-free Monte-Carlo trial count doing it.
+  double target_far = 0.02;      ///< target FAR, in (0, 1)
+  std::size_t tune_trials = 24;  ///< attack-free runs per FAR measurement (>= 1)
 
   /// Fresh PID controller configured for this plant.
   [[nodiscard]] std::unique_ptr<sim::Controller> make_controller() const;

@@ -27,4 +27,11 @@ PropertyResult replay_determinism(std::uint64_t seed, const GenLimits& limits);
 PropertyResult checkpoint_roundtrip(std::uint64_t seed, const GenLimits& limits);
 PropertyResult simd_scalar_differential(std::uint64_t seed, const GenLimits& limits);
 
+// properties_adversarial.cpp — auto-tuner + detector-aware attacks
+// (ROADMAP item 4, DESIGN.md §16).
+PropertyResult tuned_far_within_tolerance(std::uint64_t seed, const GenLimits& limits);
+PropertyResult stealthy_ramp_stays_sub_threshold(std::uint64_t seed, const GenLimits& limits);
+PropertyResult adversarial_attack_envelopes(std::uint64_t seed, const GenLimits& limits);
+PropertyResult adversarial_pipeline_determinism(std::uint64_t seed, const GenLimits& limits);
+
 }  // namespace awd::testkit::props

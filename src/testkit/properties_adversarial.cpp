@@ -1,0 +1,332 @@
+// properties_adversarial.cpp — oracles for the auto-tuner (src/tune) and
+// the detector-aware adversarial attacks (attack/adversarial.hpp): the
+// tuner drives the measured false-alarm rate into its tolerance band, the
+// stealthy ramp provably stays under the threshold it was built from, each
+// adversarial injector matches an independently recomputed envelope
+// bit-for-bit, and the full pipeline stays deterministic (and finite) under
+// every adversarial scenario the generator can produce.
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/adversarial.hpp"
+#include "core/detection_system.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "testkit/properties.hpp"
+#include "tune/tuner.hpp"
+
+namespace awd::testkit::props {
+
+namespace {
+
+/// Independent reimplementation of the jitter offset's splitmix64 mixer
+/// (Weyl increment + finalizer), so the differential check fails the moment
+/// the attack's draw deviates — including a dropped draw.
+std::uint64_t jitter_mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Random measurement vector with entries in [-2, 2].
+Vec random_vec(PropRng& rng, std::size_t n) {
+  Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+/// Bitwise comparison of the detection-relevant fields of two step records.
+bool records_equal(const sim::StepRecord& a, const sim::StepRecord& b) {
+  return a.t == b.t && a.true_state == b.true_state && a.estimate == b.estimate &&
+         a.residual == b.residual && a.control == b.control &&
+         a.deadline == b.deadline && a.window == b.window &&
+         a.adaptive_alarm == b.adaptive_alarm && a.fixed_alarm == b.fixed_alarm &&
+         a.attack_active == b.attack_active && a.unsafe == b.unsafe;
+}
+
+}  // namespace
+
+PropertyResult tuned_far_within_tolerance(std::uint64_t seed, const GenLimits& limits) {
+  PropRng rng(seed);
+  // Small plants, moderate runs: the FAR quantum (1 / clean steps) must sit
+  // well below the absolute tolerance band or no threshold can land inside.
+  GenLimits tight = limits;
+  tight.max_steps = std::min<std::size_t>(limits.max_steps, 140);
+  tight.window_cap = std::min<std::size_t>(limits.window_cap, 24);
+  tight.max_state_dim = std::min<std::size_t>(limits.max_state_dim, 3);
+  ScenarioOptions opt;
+  opt.min_steps = 100;
+  opt.allow_budget = false;
+  Scenario sc = generate_scenario(rng, tight, opt);
+  sc.attack = core::AttackKind::kNone;
+  sc.scase.attack_start = 0;
+  sc.scase.attack_duration = 0;
+  // Shrunk limits can drop steps to just above the warmup window; keep a
+  // handful of clean steps per trial so a FAR is measurable at all.
+  if (sc.scase.steps <= sc.scase.max_window + 4) {
+    sc.scase.max_window = std::max<std::size_t>(1, sc.scase.steps / 4);
+    sc.scase.fixed_window = std::min(sc.scase.fixed_window, sc.scase.max_window);
+  }
+
+  const double target = rng.uniform(0.05, 0.2);
+  tune::TuneOptions topt;
+  topt.target_far = target;
+  topt.trials = 4;
+  topt.rel_tolerance = 0.25;
+  topt.max_iterations = 40;
+  const core::Result<tune::TuneReport> res = tune::tune_detector(sc.scase, topt);
+  if (!res.is_ok()) {
+    return PropertyResult::fail("tune_detector rejected a generated case: " +
+                                std::string(res.status().message()) + "; " + sc.describe());
+  }
+  const tune::TuneReport& rep = res.value();
+  std::ostringstream ctx;
+  ctx.precision(17);
+  ctx << "target " << target << ", achieved " << rep.achieved_far << ", scale "
+      << rep.scale << ", " << rep.iterations << " iterations over " << rep.clean_steps
+      << " clean steps; " << sc.describe();
+  if (!rep.converged) {
+    return PropertyResult::fail("tuner did not converge: " + ctx.str());
+  }
+  if (std::abs(rep.achieved_far - target) > topt.rel_tolerance * target + 1e-12) {
+    return PropertyResult::fail("converged report is outside the tolerance band: " +
+                                ctx.str());
+  }
+  if (core::Status s = rep.tuned.check(); !s.is_ok()) {
+    return PropertyResult::fail("tuned case fails check(): " +
+                                std::string(s.message()) + "; " + ctx.str());
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult stealthy_ramp_stays_sub_threshold(std::uint64_t seed,
+                                                 const GenLimits& limits) {
+  PropRng rng(seed);
+  Scenario sc = generate_scenario(rng, limits, {});
+  const Vec& tau = sc.scase.tau;
+  const double margin = rng.uniform(0.1, 0.95);
+  const std::size_t horizon = rng.range(1, 64);
+  const std::size_t start = rng.below(40);
+  const std::size_t duration = rng.range(1, 3 * horizon);
+  const attack::StealthyRampAttack atk({start, duration}, tau, margin, horizon);
+
+  const std::vector<Vec> no_history;
+  Vec out(tau.size());
+  for (std::size_t t = start == 0 ? 0 : start - 1; t < start + duration + 2; ++t) {
+    const Vec clean = random_vec(rng, tau.size());
+    atk.apply_into(t, clean, no_history, out);
+    if (!(t >= start && t < start + duration)) {
+      if (!(out == clean)) {
+        return PropertyResult::fail("inactive step " + std::to_string(t) +
+                                    " did not pass the measurement through; " +
+                                    sc.describe());
+      }
+      continue;
+    }
+    const std::size_t i = t - start + 1;
+    const double steps = static_cast<double>(i < horizon ? i : horizon);
+    for (std::size_t d = 0; d < tau.size(); ++d) {
+      // Bitwise: the injected bias is exactly slope * min(i + 1, horizon) —
+      // the first attacked step already carries one slope unit (kills the
+      // off-by-one mutant), and the recomputed sum must match apply_into's.
+      const double ramp = atk.slope()[d] * steps;
+      const double expected = clean[d] + ramp;
+      if (out[d] != expected) {
+        std::ostringstream os;
+        os.precision(17);
+        os << "ramp envelope mismatch at t=" << t << " dim " << d << ": delivered "
+           << out[d] << ", expected clean + slope*min(i+1,horizon) = " << expected
+           << " (margin " << margin << ", horizon " << horizon << "); " << sc.describe();
+        return PropertyResult::fail(os.str());
+      }
+      // Sub-threshold guarantee: the bias never reaches margin-free tau, so
+      // a windowed mean of these biases alone can never trip the detector.
+      if (!(ramp <= margin * tau[d] * (1.0 + 1e-12))) {
+        std::ostringstream os;
+        os.precision(17);
+        os << "ramp bias " << ramp << " exceeds margin*tau = " << margin * tau[d]
+           << " at t=" << t << " dim " << d << "; " << sc.describe();
+        return PropertyResult::fail(os.str());
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult adversarial_attack_envelopes(std::uint64_t seed, const GenLimits& limits) {
+  PropRng rng(seed);
+  Scenario sc = generate_scenario(rng, limits, {});  // context for failure reports
+  const std::size_t dim = rng.range(1, 4);
+
+  // --- Jittered replay: source index = record_start + i + offset(seed, t),
+  // offset recomputed through an independent copy of the mixer.
+  {
+    const std::size_t jitter = rng.range(1, 3);
+    const std::size_t record_start = rng.range(jitter, jitter + 10);
+    const std::size_t duration = rng.range(8, 24);
+    const std::size_t start = record_start + duration + jitter + rng.below(8);
+    const std::uint64_t jseed = rng.fork(0x1a77e2u);
+    const attack::JitteredReplayAttack atk({start, duration}, record_start, jitter, jseed);
+
+    std::vector<Vec> history;
+    history.reserve(start);
+    for (std::size_t t = 0; t < start; ++t) history.push_back(random_vec(rng, dim));
+
+    Vec out(dim);
+    for (std::size_t t = start; t < start + duration; ++t) {
+      const std::ptrdiff_t expect_off =
+          static_cast<std::ptrdiff_t>(jitter_mix(jseed ^ static_cast<std::uint64_t>(t)) %
+                                      (2 * static_cast<std::uint64_t>(jitter) + 1)) -
+          static_cast<std::ptrdiff_t>(jitter);
+      if (atk.offset_at(t) != expect_off) {
+        return PropertyResult::fail(
+            "jitter offset diverged from the committed draw at t=" + std::to_string(t) +
+            ": got " + std::to_string(atk.offset_at(t)) + ", expected " +
+            std::to_string(expect_off) + "; " + sc.describe());
+      }
+      if (expect_off < -static_cast<std::ptrdiff_t>(jitter) ||
+          expect_off > static_cast<std::ptrdiff_t>(jitter)) {
+        return PropertyResult::fail("jitter offset outside the +-jitter band at t=" +
+                                    std::to_string(t) + "; " + sc.describe());
+      }
+      const Vec clean = random_vec(rng, dim);
+      atk.apply_into(t, clean, history, out);
+      const std::size_t src = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(record_start + (t - start)) + expect_off);
+      if (!(out == history[src])) {
+        return PropertyResult::fail(
+            "jittered replay did not deliver history[" + std::to_string(src) +
+            "] at t=" + std::to_string(t) + "; " + sc.describe());
+      }
+    }
+  }
+
+  // --- Coordinated bias: delivered == clean + unit * (magnitude * frac),
+  // with the direction normalized to unit 2-norm at construction.
+  {
+    Vec dir(dim);
+    double norm = 0.0;
+    while (norm == 0.0) {
+      dir = random_vec(rng, dim);
+      norm = dir.norm2();
+    }
+    const double magnitude = rng.uniform(0.1, 5.0);
+    const std::size_t ramp_in = rng.range(1, 16);
+    const std::size_t start = rng.below(20);
+    const std::size_t duration = rng.range(1, 2 * ramp_in + 4);
+    const attack::CoordinatedBiasAttack atk({start, duration}, dir, magnitude, ramp_in);
+
+    if (std::abs(atk.direction().norm2() - 1.0) > 1e-9) {
+      return PropertyResult::fail("coordinated direction is not unit-norm; " +
+                                  sc.describe());
+    }
+    const std::vector<Vec> no_history;
+    Vec out(dim);
+    for (std::size_t t = start; t < start + duration; ++t) {
+      const Vec clean = random_vec(rng, dim);
+      atk.apply_into(t, clean, no_history, out);
+      const std::size_t i = t - start + 1;
+      const double frac =
+          i < ramp_in ? static_cast<double>(i) / static_cast<double>(ramp_in) : 1.0;
+      const double level = magnitude * frac;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double push = atk.direction()[d] * level;
+        if (out[d] != clean[d] + push) {
+          std::ostringstream os;
+          os.precision(17);
+          os << "coordinated bias mismatch at t=" << t << " dim " << d << ": delivered "
+             << out[d] << ", expected " << clean[d] + push << "; " << sc.describe();
+          return PropertyResult::fail(os.str());
+        }
+      }
+    }
+  }
+
+  // --- Intermittent duty cycle: on-phase steps equal the inner bias
+  // bitwise, off-phase steps deliver the clean measurement bit-for-bit.
+  {
+    const std::size_t period = rng.range(2, 10);
+    const std::size_t on_steps = rng.range(1, period - 1);
+    const std::size_t start = rng.below(20);
+    const std::size_t duration = rng.range(period + 1, 4 * period);
+    const Vec bias = random_vec(rng, dim);
+    auto inner = std::make_shared<attack::BiasAttack>(
+        attack::AttackWindow{start, duration}, bias);
+    const attack::IntermittentAttack atk({start, duration}, inner, period, on_steps);
+
+    const std::vector<Vec> no_history;
+    Vec out(dim);
+    for (std::size_t t = start; t < start + duration; ++t) {
+      const Vec clean = random_vec(rng, dim);
+      atk.apply_into(t, clean, no_history, out);
+      const bool on = (t - start) % period < on_steps;
+      if (atk.active(t) != on) {
+        return PropertyResult::fail("intermittent active() disagrees with the duty "
+                                    "cycle at t=" + std::to_string(t) + "; " +
+                                    sc.describe());
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double expected = on ? clean[d] + bias[d] : clean[d];
+        if (out[d] != expected) {
+          std::ostringstream os;
+          os.precision(17);
+          os << "intermittent " << (on ? "on" : "off") << "-phase mismatch at t=" << t
+             << " dim " << d << ": delivered " << out[d] << ", expected " << expected
+             << " (period " << period << ", on " << on_steps << "); " << sc.describe();
+          return PropertyResult::fail(os.str());
+        }
+      }
+    }
+  }
+
+  return PropertyResult::pass();
+}
+
+PropertyResult adversarial_pipeline_determinism(std::uint64_t seed,
+                                                const GenLimits& limits) {
+  PropRng rng(seed);
+  GenLimits tight = limits;
+  tight.max_steps = std::min<std::size_t>(limits.max_steps, 120);
+  Scenario sc = generate_adversarial_scenario(rng, tight, {});
+
+  // Twin runs must agree bitwise, and every record must stay finite: an
+  // adversarial schedule is still a deterministic, well-behaved scenario.
+  core::DetectionSystem a(sc.scase, sc.attack, sc.sim_seed, {});
+  core::DetectionSystem b(sc.scase, sc.attack, sc.sim_seed, {});
+  for (std::size_t t = 0; t < sc.scase.steps; ++t) {
+    const sim::StepRecord ra = a.step();
+    const sim::StepRecord rb = b.step();
+    if (!records_equal(ra, rb)) {
+      return PropertyResult::fail("twin adversarial runs diverged at t=" +
+                                  std::to_string(t) + "; " + sc.describe());
+    }
+    if (!ra.residual.is_finite() || !ra.estimate.is_finite()) {
+      return PropertyResult::fail("non-finite record at t=" + std::to_string(t) +
+                                  " under an adversarial attack; " + sc.describe());
+    }
+  }
+
+  // The experiment engine must stay bit-identical across thread counts with
+  // the adversarial kinds in the mix, exactly like the classic ones.
+  core::ExperimentSpec spec{.scase = sc.scase,
+                            .attack = sc.attack,
+                            .runs = 3,
+                            .base_seed = rng.fork(0xadce11u),
+                            .metrics = core::MetricsOptions{},
+                            .threads = 1};
+  const core::CellResult serial = core::run_cell(spec).value();
+  spec.threads = 3;
+  const core::CellResult parallel = core::run_cell(spec).value();
+  if (!(serial == parallel)) {
+    return PropertyResult::fail(
+        "run_cell diverged between 1 and 3 threads on an adversarial scenario; " +
+        sc.describe());
+  }
+  return PropertyResult::pass();
+}
+
+}  // namespace awd::testkit::props

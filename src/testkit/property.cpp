@@ -62,6 +62,25 @@ const std::vector<Property>& property_catalogue() {
        "byte-identical checkpoint images, and a scalar-produced checkpoint "
        "resumed under the SIMD set continues bitwise (ULP bound 0)",
        &props::simd_scalar_differential},
+      {"tuned_far_within_tolerance", "DESIGN.md §16",
+       "the auto-tuner converges on random attack-free plants and its "
+       "reported false-alarm rate lands inside the requested tolerance band",
+       &props::tuned_far_within_tolerance},
+      {"stealthy_ramp_stays_sub_threshold", "DESIGN.md §16",
+       "the threshold-aware ramp injects exactly slope*min(i+1,horizon) per "
+       "step and its bias never reaches margin*tau — sub-threshold by "
+       "construction against the tau it was built from",
+       &props::stealthy_ramp_stays_sub_threshold},
+      {"adversarial_attack_envelopes", "DESIGN.md §16",
+       "jittered replay, coordinated bias and intermittent injectors match "
+       "independently recomputed envelopes bit-for-bit (source index, ramp "
+       "level, duty cycle, clean off-phase passthrough)",
+       &props::adversarial_attack_envelopes},
+      {"adversarial_pipeline_determinism", "DESIGN.md §16",
+       "adversarial scenarios run the full pipeline without divergence: twin "
+       "runs are bitwise identical, records stay finite, and run_cell agrees "
+       "across thread counts",
+       &props::adversarial_pipeline_determinism},
   };
   return kCatalogue;
 }

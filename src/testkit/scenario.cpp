@@ -165,4 +165,59 @@ Scenario generate_scenario(PropRng& rng, const GenLimits& limits,
   return sc;
 }
 
+const std::vector<core::AttackKind>& adversarial_attack_kinds() {
+  static const std::vector<core::AttackKind> kKinds = {
+      core::AttackKind::kStealthyRamp, core::AttackKind::kJitterReplay,
+      core::AttackKind::kCoordinatedBias, core::AttackKind::kIntermittentBias};
+  return kKinds;
+}
+
+Scenario generate_adversarial_scenario(PropRng& rng, const GenLimits& limits,
+                                       const ScenarioOptions& options) {
+  Scenario sc = generate_scenario(rng, limits, options);
+  core::SimulatorCase& c = sc.scase;
+
+  // Draw the adversarial kind and every attack parameter unconditionally,
+  // so the stream position past this generator never depends on which
+  // branch a shrink pass takes.
+  const std::vector<core::AttackKind>& kinds = adversarial_attack_kinds();
+  const core::AttackKind kind = kinds[rng.below(kinds.size())];
+  const double margin = rng.uniform(0.2, 0.9);
+  const bool horizon_tracks_window = rng.chance(0.4);  // 0 = follow max_window
+  const std::size_t horizon = rng.range(4, 40);
+  const std::size_t jitter = rng.range(1, 3);
+  const std::size_t period = rng.range(2, 12);
+  const std::size_t on_steps = rng.range(1, period - 1);
+  const std::size_t start_draw = rng.next();
+  const std::size_t duration_draw = rng.next();
+  const std::size_t record_draw = rng.next();
+
+  if (limits.allow_attack && c.steps >= 12) {
+    sc.attack = kind;
+    // Fresh window: the base generator only schedules an attack 75% of the
+    // time, and adversarial properties need one every trial.
+    const std::size_t start_lo = std::min<std::size_t>(c.steps / 4 + 1, c.steps - 2);
+    c.attack_start = start_lo + start_draw % (c.steps - 2 - start_lo + 1);
+    c.attack_duration = 1 + duration_draw % (c.steps - c.attack_start);
+    c.stealth_margin = margin;
+    c.stealth_horizon = horizon_tracks_window ? 0 : horizon;
+    // Keep the jittered band inside recorded history and strictly before
+    // the attack (make_attack clamps the duration to what fits; leaving
+    // less than one step would make it throw).
+    c.replay_record_start = record_draw % c.attack_start;
+    const std::size_t jitter_cap =
+        std::min(c.replay_record_start, c.attack_start - c.replay_record_start - 1);
+    c.replay_jitter = std::min(jitter, jitter_cap);
+    c.intermittent_period = period;
+    c.intermittent_on = on_steps;
+  } else {
+    sc.attack = core::AttackKind::kNone;
+    c.attack_start = 0;
+    c.attack_duration = 0;
+  }
+
+  c.validate();
+  return sc;
+}
+
 }  // namespace awd::testkit

@@ -77,4 +77,16 @@ struct Scenario {
 [[nodiscard]] Scenario generate_scenario(PropRng& rng, const GenLimits& limits,
                                          const ScenarioOptions& options = {});
 
+/// The detector-aware attack kinds the adversarial generator draws from.
+[[nodiscard]] const std::vector<core::AttackKind>& adversarial_attack_kinds();
+
+/// Generate a scenario whose attack is drawn from the adversarial pool
+/// (stealthy ramp, jittered replay, coordinated bias, intermittent bias)
+/// with randomized attack parameters.  Built on generate_scenario with
+/// additional draws, so it shrinks through the same GenLimits: tightening
+/// limits still yields valid scenarios, and `allow_attack = false` degrades
+/// to an attack-free run exactly like the base generator.
+[[nodiscard]] Scenario generate_adversarial_scenario(PropRng& rng, const GenLimits& limits,
+                                                     const ScenarioOptions& options = {});
+
 }  // namespace awd::testkit

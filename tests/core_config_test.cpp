@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -267,6 +268,88 @@ TEST(Config, UnknownKeyErrorListsValidNames) {
                             "dc_motor", "quadrotor", "testbed_car"}) {
       EXPECT_NE(what.find(key), std::string::npos) << key;
     }
+  }
+}
+
+TEST(Config, MakeAttackAdversarialKinds) {
+  const SimulatorCase c = simulator_case("aircraft_pitch");
+  EXPECT_EQ(c.make_attack(AttackKind::kStealthyRamp)->name(), "stealthy_ramp");
+  EXPECT_EQ(c.make_attack(AttackKind::kJitterReplay)->name(), "jitter_replay");
+  EXPECT_EQ(c.make_attack(AttackKind::kCoordinatedBias)->name(), "coordinated_bias");
+  EXPECT_EQ(c.make_attack(AttackKind::kIntermittentBias)->name(), "intermittent_bias");
+  EXPECT_EQ(to_string(AttackKind::kStealthyRamp), "stealthy_ramp");
+  EXPECT_EQ(to_string(AttackKind::kIntermittentBias), "intermittent_bias");
+}
+
+TEST(Config, CheckRejectsTargetFarOutsideOpenUnitInterval) {
+  // The interval is open at both ends: 0 and 1 are invalid, the adjacent
+  // representable doubles are valid.
+  for (const double bad : {0.0, 1.0, -0.01, 1.5,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    c.target_far = bad;
+    const Status s = c.check();
+    ASSERT_FALSE(s.is_ok()) << "target_far = " << bad;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidInput);
+    EXPECT_NE(s.message().find("target_far"), std::string_view::npos);
+  }
+  for (const double good : {std::nextafter(0.0, 1.0), std::nextafter(1.0, 0.0), 0.5}) {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    c.target_far = good;
+    EXPECT_TRUE(c.check().is_ok()) << "target_far = " << good;
+  }
+}
+
+TEST(Config, CheckRejectsZeroTuneTrials) {
+  SimulatorCase c = simulator_case("vehicle_turning");
+  c.tune_trials = 0;
+  const Status s = c.check();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidInput);
+  EXPECT_NE(s.message().find("tune_trials"), std::string_view::npos);
+  c.tune_trials = 1;  // the boundary itself is valid
+  EXPECT_TRUE(c.check().is_ok());
+}
+
+TEST(Config, CheckRejectsStealthMarginOutsideOpenUnitInterval) {
+  for (const double bad : {0.0, 1.0, -0.2, 2.0,
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    c.stealth_margin = bad;
+    const Status s = c.check();
+    ASSERT_FALSE(s.is_ok()) << "stealth_margin = " << bad;
+    EXPECT_NE(s.message().find("stealth_margin"), std::string_view::npos);
+  }
+  SimulatorCase c = simulator_case("vehicle_turning");
+  c.stealth_margin = std::nextafter(1.0, 0.0);
+  EXPECT_TRUE(c.check().is_ok());
+}
+
+TEST(Config, CheckRejectsDegenerateIntermittentDutyCycle) {
+  {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    c.intermittent_period = 1;
+    EXPECT_FALSE(c.check().is_ok());
+  }
+  {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    c.intermittent_on = 0;
+    EXPECT_FALSE(c.check().is_ok());
+  }
+  {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    c.intermittent_period = 4;
+    c.intermittent_on = 4;  // always-on is not intermittent
+    const Status s = c.check();
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_NE(s.message().find("intermittent_on"), std::string_view::npos);
+  }
+  {
+    SimulatorCase c = simulator_case("vehicle_turning");
+    c.intermittent_period = 2;
+    c.intermittent_on = 1;  // tightest valid duty cycle
+    EXPECT_TRUE(c.check().is_ok());
   }
 }
 

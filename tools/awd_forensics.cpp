@@ -34,6 +34,10 @@ const char* attack_name(AttackKind k) {
     case AttackKind::kReplay: return "replay";
     case AttackKind::kFreeze: return "freeze";
     case AttackKind::kRamp: return "ramp";
+    case AttackKind::kStealthyRamp: return "stealthy_ramp";
+    case AttackKind::kJitterReplay: return "jitter_replay";
+    case AttackKind::kCoordinatedBias: return "coordinated_bias";
+    case AttackKind::kIntermittentBias: return "intermittent_bias";
   }
   return "unknown";
 }

@@ -1,0 +1,132 @@
+// awd_tune — command-line front end for the detector auto-tuner
+// (DESIGN.md §16).
+//
+// Usage: awd_tune <case_key|all> [options]
+//   --target-far F    target false-alarm rate in (0,1)   (default: case's)
+//   --trials N        attack-free Monte-Carlo runs per FAR measurement
+//   --tolerance R     relative convergence band |far-target| <= R*target
+//   --threads N       parallel_for width (results bit-identical at any N)
+//   --seed S          base seed for the trial-seed derivation
+//   --roc             also sweep the ROC curve and print per-scale points
+//
+// Prints the closed-form chi2 initialization, the bisection outcome
+// (scale, tuned tau, achieved FAR vs target), the windowed-chi2/CUSUM
+// parameterization, and — with --roc — the FAR/TPR trade-off plus AUC.
+// Every number is a pure function of (case, options): rerunning with a
+// different --threads value must reproduce the output bit for bit.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "awd.hpp"
+
+namespace {
+
+using namespace awd;
+
+void print_vec(const char* label, const Vec& v) {
+  std::printf("  %-18s [", label);
+  for (std::size_t d = 0; d < v.size(); ++d)
+    std::printf("%s%.6g", d == 0 ? "" : ", ", v[d]);
+  std::printf("]\n");
+}
+
+int tune_one(const std::string& key, const TuneOptions& opts, bool with_roc) {
+  SimulatorCase scase;
+  try {
+    scase = simulator_case(key);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "awd_tune: %s\n", e.what());
+    return 1;
+  }
+
+  const Result<TuneReport> res = tune_detector(scase, opts);
+  if (!res.is_ok()) {
+    std::fprintf(stderr, "awd_tune: %s: %.*s\n", key.c_str(),
+                 static_cast<int>(res.status().message().size()),
+                 res.status().message().data());
+    return 1;
+  }
+  const TuneReport& rep = res.value();
+
+  std::printf("%s (n=%zu, w_m=%zu)\n", key.c_str(), scase.model.state_dim(),
+              scase.max_window);
+  print_vec("sigma", rep.sigma);
+  print_vec("tau0 (chi2 init)", rep.tau0);
+  print_vec("tau (tuned)", rep.tuned.tau);
+  std::printf("  %-18s %.6g\n", "scale", rep.scale);
+  std::printf("  %-18s %.6g\n", "chi2 threshold", rep.chi2_threshold);
+  print_vec("cusum drift", rep.cusum_drift);
+  print_vec("cusum threshold", rep.cusum_threshold);
+  std::printf("  %-18s %.6g (target %.6g, fixed-window %.6g)\n", "achieved FAR",
+              rep.achieved_far, rep.target_far, rep.achieved_far_fixed);
+  std::printf("  %-18s %s after %zu measurements over %zu clean steps\n", "converged",
+              rep.converged ? "yes" : "NO", rep.iterations, rep.clean_steps);
+
+  if (with_roc) {
+    RocOptions ropts;
+    ropts.threads = opts.threads;
+    const Result<RocCurve> roc = roc_sweep(rep.tuned, ropts);
+    if (!roc.is_ok()) {
+      std::fprintf(stderr, "awd_tune: %s: roc sweep failed\n", key.c_str());
+      return 1;
+    }
+    std::printf("  roc (%zu scales):\n", roc.value().points.size());
+    for (const RocPoint& p : roc.value().points) {
+      std::printf("    scale %-7.3g far %-10.6g tpr %-10.6g (%zu/%zu attacked runs)\n",
+                  p.scale, p.far, p.tpr, p.detected, p.attacked_runs);
+    }
+    std::printf("  %-18s %.6f\n", "auc", roc.value().auc);
+  }
+  std::printf("\n");
+  return rep.converged ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: awd_tune <case_key|all> [--target-far F] [--trials N] "
+                 "[--tolerance R] [--threads N] [--seed S] [--roc]\n");
+    return 2;
+  }
+  const std::string key = argv[1];
+  TuneOptions opts;
+  bool with_roc = false;
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "awd_tune: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--target-far") == 0) {
+      opts.target_far = std::strtod(next("--target-far"), nullptr);
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      opts.trials = std::strtoul(next("--trials"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--tolerance") == 0) {
+      opts.rel_tolerance = std::strtod(next("--tolerance"), nullptr);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opts.threads = std::strtoul(next("--threads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opts.base_seed = std::strtoull(next("--seed"), nullptr, 0);
+    } else if (std::strcmp(argv[i], "--roc") == 0) {
+      with_roc = true;
+    } else {
+      std::fprintf(stderr, "awd_tune: unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (key == "all") {
+    int rc = 0;
+    for (const SimulatorCase& scase : table1_cases())
+      rc |= tune_one(scase.key, opts, with_roc);
+    return rc;
+  }
+  return tune_one(key, opts, with_roc);
+}

@@ -28,6 +28,11 @@
 // --metrics-tolerance (default 0.10): a hit-rate collapse means deadline
 // queries silently fell back to the decay heuristic, which no timing
 // tolerance would catch.  Reports without the block pass unchanged.
+//
+// Derived metrics named "roc_auc_<plant>" (emitted by bench_detector_roc)
+// are the detection-quality gate: an absolute AUC drop beyond
+// --auc-tolerance (default 0.02) fails, because area ceded to the attacker
+// is a correctness regression regardless of how fast the sweep ran.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -199,11 +204,19 @@ const DerivedMetric* find_derived(const std::vector<DerivedMetric>& metrics,
 /// stopped serving queries); other derived metrics are informational.
 const char* const kGatedDerived[] = {"deadline_cache_hit_rate"};
 
+/// Detection-quality metrics (from bench_detector_roc): AUC per plant,
+/// gated on absolute drop with its own tolerance — area ceded to the
+/// attacker, not a timing ratio.
+bool is_auc_metric(const std::string& name) {
+  return name.rfind("roc_auc_", 0) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double tolerance = 0.25;
   double metrics_tolerance = 0.10;
+  double auc_tolerance = 0.02;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
@@ -214,15 +227,21 @@ int main(int argc, char** argv) {
       metrics_tolerance = std::strtod(argv[++i], nullptr);
     } else if (std::strncmp(argv[i], "--metrics-tolerance=", 20) == 0) {
       metrics_tolerance = std::strtod(argv[i] + 20, nullptr);
+    } else if (std::strcmp(argv[i], "--auc-tolerance") == 0 && i + 1 < argc) {
+      auc_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(argv[i], "--auc-tolerance=", 16) == 0) {
+      auc_tolerance = std::strtod(argv[i] + 16, nullptr);
     } else {
       files.emplace_back(argv[i]);
     }
   }
   if (files.size() != 2 || !(tolerance > 0.0) || !std::isfinite(tolerance) ||
-      !(metrics_tolerance > 0.0) || !std::isfinite(metrics_tolerance)) {
+      !(metrics_tolerance > 0.0) || !std::isfinite(metrics_tolerance) ||
+      !(auc_tolerance > 0.0) || !std::isfinite(auc_tolerance)) {
     std::fprintf(stderr,
                  "usage: awd_bench_compare <baseline.json> <current.json> "
-                 "[--tolerance 0.25] [--metrics-tolerance 0.10]\n");
+                 "[--tolerance 0.25] [--metrics-tolerance 0.10] "
+                 "[--auc-tolerance 0.02]\n");
     return 2;
   }
 
@@ -270,12 +289,23 @@ int main(int argc, char** argv) {
     std::printf("\n%-45s %14s %14s %9s\n", "derived metric", "baseline", "current",
                 "delta");
     for (const DerivedMetric& base : base_derived) {
-      const DerivedMetric* cur = find_derived(cur_derived, base.name);
-      if (cur == nullptr) continue;
-      const double delta = cur->value - base.value;
-      bool gated = false;
+      bool gated = is_auc_metric(base.name);
       for (const char* name : kGatedDerived) gated = gated || base.name == name;
-      const bool regressed = gated && delta < -metrics_tolerance;
+      const DerivedMetric* cur = find_derived(cur_derived, base.name);
+      if (cur == nullptr) {
+        // A gated metric that vanished from the current report would
+        // silently un-pin its gate — treat it like a dropped benchmark.
+        if (gated) {
+          std::printf("%-45s %14.4f %14s %9s  MISSING\n", base.name.c_str(), base.value,
+                      "-", "-");
+          ++missing;
+        }
+        continue;
+      }
+      const double delta = cur->value - base.value;
+      const double drop_tolerance = is_auc_metric(base.name) ? auc_tolerance
+                                                             : metrics_tolerance;
+      const bool regressed = gated && delta < -drop_tolerance;
       std::printf("%-45s %14.4f %14.4f %+9.4f%s\n", base.name.c_str(), base.value,
                   cur->value, delta,
                   regressed ? "  REGRESSION" : (gated ? "" : "  (info)"));

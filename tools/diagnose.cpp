@@ -43,6 +43,11 @@ AttackKind parse_attack(const std::string& s) {
   if (s == "delay") return AttackKind::kDelay;
   if (s == "replay") return AttackKind::kReplay;
   if (s == "ramp") return AttackKind::kRamp;
+  if (s == "freeze") return AttackKind::kFreeze;
+  if (s == "stealthy_ramp") return AttackKind::kStealthyRamp;
+  if (s == "jitter_replay") return AttackKind::kJitterReplay;
+  if (s == "coordinated_bias") return AttackKind::kCoordinatedBias;
+  if (s == "intermittent_bias") return AttackKind::kIntermittentBias;
   std::fprintf(stderr, "unknown attack '%s'\n", s.c_str());
   std::exit(1);
 }
