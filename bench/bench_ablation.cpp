@@ -80,9 +80,9 @@ void ablation_conservatism() {
   const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
   std::printf("  %10s %16s\n", "multiplier", "deadline @ ref");
   for (double mult : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-    const reach::DeadlineEstimator est(scase.model, scase.u_range,
-                                       scase.eps_reach * mult, scase.safe_set,
-                                       reach::DeadlineConfig{scase.max_window});
+    const reach::BoxBackend est(scase.model, scase.u_range,
+                                scase.eps_reach * mult, scase.safe_set,
+                                reach::DeadlineConfig{scase.max_window});
     std::printf("  %10.1f %16zu\n", mult, est.estimate(scase.reference));
   }
   std::printf("  -> a more conservative bound shortens every deadline, shrinking\n");
@@ -91,9 +91,9 @@ void ablation_conservatism() {
   bench::subheading("C. Initial-state ball radius (§3.3.1)");
   std::printf("  %10s %16s\n", "radius", "deadline @ ref");
   for (double r0 : {0.0, 0.01, 0.05, 0.1, 0.2}) {
-    const reach::DeadlineEstimator est(scase.model, scase.u_range, scase.eps_reach,
-                                       scase.safe_set,
-                                       reach::DeadlineConfig{scase.max_window, r0});
+    const reach::BoxBackend est(scase.model, scase.u_range, scase.eps_reach,
+                                scase.safe_set,
+                                reach::DeadlineConfig{scase.max_window, r0});
     std::printf("  %10.2f %16zu\n", r0, est.estimate(scase.reference));
   }
 }
@@ -106,9 +106,9 @@ void ablation_zonotope() {
               "box us/call", "zono us/call");
   for (const char* key : {"aircraft_pitch", "series_rlc", "dc_motor", "quadrotor"}) {
     const core::SimulatorCase scase = core::simulator_case(key);
-    const reach::DeadlineEstimator box_est(scase.model, scase.u_range, scase.eps_reach,
-                                           scase.safe_set,
-                                           reach::DeadlineConfig{scase.max_window});
+    const reach::BoxBackend box_est(scase.model, scase.u_range, scase.eps_reach,
+                                    scase.safe_set,
+                                    reach::DeadlineConfig{scase.max_window});
     const reach::ZonotopeDeadlineEstimator zono_est(scase.model, scase.u_range,
                                                     scase.eps_reach, scase.safe_set,
                                                     scase.max_window, 64);

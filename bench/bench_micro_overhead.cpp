@@ -50,9 +50,9 @@ double min_batch_ns(Fn&& fn, int batches, int reps) {
 void BM_DeadlineEstimate(benchmark::State& state) {
   const core::SimulatorCase scase =
       core::simulator_case(kCaseKeys[state.range(0)]);
-  const reach::DeadlineEstimator estimator(scase.model, scase.u_range, scase.eps,
-                                           scase.safe_set,
-                                           reach::DeadlineConfig{scase.max_window});
+  const reach::BoxBackend estimator(scase.model, scase.u_range, scase.eps,
+                                    scase.safe_set,
+                                    reach::DeadlineConfig{scase.max_window});
   const linalg::Vec x0 = scase.reference;
   for (auto _ : state) {
     benchmark::DoNotOptimize(estimator.estimate(x0));
@@ -74,9 +74,9 @@ void BM_DeadlineEstimateUncached(benchmark::State& state) {
   // a tracked benchmark so the regression gate pins both paths.
   const core::SimulatorCase scase =
       core::simulator_case(kCaseKeys[state.range(0)]);
-  const reach::DeadlineEstimator estimator(scase.model, scase.u_range, scase.eps,
-                                           scase.safe_set,
-                                           reach::DeadlineConfig{scase.max_window});
+  const reach::BoxBackend estimator(scase.model, scase.u_range, scase.eps,
+                                    scase.safe_set,
+                                    reach::DeadlineConfig{scase.max_window});
   const linalg::Vec x0 = scase.reference;
   for (auto _ : state) {
     benchmark::DoNotOptimize(estimator.estimate_uncached(x0));

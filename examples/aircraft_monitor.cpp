@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
 
   // --- Detection-side components (the shaded box of Fig. 1). -------------
   detect::DataLogger logger(model, w_m);
-  const reach::DeadlineEstimator estimator(model, u_range, eps, safe,
-                                           reach::DeadlineConfig{w_m});
+  const reach::BoxBackend estimator(model, u_range, eps, safe,
+                                    reach::DeadlineConfig{w_m});
   detect::AdaptiveDetector detector(tau, w_m);
 
   std::printf("Aircraft pitch monitor, replay attack at step 150\n");

@@ -16,6 +16,8 @@
 //   * pipeline    — DetectionSystem (+ options), StepRecord / Trace
 //   * scoring     — RunMetrics, compute_metrics, StreamingMetrics
 //   * campaigns   — ExperimentSpec / SweepSpec runners (Table 2 / Fig. 7)
+//   * reachability— reach::Backend deadline strategies (box / ellipsoid /
+//                   precomputed table) and the offline table pipeline
 //   * calibration — threshold / max-window profiling
 //   * serving     — StreamEngine: batched multi-stream detection
 //   * tuning      — auto-tuner to a target FAR, ROC/AUC sweeps
@@ -33,6 +35,10 @@
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "obs/obs.hpp"
+#include "reach/backend.hpp"
+#include "reach/deadline.hpp"
+#include "reach/ellipsoid.hpp"
+#include "reach/table.hpp"
 #include "serve/engine_ckpt.hpp"
 #include "serve/forensics.hpp"
 #include "serve/stream_engine.hpp"
@@ -81,6 +87,28 @@ using core::run_cell;
 using core::run_cell_once;
 using core::SweepSpec;
 using core::WindowSweepPoint;
+
+// Reachability deadline backends (§3 / DESIGN.md §17).  Backend is the
+// strategy interface; make_backend builds the kind a BackendSpec names.
+// The table pipeline (build_table → encode_table → decode_table →
+// make_table_backend) is the offline precompute flow tools/awd_reach runs.
+using core::make_backend_spec;
+using reach::Backend;
+using reach::BackendKind;
+using reach::BackendSpec;
+using reach::BoxBackend;
+using reach::build_table;
+using reach::DeadlineConfig;
+using reach::DeadlineTable;
+using reach::decode_table;
+using reach::EllipsoidBackend;
+using reach::EllipsoidConfig;
+using reach::encode_table;
+using reach::make_backend;
+using reach::make_table_backend;
+using reach::spec_fingerprint;
+using reach::TableBackend;
+using reach::TableGridConfig;
 
 // Calibration (§4.3 operating points).
 using core::calibrate_threshold;

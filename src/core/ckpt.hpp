@@ -42,8 +42,9 @@ inline constexpr std::uint8_t kMagic[8] = {'A', 'W', 'D', 'C', 'K', 'P', 'T', '1
 
 /// Current snapshot format version.  Bump on any layout change; readers
 /// reject other versions with kUnimplemented (see DESIGN.md §13 for the
-/// compatibility policy).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// compatibility policy).  v2: SimulatorCase gained the reach-backend
+/// selection fields (reach_backend / reach_table_cells / reach_table_domain).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Fixed header size in bytes (magic, version, section count, fingerprint,
 /// reserved, CRC32 over everything before the CRC).

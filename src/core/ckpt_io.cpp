@@ -218,6 +218,9 @@ void write_case(Writer& w, const SimulatorCase& c) {
   w.u64(c.intermittent_on);
   w.f64(c.target_far);
   w.u64(c.tune_trials);
+  w.u8(static_cast<std::uint8_t>(c.reach_backend));
+  w.u64(c.reach_table_cells);
+  write_box(w, c.reach_table_domain);
 }
 
 bool read_case(Reader& r, SimulatorCase& c) {
@@ -282,6 +285,17 @@ bool read_case(Reader& r, SimulatorCase& c) {
   c.intermittent_period = static_cast<std::size_t>(intermittent_period);
   c.intermittent_on = static_cast<std::size_t>(intermittent_on);
   c.tune_trials = static_cast<std::size_t>(tune_trials);
+  std::uint8_t backend = 0;
+  std::uint64_t table_cells = 0;
+  if (!r.u8(backend) || !r.u64(table_cells) || !read_box(r, c.reach_table_domain)) {
+    return false;
+  }
+  if (backend > static_cast<std::uint8_t>(reach::BackendKind::kTable)) {
+    r.fail();
+    return false;
+  }
+  c.reach_backend = static_cast<reach::BackendKind>(backend);
+  c.reach_table_cells = static_cast<std::size_t>(table_cells);
   return true;
 }
 

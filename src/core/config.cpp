@@ -190,6 +190,39 @@ Status SimulatorCase::check() const noexcept {
     return {kBad, "max_window must be >= 1 (a zero-size window never sees a "
                   "residual, so detection never runs)"};
   }
+  if (reach_backend != reach::BackendKind::kBox &&
+      reach_backend != reach::BackendKind::kEllipsoid &&
+      reach_backend != reach::BackendKind::kTable) {
+    return {kBad, "reach_backend must be box, ellipsoid or table"};
+  }
+  if (reach_backend == reach::BackendKind::kTable) {
+    if (reach_table_cells == 0) {
+      return {kBad, "reach_table_cells must be >= 1"};
+    }
+    std::size_t total_cells = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (total_cells > reach::kMaxTableCells / reach_table_cells) {
+        return {kBad, "reach_table_cells^state_dim exceeds the deadline-table "
+                      "cell cap (reach::kMaxTableCells)"};
+      }
+      total_cells *= reach_table_cells;
+    }
+    if (max_window > reach::kMaxTableWindow) {
+      return {kBad, "max_window exceeds the deadline table's u16 cell encoding"};
+    }
+    if (reach_table_domain.dim() != 0) {
+      if (reach_table_domain.dim() != n) {
+        return {kBad, "reach_table_domain dimension mismatch"};
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!reach_table_domain[i].bounded() ||
+            !(reach_table_domain[i].lo < reach_table_domain[i].hi)) {
+          return {kBad, "reach_table_domain must be bounded with lo < hi per "
+                        "dimension"};
+        }
+      }
+    }
+  }
   if (attack_start + attack_duration > steps) {
     return {kBad, "attack extends beyond the run"};
   }
@@ -458,6 +491,41 @@ SimulatorCase testbed_case() {
   c.replay_record_start = 0;
   c.ramp_slope = Vec{0.1 / models::kTestbedCarC};
   return c;
+}
+
+reach::BackendSpec make_backend_spec(const SimulatorCase& scase, double init_radius,
+                                     std::size_t budget_steps) {
+  reach::BackendSpec spec;
+  spec.kind = scase.reach_backend;
+  spec.model = scase.model;
+  spec.u_range = scase.u_range;
+  spec.eps = scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach;
+  spec.safe_set = scase.safe_set;
+  spec.deadline =
+      reach::DeadlineConfig{scase.max_window, init_radius, budget_steps};
+  spec.table.cells_per_dim = scase.reach_table_cells;
+  if (scase.reach_table_domain.dim() != 0) {
+    spec.table.domain = scase.reach_table_domain;
+  } else {
+    // Derived trusted-state domain: the safe set where it is bounded (the
+    // grid then covers exactly the states worth serving), else a span
+    // around the operating point wide enough to cover transients.
+    const std::size_t n = scase.model.state_dim();
+    std::vector<reach::Interval> dims(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool have_safe = scase.safe_set.dim() == n && scase.safe_set[i].bounded() &&
+                             scase.safe_set[i].lo < scase.safe_set[i].hi;
+      if (have_safe) {
+        dims[i] = scase.safe_set[i];
+      } else {
+        const double c = i < scase.x0.size() ? scase.x0[i] : 0.0;
+        const double r = std::max(1.0, 4.0 * std::fabs(c) + 1.0);
+        dims[i] = reach::Interval{c - r, c + r};
+      }
+    }
+    spec.table.domain = reach::Box(std::move(dims));
+  }
+  return spec;
 }
 
 }  // namespace awd::core

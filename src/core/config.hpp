@@ -19,6 +19,7 @@
 #include "attack/attack.hpp"
 #include "core/status.hpp"
 #include "models/lti.hpp"
+#include "reach/backend.hpp"
 #include "reach/sets.hpp"
 #include "sim/controller.hpp"
 #include "sim/pid.hpp"
@@ -113,6 +114,16 @@ struct SimulatorCase {
   double target_far = 0.02;      ///< target FAR, in (0, 1)
   std::size_t tune_trials = 24;  ///< attack-free runs per FAR measurement (>= 1)
 
+  // Reachability backend selection (reach/backend.hpp, DESIGN.md §17):
+  // which deadline math serves this plant family, and — for the table
+  // backend — the precomputed grid's shape.
+  reach::BackendKind reach_backend = reach::BackendKind::kBox;
+  std::size_t reach_table_cells = 8;  ///< kTable: uniform cells per dimension
+  /// kTable: trusted-state box the grid covers.  Empty (dim 0) derives a
+  /// domain per dimension from the safe set where bounded, else an
+  /// x0-centered span (see make_backend_spec).
+  reach::Box reach_table_domain;
+
   /// Fresh PID controller configured for this plant.
   [[nodiscard]] std::unique_ptr<sim::Controller> make_controller() const;
 
@@ -141,5 +152,15 @@ struct SimulatorCase {
 
 /// §6.2's reduced-scale RC-car testbed configuration.
 [[nodiscard]] SimulatorCase testbed_case();
+
+/// Bridge a case to the reach layer: the reach::BackendSpec describing the
+/// deadline backend this case asks for (model, actuator box, the
+/// conservative ε_reach, safe set, the case's backend selection and table
+/// grid, plus the caller's per-run deadline knobs).  An empty
+/// reach_table_domain derives one here: per dimension the safe-set bounds
+/// when bounded, else an x0-centered span max(1, 4|x0_i| + 1) wide each way.
+[[nodiscard]] reach::BackendSpec make_backend_spec(const SimulatorCase& scase,
+                                                   double init_radius,
+                                                   std::size_t budget_steps);
 
 }  // namespace awd::core

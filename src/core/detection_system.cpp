@@ -84,14 +84,8 @@ DetectionSystem::DetectionSystem(AssembleTag, const SimulatorCase& scase,
                   : std::make_shared<fault::FaultInjector>(std::move(options.fault_plan))),
       simulator_(build_simulator(scase, attack, seed, options, faults_)),
       logger_(scase.model, scase.max_window),
-      estimator_(options.shared_deadline_estimator
-                     ? std::move(options.shared_deadline_estimator)
-                     : std::make_shared<const reach::DeadlineEstimator>(
-                           scase.model, scase.u_range,
-                           scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach,
-                           scase.safe_set,
-                           reach::DeadlineConfig{scase.max_window, options.init_radius,
-                                                 options.deadline_budget})),
+      // create() validated (or built) the shared backend; never null here.
+      estimator_(std::move(options.shared_deadline_estimator)),
       adaptive_(scase.tau, scase.max_window),
       fixed_(scase.tau, options.fixed_window.value_or(scase.fixed_window)),
       health_(options.health),
@@ -102,8 +96,10 @@ Result<DetectionSystem> DetectionSystem::create(const SimulatorCase& scase,
                                                 AttackKind attack, std::uint64_t seed,
                                                 DetectionSystemOptions options) {
   if (Status s = scase.check(); !s.is_ok()) return s;
+  const reach::BackendSpec spec =
+      make_backend_spec(scase, options.init_radius, options.deadline_budget);
   if (options.shared_deadline_estimator) {
-    const reach::DeadlineEstimator& shared = *options.shared_deadline_estimator;
+    const reach::Backend& shared = *options.shared_deadline_estimator;
     const reach::DeadlineConfig& cfg = shared.config();
     if (cfg.max_window != scase.max_window || cfg.init_radius != options.init_radius ||
         cfg.budget_steps != options.deadline_budget) {
@@ -115,6 +111,18 @@ Result<DetectionSystem> DetectionSystem::create(const SimulatorCase& scase,
       return Status{StatusCode::kInvalidInput,
                     "shared deadline estimator dimension mismatch"};
     }
+    // The fingerprint covers everything the config triple above does not:
+    // plant matrices, ε_reach, safe-set bounds, backend kind, grid knobs.
+    if (shared.fingerprint() != reach::spec_fingerprint(spec)) {
+      return Status{StatusCode::kInvalidInput,
+                    "shared deadline backend fingerprint mismatch (built for a "
+                    "different configuration)"};
+    }
+  } else {
+    Result<std::unique_ptr<reach::Backend>> built = reach::make_backend(spec);
+    if (!built.is_ok()) return built.status();
+    options.shared_deadline_estimator =
+        std::shared_ptr<const reach::Backend>(std::move(built).value());
   }
   try {
     return DetectionSystem(AssembleTag{}, scase, attack, seed, std::move(options));

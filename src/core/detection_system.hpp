@@ -30,7 +30,7 @@
 #include "detect/logger.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
-#include "reach/deadline.hpp"
+#include "reach/backend.hpp"
 #include "sim/simulator.hpp"
 
 namespace awd::core {
@@ -53,13 +53,15 @@ struct DetectionSystemOptions {
   /// (0 = unlimited).  Exhaustion triggers the deadline-decay fallback.
   std::size_t deadline_budget = 0;
 
-  /// Reuse an already-built deadline estimator instead of constructing one
-  /// (its constructor flattens the reach recursion into per-step tables —
-  /// the dominant setup cost).  The estimator's query API is const, so many
-  /// systems of the same plant family can share one instance
-  /// (serve::StreamEngine's per-family cache).  create() rejects an
-  /// estimator whose config or dimensions disagree with the case.
-  std::shared_ptr<const reach::DeadlineEstimator> shared_deadline_estimator;
+  /// Reuse an already-built deadline backend instead of constructing one
+  /// (construction flattens the reach recursion into per-step tables — or
+  /// runs the table precompute — the dominant setup cost).  The backend's
+  /// query API is const, so many systems of the same plant family can share
+  /// one instance (serve::StreamEngine's per-family cache).  create()
+  /// rejects a backend whose config fingerprint disagrees with the case's
+  /// reach::BackendSpec; when empty, create() builds one through
+  /// reach::make_backend(make_backend_spec(scase, ...)).
+  std::shared_ptr<const reach::Backend> shared_deadline_estimator;
 
   /// Forwarded to sim::SimulatorOptions::lean_records: skip the record-only
   /// prediction/residual fields of each StepRecord.  Detection outputs stay
@@ -111,15 +113,14 @@ class DetectionSystem {
   [[nodiscard]] std::size_t adaptive_evaluations() const noexcept { return evaluations_; }
 
   [[nodiscard]] const detect::DataLogger& logger() const noexcept { return logger_; }
-  [[nodiscard]] const reach::DeadlineEstimator& estimator() const noexcept {
-    return *estimator_;
-  }
+  /// The deadline backend serving this run (reach/backend.hpp; kind() and
+  /// name() attribute it in obs/forensics output).
+  [[nodiscard]] const reach::Backend& estimator() const noexcept { return *estimator_; }
 
-  /// The deadline estimator as a shareable handle — pass it to another
+  /// The deadline backend as a shareable handle — pass it to another
   /// system's options (shared_deadline_estimator) to amortize its
   /// construction across a plant family.
-  [[nodiscard]] std::shared_ptr<const reach::DeadlineEstimator> estimator_handle()
-      const noexcept {
+  [[nodiscard]] std::shared_ptr<const reach::Backend> estimator_handle() const noexcept {
     return estimator_;
   }
   [[nodiscard]] const SimulatorCase& scase() const noexcept { return case_; }
@@ -138,7 +139,7 @@ class DetectionSystem {
   /// the same (case, attack, seed, options) and validates configuration
   /// agreement section by section; on error the system's state is
   /// unspecified and the instance must be discarded.  The shareable
-  /// DeadlineEstimator is deliberately not serialized: its tables are a
+  /// deadline backend is deliberately not serialized: its tables are a
   /// pure function of the case, so the restoring side rebuilds (or shares)
   /// an identical instance.
   void serialize(ckpt::Writer& w) const;
@@ -155,7 +156,7 @@ class DetectionSystem {
   std::shared_ptr<fault::FaultInjector> faults_;  ///< before simulator_: init order
   sim::Simulator simulator_;
   detect::DataLogger logger_;
-  std::shared_ptr<const reach::DeadlineEstimator> estimator_;  ///< shareable, never null
+  std::shared_ptr<const reach::Backend> estimator_;  ///< shareable, never null
   detect::AdaptiveDetector adaptive_;
   detect::FixedWindowDetector fixed_;
   fault::HealthMonitor health_;

@@ -140,10 +140,13 @@ class Vec {
   /// layers use this to quarantine corrupted samples before they can poison
   /// window averages or reachability seeds.
   [[nodiscard]] bool is_finite() const noexcept {
-    for (double x : data_) {
-      if (!std::isfinite(x)) return false;
-    }
-    return true;
+    // Branch-free: x - x == 0 for every finite x and NaN for ±Inf/NaN, so
+    // the sum is 0 iff all elements are finite.  One compare at the end
+    // instead of one predicted branch per element — this sits on the
+    // reach::Backend::estimate hot path.
+    double acc = 0.0;
+    for (double x : data_) acc += x - x;
+    return acc == 0.0;
   }
 
   /// L1 norm: sum of absolute values.

@@ -1,124 +1,59 @@
 #include "reach/deadline.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <stdexcept>
-#include <vector>
-
-#include "obs/metrics.hpp"
+#include <utility>
 
 namespace awd::reach {
 
 namespace {
 
-/// Deadline-estimator observability.  A query is a "cache hit" when the
-/// precomputed term cache answers it (the hot path); a "miss" is any query
-/// the cache could not serve — rejected seed or exhausted budget — which
-/// forces the caller's decay fallback.  The hit *rate* is iteration-count
-/// independent, so the CI metrics gate can compare it across runs.
-struct DeadlineObs {
-  obs::Counter& hits;
-  obs::Counter& misses;
-  obs::Counter& box_checks;
-
-  static DeadlineObs& get() {
-    static DeadlineObs o{
-        obs::Registry::global().counter("awd_deadline_cache_hits_total",
-                                        "deadline queries served by the term cache"),
-        obs::Registry::global().counter(
-            "awd_deadline_cache_misses_total",
-            "deadline queries the cache could not serve (bad seed / budget)"),
-        obs::Registry::global().counter("awd_deadline_box_checks_total",
-                                        "per-step containment walks executed"),
-    };
-    return o;
-  }
-};
+/// Fingerprint of the equivalent box BackendSpec without copying the model
+/// into one (direct ctors take the model by reference).
+std::uint64_t box_fingerprint(const models::DiscreteLti& model, const Box& u_range,
+                              double eps, const Box& safe_set,
+                              const DeadlineConfig& config) {
+  BackendSpec spec;
+  spec.kind = BackendKind::kBox;
+  spec.model.A = model.A;
+  spec.model.B = model.B;
+  spec.model.dt = model.dt;
+  spec.u_range = u_range;
+  spec.eps = eps;
+  spec.safe_set = safe_set;
+  spec.deadline = config;
+  return spec_fingerprint(spec);
+}
 
 }  // namespace
 
-DeadlineEstimator::DeadlineEstimator(const models::DiscreteLti& model, Box u_range,
-                                     double eps, Box safe_set, DeadlineConfig config)
-    : reach_(model, std::move(u_range), eps, config.max_window),
-      safe_(std::move(safe_set)),
-      config_(config) {
-  if (safe_.dim() != model.state_dim()) {
-    throw std::invalid_argument("DeadlineEstimator: safe set dimension mismatch");
-  }
-  // Validate here so the noexcept hot path can trust reach_box not to throw.
-  if (config_.init_radius < 0.0) {
-    throw std::invalid_argument("DeadlineEstimator: init_radius must be >= 0");
-  }
-
-  // Flatten the x0-independent reach terms into per-step containment
-  // checks.  Dimensions the safe set leaves fully unconstrained can never
-  // fail and are dropped; the remaining checks replicate the reach_box
-  // arithmetic exactly (same terms, same association) so the cached walk is
-  // bit-identical to the uncached recursion on every kernel set.
-  const std::size_t n = model.state_dim();
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  table_.dim = n;
-  std::vector<double> rows, drifts, spreads, los, his;
+BoxBackend::BoxBackend(const models::DiscreteLti& model, Box u_range, double eps,
+                       Box safe_set, DeadlineConfig config)
+    // No std::move on the boxes: box_fingerprint reads them, and argument
+    // evaluation order is unspecified.
+    : CachedWalkBackend(model, u_range, eps, safe_set, config,
+                        box_fingerprint(model, u_range, eps, safe_set, config)) {
+  // Cache the x0-independent reach spreads per step: accumulated input-box
+  // spread + uncertainty-ball spread + the initial-ball term (Eq. 4/5).
+  const std::size_t n = dim_;
+  spreads_.reserve(config_.max_window);
   for (std::size_t t = 1; t <= config_.max_window; ++t) {
-    rows.clear();
-    drifts.clear();
-    spreads.clear();
-    los.clear();
-    his.clear();
+    Vec spread(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const Interval& s = safe_[i];
-      if (s.lo == -kInf && s.hi == kInf) continue;
-      const Vec row = reach_.a_power(t).row_vec(i);
-      rows.insert(rows.end(), row.begin(), row.end());
-      drifts.push_back(reach_.cum_drift(t)[i]);
 #ifdef AWD_MUT_STALE_CACHE_TERM
       // [mutation-smoke seeded bug] caches the previous step's noise term:
       // under-approximates the reach box, over-states the deadline.
-      spreads.push_back(reach_.cum_spread(t)[i] + reach_.cum_noise(t - 1)[i] +
-                        config_.init_radius * reach_.initial_ball_scale(t)[i]);
+      spread[i] = reach_.cum_spread(t)[i] + reach_.cum_noise(t - 1)[i] +
+                  config_.init_radius * reach_.initial_ball_scale(t)[i];
 #else
-      spreads.push_back(reach_.cum_spread(t)[i] + reach_.cum_noise(t)[i] +
-                        config_.init_radius * reach_.initial_ball_scale(t)[i]);
+      spread[i] = reach_.cum_spread(t)[i] + reach_.cum_noise(t)[i] +
+                  config_.init_radius * reach_.initial_ball_scale(t)[i];
 #endif
-      los.push_back(s.lo);
-      his.push_back(s.hi);
     }
-    table_.push_step(rows.data(), drifts.data(), spreads.data(), los.data(),
-                     his.data(), drifts.size());
+    spreads_.push_back(std::move(spread));
   }
+  finalize_table_();
 }
 
-std::size_t DeadlineEstimator::walk(const Vec& x0, std::size_t cap,
-                                    bool& resolved) const noexcept {
-  // R̄ ∩ F = ∅  ⟺  R̄ ⊆ S when F is the complement of the safe box S, so
-  // the search tests box containment step by step (Fig. 2), reading the
-  // precomputed per-step terms instead of re-running the reach recursion.
-  // The kernel reports the first *failing* reach step t; the deadline is
-  // the last trusted step before it.
-  const std::size_t t = linalg::kernels::support_walk(table_, x0.data(), cap, resolved);
-  if (!resolved) return cap;
-#ifdef AWD_MUT_DEADLINE_OFF_BY_ONE
-  // [mutation-smoke seeded bug] reports the first *unsafe* step as the
-  // deadline — one step more than the plant can actually be trusted.
-  return t;
-#else
-  return t - 1;
-#endif
-}
-
-std::size_t DeadlineEstimator::estimate(const Vec& x0) const {
-  if (x0.size() != reach_.model().state_dim()) {
-    throw std::invalid_argument("DeadlineEstimator::estimate: seed dimension mismatch");
-  }
-  if (!x0.is_finite()) {
-    throw std::invalid_argument("DeadlineEstimator::estimate: non-finite seed");
-  }
-  bool resolved = false;
-  const std::size_t t = walk(x0, config_.max_window, resolved);
-  return resolved ? t : config_.max_window;
-}
-
-std::size_t DeadlineEstimator::estimate_uncached(const Vec& x0) const {
+std::size_t BoxBackend::estimate_uncached(const Vec& x0) const {
   for (std::size_t t = 1; t <= config_.max_window; ++t) {
     const Box r = reach_.reach_box(x0, t, config_.init_radius);
     if (!safe_.contains(r)) return t - 1;
@@ -126,40 +61,7 @@ std::size_t DeadlineEstimator::estimate_uncached(const Vec& x0) const {
   return config_.max_window;
 }
 
-core::Result<std::size_t> DeadlineEstimator::estimate_checked(const Vec& x0) const noexcept {
-  DeadlineObs& ob = DeadlineObs::get();
-  if (x0.size() != reach_.model().state_dim()) {
-    ob.misses.inc();
-    return core::Status{core::StatusCode::kInvalidInput,
-                        "DeadlineEstimator: seed dimension mismatch"};
-  }
-  if (!x0.is_finite()) {
-    ob.misses.inc();
-    return core::Status{core::StatusCode::kInvalidInput,
-                        "DeadlineEstimator: non-finite seed rejected"};
-  }
-  const std::size_t cap = config_.budget_steps == 0
-                              ? config_.max_window
-                              : std::min(config_.budget_steps, config_.max_window);
-  bool resolved = false;
-  const std::size_t t = walk(x0, cap, resolved);
-  ob.box_checks.inc(resolved ? t + 1 : cap);
-  if (resolved) {
-    ob.hits.inc();
-    return t;
-  }
-  if (cap < config_.max_window) {
-    // The boundary was not resolved within the budget: answering max_window
-    // here would *over*-state how much time detection has.  Yield instead.
-    ob.misses.inc();
-    return core::Status{core::StatusCode::kBudgetExceeded,
-                        "DeadlineEstimator: search budget exhausted"};
-  }
-  ob.hits.inc();
-  return config_.max_window;
-}
-
-bool DeadlineEstimator::conservatively_safe_at(const Vec& x0, std::size_t t) const {
+bool BoxBackend::conservatively_safe_at(const Vec& x0, std::size_t t) const {
   return safe_.contains(reach_.reach_box(x0, t, config_.init_radius));
 }
 

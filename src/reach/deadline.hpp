@@ -1,4 +1,4 @@
-// deadline.hpp — the Detection Deadline Estimator (§3).
+// deadline.hpp — the box Detection Deadline Estimator backend (§3).
 //
 // Starting from the latest trustworthy state estimate x0 (the point that
 // just left the detection window, §3.3.1), compute the box reach
@@ -20,29 +20,26 @@
 // construction or allocation.  The arithmetic replicates
 // reach_box + Box::contains operation-for-operation, so cached deadlines
 // are bit-identical to the uncached reference (estimate_uncached).
+//
+// BoxBackend is one implementation of the reach::Backend interface
+// (reach/backend.hpp); prefer reach::make_backend() to construct backends
+// from a BackendSpec.  The historical `DeadlineEstimator` name survives as
+// a [[deprecated]] constructor shim below.
 #pragma once
 
 #include <cstddef>
 
 #include "core/status.hpp"
 #include "linalg/kernels.hpp"
+#include "reach/backend.hpp"
 #include "reach/reach.hpp"
 
 namespace awd::reach {
 
-/// Tunables for the deadline search.
-struct DeadlineConfig {
-  std::size_t max_window = 40;  ///< w_m — search cap and sliding-window size
-  double init_radius = 0.0;     ///< radius of the initial-state ball (§3.3.1)
-  /// Real-time budget: reach-box queries the per-step search may spend
-  /// before it must yield (0 = unlimited).  A search that hits the budget
-  /// without finding the boundary returns kBudgetExceeded and the caller
-  /// falls back to its last valid deadline.
-  std::size_t budget_steps = 0;
-};
-
-/// Reachability-based detection-deadline estimator.
-class DeadlineEstimator {
+/// Reachability-based detection-deadline estimator on the cached box
+/// support-function walk — the paper's construction, and the reference
+/// backend every other implementation's conservatism is measured against.
+class BoxBackend : public CachedWalkBackend {
  public:
   /// @param model    discrete plant dynamics
   /// @param u_range  admissible control box U (bounded)
@@ -50,57 +47,38 @@ class DeadlineEstimator {
   /// @param safe_set safe state box S (complement of the unsafe set F);
   ///                 dimensions may be unbounded
   /// Throws std::invalid_argument on dimension mismatches.
-  DeadlineEstimator(const models::DiscreteLti& model, Box u_range, double eps,
-                    Box safe_set, DeadlineConfig config);
+  BoxBackend(const models::DiscreteLti& model, Box u_range, double eps, Box safe_set,
+             DeadlineConfig config);
 
-  /// Deadline t_d ∈ [0, max_window] for trusted seed state x0.
-  ///   * t_d = max_window  — no reachable intersection within the horizon,
-  ///   * t_d = 0           — the very next step may already be unsafe.
-  /// Ignores the search budget; throws std::invalid_argument on a
-  /// mis-shaped or non-finite seed.  Runs on the precomputed deadline-term
-  /// cache (see file header).
-  [[nodiscard]] std::size_t estimate(const Vec& x0) const;
+  [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::kBox; }
 
   /// Reference implementation of estimate() that re-runs the full reach-box
   /// recursion per step instead of the cached walk.  Kept for validation
-  /// (cached and uncached deadlines are bit-identical) and as the baseline
-  /// of the bench_micro_overhead speedup column; not a hot-path API.
+  /// (cached and uncached deadlines are bit-identical — this is the
+  /// soundness oracle of the cross-backend differential) and as the
+  /// baseline of the bench_micro_overhead speedup column; not a hot-path
+  /// API.
   [[nodiscard]] std::size_t estimate_uncached(const Vec& x0) const;
-
-  /// Hot-path entry point: never throws on bad runtime data.  Returns
-  ///   * kInvalidInput   — x0 mis-shaped or non-finite (a corrupted seed
-  ///                       must not drive reachability),
-  ///   * kBudgetExceeded — the search spent config().budget_steps reach-box
-  ///                       queries without resolving the deadline.
-  /// On either failure the caller applies its degradation policy (see
-  /// core::DetectionSystem: last valid deadline decremented per elapsed
-  /// step, floor 1).
-  [[nodiscard]] core::Result<std::size_t> estimate_checked(const Vec& x0) const noexcept;
 
   /// True iff R̄(x0, t) stays inside the safe set (conservative safety,
   /// Def. 3.1) — exposed for tests and analysis tooling.
   [[nodiscard]] bool conservatively_safe_at(const Vec& x0, std::size_t t) const;
+};
 
-  [[nodiscard]] const ReachSystem& reach() const noexcept { return reach_; }
-  [[nodiscard]] const Box& safe_set() const noexcept { return safe_; }
-  [[nodiscard]] const DeadlineConfig& config() const noexcept { return config_; }
-
- private:
-  /// Cached-box walk shared by estimate / estimate_checked: first step in
-  /// [1, cap] whose box escapes the safe set yields deadline t - 1;
-  /// `resolved` is false when the walk exhausts cap without finding the
-  /// boundary.  Runs on the vectorized support-function kernel: the
-  /// flattened checks live in a linalg::kernels::SupportTable whose lanes
-  /// replicate the reach_box + Box::contains arithmetic per constrained
-  /// dimension (lo <= row·x0 + drift - spread && ... <= hi), so the walk
-  /// stays bit-identical to the uncached recursion on every kernel set.
-  [[nodiscard]] std::size_t walk(const Vec& x0, std::size_t cap,
-                                 bool& resolved) const noexcept;
-
-  ReachSystem reach_;
-  Box safe_;
-  DeadlineConfig config_;
-  linalg::kernels::SupportTable table_;  ///< step t-1 → constrained-dim checks
+/// Historical name of the box backend.  The type survives so existing
+/// declarations keep meaning "the box estimator", but direct construction is
+/// deprecated: build backends through reach::make_backend() (or BoxBackend
+/// when the concrete type is genuinely required).
+class DeadlineEstimator final : public BoxBackend {
+ public:
+  [[deprecated(
+      "construct deadline backends via reach::make_backend(BackendSpec) "
+      "(or reach::BoxBackend directly)")]] DeadlineEstimator(const models::DiscreteLti&
+                                                                 model,
+                                                             Box u_range, double eps,
+                                                             Box safe_set,
+                                                             DeadlineConfig config)
+      : BoxBackend(model, std::move(u_range), eps, std::move(safe_set), config) {}
 };
 
 }  // namespace awd::reach

@@ -1,0 +1,149 @@
+#include "reach/ellipsoid.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace awd::reach {
+
+namespace {
+
+std::uint64_t ellipsoid_fingerprint(const models::DiscreteLti& model, const Box& u_range,
+                                    double eps, const Box& safe_set,
+                                    const DeadlineConfig& config,
+                                    const EllipsoidConfig& ell) {
+  BackendSpec spec;
+  spec.kind = BackendKind::kEllipsoid;
+  spec.model.A = model.A;
+  spec.model.B = model.B;
+  spec.model.dt = model.dt;
+  spec.u_range = u_range;
+  spec.eps = eps;
+  spec.safe_set = safe_set;
+  spec.deadline = config;
+  spec.ellipsoid = ell;
+  return spec_fingerprint(spec);
+}
+
+/// Trace-optimal outer bound of the Minkowski sum E(X) ⊕ E(Y):
+/// (1 + 1/p) X + (1 + p) Y with p = sqrt(trace Y / trace X).  Sound for any
+/// p > 0 — along any direction l, (a + b)² <= (1 + 1/p) a² + (1 + p) b²
+/// (AM-GM) with a² = lᵀXl, b² = lᵀYl.  Degenerate summands (zero trace
+/// ⟹ the zero set for PSD shapes) pass the other operand through, keeping
+/// the recursion exact for ε = 0 / zero-input plants.
+linalg::Matrix combine(const linalg::Matrix& x, const linalg::Matrix& y) {
+  const double tx = x.trace();
+  const double ty = y.trace();
+  if (!(tx > 0.0)) return y;
+  if (!(ty > 0.0)) return x;
+  const double p = std::sqrt(ty / tx);
+  return (1.0 + 1.0 / p) * x + (1.0 + p) * y;
+}
+
+}  // namespace
+
+EllipsoidBackend::EllipsoidBackend(const models::DiscreteLti& model, Box u_range,
+                                   double eps, Box safe_set, DeadlineConfig config,
+                                   EllipsoidConfig ell)
+    // No std::move on the boxes: the fingerprint helper reads them, and
+    // argument evaluation order is unspecified.
+    : CachedWalkBackend(model, u_range, eps, safe_set, config,
+                        ellipsoid_fingerprint(model, u_range, eps, safe_set, config,
+                                              ell)),
+      ell_(ell) {
+  if (!(ell_.inflation >= 0.0)) {
+    throw std::invalid_argument("EllipsoidBackend: inflation must be >= 0");
+  }
+  const std::size_t n = dim_;
+  const linalg::Matrix& a = model.A;
+  const linalg::Matrix& b = model.B;
+
+  // One-step disturbance shape W: the centered input box is the zonotope
+  // Σ_k g_k [-1, 1] with g_k = B_{:,k} γ_k (the box center feeds the drift
+  // term the walk adds separately), and Cauchy–Schwarz gives
+  // Z ⊆ E(m Σ_k g_k g_kᵀ) with m the live generator count:
+  // ρ_Z(l) = Σ |lᵀg_k| <= sqrt(m Σ (lᵀg_k)²).  The ε noise ball is E(ε² I).
+  linalg::Matrix gsum(n, n);
+  std::size_t live = 0;
+  const Box& u = reach_.input_range();
+  for (std::size_t k = 0; k < model.input_dim(); ++k) {
+    const double gamma = u[k].half_width();
+    if (gamma == 0.0) continue;
+    bool nonzero = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (b(i, k) != 0.0) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (!nonzero) continue;
+    ++live;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double gi = b(i, k) * gamma;
+      if (gi == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        gsum(i, j) += gi * (b(j, k) * gamma);
+      }
+    }
+  }
+  gsum *= static_cast<double>(live);
+  const linalg::Matrix w =
+      combine(gsum, (eps * eps) * linalg::Matrix::identity(n));
+
+  // Kurzhanski's trace-optimal outer ellipsoid of the accumulated sum
+  // ⊕_{s<t} A^s E(W) ⊕ A^t B_r (see the header): keep the exactly-propagated
+  // term X_s = A^s W A^sᵀ plus the running pieces of
+  //   Q_t = (Σ_j sqrt(tr X_j)) · Σ_j X_j / sqrt(tr X_j),
+  // then fold the step-t initial-ball term B_t = r² A^t A^tᵀ in per query
+  // step (it is not accumulated — it enters each horizon once).  Per-dim,
+  // Cauchy–Schwarz gives sqrt(Q_t(i,i)) >= Σ_j sqrt(X_j(i,i)) >= the box
+  // backend's spread, which is the dominance the differential asserts.
+  const linalg::Matrix at = a.transposed();
+  const double r = config_.init_radius;
+#ifdef AWD_MUT_REACH_ELLIPSOID_SHRINK
+  // [mutation-smoke seeded bug] under-inflates the outer ellipsoid: its
+  // widths can drop below the exact box supports, so the "conservative"
+  // deadline over-states how long the plant can be trusted.
+  const double scale = 0.8 * (1.0 + ell_.inflation);
+#else
+  const double scale = 1.0 + ell_.inflation;
+#endif
+  linalg::Matrix term = w;     // X_s, starting at s = 0
+  double acc_sqrt = 0.0;       // Σ_s sqrt(tr X_s)
+  linalg::Matrix acc(n, n);    // Σ_s X_s / sqrt(tr X_s)
+  spreads_.reserve(config_.max_window);
+  for (std::size_t t = 1; t <= config_.max_window; ++t) {
+    const double tt = term.trace();
+    if (tt > 0.0) {  // zero trace ⟹ PSD zero shape: the term drops out
+      const double st = std::sqrt(tt);
+      acc_sqrt += st;
+      acc += (1.0 / st) * term;
+    }
+
+    // Initial-ball term for this horizon: B_t(i,i) = r² ‖row_i(A^t)‖₂²,
+    // tr B_t = r² ‖A^t‖_F² — only the diagonal is needed for the supports.
+    const Vec& rn = reach_.initial_ball_scale(t);
+    double trb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) trb += r * r * rn[i] * rn[i];
+    const double sb = trb > 0.0 ? std::sqrt(trb) : 0.0;
+
+    Vec spread(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double bi = r * r * rn[i] * rn[i];
+      const double qi = (acc_sqrt + sb) *
+                        (acc(i, i) + (sb > 0.0 ? bi / sb : 0.0));
+      // Non-finite shape entries (overflowed unstable plants) must widen,
+      // never vanish: an unsound 0 here would over-state the deadline.
+      spread[i] = qi > 0.0 ? std::sqrt(qi) * scale
+                           : (qi == qi ? 0.0
+                                       : std::numeric_limits<double>::infinity());
+    }
+    spreads_.push_back(std::move(spread));
+
+    if (t < config_.max_window) term = a * term * at;  // X_s -> X_{s+1}, exact
+  }
+  finalize_table_();
+}
+
+}  // namespace awd::reach

@@ -1,0 +1,70 @@
+// ellipsoid.hpp — outer-ellipsoid deadline backend (DESIGN.md §17).
+//
+// Instead of the per-dimension box supports of Eq. (4)/(5), this backend
+// builds one positive-semidefinite shape matrix Q_t per step whose
+// ellipsoid E(Q_t) = { x : ρ_E(l) = sqrt(lᵀ Q_t l) } outer-bounds the
+// accumulated x0-independent reach terms ("On Reachable Sets of Hidden CPS
+// Sensor Attacks" gives the ellipsoidal outer-bound construction; here it
+// is hand-rolled and deterministic — no LMI solver).  The accumulated set
+// after t steps is the Minkowski sum of exactly-propagated per-step terms
+//
+//     X_s = A^s W A^sᵀ  (s = 0..t-1),   B_t = init_radius² A^t A^tᵀ,
+//
+// with W an ellipsoid covering one step's disturbances (the input zonotope
+// Σ_k B_{:,k} γ_k [-1,1] is inside E(m · Σ_k g_k g_kᵀ) by Cauchy–Schwarz,
+// the ε noise ball inside E(ε² I)).  The sum is bounded by Kurzhanski's
+// trace-optimal outer ellipsoid over ALL terms at once:
+//
+//     Q_t = (Σ_j sqrt(trace X_j)) · Σ_j X_j / sqrt(trace X_j)
+//
+// (zero-trace terms are the zero set and drop out).  Crucially the terms
+// are propagated exactly — linear images of ellipsoids are ellipsoids — so
+// conservatism enters once per term, never compounds, and trace growth
+// follows the true decay of A^s.  A pairwise fixed-point recursion
+// Q_t = combine(A Q_{t-1} Aᵀ, W) looks equivalent but is not: its
+// per-step (1 + 1/p) re-inflation feeds back through A, blows up
+// doubly-exponentially for non-normal A, and overflow then collapses the
+// accumulation — the all-at-once form has neither problem.
+//
+// The per-dim half-width sqrt(Q_t(i,i)) is E(Q_t)'s support along ±e_i.
+// Because E(Q_t) contains the accumulated Minkowski set whose *exact*
+// per-dim supports are the box backend's spreads, the ellipsoid spread
+// dominates the box spread in every dimension at every step — hence the
+// conservatism contract: ellipsoid deadline <= box deadline, and both are
+// sound w.r.t. the estimate_uncached oracle.  A tiny relative inflation
+// (EllipsoidConfig) keeps the dominance bitwise through floating-point
+// ties in degenerate cases.
+//
+// The query path is identical to the box backend: the widths are flattened
+// into the same SupportTable and served by the same cached walk, so per
+// query this backend costs the same; what it trades is per-dim tightness
+// for a single matrix-shaped description (the construction other reach
+// tooling composes with).
+#pragma once
+
+#include <cstddef>
+
+#include "reach/backend.hpp"
+
+namespace awd::reach {
+
+/// Outer-ellipsoid deadline backend; conservatively tighter-or-equal
+/// deadlines than BoxBackend, same per-query cost.
+class EllipsoidBackend : public CachedWalkBackend {
+ public:
+  /// Same plant inputs as BoxBackend; `ell` tunes the FP-slack inflation.
+  /// Throws std::invalid_argument on dimension mismatches.
+  EllipsoidBackend(const models::DiscreteLti& model, Box u_range, double eps,
+                   Box safe_set, DeadlineConfig config, EllipsoidConfig ell = {});
+
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kEllipsoid;
+  }
+
+  [[nodiscard]] const EllipsoidConfig& ellipsoid_config() const noexcept { return ell_; }
+
+ private:
+  EllipsoidConfig ell_;
+};
+
+}  // namespace awd::reach

@@ -31,6 +31,9 @@ struct ServeObs {
   obs::Gauge& recorder_frames;
   obs::Gauge& dumps_written;
   obs::Gauge& dumps_skipped;
+  obs::Gauge& backends_box;
+  obs::Gauge& backends_ellipsoid;
+  obs::Gauge& backends_table;
 
   static ServeObs& get() {
     static ServeObs o{
@@ -62,6 +65,12 @@ struct ServeObs {
                                       "automatic forensic dumps taken"),
         obs::Registry::global().gauge("awd_serve_dumps_skipped",
                                       "dump triggers on undumpable streams"),
+        obs::Registry::global().gauge("awd_serve_backends_box",
+                                      "cached box deadline backends"),
+        obs::Registry::global().gauge("awd_serve_backends_ellipsoid",
+                                      "cached ellipsoid deadline backends"),
+        obs::Registry::global().gauge("awd_serve_backends_table",
+                                      "cached precomputed-table deadline backends"),
     };
     return o;
   }
@@ -71,10 +80,13 @@ struct ServeObs {
 
 std::string StreamEngine::family_fingerprint(const core::SimulatorCase& scase,
                                              const core::DetectionSystemOptions& options) {
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "|w%zu|r%.17g|b%zu|e%.17g|er%.17g", scase.max_window,
-                options.init_radius, options.deadline_budget, scase.eps,
-                scase.eps_reach);
+  // The spec fingerprint already hashes everything backend construction
+  // reads (model matrices included), so two cases sharing a key but
+  // differing in any construction input still get distinct cache entries.
+  const std::uint64_t fp = reach::spec_fingerprint(
+      core::make_backend_spec(scase, options.init_radius, options.deadline_budget));
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "|%016llx", static_cast<unsigned long long>(fp));
   return scase.key + buf;
 }
 
@@ -576,6 +588,14 @@ EngineIntrospection StreamEngine::introspect() const {
   intro.recorder_depth = options_.flight_recorder_depth;
   intro.dumps_written = dumps_written_;
   intro.dumps_skipped = dumps_skipped_;
+  for (const auto& [key, backend] : estimator_cache_) {
+    (void)key;
+    switch (backend->kind()) {
+      case reach::BackendKind::kBox: ++intro.backends_box; break;
+      case reach::BackendKind::kEllipsoid: ++intro.backends_ellipsoid; break;
+      case reach::BackendKind::kTable: ++intro.backends_table; break;
+    }
+  }
   intro.shard_info.reserve(shards_.size());
   for (const Shard& shard : shards_) {
     ShardIntrospection si;
@@ -616,6 +636,9 @@ void StreamEngine::publish_introspection_() const {
   ob.recorder_frames.set(static_cast<std::int64_t>(frames));
   ob.dumps_written.set(static_cast<std::int64_t>(dumps_written_));
   ob.dumps_skipped.set(static_cast<std::int64_t>(dumps_skipped_));
+  ob.backends_box.set(static_cast<std::int64_t>(intro.backends_box));
+  ob.backends_ellipsoid.set(static_cast<std::int64_t>(intro.backends_ellipsoid));
+  ob.backends_table.set(static_cast<std::int64_t>(intro.backends_table));
 }
 
 std::string introspection_json(const EngineIntrospection& intro) {
@@ -633,6 +656,9 @@ std::string introspection_json(const EngineIntrospection& intro) {
       << "  \"recorder_depth\": " << intro.recorder_depth << ",\n"
       << "  \"dumps_written\": " << intro.dumps_written << ",\n"
       << "  \"dumps_skipped\": " << intro.dumps_skipped << ",\n"
+      << "  \"backends\": {\"box\": " << intro.backends_box
+      << ", \"ellipsoid\": " << intro.backends_ellipsoid
+      << ", \"table\": " << intro.backends_table << "},\n"
       << "  \"shard_info\": [";
   for (std::size_t i = 0; i < intro.shard_info.size(); ++i) {
     const ShardIntrospection& si = intro.shard_info[i];

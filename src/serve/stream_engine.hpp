@@ -152,8 +152,8 @@ struct StreamEngineOptions {
   /// default: the engine records its own per-shard batch timers instead.
   bool per_step_obs = false;
 
-  /// Share one DeadlineEstimator per plant family across streams.  The
-  /// estimator is immutable after construction, so sharing is invisible
+  /// Share one deadline backend (reach::Backend) per plant family across
+  /// streams.  The backend's query API is const, so sharing is invisible
   /// to results; disable only to measure its cost.
   bool share_deadline_estimators = true;
 
@@ -191,6 +191,11 @@ struct EngineIntrospection {
   std::size_t recorder_depth = 0;    ///< configured ring depth (0 = disabled)
   std::uint64_t dumps_written = 0;   ///< automatic forensic dumps taken
   std::uint64_t dumps_skipped = 0;   ///< dump triggers on undumpable streams
+  // Shared deadline backends cached per reach::BackendKind — how the
+  // engine's plant families resolved their deadline strategy.
+  std::size_t backends_box = 0;       ///< cached box-walk backends
+  std::size_t backends_ellipsoid = 0; ///< cached ellipsoid backends
+  std::size_t backends_table = 0;     ///< cached precomputed-table backends
 };
 
 /// Batched multi-stream serving engine over DetectionSystem pipelines.
@@ -373,9 +378,12 @@ class StreamEngine {
     std::size_t stepped = 0;            ///< stream-steps executed this batch
   };
 
-  /// Cache key for deadline-estimator sharing: everything its construction
-  /// reads.  Streams whose cases agree on these fields (same plant family)
-  /// get the same instance; create() re-verifies the config on every reuse.
+  /// Cache key for deadline-backend sharing: the case key plus the hex
+  /// reach::spec_fingerprint of the case's derived BackendSpec — everything
+  /// backend construction reads (model, input range, eps, safe set, deadline
+  /// knobs, backend kind and grid shape).  Streams whose cases agree (same
+  /// plant family) get the same instance; create() re-verifies the
+  /// fingerprint on every reuse.
   [[nodiscard]] static std::string family_fingerprint(
       const core::SimulatorCase& scase, const core::DetectionSystemOptions& options);
 
@@ -414,8 +422,8 @@ class StreamEngine {
   std::unordered_map<StreamId, std::pair<std::size_t, std::size_t>>
       running_;  ///< id → (shard, slot)
   std::unordered_map<StreamId, StreamResult> finished_;
-  std::unordered_map<std::string, std::shared_ptr<const reach::DeadlineEstimator>>
-      estimator_cache_;  ///< plant-family fingerprint → shared estimator
+  std::unordered_map<std::string, std::shared_ptr<const reach::Backend>>
+      estimator_cache_;  ///< plant-family fingerprint → shared deadline backend
   StreamId next_id_ = 1;
   std::size_t next_shard_ = 0;  ///< round-robin admission cursor
   std::uint64_t steps_total_ = 0;

@@ -13,11 +13,13 @@ PropertyResult no_escape_shrink(std::uint64_t seed, const GenLimits& limits);
 PropertyResult adaptive_matches_reference(std::uint64_t seed, const GenLimits& limits);
 PropertyResult logger_matches_reference(std::uint64_t seed, const GenLimits& limits);
 
-// properties_reach.cpp — deadline estimator (§3).
+// properties_reach.cpp — deadline estimator (§3) and backend family
+// (reach/backend.hpp).
 PropertyResult deadline_cached_equals_uncached(std::uint64_t seed, const GenLimits& limits);
 PropertyResult deadline_brute_force_walk(std::uint64_t seed, const GenLimits& limits);
 PropertyResult deadline_sound_on_samples(std::uint64_t seed, const GenLimits& limits);
 PropertyResult deadline_monotone_in_uncertainty(std::uint64_t seed, const GenLimits& limits);
+PropertyResult backend_soundness_differential(std::uint64_t seed, const GenLimits& limits);
 
 // properties_pipeline.cpp — full DetectionSystem + experiment engine (§6).
 PropertyResult adaptive_equals_fixed_when_pinned(std::uint64_t seed, const GenLimits& limits);

@@ -3,12 +3,16 @@
 // makes any stale cache term visible), brute-force walk consistency,
 // soundness on sampled concrete trajectories, and uncertainty monotonicity.
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "reach/deadline.hpp"
+#include "reach/ellipsoid.hpp"
+#include "reach/table.hpp"
 #include "testkit/properties.hpp"
 
 namespace awd::testkit::props {
@@ -16,8 +20,8 @@ namespace awd::testkit::props {
 namespace {
 
 using reach::Box;
+using reach::BoxBackend;
 using reach::DeadlineConfig;
-using reach::DeadlineEstimator;
 using reach::Interval;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -43,7 +47,7 @@ PropertyResult deadline_cached_equals_uncached(std::uint64_t seed,
   const double init_radius = rng.chance(0.5) ? 0.0 : rng.uniform(0.0, 0.2);
 
   // Part 1: the generated safe set, several random seeds.
-  const DeadlineEstimator est(c.model, c.u_range, eps_reach, c.safe_set,
+  const BoxBackend est(c.model, c.u_range, eps_reach, c.safe_set,
                               DeadlineConfig{c.max_window, init_radius, 0});
   for (int k = 0; k < 6; ++k) {
     const Vec x0 = seed_state(c, rng);
@@ -75,7 +79,7 @@ PropertyResult deadline_cached_equals_uncached(std::uint64_t seed,
     if (!(hi > box[i].lo) || !std::isfinite(hi)) continue;
     std::vector<Interval> dims(n, Interval{-kInf, kInf});
     dims[i] = Interval{-kInf, hi};
-    const DeadlineEstimator tuned(c.model, c.u_range, eps_reach, Box(std::move(dims)),
+    const BoxBackend tuned(c.model, c.u_range, eps_reach, Box(std::move(dims)),
                                   DeadlineConfig{c.max_window, init_radius, 0});
     const std::size_t cached = tuned.estimate(x0);
     const std::size_t uncached = tuned.estimate_uncached(x0);
@@ -95,7 +99,7 @@ PropertyResult deadline_brute_force_walk(std::uint64_t seed, const GenLimits& li
   const core::SimulatorCase& c = sc.scase;
   const double eps_reach = c.eps_reach == 0.0 ? c.eps : c.eps_reach;
   const double init_radius = rng.chance(0.5) ? 0.0 : rng.uniform(0.0, 0.2);
-  const DeadlineEstimator est(c.model, c.u_range, eps_reach, c.safe_set,
+  const BoxBackend est(c.model, c.u_range, eps_reach, c.safe_set,
                               DeadlineConfig{c.max_window, init_radius, sc.deadline_budget});
 
   for (int k = 0; k < 4; ++k) {
@@ -163,7 +167,7 @@ PropertyResult deadline_sound_on_samples(std::uint64_t seed, const GenLimits& li
   const std::size_t n = c.model.state_dim();
   const double eps_reach = c.eps_reach == 0.0 ? c.eps : c.eps_reach;
   const double init_radius = rng.chance(0.5) ? 0.0 : rng.uniform(0.0, 0.1);
-  const DeadlineEstimator est(c.model, c.u_range, eps_reach, c.safe_set,
+  const BoxBackend est(c.model, c.u_range, eps_reach, c.safe_set,
                               DeadlineConfig{c.max_window, init_radius, 0});
 
   const Vec u_half = c.u_range.half_widths();
@@ -201,7 +205,7 @@ PropertyResult deadline_monotone_in_uncertainty(std::uint64_t seed,
   const Scenario sc = generate_scenario(rng, limits, opt);
   const core::SimulatorCase& c = sc.scase;
   const double eps0 = c.eps_reach == 0.0 ? c.eps : c.eps_reach;
-  const DeadlineEstimator base(c.model, c.u_range, eps0, c.safe_set,
+  const BoxBackend base(c.model, c.u_range, eps0, c.safe_set,
                                DeadlineConfig{c.max_window, 0.0, 0});
 
   const Vec x0 = seed_state(c, rng);
@@ -209,7 +213,7 @@ PropertyResult deadline_monotone_in_uncertainty(std::uint64_t seed,
 
   // More measurement/process uncertainty can only shorten a sound deadline.
   const double eps_grown = (eps0 == 0.0 ? 1e-6 : eps0) * rng.uniform(1.5, 4.0);
-  const DeadlineEstimator grown_eps(c.model, c.u_range, eps_grown, c.safe_set,
+  const BoxBackend grown_eps(c.model, c.u_range, eps_grown, c.safe_set,
                                     DeadlineConfig{c.max_window, 0.0, 0});
   const std::size_t t_eps = grown_eps.estimate(x0);
   if (t_eps > t_base) {
@@ -220,7 +224,7 @@ PropertyResult deadline_monotone_in_uncertainty(std::uint64_t seed,
   }
 
   // A larger initial-state ball can only shorten it.
-  const DeadlineEstimator grown_ball(c.model, c.u_range, eps0, c.safe_set,
+  const BoxBackend grown_ball(c.model, c.u_range, eps0, c.safe_set,
                                      DeadlineConfig{c.max_window, rng.uniform(0.05, 0.5), 0});
   const std::size_t t_ball = grown_ball.estimate(x0);
   if (t_ball > t_base) {
@@ -246,13 +250,140 @@ PropertyResult deadline_monotone_in_uncertainty(std::uint64_t seed,
       dims[i] = Interval{p, p};
     }
   }
-  const DeadlineEstimator shrunk(c.model, c.u_range, eps0, Box(std::move(dims)),
+  const BoxBackend shrunk(c.model, c.u_range, eps0, Box(std::move(dims)),
                                  DeadlineConfig{c.max_window, 0.0, 0});
   const std::size_t t_shrunk = shrunk.estimate(x0);
   if (t_shrunk > t_base) {
     return PropertyResult::fail("shrinking the safe set lengthened the deadline " +
                                 std::to_string(t_base) + " -> " + std::to_string(t_shrunk) +
                                 "; " + sc.describe());
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult backend_soundness_differential(std::uint64_t seed,
+                                              const GenLimits& limits) {
+  PropRng rng(seed);
+  ScenarioOptions opt;
+  opt.allow_budget = false;
+  const Scenario sc = generate_scenario(rng, limits, opt);
+  const core::SimulatorCase& c = sc.scase;
+  const std::size_t n = c.model.state_dim();
+  const double eps_reach = c.eps_reach == 0.0 ? c.eps : c.eps_reach;
+  const double init_radius = rng.chance(0.5) ? 0.0 : rng.uniform(0.0, 0.1);
+  const DeadlineConfig dc{c.max_window, init_radius, 0};
+
+  const BoxBackend box(c.model, c.u_range, eps_reach, c.safe_set, dc);
+  const reach::EllipsoidBackend ell(c.model, c.u_range, eps_reach, c.safe_set, dc);
+
+  // Per-step, per-dimension dominance: the outer ellipsoid's axis-aligned
+  // spread must enclose the exact box spread at every step, or its deadlines
+  // are not conservative by construction.  Skipped where the ellipsoid
+  // recursion overflowed to non-finite (the walk treats those steps as
+  // unsafe, which is conservative).
+  for (std::size_t t = 1; t <= c.max_window; ++t) {
+    const Vec& sb = box.step_spread(t);
+    const Vec& se = ell.step_spread(t);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(se[i])) continue;
+      if (se[i] < sb[i]) {
+        std::ostringstream os;
+        os << "ellipsoid spread " << se[i] << " < box spread " << sb[i] << " at step "
+           << t << " dim " << i << " (unsound under-approximation); " << sc.describe();
+        return PropertyResult::fail(os.str());
+      }
+    }
+  }
+
+  // A deadline-table spec over a domain that covers every seed_state draw.
+  reach::BackendSpec spec;
+  spec.kind = reach::BackendKind::kTable;
+  spec.model = c.model;
+  spec.u_range = c.u_range;
+  spec.eps = eps_reach;
+  spec.safe_set = c.safe_set;
+  spec.deadline = dc;
+  spec.table.source = reach::BackendKind::kBox;
+  spec.table.cells_per_dim = n <= 3 ? 8 : (n <= 6 ? 4 : 2);
+  {
+    const double r = 0.4 * (1.0 + c.x0.norm2()) + 0.1;
+    std::vector<Interval> dims(n);
+    for (std::size_t i = 0; i < n; ++i) dims[i] = Interval{c.x0[i] - r, c.x0[i] + r};
+    spec.table.domain = Box(std::move(dims));
+  }
+  core::Result<std::unique_ptr<reach::Backend>> built = reach::make_backend(spec);
+  if (!built.is_ok()) {
+    return PropertyResult::fail("table backend construction failed: " +
+                                std::string(built.status().message()) + "; " +
+                                sc.describe());
+  }
+  const std::unique_ptr<reach::Backend> table = std::move(built).value();
+  const auto& tb = dynamic_cast<const reach::TableBackend&>(*table);
+  const reach::DeadlineTable& dt = tb.table();
+
+  for (int k = 0; k < 6; ++k) {
+    const Vec x0 = seed_state(c, rng);
+
+    // The box backend is the exact oracle: cached == uncached bitwise.
+    const std::size_t t_box = box.estimate(x0);
+    if (t_box != box.estimate_uncached(x0)) {
+      return PropertyResult::fail("box cached deadline " + std::to_string(t_box) +
+                                  " != uncached " +
+                                  std::to_string(box.estimate_uncached(x0)) + "; " +
+                                  sc.describe());
+    }
+
+    // Conservatism: neither alternative backend may promise more time than
+    // the exact box walk vouches for.
+    const std::size_t t_ell = ell.estimate(x0);
+    if (t_ell > t_box) {
+      return PropertyResult::fail("ellipsoid deadline " + std::to_string(t_ell) +
+                                  " > box deadline " + std::to_string(t_box) +
+                                  " (unsound); " + sc.describe());
+    }
+    if (spec.table.domain.contains(x0)) {
+      const std::size_t t_tab = table->estimate(x0);
+      if (t_tab > t_box) {
+        return PropertyResult::fail("table deadline " + std::to_string(t_tab) +
+                                    " > box deadline " + std::to_string(t_box) +
+                                    " at an in-domain seed (unsound); " + sc.describe());
+      }
+    }
+
+    // Clamp contract: an out-of-domain seed must serve the nearest covered
+    // cell.  The expected cell index is recomputed here, independently of
+    // TableBackend's lookup.
+    const std::size_t d = rng.below(n);
+    Vec probe = spec.table.domain.clamp(x0);
+    const double span = spec.table.domain[d].hi - spec.table.domain[d].lo;
+    const bool above = rng.chance(0.5);
+    probe[d] = above ? spec.table.domain[d].hi + rng.uniform(0.2, 0.8) * span
+                     : spec.table.domain[d].lo - rng.uniform(0.2, 0.8) * span;
+    std::size_t linear = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t count = dt.cells[i];
+      // Same operation order as TableBackend's lookup (width inverse first),
+      // so the comparison is exact rather than merely close.
+      const double inv_width =
+          static_cast<double>(count) / (dt.domain[i].hi - dt.domain[i].lo);
+      const double raw = (probe[i] - dt.domain[i].lo) * inv_width;
+      std::size_t cell = 0;
+      if (raw >= static_cast<double>(count)) {
+        cell = count - 1;
+      } else if (raw > 0.0) {
+        cell = static_cast<std::size_t>(raw);
+      }
+      linear = linear * count + cell;
+    }
+    const std::size_t expected = dt.deadlines[linear];
+    const std::size_t served = table->estimate(probe);
+    if (served != expected) {
+      std::ostringstream os;
+      os << "out-of-domain probe (dim " << d << (above ? ", above" : ", below")
+         << ") served deadline " << served << " != nearest covered cell's " << expected
+         << " (clamp contract violated); " << sc.describe();
+      return PropertyResult::fail(os.str());
+    }
   }
   return PropertyResult::pass();
 }

@@ -35,6 +35,12 @@ const std::vector<Property>& property_catalogue() {
        "growing eps, the initial ball, or shrinking the safe set never "
        "lengthens the estimated deadline (soundness is monotone)",
        &props::deadline_monotone_in_uncertainty},
+      {"backend_soundness_differential", "§3, DESIGN.md §17",
+       "the ellipsoid backend's per-step spreads dominate the exact box "
+       "spreads and its deadlines never exceed the box walk's; the "
+       "precomputed table never over-promises at in-domain seeds and serves "
+       "out-of-domain queries from the nearest covered cell (clamp, not wrap)",
+       &props::backend_soundness_differential},
       {"adaptive_equals_fixed_when_pinned", "§4.2 vs §4.1",
        "with an unbounded safe set the deadline pins at w_m and the adaptive "
        "detector degenerates to the fixed-window baseline step for step",

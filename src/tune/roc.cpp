@@ -17,7 +17,7 @@ namespace {
 /// up to one window after the corruption stops.
 bool attacked_run_detected(const core::SimulatorCase& scase, core::AttackKind attack,
                            std::uint64_t seed,
-                           std::shared_ptr<const reach::DeadlineEstimator> estimator) {
+                           std::shared_ptr<const reach::Backend> estimator) {
   core::DetectionSystemOptions sys;
   sys.lean_records = true;
   sys.per_step_obs = false;
@@ -68,10 +68,13 @@ core::Result<RocCurve> roc_sweep(const core::SimulatorCase& scase,
     }
   }
 
-  // One estimator serves every scale: its tables do not depend on tau.
-  const auto estimator = std::make_shared<const reach::DeadlineEstimator>(
-      scase.model, scase.u_range, scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach,
-      scase.safe_set, reach::DeadlineConfig{scase.max_window, 0.0, 0});
+  // One deadline backend serves every scale: its tables do not depend on
+  // tau.  The case's configured backend kind (box/ellipsoid/table) applies
+  // here too — the ROC is swept with exactly the backend that would serve.
+  core::Result<std::unique_ptr<reach::Backend>> built =
+      reach::make_backend(core::make_backend_spec(scase, 0.0, 0));
+  if (!built.is_ok()) return built.status();
+  const std::shared_ptr<const reach::Backend> estimator(std::move(built).value());
 
   RocCurve curve;
   curve.points.reserve(scales.size());

@@ -68,14 +68,17 @@ std::uint64_t far_trial_seed(std::uint64_t base, std::size_t trial) {
   return sim::splitmix64(base + 0x7a2e5eedULL + static_cast<std::uint64_t>(trial));
 }
 
-/// The deadline estimator a DetectionSystem with default options would
-/// build for this case; its tables do not depend on tau, so one instance is
+/// The deadline backend a DetectionSystem with default options would build
+/// for this case; its tables do not depend on tau, so one instance is
 /// shared across every FAR measurement of a tuning run.
-std::shared_ptr<const reach::DeadlineEstimator> build_estimator(
-    const core::SimulatorCase& scase) {
-  return std::make_shared<const reach::DeadlineEstimator>(
-      scase.model, scase.u_range, scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach,
-      scase.safe_set, reach::DeadlineConfig{scase.max_window, 0.0, 0});
+std::shared_ptr<const reach::Backend> build_estimator(const core::SimulatorCase& scase) {
+  core::Result<std::unique_ptr<reach::Backend>> built =
+      reach::make_backend(core::make_backend_spec(scase, 0.0, 0));
+  if (!built.is_ok()) {
+    throw std::invalid_argument(std::string("tune: ") +
+                                std::string(built.status().message()));
+  }
+  return std::shared_ptr<const reach::Backend>(std::move(built).value());
 }
 
 }  // namespace

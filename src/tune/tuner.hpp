@@ -28,7 +28,7 @@
 #include "linalg/vec.hpp"
 
 namespace awd::reach {
-class DeadlineEstimator;
+class Backend;
 }
 
 namespace awd::tune {
@@ -55,9 +55,9 @@ struct TuneOptions {
   std::size_t max_iterations = 32;  ///< FAR measurements spent on bracketing + bisection
   std::size_t warmup = 0;         ///< FP-exempt startup steps (0 = max_window + 1)
   std::size_t threads = 1;        ///< parallel_for width (bit-identical at any value)
-  /// Reuse a prebuilt deadline estimator (its tables do not depend on tau,
+  /// Reuse a prebuilt deadline backend (its tables do not depend on tau,
   /// so one instance serves every bisection iterate).  Null = build one.
-  std::shared_ptr<const reach::DeadlineEstimator> shared_estimator;
+  std::shared_ptr<const reach::Backend> shared_estimator;
 };
 
 /// One empirical FAR measurement over attack-free Monte-Carlo runs.

@@ -27,6 +27,17 @@ static_assert(std::is_same_v<awd::StreamEngine, awd::serve::StreamEngine>);
 static_assert(std::is_same_v<awd::StepRecord, awd::sim::StepRecord>);
 static_assert(std::is_same_v<awd::HealthState, awd::fault::HealthState>);
 
+// The reachability backend family (DESIGN.md §17) rides the same contract.
+static_assert(std::is_same_v<awd::Backend, awd::v1::Backend>);
+static_assert(std::is_same_v<awd::BackendKind, awd::v1::BackendKind>);
+static_assert(std::is_same_v<awd::BackendSpec, awd::v1::BackendSpec>);
+static_assert(std::is_same_v<awd::DeadlineTable, awd::v1::DeadlineTable>);
+static_assert(std::is_same_v<awd::Backend, awd::reach::Backend>);
+static_assert(std::is_same_v<awd::BoxBackend, awd::reach::BoxBackend>);
+static_assert(std::is_same_v<awd::EllipsoidBackend, awd::reach::EllipsoidBackend>);
+static_assert(std::is_same_v<awd::TableBackend, awd::reach::TableBackend>);
+static_assert(std::is_same_v<awd::DeadlineConfig, awd::reach::DeadlineConfig>);
+
 TEST(Facade, DrivesThePipelineEndToEnd) {
   const awd::SimulatorCase scase = awd::simulator_case("dc_motor");
   ASSERT_TRUE(scase.check().is_ok());
@@ -47,6 +58,23 @@ TEST(Facade, DrivesThePipelineEndToEnd) {
                                               .threads = 1})
                                    .value();
   EXPECT_EQ(cell.runs, 2u);
+}
+
+TEST(Facade, ReachBackendFamilyIsDrivable) {
+  // Factory, precompute, codec — all through plain awd:: names.
+  awd::SimulatorCase scase = awd::simulator_case("series_rlc");
+  scase.reach_backend = awd::BackendKind::kTable;
+  const awd::BackendSpec spec =
+      awd::make_backend_spec(scase, /*init_radius=*/0.0, /*budget_steps=*/0);
+
+  const auto backend = awd::make_backend(spec).value();
+  EXPECT_EQ(backend->name(), "table");
+  EXPECT_EQ(backend->fingerprint(), awd::spec_fingerprint(spec));
+
+  const awd::DeadlineTable table = awd::build_table(spec).value();
+  const auto bytes = awd::encode_table(table);
+  ASSERT_TRUE(awd::decode_table(bytes).is_ok());
+  EXPECT_TRUE(awd::make_table_backend(spec, table).is_ok());
 }
 
 TEST(Facade, Table1BankIsExported) {

@@ -1,0 +1,7 @@
+// Self-containment: "reach/backend.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "reach/backend.hpp"
+#include "reach/backend.hpp"
+
+int awd_selfcontain_reach_backend() { return 1; }

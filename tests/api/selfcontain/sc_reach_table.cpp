@@ -1,0 +1,7 @@
+// Self-containment: "reach/table.hpp" must compile as the first and only
+// project include in a TU, and be idempotent under double inclusion
+// (api tier; built into awd_api_tests by tests/api/CMakeLists.txt).
+#include "reach/table.hpp"
+#include "reach/table.hpp"
+
+int awd_selfcontain_reach_table() { return 1; }

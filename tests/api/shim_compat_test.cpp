@@ -6,6 +6,7 @@
 // the root CMakeLists).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -53,6 +54,36 @@ TEST(DeprecatedShims, PositionalSweepMatchesSpecApi) {
     EXPECT_EQ(via_shim[i].window, via_spec[i].window);
     EXPECT_EQ(via_shim[i].fp_experiments, via_spec[i].fp_experiments);
     EXPECT_EQ(via_shim[i].fn_experiments, via_spec[i].fn_experiments);
+  }
+}
+
+TEST(DeprecatedShims, DeadlineEstimatorIsTheBoxBackendBitwise) {
+  // The historical estimator class survives as a deprecated constructor shim
+  // over reach::BoxBackend; code still holding a DeadlineEstimator must see
+  // the exact deadlines the redesigned factory produces.
+  const SimulatorCase scase = simulator_case("aircraft_pitch");
+  BackendSpec spec = make_backend_spec(scase, /*init_radius=*/0.02, /*budget_steps=*/0);
+  spec.kind = BackendKind::kBox;
+
+  const reach::DeadlineEstimator legacy(spec.model, spec.u_range, spec.eps,
+                                        spec.safe_set, spec.deadline);
+  const auto modern = make_backend(spec).value();
+
+  EXPECT_EQ(legacy.kind(), BackendKind::kBox);
+  EXPECT_EQ(legacy.fingerprint(), modern->fingerprint());
+
+  std::uint64_t rng = 0x2545f4914f6cdd1dULL;
+  for (int s = 0; s < 64; ++s) {
+    Vec x0 = scase.x0;
+    for (std::size_t i = 0; i < x0.size(); ++i) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      x0[i] += 2.0 * (static_cast<double>(static_cast<std::int64_t>(rng >> 11)) /
+                          (1ULL << 52) -
+                      1.0);
+    }
+    ASSERT_EQ(legacy.estimate(x0), modern->estimate(x0)) << "seed " << s;
   }
 }
 

@@ -120,7 +120,12 @@ TEST(DetectionSystem, AccessorsExposeComponents) {
   EXPECT_EQ(system.scase().key, "series_rlc");
   EXPECT_EQ(system.logger().max_window(), scase.max_window);
   EXPECT_EQ(system.estimator().config().max_window, scase.max_window);
-  EXPECT_DOUBLE_EQ(system.estimator().reach().uncertainty_bound(), scase.eps_reach);
+  EXPECT_EQ(system.estimator().kind(), reach::BackendKind::kBox);
+  EXPECT_EQ(system.estimator().name(), "box");
+  const auto* cached =
+      dynamic_cast<const reach::CachedWalkBackend*>(&system.estimator());
+  ASSERT_NE(cached, nullptr);
+  EXPECT_DOUBLE_EQ(cached->reach().uncertainty_bound(), scase.eps_reach);
 }
 
 }  // namespace

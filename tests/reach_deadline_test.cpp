@@ -26,13 +26,13 @@ models::DiscreteLti pure_drift() {
 TEST(Deadline, ExactStepCountOnDriftSystem) {
   // From x0 = 0 with safe set [-5.5, 5.5], the box leaves S at step 6,
   // so t_d = 5.
-  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+  BoxBackend est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
                         Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
   EXPECT_EQ(est.estimate(Vec{0.0}), 5u);
 }
 
 TEST(Deadline, DeadlineShrinksNearTheBoundary) {
-  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+  BoxBackend est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
                         Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
   std::size_t prev = est.estimate(Vec{0.0});
   for (double x = 0.5; x <= 5.0; x += 0.5) {
@@ -50,7 +50,7 @@ TEST(Deadline, CapsAtMaxWindow) {
   m.B = linalg::Matrix{{0.01}};
   m.dt = 1.0;
   m.name = "contracting";
-  DeadlineEstimator est(m, Box::from_bounds(Vec{-1}, Vec{1}), 0.001,
+  BoxBackend est(m, Box::from_bounds(Vec{-1}, Vec{1}), 0.001,
                         Box::from_bounds(Vec{-100}, Vec{100}), DeadlineConfig{17});
   EXPECT_EQ(est.estimate(Vec{0.0}), 17u);
 }
@@ -58,21 +58,21 @@ TEST(Deadline, CapsAtMaxWindow) {
 TEST(Deadline, UncertaintyTightensTheDeadline) {
   const Box u = Box::from_bounds(Vec{-1}, Vec{1});
   const Box safe = Box::from_bounds(Vec{-5.5}, Vec{5.5});
-  DeadlineEstimator noiseless(pure_drift(), u, 0.0, safe, DeadlineConfig{20});
-  DeadlineEstimator noisy(pure_drift(), u, 0.5, safe, DeadlineConfig{20});
+  BoxBackend noiseless(pure_drift(), u, 0.0, safe, DeadlineConfig{20});
+  BoxBackend noisy(pure_drift(), u, 0.5, safe, DeadlineConfig{20});
   EXPECT_LT(noisy.estimate(Vec{0.0}), noiseless.estimate(Vec{0.0}));
 }
 
 TEST(Deadline, InitialRadiusTightensTheDeadline) {
   const Box u = Box::from_bounds(Vec{-1}, Vec{1});
   const Box safe = Box::from_bounds(Vec{-5.5}, Vec{5.5});
-  DeadlineEstimator point(pure_drift(), u, 0.0, safe, DeadlineConfig{20, 0.0});
-  DeadlineEstimator ball(pure_drift(), u, 0.0, safe, DeadlineConfig{20, 1.0});
+  BoxBackend point(pure_drift(), u, 0.0, safe, DeadlineConfig{20, 0.0});
+  BoxBackend ball(pure_drift(), u, 0.0, safe, DeadlineConfig{20, 1.0});
   EXPECT_LT(ball.estimate(Vec{0.0}), point.estimate(Vec{0.0}));
 }
 
 TEST(Deadline, ConservativelySafePredicate) {
-  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+  BoxBackend est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
                         Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
   const std::size_t td = est.estimate(Vec{0.0});
   EXPECT_TRUE(est.conservatively_safe_at(Vec{0.0}, td));
@@ -80,7 +80,7 @@ TEST(Deadline, ConservativelySafePredicate) {
 }
 
 TEST(Deadline, SafeSetDimensionValidated) {
-  EXPECT_THROW(DeadlineEstimator(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+  EXPECT_THROW(BoxBackend(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
                                  Box::unbounded(2), DeadlineConfig{10}),
                std::invalid_argument);
 }
@@ -89,7 +89,7 @@ TEST(Deadline, UnboundedSafeDimensionsNeverConstrain) {
   // Safe set only constrains the pitch angle; the aircraft's other two
   // dimensions can grow arbitrarily without triggering the deadline.
   const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
-  DeadlineEstimator est(scase.model, scase.u_range, scase.eps_reach, scase.safe_set,
+  BoxBackend est(scase.model, scase.u_range, scase.eps_reach, scase.safe_set,
                         DeadlineConfig{scase.max_window});
   // At the reference state the system is not conservatively unsafe now.
   EXPECT_GT(est.estimate(scase.reference), 0u);
@@ -100,7 +100,7 @@ TEST(Deadline, UnboundedSafeDimensionsNeverConstrain) {
 }
 
 TEST(Deadline, CheckedMatchesThrowingPathOnGoodInput) {
-  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+  BoxBackend est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
                         Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
   for (double x : {0.0, 1.0, 3.0, 5.0}) {
     const auto checked = est.estimate_checked(Vec{x});
@@ -110,7 +110,7 @@ TEST(Deadline, CheckedMatchesThrowingPathOnGoodInput) {
 }
 
 TEST(Deadline, CheckedRejectsBadSeeds) {
-  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+  BoxBackend est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
                         Box::from_bounds(Vec{-5.5}, Vec{5.5}), DeadlineConfig{20});
   const auto wrong_dim = est.estimate_checked(Vec{0.0, 1.0});
   EXPECT_FALSE(wrong_dim.is_ok());
@@ -125,7 +125,7 @@ TEST(Deadline, BudgetExhaustionYieldsInsteadOfOverstating) {
   // From x0 = 0 the drift system's deadline is 5.  A budget of 3 reach-box
   // queries cannot resolve it, so the checked search must yield rather than
   // answer max_window.
-  DeadlineEstimator est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+  BoxBackend est(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
                         Box::from_bounds(Vec{-5.5}, Vec{5.5}),
                         DeadlineConfig{20, 0.0, 3});
   const auto starved = est.estimate_checked(Vec{0.0});
@@ -140,7 +140,7 @@ TEST(Deadline, BudgetExhaustionYieldsInsteadOfOverstating) {
 }
 
 TEST(Deadline, NegativeInitRadiusRejectedAtConstruction) {
-  EXPECT_THROW(DeadlineEstimator(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
+  EXPECT_THROW(BoxBackend(pure_drift(), Box::from_bounds(Vec{-1}, Vec{1}), 0.0,
                                  Box::from_bounds(Vec{-5.5}, Vec{5.5}),
                                  DeadlineConfig{20, -1.0}),
                std::invalid_argument);
@@ -155,7 +155,7 @@ TEST(Deadline, CachedMatchesUncachedAcrossPlants) {
                         "quadrotor"};
   for (const char* key : keys) {
     const core::SimulatorCase scase = core::simulator_case(key);
-    DeadlineEstimator est(scase.model, scase.u_range,
+    BoxBackend est(scase.model, scase.u_range,
                           scase.eps_reach == 0.0 ? scase.eps : scase.eps_reach,
                           scase.safe_set, DeadlineConfig{scase.max_window});
     const std::size_t n = scase.model.state_dim();
@@ -179,7 +179,7 @@ TEST(Deadline, CachedMatchesUncachedAcrossPlants) {
 
 TEST(Deadline, CachedRespectsInitRadiusTerm) {
   const core::SimulatorCase scase = core::simulator_case("aircraft_pitch");
-  DeadlineEstimator est(scase.model, scase.u_range, scase.eps, scase.safe_set,
+  BoxBackend est(scase.model, scase.u_range, scase.eps, scase.safe_set,
                         DeadlineConfig{scase.max_window, 0.15});
   Vec x0 = scase.reference;
   for (double pitch : {0.0, 0.5, 1.0, 1.5, 2.0, 2.4}) {
@@ -193,7 +193,7 @@ TEST(Deadline, MonotoneInSafeSet) {
   const Box u = Box::from_bounds(Vec{-1}, Vec{1});
   std::size_t prev = 0;
   for (double half : {2.0, 4.0, 8.0, 16.0}) {
-    DeadlineEstimator est(pure_drift(), u, 0.1,
+    BoxBackend est(pure_drift(), u, 0.1,
                           Box::from_bounds(Vec{-half}, Vec{half}), DeadlineConfig{50});
     const std::size_t d = est.estimate(Vec{0.0});
     EXPECT_GE(d, prev);

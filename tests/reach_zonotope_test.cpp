@@ -137,9 +137,8 @@ TEST(ZonotopeDeadline, NeverShorterThanBoxDeadlineWithoutBallTerm) {
   // dominates in general (bench_ablation quantifies the trade-off).
   for (const char* key : {"aircraft_pitch", "series_rlc", "dc_motor"}) {
     const core::SimulatorCase scase = core::simulator_case(key);
-    const DeadlineEstimator box_est(scase.model, scase.u_range, /*eps=*/0.0,
-                                    scase.safe_set,
-                                    DeadlineConfig{scase.max_window});
+    const BoxBackend box_est(scase.model, scase.u_range, /*eps=*/0.0,
+                             scase.safe_set, DeadlineConfig{scase.max_window});
     const ZonotopeDeadlineEstimator zono_est(scase.model, scase.u_range, /*eps=*/0.0,
                                              scase.safe_set, scase.max_window, 128);
     const std::size_t d_box = box_est.estimate(scase.reference);

@@ -33,6 +33,14 @@
 // are the detection-quality gate: an absolute AUC drop beyond
 // --auc-tolerance (default 0.02) fails, because area ceded to the attacker
 // is a correctness regression regardless of how fast the sweep ran.
+//
+// Derived metrics named "reach_table_speedup_<plant>" (from
+// bench_reach_backends) are gated against an *absolute floor*
+// (--reach-speedup-min, default 10): the table backend's reason to exist is
+// an order-of-magnitude cheaper estimate than the box walk, so the gate
+// compares the current value to the floor, not to the baseline.
+// "reach_conservatism_*" metrics ride the standard absolute-drop gate
+// (--metrics-tolerance): a drop means deadlines turned uselessly tight.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -211,12 +219,24 @@ bool is_auc_metric(const std::string& name) {
   return name.rfind("roc_auc_", 0) == 0;
 }
 
+/// Reach-table speedup metrics (from bench_reach_backends): gated on the
+/// current value clearing an absolute floor, independent of the baseline.
+bool is_reach_speedup_metric(const std::string& name) {
+  return name.rfind("reach_table_speedup_", 0) == 0;
+}
+
+/// Reach conservatism ratios: drop-gated like the cache hit rate.
+bool is_reach_conservatism_metric(const std::string& name) {
+  return name.rfind("reach_conservatism_", 0) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double tolerance = 0.25;
   double metrics_tolerance = 0.10;
   double auc_tolerance = 0.02;
+  double reach_speedup_min = 10.0;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
@@ -231,17 +251,22 @@ int main(int argc, char** argv) {
       auc_tolerance = std::strtod(argv[++i], nullptr);
     } else if (std::strncmp(argv[i], "--auc-tolerance=", 16) == 0) {
       auc_tolerance = std::strtod(argv[i] + 16, nullptr);
+    } else if (std::strcmp(argv[i], "--reach-speedup-min") == 0 && i + 1 < argc) {
+      reach_speedup_min = std::strtod(argv[++i], nullptr);
+    } else if (std::strncmp(argv[i], "--reach-speedup-min=", 20) == 0) {
+      reach_speedup_min = std::strtod(argv[i] + 20, nullptr);
     } else {
       files.emplace_back(argv[i]);
     }
   }
   if (files.size() != 2 || !(tolerance > 0.0) || !std::isfinite(tolerance) ||
       !(metrics_tolerance > 0.0) || !std::isfinite(metrics_tolerance) ||
-      !(auc_tolerance > 0.0) || !std::isfinite(auc_tolerance)) {
+      !(auc_tolerance > 0.0) || !std::isfinite(auc_tolerance) ||
+      !(reach_speedup_min > 0.0) || !std::isfinite(reach_speedup_min)) {
     std::fprintf(stderr,
                  "usage: awd_bench_compare <baseline.json> <current.json> "
                  "[--tolerance 0.25] [--metrics-tolerance 0.10] "
-                 "[--auc-tolerance 0.02]\n");
+                 "[--auc-tolerance 0.02] [--reach-speedup-min 10]\n");
     return 2;
   }
 
@@ -289,7 +314,8 @@ int main(int argc, char** argv) {
     std::printf("\n%-45s %14s %14s %9s\n", "derived metric", "baseline", "current",
                 "delta");
     for (const DerivedMetric& base : base_derived) {
-      bool gated = is_auc_metric(base.name);
+      bool gated = is_auc_metric(base.name) || is_reach_speedup_metric(base.name) ||
+                   is_reach_conservatism_metric(base.name);
       for (const char* name : kGatedDerived) gated = gated || base.name == name;
       const DerivedMetric* cur = find_derived(cur_derived, base.name);
       if (cur == nullptr) {
@@ -303,9 +329,16 @@ int main(int argc, char** argv) {
         continue;
       }
       const double delta = cur->value - base.value;
-      const double drop_tolerance = is_auc_metric(base.name) ? auc_tolerance
-                                                             : metrics_tolerance;
-      const bool regressed = gated && delta < -drop_tolerance;
+      bool regressed;
+      if (is_reach_speedup_metric(base.name)) {
+        // Absolute floor: the current speedup must clear --reach-speedup-min
+        // regardless of what the baseline measured.
+        regressed = cur->value < reach_speedup_min;
+      } else {
+        const double drop_tolerance = is_auc_metric(base.name) ? auc_tolerance
+                                                               : metrics_tolerance;
+        regressed = gated && delta < -drop_tolerance;
+      }
       std::printf("%-45s %14.4f %14.4f %+9.4f%s\n", base.name.c_str(), base.value,
                   cur->value, delta,
                   regressed ? "  REGRESSION" : (gated ? "" : "  (info)"));
